@@ -1,0 +1,100 @@
+package chet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chet/internal/ring"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	model, err := Model("LeNet-5-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := Compile(model.Circuit, Options{Scheme: SchemeCKKS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewSession(compiled, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := SyntheticImage(model.InputShape, 7)
+	want := model.Circuit.Evaluate(img)
+	got := session.Run(img)
+	if got.Size() != want.Size() {
+		t.Fatalf("output size %d want %d", got.Size(), want.Size())
+	}
+	maxErr := 0.0
+	for i := range want.Data {
+		if e := math.Abs(got.Data[i] - want.Data[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.05 {
+		t.Fatalf("encrypted inference deviates by %g from plaintext", maxErr)
+	}
+	// The classification decision survives encryption.
+	if got.ArgMax() != want.ArgMax() {
+		t.Fatalf("encrypted argmax %d != plaintext argmax %d", got.ArgMax(), want.ArgMax())
+	}
+}
+
+func TestPublicAPIBuildCustomCircuit(t *testing.T) {
+	b := NewCircuit("custom")
+	x := b.Input(1, 6, 6)
+	filters := NewTensor(2, 1, 3, 3)
+	for i := range filters.Data {
+		filters.Data[i] = 0.1
+	}
+	x = b.Conv2D(x, filters, nil, 1, 0, "conv")
+	x = b.Activation(x, 0.25, 1, "act")
+	c := b.Build(x)
+
+	compiled, err := Compile(c, Options{Scheme: SchemeRNS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Best.LogN == 0 {
+		t.Fatal("no parameters selected")
+	}
+	desc := Describe(compiled)
+	for _, needle := range []string{"custom", "RNS", "rotation keys", "best layout policy"} {
+		if !strings.Contains(desc, needle) {
+			t.Fatalf("Describe output missing %q:\n%s", needle, desc)
+		}
+	}
+}
+
+func TestPublicAPIRealCryptoTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real lattice execution is slow; run without -short")
+	}
+	model, err := Model("LeNet-tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := Compile(model.Circuit, Options{
+		Scheme:       SchemeRNS,
+		SecurityBits: -1, // small demo ring
+		MinLogN:      11,
+		MaxLogN:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := NewSession(compiled, ring.NewTestPRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := SyntheticImage(model.InputShape, 9)
+	want := model.Circuit.Evaluate(img)
+	got := session.Run(img)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-2 {
+			t.Fatalf("output %d: got %g want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// chet-bench regenerates the tables and figures of the paper's evaluation
+// (Section 6). Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	chet-bench -exp all            # every experiment on the small model set
+//	chet-bench -exp table4 -full   # all five evaluation networks
+//	chet-bench -exp fig6           # measured real-crypto latency vs cost model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"chet/internal/bench"
+	"chet/internal/core"
+	"chet/internal/nn"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.String("exp", "all",
+		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, or all")
+	full := flag.Bool("full", false,
+		"use all five evaluation networks (slower analysis sweeps; fig6 always uses the small set)")
+	scaleSearch := flag.Bool("scalesearch", false,
+		"run the profile-guided scale search for table4 (slow)")
+	flag.Parse()
+
+	models := bench.SmallModels()
+	if *full {
+		models = bench.EvalModels()
+	}
+
+	run := func(name string, f func() error) {
+		want := strings.ToLower(*exp)
+		if want != "all" && want != name {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() error {
+		rows, err := bench.Table1([][2]int{{11, 2}, {11, 4}, {11, 8}, {12, 4}, {13, 4}})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderTable1(rows))
+		fmt.Println("expected shape: add/sMul/pMul scale ~N*r; ctMul/rot scale ~N*logN*r^2")
+		return nil
+	})
+
+	run("table3", func() error {
+		fmt.Print(bench.RenderTable3(bench.Table3(models, true)))
+		fmt.Println("fidelity = max |encrypted - plaintext| output deviation (substitutes for accuracy; see DESIGN.md)")
+		return nil
+	})
+
+	run("table4", func() error {
+		rows, err := bench.Table4(models, bench.Table4Options{
+			UseScaleSearch: *scaleSearch,
+			SearchStep:     8,
+			Tolerance:      0.1,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderTable4(rows))
+		return nil
+	})
+
+	run("table5", func() error {
+		rows, err := bench.LayoutTable(models, core.SchemeRNS)
+		if err != nil {
+			return err
+		}
+		fmt.Println("CHET-SEAL (RNS-CKKS) estimated latency per data layout, seconds:")
+		fmt.Print(bench.RenderLayoutTable(rows))
+		return nil
+	})
+
+	run("table6", func() error {
+		rows, err := bench.LayoutTable(models, core.SchemeCKKS)
+		if err != nil {
+			return err
+		}
+		fmt.Println("CHET-HEAAN (CKKS) estimated latency per data layout, seconds:")
+		fmt.Print(bench.RenderLayoutTable(rows))
+		return nil
+	})
+
+	run("fig5", func() error {
+		rows, err := bench.Figure5(models)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderFigure5(rows))
+		fmt.Println("expected shape: Manual-HEAAN > CHET-HEAAN > CHET-SEAL for every network")
+		return nil
+	})
+
+	run("fig6", func() error {
+		small, _ := nn.ByName("LeNet-5-small")
+		points, err := bench.Figure6([]*nn.Model{nn.LeNetTiny(), small}, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderFigure6(points))
+		return nil
+	})
+
+	run("fig7", func() error {
+		rows, err := bench.Figure7(models, []core.Scheme{core.SchemeRNS, core.SchemeCKKS})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.RenderFigure7(rows))
+		return nil
+	})
+}

@@ -1,0 +1,79 @@
+// chet-compile runs the CHET compiler on one of the evaluation networks and
+// reports every decision it makes: the chosen data layout, the encryption
+// parameters (ring degree, modulus, RNS chain), the rotation-key set, and
+// the per-policy cost estimates.
+//
+// Usage:
+//
+//	chet-compile -model LeNet-5-small -scheme seal
+//	chet-compile -model SqueezeNet-CIFAR -scheme heaan -security 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"chet"
+)
+
+func main() {
+	log.SetFlags(0)
+	model := flag.String("model", "LeNet-5-small",
+		"network to compile (LeNet-5-small, LeNet-5-medium, LeNet-5-large, Industrial, SqueezeNet-CIFAR, LeNet-tiny)")
+	scheme := flag.String("scheme", "seal", "target FHE scheme: seal (RNS-CKKS) or heaan (CKKS)")
+	security := flag.Int("security", 128, "security level in bits (128/192/256; -1 disables the check)")
+	scales := flag.String("scales", "", "fixed-point scale exponents as Pc,Pw,Pu,Pm (e.g. 40,35,35,30); empty = defaults")
+	showKeys := flag.Bool("keys", false, "print the full rotation-key list")
+	flag.Parse()
+
+	m, err := chet.Model(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := chet.Options{SecurityBits: *security}
+	switch strings.ToLower(*scheme) {
+	case "seal", "rns", "rns-ckks":
+		opts.Scheme = chet.SchemeRNS
+	case "heaan", "ckks":
+		opts.Scheme = chet.SchemeCKKS
+	default:
+		log.Fatalf("unknown scheme %q", *scheme)
+	}
+	if *scales != "" {
+		sc, err := parseScales(*scales)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Scales = sc
+	}
+
+	compiled, err := chet.Compile(m.Circuit, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(chet.Describe(compiled))
+	if *showKeys {
+		fmt.Printf("rotation keys (%d): %v\n", len(compiled.Best.Rotations), compiled.Best.Rotations)
+	}
+	os.Exit(0)
+}
+
+func parseScales(s string) (chet.Scales, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return chet.Scales{}, fmt.Errorf("want 4 comma-separated exponents, got %q", s)
+	}
+	exps := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return chet.Scales{}, fmt.Errorf("bad exponent %q: %w", p, err)
+		}
+		exps[i] = float64(int64(1) << uint(v))
+	}
+	return chet.Scales{Pc: exps[0], Pw: exps[1], Pu: exps[2], Pm: exps[3]}, nil
+}

@@ -1,0 +1,94 @@
+// chet-run performs end-to-end encrypted inference: it compiles a network,
+// generates keys, encrypts a synthetic image, evaluates the optimized
+// homomorphic tensor circuit, decrypts the prediction, and reports fidelity
+// against unencrypted inference.
+//
+// Usage:
+//
+//	chet-run -model LeNet-tiny -scheme seal -insecure   # real lattice crypto, small ring
+//	chet-run -model LeNet-5-small -scheme heaan         # CKKS mock, secure parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+	"time"
+
+	"chet"
+	"chet/internal/ring"
+)
+
+func main() {
+	log.SetFlags(0)
+	model := flag.String("model", "LeNet-tiny", "network to run")
+	scheme := flag.String("scheme", "heaan", "target FHE scheme: seal (RNS-CKKS) or heaan (CKKS)")
+	seed := flag.Uint64("seed", 7, "synthetic image seed")
+	images := flag.Int("images", 1, "number of images to infer")
+	insecure := flag.Bool("insecure", false, "use a small demo ring without the security check (fast real-crypto runs)")
+	flag.Parse()
+
+	m, err := chet.Model(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := chet.Options{}
+	switch strings.ToLower(*scheme) {
+	case "seal", "rns", "rns-ckks":
+		opts.Scheme = chet.SchemeRNS
+	case "heaan", "ckks":
+		opts.Scheme = chet.SchemeCKKS
+	default:
+		log.Fatalf("unknown scheme %q", *scheme)
+	}
+	if *insecure {
+		opts.SecurityBits = -1
+		opts.MinLogN = 11
+		opts.MaxLogN = 13
+	}
+
+	start := time.Now()
+	compiled, err := chet.Compile(m.Circuit, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %s in %v\n", m.Name, time.Since(start).Round(time.Millisecond))
+	fmt.Print(chet.Describe(compiled))
+
+	start = time.Now()
+	session, err := chet.NewSession(compiled, ring.NewTestPRNG(0xD15EA5E))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key generation: %v\n", time.Since(start).Round(time.Millisecond))
+
+	for i := 0; i < *images; i++ {
+		img := chet.SyntheticImage(m.InputShape, *seed+uint64(i))
+		want := m.Circuit.Evaluate(img)
+
+		start = time.Now()
+		enc := session.Encrypt(img)
+		encTime := time.Since(start)
+
+		start = time.Now()
+		out := session.Infer(enc)
+		inferTime := time.Since(start)
+
+		got := session.Decrypt(out)
+		maxErr := 0.0
+		for j := range want.Data {
+			if e := math.Abs(got.Data[j] - want.Data[j]); e > maxErr {
+				maxErr = e
+			}
+		}
+		agree := "AGREE"
+		if got.ArgMax() != want.ArgMax() {
+			agree = "DISAGREE"
+		}
+		fmt.Printf("image %d: encrypt %v, inference %v, max |err| %.2e, argmax %s (class %d)\n",
+			i, encTime.Round(time.Millisecond), inferTime.Round(time.Millisecond),
+			maxErr, agree, got.ArgMax())
+	}
+}

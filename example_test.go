@@ -1,0 +1,45 @@
+package chet_test
+
+import (
+	"fmt"
+
+	"chet"
+)
+
+// ExampleCompile shows the compiler's decisions for a hand-built circuit.
+func ExampleCompile() {
+	b := chet.NewCircuit("demo")
+	x := b.Input(1, 8, 8)
+	filters := chet.NewTensor(2, 1, 3, 3)
+	for i := range filters.Data {
+		filters.Data[i] = 0.1
+	}
+	x = b.Conv2D(x, filters, nil, 1, 0, "conv")
+	x = b.Activation(x, 0.25, 1, "act")
+	c := b.Build(x)
+
+	compiled, err := chet.Compile(c, chet.Options{Scheme: chet.SchemeCKKS})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("128-bit secure: %v, rotation keys selected: %v\n",
+		compiled.Best.LogQ > 0 && compiled.Best.LogN >= 12,
+		len(compiled.Best.Rotations) > 0)
+	// Output: 128-bit secure: true, rotation keys selected: true
+}
+
+// ExampleSession runs one encrypted inference end to end on the CKKS noise
+// model and reports whether the encrypted prediction matches plaintext
+// inference.
+func ExampleSession() {
+	model, _ := chet.Model("LeNet-tiny")
+	compiled, _ := chet.Compile(model.Circuit, chet.Options{Scheme: chet.SchemeCKKS})
+	session, _ := chet.NewSession(compiled, nil)
+
+	img := chet.SyntheticImage(model.InputShape, 7)
+	pred := session.Run(img)
+	want := model.Circuit.Evaluate(img)
+	fmt.Println("prediction preserved:", pred.ArgMax() == want.ArgMax())
+	// Output: prediction preserved: true
+}

@@ -1,0 +1,84 @@
+// Encrypted MNIST-style inference with LeNet-5: profile-guided scale
+// selection, compilation for both FHE targets, and a fidelity report over a
+// batch of images — the paper's core workflow (Sections 3 and 5.5).
+//
+//	go run ./examples/mnist_lenet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"chet"
+)
+
+func main() {
+	log.SetFlags(0)
+	model, err := chet.Model("LeNet-5-small")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile-guided scale selection on a handful of representative images
+	// (Section 5.5): shrink the four fixed-point factors while the output
+	// stays within tolerance.
+	profile := []*chet.Tensor{
+		chet.SyntheticImage(model.InputShape, 1),
+		chet.SyntheticImage(model.InputShape, 2),
+		chet.SyntheticImage(model.InputShape, 3),
+	}
+	start := time.Now()
+	scales, err := chet.SelectScales(model.Circuit, profile,
+		chet.ScaleSearch{Tolerance: 0.05, Step: 4},
+		chet.Options{Scheme: chet.SchemeCKKS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile-guided scales (found in %v): log2(Pc,Pw,Pu,Pm) = %.0f %.0f %.0f %.0f\n",
+		time.Since(start).Round(time.Millisecond),
+		math.Log2(scales.Pc), math.Log2(scales.Pw), math.Log2(scales.Pu), math.Log2(scales.Pm))
+
+	// Compile for both targets with the tuned scales — "CHET was able to
+	// easily port the same input circuit to a more recent FHE scheme".
+	for _, scheme := range []chet.Scheme{chet.SchemeCKKS, chet.SchemeRNS} {
+		compiled, err := chet.Compile(model.Circuit, chet.Options{Scheme: scheme, Scales: scales})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%v: layout %v, N=2^%d, logQ=%.0f, %d rotation keys, est %.1fs\n",
+			scheme, compiled.Best.Policy, compiled.Best.LogN, compiled.Best.LogQ,
+			len(compiled.Best.Rotations), compiled.Best.EstimatedCost/1e6)
+	}
+
+	// Run a batch of encrypted inferences on the CKKS target and check the
+	// classification decision against plaintext inference.
+	compiled, err := chet.Compile(model.Circuit, chet.Options{Scheme: chet.SchemeCKKS, Scales: scales})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := chet.NewSession(compiled, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const batch = 10
+	agreements := 0
+	worst := 0.0
+	for i := 0; i < batch; i++ {
+		img := chet.SyntheticImage(model.InputShape, 100+uint64(i))
+		want := model.Circuit.Evaluate(img)
+		got := session.Run(img)
+		if got.ArgMax() == want.ArgMax() {
+			agreements++
+		}
+		for j := range want.Data {
+			if e := math.Abs(got.Data[j] - want.Data[j]); e > worst {
+				worst = e
+			}
+		}
+	}
+	fmt.Printf("\nencrypted vs plaintext over %d images: %d/%d argmax agreements, max |err| %.2e\n",
+		batch, agreements, batch, worst)
+}

@@ -1,0 +1,56 @@
+// Quickstart: compile a small CNN with CHET, encrypt an image, run
+// homomorphic inference, and compare against unencrypted inference.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"chet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Pick a network from the evaluation zoo (or build your own with
+	//    chet.NewCircuit).
+	model, err := chet.Model("LeNet-5-small")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %s (%s)\n", model.Name, model.Description)
+
+	// 2. Compile. CHET chooses the data layout, the encryption parameters
+	//    (128-bit secure), and the rotation keys.
+	compiled, err := chet.Compile(model.Circuit, chet.Options{Scheme: chet.SchemeCKKS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(chet.Describe(compiled))
+
+	// 3. A session holds the keys. Encrypt stands in for the client,
+	//    Infer for the untrusted server, Decrypt for the client again.
+	session, err := chet.NewSession(compiled, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	img := chet.SyntheticImage(model.InputShape, 42)
+	enc := session.Encrypt(img)
+	out := session.Infer(enc)
+	pred := session.Decrypt(out)
+
+	// 4. Validate against the unencrypted reference.
+	want := model.Circuit.Evaluate(img)
+	maxErr := 0.0
+	for i := range want.Data {
+		if e := math.Abs(pred.Data[i] - want.Data[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("predicted class %d (plaintext reference: %d), max |err| = %.2e\n",
+		pred.ArgMax(), want.ArgMax(), maxErr)
+}

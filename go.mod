@@ -1,0 +1,3 @@
+module chet
+
+go 1.22

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chet/internal/core"
+	"chet/internal/nn"
+)
+
+// smallSet keeps unit tests fast: the full five-network sweep runs in
+// cmd/chet-bench and the repository benchmarks.
+func smallSet() []*nn.Model {
+	small, _ := nn.ByName("LeNet-5-small")
+	return []*nn.Model{nn.LeNetTiny(), small}
+}
+
+func TestTable3(t *testing.T) {
+	rows := Table3(smallSet(), false)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Flops <= 0 || r.Conv == 0 {
+			t.Fatalf("implausible row %+v", r)
+		}
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "LeNet-5-small") {
+		t.Fatalf("render missing model name:\n%s", out)
+	}
+}
+
+func TestTable3Fidelity(t *testing.T) {
+	rows := Table3([]*nn.Model{nn.LeNetTiny()}, true)
+	if !rows[0].FidelityMeasured {
+		t.Fatal("fidelity not measured")
+	}
+	if math.IsNaN(rows[0].OutputFidelity) || rows[0].OutputFidelity > 0.1 {
+		t.Fatalf("fidelity %g implausible", rows[0].OutputFidelity)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows, err := Table4(smallSet(), Table4Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.LogN < 12 || r.LogQ <= 0 {
+			t.Fatalf("implausible parameters %+v", r)
+		}
+	}
+	// Deeper network consumes more modulus.
+	if rows[1].LogQ <= rows[0].LogQ {
+		t.Fatalf("LeNet-5-small logQ %.0f should exceed LeNet-tiny %.0f", rows[1].LogQ, rows[0].LogQ)
+	}
+	if s := RenderTable4(rows); !strings.Contains(s, "log(Q)") {
+		t.Fatal("render header missing")
+	}
+}
+
+func TestLayoutTables(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.SchemeRNS, core.SchemeCKKS} {
+		rows, err := LayoutTable(smallSet(), scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			for i, s := range r.Seconds {
+				if s <= 0 {
+					t.Fatalf("%v %s: policy %d has no estimate", scheme, r.Name, i)
+				}
+			}
+		}
+		if s := RenderLayoutTable(rows); !strings.Contains(s, "best") {
+			t.Fatal("render missing best column")
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	rows, err := Figure5(smallSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The paper's headline: CHET beats the manual baseline, and the
+		// RNS-CKKS target beats the CKKS target.
+		if !(r.ManualHEAAN > r.CHETHEAAN) {
+			t.Fatalf("%s: manual (%.1fs) should be slower than CHET-HEAAN (%.1fs)",
+				r.Name, r.ManualHEAAN, r.CHETHEAAN)
+		}
+		if !(r.CHETHEAAN > r.CHETSEAL) {
+			t.Fatalf("%s: CHET-HEAAN (%.1fs) should be slower than CHET-SEAL (%.1fs)",
+				r.Name, r.CHETHEAAN, r.CHETSEAL)
+		}
+	}
+}
+
+func TestFigure6CorrelationOnTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real lattice execution is slow; run without -short")
+	}
+	points, err := Figure6([]*nn.Model{nn.LeNetTiny()}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.Observed <= 0 || p.EstUS <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+}
+
+func TestFigure7SpeedupAboveOne(t *testing.T) {
+	rows, err := Figure7(smallSet(), []core.Scheme{core.SchemeRNS, core.SchemeCKKS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Fatalf("%s/%v: speedup %.2f should exceed 1", r.Name, r.Scheme, r.Speedup)
+		}
+		if r.RotOpsPow2 <= r.RotOpsSelected {
+			t.Fatalf("%s/%v: pow2 rotations %d should exceed selected %d",
+				r.Name, r.Scheme, r.RotOpsPow2, r.RotOpsSelected)
+		}
+	}
+	g := GeomeanSpeedup(rows)
+	if g <= 1 || math.IsNaN(g) {
+		t.Fatalf("geomean %g", g)
+	}
+	if s := RenderFigure7(rows); !strings.Contains(s, "geometric-mean") {
+		t.Fatal("render missing geomean")
+	}
+}
+
+func TestTable1Microbench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("microbenchmarks are slow; run without -short")
+	}
+	rows, err := Table1([][2]int{{11, 2}, {11, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The r^2 law: rotation at r=4 should cost clearly more than at r=2.
+	if rows[1].RotateUS <= rows[0].RotateUS {
+		t.Fatalf("rotation cost did not grow with r: %v vs %v", rows[1].RotateUS, rows[0].RotateUS)
+	}
+	if s := RenderTable1(rows); !strings.Contains(s, "rot(us)") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestLogLogCorrelation(t *testing.T) {
+	pts := []Fig6Point{
+		{EstUS: 1, Observed: 10},
+		{EstUS: 10, Observed: 100},
+		{EstUS: 100, Observed: 1000},
+	}
+	if c := LogLogCorrelation(pts); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("perfect log-linear data should correlate 1.0, got %g", c)
+	}
+	if !math.IsNaN(LogLogCorrelation(pts[:1])) {
+		t.Fatal("single point should yield NaN")
+	}
+}

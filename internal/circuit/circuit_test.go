@@ -1,0 +1,210 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"chet/internal/tensor"
+)
+
+// tinyCNN builds a minimal conv -> act -> pool -> dense circuit.
+func tinyCNN(t testing.TB) *Circuit {
+	t.Helper()
+	b := NewBuilder("tiny")
+	x := b.Input(1, 6, 6)
+	filters := tensor.New(2, 1, 3, 3)
+	for i := range filters.Data {
+		filters.Data[i] = 0.1 * float64(i%5)
+	}
+	bias := tensor.FromData([]float64{0.5, -0.5}, 2)
+	x = b.Conv2D(x, filters, bias, 1, 0, "conv1") // -> 2x4x4
+	x = b.Activation(x, 0.25, 1.0, "act1")
+	x = b.AvgPool2D(x, 2, 2, "pool1") // -> 2x2x2
+	x = b.Flatten(x, "flatten")
+	w := tensor.New(3, 8)
+	for i := range w.Data {
+		w.Data[i] = 0.05 * float64(i%7)
+	}
+	x = b.Dense(x, w, tensor.FromData([]float64{0.1, 0.2, 0.3}, 3), "fc1")
+	return b.Build(x)
+}
+
+func TestShapeInference(t *testing.T) {
+	c := tinyCNN(t)
+	wantShapes := map[string][]int{
+		"conv1":   {2, 4, 4},
+		"act1":    {2, 4, 4},
+		"pool1":   {2, 2, 2},
+		"flatten": {8},
+		"fc1":     {3},
+	}
+	for _, n := range c.Nodes {
+		want, ok := wantShapes[n.Name]
+		if !ok {
+			continue
+		}
+		if len(n.OutShape) != len(want) {
+			t.Fatalf("%s shape %v want %v", n.Name, n.OutShape, want)
+		}
+		for i := range want {
+			if n.OutShape[i] != want[i] {
+				t.Fatalf("%s shape %v want %v", n.Name, n.OutShape, want)
+			}
+		}
+	}
+}
+
+func TestEvaluateMatchesManualComputation(t *testing.T) {
+	c := tinyCNN(t)
+	input := tensor.New(1, 6, 6)
+	for i := range input.Data {
+		input.Data[i] = float64(i%4) * 0.5
+	}
+	got := c.Evaluate(input)
+
+	// Manual pipeline with the same reference kernels.
+	var conv1 *Node
+	for _, n := range c.Nodes {
+		if n.Name == "conv1" {
+			conv1 = n
+		}
+	}
+	x := tensor.Conv2D(input, conv1.Weights, 1, 0)
+	x = tensor.AddBiasPerChannel(x, conv1.Bias)
+	x = tensor.PolyActivation(x, 0.25, 1.0)
+	x = tensor.AvgPool2D(x, 2, 2)
+	var fc *Node
+	for _, n := range c.Nodes {
+		if n.Name == "fc1" {
+			fc = n
+		}
+	}
+	want := tensor.MatVec(fc.Weights, x.Reshape(x.Size()), fc.Bias)
+
+	if got.Size() != want.Size() {
+		t.Fatalf("output size %d want %d", got.Size(), want.Size())
+	}
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("output[%d] = %g, want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestResidualAndConcat(t *testing.T) {
+	b := NewBuilder("residual")
+	x := b.Input(2, 4, 4)
+	gamma := tensor.FromData([]float64{1, 1}, 2)
+	beta := tensor.FromData([]float64{0, 0}, 2)
+	y := b.BatchNorm(x, gamma, beta, "bn")
+	sum := b.Add(x, y, "res")
+	cat := b.Concat("cat", sum, x)
+	c := b.Build(cat)
+
+	in := tensor.New(2, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	out := c.Evaluate(in)
+	if out.Shape[0] != 4 {
+		t.Fatalf("concat output channels %d, want 4", out.Shape[0])
+	}
+	// Identity BN + residual = 2x input.
+	for i := 0; i < in.Size(); i++ {
+		if out.Data[i] != 2*in.Data[i] {
+			t.Fatalf("residual value %d wrong", i)
+		}
+	}
+	for i := 0; i < in.Size(); i++ {
+		if out.Data[in.Size()+i] != in.Data[i] {
+			t.Fatalf("concat tail value %d wrong", i)
+		}
+	}
+}
+
+func TestGlobalPoolAndPad(t *testing.T) {
+	b := NewBuilder("gp")
+	x := b.Input(2, 2, 2)
+	x = b.Pad2D(x, 1, "pad")
+	if x.OutShape[1] != 4 {
+		t.Fatalf("pad shape %v", x.OutShape)
+	}
+	x = b.GlobalAvgPool2D(x, "gap")
+	c := b.Build(x)
+	in := tensor.FromData([]float64{4, 4, 4, 4, 8, 8, 8, 8}, 2, 2, 2)
+	out := c.Evaluate(in)
+	// Padded 4x4 has 16 cells, 4 of them nonzero.
+	if out.Data[0] != 1 || out.Data[1] != 2 {
+		t.Fatalf("global pool got %v", out.Data)
+	}
+}
+
+func TestFlopsPositiveAndComposable(t *testing.T) {
+	c := tinyCNN(t)
+	f := c.Flops()
+	if f <= 0 {
+		t.Fatalf("flops = %d", f)
+	}
+	// conv: 2*2*4*4*1*3*3 = 576, +bias 32; act: 4*32 = 128;
+	// pool: 2*2*2*5 = 40; dense: 2*8*3 = 48, +bias 3.
+	want := int64(576 + 32 + 128 + 40 + 48 + 3)
+	if f != want {
+		t.Fatalf("flops = %d, want %d", f, want)
+	}
+}
+
+func TestCountLayersAndDepth(t *testing.T) {
+	c := tinyCNN(t)
+	lc := c.CountLayers()
+	if lc.Conv != 1 || lc.Dense != 1 || lc.Act != 1 || lc.Pool != 1 {
+		t.Fatalf("layer counts %+v", lc)
+	}
+	// conv(1) + act(2) + pool(1) + dense(1) = 5.
+	if d := c.MultiplicativeDepth(); d != 5 {
+		t.Fatalf("depth = %d, want 5", d)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+
+	assertPanics("double input", func() {
+		b := NewBuilder("bad")
+		b.Input(1, 2, 2)
+		b.Input(1, 2, 2)
+	})
+	assertPanics("bad filter channels", func() {
+		b := NewBuilder("bad")
+		x := b.Input(3, 8, 8)
+		b.Conv2D(x, tensor.New(4, 2, 3, 3), nil, 1, 0, "c")
+	})
+	assertPanics("bad dense size", func() {
+		b := NewBuilder("bad")
+		x := b.Input(1, 2, 2)
+		b.Dense(x, tensor.New(2, 5), nil, "d")
+	})
+	assertPanics("add shape mismatch", func() {
+		b := NewBuilder("bad")
+		x := b.Input(1, 4, 4)
+		y := b.AvgPool2D(x, 2, 2, "p")
+		b.Add(x, y, "a")
+	})
+	assertPanics("no input", func() {
+		b := NewBuilder("bad")
+		b.Build(&Node{})
+	})
+	assertPanics("input shape mismatch at eval", func() {
+		b := NewBuilder("bad")
+		x := b.Input(1, 4, 4)
+		c := b.Build(x)
+		c.Evaluate(tensor.New(1, 3, 3))
+	})
+}

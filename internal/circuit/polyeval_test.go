@@ -1,0 +1,77 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"chet/internal/tensor"
+)
+
+func TestPolyEvalOp(t *testing.T) {
+	b := NewBuilder("poly")
+	x := b.Input(1, 2, 2)
+	// p(x) = 1 - x + 2x^3
+	x = b.PolyEval(x, []float64{1, -1, 0, 2}, "p")
+	c := b.Build(x)
+
+	in := tensor.FromData([]float64{-1, 0, 0.5, 2}, 1, 2, 2)
+	out := c.Evaluate(in)
+	want := []float64{1 - (-1) + 2*(-1), 1, 1 - 0.5 + 2*0.125, 1 - 2 + 2*8}
+	for i, w := range want {
+		if math.Abs(out.Data[i]-w) > 1e-12 {
+			t.Fatalf("p(%g) = %g, want %g", in.Data[i], out.Data[i], w)
+		}
+	}
+
+	// Depth: degree 3 + 1 conservative bound.
+	if d := c.MultiplicativeDepth(); d != 4 {
+		t.Fatalf("depth = %d, want 4", d)
+	}
+	// Flops: 4 elements * 2 * degree(3) = 24.
+	if f := c.Flops(); f != 24 {
+		t.Fatalf("flops = %d, want 24", f)
+	}
+	if OpPolyEval.String() != "polyeval" {
+		t.Fatal("op name wrong")
+	}
+}
+
+func TestPolyEvalRequiresDegree(t *testing.T) {
+	b := NewBuilder("bad")
+	x := b.Input(1, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.PolyEval(x, []float64{1}, "constant")
+}
+
+func TestBuilderCoeffsAreCopied(t *testing.T) {
+	b := NewBuilder("copy")
+	x := b.Input(1, 2, 2)
+	coeffs := []float64{0, 1, 1}
+	n := b.PolyEval(x, coeffs, "p")
+	coeffs[2] = 99
+	if n.Coeffs[2] != 1 {
+		t.Fatal("builder aliased caller's coefficient slice")
+	}
+}
+
+func TestOpKindStringsAreDistinct(t *testing.T) {
+	kinds := []OpKind{
+		OpInput, OpConv2D, OpDense, OpAvgPool2D, OpGlobalAvgPool2D,
+		OpActivation, OpBatchNorm, OpAdd, OpConcat, OpFlatten, OpPad2D, OpPolyEval,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate op name %q", s)
+		}
+		seen[s] = true
+	}
+	if OpKind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}

@@ -1,0 +1,87 @@
+package ckks
+
+import "chet/internal/ring"
+
+// Ciphertext is a degree-1 RNS-CKKS ciphertext (C0, C1) in NTT domain,
+// decrypting to C0 + C1*s. It carries its level (index of the top chain
+// prime still in use) and fixed-point scale.
+type Ciphertext struct {
+	C0, C1 *ring.Poly
+	Scale  float64
+	Lvl    int
+}
+
+// Level returns the ciphertext level.
+func (ct *Ciphertext) Level() int { return ct.Lvl }
+
+// CopyNew returns a deep copy.
+func (ct *Ciphertext) CopyNew() *Ciphertext {
+	return &Ciphertext{
+		C0:    ct.C0.CopyNew(),
+		C1:    ct.C1.CopyNew(),
+		Scale: ct.Scale,
+		Lvl:   ct.Lvl,
+	}
+}
+
+// Encryptor encrypts plaintexts under a public key.
+type Encryptor struct {
+	params  *Parameters
+	pk      *PublicKey
+	sampler *ring.Sampler
+}
+
+// NewEncryptor creates an encryptor.
+func NewEncryptor(params *Parameters, pk *PublicKey, prng ring.PRNG) *Encryptor {
+	return &Encryptor{params: params, pk: pk, sampler: ring.NewSampler(params.Ring(), prng)}
+}
+
+// Encrypt produces a fresh encryption of pt at pt's level.
+func (e *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	r := e.params.Ring()
+	level := pt.Lvl
+
+	u := r.NewPoly(level)
+	e.sampler.TernaryPoly(u, level)
+	r.NTT(u, level)
+
+	e0 := r.NewPoly(level)
+	e.sampler.GaussianPoly(e0, level)
+	r.NTT(e0, level)
+
+	e1 := r.NewPoly(level)
+	e.sampler.GaussianPoly(e1, level)
+	r.NTT(e1, level)
+
+	c0 := r.NewPoly(level)
+	r.MulCoeffs(e.pk.B, u, c0, level)
+	r.Add(c0, e0, c0, level)
+	r.Add(c0, pt.Value, c0, level)
+
+	c1 := r.NewPoly(level)
+	r.MulCoeffs(e.pk.A, u, c1, level)
+	r.Add(c1, e1, c1, level)
+
+	return &Ciphertext{C0: c0, C1: c1, Scale: pt.Scale, Lvl: level}
+}
+
+// Decryptor recovers plaintexts with the secret key.
+type Decryptor struct {
+	params *Parameters
+	sk     *SecretKey
+}
+
+// NewDecryptor creates a decryptor.
+func NewDecryptor(params *Parameters, sk *SecretKey) *Decryptor {
+	return &Decryptor{params: params, sk: sk}
+}
+
+// Decrypt returns the plaintext underlying ct.
+func (d *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	r := d.params.Ring()
+	level := ct.Lvl
+	pt := r.NewPoly(level)
+	r.MulCoeffs(ct.C1, d.sk.Value, pt, level)
+	r.Add(pt, ct.C0, pt, level)
+	return &Plaintext{Value: pt, Scale: ct.Scale, Lvl: level}
+}

@@ -1,0 +1,455 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"chet/internal/ring"
+)
+
+// Evaluator executes homomorphic operations. It is not safe for concurrent
+// use; create one evaluator per goroutine (they can share keys).
+type Evaluator struct {
+	params *Parameters
+	rlk    *RelinearizationKey
+	rtks   *RotationKeySet
+
+	// Scratch buffers reused across operations.
+	tmpRow []uint64
+}
+
+// NewEvaluator creates an evaluator. rlk may be nil if no
+// ciphertext-ciphertext multiplications are performed; rtks may be nil if no
+// rotations are performed.
+func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKeySet) *Evaluator {
+	return &Evaluator{
+		params: params,
+		rlk:    rlk,
+		rtks:   rtks,
+		tmpRow: make([]uint64, params.N()),
+	}
+}
+
+// Params returns the evaluator's parameter set.
+func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+const scaleTolerance = 1e-6
+
+func sameScale(a, b float64) bool {
+	return math.Abs(a-b) <= scaleTolerance*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// alignLevels drops copies of a and b to a common level and returns them
+// along with that level. The inputs are not modified.
+func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext, int) {
+	level := a.Lvl
+	if b.Lvl < level {
+		level = b.Lvl
+	}
+	ac, bc := a, b
+	if a.Lvl > level {
+		ac = a.CopyNew()
+		ac.C0.DropLevel(level)
+		ac.C1.DropLevel(level)
+		ac.Lvl = level
+	}
+	if b.Lvl > level {
+		bc = b.CopyNew()
+		bc.C0.DropLevel(level)
+		bc.C1.DropLevel(level)
+		bc.Lvl = level
+	}
+	return ac, bc, level
+}
+
+// DropToLevel reduces ct to the given level in place (a no-op if already
+// there). Dropping levels only shrinks the modulus; the message is
+// unchanged.
+func (ev *Evaluator) DropToLevel(ct *Ciphertext, level int) {
+	if level > ct.Lvl {
+		panic(fmt.Sprintf("ckks: cannot raise level %d to %d", ct.Lvl, level))
+	}
+	if level == ct.Lvl {
+		return
+	}
+	ct.C0.DropLevel(level)
+	ct.C1.DropLevel(level)
+	ct.Lvl = level
+}
+
+// Add returns a + b.
+func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	if !sameScale(a.Scale, b.Scale) {
+		panic(fmt.Sprintf("ckks: scale mismatch in Add: %g vs %g", a.Scale, b.Scale))
+	}
+	ac, bc, level := ev.alignLevels(a, b)
+	r := ev.params.Ring()
+	out := &Ciphertext{C0: r.NewPoly(level), C1: r.NewPoly(level), Scale: ac.Scale, Lvl: level}
+	r.Add(ac.C0, bc.C0, out.C0, level)
+	r.Add(ac.C1, bc.C1, out.C1, level)
+	return out
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	if !sameScale(a.Scale, b.Scale) {
+		panic(fmt.Sprintf("ckks: scale mismatch in Sub: %g vs %g", a.Scale, b.Scale))
+	}
+	ac, bc, level := ev.alignLevels(a, b)
+	r := ev.params.Ring()
+	out := &Ciphertext{C0: r.NewPoly(level), C1: r.NewPoly(level), Scale: ac.Scale, Lvl: level}
+	r.Sub(ac.C0, bc.C0, out.C0, level)
+	r.Sub(ac.C1, bc.C1, out.C1, level)
+	return out
+}
+
+// AddPlain returns ct + pt. The plaintext must be at the same scale and at a
+// level >= the ciphertext's.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if !sameScale(ct.Scale, pt.Scale) {
+		panic(fmt.Sprintf("ckks: scale mismatch in AddPlain: %g vs %g", ct.Scale, pt.Scale))
+	}
+	if pt.Lvl < ct.Lvl {
+		panic("ckks: plaintext level below ciphertext level")
+	}
+	r := ev.params.Ring()
+	level := ct.Lvl
+	out := ct.CopyNew()
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ro, rp := out.C0.Coeffs[i], pt.Value.Coeffs[i]
+		for j := range ro {
+			ro[j] = ring.AddMod(ro[j], rp[j], q)
+		}
+	}
+	return out
+}
+
+// SubPlain returns ct - pt.
+func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if !sameScale(ct.Scale, pt.Scale) {
+		panic(fmt.Sprintf("ckks: scale mismatch in SubPlain: %g vs %g", ct.Scale, pt.Scale))
+	}
+	if pt.Lvl < ct.Lvl {
+		panic("ckks: plaintext level below ciphertext level")
+	}
+	r := ev.params.Ring()
+	level := ct.Lvl
+	out := ct.CopyNew()
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ro, rp := out.C0.Coeffs[i], pt.Value.Coeffs[i]
+		for j := range ro {
+			ro[j] = ring.SubMod(ro[j], rp[j], q)
+		}
+	}
+	return out
+}
+
+// AddScalar returns ct + x (x added to every slot). The constant is encoded
+// at the ciphertext's scale, which costs no level. Scales beyond 62 bits
+// (which occur legitimately between rescaling opportunities) take an
+// arbitrary-precision path.
+func (ev *Evaluator) AddScalar(ct *Ciphertext, x float64) *Ciphertext {
+	r := ev.params.Ring()
+	level := ct.Lvl
+	out := ct.CopyNew()
+	residues := scalarResidues(x, ct.Scale, r, level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		cq := residues[i]
+		// A constant polynomial is constant in the NTT domain as well.
+		ro := out.C0.Coeffs[i]
+		for j := range ro {
+			ro[j] = ring.AddMod(ro[j], cq, q)
+		}
+	}
+	return out
+}
+
+// scalarResidues returns round(x*scale) mod q_i for i <= level, using
+// int64 arithmetic when the constant fits and big integers otherwise.
+func scalarResidues(x, scale float64, r *ring.Ring, level int) []uint64 {
+	out := make([]uint64, level+1)
+	c := math.Round(x * scale)
+	if math.Abs(c) < (1 << 62) {
+		ci := int64(c)
+		for i := 0; i <= level; i++ {
+			q := r.Moduli[i].Q
+			if ci >= 0 {
+				out[i] = uint64(ci) % q
+			} else {
+				out[i] = (q - uint64(-ci)%q) % q
+			}
+		}
+		return out
+	}
+	bf := new(big.Float).SetPrec(256).SetFloat64(x)
+	bf.Mul(bf, new(big.Float).SetPrec(256).SetFloat64(scale))
+	bi, _ := bf.Int(nil)
+	tmp := new(big.Int)
+	for i := 0; i <= level; i++ {
+		q := new(big.Int).SetUint64(r.Moduli[i].Q)
+		out[i] = tmp.Mod(bi, q).Uint64()
+	}
+	return out
+}
+
+// MulPlain returns ct * pt (slotwise). The result scale is the product of
+// the scales; no rescaling is performed.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if pt.Lvl < ct.Lvl {
+		panic("ckks: plaintext level below ciphertext level")
+	}
+	r := ev.params.Ring()
+	level := ct.Lvl
+	out := &Ciphertext{
+		C0:    r.NewPoly(level),
+		C1:    r.NewPoly(level),
+		Scale: ct.Scale * pt.Scale,
+		Lvl:   level,
+	}
+	r.MulCoeffs(ct.C0, pt.Value, out.C0, level)
+	r.MulCoeffs(ct.C1, pt.Value, out.C1, level)
+	return out
+}
+
+// MulScalar returns ct * x with the scalar encoded at scale f. The result
+// scale is ct.Scale * f. Encoding a scalar as the constant polynomial
+// round(x*f) multiplies every slot without a full plaintext encoding.
+func (ev *Evaluator) MulScalar(ct *Ciphertext, x float64, f float64) *Ciphertext {
+	r := ev.params.Ring()
+	level := ct.Lvl
+	out := &Ciphertext{
+		C0:    r.NewPoly(level),
+		C1:    r.NewPoly(level),
+		Scale: ct.Scale * f,
+		Lvl:   level,
+	}
+	residues := scalarResidues(x, f, r, level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		cq := residues[i]
+		cs := ring.MForm(cq, q)
+		for _, pair := range [2][2][]uint64{
+			{ct.C0.Coeffs[i], out.C0.Coeffs[i]},
+			{ct.C1.Coeffs[i], out.C1.Coeffs[i]},
+		} {
+			src, dst := pair[0], pair[1]
+			for j := range dst {
+				dst[j] = ring.MulModShoup(src[j], cq, cs, q)
+			}
+		}
+	}
+	return out
+}
+
+// Mul returns a * b, relinearized back to degree 1. The result scale is the
+// product of the input scales; callers rescale afterwards.
+func (ev *Evaluator) Mul(a, b *Ciphertext) *Ciphertext {
+	if ev.rlk == nil {
+		panic("ckks: evaluator has no relinearization key")
+	}
+	ac, bc, level := ev.alignLevels(a, b)
+	r := ev.params.Ring()
+
+	d0 := r.NewPoly(level)
+	d1 := r.NewPoly(level)
+	d2 := r.NewPoly(level)
+	r.MulCoeffs(ac.C0, bc.C0, d0, level)
+	r.MulCoeffs(ac.C0, bc.C1, d1, level)
+	r.MulCoeffsAndAdd(ac.C1, bc.C0, d1, level)
+	r.MulCoeffs(ac.C1, bc.C1, d2, level)
+
+	e0, e1 := ev.keySwitch(d2, level, ev.rlk.Key)
+	r.Add(d0, e0, d0, level)
+	r.Add(d1, e1, d1, level)
+
+	return &Ciphertext{C0: d0, C1: d1, Scale: ac.Scale * bc.Scale, Lvl: level}
+}
+
+// RotateLeft rotates the slot vector left by k positions (slot i of the
+// result holds slot i+k of the input). Requires the corresponding Galois
+// key.
+func (ev *Evaluator) RotateLeft(ct *Ciphertext, k int) *Ciphertext {
+	slots := ev.params.Slots()
+	k = ((k % slots) + slots) % slots
+	if k == 0 {
+		return ct.CopyNew()
+	}
+	galEl := ev.params.Ring().GaloisElementForRotation(k)
+	return ev.applyGalois(ct, galEl)
+}
+
+// RotateRight rotates the slot vector right by k positions.
+func (ev *Evaluator) RotateRight(ct *Ciphertext, k int) *Ciphertext {
+	return ev.RotateLeft(ct, -k)
+}
+
+// Conjugate applies complex conjugation to every slot.
+func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
+	return ev.applyGalois(ct, ev.params.Ring().GaloisElementConjugate())
+}
+
+func (ev *Evaluator) applyGalois(ct *Ciphertext, galEl uint64) *Ciphertext {
+	swk, err := ev.rtks.RotationKeyFor(galEl)
+	if err != nil {
+		panic(err)
+	}
+	r := ev.params.Ring()
+	level := ct.Lvl
+
+	rc0 := r.NewPoly(level)
+	rc1 := r.NewPoly(level)
+	r.AutomorphismNTT(ct.C0, galEl, rc0, level)
+	r.AutomorphismNTT(ct.C1, galEl, rc1, level)
+
+	e0, e1 := ev.keySwitch(rc1, level, swk)
+	r.Add(rc0, e0, rc0, level)
+
+	return &Ciphertext{C0: rc0, C1: e1, Scale: ct.Scale, Lvl: level}
+}
+
+// keySwitch re-encrypts the degree-1 component c2 (NTT domain, rows
+// 0..level) from the switching key's source secret to the canonical secret,
+// returning the additive correction (d0, d1) at the same level.
+//
+// This is the RNS "digit decomposition" key switch: c2 is decomposed into
+// its residues per chain prime, each residue is spread across the extended
+// basis {q_0..q_level, P}, multiplied against the matching key digit, and
+// the accumulated result is divided by the special prime P.
+func (ev *Evaluator) keySwitch(c2 *ring.Poly, level int, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	params := ev.params
+	r := params.Ring()
+	pIdx := params.pIndex()
+	full := r.MaxLevel()
+	n := r.N
+
+	c2c := c2.CopyNew()
+	r.InvNTT(c2c, level)
+
+	acc0 := r.NewPoly(full)
+	acc1 := r.NewPoly(full)
+
+	rows := make([]int, 0, level+2)
+	for j := 0; j <= level; j++ {
+		rows = append(rows, j)
+	}
+	rows = append(rows, pIdx)
+
+	row := ev.tmpRow
+	for i := 0; i <= level; i++ {
+		digits := c2c.Coeffs[i] // residues in [0, q_i)
+		for _, j := range rows {
+			mj := r.Moduli[j]
+			qj := mj.Q
+			if j == i {
+				copy(row, digits)
+			} else {
+				for k := 0; k < n; k++ {
+					row[k] = digits[k] % qj
+				}
+			}
+			r.NTTSingle(j, row)
+
+			b := swk.B[i].Coeffs[j]
+			a := swk.A[i].Coeffs[j]
+			o0 := acc0.Coeffs[j]
+			o1 := acc1.Coeffs[j]
+			for k := 0; k < n; k++ {
+				o0[k] = ring.AddMod(o0[k], mj.BRed(row[k], b[k]), qj)
+				o1[k] = ring.AddMod(o1[k], mj.BRed(row[k], a[k]), qj)
+			}
+		}
+	}
+
+	ev.modDownByP(acc0, level)
+	ev.modDownByP(acc1, level)
+	acc0.DropLevel(level)
+	acc1.DropLevel(level)
+	return acc0, acc1
+}
+
+// modDownByP divides acc (rows 0..level valid, plus the special-prime row)
+// by the special prime P with centered rounding, in the NTT domain.
+func (ev *Evaluator) modDownByP(acc *ring.Poly, level int) {
+	params := ev.params
+	r := params.Ring()
+	pIdx := params.pIndex()
+	p := r.Moduli[pIdx].Q
+	halfP := p >> 1
+	n := r.N
+
+	pRow := append([]uint64(nil), acc.Coeffs[pIdx]...)
+	r.InvNTTSingle(pIdx, pRow)
+
+	tmp := ev.tmpRow
+	for j := 0; j <= level; j++ {
+		qj := r.Moduli[j].Q
+		for k := 0; k < n; k++ {
+			v := pRow[k]
+			if v > halfP {
+				// Centered representative v - P (negative).
+				tmp[k] = (qj - (p-v)%qj) % qj
+			} else {
+				tmp[k] = v % qj
+			}
+		}
+		r.NTTSingle(j, tmp)
+
+		pInv := ring.InvMod(p%qj, qj)
+		pInvS := ring.MForm(pInv, qj)
+		rowJ := acc.Coeffs[j]
+		for k := 0; k < n; k++ {
+			rowJ[k] = ring.MulModShoup(ring.SubMod(rowJ[k], tmp[k], qj), pInv, pInvS, qj)
+		}
+	}
+}
+
+// Rescale divides ct by its top chain prime, dropping one level and
+// reducing the scale accordingly. It panics at level 0.
+func (ev *Evaluator) Rescale(ct *Ciphertext) {
+	level := ct.Lvl
+	if level == 0 {
+		panic("ckks: cannot rescale below level 0")
+	}
+	r := ev.params.Ring()
+	qTop := r.Moduli[level].Q
+	halfQ := qTop >> 1
+	n := r.N
+
+	tmp := ev.tmpRow
+	for _, c := range []*ring.Poly{ct.C0, ct.C1} {
+		top := append([]uint64(nil), c.Coeffs[level]...)
+		r.InvNTTSingle(level, top)
+		for j := 0; j < level; j++ {
+			qj := r.Moduli[j].Q
+			for k := 0; k < n; k++ {
+				v := top[k]
+				if v > halfQ {
+					tmp[k] = (qj - (qTop-v)%qj) % qj
+				} else {
+					tmp[k] = v % qj
+				}
+			}
+			r.NTTSingle(j, tmp)
+			qInv := ring.InvMod(qTop%qj, qj)
+			qInvS := ring.MForm(qInv, qj)
+			rowJ := c.Coeffs[j]
+			for k := 0; k < n; k++ {
+				rowJ[k] = ring.MulModShoup(ring.SubMod(rowJ[k], tmp[k], qj), qInv, qInvS, qj)
+			}
+		}
+		c.DropLevel(level - 1)
+	}
+	ct.Scale /= float64(qTop)
+	ct.Lvl--
+}
+
+// RescaleMany rescales n times.
+func (ev *Evaluator) RescaleMany(ct *Ciphertext, n int) {
+	for i := 0; i < n; i++ {
+		ev.Rescale(ct)
+	}
+}

@@ -1,0 +1,178 @@
+package ckks
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"chet/internal/ring"
+)
+
+func polysEqual(a, b [][]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCiphertextMarshalRoundTrip(t *testing.T) {
+	tc := newTestContext(t)
+	values := randomVector(tc.params.Slots(), 5, 31)
+	ct := tc.encr.Encrypt(tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel()))
+
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Ciphertext
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Lvl != ct.Lvl || got.Scale != ct.Scale {
+		t.Fatalf("metadata mismatch: %d/%g vs %d/%g", got.Lvl, got.Scale, ct.Lvl, ct.Scale)
+	}
+	if !polysEqual(got.C0.Coeffs, ct.C0.Coeffs) || !polysEqual(got.C1.Coeffs, ct.C1.Coeffs) {
+		t.Fatal("polynomial mismatch after roundtrip")
+	}
+
+	// The deserialized ciphertext still decrypts correctly.
+	dec := tc.enc.Decode(tc.decr.Decrypt(&got))
+	if d := maxAbsDiff(values, dec); d > 1e-5 {
+		t.Fatalf("decryption after roundtrip deviates by %g", d)
+	}
+}
+
+func TestPlaintextAndKeysMarshalRoundTrip(t *testing.T) {
+	tc := newTestContext(t)
+	pt := tc.enc.Encode([]float64{1, 2, 3}, tc.params.DefaultScale(), tc.params.MaxLevel())
+
+	data, err := pt.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotPT Plaintext
+	if err := gotPT.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !polysEqual(gotPT.Value.Coeffs, pt.Value.Coeffs) {
+		t.Fatal("plaintext mismatch")
+	}
+
+	skData, err := tc.sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotSK SecretKey
+	if err := gotSK.UnmarshalBinary(skData); err != nil {
+		t.Fatal(err)
+	}
+	if !polysEqual(gotSK.Value.Coeffs, tc.sk.Value.Coeffs) {
+		t.Fatal("secret key mismatch")
+	}
+
+	pkData, err := tc.pk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotPK PublicKey
+	if err := gotPK.UnmarshalBinary(pkData); err != nil {
+		t.Fatal(err)
+	}
+	if !polysEqual(gotPK.A.Coeffs, tc.pk.A.Coeffs) || !polysEqual(gotPK.B.Coeffs, tc.pk.B.Coeffs) {
+		t.Fatal("public key mismatch")
+	}
+
+	// A deserialized public key encrypts correctly.
+	encr2 := NewEncryptor(tc.params, &gotPK, ring.NewTestPRNG(41))
+	values := randomVector(tc.params.Slots(), 3, 32)
+	ct := encr2.Encrypt(tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel()))
+	dec := tc.enc.Decode(tc.decr.Decrypt(ct))
+	if d := maxAbsDiff(values, dec); d > 1e-5 {
+		t.Fatalf("encryption under deserialized key deviates by %g", d)
+	}
+}
+
+func TestRelinAndRotationKeysMarshalRoundTrip(t *testing.T) {
+	tc := newTestContext(t)
+
+	rlkData, err := tc.rlk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotRLK RelinearizationKey
+	if err := gotRLK.UnmarshalBinary(rlkData); err != nil {
+		t.Fatal(err)
+	}
+
+	rtks := tc.kgen.GenRotationKeys(tc.sk, []int{1, 7}, true)
+	rtksData, err := rtks.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotRTKS RotationKeySet
+	if err := gotRTKS.UnmarshalBinary(rtksData); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRTKS.Keys) != len(rtks.Keys) {
+		t.Fatalf("key count %d != %d", len(gotRTKS.Keys), len(rtks.Keys))
+	}
+
+	// Deserialized evaluation keys actually evaluate: square then rotate.
+	ev := NewEvaluator(tc.params, &gotRLK, &gotRTKS)
+	values := randomVector(tc.params.Slots(), 2, 33)
+	ct := tc.encr.Encrypt(tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel()))
+	sq := ev.Mul(ct, ct)
+	ev.Rescale(sq)
+	rot := ev.RotateLeft(sq, 7)
+	dec := tc.enc.Decode(tc.decr.Decrypt(rot))
+	slots := tc.params.Slots()
+	for i := 0; i < slots; i++ {
+		want := values[(i+7)%slots] * values[(i+7)%slots]
+		if math.Abs(dec[i]-want) > 1e-2 {
+			t.Fatalf("slot %d: got %g want %g", i, dec[i], want)
+		}
+	}
+
+	// Serialization is deterministic.
+	again, _ := rtks.MarshalBinary()
+	if !bytes.Equal(rtksData, again) {
+		t.Fatal("rotation key serialization is not deterministic")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	tc := newTestContext(t)
+	ct := tc.encr.Encrypt(tc.enc.Encode([]float64{1}, tc.params.DefaultScale(), tc.params.MaxLevel()))
+	data, _ := ct.MarshalBinary()
+
+	var out Ciphertext
+	// Wrong magic.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if err := out.UnmarshalBinary(bad); err == nil {
+		t.Fatal("expected magic error")
+	}
+	// Truncated.
+	if err := out.UnmarshalBinary(data[:len(data)/2]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Trailing garbage.
+	if err := out.UnmarshalBinary(append(append([]byte(nil), data...), 1, 2, 3)); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+	// Wrong object type.
+	pkData, _ := tc.pk.MarshalBinary()
+	if err := out.UnmarshalBinary(pkData); err == nil {
+		t.Fatal("expected type-confusion error")
+	}
+}

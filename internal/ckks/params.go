@@ -1,0 +1,148 @@
+// Package ckks implements the RNS variant of the CKKS approximate
+// homomorphic encryption scheme (Cheon-Kim-Kim-Song, with the full-RNS
+// optimizations of Cheon-Han-Kim-Kim-Song), the scheme implemented by SEAL
+// v3.1 and targeted by the CHET compiler. It is built from scratch on the
+// negacyclic NTT rings of internal/ring and supports encoding into N/2
+// complex slots, encryption, addition, multiplication with relinearization,
+// plaintext and scalar multiplication, rescaling by chain moduli, slot
+// rotation, and conjugation.
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"chet/internal/ring"
+)
+
+// Parameters fully determines an RNS-CKKS instantiation.
+type Parameters struct {
+	logN     int
+	logSlots int
+	qChain   []uint64 // ciphertext modulus chain q_0 .. q_L
+	pSpecial uint64   // special prime for key switching
+	scale    float64  // default encoding scale
+	ring     *ring.Ring
+}
+
+// ParametersLiteral is the user-facing description of a parameter set.
+type ParametersLiteral struct {
+	LogN          int   // ring degree is 2^LogN
+	LogQ          []int // bit sizes of the chain primes, q_0 first
+	LogP          int   // bit size of the key-switching special prime
+	LogScale      int   // default encoding scale is 2^LogScale
+	LogSlots      int   // optional; defaults to LogN-1 (full packing)
+	Deterministic bool  // reserved for test fixtures
+}
+
+// NewParameters generates concrete NTT-friendly primes realizing the literal
+// and returns the parameter set.
+func NewParameters(lit ParametersLiteral) (*Parameters, error) {
+	if lit.LogN < 4 || lit.LogN > 16 {
+		return nil, fmt.Errorf("ckks: LogN %d out of supported range [4, 16]", lit.LogN)
+	}
+	if len(lit.LogQ) == 0 {
+		return nil, fmt.Errorf("ckks: empty modulus chain")
+	}
+	logSlots := lit.LogSlots
+	if logSlots == 0 {
+		logSlots = lit.LogN - 1
+	}
+	if logSlots >= lit.LogN {
+		return nil, fmt.Errorf("ckks: LogSlots %d must be < LogN %d", logSlots, lit.LogN)
+	}
+
+	// Group requested bit sizes so equal sizes share one downward search.
+	want := map[int]int{}
+	for _, b := range lit.LogQ {
+		if b < 20 || b > 60 {
+			return nil, fmt.Errorf("ckks: chain prime bit size %d out of range [20, 60]", b)
+		}
+		want[b]++
+	}
+	if lit.LogP < 20 || lit.LogP > 60 {
+		return nil, fmt.Errorf("ckks: special prime bit size %d out of range [20, 60]", lit.LogP)
+	}
+	want[lit.LogP]++
+
+	found := map[int][]uint64{}
+	for bits, n := range want {
+		primes, err := ring.GenerateNTTPrimes(bits, lit.LogN, n)
+		if err != nil {
+			return nil, err
+		}
+		found[bits] = primes
+	}
+
+	next := map[int]int{}
+	take := func(bits int) uint64 {
+		p := found[bits][next[bits]]
+		next[bits]++
+		return p
+	}
+
+	qChain := make([]uint64, len(lit.LogQ))
+	for i, b := range lit.LogQ {
+		qChain[i] = take(b)
+	}
+	pSpecial := take(lit.LogP)
+
+	allPrimes := append(append([]uint64{}, qChain...), pSpecial)
+	rg, err := ring.NewRing(lit.LogN, allPrimes)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Parameters{
+		logN:     lit.LogN,
+		logSlots: logSlots,
+		qChain:   qChain,
+		pSpecial: pSpecial,
+		scale:    math.Exp2(float64(lit.LogScale)),
+		ring:     rg,
+	}, nil
+}
+
+// LogN returns log2 of the ring degree.
+func (p *Parameters) LogN() int { return p.logN }
+
+// N returns the ring degree.
+func (p *Parameters) N() int { return 1 << uint(p.logN) }
+
+// Slots returns the number of plaintext slots (2^LogSlots).
+func (p *Parameters) Slots() int { return 1 << uint(p.logSlots) }
+
+// LogSlots returns log2 of the slot count.
+func (p *Parameters) LogSlots() int { return p.logSlots }
+
+// MaxLevel returns the top ciphertext level L (fresh ciphertexts start here).
+func (p *Parameters) MaxLevel() int { return len(p.qChain) - 1 }
+
+// QChain returns the ciphertext modulus chain (a copy).
+func (p *Parameters) QChain() []uint64 { return append([]uint64(nil), p.qChain...) }
+
+// Qi returns the i-th chain prime.
+func (p *Parameters) Qi(i int) uint64 { return p.qChain[i] }
+
+// PSpecial returns the key-switching special prime.
+func (p *Parameters) PSpecial() uint64 { return p.pSpecial }
+
+// DefaultScale returns the default encoding scale.
+func (p *Parameters) DefaultScale() float64 { return p.scale }
+
+// Ring returns the underlying RNS ring, whose prime order is the chain
+// primes followed by the special prime.
+func (p *Parameters) Ring() *ring.Ring { return p.ring }
+
+// pIndex is the row index of the special prime within the ring.
+func (p *Parameters) pIndex() int { return len(p.qChain) }
+
+// LogQTotal returns the total bit length of the ciphertext modulus
+// sum(log2 q_i), the quantity constrained by the security table.
+func (p *Parameters) LogQTotal() float64 {
+	total := 0.0
+	for _, q := range p.qChain {
+		total += math.Log2(float64(q))
+	}
+	return total
+}

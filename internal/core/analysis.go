@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+
+	"chet/internal/hisa"
+)
+
+// Analysis is the compiler's reinterpretation of the HISA (Section 5.1): it
+// implements hisa.Backend, but its ciphertexts carry dataflow facts instead
+// of encrypted data. Executing the unmodified tensor kernels against it
+// unrolls the circuit's dataflow graph on the fly and composes the per-
+// instruction transfer functions, yielding:
+//
+//   - the modulus consumed by rescaling and the peak modulus requirement
+//     (encryption parameter selection, Section 5.2),
+//   - the estimated execution cost under a scheme cost model when totals
+//     from a prior parameter pass are supplied (layout selection, 5.3),
+//   - the set of rotation steps performed (rotation keys selection, 5.4).
+type Analysis struct {
+	scheme Scheme
+	slots  int
+	n      float64
+
+	// rnsPrimeBits is the idealized size of the pre-generated candidate
+	// moduli list for RNS-CKKS (the paper's footnote: 60-bit SEAL primes;
+	// we default to 40-bit primes matching the runtime's scale regime).
+	rnsPrimeBits float64
+
+	// magMarginBits bounds log2 of message magnitude plus noise headroom.
+	magMarginBits float64
+
+	// rotKey reports whether a single-step rotation key exists; nil means
+	// all keys exist (CHET provisions exactly the keys the circuit needs).
+	rotKey func(int) bool
+
+	// Results of the parameter analysis.
+	consumedFinal float64 // log2 of modulus consumed on the output path
+	peakNeed      float64 // max over live ciphertexts of consumed+scale+margin
+	rotations     map[int]int
+
+	// Cost estimation (active when totals is non-nil).
+	totals    *costTotals
+	model     CostModel
+	totalCost float64
+}
+
+// costTotals fixes the overall modulus so per-op costs can use the current
+// modulus size.
+type costTotals struct {
+	logQ   float64 // CKKS: total modulus bits
+	primes float64 // RNS: total chain primes
+}
+
+// analysisCT is the dataflow fact attached to each ciphertext.
+type analysisCT struct {
+	scale    float64
+	consumed float64 // log2 of modulus consumed so far (CKKS bits; RNS primes*bits)
+}
+
+type analysisPT struct{ scale float64 }
+
+// AnalysisConfig parameterizes an analysis run.
+type AnalysisConfig struct {
+	Scheme        Scheme
+	Slots         int
+	RNSPrimeBits  int
+	MagMarginBits float64
+	// RotKey restricts available single-step rotation keys (nil = all).
+	RotKey func(int) bool
+	// CostTotals enables cost estimation: total modulus bits (CKKS) or
+	// total chain primes (RNS) from a prior parameter pass.
+	CostLogQ   float64
+	CostPrimes float64
+	Model      *CostModel
+}
+
+// NewAnalysis creates an analysis interpretation of the HISA.
+func NewAnalysis(cfg AnalysisConfig) *Analysis {
+	if cfg.Slots <= 0 || cfg.Slots&(cfg.Slots-1) != 0 {
+		panic(fmt.Sprintf("core: analysis slots %d must be a power of two", cfg.Slots))
+	}
+	a := &Analysis{
+		scheme:        cfg.Scheme,
+		slots:         cfg.Slots,
+		n:             float64(2 * cfg.Slots),
+		rnsPrimeBits:  40,
+		magMarginBits: 12,
+		rotKey:        cfg.RotKey,
+		rotations:     map[int]int{},
+	}
+	if cfg.RNSPrimeBits > 0 {
+		a.rnsPrimeBits = float64(cfg.RNSPrimeBits)
+	}
+	if cfg.MagMarginBits > 0 {
+		a.magMarginBits = cfg.MagMarginBits
+	}
+	if cfg.CostLogQ > 0 || cfg.CostPrimes > 0 {
+		a.totals = &costTotals{logQ: cfg.CostLogQ, primes: cfg.CostPrimes}
+		if cfg.Model != nil {
+			a.model = *cfg.Model
+		} else {
+			a.model = DefaultCostModel(cfg.Scheme)
+		}
+	}
+	return a
+}
+
+func (a *Analysis) Name() string { return "analysis-" + a.scheme.String() }
+func (a *Analysis) Slots() int   { return a.slots }
+
+func (a *Analysis) ct(c hisa.Ciphertext) *analysisCT {
+	v, ok := c.(*analysisCT)
+	if !ok {
+		panic(fmt.Sprintf("core: foreign ciphertext %T in analysis", c))
+	}
+	return v
+}
+
+func (a *Analysis) pt(p hisa.Plaintext) *analysisPT {
+	v, ok := p.(*analysisPT)
+	if !ok {
+		panic(fmt.Sprintf("core: foreign plaintext %T in analysis", p))
+	}
+	return v
+}
+
+// observe records a freshly produced ciphertext fact: the peak modulus
+// requirement and the output-path consumption.
+func (a *Analysis) observe(c *analysisCT) *analysisCT {
+	need := c.consumed + math.Log2(c.scale) + a.magMarginBits
+	if need > a.peakNeed {
+		a.peakNeed = need
+	}
+	if c.consumed > a.consumedFinal {
+		a.consumedFinal = c.consumed
+	}
+	return c
+}
+
+// state translates a fact into the modulus state a cost model consumes.
+func (a *Analysis) state(c *analysisCT) state {
+	if a.totals == nil {
+		return state{}
+	}
+	if a.scheme == SchemeCKKS {
+		return state{logQ: math.Max(1, a.totals.logQ-c.consumed)}
+	}
+	used := c.consumed / a.rnsPrimeBits
+	return state{r: math.Max(1, a.totals.primes-used)}
+}
+
+func (a *Analysis) charge(cost float64) {
+	if a.totals != nil {
+		a.totalCost += cost
+	}
+}
+
+// --- HISA implementation ---
+
+func (a *Analysis) Encode(m []float64, f float64) hisa.Plaintext {
+	if len(m) > a.slots {
+		panic(fmt.Sprintf("core: %d values exceed %d slots", len(m), a.slots))
+	}
+	return &analysisPT{scale: f}
+}
+
+func (a *Analysis) Decode(hisa.Plaintext) []float64 { return make([]float64, a.slots) }
+
+func (a *Analysis) Encrypt(p hisa.Plaintext) hisa.Ciphertext {
+	return a.observe(&analysisCT{scale: a.pt(p).scale})
+}
+
+func (a *Analysis) Decrypt(c hisa.Ciphertext) hisa.Plaintext {
+	return &analysisPT{scale: a.ct(c).scale}
+}
+
+func (a *Analysis) Copy(c hisa.Ciphertext) hisa.Ciphertext {
+	cc := *a.ct(c)
+	return &cc
+}
+
+func (a *Analysis) Free(any) {}
+
+func (a *Analysis) join(x, y *analysisCT, scale float64) *analysisCT {
+	return a.observe(&analysisCT{scale: scale, consumed: math.Max(x.consumed, y.consumed)})
+}
+
+// requireSameScale catches kernel scale-management bugs during analysis,
+// mirroring the runtime backends' checks.
+func requireSameScale(s1, s2 float64, op string) {
+	if math.Abs(s1-s2) > 1e-6*math.Max(s1, s2) {
+		panic(fmt.Sprintf("core: scale mismatch in %s during analysis: %g vs %g", op, s1, s2))
+	}
+}
+
+func (a *Analysis) Add(c, c2 hisa.Ciphertext) hisa.Ciphertext {
+	x, y := a.ct(c), a.ct(c2)
+	requireSameScale(x.scale, y.scale, "add")
+	a.charge(a.model.Add(a.n, a.state(x)))
+	return a.join(x, y, x.scale)
+}
+
+func (a *Analysis) Sub(c, c2 hisa.Ciphertext) hisa.Ciphertext {
+	x, y := a.ct(c), a.ct(c2)
+	requireSameScale(x.scale, y.scale, "sub")
+	a.charge(a.model.Add(a.n, a.state(x)))
+	return a.join(x, y, x.scale)
+}
+
+func (a *Analysis) AddPlain(c hisa.Ciphertext, p hisa.Plaintext) hisa.Ciphertext {
+	x := a.ct(c)
+	requireSameScale(x.scale, a.pt(p).scale, "addPlain")
+	a.charge(a.model.Add(a.n, a.state(x)))
+	return a.observe(&analysisCT{scale: x.scale, consumed: x.consumed})
+}
+
+func (a *Analysis) SubPlain(c hisa.Ciphertext, p hisa.Plaintext) hisa.Ciphertext {
+	return a.AddPlain(c, p)
+}
+
+func (a *Analysis) AddScalar(c hisa.Ciphertext, x float64) hisa.Ciphertext {
+	cc := a.ct(c)
+	a.charge(a.model.Add(a.n, a.state(cc)))
+	return a.observe(&analysisCT{scale: cc.scale, consumed: cc.consumed})
+}
+
+func (a *Analysis) SubScalar(c hisa.Ciphertext, x float64) hisa.Ciphertext {
+	return a.AddScalar(c, -x)
+}
+
+func (a *Analysis) Mul(c, c2 hisa.Ciphertext) hisa.Ciphertext {
+	x, y := a.ct(c), a.ct(c2)
+	a.charge(a.model.CtMul(a.n, a.state(x)))
+	return a.join(x, y, x.scale*y.scale)
+}
+
+func (a *Analysis) MulPlain(c hisa.Ciphertext, p hisa.Plaintext) hisa.Ciphertext {
+	x, pp := a.ct(c), a.pt(p)
+	a.charge(a.model.PlainMul(a.n, a.state(x)))
+	return a.observe(&analysisCT{scale: x.scale * pp.scale, consumed: x.consumed})
+}
+
+func (a *Analysis) MulScalar(c hisa.Ciphertext, x float64, f float64) hisa.Ciphertext {
+	cc := a.ct(c)
+	a.charge(a.model.ScalarMul(a.n, a.state(cc)))
+	return a.observe(&analysisCT{scale: cc.scale * f, consumed: cc.consumed})
+}
+
+func (a *Analysis) RotLeft(c hisa.Ciphertext, x int) hisa.Ciphertext {
+	cc := a.ct(c)
+	steps := hisa.RotationSteps(x, a.slots, a.rotKey)
+	for _, s := range steps {
+		a.rotations[s]++
+		a.charge(a.model.Rotate(a.n, a.state(cc)))
+	}
+	out := *cc
+	return a.observe(&out)
+}
+
+func (a *Analysis) RotRight(c hisa.Ciphertext, x int) hisa.Ciphertext {
+	return a.RotLeft(c, -x)
+}
+
+// MaxRescale implements each scheme's divisor rule on the dataflow fact.
+func (a *Analysis) MaxRescale(c hisa.Ciphertext, ub *big.Int) *big.Int {
+	if ub.Sign() <= 0 {
+		return big.NewInt(1)
+	}
+	if a.scheme == SchemeCKKS {
+		bits := ub.BitLen() - 1
+		if bits < 1 {
+			return big.NewInt(1)
+		}
+		return new(big.Int).Lsh(big.NewInt(1), uint(bits))
+	}
+	// RNS: the largest product of the next idealized chain primes <= ub.
+	primeBits := int(a.rnsPrimeBits)
+	k := (ub.BitLen() - 1) / primeBits
+	if k < 1 {
+		return big.NewInt(1)
+	}
+	return new(big.Int).Lsh(big.NewInt(1), uint(k*primeBits))
+}
+
+func (a *Analysis) Rescale(c hisa.Ciphertext, x *big.Int) hisa.Ciphertext {
+	cc := a.ct(c)
+	if x.Cmp(big.NewInt(1)) == 0 {
+		out := *cc
+		return &out
+	}
+	bits := float64(x.BitLen() - 1)
+	a.charge(a.model.Rescale(a.n, a.state(cc)))
+	return a.observe(&analysisCT{scale: cc.scale / math.Exp2(bits), consumed: cc.consumed + bits})
+}
+
+func (a *Analysis) Scale(c hisa.Ciphertext) float64 { return a.ct(c).scale }
+
+// --- Results ---
+
+// PeakLogQ returns the modulus requirement discovered by the run: the
+// maximum over all ciphertexts of consumed bits plus live scale plus the
+// magnitude margin.
+func (a *Analysis) PeakLogQ() float64 { return a.peakNeed }
+
+// ConsumedLogQ returns the modulus consumed along the deepest path.
+func (a *Analysis) ConsumedLogQ() float64 { return a.consumedFinal }
+
+// ConsumedPrimes returns the RNS chain primes consumed by rescaling.
+func (a *Analysis) ConsumedPrimes() int {
+	return int(math.Round(a.consumedFinal / a.rnsPrimeBits))
+}
+
+// Rotations returns the distinct rotation steps executed, sorted
+// ascending — the exact key set the encryptor must generate.
+func (a *Analysis) Rotations() []int {
+	out := make([]int, 0, len(a.rotations))
+	for k := range a.rotations {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RotationOps returns the total number of primitive rotations executed
+// (used by the Figure 7 reproduction).
+func (a *Analysis) RotationOps() int {
+	total := 0
+	for _, c := range a.rotations {
+		total += c
+	}
+	return total
+}
+
+// Cost returns the accumulated cost estimate in microseconds (0 unless cost
+// totals were supplied).
+func (a *Analysis) Cost() float64 { return a.totalCost }

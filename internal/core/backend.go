@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"chet/internal/ckks"
+	"chet/internal/hisa"
+	"chet/internal/ring"
+)
+
+// BuildBackend instantiates the runtime backend that realizes a compiled
+// circuit: the HEAAN-style CKKS backend or the real RNS-CKKS scheme, with
+// exactly the encryption parameters and rotation keys the compiler chose.
+// prng may be nil for a cryptographically secure source (RNS only).
+func BuildBackend(comp *Compiled, prng ring.PRNG) (hisa.Backend, error) {
+	best := comp.Best
+	switch comp.Options.Scheme {
+	case SchemeCKKS:
+		var rotSet map[int]bool
+		if comp.Options.PowerOfTwoRotationsOnly {
+			rotSet = powerOfTwoSet(1 << uint(best.LogN-1))
+		} else {
+			rotSet = make(map[int]bool, len(best.Rotations))
+			for _, r := range best.Rotations {
+				rotSet[r] = true
+			}
+		}
+		return hisa.NewSimBackend(hisa.SimParams{
+			LogN:      best.LogN,
+			LogQ:      int(best.LogQ),
+			Rotations: rotSet,
+		}), nil
+	case SchemeRNS:
+		params, err := ckks.NewParameters(ckks.ParametersLiteral{
+			LogN:     best.LogN,
+			LogQ:     best.RNSChainBits,
+			LogP:     best.SpecialBits,
+			LogScale: int(math.Round(math.Log2(comp.Options.Scales.Pc))),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: building RNS parameters: %w", err)
+		}
+		rotations := best.Rotations
+		if comp.Options.PowerOfTwoRotationsOnly {
+			rotations = nil // backend provisions power-of-two defaults
+		}
+		return hisa.NewRNSBackend(hisa.RNSConfig{
+			Params:    params,
+			PRNG:      prng,
+			Rotations: rotations,
+		}), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %v", comp.Options.Scheme)
+	}
+}
+
+func powerOfTwoSet(slots int) map[int]bool {
+	set := map[int]bool{}
+	for p := 1; p < slots; p <<= 1 {
+		set[p] = true
+	}
+	return set
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"chet/internal/circuit"
+	"chet/internal/htc"
+	"chet/internal/tensor"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Scheme is the target FHE scheme.
+	Scheme Scheme
+	// Scales are the four fixed-point scaling factors (use
+	// SelectScales for the profile-guided search).
+	Scales htc.Scales
+	// SecurityBits is the demanded security level (default 128). Zero keeps
+	// the default; a negative value disables the security check entirely,
+	// matching the paper's HEAAN runs with hand-written non-standard
+	// parameters.
+	SecurityBits int
+	// RNSPrimeBits sizes the candidate chain moduli for RNS-CKKS
+	// (default 40).
+	RNSPrimeBits int
+	// MagMarginBits is headroom for message magnitude and noise (default 12).
+	MagMarginBits float64
+	// MinLogN / MaxLogN bound the ring-degree search (defaults 12 / 16).
+	MinLogN, MaxLogN int
+	// Policies restricts the layout search space (default: all four).
+	Policies []htc.LayoutPolicy
+	// CostModel overrides the calibrated default for the scheme.
+	CostModel *CostModel
+	// PowerOfTwoRotationsOnly disables CHET's rotation-keys selection and
+	// models the library-default power-of-two keys (the Figure 7 baseline).
+	PowerOfTwoRotationsOnly bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.SecurityBits == 0 {
+		o.SecurityBits = 128
+	}
+	if o.RNSPrimeBits == 0 {
+		o.RNSPrimeBits = 40
+	}
+	if o.MagMarginBits == 0 {
+		o.MagMarginBits = 12
+	}
+	if o.MinLogN == 0 {
+		o.MinLogN = 12
+	}
+	if o.MaxLogN == 0 {
+		o.MaxLogN = 16
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = append([]htc.LayoutPolicy(nil), htc.AllPolicies...)
+	}
+	if o.Scales == (htc.Scales{}) {
+		// Conservative defaults near the paper's 2^40 search start; the
+		// profile-guided SelectScales shrinks them per circuit.
+		o.Scales = htc.Scales{
+			Pc: math.Exp2(40), Pw: math.Exp2(35), Pu: math.Exp2(35), Pm: math.Exp2(30),
+		}
+	}
+}
+
+// PolicyResult captures the compiler's decisions for one layout policy.
+type PolicyResult struct {
+	Policy htc.LayoutPolicy
+
+	// Encryption parameters.
+	LogN         int
+	LogQ         float64 // total ciphertext modulus bits
+	RNSChainBits []int   // RNS-CKKS chain prime sizes, q_0 first
+	SpecialBits  int     // RNS-CKKS key-switching special prime size
+
+	// Rotation keys the circuit needs (slot amounts, sorted).
+	Rotations []int
+	// RotationOps is the number of primitive rotations executed.
+	RotationOps int
+
+	// EstimatedCost is the cost-model latency estimate (microseconds).
+	EstimatedCost float64
+}
+
+// Compiled is the result of compiling a tensor circuit: the optimized
+// homomorphic tensor circuit description (best layout policy plus the
+// parameters, keys, and scales that realize it) and the per-policy search
+// trace.
+type Compiled struct {
+	Circuit *circuit.Circuit
+	Options Options
+	Best    PolicyResult
+	Trace   []PolicyResult
+}
+
+// Compile runs CHET's compilation pipeline on a tensor circuit: for every
+// candidate data layout it selects encryption parameters with the
+// modulus-consumption analysis, prices the circuit with the scheme cost
+// model, and returns the cheapest policy along with its rotation-key set.
+func Compile(c *circuit.Circuit, opts Options) (*Compiled, error) {
+	opts.fillDefaults()
+	out := &Compiled{Circuit: c, Options: opts}
+	var firstErr error
+	for _, policy := range opts.Policies {
+		res, err := compilePolicy(c, policy, opts)
+		if err != nil {
+			// A policy can be infeasible (e.g. its layout consumes too much
+			// modulus for any secure ring degree) while others still work;
+			// record the failure and keep searching.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("policy %v: %w", policy, err)
+			}
+			continue
+		}
+		out.Trace = append(out.Trace, res)
+	}
+	if len(out.Trace) == 0 {
+		return nil, fmt.Errorf("core: no layout policy compiles: %w", firstErr)
+	}
+	best := out.Trace[0]
+	for _, r := range out.Trace[1:] {
+		if r.EstimatedCost < best.EstimatedCost {
+			best = r
+		}
+	}
+	out.Best = best
+	return out, nil
+}
+
+// runAnalysis executes the circuit under an analysis interpretation,
+// converting kernel panics (layout does not fit, modulus exhausted) into
+// errors so the parameter search can move to the next ring degree.
+func runAnalysis(c *circuit.Circuit, policy htc.LayoutPolicy, a *Analysis, sc htc.Scales) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("analysis aborted: %v", r)
+		}
+	}()
+	plan := htc.PlanFor(c, policy)
+	in := c.Input.OutShape
+	// Encrypting an all-zero image is enough: analysis facts are data-
+	// independent.
+	img := tensor.New(in...)
+	enc := htc.EncryptTensor(a, img, plan, sc)
+	htc.Execute(a, c, enc, policy, sc)
+	return nil
+}
+
+func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (PolicyResult, error) {
+	var rotKey func(int) bool
+	if opts.PowerOfTwoRotationsOnly {
+		rotKey = func(int) bool { return false }
+	}
+
+	var firstErr error
+	for logN := opts.MinLogN; logN <= opts.MaxLogN; logN++ {
+		slots := 1 << uint(logN-1)
+
+		// Pass 1: encryption parameter selection (Section 5.2). The same
+		// run collects the rotation set (Section 5.4).
+		params := NewAnalysis(AnalysisConfig{
+			Scheme:        opts.Scheme,
+			Slots:         slots,
+			RNSPrimeBits:  opts.RNSPrimeBits,
+			MagMarginBits: opts.MagMarginBits,
+			RotKey:        rotKey,
+		})
+		if err := runAnalysis(c, policy, params, opts.Scales); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue // layout may simply not fit this ring degree
+		}
+
+		res := PolicyResult{
+			Policy:      policy,
+			LogN:        logN,
+			LogQ:        math.Ceil(params.PeakLogQ()),
+			Rotations:   params.Rotations(),
+			RotationOps: params.RotationOps(),
+		}
+
+		logQP := res.LogQ
+		costPrimes := 0.0
+		if opts.Scheme == SchemeRNS {
+			consumed := params.ConsumedPrimes()
+			baseBits := int(res.LogQ) - consumed*opts.RNSPrimeBits
+			base := splitBits(baseBits, 60)
+			res.RNSChainBits = base
+			for i := 0; i < consumed; i++ {
+				res.RNSChainBits = append(res.RNSChainBits, opts.RNSPrimeBits)
+			}
+			res.SpecialBits = 60
+			res.LogQ = 0
+			for _, b := range res.RNSChainBits {
+				res.LogQ += float64(b)
+			}
+			logQP = res.LogQ + float64(res.SpecialBits)
+			costPrimes = float64(len(res.RNSChainBits))
+		}
+
+		if opts.SecurityBits > 0 && float64(MaxLogQ(logN, opts.SecurityBits)) < logQP {
+			continue // not secure at this ring degree; grow N
+		}
+
+		// Pass 2: cost estimation (Section 5.3) at the chosen parameters.
+		cost := NewAnalysis(AnalysisConfig{
+			Scheme:        opts.Scheme,
+			Slots:         slots,
+			RNSPrimeBits:  opts.RNSPrimeBits,
+			MagMarginBits: opts.MagMarginBits,
+			RotKey:        rotKey,
+			CostLogQ:      res.LogQ,
+			CostPrimes:    costPrimes,
+			Model:         opts.CostModel,
+		})
+		if err := runAnalysis(c, policy, cost, opts.Scales); err != nil {
+			return PolicyResult{}, err
+		}
+		res.EstimatedCost = cost.Cost()
+		return res, nil
+	}
+	if firstErr != nil {
+		return PolicyResult{}, fmt.Errorf("no ring degree in [2^%d, 2^%d] works: %w",
+			opts.MinLogN, opts.MaxLogN, firstErr)
+	}
+	return PolicyResult{}, fmt.Errorf("no ring degree in [2^%d, 2^%d] meets %d-bit security",
+		opts.MinLogN, opts.MaxLogN, opts.SecurityBits)
+}
+
+// splitBits splits a bit budget into primes of at most maxBits each
+// (at least 20 bits apiece).
+func splitBits(total, maxBits int) []int {
+	if total <= 0 {
+		return []int{30} // minimal base prime
+	}
+	n := (total + maxBits - 1) / maxBits
+	out := make([]int, n)
+	for i := range out {
+		out[i] = total / n
+	}
+	for i := 0; i < total%n; i++ {
+		out[i]++
+	}
+	for i, b := range out {
+		if b < 20 {
+			out[i] = 20
+		}
+	}
+	return out
+}

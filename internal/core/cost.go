@@ -1,0 +1,116 @@
+package core
+
+import "math"
+
+// Scheme selects the compilation target.
+type Scheme int
+
+// The two FHE schemes CHET targets.
+const (
+	// SchemeCKKS is the CKKS scheme of HEAAN v1.0 (power-of-two modulus,
+	// big-integer arithmetic).
+	SchemeCKKS Scheme = iota
+	// SchemeRNS is the RNS-CKKS scheme of SEAL v3.1 (prime modulus chain).
+	SchemeRNS
+)
+
+func (s Scheme) String() string {
+	if s == SchemeCKKS {
+		return "CKKS(HEAAN)"
+	}
+	return "RNS-CKKS(SEAL)"
+}
+
+// CostModel estimates the latency of HISA primitives in microseconds,
+// following the asymptotic complexities of Table 1 with constants tuned by
+// microbenchmarking (Section 5.3: "a combination of theoretical and
+// experimental analysis"). All methods take the ring degree N and the
+// current modulus state: logQ bits for CKKS, prime count r for RNS-CKKS.
+type CostModel struct {
+	Scheme Scheme
+
+	// Constants are multipliers on the asymptotic terms; the defaults were
+	// calibrated against this repository's own backends (cost unit: us).
+	CAdd, CScalarMul, CPlainMul, CCtMul, CRotate, CRescale float64
+}
+
+// DefaultCostModel returns calibrated constants for a scheme.
+func DefaultCostModel(s Scheme) CostModel {
+	if s == SchemeCKKS {
+		// HEAAN-style big-integer arithmetic: M(Q) ~ logQ^1.58.
+		return CostModel{
+			Scheme: s,
+			CAdd:   6e-4, CScalarMul: 1.2e-5, CPlainMul: 1.6e-6,
+			CCtMul: 3.2e-6, CRotate: 3.2e-6, CRescale: 1.2e-5,
+		}
+	}
+	return CostModel{
+		Scheme: s,
+		CAdd:   9e-4, CScalarMul: 1.4e-3, CPlainMul: 1.4e-3,
+		CCtMul: 4.5e-4, CRotate: 4.5e-4, CRescale: 2.2e-4,
+	}
+}
+
+// mulComplexity is M(Q), the big-integer multiplication complexity used by
+// the CKKS column of Table 1.
+func mulComplexity(logQ float64) float64 {
+	if logQ < 1 {
+		logQ = 1
+	}
+	return math.Pow(logQ, 1.58)
+}
+
+// state carries the modulus position a cost estimate depends on.
+type state struct {
+	logQ float64 // CKKS: remaining modulus bits
+	r    float64 // RNS: remaining prime count
+}
+
+// Add returns the cost of a ciphertext addition.
+func (m CostModel) Add(n float64, st state) float64 {
+	if m.Scheme == SchemeCKKS {
+		return m.CAdd * n * st.logQ
+	}
+	return m.CAdd * n * st.r
+}
+
+// ScalarMul returns the cost of a scalar multiplication.
+func (m CostModel) ScalarMul(n float64, st state) float64 {
+	if m.Scheme == SchemeCKKS {
+		return m.CScalarMul * n * mulComplexity(st.logQ)
+	}
+	return m.CScalarMul * n * st.r
+}
+
+// PlainMul returns the cost of a plaintext (vector) multiplication.
+func (m CostModel) PlainMul(n float64, st state) float64 {
+	if m.Scheme == SchemeCKKS {
+		return m.CPlainMul * n * math.Log2(n) * mulComplexity(st.logQ)
+	}
+	return m.CPlainMul * n * st.r
+}
+
+// CtMul returns the cost of a ciphertext-ciphertext multiplication
+// (including relinearization).
+func (m CostModel) CtMul(n float64, st state) float64 {
+	if m.Scheme == SchemeCKKS {
+		return m.CCtMul * n * math.Log2(n) * mulComplexity(st.logQ)
+	}
+	return m.CCtMul * n * math.Log2(n) * st.r * st.r
+}
+
+// Rotate returns the cost of one primitive rotation (one key switch).
+func (m CostModel) Rotate(n float64, st state) float64 {
+	if m.Scheme == SchemeCKKS {
+		return m.CRotate * n * math.Log2(n) * mulComplexity(st.logQ)
+	}
+	return m.CRotate * n * math.Log2(n) * st.r * st.r
+}
+
+// Rescale returns the cost of a rescaling operation.
+func (m CostModel) Rescale(n float64, st state) float64 {
+	if m.Scheme == SchemeCKKS {
+		return m.CRescale * n * mulComplexity(st.logQ)
+	}
+	return m.CRescale * n * math.Log2(n) * st.r
+}

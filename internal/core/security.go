@@ -1,0 +1,62 @@
+// Package core implements the CHET compiler: the dataflow
+// analysis-and-transformation framework that executes homomorphic tensor
+// circuits under analysis interpretations of the HISA (Section 5.1), and the
+// four passes built on it — encryption parameter selection (5.2), data
+// layout selection with a calibrated cost model (5.3), rotation keys
+// selection (5.4), and profile-guided fixed-point scale selection (5.5).
+package core
+
+import "fmt"
+
+// securityRow gives the maximum total modulus bits (log2 of the coefficient
+// modulus, including any key-switching special modulus) admissible for a
+// ring degree at each security level, per the Homomorphic Encryption
+// Standard table for uniform ternary secrets cited by the paper [12].
+type securityRow struct {
+	logN                      int
+	bits128, bits192, bits256 int
+}
+
+var securityTable = []securityRow{
+	{10, 27, 19, 14},
+	{11, 54, 37, 29},
+	{12, 109, 75, 58},
+	{13, 218, 152, 118},
+	{14, 438, 305, 237},
+	{15, 881, 611, 476},
+	// LogN 16 is an extrapolation (not part of the published table); it
+	// follows the same doubling trend and matches common library defaults.
+	{16, 1772, 1229, 955},
+}
+
+// MaxLogQ returns the largest admissible total modulus bit count for ring
+// degree 2^logN at the given security level (128, 192, or 256 bits).
+// It returns 0 for unsupported inputs.
+func MaxLogQ(logN, securityBits int) int {
+	for _, row := range securityTable {
+		if row.logN != logN {
+			continue
+		}
+		switch securityBits {
+		case 128:
+			return row.bits128
+		case 192:
+			return row.bits192
+		case 256:
+			return row.bits256
+		}
+	}
+	return 0
+}
+
+// MinLogN returns the smallest supported logN whose modulus budget at the
+// given security level covers logQP total modulus bits.
+func MinLogN(logQP float64, securityBits int) (int, error) {
+	for _, row := range securityTable {
+		if float64(MaxLogQ(row.logN, securityBits)) >= logQP {
+			return row.logN, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no supported ring degree provides %d-bit security for logQP=%.0f",
+		securityBits, logQP)
+}

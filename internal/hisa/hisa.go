@@ -1,0 +1,101 @@
+// Package hisa defines the Homomorphic Instruction Set Architecture of the
+// CHET compiler (Table 2 of the paper): a scheme-agnostic interface between
+// the homomorphic tensor runtime and an underlying FHE scheme. Three
+// executable backends are provided — Ref (a plaintext functional oracle),
+// Sim (HEAAN-style CKKS with a power-of-two modulus, executed as a
+// high-fidelity mock scheme), and RNS (the real RNS-CKKS lattice scheme of
+// internal/ckks). The CHET compiler adds further backends that reinterpret
+// ciphertexts as dataflow facts (modulus consumption, cost, rotation sets).
+package hisa
+
+import "math/big"
+
+// Ciphertext is an opaque handle to an encrypted vector. Its concrete type
+// is owned by the backend: this is the paper's reinterpretable "ct"
+// datatype.
+type Ciphertext any
+
+// Plaintext is an opaque handle to an encoded (unencrypted) vector.
+type Plaintext any
+
+// Backend implements the HISA primitives. All operations are functional
+// (inputs are never mutated) so the same kernel source can be executed under
+// value, cryptographic, and analysis interpretations.
+type Backend interface {
+	// Name identifies the backend ("ref", "ckks-sim", "rns-ckks", ...).
+	Name() string
+
+	// Slots returns the SIMD width s (N/2 for CKKS-family schemes).
+	Slots() int
+
+	// Encrypt encrypts plaintext p into a ciphertext.
+	Encrypt(p Plaintext) Ciphertext
+	// Decrypt decrypts ciphertext c into a plaintext.
+	Decrypt(c Ciphertext) Plaintext
+	// Copy makes an independent copy of ciphertext c.
+	Copy(c Ciphertext) Ciphertext
+	// Free releases any resources associated with the handle.
+	Free(h any)
+
+	// Encode encodes a vector of reals (len <= Slots, zero-padded) into a
+	// plaintext with fixed-point scaling factor f.
+	Encode(m []float64, f float64) Plaintext
+	// Decode decodes a plaintext back into a vector of reals.
+	Decode(p Plaintext) []float64
+
+	// RotLeft rotates ciphertext c left by x slots; RotRight by x right.
+	RotLeft(c Ciphertext, x int) Ciphertext
+	RotRight(c Ciphertext, x int) Ciphertext
+
+	Add(c, c2 Ciphertext) Ciphertext
+	AddPlain(c Ciphertext, p Plaintext) Ciphertext
+	AddScalar(c Ciphertext, x float64) Ciphertext
+
+	Sub(c, c2 Ciphertext) Ciphertext
+	SubPlain(c Ciphertext, p Plaintext) Ciphertext
+	SubScalar(c Ciphertext, x float64) Ciphertext
+
+	Mul(c, c2 Ciphertext) Ciphertext
+	MulPlain(c Ciphertext, p Plaintext) Ciphertext
+	// MulScalar multiplies every slot by x, encoded at scale f.
+	MulScalar(c Ciphertext, x float64, f float64) Ciphertext
+
+	// Rescale rescales c by the divisor x, which must have been obtained
+	// from MaxRescale. Undefined otherwise.
+	Rescale(c Ciphertext, x *big.Int) Ciphertext
+	// MaxRescale returns the largest divisor d <= ub that c can be rescaled
+	// by (1 if none).
+	MaxRescale(c Ciphertext, ub *big.Int) *big.Int
+
+	// Scale returns the current fixed-point scale of c.
+	Scale(c Ciphertext) float64
+}
+
+// RotationSteps decomposes a left rotation by x (mod slots) into the
+// primitive rotations a backend will actually execute given the provisioned
+// rotation keys. With the exact key available the result is {x}; otherwise
+// x is decomposed into the power-of-two rotations that FHE libraries
+// provision by default (the behaviour CHET's rotation-keys selection pass
+// improves on). Rotation by 0 yields no steps.
+func RotationSteps(x, slots int, available func(int) bool) []int {
+	x = ((x % slots) + slots) % slots
+	if x == 0 {
+		return nil
+	}
+	if available == nil || available(x) {
+		return []int{x}
+	}
+	var steps []int
+	for bit := 1; bit < slots; bit <<= 1 {
+		if x&bit != 0 {
+			steps = append(steps, bit)
+		}
+	}
+	return steps
+}
+
+// SubScalarVia expresses subtraction of a scalar through AddScalar, for
+// backends where that is the natural implementation.
+func SubScalarVia(b Backend, c Ciphertext, x float64) Ciphertext {
+	return b.AddScalar(c, -x)
+}

@@ -1,0 +1,148 @@
+package hisa
+
+import "math/big"
+
+// OpCounts tallies HISA instruction executions. Rotations are counted as
+// executed primitive steps by the wrapped backend's own decomposition, so a
+// backend without the exact key reports the higher power-of-two step count.
+type OpCounts struct {
+	Encrypt, Decrypt           int
+	Encode, Decode             int
+	Rotations                  int
+	Add, AddPlain, AddScalar   int
+	Sub, SubPlain, SubScalar   int
+	Mul, MulPlain, MulScalar   int
+	Rescale, MaxRescaleQueries int
+}
+
+// Total returns the total number of homomorphic operations (excluding
+// encode/decode and MaxRescale queries, which are metadata-only).
+func (o OpCounts) Total() int {
+	return o.Encrypt + o.Decrypt + o.Rotations +
+		o.Add + o.AddPlain + o.AddScalar +
+		o.Sub + o.SubPlain + o.SubScalar +
+		o.Mul + o.MulPlain + o.MulScalar + o.Rescale
+}
+
+// Meter wraps a Backend and counts the instructions that flow through it.
+// It implements Backend, so kernels and the compiler are oblivious to it.
+type Meter struct {
+	Inner  Backend
+	Counts OpCounts
+
+	// rotationSteps mirrors the step decomposition of the inner backend so
+	// multi-step rotations are counted faithfully.
+	rotationStepsOf func(x int) int
+}
+
+// NewMeter wraps inner. stepsOf may be nil, in which case each RotLeft or
+// RotRight call counts as one rotation.
+func NewMeter(inner Backend, stepsOf func(x int) int) *Meter {
+	return &Meter{Inner: inner, rotationStepsOf: stepsOf}
+}
+
+func (m *Meter) Name() string { return m.Inner.Name() + "+meter" }
+func (m *Meter) Slots() int   { return m.Inner.Slots() }
+
+func (m *Meter) Encrypt(p Plaintext) Ciphertext {
+	m.Counts.Encrypt++
+	return m.Inner.Encrypt(p)
+}
+
+func (m *Meter) Decrypt(c Ciphertext) Plaintext {
+	m.Counts.Decrypt++
+	return m.Inner.Decrypt(c)
+}
+
+func (m *Meter) Copy(c Ciphertext) Ciphertext { return m.Inner.Copy(c) }
+func (m *Meter) Free(h any)                   { m.Inner.Free(h) }
+
+func (m *Meter) Encode(v []float64, f float64) Plaintext {
+	m.Counts.Encode++
+	return m.Inner.Encode(v, f)
+}
+
+func (m *Meter) Decode(p Plaintext) []float64 {
+	m.Counts.Decode++
+	return m.Inner.Decode(p)
+}
+
+func (m *Meter) countRotation(x int) {
+	if x%m.Slots() == 0 {
+		return
+	}
+	if m.rotationStepsOf != nil {
+		m.Counts.Rotations += m.rotationStepsOf(x)
+	} else {
+		m.Counts.Rotations++
+	}
+}
+
+func (m *Meter) RotLeft(c Ciphertext, x int) Ciphertext {
+	m.countRotation(x)
+	return m.Inner.RotLeft(c, x)
+}
+
+func (m *Meter) RotRight(c Ciphertext, x int) Ciphertext {
+	m.countRotation(-x)
+	return m.Inner.RotRight(c, x)
+}
+
+func (m *Meter) Add(c, c2 Ciphertext) Ciphertext {
+	m.Counts.Add++
+	return m.Inner.Add(c, c2)
+}
+
+func (m *Meter) AddPlain(c Ciphertext, p Plaintext) Ciphertext {
+	m.Counts.AddPlain++
+	return m.Inner.AddPlain(c, p)
+}
+
+func (m *Meter) AddScalar(c Ciphertext, x float64) Ciphertext {
+	m.Counts.AddScalar++
+	return m.Inner.AddScalar(c, x)
+}
+
+func (m *Meter) Sub(c, c2 Ciphertext) Ciphertext {
+	m.Counts.Sub++
+	return m.Inner.Sub(c, c2)
+}
+
+func (m *Meter) SubPlain(c Ciphertext, p Plaintext) Ciphertext {
+	m.Counts.SubPlain++
+	return m.Inner.SubPlain(c, p)
+}
+
+func (m *Meter) SubScalar(c Ciphertext, x float64) Ciphertext {
+	m.Counts.SubScalar++
+	return m.Inner.SubScalar(c, x)
+}
+
+func (m *Meter) Mul(c, c2 Ciphertext) Ciphertext {
+	m.Counts.Mul++
+	return m.Inner.Mul(c, c2)
+}
+
+func (m *Meter) MulPlain(c Ciphertext, p Plaintext) Ciphertext {
+	m.Counts.MulPlain++
+	return m.Inner.MulPlain(c, p)
+}
+
+func (m *Meter) MulScalar(c Ciphertext, x float64, f float64) Ciphertext {
+	m.Counts.MulScalar++
+	return m.Inner.MulScalar(c, x, f)
+}
+
+func (m *Meter) Rescale(c Ciphertext, x *big.Int) Ciphertext {
+	if x.Cmp(big.NewInt(1)) != 0 {
+		m.Counts.Rescale++
+	}
+	return m.Inner.Rescale(c, x)
+}
+
+func (m *Meter) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
+	m.Counts.MaxRescaleQueries++
+	return m.Inner.MaxRescale(c, ub)
+}
+
+func (m *Meter) Scale(c Ciphertext) float64 { return m.Inner.Scale(c) }

@@ -1,0 +1,188 @@
+package hisa
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// RefBackend executes HISA instructions on plaintext vectors. It is the
+// functional oracle: kernels validated against it are known to compute the
+// right values, independent of any cryptographic concern. Scale bookkeeping
+// mirrors a rescaling scheme with arbitrary divisors so the kernels'
+// rescale protocol is still exercised.
+type RefBackend struct {
+	slots int
+}
+
+// NewRefBackend creates a reference backend with the given SIMD width.
+func NewRefBackend(slots int) *RefBackend {
+	if slots <= 0 || slots&(slots-1) != 0 {
+		panic(fmt.Sprintf("hisa: slot count %d must be a positive power of two", slots))
+	}
+	return &RefBackend{slots: slots}
+}
+
+type refCT struct {
+	vals  []float64
+	scale float64
+}
+
+type refPT struct {
+	vals  []float64
+	scale float64
+}
+
+func (b *RefBackend) Name() string { return "ref" }
+func (b *RefBackend) Slots() int   { return b.slots }
+
+func (b *RefBackend) ct(c Ciphertext) *refCT {
+	v, ok := c.(*refCT)
+	if !ok {
+		panic(fmt.Sprintf("hisa: foreign ciphertext %T passed to ref backend", c))
+	}
+	return v
+}
+
+func (b *RefBackend) pt(p Plaintext) *refPT {
+	v, ok := p.(*refPT)
+	if !ok {
+		panic(fmt.Sprintf("hisa: foreign plaintext %T passed to ref backend", p))
+	}
+	return v
+}
+
+func (b *RefBackend) Encode(m []float64, f float64) Plaintext {
+	if len(m) > b.slots {
+		panic(fmt.Sprintf("hisa: %d values exceed %d slots", len(m), b.slots))
+	}
+	vals := make([]float64, b.slots)
+	copy(vals, m)
+	return &refPT{vals: vals, scale: f}
+}
+
+func (b *RefBackend) Decode(p Plaintext) []float64 {
+	return append([]float64(nil), b.pt(p).vals...)
+}
+
+func (b *RefBackend) Encrypt(p Plaintext) Ciphertext {
+	pp := b.pt(p)
+	return &refCT{vals: append([]float64(nil), pp.vals...), scale: pp.scale}
+}
+
+func (b *RefBackend) Decrypt(c Ciphertext) Plaintext {
+	cc := b.ct(c)
+	return &refPT{vals: append([]float64(nil), cc.vals...), scale: cc.scale}
+}
+
+func (b *RefBackend) Copy(c Ciphertext) Ciphertext {
+	cc := b.ct(c)
+	return &refCT{vals: append([]float64(nil), cc.vals...), scale: cc.scale}
+}
+
+func (b *RefBackend) Free(any) {}
+
+func (b *RefBackend) RotLeft(c Ciphertext, x int) Ciphertext {
+	cc := b.ct(c)
+	n := b.slots
+	x = ((x % n) + n) % n
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = cc.vals[(i+x)%n]
+	}
+	return &refCT{vals: vals, scale: cc.scale}
+}
+
+func (b *RefBackend) RotRight(c Ciphertext, x int) Ciphertext { return b.RotLeft(c, -x) }
+
+func (b *RefBackend) zipCT(c, c2 Ciphertext, op func(a, b float64) float64) Ciphertext {
+	x, y := b.ct(c), b.ct(c2)
+	vals := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = op(x.vals[i], y.vals[i])
+	}
+	return &refCT{vals: vals, scale: x.scale}
+}
+
+func (b *RefBackend) Add(c, c2 Ciphertext) Ciphertext {
+	return b.zipCT(c, c2, func(a, bb float64) float64 { return a + bb })
+}
+
+func (b *RefBackend) Sub(c, c2 Ciphertext) Ciphertext {
+	return b.zipCT(c, c2, func(a, bb float64) float64 { return a - bb })
+}
+
+func (b *RefBackend) Mul(c, c2 Ciphertext) Ciphertext {
+	x, y := b.ct(c), b.ct(c2)
+	vals := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = x.vals[i] * y.vals[i]
+	}
+	return &refCT{vals: vals, scale: x.scale * y.scale}
+}
+
+func (b *RefBackend) AddPlain(c Ciphertext, p Plaintext) Ciphertext {
+	x, y := b.ct(c), b.pt(p)
+	vals := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = x.vals[i] + y.vals[i]
+	}
+	return &refCT{vals: vals, scale: x.scale}
+}
+
+func (b *RefBackend) SubPlain(c Ciphertext, p Plaintext) Ciphertext {
+	x, y := b.ct(c), b.pt(p)
+	vals := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = x.vals[i] - y.vals[i]
+	}
+	return &refCT{vals: vals, scale: x.scale}
+}
+
+func (b *RefBackend) MulPlain(c Ciphertext, p Plaintext) Ciphertext {
+	x, y := b.ct(c), b.pt(p)
+	vals := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = x.vals[i] * y.vals[i]
+	}
+	return &refCT{vals: vals, scale: x.scale * y.scale}
+}
+
+func (b *RefBackend) AddScalar(c Ciphertext, x float64) Ciphertext {
+	cc := b.ct(c)
+	vals := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = cc.vals[i] + x
+	}
+	return &refCT{vals: vals, scale: cc.scale}
+}
+
+func (b *RefBackend) SubScalar(c Ciphertext, x float64) Ciphertext {
+	return b.AddScalar(c, -x)
+}
+
+func (b *RefBackend) MulScalar(c Ciphertext, x float64, f float64) Ciphertext {
+	cc := b.ct(c)
+	vals := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = cc.vals[i] * x
+	}
+	return &refCT{vals: vals, scale: cc.scale * f}
+}
+
+func (b *RefBackend) Rescale(c Ciphertext, x *big.Int) Ciphertext {
+	cc := b.ct(c)
+	d, _ := new(big.Float).SetInt(x).Float64()
+	return &refCT{vals: append([]float64(nil), cc.vals...), scale: cc.scale / d}
+}
+
+func (b *RefBackend) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
+	if ub.Sign() <= 0 {
+		return big.NewInt(1)
+	}
+	// Mirror the CKKS restriction: divisors are powers of two.
+	d := new(big.Int).Set(ub)
+	bits := d.BitLen() - 1
+	return new(big.Int).Lsh(big.NewInt(1), uint(bits))
+}
+
+func (b *RefBackend) Scale(c Ciphertext) float64 { return b.ct(c).scale }

@@ -1,0 +1,267 @@
+package hisa
+
+import (
+	"fmt"
+	"math/big"
+
+	"chet/internal/ckks"
+	"chet/internal/ring"
+)
+
+// RNSConfig configures the real RNS-CKKS backend.
+type RNSConfig struct {
+	Params *ckks.Parameters
+	// PRNG supplies key-generation and encryption randomness; nil selects a
+	// cryptographically secure source.
+	PRNG ring.PRNG
+	// Rotations is the set of provisioned single-step rotation keys (as
+	// produced by CHET's rotation-keys selection pass). nil provisions the
+	// power-of-two defaults the paper compares against.
+	Rotations []int
+}
+
+// RNSBackend executes HISA instructions with real lattice cryptography: the
+// RNS-CKKS scheme of internal/ckks (the scheme of SEAL v3.1).
+type RNSBackend struct {
+	params      *ckks.Parameters
+	encoder     *ckks.Encoder
+	encryptor   *ckks.Encryptor
+	decryptor   *ckks.Decryptor // nil on evaluation-only (server) instances
+	evaluator   *ckks.Evaluator
+	provisioned map[int]bool
+
+	pk   *ckks.PublicKey
+	rlk  *ckks.RelinearizationKey
+	rtks *ckks.RotationKeySet
+}
+
+// NewRNSBackend generates all keys and returns a ready backend.
+func NewRNSBackend(cfg RNSConfig) *RNSBackend {
+	params := cfg.Params
+	prng := cfg.PRNG
+	if prng == nil {
+		prng = ring.NewCryptoPRNG()
+	}
+	kgen := ckks.NewKeyGenerator(params, prng)
+	sk := kgen.GenSecretKey()
+	pk := kgen.GenPublicKey(sk)
+	rlk := kgen.GenRelinearizationKey(sk)
+
+	rotations := cfg.Rotations
+	if rotations == nil {
+		for p := 1; p < params.Slots(); p <<= 1 {
+			rotations = append(rotations, p)
+		}
+	}
+	provisioned := make(map[int]bool, len(rotations))
+	slots := params.Slots()
+	normalized := make([]int, 0, len(rotations))
+	for _, k := range rotations {
+		k = ((k % slots) + slots) % slots
+		if k == 0 || provisioned[k] {
+			continue
+		}
+		provisioned[k] = true
+		normalized = append(normalized, k)
+	}
+	rtks := kgen.GenRotationKeys(sk, normalized, true)
+
+	return &RNSBackend{
+		params:      params,
+		encoder:     ckks.NewEncoder(params),
+		encryptor:   ckks.NewEncryptor(params, pk, prng),
+		decryptor:   ckks.NewDecryptor(params, sk),
+		evaluator:   ckks.NewEvaluator(params, rlk, rtks),
+		provisioned: provisioned,
+		pk:          pk,
+		rlk:         rlk,
+		rtks:        rtks,
+	}
+}
+
+// RNSPublicKeys is the public material a client ships to the evaluation
+// server (Figure 3 of the paper): encryption key, relinearization key,
+// rotation keys, and the rotation amounts they realize.
+type RNSPublicKeys struct {
+	PK        *ckks.PublicKey
+	RLK       *ckks.RelinearizationKey
+	RTKS      *ckks.RotationKeySet
+	Rotations []int
+}
+
+// PublicKeys exports this backend's public key material for transfer to an
+// evaluation-only server.
+func (b *RNSBackend) PublicKeys() RNSPublicKeys {
+	rotations := make([]int, 0, len(b.provisioned))
+	for k := range b.provisioned {
+		rotations = append(rotations, k)
+	}
+	return RNSPublicKeys{PK: b.pk, RLK: b.rlk, RTKS: b.rtks, Rotations: rotations}
+}
+
+// NewRNSBackendFromKeys builds an evaluation-only backend from received
+// public key material: it can encrypt and evaluate but holds no secret key,
+// so Decrypt panics — exactly the capability set of the untrusted server.
+func NewRNSBackendFromKeys(params *ckks.Parameters, keys RNSPublicKeys, prng ring.PRNG) *RNSBackend {
+	if prng == nil {
+		prng = ring.NewCryptoPRNG()
+	}
+	provisioned := make(map[int]bool, len(keys.Rotations))
+	slots := params.Slots()
+	for _, k := range keys.Rotations {
+		k = ((k % slots) + slots) % slots
+		if k != 0 {
+			provisioned[k] = true
+		}
+	}
+	return &RNSBackend{
+		params:      params,
+		encoder:     ckks.NewEncoder(params),
+		encryptor:   ckks.NewEncryptor(params, keys.PK, prng),
+		decryptor:   nil,
+		evaluator:   ckks.NewEvaluator(params, keys.RLK, keys.RTKS),
+		provisioned: provisioned,
+		pk:          keys.PK,
+		rlk:         keys.RLK,
+		rtks:        keys.RTKS,
+	}
+}
+
+func (b *RNSBackend) Name() string { return "rns-ckks" }
+func (b *RNSBackend) Slots() int   { return b.params.Slots() }
+
+// Params exposes the parameter set (for harnesses and tests).
+func (b *RNSBackend) Params() *ckks.Parameters { return b.params }
+
+// ProvisionedRotations reports how many single-step rotation keys exist.
+func (b *RNSBackend) ProvisionedRotations() int { return len(b.provisioned) }
+
+func (b *RNSBackend) ct(c Ciphertext) *ckks.Ciphertext {
+	v, ok := c.(*ckks.Ciphertext)
+	if !ok {
+		panic(fmt.Sprintf("hisa: foreign ciphertext %T passed to rns backend", c))
+	}
+	return v
+}
+
+func (b *RNSBackend) pt(p Plaintext) *ckks.Plaintext {
+	v, ok := p.(*ckks.Plaintext)
+	if !ok {
+		panic(fmt.Sprintf("hisa: foreign plaintext %T passed to rns backend", p))
+	}
+	return v
+}
+
+func (b *RNSBackend) Encode(m []float64, f float64) Plaintext {
+	return b.encoder.Encode(m, f, b.params.MaxLevel())
+}
+
+func (b *RNSBackend) Decode(p Plaintext) []float64 {
+	return b.encoder.Decode(b.pt(p))
+}
+
+func (b *RNSBackend) Encrypt(p Plaintext) Ciphertext {
+	return b.encryptor.Encrypt(b.pt(p))
+}
+
+func (b *RNSBackend) Decrypt(c Ciphertext) Plaintext {
+	if b.decryptor == nil {
+		panic("hisa: this backend holds no secret key (evaluation-only server instance)")
+	}
+	return b.decryptor.Decrypt(b.ct(c))
+}
+
+func (b *RNSBackend) Copy(c Ciphertext) Ciphertext { return b.ct(c).CopyNew() }
+
+func (b *RNSBackend) Free(any) {}
+
+func (b *RNSBackend) RotLeft(c Ciphertext, x int) Ciphertext {
+	cc := b.ct(c)
+	steps := RotationSteps(x, b.Slots(), func(k int) bool { return b.provisioned[k] })
+	out := cc
+	for _, s := range steps {
+		out = b.evaluator.RotateLeft(out, s)
+	}
+	if out == cc {
+		out = cc.CopyNew()
+	}
+	return out
+}
+
+func (b *RNSBackend) RotRight(c Ciphertext, x int) Ciphertext {
+	return b.RotLeft(c, -x)
+}
+
+func (b *RNSBackend) Add(c, c2 Ciphertext) Ciphertext { return b.evaluator.Add(b.ct(c), b.ct(c2)) }
+func (b *RNSBackend) Sub(c, c2 Ciphertext) Ciphertext { return b.evaluator.Sub(b.ct(c), b.ct(c2)) }
+func (b *RNSBackend) Mul(c, c2 Ciphertext) Ciphertext { return b.evaluator.Mul(b.ct(c), b.ct(c2)) }
+
+func (b *RNSBackend) AddPlain(c Ciphertext, p Plaintext) Ciphertext {
+	return b.evaluator.AddPlain(b.ct(c), b.pt(p))
+}
+
+func (b *RNSBackend) SubPlain(c Ciphertext, p Plaintext) Ciphertext {
+	return b.evaluator.SubPlain(b.ct(c), b.pt(p))
+}
+
+func (b *RNSBackend) MulPlain(c Ciphertext, p Plaintext) Ciphertext {
+	return b.evaluator.MulPlain(b.ct(c), b.pt(p))
+}
+
+func (b *RNSBackend) AddScalar(c Ciphertext, x float64) Ciphertext {
+	return b.evaluator.AddScalar(b.ct(c), x)
+}
+
+func (b *RNSBackend) SubScalar(c Ciphertext, x float64) Ciphertext {
+	return b.evaluator.AddScalar(b.ct(c), -x)
+}
+
+func (b *RNSBackend) MulScalar(c Ciphertext, x float64, f float64) Ciphertext {
+	return b.evaluator.MulScalar(b.ct(c), x, f)
+}
+
+// MaxRescale returns the product of the next chain primes (top down) that
+// fits under ub — the RNS-CKKS divisor rule.
+func (b *RNSBackend) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
+	cc := b.ct(c)
+	prod := big.NewInt(1)
+	next := new(big.Int)
+	for lvl := cc.Level(); lvl >= 1; lvl-- {
+		next.Mul(prod, new(big.Int).SetUint64(b.params.Qi(lvl)))
+		if next.Cmp(ub) > 0 {
+			break
+		}
+		prod.Set(next)
+	}
+	return prod
+}
+
+// Rescale drops as many levels as the divisor covers. The divisor must be a
+// product of the ciphertext's top chain primes, i.e. a value previously
+// returned by MaxRescale.
+func (b *RNSBackend) Rescale(c Ciphertext, x *big.Int) Ciphertext {
+	cc := b.ct(c)
+	if x.Cmp(big.NewInt(1)) == 0 {
+		return cc.CopyNew()
+	}
+	prod := big.NewInt(1)
+	drops := 0
+	for lvl := cc.Level(); lvl >= 1; lvl-- {
+		prod.Mul(prod, new(big.Int).SetUint64(b.params.Qi(lvl)))
+		drops++
+		if prod.Cmp(x) == 0 {
+			out := cc.CopyNew()
+			b.evaluator.RescaleMany(out, drops)
+			return out
+		}
+		if prod.Cmp(x) > 0 {
+			break
+		}
+	}
+	panic(fmt.Sprintf("hisa: rescale divisor %v is not a top-prime product at level %d", x, cc.Level()))
+}
+
+func (b *RNSBackend) Scale(c Ciphertext) float64 { return b.ct(c).Scale }
+
+// LevelOf exposes the ciphertext level (for tests and harnesses).
+func (b *RNSBackend) LevelOf(c Ciphertext) int { return b.ct(c).Level() }

@@ -1,0 +1,430 @@
+package hisa
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"chet/internal/ring"
+)
+
+// SimParams configures the HEAAN-style CKKS mock backend.
+type SimParams struct {
+	LogN int // ring degree 2^LogN; slots are N/2
+	LogQ int // total ciphertext modulus bits (power-of-two modulus)
+	// Rotations optionally restricts single-step rotations to this set;
+	// nil means every rotation has a key (the rotation-keys pass decides).
+	Rotations map[int]bool
+	// Seed makes the injected approximation noise reproducible.
+	Seed uint64
+	// NoNoise suppresses noise injection at decryption while still tracking
+	// the noise estimate; used by the profile-guided scale search, which
+	// checks the deterministic value plus a 6-sigma bound instead of
+	// sampling.
+	NoNoise bool
+}
+
+// SimBackend realizes the CKKS scheme of HEAAN v1.0 as a high-fidelity mock:
+// slot values are computed exactly while scale, power-of-two modulus
+// consumption, and approximation noise are tracked with the scheme's real
+// bookkeeping rules. Decryption injects the accumulated Gaussian noise, so
+// precision experiments (and CHET's profile-guided scale selection) observe
+// CKKS-like behaviour. See DESIGN.md for the substitution rationale.
+type SimBackend struct {
+	params SimParams
+	slots  int
+	prng   ring.PRNG
+
+	// sigma is the error-distribution parameter of the mimicked scheme.
+	sigma float64
+}
+
+// NewSimBackend creates the mock HEAAN backend.
+func NewSimBackend(params SimParams) *SimBackend {
+	if params.LogN < 2 || params.LogN > 17 {
+		panic(fmt.Sprintf("hisa: sim LogN %d out of range", params.LogN))
+	}
+	if params.LogQ <= 0 {
+		panic("hisa: sim LogQ must be positive")
+	}
+	seed := params.Seed
+	if seed == 0 {
+		seed = 0x5EED
+	}
+	return &SimBackend{
+		params: params,
+		slots:  1 << uint(params.LogN-1),
+		prng:   ring.NewTestPRNG(seed),
+		sigma:  ring.DefaultSigma,
+	}
+}
+
+type simCT struct {
+	vals  []float64
+	scale float64
+	logQ  float64   // remaining modulus bits
+	noise []float64 // per-slot approximation noise (std, message units)
+}
+
+// hypotInto sets dst[i] = hypot(dst[i], x[i]).
+func hypotInto(dst, x []float64) {
+	for i := range dst {
+		dst[i] = math.Hypot(dst[i], x[i])
+	}
+}
+
+// hypotConst sets dst[i] = hypot(dst[i], c).
+func hypotConst(dst []float64, c float64) {
+	for i := range dst {
+		dst[i] = math.Hypot(dst[i], c)
+	}
+}
+
+func constVec(n int, c float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+type simPT struct {
+	vals  []float64
+	scale float64
+}
+
+func (b *SimBackend) Name() string { return "ckks-sim" }
+func (b *SimBackend) Slots() int   { return b.slots }
+
+// LogQ returns the configured total modulus bits.
+func (b *SimBackend) LogQ() int { return b.params.LogQ }
+
+func (b *SimBackend) n() float64 { return float64(int(1) << uint(b.params.LogN)) }
+
+// encodingNoise is the slot-domain std of the rounding error introduced by
+// encoding at scale f.
+func (b *SimBackend) encodingNoise(f float64) float64 {
+	return math.Sqrt(b.n()) / (2 * f)
+}
+
+// freshNoise is the slot-domain std of fresh encryption noise at scale f.
+func (b *SimBackend) freshNoise(f float64) float64 {
+	return b.sigma * math.Sqrt(2*b.n()) / f
+}
+
+func (b *SimBackend) ct(c Ciphertext) *simCT {
+	v, ok := c.(*simCT)
+	if !ok {
+		panic(fmt.Sprintf("hisa: foreign ciphertext %T passed to sim backend", c))
+	}
+	return v
+}
+
+func (b *SimBackend) pt(p Plaintext) *simPT {
+	v, ok := p.(*simPT)
+	if !ok {
+		panic(fmt.Sprintf("hisa: foreign plaintext %T passed to sim backend", p))
+	}
+	return v
+}
+
+// checkCapacity panics if the scaled message no longer fits the remaining
+// modulus — the "corrupted and unrecoverable" overflow the paper's parameter
+// selection exists to prevent.
+func (b *SimBackend) checkCapacity(c *simCT) {
+	mag := 1.0
+	for i, v := range c.vals {
+		if m := math.Abs(v) + 6*c.noise[i]; m > mag {
+			mag = m
+		}
+	}
+	need := math.Log2(c.scale) + math.Log2(mag+1) + 1
+	if need > c.logQ {
+		panic(fmt.Sprintf(
+			"hisa: ckks-sim modulus exhausted: message needs %.1f bits but only %.1f remain (scale 2^%.1f); increase Q",
+			need, c.logQ, math.Log2(c.scale)))
+	}
+}
+
+func (b *SimBackend) Encode(m []float64, f float64) Plaintext {
+	if len(m) > b.slots {
+		panic(fmt.Sprintf("hisa: %d values exceed %d slots", len(m), b.slots))
+	}
+	vals := make([]float64, b.slots)
+	copy(vals, m)
+	return &simPT{vals: vals, scale: f}
+}
+
+func (b *SimBackend) Decode(p Plaintext) []float64 {
+	return append([]float64(nil), b.pt(p).vals...)
+}
+
+func (b *SimBackend) Encrypt(p Plaintext) Ciphertext {
+	pp := b.pt(p)
+	c := &simCT{
+		vals:  append([]float64(nil), pp.vals...),
+		scale: pp.scale,
+		logQ:  float64(b.params.LogQ),
+		noise: constVec(b.slots, b.freshNoise(pp.scale)+b.encodingNoise(pp.scale)),
+	}
+	b.checkCapacity(c)
+	return c
+}
+
+// Decrypt injects the accumulated approximation noise into the message, the
+// observable effect of CKKS's approximate arithmetic.
+func (b *SimBackend) Decrypt(c Ciphertext) Plaintext {
+	cc := b.ct(c)
+	vals := make([]float64, len(cc.vals))
+	for i, v := range cc.vals {
+		if b.params.NoNoise {
+			vals[i] = v
+		} else {
+			vals[i] = v + b.gauss()*cc.noise[i]
+		}
+	}
+	return &simPT{vals: vals, scale: cc.scale}
+}
+
+// gauss returns a standard normal sample.
+func (b *SimBackend) gauss() float64 {
+	for {
+		u1 := float64(b.prng.Uint64()>>11) / (1 << 53)
+		u2 := float64(b.prng.Uint64()>>11) / (1 << 53)
+		if u1 == 0 {
+			continue
+		}
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+func (b *SimBackend) Copy(c Ciphertext) Ciphertext {
+	cc := b.ct(c)
+	out := *cc
+	out.vals = append([]float64(nil), cc.vals...)
+	out.noise = append([]float64(nil), cc.noise...)
+	return &out
+}
+
+func (b *SimBackend) Free(any) {}
+
+// keySwitchNoise is the slot-domain noise added by one key-switching
+// operation (rotation or relinearization) at the ciphertext's scale.
+func (b *SimBackend) keySwitchNoise(scale float64) float64 {
+	return b.sigma * math.Sqrt(2*b.n()) / scale
+}
+
+func (b *SimBackend) RotLeft(c Ciphertext, x int) Ciphertext {
+	cc := b.ct(c)
+	n := b.slots
+	x = ((x % n) + n) % n
+	steps := RotationSteps(x, n, b.rotationAvailable())
+	vals := append([]float64(nil), cc.vals...)
+	noise := append([]float64(nil), cc.noise...)
+	if x != 0 {
+		rotV := make([]float64, n)
+		rotN := make([]float64, n)
+		for i := 0; i < n; i++ {
+			rotV[i] = vals[(i+x)%n]
+			rotN[i] = noise[(i+x)%n]
+		}
+		vals, noise = rotV, rotN
+	}
+	for range steps {
+		hypotConst(noise, b.keySwitchNoise(cc.scale))
+	}
+	return &simCT{vals: vals, scale: cc.scale, logQ: cc.logQ, noise: noise}
+}
+
+func (b *SimBackend) rotationAvailable() func(int) bool {
+	if b.params.Rotations == nil {
+		return nil
+	}
+	return func(k int) bool { return b.params.Rotations[k] }
+}
+
+func (b *SimBackend) RotRight(c Ciphertext, x int) Ciphertext { return b.RotLeft(c, -x) }
+
+func (b *SimBackend) requireSameScale(s1, s2 float64, op string) {
+	if math.Abs(s1-s2) > 1e-6*math.Max(s1, s2) {
+		panic(fmt.Sprintf("hisa: scale mismatch in %s: %g vs %g", op, s1, s2))
+	}
+}
+
+func (b *SimBackend) Add(c, c2 Ciphertext) Ciphertext {
+	x, y := b.ct(c), b.ct(c2)
+	b.requireSameScale(x.scale, y.scale, "add")
+	vals := make([]float64, b.slots)
+	noise := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = x.vals[i] + y.vals[i]
+		noise[i] = math.Hypot(x.noise[i], y.noise[i])
+	}
+	return &simCT{vals: vals, scale: x.scale, logQ: math.Min(x.logQ, y.logQ), noise: noise}
+}
+
+func (b *SimBackend) Sub(c, c2 Ciphertext) Ciphertext {
+	x, y := b.ct(c), b.ct(c2)
+	b.requireSameScale(x.scale, y.scale, "sub")
+	vals := make([]float64, b.slots)
+	noise := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = x.vals[i] - y.vals[i]
+		noise[i] = math.Hypot(x.noise[i], y.noise[i])
+	}
+	return &simCT{vals: vals, scale: x.scale, logQ: math.Min(x.logQ, y.logQ), noise: noise}
+}
+
+func (b *SimBackend) AddPlain(c Ciphertext, p Plaintext) Ciphertext {
+	x, y := b.ct(c), b.pt(p)
+	b.requireSameScale(x.scale, y.scale, "addPlain")
+	vals := make([]float64, b.slots)
+	noise := append([]float64(nil), x.noise...)
+	for i := range vals {
+		vals[i] = x.vals[i] + y.vals[i]
+	}
+	hypotConst(noise, b.encodingNoise(y.scale))
+	return &simCT{vals: vals, scale: x.scale, logQ: x.logQ, noise: noise}
+}
+
+func (b *SimBackend) SubPlain(c Ciphertext, p Plaintext) Ciphertext {
+	x, y := b.ct(c), b.pt(p)
+	b.requireSameScale(x.scale, y.scale, "subPlain")
+	vals := make([]float64, b.slots)
+	noise := append([]float64(nil), x.noise...)
+	for i := range vals {
+		vals[i] = x.vals[i] - y.vals[i]
+	}
+	hypotConst(noise, b.encodingNoise(y.scale))
+	return &simCT{vals: vals, scale: x.scale, logQ: x.logQ, noise: noise}
+}
+
+func (b *SimBackend) AddScalar(c Ciphertext, s float64) Ciphertext {
+	x := b.ct(c)
+	vals := make([]float64, b.slots)
+	noise := append([]float64(nil), x.noise...)
+	for i := range vals {
+		vals[i] = x.vals[i] + s
+	}
+	hypotConst(noise, 0.5/x.scale)
+	return &simCT{vals: vals, scale: x.scale, logQ: x.logQ, noise: noise}
+}
+
+func (b *SimBackend) SubScalar(c Ciphertext, s float64) Ciphertext {
+	return b.AddScalar(c, -s)
+}
+
+func (b *SimBackend) Mul(c, c2 Ciphertext) Ciphertext {
+	x, y := b.ct(c), b.ct(c2)
+	vals := make([]float64, b.slots)
+	noise := make([]float64, b.slots)
+	ks := b.keySwitchNoise(x.scale * y.scale)
+	for i := range vals {
+		vals[i] = x.vals[i] * y.vals[i]
+		noise[i] = math.Hypot(
+			math.Hypot(x.noise[i]*math.Abs(y.vals[i]), y.noise[i]*math.Abs(x.vals[i])),
+			math.Hypot(x.noise[i]*y.noise[i], ks))
+	}
+	out := &simCT{vals: vals, scale: x.scale * y.scale, logQ: math.Min(x.logQ, y.logQ), noise: noise}
+	b.checkCapacity(out)
+	return out
+}
+
+func (b *SimBackend) MulPlain(c Ciphertext, p Plaintext) Ciphertext {
+	x, y := b.ct(c), b.pt(p)
+	vals := make([]float64, b.slots)
+	noise := make([]float64, b.slots)
+	enc := b.encodingNoise(y.scale)
+	for i := range vals {
+		vals[i] = x.vals[i] * y.vals[i]
+		// Per-slot: the ciphertext's noise multiplies this slot's plaintext
+		// entry, and the plaintext's encoding error multiplies this slot's
+		// (noisy) value.
+		noise[i] = math.Hypot(x.noise[i]*math.Abs(y.vals[i]),
+			enc*(math.Abs(x.vals[i])+x.noise[i]))
+	}
+	out := &simCT{vals: vals, scale: x.scale * y.scale, logQ: x.logQ, noise: noise}
+	b.checkCapacity(out)
+	return out
+}
+
+func (b *SimBackend) MulScalar(c Ciphertext, s float64, f float64) Ciphertext {
+	x := b.ct(c)
+	vals := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = x.vals[i] * s
+	}
+	// A scalar constant encodes with all slots equal, whose encoding noise
+	// is smaller than a full plaintext's (footnote 3 in the paper).
+	noise := make([]float64, b.slots)
+	for i := range noise {
+		noise[i] = math.Hypot(x.noise[i]*math.Abs(s), (math.Abs(x.vals[i])+x.noise[i])/(2*f))
+	}
+	out := &simCT{vals: vals, scale: x.scale * f, logQ: x.logQ, noise: noise}
+	b.checkCapacity(out)
+	return out
+}
+
+func (b *SimBackend) Rescale(c Ciphertext, x *big.Int) Ciphertext {
+	cc := b.ct(c)
+	if x.BitLen() > 1024 {
+		panic("hisa: sim rescale divisor out of range")
+	}
+	d, _ := new(big.Float).SetInt(x).Float64()
+	if d < 1 {
+		panic("hisa: sim rescale divisor < 1")
+	}
+	bitsUsed := math.Log2(d)
+	newLogQ := cc.logQ - bitsUsed
+	if newLogQ < 0 {
+		panic(fmt.Sprintf("hisa: ckks-sim modulus exhausted by rescale: need %.1f bits, have %.1f",
+			bitsUsed, cc.logQ))
+	}
+	newScale := cc.scale / d
+	// Message-unit noise is unchanged by exact division; rounding adds
+	// sqrt(N)/2 coefficient units at the new scale.
+	noise := append([]float64(nil), cc.noise...)
+	hypotConst(noise, math.Sqrt(b.n())/(2*newScale))
+	out := &simCT{
+		vals:  append([]float64(nil), cc.vals...),
+		scale: newScale,
+		logQ:  newLogQ,
+		noise: noise,
+	}
+	b.checkCapacity(out)
+	return out
+}
+
+// MaxRescale implements the CKKS restriction that divisors are powers of
+// two, additionally capped by the remaining modulus.
+func (b *SimBackend) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
+	cc := b.ct(c)
+	if ub.Sign() <= 0 {
+		return big.NewInt(1)
+	}
+	bits := ub.BitLen() - 1
+	if f := int(cc.logQ); bits > f {
+		bits = f
+	}
+	if bits < 1 {
+		return big.NewInt(1)
+	}
+	return new(big.Int).Lsh(big.NewInt(1), uint(bits))
+}
+
+func (b *SimBackend) Scale(c Ciphertext) float64 { return b.ct(c).scale }
+
+// NoiseOf exposes the largest per-slot noise std of a ciphertext (for tests
+// and the profile-guided scale selection diagnostics).
+func (b *SimBackend) NoiseOf(c Ciphertext) float64 {
+	m := 0.0
+	for _, n := range b.ct(c).noise {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// LogQRemaining exposes the remaining modulus bits of a ciphertext.
+func (b *SimBackend) LogQRemaining(c Ciphertext) float64 { return b.ct(c).logQ }

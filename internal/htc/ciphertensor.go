@@ -1,0 +1,305 @@
+// Package htc implements CHET's Homomorphic Tensor Circuit runtime: the
+// CipherTensor datatype with its layout metadata (HW and CHW layouts,
+// strides, physical apron padding, channel blocking across ciphertexts) and
+// the homomorphic kernels for every tensor operation of the circuit DSL.
+// All kernels are written against the HISA, so they execute unchanged under
+// the plaintext reference backend, both CKKS backends, and the compiler's
+// analysis interpretations.
+//
+// Invariant maintained by every kernel: all ciphertext slots outside a
+// CipherTensor's valid positions are (approximately) zero. Kernels restore
+// the invariant with mask multiplications, which is why masks appear in the
+// multiplicative depth — exactly the trade-off the paper describes.
+package htc
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"chet/internal/hisa"
+	"chet/internal/tensor"
+)
+
+// Layout selects how tensors map onto ciphertext vectors.
+type Layout int
+
+// The two layouts implemented by the runtime (Section 4.2 of the paper).
+const (
+	// LayoutHW places each channel in its own ciphertext.
+	LayoutHW Layout = iota
+	// LayoutCHW blocks multiple channels into one ciphertext.
+	LayoutCHW
+)
+
+func (l Layout) String() string {
+	if l == LayoutHW {
+		return "HW"
+	}
+	return "CHW"
+}
+
+// Scales carries the four fixed-point scaling factors CHET exposes
+// (Section 5.5): Pc for the ciphertext/image, Pw for plaintext (vector)
+// weights, Pu for scalar weights, and Pm for masks.
+type Scales struct {
+	Pc, Pw, Pu, Pm float64
+}
+
+// DefaultScales mirrors the paper's starting point of 2^40 for the image and
+// generous weight/mask scales.
+func DefaultScales() Scales {
+	return Scales{
+		Pc: math.Exp2(30),
+		Pw: math.Exp2(20),
+		Pu: math.Exp2(20),
+		Pm: math.Exp2(10),
+	}
+}
+
+// Plan fixes the physical layout decisions for one circuit execution: the
+// layout family and the apron (physical zero padding around the original
+// grid) that lets padded convolutions pull in zeros instead of neighbouring
+// data.
+type Plan struct {
+	Layout Layout
+	Apron  int
+}
+
+// CipherTensor is an encrypted tensor: ciphertexts plus the plain metadata
+// describing where each logical element lives.
+type CipherTensor struct {
+	Layout Layout
+
+	// Logical dimensions.
+	C, H, W int
+
+	// Slot geometry: element (c, y, x) of ciphertext CTs[c/CPerCT] lives at
+	// slot Offset + (c%CPerCT)*ChanStride + y*RowStride + x*ColStride.
+	Offset     int
+	RowStride  int
+	ColStride  int
+	ChanStride int
+	CPerCT     int
+
+	CTs []hisa.Ciphertext
+}
+
+// NumCTs returns the number of ciphertexts.
+func (ct *CipherTensor) NumCTs() int { return len(ct.CTs) }
+
+// pos returns the slot of logical element (c within its ciphertext, y, x).
+func (ct *CipherTensor) pos(cInCT, y, x int) int {
+	return ct.Offset + cInCT*ct.ChanStride + y*ct.RowStride + x*ct.ColStride
+}
+
+// Shape returns the logical CHW shape.
+func (ct *CipherTensor) Shape() []int { return []int{ct.C, ct.H, ct.W} }
+
+// validate panics when metadata is inconsistent with the slot count.
+func (ct *CipherTensor) validate(slots int) {
+	if ct.C <= 0 || ct.H <= 0 || ct.W <= 0 || ct.CPerCT <= 0 {
+		panic(fmt.Sprintf("htc: invalid CipherTensor dims C=%d H=%d W=%d cPerCT=%d",
+			ct.C, ct.H, ct.W, ct.CPerCT))
+	}
+	maxPos := ct.pos(min(ct.C, ct.CPerCT)-1, ct.H-1, ct.W-1)
+	if maxPos >= slots {
+		panic(fmt.Sprintf("htc: CipherTensor overflows %d slots (max position %d)", slots, maxPos))
+	}
+	want := (ct.C + ct.CPerCT - 1) / ct.CPerCT
+	if len(ct.CTs) != want {
+		panic(fmt.Sprintf("htc: CipherTensor has %d ciphertexts, metadata implies %d", len(ct.CTs), want))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// planGeometry computes the physical grid for a logical HxW image under the
+// plan's apron.
+func planGeometry(plan Plan, h, w int) (hp, wp, offset int) {
+	p := plan.Apron
+	hp, wp = h+2*p, w+2*p
+	offset = p*wp + p
+	return hp, wp, offset
+}
+
+// NewLayout computes the CipherTensor metadata (without ciphertexts) for a
+// fresh CHW tensor under the plan on a backend with the given slot count.
+func NewLayout(plan Plan, c, h, w, slots int) CipherTensor {
+	hp, wp, offset := planGeometry(plan, h, w)
+	chanStride := hp * wp
+	if chanStride > slots {
+		panic(fmt.Sprintf("htc: a %dx%d image (apron %d) does not fit %d slots",
+			h, w, plan.Apron, slots))
+	}
+	cPerCT := 1
+	if plan.Layout == LayoutCHW {
+		cPerCT = blockCapacity(slots, chanStride)
+	}
+	return CipherTensor{
+		Layout:     plan.Layout,
+		C:          c,
+		H:          h,
+		W:          w,
+		Offset:     offset,
+		RowStride:  wp,
+		ColStride:  1,
+		ChanStride: chanStride,
+		CPerCT:     cPerCT,
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// blockCapacity returns the power-of-two number of channel blocks that fit
+// one ciphertext. Using the full capacity (rather than the channel count)
+// keeps the geometry of same-grid tensors identical, so residual adds and
+// concatenations line up without repacking.
+func blockCapacity(slots, chanStride int) int {
+	c := 1
+	for c*2 <= slots/chanStride {
+		c *= 2
+	}
+	return c
+}
+
+// EncryptTensor encodes and encrypts a plaintext CHW tensor under the plan
+// at scale sc.Pc.
+func EncryptTensor(b hisa.Backend, t *tensor.Tensor, plan Plan, sc Scales) *CipherTensor {
+	if t.Rank() != 3 {
+		panic(fmt.Sprintf("htc: EncryptTensor wants CHW input, got %v", t.Shape))
+	}
+	c, h, w := t.Shape[0], t.Shape[1], t.Shape[2]
+	meta := NewLayout(plan, c, h, w, b.Slots())
+
+	numCTs := (c + meta.CPerCT - 1) / meta.CPerCT
+	meta.CTs = make([]hisa.Ciphertext, numCTs)
+	for g := 0; g < numCTs; g++ {
+		vals := make([]float64, b.Slots())
+		for ci := 0; ci < meta.CPerCT; ci++ {
+			ch := g*meta.CPerCT + ci
+			if ch >= c {
+				break
+			}
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					vals[meta.pos(ci, y, x)] = t.At(ch, y, x)
+				}
+			}
+		}
+		meta.CTs[g] = b.Encrypt(b.Encode(vals, sc.Pc))
+	}
+	meta.validate(b.Slots())
+	return &meta
+}
+
+// DecryptTensor decrypts a CipherTensor back into a logical CHW tensor
+// (or a vector when H == W == 1 ... the CHW shape is always returned;
+// callers reshape as needed).
+func DecryptTensor(b hisa.Backend, ct *CipherTensor) *tensor.Tensor {
+	out := tensor.New(ct.C, ct.H, ct.W)
+	for g := 0; g < ct.NumCTs(); g++ {
+		vals := b.Decode(b.Decrypt(ct.CTs[g]))
+		for ci := 0; ci < ct.CPerCT; ci++ {
+			ch := g*ct.CPerCT + ci
+			if ch >= ct.C {
+				break
+			}
+			for y := 0; y < ct.H; y++ {
+				for x := 0; x < ct.W; x++ {
+					out.Set(vals[ct.pos(ci, y, x)], ch, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// metaClone copies the metadata of src without ciphertexts.
+func metaClone(src *CipherTensor) CipherTensor {
+	out := *src
+	out.CTs = nil
+	return out
+}
+
+// validMask builds a 0/1 vector marking the valid positions of the channels
+// in ciphertext group g, scaled by value.
+func validMask(ct *CipherTensor, g, slots int, value float64) []float64 {
+	vals := make([]float64, slots)
+	for ci := 0; ci < ct.CPerCT; ci++ {
+		ch := g*ct.CPerCT + ci
+		if ch >= ct.C {
+			break
+		}
+		for y := 0; y < ct.H; y++ {
+			for x := 0; x < ct.W; x++ {
+				vals[ct.pos(ci, y, x)] = value
+			}
+		}
+	}
+	return vals
+}
+
+// perChannelVector builds a plaintext vector assigning val(ch) to every
+// valid position of each channel in group g.
+func perChannelVector(ct *CipherTensor, g, slots int, val func(ch int) float64) []float64 {
+	vals := make([]float64, slots)
+	for ci := 0; ci < ct.CPerCT; ci++ {
+		ch := g*ct.CPerCT + ci
+		if ch >= ct.C {
+			break
+		}
+		v := val(ch)
+		for y := 0; y < ct.H; y++ {
+			for x := 0; x < ct.W; x++ {
+				vals[ct.pos(ci, y, x)] = v
+			}
+		}
+	}
+	return vals
+}
+
+// tryRescale applies the HISA rescaling protocol: if the ciphertext's scale
+// has grown past base, rescale by the largest divisor the scheme offers
+// under scale/base. Works for both power-of-two (CKKS) and prime-product
+// (RNS-CKKS) divisor rules.
+func tryRescale(b hisa.Backend, c hisa.Ciphertext, base float64) hisa.Ciphertext {
+	s := b.Scale(c)
+	if s <= base*1.0001 {
+		return c
+	}
+	ub, _ := big.NewFloat(s / base).Int(nil)
+	if ub.Sign() <= 0 {
+		return c
+	}
+	d := b.MaxRescale(c, ub)
+	if d.Cmp(big.NewInt(1)) == 0 {
+		return c
+	}
+	return b.Rescale(c, d)
+}
+
+// alignScales brings two ciphertexts to a common scale before addition,
+// multiplying the lower-scaled one by 1 at the ratio when they diverge.
+func alignScales(b hisa.Backend, x, y hisa.Ciphertext) (hisa.Ciphertext, hisa.Ciphertext) {
+	sx, sy := b.Scale(x), b.Scale(y)
+	switch {
+	case math.Abs(sx-sy) <= 1e-6*math.Max(sx, sy):
+		return x, y
+	case sx < sy:
+		return b.MulScalar(x, 1, sy/sx), y
+	default:
+		return x, b.MulScalar(y, 1, sx/sy)
+	}
+}

@@ -1,0 +1,179 @@
+package htc
+
+import (
+	"fmt"
+
+	"chet/internal/circuit"
+	"chet/internal/hisa"
+)
+
+// LayoutPolicy is one of the four layout strategies CHET's data-layout
+// selection pass searches over (Section 5.3).
+type LayoutPolicy int
+
+// The pruned layout search space of the paper.
+const (
+	// PolicyHW: every operation uses the HW layout.
+	PolicyHW LayoutPolicy = iota
+	// PolicyCHW: every operation uses the CHW layout.
+	PolicyCHW
+	// PolicyHWConv: convolutions in HW, everything else in CHW.
+	PolicyHWConv
+	// PolicyCHWFC: HW until the first fully connected layer, CHW after.
+	PolicyCHWFC
+)
+
+// AllPolicies lists the search space in the paper's order.
+var AllPolicies = []LayoutPolicy{PolicyHW, PolicyCHW, PolicyHWConv, PolicyCHWFC}
+
+func (p LayoutPolicy) String() string {
+	switch p {
+	case PolicyHW:
+		return "HW"
+	case PolicyCHW:
+		return "CHW"
+	case PolicyHWConv:
+		return "HW-conv/CHW-rest"
+	case PolicyCHWFC:
+		return "CHW-fc/HW-before"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// inputLayout returns the layout the circuit input should be encrypted in
+// under the policy.
+func (p LayoutPolicy) inputLayout() Layout {
+	if p == PolicyCHW {
+		return LayoutCHW
+	}
+	return LayoutHW
+}
+
+// opLayout returns the layout an operation's inputs should be in.
+func (p LayoutPolicy) opLayout(kind circuit.OpKind, seenDense bool) Layout {
+	switch p {
+	case PolicyHW:
+		return LayoutHW
+	case PolicyCHW:
+		return LayoutCHW
+	case PolicyHWConv:
+		if kind == circuit.OpConv2D {
+			return LayoutHW
+		}
+		return LayoutCHW
+	case PolicyCHWFC:
+		if seenDense || kind == circuit.OpDense {
+			return LayoutCHW
+		}
+		return LayoutHW
+	default:
+		panic("htc: unknown layout policy")
+	}
+}
+
+// RequiredApron computes the physical apron (zero border) the input layout
+// must reserve so every padded convolution in the circuit pulls in zeros:
+// the maximum over operations of pad times the cumulative stride at that
+// point.
+func RequiredApron(c *circuit.Circuit) int {
+	cumStride := make(map[int]int, len(c.Nodes))
+	apron := 0
+	for _, n := range c.Nodes {
+		s := 1
+		for _, in := range n.Inputs {
+			if cumStride[in.ID] > s {
+				s = cumStride[in.ID]
+			}
+		}
+		switch n.Kind {
+		case circuit.OpConv2D:
+			if need := n.Pad * s; need > apron {
+				apron = need
+			}
+			s *= n.Stride
+		case circuit.OpAvgPool2D:
+			s *= n.Stride
+		case circuit.OpPad2D:
+			if need := n.Pad * s; need > apron {
+				apron = need
+			}
+		}
+		cumStride[n.ID] = s
+	}
+	return apron
+}
+
+// PlanFor returns the input-encryption plan implied by a circuit and policy.
+func PlanFor(c *circuit.Circuit, policy LayoutPolicy) Plan {
+	return Plan{Layout: policy.inputLayout(), Apron: RequiredApron(c)}
+}
+
+// convert brings t into the requested layout (no-op when already there).
+func convert(b hisa.Backend, t *CipherTensor, want Layout, sc Scales) *CipherTensor {
+	if t.Layout == want {
+		return t
+	}
+	if want == LayoutCHW {
+		return ToCHW(b, t)
+	}
+	return ToHW(b, t, sc)
+}
+
+// Execute runs the circuit homomorphically on backend b. The input must
+// have been encrypted with PlanFor(c, policy). All layout conversions
+// demanded by the policy are inserted automatically.
+func Execute(b hisa.Backend, c *circuit.Circuit, input *CipherTensor, policy LayoutPolicy, sc Scales) *CipherTensor {
+	results := make(map[int]*CipherTensor, len(c.Nodes))
+	seenDense := false
+	arg := func(n *circuit.Node, i int) *CipherTensor {
+		t, ok := results[n.Inputs[i].ID]
+		if !ok {
+			panic(fmt.Sprintf("htc: node %q input not yet computed (circuit not topological?)", n.Name))
+		}
+		return convert(b, t, policy.opLayout(n.Kind, seenDense), sc)
+	}
+
+	for _, n := range c.Nodes {
+		var out *CipherTensor
+		switch n.Kind {
+		case circuit.OpInput:
+			if input.Layout != policy.inputLayout() {
+				panic(fmt.Sprintf("htc: input encrypted in %v but policy %v wants %v",
+					input.Layout, policy, policy.inputLayout()))
+			}
+			out = input
+		case circuit.OpConv2D:
+			out = Conv2D(b, arg(n, 0), n.Weights, n.Bias, n.Stride, n.Pad, sc)
+		case circuit.OpDense:
+			out = Dense(b, arg(n, 0), n.Weights, n.Bias, sc)
+			seenDense = true
+		case circuit.OpAvgPool2D:
+			out = AvgPool2D(b, arg(n, 0), n.Window, n.Stride, sc)
+		case circuit.OpGlobalAvgPool2D:
+			out = GlobalAvgPool2D(b, arg(n, 0), sc)
+		case circuit.OpActivation:
+			out = Activation(b, arg(n, 0), n.ActA, n.ActB, sc)
+		case circuit.OpPolyEval:
+			out = PolyEval(b, arg(n, 0), n.Coeffs, sc)
+		case circuit.OpBatchNorm:
+			out = BatchNorm(b, arg(n, 0), n.Weights, n.Bias, sc)
+		case circuit.OpAdd:
+			out = Add(b, arg(n, 0), arg(n, 1))
+		case circuit.OpConcat:
+			ins := make([]*CipherTensor, len(n.Inputs))
+			for i := range n.Inputs {
+				ins[i] = arg(n, i)
+			}
+			out = Concat(b, sc, ins...)
+		case circuit.OpFlatten:
+			out = results[n.Inputs[0].ID] // metadata-only
+		case circuit.OpPad2D:
+			out = Pad2D(results[n.Inputs[0].ID], n.Pad)
+		default:
+			panic(fmt.Sprintf("htc: unhandled op %v", n.Kind))
+		}
+		results[n.ID] = out
+	}
+	return results[c.Output.ID]
+}

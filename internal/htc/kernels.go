@@ -1,0 +1,591 @@
+package htc
+
+import (
+	"fmt"
+
+	"chet/internal/hisa"
+	"chet/internal/tensor"
+)
+
+// accumulate adds t into acc, treating a nil acc as zero.
+func accumulate(b hisa.Backend, acc, t hisa.Ciphertext) hisa.Ciphertext {
+	if acc == nil {
+		return t
+	}
+	x, y := alignScales(b, acc, t)
+	return b.Add(x, y)
+}
+
+// rotCache caches rotations of one ciphertext by amount.
+type rotCache struct {
+	b    hisa.Backend
+	base hisa.Ciphertext
+	m    map[int]hisa.Ciphertext
+}
+
+func newRotCache(b hisa.Backend, base hisa.Ciphertext) *rotCache {
+	return &rotCache{b: b, base: base, m: map[int]hisa.Ciphertext{}}
+}
+
+func (rc *rotCache) get(r int) hisa.Ciphertext {
+	if r == 0 {
+		return rc.base
+	}
+	if c, ok := rc.m[r]; ok {
+		return c
+	}
+	c := rc.b.RotLeft(rc.base, r)
+	rc.m[r] = c
+	return c
+}
+
+// Conv2D computes a homomorphic convolution with plaintext OIHW filters,
+// optional per-channel bias, stride, and symmetric zero padding. The output
+// stays on the input's slot grid with strides multiplied by the conv stride
+// (reshapes are metadata-only, performed lazily). Figure 4 of the paper is
+// the HW instance of this kernel.
+func Conv2D(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, stride, pad int, sc Scales) *CipherTensor {
+	if filters.Rank() != 4 || filters.Shape[1] != in.C {
+		panic(fmt.Sprintf("htc: conv filters %v incompatible with input channels %d", filters.Shape, in.C))
+	}
+	cout, kh, kw := filters.Shape[0], filters.Shape[2], filters.Shape[3]
+	hout := (in.H+2*pad-kh)/stride + 1
+	wout := (in.W+2*pad-kw)/stride + 1
+	if hout <= 0 || wout <= 0 {
+		panic("htc: conv output would be empty")
+	}
+	if pad > 0 && in.Offset < pad*(in.RowStride+in.ColStride) {
+		panic(fmt.Sprintf("htc: conv padding %d exceeds the layout apron; recompile with a larger apron", pad))
+	}
+
+	out := metaClone(in)
+	out.C = cout
+	out.H, out.W = hout, wout
+	out.RowStride = in.RowStride * stride
+	out.ColStride = in.ColStride * stride
+
+	rot := func(ky, kx int) int {
+		return (ky-pad)*in.RowStride + (kx-pad)*in.ColStride
+	}
+
+	if in.Layout == LayoutHW {
+		out.CPerCT = 1
+		out.CTs = make([]hisa.Ciphertext, cout)
+		caches := make([]*rotCache, in.C)
+		for ic := range caches {
+			caches[ic] = newRotCache(b, in.CTs[ic])
+		}
+		maskVals := validMask(&out, 0, b.Slots(), 1)
+		var mask hisa.Plaintext
+		for oc := 0; oc < cout; oc++ {
+			var acc hisa.Ciphertext
+			for ic := 0; ic < in.C; ic++ {
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						t := b.MulScalar(caches[ic].get(rot(ky, kx)), filters.At(oc, ic, ky, kx), sc.Pu)
+						acc = accumulate(b, acc, t)
+					}
+				}
+			}
+			acc = tryRescale(b, acc, sc.Pc)
+			if mask == nil {
+				mask = b.Encode(maskVals, sc.Pm)
+			}
+			acc = b.MulPlain(acc, mask)
+			acc = tryRescale(b, acc, sc.Pc)
+			if bias != nil {
+				bv := validMask(&out, 0, b.Slots(), bias.Data[oc])
+				acc = b.AddPlain(acc, b.Encode(bv, b.Scale(acc)))
+			}
+			out.CTs[oc] = acc
+		}
+		out.validate(b.Slots())
+		return &out
+	}
+
+	// CHW layout.
+	outCPerCT := blockCapacity(b.Slots(), in.ChanStride)
+	out.CPerCT = outCPerCT
+	numOutCTs := (cout + outCPerCT - 1) / outCPerCT
+	out.CTs = make([]hisa.Ciphertext, numOutCTs)
+
+	numInCTs := in.NumCTs()
+	// The block-0 mask of the output grid, used to isolate the folded
+	// channel sum before placing it at its output channel block.
+	blockMask := metaClone(&out)
+	blockMask.C = 1
+	blockMask.CPerCT = 1
+	maskVals := validMask(&blockMask, 0, b.Slots(), 1)
+	var mask hisa.Plaintext
+
+	for g := 0; g < numInCTs; g++ {
+		cache := newRotCache(b, in.CTs[g])
+		// Weight plaintexts per (oc, ky, kx): w[oc][ic][ky][kx] spread over
+		// channel ic's whole block (invalid input slots hold zeros, so the
+		// product is zero there).
+		for oc := 0; oc < cout; oc++ {
+			var acc hisa.Ciphertext
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					wv := make([]float64, b.Slots())
+					for ci := 0; ci < in.CPerCT; ci++ {
+						ic := g*in.CPerCT + ci
+						if ic >= in.C {
+							break
+						}
+						w := filters.At(oc, ic, ky, kx)
+						base := ci * in.ChanStride
+						for s := base; s < base+in.ChanStride && s < b.Slots(); s++ {
+							wv[s] = w
+						}
+					}
+					t := b.MulPlain(cache.get(rot(ky, kx)), b.Encode(wv, sc.Pw))
+					acc = accumulate(b, acc, t)
+				}
+			}
+			acc = tryRescale(b, acc, sc.Pc)
+			// Fold the partial sums of this ciphertext's occupied channels
+			// into channel block 0 (unoccupied blocks hold zeros).
+			chInGroup := min(in.C-g*in.CPerCT, in.CPerCT)
+			for step := 1; step < nextPow2(chInGroup); step <<= 1 {
+				acc = b.Add(acc, b.RotLeft(acc, step*in.ChanStride))
+			}
+			if mask == nil {
+				mask = b.Encode(maskVals, sc.Pm)
+			}
+			acc = b.MulPlain(acc, mask)
+			acc = tryRescale(b, acc, sc.Pc)
+
+			gOut, bOut := oc/outCPerCT, oc%outCPerCT
+			if bOut != 0 {
+				acc = b.RotRight(acc, bOut*in.ChanStride)
+			}
+			out.CTs[gOut] = accumulate(b, out.CTs[gOut], acc)
+		}
+	}
+
+	if bias != nil {
+		for gOut := range out.CTs {
+			bv := perChannelVector(&out, gOut, b.Slots(), func(ch int) float64 { return bias.Data[ch] })
+			out.CTs[gOut] = b.AddPlain(out.CTs[gOut], b.Encode(bv, b.Scale(out.CTs[gOut])))
+		}
+	}
+	out.validate(b.Slots())
+	return &out
+}
+
+// AvgPool2D applies average pooling (valid padding). The window sum is
+// collected with rotations shared across channels; the division by the
+// window size is folded into the output mask, so pooling costs a single
+// mask-depth multiplication.
+func AvgPool2D(b hisa.Backend, in *CipherTensor, window, stride int, sc Scales) *CipherTensor {
+	hout := (in.H-window)/stride + 1
+	wout := (in.W-window)/stride + 1
+	if hout <= 0 || wout <= 0 {
+		panic("htc: pool output would be empty")
+	}
+	out := metaClone(in)
+	out.H, out.W = hout, wout
+	out.RowStride = in.RowStride * stride
+	out.ColStride = in.ColStride * stride
+	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
+
+	inv := 1.0 / float64(window*window)
+	// Groups share a mask except a possibly ragged final group.
+	masks := map[int]hisa.Plaintext{}
+	maskFor := func(g int) hisa.Plaintext {
+		chInGroup := min(in.C-g*in.CPerCT, in.CPerCT)
+		m, ok := masks[chInGroup]
+		if !ok {
+			m = b.Encode(validMask(&out, g, b.Slots(), inv), sc.Pm)
+			masks[chInGroup] = m
+		}
+		return m
+	}
+
+	for g := range in.CTs {
+		cache := newRotCache(b, in.CTs[g])
+		var acc hisa.Ciphertext
+		for ky := 0; ky < window; ky++ {
+			for kx := 0; kx < window; kx++ {
+				acc = accumulate(b, acc, cache.get(ky*in.RowStride+kx*in.ColStride))
+			}
+		}
+		acc = b.MulPlain(acc, maskFor(g))
+		out.CTs[g] = tryRescale(b, acc, sc.Pc)
+	}
+	out.validate(b.Slots())
+	return &out
+}
+
+// GlobalAvgPool2D averages each channel down to a single value at grid
+// position (0, 0), using logarithmic folding when the spatial dims are
+// powers of two.
+func GlobalAvgPool2D(b hisa.Backend, in *CipherTensor, sc Scales) *CipherTensor {
+	out := metaClone(in)
+	out.H, out.W = 1, 1
+	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
+
+	inv := 1.0 / float64(in.H*in.W)
+	var mask hisa.Plaintext
+
+	for g := range in.CTs {
+		acc := in.CTs[g]
+		if isPow2(in.W) {
+			for step := 1; step < in.W; step <<= 1 {
+				acc = b.Add(acc, b.RotLeft(acc, step*in.ColStride))
+			}
+		} else {
+			cache := newRotCache(b, acc)
+			sum := acc
+			for x := 1; x < in.W; x++ {
+				sum = b.Add(sum, cache.get(x*in.ColStride))
+			}
+			acc = sum
+		}
+		if isPow2(in.H) {
+			for step := 1; step < in.H; step <<= 1 {
+				acc = b.Add(acc, b.RotLeft(acc, step*in.RowStride))
+			}
+		} else {
+			cache := newRotCache(b, acc)
+			sum := acc
+			for y := 1; y < in.H; y++ {
+				sum = b.Add(sum, cache.get(y*in.RowStride))
+			}
+			acc = sum
+		}
+		if mask == nil {
+			mask = b.Encode(validMask(&out, g, b.Slots(), inv), sc.Pm)
+		}
+		acc = b.MulPlain(acc, mask)
+		out.CTs[g] = tryRescale(b, acc, sc.Pc)
+	}
+	out.validate(b.Slots())
+	return &out
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Activation applies f(x) = a*x^2 + b*x, computed as x*(a*x + b) to spend
+// one ciphertext multiplication and one scalar multiplication.
+func Activation(b hisa.Backend, in *CipherTensor, a, bb float64, sc Scales) *CipherTensor {
+	out := metaClone(in)
+	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
+	for g := range in.CTs {
+		x := in.CTs[g]
+		if a == 0 {
+			y := b.MulScalar(x, bb, sc.Pu)
+			out.CTs[g] = tryRescale(b, y, sc.Pc)
+			continue
+		}
+		t := b.MulScalar(x, a, sc.Pu)
+		t = tryRescale(b, t, sc.Pc)
+		// Adding b everywhere is safe: invalid slots of x are zero, so the
+		// final product restores the zero invariant.
+		t = b.AddScalar(t, bb)
+		y := b.Mul(t, x)
+		out.CTs[g] = tryRescale(b, y, sc.Pc)
+	}
+	return &out
+}
+
+// PolyEval applies a general polynomial activation p(x) = sum c_i x^i by
+// Horner's rule: degree-1 ciphertext multiplications plus one scalar
+// multiplication. The constant term is added only at valid positions so the
+// zero-slot invariant survives.
+func PolyEval(b hisa.Backend, in *CipherTensor, coeffs []float64, sc Scales) *CipherTensor {
+	d := len(coeffs) - 1
+	if d < 1 {
+		panic("htc: PolyEval needs degree >= 1")
+	}
+	out := metaClone(in)
+	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
+	for g := range in.CTs {
+		x := in.CTs[g]
+		// acc = c_d * x, then repeatedly acc = (acc + c_i) * x.
+		acc := b.MulScalar(x, coeffs[d], sc.Pu)
+		acc = tryRescale(b, acc, sc.Pc)
+		for i := d - 1; i >= 1; i-- {
+			// AddScalar touches invalid slots too, but the following
+			// multiplication by x (zero there) restores the invariant.
+			acc = b.AddScalar(acc, coeffs[i])
+			acc = b.Mul(acc, x)
+			acc = tryRescale(b, acc, sc.Pc)
+		}
+		if coeffs[0] != 0 {
+			cv := perChannelVector(in, g, b.Slots(), func(int) float64 { return coeffs[0] })
+			acc = b.AddPlain(acc, b.Encode(cv, b.Scale(acc)))
+		}
+		out.CTs[g] = acc
+	}
+	return &out
+}
+
+// BatchNorm applies the folded inference-time normalization
+// y = gamma[c]*x + beta[c]. In HW layout the per-channel scale is a cheap
+// scalar multiplication; in CHW it requires a plaintext vector — the
+// layout-dependent cost difference the paper highlights.
+func BatchNorm(b hisa.Backend, in *CipherTensor, gamma, beta *tensor.Tensor, sc Scales) *CipherTensor {
+	if gamma.Size() != in.C || beta.Size() != in.C {
+		panic("htc: batchnorm parameter size mismatch")
+	}
+	out := metaClone(in)
+	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
+	for g := range in.CTs {
+		var t hisa.Ciphertext
+		if in.Layout == LayoutHW {
+			t = b.MulScalar(in.CTs[g], gamma.Data[g], sc.Pu)
+		} else {
+			gv := perChannelVector(in, g, b.Slots(), func(ch int) float64 { return gamma.Data[ch] })
+			t = b.MulPlain(in.CTs[g], b.Encode(gv, sc.Pw))
+		}
+		t = tryRescale(b, t, sc.Pc)
+		bv := perChannelVector(in, g, b.Slots(), func(ch int) float64 { return beta.Data[ch] })
+		t = b.AddPlain(t, b.Encode(bv, b.Scale(t)))
+		out.CTs[g] = t
+	}
+	return &out
+}
+
+// Add computes the elementwise sum of two CipherTensors with identical
+// metadata (residual connections).
+func Add(b hisa.Backend, x, y *CipherTensor) *CipherTensor {
+	if x.C != y.C || x.H != y.H || x.W != y.W ||
+		x.Offset != y.Offset || x.RowStride != y.RowStride || x.ColStride != y.ColStride ||
+		x.CPerCT != y.CPerCT {
+		panic("htc: Add requires identical layouts; insert a layout conversion")
+	}
+	out := metaClone(x)
+	out.CTs = make([]hisa.Ciphertext, x.NumCTs())
+	for g := range x.CTs {
+		a, bb := alignScales(b, x.CTs[g], y.CTs[g])
+		out.CTs[g] = b.Add(a, bb)
+	}
+	return &out
+}
+
+// Concat concatenates CipherTensors along the channel axis. When every
+// input's channel count is a multiple of the block capacity the
+// concatenation is free (ciphertext list append); otherwise channels are
+// moved individually with mask-and-rotate.
+func Concat(b hisa.Backend, sc Scales, ins ...*CipherTensor) *CipherTensor {
+	if len(ins) < 2 {
+		panic("htc: Concat needs at least two inputs")
+	}
+	first := ins[0]
+	totalC := 0
+	for _, in := range ins {
+		if in.H != first.H || in.W != first.W || in.Offset != first.Offset ||
+			in.RowStride != first.RowStride || in.ColStride != first.ColStride ||
+			in.CPerCT != first.CPerCT || in.ChanStride != first.ChanStride {
+			panic("htc: Concat inputs must share geometry")
+		}
+		totalC += in.C
+	}
+	out := metaClone(first)
+	out.C = totalC
+
+	if first.Layout == LayoutHW {
+		out.CTs = nil
+		for _, in := range ins {
+			out.CTs = append(out.CTs, in.CTs...)
+		}
+		out.validate(b.Slots())
+		return &out
+	}
+
+	// Fast path: all inputs group-aligned.
+	aligned := true
+	for _, in := range ins[:len(ins)-1] {
+		if in.C%in.CPerCT != 0 {
+			aligned = false
+			break
+		}
+	}
+	if aligned {
+		out.CTs = nil
+		for _, in := range ins {
+			out.CTs = append(out.CTs, in.CTs...)
+		}
+		out.validate(b.Slots())
+		return &out
+	}
+
+	// Slow path: isolate each channel and place it at its target block.
+	numOutCTs := (totalC + out.CPerCT - 1) / out.CPerCT
+	out.CTs = make([]hisa.Ciphertext, numOutCTs)
+	base := 0
+	for _, in := range ins {
+		for ch := 0; ch < in.C; ch++ {
+			gIn, bIn := ch/in.CPerCT, ch%in.CPerCT
+			och := base + ch
+			gOut, bOut := och/out.CPerCT, och%out.CPerCT
+
+			single := metaClone(in)
+			single.C = 1
+			single.CPerCT = 1
+			single.Offset = in.Offset + bIn*in.ChanStride
+			mv := validMask(&single, 0, b.Slots(), 1)
+			t := b.MulPlain(in.CTs[gIn], b.Encode(mv, sc.Pm))
+			t = tryRescale(b, t, sc.Pc)
+			if shift := (bOut - bIn) * in.ChanStride; shift > 0 {
+				t = b.RotRight(t, shift)
+			} else if shift < 0 {
+				t = b.RotLeft(t, -shift)
+			}
+			out.CTs[gOut] = accumulate(b, out.CTs[gOut], t)
+		}
+		base += in.C
+	}
+	out.validate(b.Slots())
+	return &out
+}
+
+// Dense computes a fully connected layer out = W*flatten(in) + bias. The
+// flatten order is CHW row-major, matching the plaintext reference. Each
+// output neuron is produced by a plaintext weight multiplication, a
+// logarithmic rotate-and-add reduction, a slot-0 mask, and a placement
+// rotation.
+func Dense(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, sc Scales) *CipherTensor {
+	inSize := in.C * in.H * in.W
+	if weights.Rank() != 2 || weights.Shape[1] != inSize {
+		panic(fmt.Sprintf("htc: dense weights %v incompatible with input size %d", weights.Shape, inSize))
+	}
+	outDim := weights.Shape[0]
+	if outDim > b.Slots() {
+		panic("htc: dense output exceeds slot count")
+	}
+
+	// Highest occupied slot bound for the reduction length.
+	maxPos := in.pos(min(in.C, in.CPerCT)-1, in.H-1, in.W-1)
+	m := nextPow2(maxPos + 1)
+	if m > b.Slots() {
+		m = b.Slots()
+	}
+
+	out := CipherTensor{
+		Layout: in.Layout, C: 1, H: 1, W: outDim,
+		Offset: 0, RowStride: outDim, ColStride: 1,
+		ChanStride: b.Slots(), CPerCT: 1,
+	}
+
+	e0 := make([]float64, b.Slots())
+	e0[0] = 1
+	var e0Plain hisa.Plaintext
+
+	var acc hisa.Ciphertext
+	for o := 0; o < outDim; o++ {
+		var total hisa.Ciphertext
+		for g := range in.CTs {
+			wv := make([]float64, b.Slots())
+			for ci := 0; ci < in.CPerCT; ci++ {
+				ch := g*in.CPerCT + ci
+				if ch >= in.C {
+					break
+				}
+				for y := 0; y < in.H; y++ {
+					for x := 0; x < in.W; x++ {
+						logical := ch*in.H*in.W + y*in.W + x
+						wv[in.pos(ci, y, x)] = weights.At(o, logical)
+					}
+				}
+			}
+			t := b.MulPlain(in.CTs[g], b.Encode(wv, sc.Pw))
+			total = accumulate(b, total, t)
+		}
+		total = tryRescale(b, total, sc.Pc)
+		for step := m / 2; step >= 1; step >>= 1 {
+			total = b.Add(total, b.RotLeft(total, step))
+		}
+		if e0Plain == nil {
+			e0Plain = b.Encode(e0, sc.Pm)
+		}
+		total = b.MulPlain(total, e0Plain)
+		total = tryRescale(b, total, sc.Pc)
+		if o > 0 {
+			total = b.RotRight(total, o)
+		}
+		acc = accumulate(b, acc, total)
+	}
+
+	if bias != nil {
+		bv := make([]float64, b.Slots())
+		copy(bv, bias.Data)
+		acc = b.AddPlain(acc, b.Encode(bv, b.Scale(acc)))
+	}
+	out.CTs = []hisa.Ciphertext{acc}
+	out.validate(b.Slots())
+	return &out
+}
+
+// Pad2D grows the logical spatial dims into the layout apron. The apron
+// slots are already zero, so padding is purely a metadata operation — the
+// "avoid or delay these expensive operations" optimization of Section 4.2.
+func Pad2D(in *CipherTensor, pad int) *CipherTensor {
+	if in.Offset < pad*(in.RowStride+in.ColStride) {
+		panic(fmt.Sprintf("htc: pad %d exceeds the layout apron; recompile with a larger apron", pad))
+	}
+	out := metaClone(in)
+	out.H = in.H + 2*pad
+	out.W = in.W + 2*pad
+	out.Offset = in.Offset - pad*in.RowStride - pad*in.ColStride
+	out.CTs = in.CTs
+	return &out
+}
+
+// ToCHW converts an HW-layout tensor to CHW by shifting each channel into
+// its block and adding (no masks needed: invalid slots are zero).
+func ToCHW(b hisa.Backend, in *CipherTensor) *CipherTensor {
+	if in.Layout == LayoutCHW {
+		return in
+	}
+	out := metaClone(in)
+	out.Layout = LayoutCHW
+	cPerCT := blockCapacity(b.Slots(), in.ChanStride)
+	out.CPerCT = cPerCT
+	numCTs := (in.C + cPerCT - 1) / cPerCT
+	out.CTs = make([]hisa.Ciphertext, numCTs)
+	for ch := 0; ch < in.C; ch++ {
+		g, blk := ch/cPerCT, ch%cPerCT
+		t := in.CTs[ch]
+		if blk > 0 {
+			t = b.RotRight(t, blk*in.ChanStride)
+		}
+		out.CTs[g] = accumulate(b, out.CTs[g], t)
+	}
+	out.validate(b.Slots())
+	return &out
+}
+
+// ToHW converts a CHW-layout tensor to HW: each channel is rotated to block
+// zero and isolated with a mask (the conversion that costs depth).
+func ToHW(b hisa.Backend, in *CipherTensor, sc Scales) *CipherTensor {
+	if in.Layout == LayoutHW {
+		return in
+	}
+	out := metaClone(in)
+	out.Layout = LayoutHW
+	out.CPerCT = 1
+	out.CTs = make([]hisa.Ciphertext, in.C)
+
+	single := metaClone(in)
+	single.C = 1
+	single.CPerCT = 1
+	maskVals := validMask(&single, 0, b.Slots(), 1)
+	var mask hisa.Plaintext
+	for ch := 0; ch < in.C; ch++ {
+		g, blk := ch/in.CPerCT, ch%in.CPerCT
+		t := in.CTs[g]
+		if blk > 0 {
+			t = b.RotLeft(t, blk*in.ChanStride)
+		}
+		if mask == nil {
+			mask = b.Encode(maskVals, sc.Pm)
+		}
+		t = b.MulPlain(t, mask)
+		out.CTs[ch] = tryRescale(b, t, sc.Pc)
+	}
+	out.validate(b.Slots())
+	return &out
+}

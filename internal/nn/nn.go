@@ -1,0 +1,244 @@
+// Package nn defines the HE-compatible convolutional neural networks of the
+// paper's evaluation (Table 3): three LeNet-5 variants for MNIST-sized
+// inputs, the Industrial binary classifier (5 conv + 2 FC layers), and
+// SqueezeNet-CIFAR with four Fire modules. All activations are the paper's
+// learnable polynomial f(x) = a*x^2 + b*x and all pooling is average
+// pooling, the standard HE-compatibility transformations.
+//
+// The paper's models carry trained weights that are not public; this
+// package substitutes deterministic, seeded, He-initialized weights with
+// the same architecture (see DESIGN.md). Accuracy experiments become
+// output-fidelity experiments: encrypted versus unencrypted inference of
+// identical networks.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"chet/internal/circuit"
+	"chet/internal/ring"
+	"chet/internal/tensor"
+)
+
+// Model bundles a named tensor circuit with its input schema.
+type Model struct {
+	Name       string
+	Circuit    *circuit.Circuit
+	InputShape []int
+	// Description matches the Table 3 row.
+	Description string
+}
+
+// weightGen produces deterministic He-initialized weights.
+type weightGen struct {
+	prng ring.PRNG
+}
+
+func newWeightGen(seed uint64) *weightGen {
+	return &weightGen{prng: ring.NewTestPRNG(seed)}
+}
+
+// normal returns a standard normal sample.
+func (g *weightGen) normal() float64 {
+	for {
+		u1 := float64(g.prng.Uint64()>>11) / (1 << 53)
+		u2 := float64(g.prng.Uint64()>>11) / (1 << 53)
+		if u1 == 0 {
+			continue
+		}
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// conv samples OIHW filters with He initialization.
+func (g *weightGen) conv(cout, cin, kh, kw int) *tensor.Tensor {
+	t := tensor.New(cout, cin, kh, kw)
+	std := math.Sqrt(2.0 / float64(cin*kh*kw))
+	for i := range t.Data {
+		t.Data[i] = g.normal() * std
+	}
+	return t
+}
+
+// dense samples a [out, in] matrix with He initialization.
+func (g *weightGen) dense(out, in int) *tensor.Tensor {
+	t := tensor.New(out, in)
+	std := math.Sqrt(2.0 / float64(in))
+	for i := range t.Data {
+		t.Data[i] = g.normal() * std
+	}
+	return t
+}
+
+// bias samples a small bias vector.
+func (g *weightGen) bias(n int) *tensor.Tensor {
+	t := tensor.New(n)
+	for i := range t.Data {
+		t.Data[i] = g.normal() * 0.05
+	}
+	return t
+}
+
+// Activation coefficients mimicking the learned f(x) = a*x^2 + b*x: a small
+// quadratic term keeps magnitudes bounded through depth.
+const actA, actB = 0.125, 0.75
+
+// lenet builds a LeNet-5-style network: two convolutions with activation
+// and average pooling, then two dense layers.
+func lenet(name string, c1, c2, fc1 int, samePad bool, seed uint64) *Model {
+	g := newWeightGen(seed)
+	b := circuit.NewBuilder(name)
+	x := b.Input(1, 28, 28)
+
+	pad := 0
+	if samePad {
+		pad = 2
+	}
+	x = b.Conv2D(x, g.conv(c1, 1, 5, 5), g.bias(c1), 1, pad, "conv1")
+	x = b.Activation(x, actA, actB, "act1")
+	x = b.AvgPool2D(x, 2, 2, "pool1")
+	x = b.Conv2D(x, g.conv(c2, c1, 5, 5), g.bias(c2), 1, pad, "conv2")
+	x = b.Activation(x, actA, actB, "act2")
+	x = b.AvgPool2D(x, 2, 2, "pool2")
+	x = b.Flatten(x, "flatten")
+	flat := x.OutShape[0]
+	x = b.Dense(x, g.dense(fc1, flat), g.bias(fc1), "fc1")
+	x = b.Activation(x, actA, actB, "act3")
+	x = b.Dense(x, g.dense(10, fc1), g.bias(10), "fc2")
+	x = b.Activation(x, actA, actB, "act4")
+	return &Model{
+		Name:        name,
+		Circuit:     b.Build(x),
+		InputShape:  []int{1, 28, 28},
+		Description: "LeNet-5-like CNN for MNIST (2 conv, 2 FC, 4 act)",
+	}
+}
+
+// LeNet5Small is the smallest MNIST network of Table 3.
+func LeNet5Small() *Model { return lenet("LeNet-5-small", 4, 8, 32, false, 101) }
+
+// LeNet5Medium is the mid-sized MNIST network of Table 3.
+func LeNet5Medium() *Model { return lenet("LeNet-5-medium", 16, 32, 128, false, 102) }
+
+// LeNet5Large matches the TensorFlow tutorial configuration cited by the
+// paper (32 and 64 feature maps, 512 hidden units, same padding).
+func LeNet5Large() *Model { return lenet("LeNet-5-large", 32, 64, 512, true, 103) }
+
+// Industrial is a stand-in for the paper's proprietary medical-imaging
+// network: 5 convolutional and 2 fully connected layers with 6 activations,
+// binary output. The exact architecture is not public; this instantiation
+// honours the published layer counts.
+func Industrial() *Model {
+	g := newWeightGen(104)
+	b := circuit.NewBuilder("Industrial")
+	x := b.Input(1, 32, 32)
+	x = b.Conv2D(x, g.conv(16, 1, 3, 3), g.bias(16), 1, 1, "conv1")
+	x = b.Activation(x, actA, actB, "act1")
+	x = b.Conv2D(x, g.conv(16, 16, 3, 3), g.bias(16), 2, 1, "conv2") // -> 16x16
+	x = b.Activation(x, actA, actB, "act2")
+	x = b.Conv2D(x, g.conv(32, 16, 3, 3), g.bias(32), 1, 1, "conv3")
+	x = b.Activation(x, actA, actB, "act3")
+	x = b.Conv2D(x, g.conv(32, 32, 3, 3), g.bias(32), 2, 1, "conv4") // -> 8x8
+	x = b.Activation(x, actA, actB, "act4")
+	x = b.Conv2D(x, g.conv(64, 32, 3, 3), g.bias(64), 1, 1, "conv5")
+	x = b.Activation(x, actA, actB, "act5")
+	x = b.Flatten(x, "flatten")
+	x = b.Dense(x, g.dense(64, 64*8*8), g.bias(64), "fc1")
+	x = b.Activation(x, actA, actB, "act6")
+	x = b.Dense(x, g.dense(2, 64), g.bias(2), "fc2")
+	return &Model{
+		Name:        "Industrial",
+		Circuit:     b.Build(x),
+		InputShape:  []int{1, 32, 32},
+		Description: "stand-in for the proprietary binary classifier (5 conv, 2 FC, 6 act)",
+	}
+}
+
+// fire appends a SqueezeNet Fire module: a 1x1 squeeze convolution followed
+// by parallel 1x1 and 3x3 expand convolutions whose outputs concatenate.
+func fire(b *circuit.Builder, g *weightGen, x *circuit.Node, squeeze, expand int, name string) *circuit.Node {
+	cin := x.OutShape[0]
+	s := b.Conv2D(x, g.conv(squeeze, cin, 1, 1), g.bias(squeeze), 1, 0, name+"/squeeze1x1")
+	s = b.Activation(s, actA, actB, name+"/act_squeeze")
+	e1 := b.Conv2D(s, g.conv(expand, squeeze, 1, 1), g.bias(expand), 1, 0, name+"/expand1x1")
+	e3 := b.Conv2D(s, g.conv(expand, squeeze, 3, 3), g.bias(expand), 1, 1, name+"/expand3x3")
+	cat := b.Concat(name+"/concat", e1, e3)
+	return b.Activation(cat, actA, actB, name+"/act_expand")
+}
+
+// SqueezeNetCIFAR follows the SqueezeNet architecture adapted to CIFAR-10
+// with four Fire modules — the deepest network of the paper's evaluation.
+func SqueezeNetCIFAR() *Model {
+	g := newWeightGen(105)
+	b := circuit.NewBuilder("SqueezeNet-CIFAR")
+	x := b.Input(3, 32, 32)
+	x = b.Conv2D(x, g.conv(64, 3, 3, 3), g.bias(64), 1, 1, "conv1")
+	x = b.Activation(x, actA, actB, "act1")
+	x = b.AvgPool2D(x, 2, 2, "pool1") // -> 16x16
+	x = fire(b, g, x, 16, 32, "fire2")
+	x = fire(b, g, x, 16, 32, "fire3")
+	x = b.AvgPool2D(x, 2, 2, "pool2") // -> 8x8
+	x = fire(b, g, x, 32, 64, "fire4")
+	x = fire(b, g, x, 32, 64, "fire5")
+	x = b.Conv2D(x, g.conv(10, 128, 1, 1), g.bias(10), 1, 0, "conv10")
+	x = b.GlobalAvgPool2D(x, "gap")
+	return &Model{
+		Name:        "SqueezeNet-CIFAR",
+		Circuit:     b.Build(x),
+		InputShape:  []int{3, 32, 32},
+		Description: "SqueezeNet for CIFAR-10 with 4 Fire modules (10 conv)",
+	}
+}
+
+// All returns the five evaluation networks in Table 3 order.
+func All() []*Model {
+	return []*Model{
+		LeNet5Small(), LeNet5Medium(), LeNet5Large(), Industrial(), SqueezeNetCIFAR(),
+	}
+}
+
+// ByName looks a model up by its Table 3 name (case-sensitive).
+func ByName(name string) (*Model, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	if name == "LeNet-tiny" {
+		return LeNetTiny(), nil
+	}
+	return nil, fmt.Errorf("nn: unknown model %q", name)
+}
+
+// LeNetTiny is a reduced network for demonstrations on real lattice
+// cryptography at small ring degrees (not part of the paper's evaluation).
+func LeNetTiny() *Model {
+	g := newWeightGen(106)
+	b := circuit.NewBuilder("LeNet-tiny")
+	x := b.Input(1, 8, 8)
+	x = b.Conv2D(x, g.conv(2, 1, 3, 3), g.bias(2), 1, 1, "conv1")
+	x = b.Activation(x, actA, actB, "act1")
+	x = b.AvgPool2D(x, 2, 2, "pool1")
+	x = b.Conv2D(x, g.conv(4, 2, 3, 3), nil, 1, 0, "conv2")
+	x = b.Activation(x, actA, actB, "act2")
+	x = b.Flatten(x, "flatten")
+	x = b.Dense(x, g.dense(10, 16), g.bias(10), "fc")
+	return &Model{
+		Name:        "LeNet-tiny",
+		Circuit:     b.Build(x),
+		InputShape:  []int{1, 8, 8},
+		Description: "reduced demo network for real-crypto runs",
+	}
+}
+
+// SyntheticImage produces a deterministic image in [0, 1) with the given
+// shape, standing in for MNIST/CIFAR samples.
+func SyntheticImage(shape []int, seed uint64) *tensor.Tensor {
+	prng := ring.NewTestPRNG(seed)
+	t := tensor.New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float64(prng.Uint64()>>11) / (1 << 53)
+	}
+	return t
+}

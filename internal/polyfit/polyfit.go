@@ -1,0 +1,142 @@
+// Package polyfit approximates non-polynomial activation functions by
+// low-degree polynomials, the preprocessing the paper assumes for circuits
+// containing ReLU, sigmoid, or tanh (Section 2.2, citing CryptoNets): FHE
+// schemes evaluate only additions and multiplications, so every activation
+// must become a polynomial before CHET compiles the circuit.
+//
+// The fit is Chebyshev interpolation on a caller-chosen interval, converted
+// to monomial coefficients for Horner evaluation under encryption.
+package polyfit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Approximation is a polynomial p(x) = C[0] + C[1] x + ... + C[d] x^d valid
+// on [A, B].
+type Approximation struct {
+	C    []float64
+	A, B float64
+}
+
+// Degree returns the polynomial degree.
+func (a *Approximation) Degree() int { return len(a.C) - 1 }
+
+// Eval evaluates the polynomial at x by Horner's rule.
+func (a *Approximation) Eval(x float64) float64 {
+	acc := 0.0
+	for i := len(a.C) - 1; i >= 0; i-- {
+		acc = acc*x + a.C[i]
+	}
+	return acc
+}
+
+// MaxError samples the interval and returns the largest deviation from f.
+func (a *Approximation) MaxError(f func(float64) float64, samples int) float64 {
+	if samples < 2 {
+		samples = 2
+	}
+	worst := 0.0
+	for i := 0; i < samples; i++ {
+		x := a.A + (a.B-a.A)*float64(i)/float64(samples-1)
+		if e := math.Abs(a.Eval(x) - f(x)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Chebyshev fits f on [a, b] with a degree-d Chebyshev interpolant and
+// returns it in monomial form. Degrees up to ~16 are numerically safe in
+// float64; homomorphic circuits rarely exceed degree 8 because every degree
+// costs multiplicative depth.
+func Chebyshev(f func(float64) float64, a, b float64, degree int) (*Approximation, error) {
+	if degree < 1 || degree > 24 {
+		return nil, fmt.Errorf("polyfit: degree %d out of supported range [1, 24]", degree)
+	}
+	if !(b > a) {
+		return nil, fmt.Errorf("polyfit: invalid interval [%g, %g]", a, b)
+	}
+	n := degree + 1
+
+	// Chebyshev nodes on [a, b] and function samples.
+	fx := make([]float64, n)
+	for k := 0; k < n; k++ {
+		t := math.Cos(math.Pi * (float64(k) + 0.5) / float64(n))
+		x := 0.5*(b-a)*t + 0.5*(b+a)
+		fx[k] = f(x)
+	}
+
+	// Chebyshev coefficients c_j = (2/n) * sum_k fx[k] T_j(t_k).
+	cheb := make([]float64, n)
+	for j := 0; j < n; j++ {
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			sum += fx[k] * math.Cos(math.Pi*float64(j)*(float64(k)+0.5)/float64(n))
+		}
+		cheb[j] = 2 * sum / float64(n)
+	}
+	cheb[0] /= 2
+
+	// Convert sum_j cheb[j] T_j(t) with t = (2x - (a+b)) / (b-a) to
+	// monomials in x. Build T_j in t-monomials via the recurrence, then
+	// substitute the affine map.
+	tPolys := make([][]float64, n)
+	tPolys[0] = []float64{1}
+	if n > 1 {
+		tPolys[1] = []float64{0, 1}
+	}
+	for j := 2; j < n; j++ {
+		prev, prev2 := tPolys[j-1], tPolys[j-2]
+		cur := make([]float64, j+1)
+		for i, v := range prev {
+			cur[i+1] += 2 * v
+		}
+		for i, v := range prev2 {
+			cur[i] -= v
+		}
+		tPolys[j] = cur
+	}
+
+	inT := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i, v := range tPolys[j] {
+			inT[i] += cheb[j] * v
+		}
+	}
+
+	// Substitute t = alpha*x + beta.
+	alpha := 2 / (b - a)
+	beta := -(a + b) / (b - a)
+	out := make([]float64, n)
+	// Horner in polynomial space: out = inT[n-1]; out = out*(alpha x + beta) + inT[i]
+	poly := []float64{inT[n-1]}
+	for i := n - 2; i >= 0; i-- {
+		next := make([]float64, len(poly)+1)
+		for k, v := range poly {
+			next[k+1] += v * alpha
+			next[k] += v * beta
+		}
+		next[0] += inT[i]
+		poly = next
+	}
+	copy(out, poly)
+
+	return &Approximation{C: out, A: a, B: b}, nil
+}
+
+// ReLU returns a degree-d approximation of max(0, x) on [-r, r].
+func ReLU(r float64, degree int) (*Approximation, error) {
+	return Chebyshev(func(x float64) float64 { return math.Max(0, x) }, -r, r, degree)
+}
+
+// Sigmoid returns a degree-d approximation of 1/(1+e^-x) on [-r, r].
+func Sigmoid(r float64, degree int) (*Approximation, error) {
+	return Chebyshev(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }, -r, r, degree)
+}
+
+// Tanh returns a degree-d approximation of tanh(x) on [-r, r].
+func Tanh(r float64, degree int) (*Approximation, error) {
+	return Chebyshev(math.Tanh, -r, r, degree)
+}

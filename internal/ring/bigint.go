@@ -1,0 +1,61 @@
+package ring
+
+import "math/big"
+
+// ModulusAtLevel returns Q = q_0 * ... * q_level as a big integer.
+func (r *Ring) ModulusAtLevel(level int) *big.Int {
+	q := big.NewInt(1)
+	for i := 0; i <= level; i++ {
+		q.Mul(q, new(big.Int).SetUint64(r.Moduli[i].Q))
+	}
+	return q
+}
+
+// PolyToBigintCentered reconstructs the coefficients of p (coefficient
+// domain) at the given level via the Chinese Remainder Theorem and returns
+// them centered in (-Q/2, Q/2].
+func (r *Ring) PolyToBigintCentered(p *Poly, level int) []*big.Int {
+	n := r.N
+	bigQ := r.ModulusAtLevel(level)
+	half := new(big.Int).Rsh(bigQ, 1)
+
+	// Precompute CRT constants: c_i = (Q/q_i) * ((Q/q_i)^{-1} mod q_i).
+	consts := make([]*big.Int, level+1)
+	for i := 0; i <= level; i++ {
+		qi := new(big.Int).SetUint64(r.Moduli[i].Q)
+		qhat := new(big.Int).Div(bigQ, qi)
+		inv := new(big.Int).ModInverse(new(big.Int).Mod(qhat, qi), qi)
+		consts[i] = new(big.Int).Mul(qhat, inv)
+	}
+
+	out := make([]*big.Int, n)
+	tmp := new(big.Int)
+	for j := 0; j < n; j++ {
+		acc := new(big.Int)
+		for i := 0; i <= level; i++ {
+			tmp.SetUint64(p.Coeffs[i][j])
+			tmp.Mul(tmp, consts[i])
+			acc.Add(acc, tmp)
+		}
+		acc.Mod(acc, bigQ)
+		if acc.Cmp(half) > 0 {
+			acc.Sub(acc, bigQ)
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+// SetCoeffsBigint writes arbitrary-precision coefficients into p
+// (coefficient domain) at the given level, reducing each modulo every prime.
+func (r *Ring) SetCoeffsBigint(coeffs []*big.Int, p *Poly, level int) {
+	tmp := new(big.Int)
+	for i := 0; i <= level; i++ {
+		qi := new(big.Int).SetUint64(r.Moduli[i].Q)
+		row := p.Coeffs[i]
+		for j, c := range coeffs {
+			tmp.Mod(c, qi)
+			row[j] = tmp.Uint64()
+		}
+	}
+}

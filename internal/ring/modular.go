@@ -1,0 +1,148 @@
+// Package ring implements arithmetic over the negacyclic polynomial rings
+// Z_q[X]/(X^N+1) used by the RNS-CKKS homomorphic encryption scheme: 64-bit
+// prime fields, NTT-friendly prime generation, negacyclic number-theoretic
+// transforms, RNS (residue number system) polynomials, Galois automorphisms,
+// and the random samplers required for lattice cryptography.
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Modulus bundles a word-sized prime q with the precomputed constants needed
+// for fast modular reduction.
+type Modulus struct {
+	Q uint64 // the prime, q < 2^61
+
+	// BRedConst is floor(2^128 / q), split into high and low 64-bit words.
+	// It drives Barrett reduction of 128-bit products.
+	BRedConst [2]uint64
+}
+
+// NewModulus precomputes reduction constants for the prime q.
+// It panics if q is zero or does not fit the supported range.
+func NewModulus(q uint64) Modulus {
+	if q == 0 || q >= 1<<61 {
+		panic(fmt.Sprintf("ring: modulus %d out of supported range (0, 2^61)", q))
+	}
+	return Modulus{Q: q, BRedConst: bRedConstant(q)}
+}
+
+// bRedConstant returns floor(2^128/q) as (hi, lo) 64-bit words.
+func bRedConstant(q uint64) [2]uint64 {
+	// hi = floor(2^128/q) >> 64 = floor(2^64/q) since q > 1.
+	hi, r := bits.Div64(1, 0, q) // floor(2^64/q), remainder
+	// lo = floor((r << 64) / q)
+	lo, _ := bits.Div64(r, 0, q)
+	return [2]uint64{hi, lo}
+}
+
+// AddMod returns (x + y) mod q. Inputs must be < q.
+func AddMod(x, y, q uint64) uint64 {
+	r := x + y
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
+// SubMod returns (x - y) mod q. Inputs must be < q.
+func SubMod(x, y, q uint64) uint64 {
+	r := x - y
+	if x < y {
+		r += q
+	}
+	return r
+}
+
+// NegMod returns (-x) mod q. Input must be < q.
+func NegMod(x, q uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	return q - x
+}
+
+// MulMod returns (x * y) mod q for x, y < q using 128-bit division.
+// It is exact for any q < 2^63.
+func MulMod(x, y, q uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	_, rem := bits.Div64(hi%q, lo, q)
+	return rem
+}
+
+// BRed returns (x * y) mod q using Barrett reduction with the precomputed
+// constant. Inputs must be < q. The result is fully reduced.
+func (m Modulus) BRed(x, y uint64) uint64 {
+	q := m.Q
+	u0, u1 := m.BRedConst[0], m.BRedConst[1]
+	mhi, mlo := bits.Mul64(x, y)
+
+	// qhat = floor((mhi*2^64 + mlo) * (u0*2^64 + u1) / 2^128), possibly
+	// underestimated by at most 2, corrected below.
+	t1hi, t1lo := bits.Mul64(mhi, u1)
+	t2hi, t2lo := bits.Mul64(mlo, u0)
+	t3hi, _ := bits.Mul64(mlo, u1)
+
+	s, c1 := bits.Add64(t1lo, t2lo, 0)
+	_, c2 := bits.Add64(s, t3hi, 0)
+
+	qhat := mhi*u0 + t1hi + t2hi + c1 + c2
+
+	r := mlo - qhat*q
+	for r >= q {
+		r -= q
+	}
+	return r
+}
+
+// MForm computes the Shoup representation floor(x * 2^64 / q) of a fixed
+// multiplicand x < q, for use with MulModShoup.
+func MForm(x, q uint64) uint64 {
+	hi, _ := bits.Div64(x, 0, q)
+	return hi
+}
+
+// MulModShoup returns (x * w) mod q where wShoup = MForm(w, q) was
+// precomputed. The result is in [0, q). This is the fast path used for
+// multiplications by fixed constants such as NTT twiddle factors.
+func MulModShoup(x, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(x, wShoup)
+	r := x*w - hi*q
+	if r >= q {
+		r -= q
+	}
+	return r
+}
+
+// mulModShoupLazy is MulModShoup with result in [0, 2q).
+func mulModShoupLazy(x, w, wShoup, q uint64) uint64 {
+	hi, _ := bits.Mul64(x, wShoup)
+	return x*w - hi*q
+}
+
+// PowMod returns x^e mod q by square-and-multiply.
+func PowMod(x, e, q uint64) uint64 {
+	if q == 1 {
+		return 0
+	}
+	result := uint64(1)
+	base := x % q
+	for e > 0 {
+		if e&1 == 1 {
+			result = MulMod(result, base, q)
+		}
+		base = MulMod(base, base, q)
+		e >>= 1
+	}
+	return result
+}
+
+// InvMod returns x^{-1} mod q for prime q. It panics if x ≡ 0 mod q.
+func InvMod(x, q uint64) uint64 {
+	if x%q == 0 {
+		panic("ring: division by zero in InvMod")
+	}
+	return PowMod(x, q-2, q)
+}

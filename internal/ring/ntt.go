@@ -1,0 +1,95 @@
+package ring
+
+import "math/bits"
+
+// nttTables holds the precomputed twiddle factors for a negacyclic NTT of
+// length N modulo one prime.
+type nttTables struct {
+	q        uint64
+	n        int
+	psiRev   []uint64 // psi^i in bit-reversed order, psi a primitive 2N-th root
+	psiRevS  []uint64 // Shoup form of psiRev
+	ipsiRev  []uint64 // psi^{-i} in bit-reversed order
+	ipsiRevS []uint64 // Shoup form of ipsiRev
+	nInv     uint64   // N^{-1} mod q
+	nInvS    uint64   // Shoup form of nInv
+}
+
+func newNTTTables(q uint64, logN int) *nttTables {
+	n := 1 << uint(logN)
+	psi := primitiveRoot2N(q, logN)
+	ipsi := InvMod(psi, q)
+
+	t := &nttTables{
+		q:        q,
+		n:        n,
+		psiRev:   make([]uint64, n),
+		psiRevS:  make([]uint64, n),
+		ipsiRev:  make([]uint64, n),
+		ipsiRevS: make([]uint64, n),
+		nInv:     InvMod(uint64(n), q),
+	}
+	t.nInvS = MForm(t.nInv, q)
+
+	p, ip := uint64(1), uint64(1)
+	shift := 64 - uint(logN)
+	for i := 0; i < n; i++ {
+		r := int(bits.Reverse64(uint64(i)) >> shift)
+		t.psiRev[r] = p
+		t.ipsiRev[r] = ip
+		p = MulMod(p, psi, q)
+		ip = MulMod(ip, ipsi, q)
+	}
+	for i := 0; i < n; i++ {
+		t.psiRevS[i] = MForm(t.psiRev[i], q)
+		t.ipsiRevS[i] = MForm(t.ipsiRev[i], q)
+	}
+	return t
+}
+
+// forward transforms a into the NTT (evaluation) domain in place.
+// Cooley-Tukey butterflies with merged negacyclic twist (Longa-Naehrig).
+func (t *nttTables) forward(a []uint64) {
+	q := t.q
+	n := t.n
+	dist := n
+	for m := 1; m < n; m <<= 1 {
+		dist >>= 1
+		for i := 0; i < m; i++ {
+			w := t.psiRev[m+i]
+			ws := t.psiRevS[m+i]
+			base := 2 * i * dist
+			for j := base; j < base+dist; j++ {
+				u := a[j]
+				v := MulModShoup(a[j+dist], w, ws, q)
+				a[j] = AddMod(u, v, q)
+				a[j+dist] = SubMod(u, v, q)
+			}
+		}
+	}
+}
+
+// inverse transforms a back to the coefficient domain in place.
+// Gentleman-Sande butterflies followed by multiplication with N^{-1}.
+func (t *nttTables) inverse(a []uint64) {
+	q := t.q
+	n := t.n
+	dist := 1
+	for m := n >> 1; m >= 1; m >>= 1 {
+		for i := 0; i < m; i++ {
+			w := t.ipsiRev[m+i]
+			ws := t.ipsiRevS[m+i]
+			base := 2 * i * dist
+			for j := base; j < base+dist; j++ {
+				u := a[j]
+				v := a[j+dist]
+				a[j] = AddMod(u, v, q)
+				a[j+dist] = MulModShoup(SubMod(u, v, q), w, ws, q)
+			}
+		}
+		dist <<= 1
+	}
+	for j := range a {
+		a[j] = MulModShoup(a[j], t.nInv, t.nInvS, q)
+	}
+}

@@ -1,0 +1,103 @@
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// IsPrime reports whether q is prime, using a deterministic Miller-Rabin
+// test valid for all 64-bit integers (fixed witness set).
+func IsPrime(q uint64) bool {
+	if q < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if q == p {
+			return true
+		}
+		if q%p == 0 {
+			return false
+		}
+	}
+	// q-1 = d * 2^s with d odd.
+	d := q - 1
+	s := bits.TrailingZeros64(d)
+	d >>= uint(s)
+
+	// This witness set is deterministic for all n < 3.3e24.
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := PowMod(a, d, q)
+		if x == 1 || x == q-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < s-1; i++ {
+			x = MulMod(x, x, q)
+			if x == q-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateNTTPrimes returns count distinct primes of the given bit size that
+// are congruent to 1 modulo 2N, searching downward from 2^bitSize. Such
+// primes admit a negacyclic NTT of length N. It panics on invalid arguments
+// and returns an error if not enough primes exist in the range.
+func GenerateNTTPrimes(bitSize, logN, count int) ([]uint64, error) {
+	if bitSize < 2 || bitSize > 60 {
+		panic(fmt.Sprintf("ring: prime bit size %d out of range [2, 60]", bitSize))
+	}
+	if logN < 1 || logN > 17 {
+		panic(fmt.Sprintf("ring: logN %d out of range [1, 17]", logN))
+	}
+	m := uint64(2) << uint(logN) // 2N
+	primes := make([]uint64, 0, count)
+
+	// Largest candidate ≡ 1 mod 2N strictly below 2^bitSize.
+	upper := uint64(1) << uint(bitSize)
+	c := (upper-1)/m*m + 1
+	lower := uint64(1) << uint(bitSize-1)
+
+	for c > lower {
+		if IsPrime(c) {
+			primes = append(primes, c)
+			if len(primes) == count {
+				return primes, nil
+			}
+		}
+		if c < m {
+			break
+		}
+		c -= m
+	}
+	return nil, fmt.Errorf("ring: found only %d of %d %d-bit NTT primes for logN=%d",
+		len(primes), count, bitSize, logN)
+}
+
+// primitiveRoot2N returns a primitive 2N-th root of unity modulo the prime q,
+// which must satisfy q ≡ 1 mod 2N.
+func primitiveRoot2N(q uint64, logN int) uint64 {
+	m := uint64(2) << uint(logN) // 2N
+	n := uint64(1) << uint(logN) // N
+	if (q-1)%m != 0 {
+		panic(fmt.Sprintf("ring: prime %d is not ≡ 1 mod %d", q, m))
+	}
+	exp := (q - 1) / m
+	// Deterministic search: successive candidates x, test y = x^((q-1)/2N).
+	// y is a primitive 2N-th root iff y^N = -1.
+	for x := uint64(2); ; x++ {
+		y := PowMod(x, exp, q)
+		if y == 0 || y == 1 {
+			continue
+		}
+		if PowMod(y, n, q) == q-1 {
+			return y
+		}
+	}
+}

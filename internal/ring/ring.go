@@ -1,0 +1,307 @@
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Ring represents the family of residue rings Z_{q_i}[X]/(X^N+1) for a chain
+// of NTT-friendly primes q_0, ..., q_L. A Poly of level ℓ carries one residue
+// row per prime q_0..q_ℓ. All multiplicative operations expect operands in
+// the NTT (evaluation) domain unless documented otherwise.
+type Ring struct {
+	LogN   int
+	N      int
+	Moduli []Modulus
+
+	tables []*nttTables
+
+	autoMu    sync.Mutex
+	autoPerms map[uint64][]int // NTT-domain permutation per Galois element
+}
+
+// NewRing constructs a Ring with degree 2^logN and the given prime chain.
+// Every prime must be ≡ 1 mod 2N and distinct.
+func NewRing(logN int, primes []uint64) (*Ring, error) {
+	if logN < 1 || logN > 17 {
+		return nil, fmt.Errorf("ring: logN %d out of range [1, 17]", logN)
+	}
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("ring: empty prime chain")
+	}
+	n := 1 << uint(logN)
+	seen := make(map[uint64]bool, len(primes))
+	r := &Ring{
+		LogN:      logN,
+		N:         n,
+		Moduli:    make([]Modulus, len(primes)),
+		tables:    make([]*nttTables, len(primes)),
+		autoPerms: make(map[uint64][]int),
+	}
+	for i, q := range primes {
+		if seen[q] {
+			return nil, fmt.Errorf("ring: duplicate prime %d", q)
+		}
+		seen[q] = true
+		if !IsPrime(q) {
+			return nil, fmt.Errorf("ring: modulus %d is not prime", q)
+		}
+		if (q-1)%uint64(2*n) != 0 {
+			return nil, fmt.Errorf("ring: prime %d is not NTT-friendly for N=%d", q, n)
+		}
+		r.Moduli[i] = NewModulus(q)
+		r.tables[i] = newNTTTables(q, logN)
+	}
+	return r, nil
+}
+
+// MaxLevel returns the highest level (index of the last prime in the chain).
+func (r *Ring) MaxLevel() int { return len(r.Moduli) - 1 }
+
+// Poly is a polynomial in RNS representation: Coeffs[i][j] is the j-th
+// coefficient modulo the i-th prime. The level of a Poly is len(Coeffs)-1.
+type Poly struct {
+	Coeffs [][]uint64
+}
+
+// NewPoly allocates a zero polynomial at the given level.
+func (r *Ring) NewPoly(level int) *Poly {
+	if level < 0 || level > r.MaxLevel() {
+		panic(fmt.Sprintf("ring: level %d out of range [0, %d]", level, r.MaxLevel()))
+	}
+	rows := level + 1
+	backing := make([]uint64, rows*r.N)
+	p := &Poly{Coeffs: make([][]uint64, rows)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = backing[i*r.N : (i+1)*r.N : (i+1)*r.N]
+	}
+	return p
+}
+
+// Level returns the level of p.
+func (p *Poly) Level() int { return len(p.Coeffs) - 1 }
+
+// CopyNew returns a deep copy of p.
+func (p *Poly) CopyNew() *Poly {
+	out := &Poly{Coeffs: make([][]uint64, len(p.Coeffs))}
+	for i := range p.Coeffs {
+		out.Coeffs[i] = append([]uint64(nil), p.Coeffs[i]...)
+	}
+	return out
+}
+
+// Copy copies src into p. Levels must match.
+func (p *Poly) Copy(src *Poly) {
+	if len(p.Coeffs) != len(src.Coeffs) {
+		panic("ring: level mismatch in Copy")
+	}
+	for i := range p.Coeffs {
+		copy(p.Coeffs[i], src.Coeffs[i])
+	}
+}
+
+// DropLevel removes the top rows so that p has the given level.
+func (p *Poly) DropLevel(level int) {
+	if level >= len(p.Coeffs) {
+		panic("ring: DropLevel cannot raise level")
+	}
+	p.Coeffs = p.Coeffs[:level+1]
+}
+
+// Zero sets all coefficients of p to zero.
+func (p *Poly) Zero() {
+	for i := range p.Coeffs {
+		row := p.Coeffs[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+func (r *Ring) checkLevels(level int, ps ...*Poly) {
+	for _, p := range ps {
+		if p.Level() < level {
+			panic(fmt.Sprintf("ring: operand level %d below requested level %d", p.Level(), level))
+		}
+	}
+}
+
+// NTT transforms p (levels 0..level) into the evaluation domain in place.
+func (r *Ring) NTT(p *Poly, level int) {
+	r.checkLevels(level, p)
+	for i := 0; i <= level; i++ {
+		r.tables[i].forward(p.Coeffs[i])
+	}
+}
+
+// InvNTT transforms p (levels 0..level) back to coefficient domain in place.
+func (r *Ring) InvNTT(p *Poly, level int) {
+	r.checkLevels(level, p)
+	for i := 0; i <= level; i++ {
+		r.tables[i].inverse(p.Coeffs[i])
+	}
+}
+
+// NTTSingle applies the forward NTT for the i-th prime to a raw row.
+func (r *Ring) NTTSingle(i int, row []uint64) { r.tables[i].forward(row) }
+
+// InvNTTSingle applies the inverse NTT for the i-th prime to a raw row.
+func (r *Ring) InvNTTSingle(i int, row []uint64) { r.tables[i].inverse(row) }
+
+// Add sets out = a + b at the given level.
+func (r *Ring) Add(a, b, out *Poly, level int) {
+	r.checkLevels(level, a, b, out)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = AddMod(ra[j], rb[j], q)
+		}
+	}
+}
+
+// Sub sets out = a - b at the given level.
+func (r *Ring) Sub(a, b, out *Poly, level int) {
+	r.checkLevels(level, a, b, out)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = SubMod(ra[j], rb[j], q)
+		}
+	}
+}
+
+// Neg sets out = -a at the given level.
+func (r *Ring) Neg(a, out *Poly, level int) {
+	r.checkLevels(level, a, out)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = NegMod(ra[j], q)
+		}
+	}
+}
+
+// MulCoeffs sets out = a ⊙ b (pointwise product; NTT domain) at level.
+func (r *Ring) MulCoeffs(a, b, out *Poly, level int) {
+	r.checkLevels(level, a, b, out)
+	for i := 0; i <= level; i++ {
+		m := r.Moduli[i]
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = m.BRed(ra[j], rb[j])
+		}
+	}
+}
+
+// MulCoeffsAndAdd sets out += a ⊙ b (pointwise; NTT domain) at level.
+func (r *Ring) MulCoeffsAndAdd(a, b, out *Poly, level int) {
+	r.checkLevels(level, a, b, out)
+	for i := 0; i <= level; i++ {
+		m := r.Moduli[i]
+		q := m.Q
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = AddMod(ro[j], m.BRed(ra[j], rb[j]), q)
+		}
+	}
+}
+
+// MulScalar sets out = a * scalar at the given level. The scalar is reduced
+// modulo each prime; it works in either domain.
+func (r *Ring) MulScalar(a *Poly, scalar uint64, out *Poly, level int) {
+	r.checkLevels(level, a, out)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		s := scalar % q
+		ss := MForm(s, q)
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = MulModShoup(ra[j], s, ss, q)
+		}
+	}
+}
+
+// GaloisGen is the generator of the cyclic rotation group of CKKS slots:
+// the automorphism X -> X^{5^k} rotates the slot vector by k positions.
+const GaloisGen uint64 = 5
+
+// GaloisElementForRotation returns the Galois element 5^k mod 2N that
+// rotates CKKS slots left by k (k may be negative).
+func (r *Ring) GaloisElementForRotation(k int) uint64 {
+	m := uint64(2 * r.N)
+	order := uint64(r.N / 2) // order of 5 in Z_{2N}^* / {±1} slots cycle
+	kk := uint64(((k % int(order)) + int(order))) % order
+	return PowMod(GaloisGen, kk, m)
+}
+
+// GaloisElementConjugate returns the Galois element 2N-1 realizing complex
+// conjugation of the slots.
+func (r *Ring) GaloisElementConjugate() uint64 { return uint64(2*r.N) - 1 }
+
+// permTable returns (building if needed) the NTT-domain permutation for the
+// Galois automorphism X -> X^galEl.
+func (r *Ring) permTable(galEl uint64) []int {
+	r.autoMu.Lock()
+	defer r.autoMu.Unlock()
+	if p, ok := r.autoPerms[galEl]; ok {
+		return p
+	}
+	n := r.N
+	m := uint64(2 * n)
+	if galEl%2 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	logN := r.LogN
+	shift := 64 - uint(logN)
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		// Storage slot i holds the evaluation at psi^{2*rev(i)+1}.
+		iRev := int(bits.Reverse64(uint64(i)) >> shift)
+		// After the automorphism the value at exponent e comes from
+		// exponent e*galEl.
+		e := (uint64(2*iRev+1) * galEl) % m
+		j := int((e - 1) / 2)
+		jRev := int(bits.Reverse64(uint64(j)) >> shift)
+		perm[i] = jRev
+	}
+	r.autoPerms[galEl] = perm
+	return perm
+}
+
+// AutomorphismNTT applies X -> X^galEl to a (in NTT domain), writing to out.
+// a and out must not alias.
+func (r *Ring) AutomorphismNTT(a *Poly, galEl uint64, out *Poly, level int) {
+	r.checkLevels(level, a, out)
+	perm := r.permTable(galEl)
+	for i := 0; i <= level; i++ {
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j, pj := range perm {
+			ro[j] = ra[pj]
+		}
+	}
+}
+
+// AutomorphismCoeff applies X -> X^galEl to a in the coefficient domain,
+// writing to out. a and out must not alias. Exposed for testing the
+// NTT-domain permutation against the definition.
+func (r *Ring) AutomorphismCoeff(a *Poly, galEl uint64, out *Poly, level int) {
+	r.checkLevels(level, a, out)
+	n := uint64(r.N)
+	m := 2 * n
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j := uint64(0); j < n; j++ {
+			e := (j * galEl) % m
+			if e < n {
+				ro[e] = ra[j]
+			} else {
+				ro[e-n] = NegMod(ra[j], q)
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	goodPrimes, err := GenerateNTTPrimes(40, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		logN   int
+		primes []uint64
+	}{
+		{"logN too small", 0, goodPrimes},
+		{"logN too large", 18, goodPrimes},
+		{"empty chain", 8, nil},
+		{"duplicate prime", 8, []uint64{goodPrimes[0], goodPrimes[0]}},
+		{"composite modulus", 8, []uint64{goodPrimes[0] - 1}},
+		{"not NTT friendly", 8, []uint64{97}}, // 97-1 = 96 not divisible by 512
+	}
+	for _, tc := range cases {
+		if _, err := NewRing(tc.logN, tc.primes); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestGenerateNTTPrimesExhaustion(t *testing.T) {
+	// 21-bit primes congruent 1 mod 2^18 are rare; asking for many must
+	// fail gracefully rather than loop forever.
+	if _, err := GenerateNTTPrimes(21, 17, 50); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestGenerateNTTPrimesPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { GenerateNTTPrimes(1, 8, 1) },
+		func() { GenerateNTTPrimes(61, 8, 1) },
+		func() { GenerateNTTPrimes(40, 0, 1) },
+		func() { GenerateNTTPrimes(40, 18, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFermatLittleTheoremProperty(t *testing.T) {
+	q := uint64(0x3ffffffff040001)
+	f := func(a uint64) bool {
+		x := a % q
+		if x == 0 {
+			return true
+		}
+		return PowMod(x, q-1, q) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaloisElementWrapsAtSlotCount(t *testing.T) {
+	r := testRing(t, 8, 1)
+	slots := r.N / 2
+	if r.GaloisElementForRotation(0) != 1 {
+		t.Fatal("rotation by 0 must map to the identity automorphism")
+	}
+	if r.GaloisElementForRotation(slots) != 1 {
+		t.Fatal("rotation by the slot count must wrap to the identity")
+	}
+	if r.GaloisElementForRotation(3) != r.GaloisElementForRotation(3+slots) {
+		t.Fatal("rotations must be periodic in the slot count")
+	}
+}
+
+func TestAutomorphismPanicsOnEvenElement(t *testing.T) {
+	r := testRing(t, 6, 1)
+	a := r.NewPoly(0)
+	out := r.NewPoly(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for even Galois element")
+		}
+	}()
+	r.AutomorphismNTT(a, 2, out, 0)
+}
+
+func TestMulScalarReducesLargeScalars(t *testing.T) {
+	r := testRing(t, 5, 2)
+	s := NewSampler(r, NewTestPRNG(13))
+	a := r.NewPoly(r.MaxLevel())
+	s.UniformPoly(a, a.Level())
+
+	// scalar > both moduli: must behave as scalar mod q per row.
+	big := ^uint64(0) - 5
+	got := r.NewPoly(r.MaxLevel())
+	r.MulScalar(a, big, got, a.Level())
+	for i := 0; i <= a.Level(); i++ {
+		q := r.Moduli[i].Q
+		sm := big % q
+		for j := 0; j < r.N; j++ {
+			if got.Coeffs[i][j] != MulMod(a.Coeffs[i][j], sm, q) {
+				t.Fatalf("row %d slot %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestPolyLevelGuards(t *testing.T) {
+	r := testRing(t, 5, 2)
+	p := r.NewPoly(0)
+
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("NewPoly negative", func() { r.NewPoly(-1) })
+	assertPanics("NewPoly too high", func() { r.NewPoly(5) })
+	assertPanics("DropLevel raise", func() { p.DropLevel(1) })
+	assertPanics("op above operand level", func() { r.Add(p, p, p, 1) })
+	assertPanics("copy level mismatch", func() { p.Copy(r.NewPoly(1)) })
+}
+
+func TestInvModZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	InvMod(0, 97)
+}
+
+func TestNewModulusRange(t *testing.T) {
+	for _, q := range []uint64{0, 1 << 61} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewModulus(%d): expected panic", q)
+				}
+			}()
+			NewModulus(q)
+		}()
+	}
+}
+
+func TestCryptoPRNGProducesDistinctStreams(t *testing.T) {
+	a, b := NewCryptoPRNG(), NewCryptoPRNG()
+	same := 0
+	for i := 0; i < 16; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("two crypto PRNGs produced identical streams")
+	}
+}
+
+func TestTestPRNGDeterminism(t *testing.T) {
+	a, b := NewTestPRNG(5), NewTestPRNG(5)
+	for i := 0; i < 64; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed test PRNGs diverged")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package tensor provides the dense plaintext tensors and reference
+// neural-network kernels used by CHET as the unencrypted inference engine:
+// the functional specification that homomorphic kernels are validated
+// against, the engine behind profile-guided scale selection, and the source
+// of the floating-point operation counts reported in the evaluation.
+package tensor
+
+import "fmt"
+
+// Tensor is a dense row-major float64 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	size := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		size *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, size)}
+}
+
+// FromData wraps data with a shape, validating the element count.
+func FromData(data []float64, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...)}
+	size := 1
+	for _, d := range shape {
+		size *= d
+	}
+	if size != len(data) {
+		panic(fmt.Sprintf("tensor: %d elements do not fit shape %v", len(data), shape))
+	}
+	t.Data = data
+	return t
+}
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	return &Tensor{
+		Shape: append([]int(nil), t.Shape...),
+		Data:  append([]float64(nil), t.Data...),
+	}
+}
+
+// Reshape returns a view-copy with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	size := 1
+	for _, d := range shape {
+		size *= d
+	}
+	if size != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// index computes the flat offset of a multi-index.
+func (t *Tensor) index(idx ...int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.index(idx...)] }
+
+// Set writes the element at the multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.index(idx...)] = v }
+
+// MaxAbs returns the largest absolute element value (0 for empty tensors).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element.
+func (t *Tensor) ArgMax() int {
+	best := 0
+	for i, v := range t.Data {
+		if v > t.Data[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,255 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewAndIndexing(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Size() != 24 || tt.Rank() != 3 {
+		t.Fatalf("size/rank wrong: %d/%d", tt.Size(), tt.Rank())
+	}
+	tt.Set(5, 1, 2, 3)
+	if tt.At(1, 2, 3) != 5 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if tt.Data[1*12+2*4+3] != 5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestIndexOutOfBoundsPanics(t *testing.T) {
+	tt := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tt.At(2, 0)
+}
+
+func TestFromDataAndReshape(t *testing.T) {
+	tt := FromData([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := tt.Reshape(3, 2)
+	if r.At(2, 1) != 6 {
+		t.Fatal("reshape changed element order")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad reshape")
+		}
+	}()
+	tt.Reshape(4, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromData([]float64{1, 2}, 2)
+	b := a.Clone()
+	b.Data[0] = 9
+	if a.Data[0] != 1 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	in := FromData([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 3, 3)
+	// 1x1 identity filter.
+	f := FromData([]float64{1}, 1, 1, 1, 1)
+	out := Conv2D(in, f, 1, 0)
+	for i := range in.Data {
+		if !almostEqual(out.Data[i], in.Data[i]) {
+			t.Fatal("1x1 identity conv changed values")
+		}
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 3x3 input, 2x2 averaging filter, valid padding.
+	in := FromData([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 3, 3)
+	f := FromData([]float64{0.25, 0.25, 0.25, 0.25}, 1, 1, 2, 2)
+	out := Conv2D(in, f, 1, 0)
+	want := []float64{3, 4, 6, 7} // window means
+	if out.Shape[1] != 2 || out.Shape[2] != 2 {
+		t.Fatalf("output shape %v", out.Shape)
+	}
+	for i, w := range want {
+		if !almostEqual(out.Data[i], w) {
+			t.Fatalf("conv[%d] = %g, want %g", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestConv2DPaddingAndStride(t *testing.T) {
+	in := New(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	f := FromData([]float64{1, 1, 1, 1, 1, 1, 1, 1, 1}, 1, 1, 3, 3)
+	// Same padding, stride 1: corners see 4 ones, centers see 9.
+	out := Conv2D(in, f, 1, 1)
+	if out.Shape[1] != 4 || out.Shape[2] != 4 {
+		t.Fatalf("same-pad output shape %v", out.Shape)
+	}
+	if !almostEqual(out.At(0, 0, 0), 4) || !almostEqual(out.At(0, 1, 1), 9) {
+		t.Fatalf("padding semantics wrong: corner %g center %g", out.At(0, 0, 0), out.At(0, 1, 1))
+	}
+	// Stride 2.
+	out2 := Conv2D(in, f, 2, 1)
+	if out2.Shape[1] != 2 || out2.Shape[2] != 2 {
+		t.Fatalf("strided output shape %v", out2.Shape)
+	}
+}
+
+func TestConv2DMultiChannel(t *testing.T) {
+	// Two input channels, filter sums them; one output channel.
+	in := New(2, 2, 2)
+	for i := range in.Data {
+		in.Data[i] = float64(i + 1)
+	}
+	f := FromData([]float64{1, 1}, 1, 2, 1, 1)
+	out := Conv2D(in, f, 1, 0)
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 2; x++ {
+			want := in.At(0, y, x) + in.At(1, y, x)
+			if !almostEqual(out.At(0, y, x), want) {
+				t.Fatal("multi-channel conv sum wrong")
+			}
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	w := FromData([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := FromData([]float64{1, 1, 1}, 3)
+	bias := FromData([]float64{10, 20}, 2)
+	out := MatVec(w, x, bias)
+	if !almostEqual(out.Data[0], 16) || !almostEqual(out.Data[1], 35) {
+		t.Fatalf("MatVec got %v", out.Data)
+	}
+	out = MatVec(w, x, nil)
+	if !almostEqual(out.Data[0], 6) || !almostEqual(out.Data[1], 15) {
+		t.Fatalf("MatVec no-bias got %v", out.Data)
+	}
+}
+
+func TestAvgPool2D(t *testing.T) {
+	in := FromData([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, 1, 4, 4)
+	out := AvgPool2D(in, 2, 2)
+	want := []float64{3.5, 5.5, 11.5, 13.5}
+	for i, w := range want {
+		if !almostEqual(out.Data[i], w) {
+			t.Fatalf("pool[%d] = %g, want %g", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestGlobalAvgPool2D(t *testing.T) {
+	in := FromData([]float64{1, 2, 3, 4, 10, 20, 30, 40}, 2, 2, 2)
+	out := GlobalAvgPool2D(in)
+	if !almostEqual(out.Data[0], 2.5) || !almostEqual(out.Data[1], 25) {
+		t.Fatalf("global pool got %v", out.Data)
+	}
+}
+
+func TestPolyActivation(t *testing.T) {
+	in := FromData([]float64{-1, 0, 2}, 3)
+	out := PolyActivation(in, 0.5, 1)
+	want := []float64{0.5*1 - 1, 0, 0.5*4 + 2}
+	for i, w := range want {
+		if !almostEqual(out.Data[i], w) {
+			t.Fatalf("act[%d] = %g, want %g", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestBatchNormAndBias(t *testing.T) {
+	in := FromData([]float64{1, 2, 3, 4}, 2, 1, 2)
+	gamma := FromData([]float64{2, 3}, 2)
+	beta := FromData([]float64{1, -1}, 2)
+	out := BatchNorm(in, gamma, beta)
+	want := []float64{3, 5, 8, 11}
+	for i, w := range want {
+		if !almostEqual(out.Data[i], w) {
+			t.Fatalf("bn[%d] = %g, want %g", i, out.Data[i], w)
+		}
+	}
+
+	out = AddBiasPerChannel(in, FromData([]float64{10, 20}, 2))
+	want = []float64{11, 12, 23, 24}
+	for i, w := range want {
+		if !almostEqual(out.Data[i], w) {
+			t.Fatalf("bias[%d] = %g, want %g", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestConcatChannels(t *testing.T) {
+	a := FromData([]float64{1, 2, 3, 4}, 1, 2, 2)
+	b := FromData([]float64{5, 6, 7, 8, 9, 10, 11, 12}, 2, 2, 2)
+	out := ConcatChannels(a, b)
+	if out.Shape[0] != 3 {
+		t.Fatalf("concat channels = %d", out.Shape[0])
+	}
+	if out.At(0, 0, 0) != 1 || out.At(1, 0, 0) != 5 || out.At(2, 1, 1) != 12 {
+		t.Fatal("concat values misplaced")
+	}
+}
+
+func TestPad2D(t *testing.T) {
+	in := FromData([]float64{1, 2, 3, 4}, 1, 2, 2)
+	out := Pad2D(in, 1)
+	if out.Shape[1] != 4 || out.Shape[2] != 4 {
+		t.Fatalf("pad shape %v", out.Shape)
+	}
+	if out.At(0, 0, 0) != 0 || out.At(0, 1, 1) != 1 || out.At(0, 2, 2) != 4 {
+		t.Fatal("pad values misplaced")
+	}
+}
+
+func TestAddProperty(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		ta := FromData(a[:], 8)
+		tb := FromData(b[:], 8)
+		sum := Add(ta, tb)
+		for i := range sum.Data {
+			if sum.Data[i] != a[i]+b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsAndArgMax(t *testing.T) {
+	tt := FromData([]float64{-5, 2, 4, -1}, 4)
+	if tt.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %g", tt.MaxAbs())
+	}
+	if tt.ArgMax() != 2 {
+		t.Fatalf("ArgMax = %d", tt.ArgMax())
+	}
+}
+
+func TestFlopCounters(t *testing.T) {
+	// A 1-channel 3x3 input with one 2x2 filter: 4 output positions? No —
+	// valid padding gives 2x2 outputs, each 4 MACs = 8 FLOPs, total 32.
+	if got := Conv2DFlops(1, 3, 3, 1, 2, 2, 1, 0); got != 32 {
+		t.Fatalf("Conv2DFlops = %d, want 32", got)
+	}
+	if got := MatVecFlops(10, 5); got != 100 {
+		t.Fatalf("MatVecFlops = %d", got)
+	}
+	if got := PolyActivationFlops(7); got != 28 {
+		t.Fatalf("PolyActivationFlops = %d", got)
+	}
+	if got := AvgPool2DFlops(1, 4, 4, 2, 2); got != 4*5 {
+		t.Fatalf("AvgPool2DFlops = %d", got)
+	}
+}
