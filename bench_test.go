@@ -8,6 +8,7 @@ package chet
 // available via `go run ./cmd/chet-bench -exp all`.
 
 import (
+	"fmt"
 	"testing"
 
 	"chet/internal/bench"
@@ -147,6 +148,95 @@ func BenchmarkEndToEnd_RealRNSInference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		htc.Execute(backend, model.Circuit, enc, comp.Best.Policy, sc)
+	}
+}
+
+// rnsConvFixture builds a real RNS-CKKS backend and an encrypted CHW input
+// for the parallel kernel benchmarks.
+func rnsConvFixture(b *testing.B) (hisa.Backend, *htc.CipherTensor, htc.Scales) {
+	b.Helper()
+	logQ := []int{50}
+	for i := 0; i < 7; i++ {
+		logQ = append(logQ, 40)
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN: 11, LogQ: logQ, LogP: 50, LogScale: 40,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend := hisa.NewRNSBackend(hisa.RNSConfig{Params: params, PRNG: ring.NewTestPRNG(41)})
+	sc := htc.DefaultScales()
+	img := nn.SyntheticImage([]int{4, 8, 8}, 19)
+	enc := htc.EncryptTensor(backend, img, htc.Plan{Layout: htc.LayoutCHW}, sc)
+	return backend, enc, sc
+}
+
+// workerSweep is the Workers axis of the parallel kernel benchmarks.
+var workerSweep = []int{1, 2, 4, 8}
+
+// BenchmarkParallelConv2D sweeps the worker-pool size for the convolution
+// kernel on the real lattice backend. On a single-core machine all points
+// coincide; on a multi-core machine the marginal speedup per doubling is
+// the quantity of interest.
+func BenchmarkParallelConv2D(b *testing.B) {
+	backend, enc, sc := rnsConvFixture(b)
+	filters := nn.SyntheticImage([]int{8, 4, 3, 3}, 43)
+	for _, workers := range workerSweep {
+		b.Run(benchWorkersName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				htc.Conv2DOpts(backend, enc, filters, nil, 1, 0, sc,
+					htc.ExecOptions{Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDense sweeps the worker-pool size for the fully
+// connected kernel (per-output-neuron fan-out) on the real lattice backend.
+func BenchmarkParallelDense(b *testing.B) {
+	backend, enc, sc := rnsConvFixture(b)
+	weights := nn.SyntheticImage([]int{16, 4 * 8 * 8}, 47)
+	for _, workers := range workerSweep {
+		b.Run(benchWorkersName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				htc.DenseOpts(backend, enc, weights, nil, sc,
+					htc.ExecOptions{Workers: workers})
+			}
+		})
+	}
+}
+
+func benchWorkersName(workers int) string {
+	return fmt.Sprintf("workers=%d", workers)
+}
+
+// BenchmarkEndToEnd_ParallelRNSInference is the serial benchmark above with
+// a worker pool per CPU: the serial-vs-parallel wall-clock ratio is the
+// engine's end-to-end speedup (reported by `chet-bench -exp parallel`).
+func BenchmarkEndToEnd_ParallelRNSInference(b *testing.B) {
+	model := nn.LeNetTiny()
+	comp, err := core.Compile(model.Circuit, core.Options{
+		Scheme:       core.SchemeRNS,
+		SecurityBits: -1,
+		MinLogN:      11,
+		MaxLogN:      11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend, err := core.BuildBackend(comp, ring.NewTestPRNG(31))
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := nn.SyntheticImage(model.InputShape, 13)
+	sc := comp.Options.Scales
+	plan := htc.PlanFor(model.Circuit, comp.Best.Policy)
+	enc := htc.EncryptTensor(backend, img, plan, sc)
+	opts := htc.DefaultExecOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		htc.ExecuteOpts(backend, model.Circuit, enc, comp.Best.Policy, sc, opts)
 	}
 }
 

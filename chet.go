@@ -113,6 +113,11 @@ type Session struct {
 	Compiled *Compiled
 	Backend  Backend
 
+	// Workers sets the worker-pool size Infer fans kernel work across:
+	// 0 or 1 executes serially, runtime.GOMAXPROCS(0) uses every CPU.
+	// Parallel inference is bit-identical to serial on every backend.
+	Workers int
+
 	plan htc.Plan
 }
 
@@ -137,10 +142,11 @@ func (s *Session) Encrypt(img *Tensor) *CipherTensor {
 }
 
 // Infer executes the optimized homomorphic tensor circuit on an encrypted
-// input, producing an encrypted prediction.
+// input, producing an encrypted prediction. With Workers > 1 the kernels
+// fan independent per-output work across a goroutine pool.
 func (s *Session) Infer(enc *CipherTensor) *CipherTensor {
-	return htc.Execute(s.Backend, s.Compiled.Circuit, enc, s.Compiled.Best.Policy,
-		s.Compiled.Options.Scales)
+	return htc.ExecuteOpts(s.Backend, s.Compiled.Circuit, enc, s.Compiled.Best.Policy,
+		s.Compiled.Options.Scales, htc.ExecOptions{Workers: s.Workers})
 }
 
 // Decrypt recovers the prediction tensor.

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's tier-1 gate plus the race-detector pass over the
+# concurrency-sensitive packages (evaluator scratch pools, worker-pool
+# kernels, atomic op meter). Run before every commit.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrency-sensitive packages)"
+go test -race ./internal/hisa/... ./internal/htc/... ./internal/ckks/...
+
+echo "CI OK"

@@ -7,12 +7,16 @@
 //	chet-bench -exp all            # every experiment on the small model set
 //	chet-bench -exp table4 -full   # all five evaluation networks
 //	chet-bench -exp fig6           # measured real-crypto latency vs cost model
+//	chet-bench -exp parallel -workers 8   # serial vs worker-pool inference
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,109 +25,165 @@ import (
 	"chet/internal/nn"
 )
 
+// experiment is one named evaluation reproduction.
+type experiment struct {
+	name string
+	run  func(w io.Writer) error
+}
+
+// benchConfig parameterizes the experiment set so tests can substitute
+// tractable sizes for the defaults.
+type benchConfig struct {
+	// models drives the analysis-only experiments.
+	models []*nn.Model
+	// fig6Models and fig6LogN size the real-crypto measurements (Figure 6
+	// and the parallel-speedup experiment).
+	fig6Models  []*nn.Model
+	fig6LogN    int
+	table1Sizes [][2]int
+	scaleSearch bool
+	workers     int
+}
+
+func defaultConfig() benchConfig {
+	small, _ := nn.ByName("LeNet-5-small")
+	return benchConfig{
+		models:      bench.SmallModels(),
+		fig6Models:  []*nn.Model{nn.LeNetTiny(), small},
+		fig6LogN:    12,
+		table1Sizes: [][2]int{{11, 2}, {11, 4}, {11, 8}, {12, 4}, {13, 4}},
+		workers:     runtime.GOMAXPROCS(0),
+	}
+}
+
+// experiments returns every experiment in display order.
+func experiments(cfg benchConfig) []experiment {
+	return []experiment{
+		{"table1", func(w io.Writer) error {
+			rows, err := bench.Table1(cfg.table1Sizes)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderTable1(rows))
+			fmt.Fprintln(w, "expected shape: add/sMul/pMul scale ~N*r; ctMul/rot scale ~N*logN*r^2")
+			return nil
+		}},
+		{"table3", func(w io.Writer) error {
+			fmt.Fprint(w, bench.RenderTable3(bench.Table3(cfg.models, true)))
+			fmt.Fprintln(w, "fidelity = max |encrypted - plaintext| output deviation (substitutes for accuracy; see DESIGN.md)")
+			return nil
+		}},
+		{"table4", func(w io.Writer) error {
+			rows, err := bench.Table4(cfg.models, bench.Table4Options{
+				UseScaleSearch: cfg.scaleSearch,
+				SearchStep:     8,
+				Tolerance:      0.1,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderTable4(rows))
+			return nil
+		}},
+		{"table5", func(w io.Writer) error {
+			rows, err := bench.LayoutTable(cfg.models, core.SchemeRNS)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "CHET-SEAL (RNS-CKKS) estimated latency per data layout, seconds:")
+			fmt.Fprint(w, bench.RenderLayoutTable(rows))
+			return nil
+		}},
+		{"table6", func(w io.Writer) error {
+			rows, err := bench.LayoutTable(cfg.models, core.SchemeCKKS)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "CHET-HEAAN (CKKS) estimated latency per data layout, seconds:")
+			fmt.Fprint(w, bench.RenderLayoutTable(rows))
+			return nil
+		}},
+		{"fig5", func(w io.Writer) error {
+			rows, err := bench.Figure5(cfg.models)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderFigure5(rows))
+			fmt.Fprintln(w, "expected shape: Manual-HEAAN > CHET-HEAAN > CHET-SEAL for every network")
+			return nil
+		}},
+		{"fig6", func(w io.Writer) error {
+			points, err := bench.Figure6(cfg.fig6Models, cfg.fig6LogN)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderFigure6(points))
+			return nil
+		}},
+		{"fig7", func(w io.Writer) error {
+			rows, err := bench.Figure7(cfg.models, []core.Scheme{core.SchemeRNS, core.SchemeCKKS})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderFigure7(rows))
+			return nil
+		}},
+		{"parallel", func(w io.Writer) error {
+			rows, err := bench.ParallelSpeedup(cfg.fig6Models, cfg.fig6LogN, cfg.workers)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderSpeedup(rows))
+			fmt.Fprintf(w, "GOMAXPROCS=%d; parallel output is bit-identical to serial (see internal/htc)\n",
+				runtime.GOMAXPROCS(0))
+			return nil
+		}},
+	}
+}
+
+// runExperiments executes the experiment named want ("all" runs every one)
+// and writes the rendered results to w. Unknown names are an error.
+func runExperiments(w io.Writer, want string, cfg benchConfig) error {
+	want = strings.ToLower(want)
+	matched := false
+	for _, e := range experiments(cfg) {
+		if want != "all" && want != e.name {
+			continue
+		}
+		matched = true
+		fmt.Fprintf(w, "=== %s ===\n", e.name)
+		start := time.Now()
+		if err := e.run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintf(w, "(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", want)
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, or all")
+		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, or all")
 	full := flag.Bool("full", false,
 		"use all five evaluation networks (slower analysis sweeps; fig6 always uses the small set)")
 	scaleSearch := flag.Bool("scalesearch", false,
 		"run the profile-guided scale search for table4 (slow)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker-pool size for the parallel experiment (default: one per CPU)")
 	flag.Parse()
 
-	models := bench.SmallModels()
+	cfg := defaultConfig()
+	cfg.scaleSearch = *scaleSearch
+	cfg.workers = *workers
 	if *full {
-		models = bench.EvalModels()
+		cfg.models = bench.EvalModels()
 	}
 
-	run := func(name string, f func() error) {
-		want := strings.ToLower(*exp)
-		if want != "all" && want != name {
-			return
-		}
-		fmt.Printf("=== %s ===\n", name)
-		start := time.Now()
-		if err := f(); err != nil {
-			log.Fatalf("%s: %v", name, err)
-		}
-		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	if err := runExperiments(os.Stdout, *exp, cfg); err != nil {
+		log.Fatal(err)
 	}
-
-	run("table1", func() error {
-		rows, err := bench.Table1([][2]int{{11, 2}, {11, 4}, {11, 8}, {12, 4}, {13, 4}})
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.RenderTable1(rows))
-		fmt.Println("expected shape: add/sMul/pMul scale ~N*r; ctMul/rot scale ~N*logN*r^2")
-		return nil
-	})
-
-	run("table3", func() error {
-		fmt.Print(bench.RenderTable3(bench.Table3(models, true)))
-		fmt.Println("fidelity = max |encrypted - plaintext| output deviation (substitutes for accuracy; see DESIGN.md)")
-		return nil
-	})
-
-	run("table4", func() error {
-		rows, err := bench.Table4(models, bench.Table4Options{
-			UseScaleSearch: *scaleSearch,
-			SearchStep:     8,
-			Tolerance:      0.1,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.RenderTable4(rows))
-		return nil
-	})
-
-	run("table5", func() error {
-		rows, err := bench.LayoutTable(models, core.SchemeRNS)
-		if err != nil {
-			return err
-		}
-		fmt.Println("CHET-SEAL (RNS-CKKS) estimated latency per data layout, seconds:")
-		fmt.Print(bench.RenderLayoutTable(rows))
-		return nil
-	})
-
-	run("table6", func() error {
-		rows, err := bench.LayoutTable(models, core.SchemeCKKS)
-		if err != nil {
-			return err
-		}
-		fmt.Println("CHET-HEAAN (CKKS) estimated latency per data layout, seconds:")
-		fmt.Print(bench.RenderLayoutTable(rows))
-		return nil
-	})
-
-	run("fig5", func() error {
-		rows, err := bench.Figure5(models)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.RenderFigure5(rows))
-		fmt.Println("expected shape: Manual-HEAAN > CHET-HEAAN > CHET-SEAL for every network")
-		return nil
-	})
-
-	run("fig6", func() error {
-		small, _ := nn.ByName("LeNet-5-small")
-		points, err := bench.Figure6([]*nn.Model{nn.LeNetTiny(), small}, 12)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.RenderFigure6(points))
-		return nil
-	})
-
-	run("fig7", func() error {
-		rows, err := bench.Figure7(models, []core.Scheme{core.SchemeRNS, core.SchemeCKKS})
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.RenderFigure7(rows))
-		return nil
-	})
 }

@@ -7,11 +7,13 @@
 //
 //	chet-compile -model LeNet-5-small -scheme seal
 //	chet-compile -model SqueezeNet-CIFAR -scheme heaan -security 128
+//	chet-compile -model LeNet-5-small -scheme seal -costthreads 16
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -20,46 +22,69 @@ import (
 	"chet"
 )
 
-func main() {
-	log.SetFlags(0)
-	model := flag.String("model", "LeNet-5-small",
-		"network to compile (LeNet-5-small, LeNet-5-medium, LeNet-5-large, Industrial, SqueezeNet-CIFAR, LeNet-tiny)")
-	scheme := flag.String("scheme", "seal", "target FHE scheme: seal (RNS-CKKS) or heaan (CKKS)")
-	security := flag.Int("security", 128, "security level in bits (128/192/256; -1 disables the check)")
-	scales := flag.String("scales", "", "fixed-point scale exponents as Pc,Pw,Pu,Pm (e.g. 40,35,35,30); empty = defaults")
-	showKeys := flag.Bool("keys", false, "print the full rotation-key list")
-	flag.Parse()
+// compileConfig holds everything main parses from flags.
+type compileConfig struct {
+	model       string
+	scheme      string
+	security    int
+	scales      string
+	showKeys    bool
+	costThreads int
+}
 
-	m, err := chet.Model(*model)
+// compileAndDescribe runs the compiler and writes the decision report to w.
+func compileAndDescribe(w io.Writer, cfg compileConfig) error {
+	m, err := chet.Model(cfg.model)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	opts := chet.Options{SecurityBits: *security}
-	switch strings.ToLower(*scheme) {
+	opts := chet.Options{SecurityBits: cfg.security, CostThreads: cfg.costThreads}
+	switch strings.ToLower(cfg.scheme) {
 	case "seal", "rns", "rns-ckks":
 		opts.Scheme = chet.SchemeRNS
 	case "heaan", "ckks":
 		opts.Scheme = chet.SchemeCKKS
 	default:
-		log.Fatalf("unknown scheme %q", *scheme)
+		return fmt.Errorf("unknown scheme %q", cfg.scheme)
 	}
-	if *scales != "" {
-		sc, err := parseScales(*scales)
+	if cfg.scales != "" {
+		sc, err := parseScales(cfg.scales)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		opts.Scales = sc
 	}
 
 	compiled, err := chet.Compile(m.Circuit, opts)
 	if err != nil {
+		return err
+	}
+	if cfg.costThreads > 1 {
+		fmt.Fprintf(w, "cost model: %d-thread makespan (LPT binning)\n", cfg.costThreads)
+	}
+	fmt.Fprint(w, chet.Describe(compiled))
+	if cfg.showKeys {
+		fmt.Fprintf(w, "rotation keys (%d): %v\n", len(compiled.Best.Rotations), compiled.Best.Rotations)
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	cfg := compileConfig{}
+	flag.StringVar(&cfg.model, "model", "LeNet-5-small",
+		"network to compile (LeNet-5-small, LeNet-5-medium, LeNet-5-large, Industrial, SqueezeNet-CIFAR, LeNet-tiny)")
+	flag.StringVar(&cfg.scheme, "scheme", "seal", "target FHE scheme: seal (RNS-CKKS) or heaan (CKKS)")
+	flag.IntVar(&cfg.security, "security", 128, "security level in bits (128/192/256; -1 disables the check)")
+	flag.StringVar(&cfg.scales, "scales", "", "fixed-point scale exponents as Pc,Pw,Pu,Pm (e.g. 40,35,35,30); empty = defaults")
+	flag.BoolVar(&cfg.showKeys, "keys", false, "print the full rotation-key list")
+	flag.IntVar(&cfg.costThreads, "costthreads", 1,
+		"T in the T-thread cost model: estimates become the makespan over T threads (1 = serial sum)")
+	flag.Parse()
+
+	if err := compileAndDescribe(os.Stdout, cfg); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(chet.Describe(compiled))
-	if *showKeys {
-		fmt.Printf("rotation keys (%d): %v\n", len(compiled.Best.Rotations), compiled.Best.Rotations)
-	}
-	os.Exit(0)
 }
 
 func parseScales(s string) (chet.Scales, error) {

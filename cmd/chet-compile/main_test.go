@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompileAndDescribeSmoke compiles the demo network for both schemes
+// and checks the decision report is rendered, including the T-thread cost
+// model banner.
+func TestCompileAndDescribeSmoke(t *testing.T) {
+	for _, scheme := range []string{"seal", "heaan"} {
+		var sb strings.Builder
+		err := compileAndDescribe(&sb, compileConfig{
+			model:       "LeNet-tiny",
+			scheme:      scheme,
+			security:    -1,
+			showKeys:    true,
+			costThreads: 16,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		out := sb.String()
+		for _, want := range []string{"best layout policy", "rotation keys", "16-thread makespan"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s: output missing %q:\n%s", scheme, want, out)
+			}
+		}
+	}
+}
+
+func TestCompileAndDescribeErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := compileAndDescribe(&sb, compileConfig{model: "nope", scheme: "seal"}); err == nil {
+		t.Fatal("expected an error for an unknown model")
+	}
+	if err := compileAndDescribe(&sb, compileConfig{model: "LeNet-tiny", scheme: "bgv"}); err == nil {
+		t.Fatal("expected an error for an unknown scheme")
+	}
+	if _, err := parseScales("40,35,35"); err == nil {
+		t.Fatal("expected an error for three exponents")
+	}
+	if _, err := parseScales("40,35,x,30"); err == nil {
+		t.Fatal("expected an error for a non-numeric exponent")
+	}
+}

@@ -7,13 +7,17 @@
 //
 //	chet-run -model LeNet-tiny -scheme seal -insecure   # real lattice crypto, small ring
 //	chet-run -model LeNet-5-small -scheme heaan         # CKKS mock, secure parameters
+//	chet-run -model LeNet-tiny -scheme seal -insecure -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,29 +25,34 @@ import (
 	"chet/internal/ring"
 )
 
-func main() {
-	log.SetFlags(0)
-	model := flag.String("model", "LeNet-tiny", "network to run")
-	scheme := flag.String("scheme", "heaan", "target FHE scheme: seal (RNS-CKKS) or heaan (CKKS)")
-	seed := flag.Uint64("seed", 7, "synthetic image seed")
-	images := flag.Int("images", 1, "number of images to infer")
-	insecure := flag.Bool("insecure", false, "use a small demo ring without the security check (fast real-crypto runs)")
-	flag.Parse()
+// runConfig holds everything main parses from flags, so inference is
+// drivable from tests.
+type runConfig struct {
+	model    string
+	scheme   string
+	seed     uint64
+	images   int
+	insecure bool
+	workers  int
+}
 
-	m, err := chet.Model(*model)
+// runInference compiles, keys, and runs encrypted inference, writing the
+// human-readable report to w.
+func runInference(w io.Writer, cfg runConfig) error {
+	m, err := chet.Model(cfg.model)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opts := chet.Options{}
-	switch strings.ToLower(*scheme) {
+	switch strings.ToLower(cfg.scheme) {
 	case "seal", "rns", "rns-ckks":
 		opts.Scheme = chet.SchemeRNS
 	case "heaan", "ckks":
 		opts.Scheme = chet.SchemeCKKS
 	default:
-		log.Fatalf("unknown scheme %q", *scheme)
+		return fmt.Errorf("unknown scheme %q", cfg.scheme)
 	}
-	if *insecure {
+	if cfg.insecure {
 		opts.SecurityBits = -1
 		opts.MinLogN = 11
 		opts.MaxLogN = 13
@@ -52,20 +61,22 @@ func main() {
 	start := time.Now()
 	compiled, err := chet.Compile(m.Circuit, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("compiled %s in %v\n", m.Name, time.Since(start).Round(time.Millisecond))
-	fmt.Print(chet.Describe(compiled))
+	fmt.Fprintf(w, "compiled %s in %v\n", m.Name, time.Since(start).Round(time.Millisecond))
+	fmt.Fprint(w, chet.Describe(compiled))
 
 	start = time.Now()
 	session, err := chet.NewSession(compiled, ring.NewTestPRNG(0xD15EA5E))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("key generation: %v\n", time.Since(start).Round(time.Millisecond))
+	session.Workers = cfg.workers
+	fmt.Fprintf(w, "key generation: %v (inference workers: %d)\n",
+		time.Since(start).Round(time.Millisecond), cfg.workers)
 
-	for i := 0; i < *images; i++ {
-		img := chet.SyntheticImage(m.InputShape, *seed+uint64(i))
+	for i := 0; i < cfg.images; i++ {
+		img := chet.SyntheticImage(m.InputShape, cfg.seed+uint64(i))
 		want := m.Circuit.Evaluate(img)
 
 		start = time.Now()
@@ -87,8 +98,25 @@ func main() {
 		if got.ArgMax() != want.ArgMax() {
 			agree = "DISAGREE"
 		}
-		fmt.Printf("image %d: encrypt %v, inference %v, max |err| %.2e, argmax %s (class %d)\n",
+		fmt.Fprintf(w, "image %d: encrypt %v, inference %v, max |err| %.2e, argmax %s (class %d)\n",
 			i, encTime.Round(time.Millisecond), inferTime.Round(time.Millisecond),
 			maxErr, agree, got.ArgMax())
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	cfg := runConfig{}
+	flag.StringVar(&cfg.model, "model", "LeNet-tiny", "network to run")
+	flag.StringVar(&cfg.scheme, "scheme", "heaan", "target FHE scheme: seal (RNS-CKKS) or heaan (CKKS)")
+	flag.Uint64Var(&cfg.seed, "seed", 7, "synthetic image seed")
+	flag.IntVar(&cfg.images, "images", 1, "number of images to infer")
+	flag.BoolVar(&cfg.insecure, "insecure", false, "use a small demo ring without the security check (fast real-crypto runs)")
+	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "worker-pool size for inference (default: one per CPU)")
+	flag.Parse()
+
+	if err := runInference(os.Stdout, cfg); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunInferenceSmoke runs the full CLI path (compile, keygen, encrypt,
+// infer, decrypt) on the demo network for both schemes, with a parallel
+// worker pool.
+func TestRunInferenceSmoke(t *testing.T) {
+	for _, scheme := range []string{"heaan", "seal"} {
+		t.Run(scheme, func(t *testing.T) {
+			if testing.Short() && scheme == "seal" {
+				t.Skip("real lattice crypto; run without -short")
+			}
+			var sb strings.Builder
+			err := runInference(&sb, runConfig{
+				model:    "LeNet-tiny",
+				scheme:   scheme,
+				seed:     7,
+				images:   1,
+				insecure: true,
+				workers:  2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			for _, want := range []string{"compiled LeNet-tiny", "best layout policy", "image 0:", "argmax AGREE"} {
+				if !strings.Contains(out, want) {
+					t.Fatalf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestRunInferenceBadInputs exercises the error paths main surfaces.
+func TestRunInferenceBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := runInference(&sb, runConfig{model: "no-such-net", scheme: "heaan"}); err == nil {
+		t.Fatal("expected an error for an unknown model")
+	}
+	if err := runInference(&sb, runConfig{model: "LeNet-tiny", scheme: "bfv"}); err == nil {
+		t.Fatal("expected an error for an unknown scheme")
+	}
+}

@@ -1,0 +1,61 @@
+package ckks
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEvaluatorConcurrentUse hammers one shared evaluator from many
+// goroutines with the scratch-hungry operations (Mul exercises keySwitch,
+// RotateLeft exercises applyGalois, Rescale exercises the rescale row) and
+// checks every worker observes exactly the result a serial run produces.
+// Run with -race to validate the scratch-pool design.
+func TestEvaluatorConcurrentUse(t *testing.T) {
+	tc := newTestContext(t)
+	slots := tc.params.Slots()
+	rtks := tc.kgen.GenRotationKeys(tc.sk, []int{1, 3, slots - 3}, true)
+	ev := NewEvaluator(tc.params, tc.rlk, rtks)
+
+	va := randomVector(slots, 1, 61)
+	vb := randomVector(slots, 1, 62)
+	scale := tc.params.DefaultScale()
+	cta := tc.encr.Encrypt(tc.enc.Encode(va, scale, tc.params.MaxLevel()))
+	ctb := tc.encr.Encrypt(tc.enc.Encode(vb, scale, tc.params.MaxLevel()))
+
+	// The serial reference result of the worker body.
+	body := func(e *Evaluator) *Ciphertext {
+		prod := e.Mul(cta, ctb)
+		e.Rescale(prod)
+		rot := e.RotateLeft(prod, 3)
+		return e.Add(rot, e.RotateRight(rot, 3))
+	}
+	want := tc.enc.Decode(tc.decr.Decrypt(body(ev)))
+
+	const workers = 8
+	const iters = 4
+	results := make([][]float64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			e := ev
+			if w%2 == 1 {
+				// Odd workers use the explicit per-goroutine API.
+				e = ev.ShallowCopy()
+			}
+			var out *Ciphertext
+			for i := 0; i < iters; i++ {
+				out = body(e)
+			}
+			results[w] = tc.enc.Decode(tc.decr.Decrypt(out))
+		}(w)
+	}
+	wg.Wait()
+
+	for w, got := range results {
+		if d := maxAbsDiff(got, want); d != 0 {
+			t.Fatalf("worker %d diverged from serial result (max abs diff %g)", w, d)
+		}
+	}
+}

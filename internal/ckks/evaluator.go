@@ -4,32 +4,55 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 
 	"chet/internal/ring"
 )
 
-// Evaluator executes homomorphic operations. It is not safe for concurrent
-// use; create one evaluator per goroutine (they can share keys).
+// Evaluator executes homomorphic operations. It is safe for concurrent use
+// by multiple goroutines: all operations are functional (inputs are never
+// mutated, except the documented in-place Rescale/DropToLevel family, which
+// callers must not race on a shared ciphertext), keys are read-only after
+// construction, and per-operation scratch rows are drawn from an internal
+// sync.Pool. For workloads that prefer fully isolated scratch state (one
+// evaluator per worker goroutine), ShallowCopy creates an independent
+// evaluator sharing the same keys at negligible cost.
 type Evaluator struct {
 	params *Parameters
 	rlk    *RelinearizationKey
 	rtks   *RotationKeySet
 
-	// Scratch buffers reused across operations.
-	tmpRow []uint64
+	// scratch pools N-length coefficient rows so concurrent operations
+	// never share a buffer.
+	scratch *sync.Pool
 }
 
 // NewEvaluator creates an evaluator. rlk may be nil if no
 // ciphertext-ciphertext multiplications are performed; rtks may be nil if no
 // rotations are performed.
 func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKeySet) *Evaluator {
+	n := params.N()
 	return &Evaluator{
 		params: params,
 		rlk:    rlk,
 		rtks:   rtks,
-		tmpRow: make([]uint64, params.N()),
+		scratch: &sync.Pool{New: func() any {
+			return make([]uint64, n)
+		}},
 	}
 }
+
+// ShallowCopy returns an evaluator that shares this evaluator's keys and
+// parameters but owns an independent scratch pool. A single Evaluator is
+// already goroutine-safe; ShallowCopy exists for callers that want explicit
+// per-worker evaluators (e.g. to avoid pool contention on very wide fan-out).
+func (ev *Evaluator) ShallowCopy() *Evaluator {
+	return NewEvaluator(ev.params, ev.rlk, ev.rtks)
+}
+
+// getRow leases an N-length scratch row; putRow returns it.
+func (ev *Evaluator) getRow() []uint64  { return ev.scratch.Get().([]uint64) }
+func (ev *Evaluator) putRow(r []uint64) { ev.scratch.Put(r) }
 
 // Params returns the evaluator's parameter set.
 func (ev *Evaluator) Params() *Parameters { return ev.params }
@@ -338,7 +361,8 @@ func (ev *Evaluator) keySwitch(c2 *ring.Poly, level int, swk *SwitchingKey) (*ri
 	}
 	rows = append(rows, pIdx)
 
-	row := ev.tmpRow
+	row := ev.getRow()
+	defer ev.putRow(row)
 	for i := 0; i <= level; i++ {
 		digits := c2c.Coeffs[i] // residues in [0, q_i)
 		for _, j := range rows {
@@ -384,7 +408,8 @@ func (ev *Evaluator) modDownByP(acc *ring.Poly, level int) {
 	pRow := append([]uint64(nil), acc.Coeffs[pIdx]...)
 	r.InvNTTSingle(pIdx, pRow)
 
-	tmp := ev.tmpRow
+	tmp := ev.getRow()
+	defer ev.putRow(tmp)
 	for j := 0; j <= level; j++ {
 		qj := r.Moduli[j].Q
 		for k := 0; k < n; k++ {
@@ -419,7 +444,8 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) {
 	halfQ := qTop >> 1
 	n := r.N
 
-	tmp := ev.tmpRow
+	tmp := ev.getRow()
+	defer ev.putRow(tmp)
 	for _, c := range []*ring.Poly{ct.C0, ct.C1} {
 		top := append([]uint64(nil), c.Coeffs[level]...)
 		r.InvNTTSingle(level, top)

@@ -46,6 +46,10 @@ type Analysis struct {
 	totals    *costTotals
 	model     CostModel
 	totalCost float64
+	// threads is T in the T-thread cost model; opCosts records per-op
+	// costs for the makespan computation when threads > 1.
+	threads int
+	opCosts []float64
 }
 
 // costTotals fixes the overall modulus so per-op costs can use the current
@@ -76,6 +80,9 @@ type AnalysisConfig struct {
 	CostLogQ   float64
 	CostPrimes float64
 	Model      *CostModel
+	// CostThreads is T in the T-thread cost model (see LPTMakespan);
+	// values <= 1 keep the serial sum-of-costs estimate.
+	CostThreads int
 }
 
 // NewAnalysis creates an analysis interpretation of the HISA.
@@ -105,6 +112,7 @@ func NewAnalysis(cfg AnalysisConfig) *Analysis {
 		} else {
 			a.model = DefaultCostModel(cfg.Scheme)
 		}
+		a.threads = cfg.CostThreads
 	}
 	return a
 }
@@ -154,8 +162,12 @@ func (a *Analysis) state(c *analysisCT) state {
 }
 
 func (a *Analysis) charge(cost float64) {
-	if a.totals != nil {
-		a.totalCost += cost
+	if a.totals == nil {
+		return
+	}
+	a.totalCost += cost
+	if a.threads > 1 {
+		a.opCosts = append(a.opCosts, cost)
 	}
 }
 
@@ -335,6 +347,13 @@ func (a *Analysis) RotationOps() int {
 	return total
 }
 
-// Cost returns the accumulated cost estimate in microseconds (0 unless cost
-// totals were supplied).
-func (a *Analysis) Cost() float64 { return a.totalCost }
+// Cost returns the cost estimate in microseconds (0 unless cost totals
+// were supplied). With CostThreads T > 1 it is the T-thread makespan of
+// the executed ops (see LPTMakespan); otherwise it is the exact serial
+// running sum, unchanged from the single-threaded model.
+func (a *Analysis) Cost() float64 {
+	if a.threads > 1 {
+		return LPTMakespan(a.opCosts, a.threads)
+	}
+	return a.totalCost
+}

@@ -35,6 +35,12 @@ type Options struct {
 	// PowerOfTwoRotationsOnly disables CHET's rotation-keys selection and
 	// models the library-default power-of-two keys (the Figure 7 baseline).
 	PowerOfTwoRotationsOnly bool
+	// CostThreads is T in the T-thread cost model: EstimatedCost becomes
+	// the makespan of greedily binning per-op costs onto T threads (the
+	// paper's evaluation machine has 16 cores and its cost analysis takes
+	// the max across threads). 0 or 1 reproduces the serial sum-of-costs
+	// estimate exactly, so existing layout decisions are unchanged.
+	CostThreads int
 }
 
 func (o *Options) fillDefaults() {
@@ -215,6 +221,7 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 			CostLogQ:      res.LogQ,
 			CostPrimes:    costPrimes,
 			Model:         opts.CostModel,
+			CostThreads:   opts.CostThreads,
 		})
 		if err := runAnalysis(c, policy, cost, opts.Scales); err != nil {
 			return PolicyResult{}, err

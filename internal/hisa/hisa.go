@@ -21,6 +21,19 @@ type Plaintext any
 // Backend implements the HISA primitives. All operations are functional
 // (inputs are never mutated) so the same kernel source can be executed under
 // value, cryptographic, and analysis interpretations.
+//
+// Concurrency contract: the executable backends (Ref, Sim, RNS, and the
+// Meter wrapper) are safe for concurrent op execution — any number of
+// goroutines may issue Encode/arith/rotate/rescale calls on one backend,
+// including on shared ciphertext handles, because ciphertexts are immutable
+// once produced. Results are deterministic functions of their inputs, so a
+// parallel schedule that preserves the per-output accumulation order is
+// bit-identical to the serial one. Encrypt/Decrypt draw from a (possibly
+// seeded) PRNG and are serialized internally; concurrent callers therefore
+// race only on *which* random stream element they consume, not on memory.
+// The compiler's analysis interpretations (core.Analysis) are exempt from
+// this contract: they accumulate dataflow facts without locks and must be
+// executed serially (Workers == 1), which the compiler guarantees.
 type Backend interface {
 	// Name identifies the backend ("ref", "ckks-sim", "rns-ckks", ...).
 	Name() string

@@ -286,7 +286,7 @@ func TestMeterCounts(t *testing.T) {
 	ct2 = m.Rescale(ct2, d)
 	m.Decode(m.Decrypt(ct2))
 
-	c := m.Counts
+	c := m.Counts()
 	if c.Encrypt != 1 || c.Decrypt != 1 || c.Encode != 1 || c.Decode != 1 {
 		t.Fatalf("IO counts wrong: %+v", c)
 	}

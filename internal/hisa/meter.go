@@ -1,10 +1,14 @@
 package hisa
 
-import "math/big"
+import (
+	"math/big"
+	"sync/atomic"
+)
 
-// OpCounts tallies HISA instruction executions. Rotations are counted as
-// executed primitive steps by the wrapped backend's own decomposition, so a
-// backend without the exact key reports the higher power-of-two step count.
+// OpCounts is a point-in-time tally of HISA instruction executions (a
+// snapshot returned by Meter.Counts). Rotations are counted as executed
+// primitive steps by the wrapped backend's own decomposition, so a backend
+// without the exact key reports the higher power-of-two step count.
 type OpCounts struct {
 	Encrypt, Decrypt           int
 	Encode, Decode             int
@@ -26,9 +30,18 @@ func (o OpCounts) Total() int {
 
 // Meter wraps a Backend and counts the instructions that flow through it.
 // It implements Backend, so kernels and the compiler are oblivious to it.
+// Counters are atomic, so a Meter may wrap a backend that executes ops from
+// many worker goroutines concurrently; Counts returns a snapshot.
 type Meter struct {
-	Inner  Backend
-	Counts OpCounts
+	Inner Backend
+
+	encrypt, decrypt           atomic.Int64
+	encode, decode             atomic.Int64
+	rotations                  atomic.Int64
+	add, addPlain, addScalar   atomic.Int64
+	sub, subPlain, subScalar   atomic.Int64
+	mul, mulPlain, mulScalar   atomic.Int64
+	rescale, maxRescaleQueries atomic.Int64
 
 	// rotationSteps mirrors the step decomposition of the inner backend so
 	// multi-step rotations are counted faithfully.
@@ -41,16 +54,40 @@ func NewMeter(inner Backend, stepsOf func(x int) int) *Meter {
 	return &Meter{Inner: inner, rotationStepsOf: stepsOf}
 }
 
+// Counts returns a consistent-enough snapshot of the tallies: each field is
+// read atomically, so concurrent mutation never corrupts a value (reading
+// while ops are in flight may observe some ops and not others).
+func (m *Meter) Counts() OpCounts {
+	return OpCounts{
+		Encrypt:           int(m.encrypt.Load()),
+		Decrypt:           int(m.decrypt.Load()),
+		Encode:            int(m.encode.Load()),
+		Decode:            int(m.decode.Load()),
+		Rotations:         int(m.rotations.Load()),
+		Add:               int(m.add.Load()),
+		AddPlain:          int(m.addPlain.Load()),
+		AddScalar:         int(m.addScalar.Load()),
+		Sub:               int(m.sub.Load()),
+		SubPlain:          int(m.subPlain.Load()),
+		SubScalar:         int(m.subScalar.Load()),
+		Mul:               int(m.mul.Load()),
+		MulPlain:          int(m.mulPlain.Load()),
+		MulScalar:         int(m.mulScalar.Load()),
+		Rescale:           int(m.rescale.Load()),
+		MaxRescaleQueries: int(m.maxRescaleQueries.Load()),
+	}
+}
+
 func (m *Meter) Name() string { return m.Inner.Name() + "+meter" }
 func (m *Meter) Slots() int   { return m.Inner.Slots() }
 
 func (m *Meter) Encrypt(p Plaintext) Ciphertext {
-	m.Counts.Encrypt++
+	m.encrypt.Add(1)
 	return m.Inner.Encrypt(p)
 }
 
 func (m *Meter) Decrypt(c Ciphertext) Plaintext {
-	m.Counts.Decrypt++
+	m.decrypt.Add(1)
 	return m.Inner.Decrypt(c)
 }
 
@@ -58,12 +95,12 @@ func (m *Meter) Copy(c Ciphertext) Ciphertext { return m.Inner.Copy(c) }
 func (m *Meter) Free(h any)                   { m.Inner.Free(h) }
 
 func (m *Meter) Encode(v []float64, f float64) Plaintext {
-	m.Counts.Encode++
+	m.encode.Add(1)
 	return m.Inner.Encode(v, f)
 }
 
 func (m *Meter) Decode(p Plaintext) []float64 {
-	m.Counts.Decode++
+	m.decode.Add(1)
 	return m.Inner.Decode(p)
 }
 
@@ -72,9 +109,9 @@ func (m *Meter) countRotation(x int) {
 		return
 	}
 	if m.rotationStepsOf != nil {
-		m.Counts.Rotations += m.rotationStepsOf(x)
+		m.rotations.Add(int64(m.rotationStepsOf(x)))
 	} else {
-		m.Counts.Rotations++
+		m.rotations.Add(1)
 	}
 }
 
@@ -89,59 +126,59 @@ func (m *Meter) RotRight(c Ciphertext, x int) Ciphertext {
 }
 
 func (m *Meter) Add(c, c2 Ciphertext) Ciphertext {
-	m.Counts.Add++
+	m.add.Add(1)
 	return m.Inner.Add(c, c2)
 }
 
 func (m *Meter) AddPlain(c Ciphertext, p Plaintext) Ciphertext {
-	m.Counts.AddPlain++
+	m.addPlain.Add(1)
 	return m.Inner.AddPlain(c, p)
 }
 
 func (m *Meter) AddScalar(c Ciphertext, x float64) Ciphertext {
-	m.Counts.AddScalar++
+	m.addScalar.Add(1)
 	return m.Inner.AddScalar(c, x)
 }
 
 func (m *Meter) Sub(c, c2 Ciphertext) Ciphertext {
-	m.Counts.Sub++
+	m.sub.Add(1)
 	return m.Inner.Sub(c, c2)
 }
 
 func (m *Meter) SubPlain(c Ciphertext, p Plaintext) Ciphertext {
-	m.Counts.SubPlain++
+	m.subPlain.Add(1)
 	return m.Inner.SubPlain(c, p)
 }
 
 func (m *Meter) SubScalar(c Ciphertext, x float64) Ciphertext {
-	m.Counts.SubScalar++
+	m.subScalar.Add(1)
 	return m.Inner.SubScalar(c, x)
 }
 
 func (m *Meter) Mul(c, c2 Ciphertext) Ciphertext {
-	m.Counts.Mul++
+	m.mul.Add(1)
 	return m.Inner.Mul(c, c2)
 }
 
 func (m *Meter) MulPlain(c Ciphertext, p Plaintext) Ciphertext {
-	m.Counts.MulPlain++
+	m.mulPlain.Add(1)
 	return m.Inner.MulPlain(c, p)
 }
 
 func (m *Meter) MulScalar(c Ciphertext, x float64, f float64) Ciphertext {
-	m.Counts.MulScalar++
+	m.mulScalar.Add(1)
 	return m.Inner.MulScalar(c, x, f)
 }
 
 func (m *Meter) Rescale(c Ciphertext, x *big.Int) Ciphertext {
 	if x.Cmp(big.NewInt(1)) != 0 {
-		m.Counts.Rescale++
+		m.rescale.Add(1)
 	}
 	return m.Inner.Rescale(c, x)
 }
 
 func (m *Meter) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
-	m.Counts.MaxRescaleQueries++
+	m.maxRescaleQueries.Add(1)
 	return m.Inner.MaxRescale(c, ub)
 }
 

@@ -9,7 +9,8 @@ import (
 // functional oracle: kernels validated against it are known to compute the
 // right values, independent of any cryptographic concern. Scale bookkeeping
 // mirrors a rescaling scheme with arbitrary divisors so the kernels'
-// rescale protocol is still exercised.
+// rescale protocol is still exercised. The backend holds no mutable state,
+// so it is trivially safe for concurrent op execution.
 type RefBackend struct {
 	slots int
 }

@@ -3,6 +3,7 @@ package hisa
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"chet/internal/ckks"
 	"chet/internal/ring"
@@ -21,10 +22,14 @@ type RNSConfig struct {
 }
 
 // RNSBackend executes HISA instructions with real lattice cryptography: the
-// RNS-CKKS scheme of internal/ckks (the scheme of SEAL v3.1).
+// RNS-CKKS scheme of internal/ckks (the scheme of SEAL v3.1). It is safe
+// for concurrent op execution: the evaluator pools its scratch state, the
+// encoder and decryptor are stateless, and the encryptor (whose PRNG is
+// stateful) is serialized by encMu.
 type RNSBackend struct {
 	params      *ckks.Parameters
 	encoder     *ckks.Encoder
+	encMu       sync.Mutex
 	encryptor   *ckks.Encryptor
 	decryptor   *ckks.Decryptor // nil on evaluation-only (server) instances
 	evaluator   *ckks.Evaluator
@@ -161,6 +166,8 @@ func (b *RNSBackend) Decode(p Plaintext) []float64 {
 }
 
 func (b *RNSBackend) Encrypt(p Plaintext) Ciphertext {
+	b.encMu.Lock()
+	defer b.encMu.Unlock()
 	return b.encryptor.Encrypt(b.pt(p))
 }
 

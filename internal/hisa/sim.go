@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 
 	"chet/internal/ring"
 )
@@ -33,6 +34,11 @@ type SimParams struct {
 type SimBackend struct {
 	params SimParams
 	slots  int
+
+	// prngMu serializes draws from the stateful noise PRNG (Decrypt is the
+	// only operation that samples); everything else is functional, making
+	// the backend safe for concurrent op execution.
+	prngMu sync.Mutex
 	prng   ring.PRNG
 
 	// sigma is the error-distribution parameter of the mimicked scheme.
@@ -176,12 +182,14 @@ func (b *SimBackend) Encrypt(p Plaintext) Ciphertext {
 func (b *SimBackend) Decrypt(c Ciphertext) Plaintext {
 	cc := b.ct(c)
 	vals := make([]float64, len(cc.vals))
+	if b.params.NoNoise {
+		copy(vals, cc.vals)
+		return &simPT{vals: vals, scale: cc.scale}
+	}
+	b.prngMu.Lock()
+	defer b.prngMu.Unlock()
 	for i, v := range cc.vals {
-		if b.params.NoNoise {
-			vals[i] = v
-		} else {
-			vals[i] = v + b.gauss()*cc.noise[i]
-		}
+		vals[i] = v + b.gauss()*cc.noise[i]
 	}
 	return &simPT{vals: vals, scale: cc.scale}
 }

@@ -120,10 +120,20 @@ func convert(b hisa.Backend, t *CipherTensor, want Layout, sc Scales) *CipherTen
 	return ToHW(b, t, sc)
 }
 
-// Execute runs the circuit homomorphically on backend b. The input must
-// have been encrypted with PlanFor(c, policy). All layout conversions
-// demanded by the policy are inserted automatically.
+// Execute runs the circuit homomorphically on backend b, serially. The
+// input must have been encrypted with PlanFor(c, policy). All layout
+// conversions demanded by the policy are inserted automatically.
 func Execute(b hisa.Backend, c *circuit.Circuit, input *CipherTensor, policy LayoutPolicy, sc Scales) *CipherTensor {
+	return ExecuteOpts(b, c, input, policy, sc, ExecOptions{})
+}
+
+// ExecuteOpts runs the circuit homomorphically with the given execution
+// options. With opts.Workers > 1 the kernels fan their independent
+// per-output work across a worker pool; the backend must satisfy the
+// concurrency contract of hisa.Backend (all executable backends do — the
+// compiler's analysis backends do not, and must use Execute). The result is
+// bit-identical to a serial run on every executable backend.
+func ExecuteOpts(b hisa.Backend, c *circuit.Circuit, input *CipherTensor, policy LayoutPolicy, sc Scales, opts ExecOptions) *CipherTensor {
 	results := make(map[int]*CipherTensor, len(c.Nodes))
 	seenDense := false
 	arg := func(n *circuit.Node, i int) *CipherTensor {
@@ -144,28 +154,28 @@ func Execute(b hisa.Backend, c *circuit.Circuit, input *CipherTensor, policy Lay
 			}
 			out = input
 		case circuit.OpConv2D:
-			out = Conv2D(b, arg(n, 0), n.Weights, n.Bias, n.Stride, n.Pad, sc)
+			out = Conv2DOpts(b, arg(n, 0), n.Weights, n.Bias, n.Stride, n.Pad, sc, opts)
 		case circuit.OpDense:
-			out = Dense(b, arg(n, 0), n.Weights, n.Bias, sc)
+			out = DenseOpts(b, arg(n, 0), n.Weights, n.Bias, sc, opts)
 			seenDense = true
 		case circuit.OpAvgPool2D:
-			out = AvgPool2D(b, arg(n, 0), n.Window, n.Stride, sc)
+			out = AvgPool2DOpts(b, arg(n, 0), n.Window, n.Stride, sc, opts)
 		case circuit.OpGlobalAvgPool2D:
-			out = GlobalAvgPool2D(b, arg(n, 0), sc)
+			out = GlobalAvgPool2DOpts(b, arg(n, 0), sc, opts)
 		case circuit.OpActivation:
-			out = Activation(b, arg(n, 0), n.ActA, n.ActB, sc)
+			out = ActivationOpts(b, arg(n, 0), n.ActA, n.ActB, sc, opts)
 		case circuit.OpPolyEval:
-			out = PolyEval(b, arg(n, 0), n.Coeffs, sc)
+			out = PolyEvalOpts(b, arg(n, 0), n.Coeffs, sc, opts)
 		case circuit.OpBatchNorm:
-			out = BatchNorm(b, arg(n, 0), n.Weights, n.Bias, sc)
+			out = BatchNormOpts(b, arg(n, 0), n.Weights, n.Bias, sc, opts)
 		case circuit.OpAdd:
-			out = Add(b, arg(n, 0), arg(n, 1))
+			out = AddOpts(b, arg(n, 0), arg(n, 1), opts)
 		case circuit.OpConcat:
 			ins := make([]*CipherTensor, len(n.Inputs))
 			for i := range n.Inputs {
 				ins[i] = arg(n, i)
 			}
-			out = Concat(b, sc, ins...)
+			out = ConcatOpts(b, sc, opts, ins...)
 		case circuit.OpFlatten:
 			out = results[n.Inputs[0].ID] // metadata-only
 		case circuit.OpPad2D:

@@ -235,9 +235,9 @@ func TestPad2DIsFree(t *testing.T) {
 	sc := DefaultScales()
 	m := hisa.NewMeter(b, nil)
 	ct := EncryptTensor(m, in, Plan{Layout: LayoutCHW, Apron: 1}, sc)
-	before := m.Counts.Total()
+	before := m.Counts().Total()
 	out := Pad2D(ct, 1)
-	if m.Counts.Total() != before {
+	if m.Counts().Total() != before {
 		t.Fatal("Pad2D executed homomorphic operations; it must be metadata-only")
 	}
 	tensorsClose(t, "pad", DecryptTensor(m, out), want, 1e-9)

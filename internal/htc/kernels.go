@@ -2,6 +2,7 @@ package htc
 
 import (
 	"fmt"
+	"sync"
 
 	"chet/internal/hisa"
 	"chet/internal/tensor"
@@ -16,27 +17,41 @@ func accumulate(b hisa.Backend, acc, t hisa.Ciphertext) hisa.Ciphertext {
 	return b.Add(x, y)
 }
 
-// rotCache caches rotations of one ciphertext by amount.
+// rotCache caches rotations of one ciphertext by amount. It is safe for
+// concurrent use: each rotation amount is computed exactly once
+// (single-flight), so parallel workers sharing a cache never duplicate a
+// rotation and the op count matches a serial run.
 type rotCache struct {
 	b    hisa.Backend
 	base hisa.Ciphertext
-	m    map[int]hisa.Ciphertext
+	mu   sync.Mutex
+	m    map[int]*rotEntry
+}
+
+type rotEntry struct {
+	once sync.Once
+	ct   hisa.Ciphertext
 }
 
 func newRotCache(b hisa.Backend, base hisa.Ciphertext) *rotCache {
-	return &rotCache{b: b, base: base, m: map[int]hisa.Ciphertext{}}
+	return &rotCache{b: b, base: base, m: map[int]*rotEntry{}}
 }
 
 func (rc *rotCache) get(r int) hisa.Ciphertext {
 	if r == 0 {
 		return rc.base
 	}
-	if c, ok := rc.m[r]; ok {
-		return c
+	rc.mu.Lock()
+	e, ok := rc.m[r]
+	if !ok {
+		e = &rotEntry{}
+		rc.m[r] = e
 	}
-	c := rc.b.RotLeft(rc.base, r)
-	rc.m[r] = c
-	return c
+	rc.mu.Unlock()
+	// The rotation runs outside the map lock so workers waiting on other
+	// amounts aren't serialized behind it; Once guarantees one flight.
+	e.once.Do(func() { e.ct = rc.b.RotLeft(rc.base, r) })
+	return e.ct
 }
 
 // Conv2D computes a homomorphic convolution with plaintext OIHW filters,
@@ -45,6 +60,13 @@ func (rc *rotCache) get(r int) hisa.Ciphertext {
 // (reshapes are metadata-only, performed lazily). Figure 4 of the paper is
 // the HW instance of this kernel.
 func Conv2D(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, stride, pad int, sc Scales) *CipherTensor {
+	return Conv2DOpts(b, in, filters, bias, stride, pad, sc, ExecOptions{})
+}
+
+// Conv2DOpts is Conv2D with an execution-options parameter: output channels
+// are computed by opts.Workers goroutines and folded into the output in
+// serial channel order, so the result is bit-identical to a serial run.
+func Conv2DOpts(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, stride, pad int, sc Scales, opts ExecOptions) *CipherTensor {
 	if filters.Rank() != 4 || filters.Shape[1] != in.C {
 		panic(fmt.Sprintf("htc: conv filters %v incompatible with input channels %d", filters.Shape, in.C))
 	}
@@ -75,9 +97,8 @@ func Conv2D(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, stri
 		for ic := range caches {
 			caches[ic] = newRotCache(b, in.CTs[ic])
 		}
-		maskVals := validMask(&out, 0, b.Slots(), 1)
-		var mask hisa.Plaintext
-		for oc := 0; oc < cout; oc++ {
+		mask := b.Encode(validMask(&out, 0, b.Slots(), 1), sc.Pm)
+		parallelFor(opts.workers(), cout, func(oc int) {
 			var acc hisa.Ciphertext
 			for ic := 0; ic < in.C; ic++ {
 				for ky := 0; ky < kh; ky++ {
@@ -88,9 +109,6 @@ func Conv2D(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, stri
 				}
 			}
 			acc = tryRescale(b, acc, sc.Pc)
-			if mask == nil {
-				mask = b.Encode(maskVals, sc.Pm)
-			}
 			acc = b.MulPlain(acc, mask)
 			acc = tryRescale(b, acc, sc.Pc)
 			if bias != nil {
@@ -98,7 +116,7 @@ func Conv2D(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, stri
 				acc = b.AddPlain(acc, b.Encode(bv, b.Scale(acc)))
 			}
 			out.CTs[oc] = acc
-		}
+		})
 		out.validate(b.Slots())
 		return &out
 	}
@@ -115,15 +133,18 @@ func Conv2D(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, stri
 	blockMask := metaClone(&out)
 	blockMask.C = 1
 	blockMask.CPerCT = 1
-	maskVals := validMask(&blockMask, 0, b.Slots(), 1)
-	var mask hisa.Plaintext
+	mask := b.Encode(validMask(&blockMask, 0, b.Slots(), 1), sc.Pm)
 
 	for g := 0; g < numInCTs; g++ {
 		cache := newRotCache(b, in.CTs[g])
+		// Partial sums of this ciphertext's occupied channels, folded to
+		// block 0, masked, and placed at the output channel block.
+		chInGroup := min(in.C-g*in.CPerCT, in.CPerCT)
+		partial := make([]hisa.Ciphertext, cout)
 		// Weight plaintexts per (oc, ky, kx): w[oc][ic][ky][kx] spread over
 		// channel ic's whole block (invalid input slots hold zeros, so the
 		// product is zero there).
-		for oc := 0; oc < cout; oc++ {
+		parallelFor(opts.workers(), cout, func(oc int) {
 			var acc hisa.Ciphertext
 			for ky := 0; ky < kh; ky++ {
 				for kx := 0; kx < kw; kx++ {
@@ -146,21 +167,22 @@ func Conv2D(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, stri
 			acc = tryRescale(b, acc, sc.Pc)
 			// Fold the partial sums of this ciphertext's occupied channels
 			// into channel block 0 (unoccupied blocks hold zeros).
-			chInGroup := min(in.C-g*in.CPerCT, in.CPerCT)
 			for step := 1; step < nextPow2(chInGroup); step <<= 1 {
 				acc = b.Add(acc, b.RotLeft(acc, step*in.ChanStride))
-			}
-			if mask == nil {
-				mask = b.Encode(maskVals, sc.Pm)
 			}
 			acc = b.MulPlain(acc, mask)
 			acc = tryRescale(b, acc, sc.Pc)
 
-			gOut, bOut := oc/outCPerCT, oc%outCPerCT
-			if bOut != 0 {
+			if bOut := oc % outCPerCT; bOut != 0 {
 				acc = b.RotRight(acc, bOut*in.ChanStride)
 			}
-			out.CTs[gOut] = accumulate(b, out.CTs[gOut], acc)
+			partial[oc] = acc
+		})
+		// Fold in serial channel order so the accumulation sequence — and
+		// hence every rounding decision — matches a serial run exactly.
+		for oc := 0; oc < cout; oc++ {
+			gOut := oc / outCPerCT
+			out.CTs[gOut] = accumulate(b, out.CTs[gOut], partial[oc])
 		}
 	}
 
@@ -179,6 +201,12 @@ func Conv2D(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, stri
 // window size is folded into the output mask, so pooling costs a single
 // mask-depth multiplication.
 func AvgPool2D(b hisa.Backend, in *CipherTensor, window, stride int, sc Scales) *CipherTensor {
+	return AvgPool2DOpts(b, in, window, stride, sc, ExecOptions{})
+}
+
+// AvgPool2DOpts is AvgPool2D with an execution-options parameter:
+// ciphertext groups are pooled by opts.Workers goroutines.
+func AvgPool2DOpts(b hisa.Backend, in *CipherTensor, window, stride int, sc Scales, opts ExecOptions) *CipherTensor {
 	hout := (in.H-window)/stride + 1
 	wout := (in.W-window)/stride + 1
 	if hout <= 0 || wout <= 0 {
@@ -191,19 +219,17 @@ func AvgPool2D(b hisa.Backend, in *CipherTensor, window, stride int, sc Scales) 
 	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
 
 	inv := 1.0 / float64(window*window)
-	// Groups share a mask except a possibly ragged final group.
+	// Groups share a mask except a possibly ragged final group. Masks are
+	// encoded up front so the worker pool reads the map without locking.
 	masks := map[int]hisa.Plaintext{}
-	maskFor := func(g int) hisa.Plaintext {
+	for g := range in.CTs {
 		chInGroup := min(in.C-g*in.CPerCT, in.CPerCT)
-		m, ok := masks[chInGroup]
-		if !ok {
-			m = b.Encode(validMask(&out, g, b.Slots(), inv), sc.Pm)
-			masks[chInGroup] = m
+		if _, ok := masks[chInGroup]; !ok {
+			masks[chInGroup] = b.Encode(validMask(&out, g, b.Slots(), inv), sc.Pm)
 		}
-		return m
 	}
 
-	for g := range in.CTs {
+	parallelFor(opts.workers(), len(in.CTs), func(g int) {
 		cache := newRotCache(b, in.CTs[g])
 		var acc hisa.Ciphertext
 		for ky := 0; ky < window; ky++ {
@@ -211,9 +237,9 @@ func AvgPool2D(b hisa.Backend, in *CipherTensor, window, stride int, sc Scales) 
 				acc = accumulate(b, acc, cache.get(ky*in.RowStride+kx*in.ColStride))
 			}
 		}
-		acc = b.MulPlain(acc, maskFor(g))
+		acc = b.MulPlain(acc, masks[min(in.C-g*in.CPerCT, in.CPerCT)])
 		out.CTs[g] = tryRescale(b, acc, sc.Pc)
-	}
+	})
 	out.validate(b.Slots())
 	return &out
 }
@@ -222,14 +248,20 @@ func AvgPool2D(b hisa.Backend, in *CipherTensor, window, stride int, sc Scales) 
 // position (0, 0), using logarithmic folding when the spatial dims are
 // powers of two.
 func GlobalAvgPool2D(b hisa.Backend, in *CipherTensor, sc Scales) *CipherTensor {
+	return GlobalAvgPool2DOpts(b, in, sc, ExecOptions{})
+}
+
+// GlobalAvgPool2DOpts is GlobalAvgPool2D with an execution-options
+// parameter: ciphertext groups are reduced by opts.Workers goroutines.
+func GlobalAvgPool2DOpts(b hisa.Backend, in *CipherTensor, sc Scales, opts ExecOptions) *CipherTensor {
 	out := metaClone(in)
 	out.H, out.W = 1, 1
 	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
 
 	inv := 1.0 / float64(in.H*in.W)
-	var mask hisa.Plaintext
+	mask := b.Encode(validMask(&out, 0, b.Slots(), inv), sc.Pm)
 
-	for g := range in.CTs {
+	parallelFor(opts.workers(), len(in.CTs), func(g int) {
 		acc := in.CTs[g]
 		if isPow2(in.W) {
 			for step := 1; step < in.W; step <<= 1 {
@@ -255,12 +287,9 @@ func GlobalAvgPool2D(b hisa.Backend, in *CipherTensor, sc Scales) *CipherTensor 
 			}
 			acc = sum
 		}
-		if mask == nil {
-			mask = b.Encode(validMask(&out, g, b.Slots(), inv), sc.Pm)
-		}
 		acc = b.MulPlain(acc, mask)
 		out.CTs[g] = tryRescale(b, acc, sc.Pc)
-	}
+	})
 	out.validate(b.Slots())
 	return &out
 }
@@ -270,14 +299,20 @@ func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 // Activation applies f(x) = a*x^2 + b*x, computed as x*(a*x + b) to spend
 // one ciphertext multiplication and one scalar multiplication.
 func Activation(b hisa.Backend, in *CipherTensor, a, bb float64, sc Scales) *CipherTensor {
+	return ActivationOpts(b, in, a, bb, sc, ExecOptions{})
+}
+
+// ActivationOpts is Activation with an execution-options parameter:
+// ciphertext groups are transformed by opts.Workers goroutines.
+func ActivationOpts(b hisa.Backend, in *CipherTensor, a, bb float64, sc Scales, opts ExecOptions) *CipherTensor {
 	out := metaClone(in)
 	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
-	for g := range in.CTs {
+	parallelFor(opts.workers(), len(in.CTs), func(g int) {
 		x := in.CTs[g]
 		if a == 0 {
 			y := b.MulScalar(x, bb, sc.Pu)
 			out.CTs[g] = tryRescale(b, y, sc.Pc)
-			continue
+			return
 		}
 		t := b.MulScalar(x, a, sc.Pu)
 		t = tryRescale(b, t, sc.Pc)
@@ -286,7 +321,7 @@ func Activation(b hisa.Backend, in *CipherTensor, a, bb float64, sc Scales) *Cip
 		t = b.AddScalar(t, bb)
 		y := b.Mul(t, x)
 		out.CTs[g] = tryRescale(b, y, sc.Pc)
-	}
+	})
 	return &out
 }
 
@@ -295,13 +330,19 @@ func Activation(b hisa.Backend, in *CipherTensor, a, bb float64, sc Scales) *Cip
 // multiplication. The constant term is added only at valid positions so the
 // zero-slot invariant survives.
 func PolyEval(b hisa.Backend, in *CipherTensor, coeffs []float64, sc Scales) *CipherTensor {
+	return PolyEvalOpts(b, in, coeffs, sc, ExecOptions{})
+}
+
+// PolyEvalOpts is PolyEval with an execution-options parameter: ciphertext
+// groups are evaluated by opts.Workers goroutines.
+func PolyEvalOpts(b hisa.Backend, in *CipherTensor, coeffs []float64, sc Scales, opts ExecOptions) *CipherTensor {
 	d := len(coeffs) - 1
 	if d < 1 {
 		panic("htc: PolyEval needs degree >= 1")
 	}
 	out := metaClone(in)
 	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
-	for g := range in.CTs {
+	parallelFor(opts.workers(), len(in.CTs), func(g int) {
 		x := in.CTs[g]
 		// acc = c_d * x, then repeatedly acc = (acc + c_i) * x.
 		acc := b.MulScalar(x, coeffs[d], sc.Pu)
@@ -318,7 +359,7 @@ func PolyEval(b hisa.Backend, in *CipherTensor, coeffs []float64, sc Scales) *Ci
 			acc = b.AddPlain(acc, b.Encode(cv, b.Scale(acc)))
 		}
 		out.CTs[g] = acc
-	}
+	})
 	return &out
 }
 
@@ -327,12 +368,18 @@ func PolyEval(b hisa.Backend, in *CipherTensor, coeffs []float64, sc Scales) *Ci
 // scalar multiplication; in CHW it requires a plaintext vector — the
 // layout-dependent cost difference the paper highlights.
 func BatchNorm(b hisa.Backend, in *CipherTensor, gamma, beta *tensor.Tensor, sc Scales) *CipherTensor {
+	return BatchNormOpts(b, in, gamma, beta, sc, ExecOptions{})
+}
+
+// BatchNormOpts is BatchNorm with an execution-options parameter:
+// ciphertext groups are normalized by opts.Workers goroutines.
+func BatchNormOpts(b hisa.Backend, in *CipherTensor, gamma, beta *tensor.Tensor, sc Scales, opts ExecOptions) *CipherTensor {
 	if gamma.Size() != in.C || beta.Size() != in.C {
 		panic("htc: batchnorm parameter size mismatch")
 	}
 	out := metaClone(in)
 	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
-	for g := range in.CTs {
+	parallelFor(opts.workers(), len(in.CTs), func(g int) {
 		var t hisa.Ciphertext
 		if in.Layout == LayoutHW {
 			t = b.MulScalar(in.CTs[g], gamma.Data[g], sc.Pu)
@@ -344,13 +391,19 @@ func BatchNorm(b hisa.Backend, in *CipherTensor, gamma, beta *tensor.Tensor, sc 
 		bv := perChannelVector(in, g, b.Slots(), func(ch int) float64 { return beta.Data[ch] })
 		t = b.AddPlain(t, b.Encode(bv, b.Scale(t)))
 		out.CTs[g] = t
-	}
+	})
 	return &out
 }
 
 // Add computes the elementwise sum of two CipherTensors with identical
 // metadata (residual connections).
 func Add(b hisa.Backend, x, y *CipherTensor) *CipherTensor {
+	return AddOpts(b, x, y, ExecOptions{})
+}
+
+// AddOpts is Add with an execution-options parameter: ciphertext groups are
+// summed by opts.Workers goroutines.
+func AddOpts(b hisa.Backend, x, y *CipherTensor, opts ExecOptions) *CipherTensor {
 	if x.C != y.C || x.H != y.H || x.W != y.W ||
 		x.Offset != y.Offset || x.RowStride != y.RowStride || x.ColStride != y.ColStride ||
 		x.CPerCT != y.CPerCT {
@@ -358,10 +411,10 @@ func Add(b hisa.Backend, x, y *CipherTensor) *CipherTensor {
 	}
 	out := metaClone(x)
 	out.CTs = make([]hisa.Ciphertext, x.NumCTs())
-	for g := range x.CTs {
+	parallelFor(opts.workers(), len(x.CTs), func(g int) {
 		a, bb := alignScales(b, x.CTs[g], y.CTs[g])
 		out.CTs[g] = b.Add(a, bb)
-	}
+	})
 	return &out
 }
 
@@ -370,6 +423,14 @@ func Add(b hisa.Backend, x, y *CipherTensor) *CipherTensor {
 // concatenation is free (ciphertext list append); otherwise channels are
 // moved individually with mask-and-rotate.
 func Concat(b hisa.Backend, sc Scales, ins ...*CipherTensor) *CipherTensor {
+	return ConcatOpts(b, sc, ExecOptions{}, ins...)
+}
+
+// ConcatOpts is Concat with an execution-options parameter: on the
+// mask-and-rotate path, per-channel isolation runs on opts.Workers
+// goroutines and the isolated channels are folded into the output in serial
+// channel order.
+func ConcatOpts(b hisa.Backend, sc Scales, opts ExecOptions, ins ...*CipherTensor) *CipherTensor {
 	if len(ins) < 2 {
 		panic("htc: Concat needs at least two inputs")
 	}
@@ -415,28 +476,42 @@ func Concat(b hisa.Backend, sc Scales, ins ...*CipherTensor) *CipherTensor {
 	// Slow path: isolate each channel and place it at its target block.
 	numOutCTs := (totalC + out.CPerCT - 1) / out.CPerCT
 	out.CTs = make([]hisa.Ciphertext, numOutCTs)
+	type job struct {
+		in      *CipherTensor
+		ch, och int
+	}
+	jobs := make([]job, 0, totalC)
 	base := 0
 	for _, in := range ins {
 		for ch := 0; ch < in.C; ch++ {
-			gIn, bIn := ch/in.CPerCT, ch%in.CPerCT
-			och := base + ch
-			gOut, bOut := och/out.CPerCT, och%out.CPerCT
-
-			single := metaClone(in)
-			single.C = 1
-			single.CPerCT = 1
-			single.Offset = in.Offset + bIn*in.ChanStride
-			mv := validMask(&single, 0, b.Slots(), 1)
-			t := b.MulPlain(in.CTs[gIn], b.Encode(mv, sc.Pm))
-			t = tryRescale(b, t, sc.Pc)
-			if shift := (bOut - bIn) * in.ChanStride; shift > 0 {
-				t = b.RotRight(t, shift)
-			} else if shift < 0 {
-				t = b.RotLeft(t, -shift)
-			}
-			out.CTs[gOut] = accumulate(b, out.CTs[gOut], t)
+			jobs = append(jobs, job{in: in, ch: ch, och: base + ch})
 		}
 		base += in.C
+	}
+	isolated := make([]hisa.Ciphertext, len(jobs))
+	parallelFor(opts.workers(), len(jobs), func(j int) {
+		in, ch := jobs[j].in, jobs[j].ch
+		gIn, bIn := ch/in.CPerCT, ch%in.CPerCT
+		bOut := jobs[j].och % out.CPerCT
+
+		single := metaClone(in)
+		single.C = 1
+		single.CPerCT = 1
+		single.Offset = in.Offset + bIn*in.ChanStride
+		mv := validMask(&single, 0, b.Slots(), 1)
+		t := b.MulPlain(in.CTs[gIn], b.Encode(mv, sc.Pm))
+		t = tryRescale(b, t, sc.Pc)
+		if shift := (bOut - bIn) * in.ChanStride; shift > 0 {
+			t = b.RotRight(t, shift)
+		} else if shift < 0 {
+			t = b.RotLeft(t, -shift)
+		}
+		isolated[j] = t
+	})
+	// Fold in original (input, channel) order for a bit-identical result.
+	for j := range jobs {
+		gOut := jobs[j].och / out.CPerCT
+		out.CTs[gOut] = accumulate(b, out.CTs[gOut], isolated[j])
 	}
 	out.validate(b.Slots())
 	return &out
@@ -448,6 +523,13 @@ func Concat(b hisa.Backend, sc Scales, ins ...*CipherTensor) *CipherTensor {
 // logarithmic rotate-and-add reduction, a slot-0 mask, and a placement
 // rotation.
 func Dense(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, sc Scales) *CipherTensor {
+	return DenseOpts(b, in, weights, bias, sc, ExecOptions{})
+}
+
+// DenseOpts is Dense with an execution-options parameter: output neurons
+// are computed by opts.Workers goroutines and folded into the output in
+// serial neuron order, so the result is bit-identical to a serial run.
+func DenseOpts(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, sc Scales, opts ExecOptions) *CipherTensor {
 	inSize := in.C * in.H * in.W
 	if weights.Rank() != 2 || weights.Shape[1] != inSize {
 		panic(fmt.Sprintf("htc: dense weights %v incompatible with input size %d", weights.Shape, inSize))
@@ -472,10 +554,10 @@ func Dense(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, sc Sc
 
 	e0 := make([]float64, b.Slots())
 	e0[0] = 1
-	var e0Plain hisa.Plaintext
+	e0Plain := b.Encode(e0, sc.Pm)
 
-	var acc hisa.Ciphertext
-	for o := 0; o < outDim; o++ {
+	neurons := make([]hisa.Ciphertext, outDim)
+	parallelFor(opts.workers(), outDim, func(o int) {
 		var total hisa.Ciphertext
 		for g := range in.CTs {
 			wv := make([]float64, b.Slots())
@@ -498,15 +580,18 @@ func Dense(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, sc Sc
 		for step := m / 2; step >= 1; step >>= 1 {
 			total = b.Add(total, b.RotLeft(total, step))
 		}
-		if e0Plain == nil {
-			e0Plain = b.Encode(e0, sc.Pm)
-		}
 		total = b.MulPlain(total, e0Plain)
 		total = tryRescale(b, total, sc.Pc)
 		if o > 0 {
 			total = b.RotRight(total, o)
 		}
-		acc = accumulate(b, acc, total)
+		neurons[o] = total
+	})
+
+	// Fold in serial neuron order for a bit-identical result.
+	var acc hisa.Ciphertext
+	for o := 0; o < outDim; o++ {
+		acc = accumulate(b, acc, neurons[o])
 	}
 
 	if bias != nil {

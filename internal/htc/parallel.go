@@ -1,0 +1,65 @@
+package htc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ExecOptions configures homomorphic execution. The zero value executes
+// serially, which is always safe (including on the compiler's analysis
+// backends, which are not goroutine-safe).
+type ExecOptions struct {
+	// Workers is the number of goroutines the kernels fan independent
+	// ciphertext operations across. Values <= 1 execute serially. Parallel
+	// execution is bit-identical to serial execution on every executable
+	// backend: per-output work is computed concurrently but accumulated in
+	// the serial program order.
+	Workers int
+}
+
+// DefaultExecOptions uses one worker per available CPU.
+func DefaultExecOptions() ExecOptions {
+	return ExecOptions{Workers: runtime.GOMAXPROCS(0)}
+}
+
+func (o ExecOptions) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to `workers` goroutines,
+// returning when all iterations are done. Iterations are claimed from a
+// shared atomic counter, so uneven per-iteration cost balances itself
+// (the runtime analogue of the cost model's makespan view). workers <= 1
+// or n <= 1 degrades to a plain loop on the calling goroutine.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
