@@ -17,4 +17,7 @@ go test ./...
 echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/hisa/... ./internal/htc/... ./internal/ckks/...
 
+echo "== bench smoke (lazy-reduction NTT kernels compile and run)"
+go test -run=NONE -bench=NTT -benchtime=1x ./internal/ring
+
 echo "CI OK"

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +44,12 @@ type benchConfig struct {
 	table1Sizes [][2]int
 	scaleSearch bool
 	workers     int
+	// rotLogN/rotPrimes/rotAmounts size the hoisted-rotation experiment;
+	// benchOut is where its machine-readable result lands ("" disables).
+	rotLogN    int
+	rotPrimes  int
+	rotAmounts int
+	benchOut   string
 }
 
 func defaultConfig() benchConfig {
@@ -53,6 +60,10 @@ func defaultConfig() benchConfig {
 		fig6LogN:    12,
 		table1Sizes: [][2]int{{11, 2}, {11, 4}, {11, 8}, {12, 4}, {13, 4}},
 		workers:     runtime.GOMAXPROCS(0),
+		rotLogN:     12,
+		rotPrimes:   5,
+		rotAmounts:  8,
+		benchOut:    "BENCH_rotations.json",
 	}
 }
 
@@ -138,6 +149,26 @@ func experiments(cfg benchConfig) []experiment {
 				runtime.GOMAXPROCS(0))
 			return nil
 		}},
+		{"rotations", func(w io.Writer) error {
+			res, err := bench.RotationsBench(cfg.rotLogN, cfg.rotPrimes, cfg.rotAmounts, cfg.workers)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderRotations(res))
+			fmt.Fprintln(w, "hoisted shares one digit decomposition across all amounts (see DESIGN.md)")
+			if cfg.benchOut == "" {
+				return nil
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(cfg.benchOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", cfg.benchOut)
+			return nil
+		}},
 	}
 }
 
@@ -167,18 +198,21 @@ func runExperiments(w io.Writer, want string, cfg benchConfig) error {
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, or all")
+		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, or all")
 	full := flag.Bool("full", false,
 		"use all five evaluation networks (slower analysis sweeps; fig6 always uses the small set)")
 	scaleSearch := flag.Bool("scalesearch", false,
 		"run the profile-guided scale search for table4 (slow)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"worker-pool size for the parallel experiment (default: one per CPU)")
+	benchOut := flag.String("benchout", "BENCH_rotations.json",
+		"output path for the rotations experiment JSON (empty disables)")
 	flag.Parse()
 
 	cfg := defaultConfig()
 	cfg.scaleSearch = *scaleSearch
 	cfg.workers = *workers
+	cfg.benchOut = *benchOut
 	if *full {
 		cfg.models = bench.EvalModels()
 	}

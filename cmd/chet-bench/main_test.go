@@ -16,6 +16,10 @@ func tinyConfig() benchConfig {
 		fig6LogN:    11,
 		table1Sizes: [][2]int{{11, 2}},
 		workers:     2,
+		rotLogN:     11,
+		rotPrimes:   4,
+		rotAmounts:  8,
+		benchOut:    "", // keep the smoke test from writing files
 	}
 }
 
@@ -23,7 +27,7 @@ func tinyConfig() benchConfig {
 // and requires non-empty rendered output.
 func TestRunExperimentsSmoke(t *testing.T) {
 	cfg := tinyConfig()
-	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true}
+	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true}
 	for _, e := range experiments(cfg) {
 		t.Run(e.name, func(t *testing.T) {
 			if testing.Short() && slow[e.name] {

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"chet/internal/ckks"
+	"chet/internal/hisa"
+	"chet/internal/ring"
+)
+
+// RotationsResult records the hoisted-rotation experiment: the same batch
+// of rotation amounts executed per-amount (serial), per-amount across
+// worker goroutines (parallel), and as one hoisted batch sharing a single
+// digit decomposition. NSOp values are nanoseconds per rotation amount.
+type RotationsResult struct {
+	LogN    int   `json:"log_n"`
+	Level   int   `json:"level"`
+	Primes  int   `json:"primes"`
+	Amounts []int `json:"amounts"`
+	Workers int   `json:"workers"`
+
+	SerialNSOp   float64 `json:"serial_ns_op"`
+	ParallelNSOp float64 `json:"parallel_ns_op"`
+	HoistedNSOp  float64 `json:"hoisted_ns_op"`
+
+	// HoistedSpeedup is SerialNSOp / HoistedNSOp — the acceptance metric
+	// for the hoisting optimization (>= 1.5x at L >= 3, >= 8 amounts).
+	HoistedSpeedup  float64 `json:"hoisted_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+// RotationsBench measures the rotation batch on the real RNS backend. The
+// amounts all have exact keys, so every path executes one key switch per
+// amount; only the shared decomposition differs. Outputs are discarded —
+// correctness (bit identity across the three paths) is pinned by tests in
+// internal/hisa and internal/htc.
+func RotationsBench(logN, primes, numAmounts, workers int) (RotationsResult, error) {
+	if primes < 4 {
+		return RotationsResult{}, fmt.Errorf("bench: rotations experiment needs >= 4 chain primes for L >= 3, got %d", primes)
+	}
+	logQ := make([]int, primes)
+	for i := range logQ {
+		logQ[i] = 40
+	}
+	logQ[0] = 50
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN: logN, LogQ: logQ, LogP: 50, LogScale: 40,
+	})
+	if err != nil {
+		return RotationsResult{}, err
+	}
+	amounts := make([]int, numAmounts)
+	for i := range amounts {
+		amounts[i] = i + 1
+	}
+	b := hisa.NewRNSBackend(hisa.RNSConfig{
+		Params:    params,
+		PRNG:      ring.NewTestPRNG(31),
+		Rotations: amounts,
+	})
+	vals := make([]float64, b.Slots())
+	for i := range vals {
+		vals[i] = 0.25
+	}
+	ct := b.Encrypt(b.Encode(vals, math.Exp2(40)))
+
+	serial := timeBatch(func() {
+		for _, k := range amounts {
+			b.RotLeft(ct, k)
+		}
+	})
+	parallel := timeBatch(func() {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for _, k := range amounts {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(k int) {
+				defer wg.Done()
+				b.RotLeft(ct, k)
+				<-sem
+			}(k)
+		}
+		wg.Wait()
+	})
+	hoisted := timeBatch(func() {
+		b.RotLeftMany(ct, amounts)
+	})
+
+	n := float64(len(amounts))
+	res := RotationsResult{
+		LogN:         logN,
+		Level:        params.MaxLevel(),
+		Primes:       primes,
+		Amounts:      amounts,
+		Workers:      workers,
+		SerialNSOp:   serial / n,
+		ParallelNSOp: parallel / n,
+		HoistedNSOp:  hoisted / n,
+	}
+	res.HoistedSpeedup = res.SerialNSOp / res.HoistedNSOp
+	res.ParallelSpeedup = res.SerialNSOp / res.ParallelNSOp
+	return res, nil
+}
+
+// timeBatch returns the best-of-3 wall time of f in nanoseconds.
+func timeBatch(f func()) float64 {
+	f() // warm up (NTT tables, Shoup key forms, pools)
+	best := math.MaxFloat64
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		if e := float64(time.Since(start).Nanoseconds()); e < best {
+			best = e
+		}
+	}
+	return best
+}
+
+// RenderRotations formats the rotation experiment result.
+func RenderRotations(r RotationsResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rotation batch: logN=%d level=%d amounts=%d workers=%d\n",
+		r.LogN, r.Level, len(r.Amounts), r.Workers)
+	fmt.Fprintf(&sb, "%-10s %14s %10s\n", "path", "ns/rotation", "speedup")
+	fmt.Fprintf(&sb, "%-10s %14.0f %10s\n", "serial", r.SerialNSOp, "1.00x")
+	fmt.Fprintf(&sb, "%-10s %14.0f %9.2fx\n", "parallel", r.ParallelNSOp, r.ParallelSpeedup)
+	fmt.Fprintf(&sb, "%-10s %14.0f %9.2fx\n", "hoisted", r.HoistedNSOp, r.HoistedSpeedup)
+	return sb.String()
+}

@@ -25,6 +25,16 @@ type Evaluator struct {
 	// scratch pools N-length coefficient rows so concurrent operations
 	// never share a buffer.
 	scratch *sync.Pool
+
+	// accPool pools full-level polys used as key-switch accumulators and
+	// hoisted-decomposition digits. Leased polys may carry stale data; the
+	// borrower initializes the rows it touches.
+	accPool *sync.Pool
+
+	// keyShoup caches Shoup forms of switching-key digit rows, keyed by
+	// *SwitchingKey. Shared across ShallowCopy so the forms are computed
+	// once per key regardless of worker count.
+	keyShoup *sync.Map
 }
 
 // NewEvaluator creates an evaluator. rlk may be nil if no
@@ -32,6 +42,7 @@ type Evaluator struct {
 // rotations are performed.
 func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKeySet) *Evaluator {
 	n := params.N()
+	r := params.Ring()
 	return &Evaluator{
 		params: params,
 		rlk:    rlk,
@@ -39,20 +50,32 @@ func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKey
 		scratch: &sync.Pool{New: func() any {
 			return make([]uint64, n)
 		}},
+		accPool: &sync.Pool{New: func() any {
+			return r.NewPoly(r.MaxLevel())
+		}},
+		keyShoup: &sync.Map{},
 	}
 }
 
-// ShallowCopy returns an evaluator that shares this evaluator's keys and
-// parameters but owns an independent scratch pool. A single Evaluator is
-// already goroutine-safe; ShallowCopy exists for callers that want explicit
-// per-worker evaluators (e.g. to avoid pool contention on very wide fan-out).
+// ShallowCopy returns an evaluator that shares this evaluator's keys,
+// parameters, and Shoup-form key cache but owns independent scratch pools.
+// A single Evaluator is already goroutine-safe; ShallowCopy exists for
+// callers that want explicit per-worker evaluators (e.g. to avoid pool
+// contention on very wide fan-out).
 func (ev *Evaluator) ShallowCopy() *Evaluator {
-	return NewEvaluator(ev.params, ev.rlk, ev.rtks)
+	cp := NewEvaluator(ev.params, ev.rlk, ev.rtks)
+	cp.keyShoup = ev.keyShoup
+	return cp
 }
 
 // getRow leases an N-length scratch row; putRow returns it.
 func (ev *Evaluator) getRow() []uint64  { return ev.scratch.Get().([]uint64) }
 func (ev *Evaluator) putRow(r []uint64) { ev.scratch.Put(r) }
+
+// getAcc leases a full-level scratch poly (contents undefined); putAcc
+// returns it.
+func (ev *Evaluator) getAcc() *ring.Poly  { return ev.accPool.Get().(*ring.Poly) }
+func (ev *Evaluator) putAcc(p *ring.Poly) { ev.accPool.Put(p) }
 
 // Params returns the evaluator's parameter set.
 func (ev *Evaluator) Params() *Parameters { return ev.params }
@@ -285,9 +308,13 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) *Ciphertext {
 	r.MulCoeffsAndAdd(ac.C1, bc.C0, d1, level)
 	r.MulCoeffs(ac.C1, bc.C1, d2, level)
 
-	e0, e1 := ev.keySwitch(d2, level, ev.rlk.Key)
+	dec := ev.hoistedDecompose(d2, level)
+	e0, e1 := ev.keySwitchFromDecomp(dec, nil, ev.rlk.Key)
+	dec.Release()
 	r.Add(d0, e0, d0, level)
 	r.Add(d1, e1, d1, level)
+	ev.putAcc(e0)
+	ev.putAcc(e1)
 
 	return &Ciphertext{C0: d0, C1: d1, Scale: ac.Scale * bc.Scale, Lvl: level}
 }
@@ -315,88 +342,19 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
 	return ev.applyGalois(ct, ev.params.Ring().GaloisElementConjugate())
 }
 
+// applyGalois routes through the hoisted key-switch path (see hoisting.go)
+// with a single-use decomposition, so per-amount rotations and hoisted
+// batches produce bit-identical ciphertexts.
 func (ev *Evaluator) applyGalois(ct *Ciphertext, galEl uint64) *Ciphertext {
-	swk, err := ev.rtks.RotationKeyFor(galEl)
-	if err != nil {
-		panic(err)
-	}
-	r := ev.params.Ring()
-	level := ct.Lvl
-
-	rc0 := r.NewPoly(level)
-	rc1 := r.NewPoly(level)
-	r.AutomorphismNTT(ct.C0, galEl, rc0, level)
-	r.AutomorphismNTT(ct.C1, galEl, rc1, level)
-
-	e0, e1 := ev.keySwitch(rc1, level, swk)
-	r.Add(rc0, e0, rc0, level)
-
-	return &Ciphertext{C0: rc0, C1: e1, Scale: ct.Scale, Lvl: level}
-}
-
-// keySwitch re-encrypts the degree-1 component c2 (NTT domain, rows
-// 0..level) from the switching key's source secret to the canonical secret,
-// returning the additive correction (d0, d1) at the same level.
-//
-// This is the RNS "digit decomposition" key switch: c2 is decomposed into
-// its residues per chain prime, each residue is spread across the extended
-// basis {q_0..q_level, P}, multiplied against the matching key digit, and
-// the accumulated result is divided by the special prime P.
-func (ev *Evaluator) keySwitch(c2 *ring.Poly, level int, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
-	params := ev.params
-	r := params.Ring()
-	pIdx := params.pIndex()
-	full := r.MaxLevel()
-	n := r.N
-
-	c2c := c2.CopyNew()
-	r.InvNTT(c2c, level)
-
-	acc0 := r.NewPoly(full)
-	acc1 := r.NewPoly(full)
-
-	rows := make([]int, 0, level+2)
-	for j := 0; j <= level; j++ {
-		rows = append(rows, j)
-	}
-	rows = append(rows, pIdx)
-
-	row := ev.getRow()
-	defer ev.putRow(row)
-	for i := 0; i <= level; i++ {
-		digits := c2c.Coeffs[i] // residues in [0, q_i)
-		for _, j := range rows {
-			mj := r.Moduli[j]
-			qj := mj.Q
-			if j == i {
-				copy(row, digits)
-			} else {
-				for k := 0; k < n; k++ {
-					row[k] = digits[k] % qj
-				}
-			}
-			r.NTTSingle(j, row)
-
-			b := swk.B[i].Coeffs[j]
-			a := swk.A[i].Coeffs[j]
-			o0 := acc0.Coeffs[j]
-			o1 := acc1.Coeffs[j]
-			for k := 0; k < n; k++ {
-				o0[k] = ring.AddMod(o0[k], mj.BRed(row[k], b[k]), qj)
-				o1[k] = ring.AddMod(o1[k], mj.BRed(row[k], a[k]), qj)
-			}
-		}
-	}
-
-	ev.modDownByP(acc0, level)
-	ev.modDownByP(acc1, level)
-	acc0.DropLevel(level)
-	acc1.DropLevel(level)
-	return acc0, acc1
+	dec := ev.hoistedDecompose(ct.C1, ct.Lvl)
+	out := ev.applyGaloisHoisted(ct, dec, galEl)
+	dec.Release()
+	return out
 }
 
 // modDownByP divides acc (rows 0..level valid, plus the special-prime row)
-// by the special prime P with centered rounding, in the NTT domain.
+// by the special prime P with centered rounding, in the NTT domain. The
+// P^{-1} mod q_j constants come precomputed from the parameter set.
 func (ev *Evaluator) modDownByP(acc *ring.Poly, level int) {
 	params := ev.params
 	r := params.Ring()
@@ -405,7 +363,9 @@ func (ev *Evaluator) modDownByP(acc *ring.Poly, level int) {
 	halfP := p >> 1
 	n := r.N
 
-	pRow := append([]uint64(nil), acc.Coeffs[pIdx]...)
+	pRow := ev.getRow()
+	defer ev.putRow(pRow)
+	copy(pRow, acc.Coeffs[pIdx])
 	r.InvNTTSingle(pIdx, pRow)
 
 	tmp := ev.getRow()
@@ -423,8 +383,8 @@ func (ev *Evaluator) modDownByP(acc *ring.Poly, level int) {
 		}
 		r.NTTSingle(j, tmp)
 
-		pInv := ring.InvMod(p%qj, qj)
-		pInvS := ring.MForm(pInv, qj)
+		pInv := params.pInvModQ[j]
+		pInvS := params.pInvModQShoup[j]
 		rowJ := acc.Coeffs[j]
 		for k := 0; k < n; k++ {
 			rowJ[k] = ring.MulModShoup(ring.SubMod(rowJ[k], tmp[k], qj), pInv, pInvS, qj)

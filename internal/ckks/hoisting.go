@@ -1,0 +1,249 @@
+package ckks
+
+import (
+	"fmt"
+
+	"chet/internal/ring"
+)
+
+// Halevi-Shoup hoisted key switching. A rotation's key switch splits into
+// two parts: the digit decomposition of c1 (inverse NTT, per-digit spread
+// across the extended basis {q_0..q_level, P}, and one forward NTT per
+// (digit, prime) pair — the expensive part) and the inner product of those
+// digits against the rotation key (cheap). The decomposition depends only
+// on the source ciphertext, not on the rotation amount, and the Galois
+// automorphism acts on the decomposed digits as a per-row NTT-domain
+// permutation. Hoisting therefore decomposes once and reuses the digits
+// for every rotation amount, which is the dominant cost of the HTC conv,
+// pool, and dense kernels (they rotate one ciphertext by many amounts).
+//
+// Every rotation — including single-amount RotateLeft — runs through this
+// path, so hoisted and per-amount rotations are bit-identical by
+// construction.
+
+// HoistedDecomposition holds the extended-basis NTT digits of a
+// ciphertext's degree-one component: digits[i] carries, in rows
+// {0..level, pIndex}, the NTT of (c1's i-th RNS digit mod q_j). It is
+// read-only once built, so one decomposition may serve concurrent
+// RotateLeftHoisted calls.
+type HoistedDecomposition struct {
+	level  int
+	digits []*ring.Poly
+	ev     *Evaluator
+}
+
+// Level returns the ciphertext level the decomposition was taken at.
+func (dec *HoistedDecomposition) Level() int { return dec.level }
+
+// Release returns the decomposition's digit storage to the evaluator's
+// scratch pool. The decomposition must not be used afterwards. Calling
+// Release is optional (the GC reclaims unreleased digits) but recommended
+// on hot paths.
+func (dec *HoistedDecomposition) Release() {
+	for _, d := range dec.digits {
+		dec.ev.putAcc(d)
+	}
+	dec.digits = nil
+}
+
+// HoistedDecompose computes the digit decomposition of ct's degree-one
+// component once, for reuse across any number of rotation amounts via
+// RotateLeftHoisted.
+func (ev *Evaluator) HoistedDecompose(ct *Ciphertext) *HoistedDecomposition {
+	return ev.hoistedDecompose(ct.C1, ct.Lvl)
+}
+
+func (ev *Evaluator) hoistedDecompose(c2 *ring.Poly, level int) *HoistedDecomposition {
+	params := ev.params
+	r := params.Ring()
+	rows := params.ksRows(level)
+	n := r.N
+
+	// Inverse NTT of c2 into scratch; the input is never mutated.
+	coef := ev.getAcc()
+	for i := 0; i <= level; i++ {
+		copy(coef.Coeffs[i], c2.Coeffs[i])
+		r.InvNTTSingle(i, coef.Coeffs[i])
+	}
+
+	dec := &HoistedDecomposition{level: level, ev: ev, digits: make([]*ring.Poly, level+1)}
+	for i := 0; i <= level; i++ {
+		d := ev.getAcc()
+		digits := coef.Coeffs[i] // residues in [0, q_i)
+		for _, j := range rows {
+			row := d.Coeffs[j]
+			if j == i {
+				copy(row, digits)
+			} else {
+				qj := r.Moduli[j].Q
+				for k := 0; k < n; k++ {
+					row[k] = digits[k] % qj
+				}
+			}
+			r.NTTSingle(j, row)
+		}
+		dec.digits[i] = d
+	}
+	ev.putAcc(coef)
+	return dec
+}
+
+// RotateHoisted rotates ct left by every amount in ks, sharing one digit
+// decomposition across all of them. Each output is bit-identical to the
+// corresponding RotateLeft(ct, k) call; only the decomposition work is
+// amortized. Amounts that reduce to 0 mod slots yield copies.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) []*Ciphertext {
+	outs := make([]*Ciphertext, len(ks))
+	slots := ev.params.Slots()
+	var dec *HoistedDecomposition
+	for idx, k := range ks {
+		kk := ((k % slots) + slots) % slots
+		if kk == 0 {
+			outs[idx] = ct.CopyNew()
+			continue
+		}
+		if dec == nil {
+			dec = ev.HoistedDecompose(ct)
+		}
+		outs[idx] = ev.applyGaloisHoisted(ct, dec, ev.params.Ring().GaloisElementForRotation(kk))
+	}
+	if dec != nil {
+		dec.Release()
+	}
+	return outs
+}
+
+// RotateLeftHoisted rotates ct left by k using a decomposition previously
+// taken from the same ciphertext with HoistedDecompose. The caller owns
+// dec's lifetime; concurrent calls sharing one dec are safe.
+func (ev *Evaluator) RotateLeftHoisted(ct *Ciphertext, dec *HoistedDecomposition, k int) *Ciphertext {
+	slots := ev.params.Slots()
+	k = ((k % slots) + slots) % slots
+	if k == 0 {
+		return ct.CopyNew()
+	}
+	return ev.applyGaloisHoisted(ct, dec, ev.params.Ring().GaloisElementForRotation(k))
+}
+
+// applyGaloisHoisted produces the automorphic image of ct for galEl from
+// ct's hoisted decomposition: the digit rows are gathered through the
+// automorphism's NTT permutation during the key inner product, the result
+// is divided by P, and the automorphism of c0 is added in.
+func (ev *Evaluator) applyGaloisHoisted(ct *Ciphertext, dec *HoistedDecomposition, galEl uint64) *Ciphertext {
+	swk, err := ev.rtks.RotationKeyFor(galEl)
+	if err != nil {
+		panic(err)
+	}
+	r := ev.params.Ring()
+	level := ct.Lvl
+	if dec.level != level {
+		panic(fmt.Sprintf("ckks: hoisted decomposition at level %d applied to ciphertext at level %d", dec.level, level))
+	}
+	perm := r.NTTPermutation(galEl)
+	e0, e1 := ev.keySwitchFromDecomp(dec, perm, swk)
+
+	rc0 := r.NewPoly(level)
+	r.AutomorphismNTT(ct.C0, galEl, rc0, level)
+	r.Add(rc0, e0, rc0, level)
+
+	c1 := r.NewPoly(level)
+	for j := 0; j <= level; j++ {
+		copy(c1.Coeffs[j], e1.Coeffs[j])
+	}
+	ev.putAcc(e0)
+	ev.putAcc(e1)
+	return &Ciphertext{C0: rc0, C1: c1, Scale: ct.Scale, Lvl: level}
+}
+
+// keySwitchFromDecomp runs the cheap half of the key switch: the inner
+// product of the decomposed digits (optionally gathered through an
+// automorphism permutation) against the switching key, with Shoup-lazy
+// multiply-accumulate (accumulators stay in [0, 2q) and are reduced once),
+// followed by the division by the special prime P. The returned polys come
+// from the evaluator's accumulator pool — rows 0..level are valid — and
+// must be handed back with putAcc once folded into their destination.
+func (ev *Evaluator) keySwitchFromDecomp(dec *HoistedDecomposition, perm []int, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	params := ev.params
+	r := params.Ring()
+	level := dec.level
+	rows := params.ksRows(level)
+	sh := ev.shoupFor(swk)
+
+	acc0 := ev.getAcc()
+	acc1 := ev.getAcc()
+	for _, j := range rows {
+		zeroRow(acc0.Coeffs[j])
+		zeroRow(acc1.Coeffs[j])
+	}
+
+	for i := 0; i <= level; i++ {
+		d := dec.digits[i]
+		for _, j := range rows {
+			q := r.Moduli[j].Q
+			x := d.Coeffs[j]
+			b, bs := swk.B[i].Coeffs[j], sh.BS[i].Coeffs[j]
+			a, as := swk.A[i].Coeffs[j], sh.AS[i].Coeffs[j]
+			if perm == nil {
+				ring.VecMulAddShoupLazy(acc0.Coeffs[j], x, b, bs, q)
+				ring.VecMulAddShoupLazy(acc1.Coeffs[j], x, a, as, q)
+			} else {
+				ring.VecMulAddShoupLazyPerm(acc0.Coeffs[j], x, perm, b, bs, q)
+				ring.VecMulAddShoupLazyPerm(acc1.Coeffs[j], x, perm, a, as, q)
+			}
+		}
+	}
+	for _, j := range rows {
+		q := r.Moduli[j].Q
+		ring.VecReduceLazy(acc0.Coeffs[j], q)
+		ring.VecReduceLazy(acc1.Coeffs[j], q)
+	}
+
+	ev.modDownByP(acc0, level)
+	ev.modDownByP(acc1, level)
+	return acc0, acc1
+}
+
+func zeroRow(row []uint64) {
+	for k := range row {
+		row[k] = 0
+	}
+}
+
+// swkShoup caches the Shoup forms of a switching key's digit rows, the
+// fixed multiplicands of the key-switch inner product.
+type swkShoup struct {
+	BS, AS []*ring.Poly
+}
+
+// shoupFor returns (building on first use) the Shoup forms for swk. The
+// cache is shared across ShallowCopy evaluators; keys are read-only after
+// construction, so concurrent builders converge on identical values.
+func (ev *Evaluator) shoupFor(swk *SwitchingKey) *swkShoup {
+	if v, ok := ev.keyShoup.Load(swk); ok {
+		return v.(*swkShoup)
+	}
+	r := ev.params.Ring()
+	sh := &swkShoup{
+		BS: make([]*ring.Poly, len(swk.B)),
+		AS: make([]*ring.Poly, len(swk.A)),
+	}
+	for i := range swk.B {
+		sh.BS[i] = shoupPoly(r, swk.B[i])
+		sh.AS[i] = shoupPoly(r, swk.A[i])
+	}
+	v, _ := ev.keyShoup.LoadOrStore(swk, sh)
+	return v.(*swkShoup)
+}
+
+func shoupPoly(r *ring.Ring, p *ring.Poly) *ring.Poly {
+	out := &ring.Poly{Coeffs: make([][]uint64, len(p.Coeffs))}
+	for j := range p.Coeffs {
+		q := r.Moduli[j].Q
+		row := make([]uint64, len(p.Coeffs[j]))
+		for k, v := range p.Coeffs[j] {
+			row[k] = ring.MForm(v, q)
+		}
+		out.Coeffs[j] = row
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package ckks
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ctEqual reports whether two ciphertexts are bit-identical.
+func ctEqual(a, b *Ciphertext) bool {
+	if a.Lvl != b.Lvl || a.Scale != b.Scale {
+		return false
+	}
+	for _, pair := range [2][2][][]uint64{
+		{a.C0.Coeffs, b.C0.Coeffs},
+		{a.C1.Coeffs, b.C1.Coeffs},
+	} {
+		pa, pb := pair[0], pair[1]
+		if len(pa) != len(pb) {
+			return false
+		}
+		for i := range pa {
+			for j := range pa[i] {
+				if pa[i][j] != pb[i][j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestRotateHoistedMatchesRotateLeft is the hoisting property test: for
+// random ciphertexts, random levels, and random rotation sets (including
+// zero, negative, and repeated amounts), RotateHoisted must produce
+// byte-identical ciphertexts to per-amount RotateLeft calls.
+func TestRotateHoistedMatchesRotateLeft(t *testing.T) {
+	tc := newTestContext(t)
+	slots := tc.params.Slots()
+	rotations := []int{1, 2, 3, 5, 7, 8, 16, 100, slots - 1}
+	rtks := tc.kgen.GenRotationKeys(tc.sk, rotations, false)
+	ev := NewEvaluator(tc.params, nil, rtks)
+	rng := rand.New(rand.NewSource(97))
+
+	for trial := 0; trial < 6; trial++ {
+		values := randomVector(slots, 4, int64(200+trial))
+		pt := tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel())
+		ct := tc.encr.Encrypt(pt)
+		level := rng.Intn(tc.params.MaxLevel() + 1)
+		ev.DropToLevel(ct, level)
+
+		// Random subset of the keyed amounts, plus edge cases.
+		ks := []int{0, -slots} // both reduce to 0 mod slots
+		for _, k := range rotations {
+			if rng.Intn(2) == 0 {
+				ks = append(ks, k)
+			}
+			if rng.Intn(4) == 0 {
+				ks = append(ks, k-slots) // negative alias of a keyed amount
+			}
+		}
+		ks = append(ks, ks[len(ks)-1]) // repeated amount
+
+		hoisted := ev.RotateHoisted(ct, ks)
+		for i, k := range ks {
+			want := ev.RotateLeft(ct, k)
+			if !ctEqual(hoisted[i], want) {
+				t.Fatalf("trial %d level %d: RotateHoisted k=%d differs from RotateLeft", trial, level, k)
+			}
+		}
+	}
+}
+
+// TestRotateHoistedDecrypts checks end-to-end correctness: hoisted
+// rotations decrypt to the rotated plaintext within CKKS noise.
+func TestRotateHoistedDecrypts(t *testing.T) {
+	tc := newTestContext(t)
+	slots := tc.params.Slots()
+	rotations := []int{1, 3, 8, 17}
+	rtks := tc.kgen.GenRotationKeys(tc.sk, rotations, false)
+	ev := NewEvaluator(tc.params, nil, rtks)
+
+	values := randomVector(slots, 4, 77)
+	pt := tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel())
+	ct := tc.encr.Encrypt(pt)
+
+	outs := ev.RotateHoisted(ct, rotations)
+	for i, k := range rotations {
+		got := tc.enc.Decode(tc.decr.Decrypt(outs[i]))
+		want := make([]float64, slots)
+		for j := range want {
+			want[j] = values[(j+k)%slots]
+		}
+		if d := maxAbsDiff(want, got); d > 1e-4 {
+			t.Fatalf("hoisted rotation by %d: error %g too large", k, d)
+		}
+	}
+}
+
+// TestHoistedDecompositionReuse checks that a shared decomposition is not
+// corrupted by rotations drawn from it: rotating twice by the same amount
+// from one decomposition, interleaved with another amount, stays
+// bit-identical, and Release does not affect previously produced outputs.
+func TestHoistedDecompositionReuse(t *testing.T) {
+	tc := newTestContext(t)
+	slots := tc.params.Slots()
+	rtks := tc.kgen.GenRotationKeys(tc.sk, []int{1, 5}, false)
+	ev := NewEvaluator(tc.params, nil, rtks)
+
+	values := randomVector(slots, 4, 123)
+	pt := tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel())
+	ct := tc.encr.Encrypt(pt)
+
+	dec := ev.HoistedDecompose(ct)
+	if dec.Level() != ct.Lvl {
+		t.Fatalf("decomposition level %d, want %d", dec.Level(), ct.Lvl)
+	}
+	first := ev.RotateLeftHoisted(ct, dec, 1)
+	_ = ev.RotateLeftHoisted(ct, dec, 5)
+	second := ev.RotateLeftHoisted(ct, dec, 1)
+	if !ctEqual(first, second) {
+		t.Fatal("decomposition reuse changed the result of rotation by 1")
+	}
+	dec.Release()
+	want := ev.RotateLeft(ct, 1)
+	if !ctEqual(first, want) {
+		t.Fatal("hoisted rotation differs from RotateLeft after Release")
+	}
+}
+
+// TestHoistedLevelMismatchPanics pins the guard against applying a stale
+// decomposition to a ciphertext whose level has since changed.
+func TestHoistedLevelMismatchPanics(t *testing.T) {
+	tc := newTestContext(t)
+	rtks := tc.kgen.GenRotationKeys(tc.sk, []int{1}, false)
+	ev := NewEvaluator(tc.params, nil, rtks)
+
+	values := randomVector(tc.params.Slots(), 4, 9)
+	pt := tc.enc.Encode(values, tc.params.DefaultScale(), tc.params.MaxLevel())
+	ct := tc.encr.Encrypt(pt)
+	dec := ev.HoistedDecompose(ct)
+	ev.DropToLevel(ct, ct.Lvl-1)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on level mismatch")
+		}
+	}()
+	ev.RotateLeftHoisted(ct, dec, 1)
+}

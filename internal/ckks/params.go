@@ -23,6 +23,13 @@ type Parameters struct {
 	pSpecial uint64   // special prime for key switching
 	scale    float64  // default encoding scale
 	ring     *ring.Ring
+
+	// Key-switch invariants hoisted out of the per-operation hot path:
+	// P^{-1} mod q_j (plain and Shoup form) per chain prime, and the
+	// extended-basis row sets {0..level, pIndex} per level.
+	pInvModQ      []uint64
+	pInvModQShoup []uint64
+	ksRowsByLevel [][]int
 }
 
 // ParametersLiteral is the user-facing description of a parameter set.
@@ -93,15 +100,43 @@ func NewParameters(lit ParametersLiteral) (*Parameters, error) {
 		return nil, err
 	}
 
-	return &Parameters{
+	p := &Parameters{
 		logN:     lit.LogN,
 		logSlots: logSlots,
 		qChain:   qChain,
 		pSpecial: pSpecial,
 		scale:    math.Exp2(float64(lit.LogScale)),
 		ring:     rg,
-	}, nil
+	}
+	p.precomputeKeySwitch()
+	return p, nil
 }
+
+// precomputeKeySwitch derives the per-chain-prime constants every key
+// switch needs, so the evaluator never recomputes a modular inverse or
+// rebuilds the extended-basis row list inside the hot path.
+func (p *Parameters) precomputeKeySwitch() {
+	pIdx := p.pIndex()
+	p.pInvModQ = make([]uint64, len(p.qChain))
+	p.pInvModQShoup = make([]uint64, len(p.qChain))
+	for j, qj := range p.qChain {
+		inv := ring.InvMod(p.pSpecial%qj, qj)
+		p.pInvModQ[j] = inv
+		p.pInvModQShoup[j] = ring.MForm(inv, qj)
+	}
+	p.ksRowsByLevel = make([][]int, len(p.qChain))
+	for level := range p.ksRowsByLevel {
+		rows := make([]int, 0, level+2)
+		for j := 0; j <= level; j++ {
+			rows = append(rows, j)
+		}
+		p.ksRowsByLevel[level] = append(rows, pIdx)
+	}
+}
+
+// ksRows returns the extended-basis row indices {0..level, pIndex} a key
+// switch at the given level touches. The slice is shared; do not modify.
+func (p *Parameters) ksRows(level int) []int { return p.ksRowsByLevel[level] }
 
 // LogN returns log2 of the ring degree.
 func (p *Parameters) LogN() int { return p.logN }

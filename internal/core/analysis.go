@@ -277,6 +277,36 @@ func (a *Analysis) RotRight(c hisa.Ciphertext, x int) hisa.Ciphertext {
 	return a.RotLeft(c, -x)
 }
 
+// RotLeftMany is the analysis transfer function for hoisted rotation
+// batches (hisa.RotateManyBackend): with the RNS target, amounts served by
+// an exact key share one digit decomposition — setup is charged once and
+// each amount adds only the cheap inner-product step. Amounts that
+// decompose into several primitive steps, and the CKKS target, fall back
+// to per-step rotation charges. The recorded rotation steps are identical
+// to the equivalent RotLeft sequence, so rotation-key selection and op
+// counts are independent of whether a kernel batched its rotations.
+func (a *Analysis) RotLeftMany(c hisa.Ciphertext, ks []int) []hisa.Ciphertext {
+	cc := a.ct(c)
+	outs := make([]hisa.Ciphertext, len(ks))
+	setupCharged := false
+	for i, x := range ks {
+		steps := hisa.RotationSteps(x, a.slots, a.rotKey)
+		if a.scheme == SchemeRNS && len(steps) == 1 {
+			if !setupCharged {
+				a.charge(a.model.RotateHoistedSetup(a.n, a.state(cc)))
+				setupCharged = true
+			}
+			a.rotations[steps[0]]++
+			a.charge(a.model.RotateHoistedStep(a.n, a.state(cc)))
+			out := *cc
+			outs[i] = a.observe(&out)
+			continue
+		}
+		outs[i] = a.RotLeft(c, x)
+	}
+	return outs
+}
+
 // MaxRescale implements each scheme's divisor rule on the dataflow fact.
 func (a *Analysis) MaxRescale(c hisa.Ciphertext, ub *big.Int) *big.Int {
 	if ub.Sign() <= 0 {

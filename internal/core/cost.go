@@ -35,6 +35,12 @@ type CostModel struct {
 	// Constants are multipliers on the asymptotic terms; the defaults were
 	// calibrated against this repository's own backends (cost unit: us).
 	CAdd, CScalarMul, CPlainMul, CCtMul, CRotate, CRescale float64
+
+	// Hoisted-rotation constants (RNS only): a batch of rotations of one
+	// ciphertext pays Setup once (the digit decomposition: inverse NTT plus
+	// r forward NTTs per digit, ~ n log n r^2) and Step per rotation amount
+	// (permuted key inner product ~ n r^2 plus modDown ~ n log n r).
+	CRotHoistSetup, CRotHoistStep float64
 }
 
 // DefaultCostModel returns calibrated constants for a scheme.
@@ -51,6 +57,10 @@ func DefaultCostModel(s Scheme) CostModel {
 		Scheme: s,
 		CAdd:   9e-4, CScalarMul: 1.4e-3, CPlainMul: 1.4e-3,
 		CCtMul: 4.5e-4, CRotate: 4.5e-4, CRescale: 2.2e-4,
+		// Calibrated so setup+step ~ one full rotation at moderate depth
+		// (the decomposition dominates a single key switch) while each
+		// extra amount costs only the inner-product step.
+		CRotHoistSetup: 2.9e-4, CRotHoistStep: 4.8e-4,
 	}
 }
 
@@ -108,6 +118,27 @@ func (m CostModel) Rotate(n float64, st state) float64 {
 		return m.CRotate * n * math.Log2(n) * mulComplexity(st.logQ)
 	}
 	return m.CRotate * n * math.Log2(n) * st.r * st.r
+}
+
+// RotateHoistedSetup returns the one-time cost of a hoisted rotation
+// batch: the digit decomposition of the source ciphertext, shared by every
+// rotation amount drawn from it. For CKKS (no hoisted path modeled) it is
+// zero, so setup + k*step degenerates to k plain rotations.
+func (m CostModel) RotateHoistedSetup(n float64, st state) float64 {
+	if m.Scheme == SchemeCKKS {
+		return 0
+	}
+	return m.CRotHoistSetup * n * math.Log2(n) * st.r * st.r
+}
+
+// RotateHoistedStep returns the per-amount cost of a hoisted rotation: the
+// permuted key-switch inner product plus the division by the special
+// prime. For CKKS it falls back to a full rotation.
+func (m CostModel) RotateHoistedStep(n float64, st state) float64 {
+	if m.Scheme == SchemeCKKS {
+		return m.Rotate(n, st)
+	}
+	return m.CRotHoistStep * n * (st.r*st.r + math.Log2(n)*st.r)
 }
 
 // LPTMakespan estimates the wall-clock latency of executing operations

@@ -125,6 +125,17 @@ func (m *Meter) RotRight(c Ciphertext, x int) Ciphertext {
 	return m.Inner.RotRight(c, x)
 }
 
+// RotLeftMany counts each amount exactly as the equivalent RotLeft calls
+// would (per executed primitive step) and forwards the batch, so metered
+// and unmetered backends expose the same batch capability and tallies are
+// independent of whether a kernel batched its rotations.
+func (m *Meter) RotLeftMany(c Ciphertext, ks []int) []Ciphertext {
+	for _, x := range ks {
+		m.countRotation(x)
+	}
+	return RotLeftMany(m.Inner, c, ks)
+}
+
 func (m *Meter) Add(c, c2 Ciphertext) Ciphertext {
 	m.add.Add(1)
 	return m.Inner.Add(c, c2)

@@ -199,6 +199,36 @@ func (b *RNSBackend) RotRight(c Ciphertext, x int) Ciphertext {
 	return b.RotLeft(c, -x)
 }
 
+// RotLeftMany rotates c by every amount in ks with Halevi-Shoup hoisting:
+// amounts whose provisioned-key decomposition is a single step share one
+// digit decomposition of c, so the per-rotation cost drops to the key inner
+// product. Amounts needing multiple steps (no exact key) fall back to the
+// sequential path. Every output is bit-identical to RotLeft(c, ks[i]).
+func (b *RNSBackend) RotLeftMany(c Ciphertext, ks []int) []Ciphertext {
+	cc := b.ct(c)
+	outs := make([]Ciphertext, len(ks))
+	slots := b.Slots()
+	var dec *ckks.HoistedDecomposition
+	for i, x := range ks {
+		steps := RotationSteps(x, slots, func(k int) bool { return b.provisioned[k] })
+		switch len(steps) {
+		case 0:
+			outs[i] = cc.CopyNew()
+		case 1:
+			if dec == nil {
+				dec = b.evaluator.HoistedDecompose(cc)
+			}
+			outs[i] = b.evaluator.RotateLeftHoisted(cc, dec, steps[0])
+		default:
+			outs[i] = b.RotLeft(c, x)
+		}
+	}
+	if dec != nil {
+		dec.Release()
+	}
+	return outs
+}
+
 func (b *RNSBackend) Add(c, c2 Ciphertext) Ciphertext { return b.evaluator.Add(b.ct(c), b.ct(c2)) }
 func (b *RNSBackend) Sub(c, c2 Ciphertext) Ciphertext { return b.evaluator.Sub(b.ct(c), b.ct(c2)) }
 func (b *RNSBackend) Mul(c, c2 Ciphertext) Ciphertext { return b.evaluator.Mul(b.ct(c), b.ct(c2)) }

@@ -21,11 +21,22 @@ func accumulate(b hisa.Backend, acc, t hisa.Ciphertext) hisa.Ciphertext {
 // concurrent use: each rotation amount is computed exactly once
 // (single-flight), so parallel workers sharing a cache never duplicate a
 // rotation and the op count matches a serial run.
+//
+// A kernel that knows its rotation amounts up front registers them with
+// planRotations; the first get then executes the whole plan as one
+// RotLeftMany batch, which backends with the hisa.RotateManyBackend
+// capability serve with one shared hoisted decomposition. Amounts outside
+// the plan still take the lazy per-amount path. Because RotLeftMany is
+// bit-identical to sequential RotLeft and the plan holds exactly the
+// amounts the kernel draws, results and op counts are unchanged.
 type rotCache struct {
 	b    hisa.Backend
 	base hisa.Ciphertext
 	mu   sync.Mutex
 	m    map[int]*rotEntry
+
+	planned  []int
+	planOnce sync.Once
 }
 
 type rotEntry struct {
@@ -37,10 +48,52 @@ func newRotCache(b hisa.Backend, base hisa.Ciphertext) *rotCache {
 	return &rotCache{b: b, base: base, m: map[int]*rotEntry{}}
 }
 
+// planRotations registers the amounts the kernel will request from this
+// cache. Zero amounts and duplicates are dropped (get(0) is the base and
+// the serial path computes each distinct amount once, so the batch must
+// too). Must be called before the first get; later calls are ignored.
+func (rc *rotCache) planRotations(ks []int) {
+	seen := make(map[int]bool, len(ks))
+	for _, k := range ks {
+		if k == 0 || seen[k] {
+			continue
+		}
+		seen[k] = true
+		rc.planned = append(rc.planned, k)
+	}
+}
+
+// runPlan executes the registered plan as one batch. It runs inside
+// planOnce.Do, so every get blocks until the batch lands and no worker can
+// race a per-amount computation against it (which would skew op counts).
+func (rc *rotCache) runPlan() {
+	if len(rc.planned) == 0 {
+		return
+	}
+	if _, ok := rc.b.(hisa.RotateManyBackend); !ok {
+		// No batch capability: stay lazy so unused plans (there are none
+		// today, but the contract allows them) cost nothing.
+		return
+	}
+	outs := hisa.RotLeftMany(rc.b, rc.base, rc.planned)
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for i, k := range rc.planned {
+		e, ok := rc.m[k]
+		if !ok {
+			e = &rotEntry{}
+			rc.m[k] = e
+		}
+		ct := outs[i]
+		e.once.Do(func() { e.ct = ct })
+	}
+}
+
 func (rc *rotCache) get(r int) hisa.Ciphertext {
 	if r == 0 {
 		return rc.base
 	}
+	rc.planOnce.Do(rc.runPlan)
 	rc.mu.Lock()
 	e, ok := rc.m[r]
 	if !ok {
@@ -89,6 +142,14 @@ func Conv2DOpts(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, 
 	rot := func(ky, kx int) int {
 		return (ky-pad)*in.RowStride + (kx-pad)*in.ColStride
 	}
+	// Every filter tap's rotation amount, known before any rotation runs —
+	// the hoisting opportunity of the conv kernel.
+	amounts := make([]int, 0, kh*kw)
+	for ky := 0; ky < kh; ky++ {
+		for kx := 0; kx < kw; kx++ {
+			amounts = append(amounts, rot(ky, kx))
+		}
+	}
 
 	if in.Layout == LayoutHW {
 		out.CPerCT = 1
@@ -96,6 +157,7 @@ func Conv2DOpts(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, 
 		caches := make([]*rotCache, in.C)
 		for ic := range caches {
 			caches[ic] = newRotCache(b, in.CTs[ic])
+			caches[ic].planRotations(amounts)
 		}
 		mask := b.Encode(validMask(&out, 0, b.Slots(), 1), sc.Pm)
 		parallelFor(opts.workers(), cout, func(oc int) {
@@ -137,6 +199,7 @@ func Conv2DOpts(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, 
 
 	for g := 0; g < numInCTs; g++ {
 		cache := newRotCache(b, in.CTs[g])
+		cache.planRotations(amounts)
 		// Partial sums of this ciphertext's occupied channels, folded to
 		// block 0, masked, and placed at the output channel block.
 		chInGroup := min(in.C-g*in.CPerCT, in.CPerCT)
@@ -229,8 +292,15 @@ func AvgPool2DOpts(b hisa.Backend, in *CipherTensor, window, stride int, sc Scal
 		}
 	}
 
+	windowAmounts := make([]int, 0, window*window)
+	for ky := 0; ky < window; ky++ {
+		for kx := 0; kx < window; kx++ {
+			windowAmounts = append(windowAmounts, ky*in.RowStride+kx*in.ColStride)
+		}
+	}
 	parallelFor(opts.workers(), len(in.CTs), func(g int) {
 		cache := newRotCache(b, in.CTs[g])
+		cache.planRotations(windowAmounts)
 		var acc hisa.Ciphertext
 		for ky := 0; ky < window; ky++ {
 			for kx := 0; kx < window; kx++ {
@@ -269,6 +339,11 @@ func GlobalAvgPool2DOpts(b hisa.Backend, in *CipherTensor, sc Scales, opts ExecO
 			}
 		} else {
 			cache := newRotCache(b, acc)
+			colAmounts := make([]int, 0, in.W-1)
+			for x := 1; x < in.W; x++ {
+				colAmounts = append(colAmounts, x*in.ColStride)
+			}
+			cache.planRotations(colAmounts)
 			sum := acc
 			for x := 1; x < in.W; x++ {
 				sum = b.Add(sum, cache.get(x*in.ColStride))
@@ -281,6 +356,11 @@ func GlobalAvgPool2DOpts(b hisa.Backend, in *CipherTensor, sc Scales, opts ExecO
 			}
 		} else {
 			cache := newRotCache(b, acc)
+			rowAmounts := make([]int, 0, in.H-1)
+			for y := 1; y < in.H; y++ {
+				rowAmounts = append(rowAmounts, y*in.RowStride)
+			}
+			cache.planRotations(rowAmounts)
 			sum := acc
 			for y := 1; y < in.H; y++ {
 				sum = b.Add(sum, cache.get(y*in.RowStride))

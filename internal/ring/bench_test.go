@@ -1,0 +1,97 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSetup builds one NTT table and a random row for the given size.
+func benchSetup(b *testing.B, logN int) (*nttTables, []uint64) {
+	b.Helper()
+	primes, err := GenerateNTTPrimes(50, logN, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := primes[0]
+	tables := newNTTTables(q, logN)
+	rng := rand.New(rand.NewSource(7))
+	a := make([]uint64, 1<<uint(logN))
+	for i := range a {
+		a[i] = rng.Uint64() % q
+	}
+	return tables, a
+}
+
+// BenchmarkNTTForward measures the lazy-reduction forward transform.
+func BenchmarkNTTForward(b *testing.B) {
+	tables, a := benchSetup(b, 13)
+	b.SetBytes(int64(8 * len(a)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables.forward(a)
+	}
+}
+
+// BenchmarkNTTForwardStrict measures the fully-reduced reference forward
+// transform, the baseline the lazy variant is an optimization over.
+func BenchmarkNTTForwardStrict(b *testing.B) {
+	tables, a := benchSetup(b, 13)
+	b.SetBytes(int64(8 * len(a)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables.forwardStrict(a)
+	}
+}
+
+// BenchmarkNTTInverse measures the lazy-reduction inverse transform.
+func BenchmarkNTTInverse(b *testing.B) {
+	tables, a := benchSetup(b, 13)
+	b.SetBytes(int64(8 * len(a)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables.inverse(a)
+	}
+}
+
+// BenchmarkKeySwitchInnerProduct measures one row of the key-switch
+// multiply-accumulate in both forms: the Barrett baseline the evaluator
+// used before hoisting, and the Shoup-lazy kernel it uses now.
+func BenchmarkKeySwitchInnerProduct(b *testing.B) {
+	const logN = 13
+	primes, err := GenerateNTTPrimes(50, logN, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := primes[0]
+	m := NewModulus(q)
+	rng := rand.New(rand.NewSource(11))
+	n := 1 << uint(logN)
+	x := make([]uint64, n)
+	w := make([]uint64, n)
+	wS := make([]uint64, n)
+	acc := make([]uint64, n)
+	for i := range x {
+		x[i] = rng.Uint64() % q
+		w[i] = rng.Uint64() % q
+		wS[i] = MForm(w[i], q)
+	}
+
+	b.Run("barrett", func(b *testing.B) {
+		b.SetBytes(int64(8 * n))
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < n; k++ {
+				acc[k] = AddMod(acc[k], m.BRed(x[k], w[k]), q)
+			}
+		}
+	})
+	b.Run("shoup-lazy", func(b *testing.B) {
+		for i := range acc {
+			acc[i] = 0
+		}
+		b.SetBytes(int64(8 * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			VecMulAddShoupLazy(acc, x, w, wS, q)
+		}
+	})
+}

@@ -48,8 +48,86 @@ func newNTTTables(q uint64, logN int) *nttTables {
 }
 
 // forward transforms a into the NTT (evaluation) domain in place.
-// Cooley-Tukey butterflies with merged negacyclic twist (Longa-Naehrig).
+// Cooley-Tukey butterflies with merged negacyclic twist (Longa-Naehrig),
+// executed with lazy reduction (Harvey): intermediate values live in
+// [0, 4q) and are only brought back to [0, 2q) at the top of each
+// butterfly, with one full reduction pass at the end. Inputs must be in
+// [0, q); outputs are in [0, q) and bit-identical to forwardStrict.
+// Correctness needs 4q < 2^63, guaranteed by the q < 2^61 modulus bound.
 func (t *nttTables) forward(a []uint64) {
+	q := t.q
+	twoQ := q << 1
+	n := t.n
+	dist := n
+	for m := 1; m < n; m <<= 1 {
+		dist >>= 1
+		for i := 0; i < m; i++ {
+			w := t.psiRev[m+i]
+			ws := t.psiRevS[m+i]
+			base := 2 * i * dist
+			for j := base; j < base+dist; j++ {
+				u := a[j] // [0, 4q)
+				if u >= twoQ {
+					u -= twoQ // [0, 2q)
+				}
+				v := mulModShoupLazy(a[j+dist], w, ws, q) // [0, 2q)
+				a[j] = u + v                              // [0, 4q)
+				a[j+dist] = u + twoQ - v                  // [0, 4q)
+			}
+		}
+	}
+	for j := range a {
+		v := a[j]
+		if v >= twoQ {
+			v -= twoQ
+		}
+		if v >= q {
+			v -= q
+		}
+		a[j] = v
+	}
+}
+
+// inverse transforms a back to the coefficient domain in place.
+// Gentleman-Sande butterflies with lazy reduction (values kept in [0, 2q)
+// between stages) followed by multiplication with N^{-1}. Inputs must be
+// in [0, q); outputs are in [0, q) and bit-identical to inverseStrict.
+func (t *nttTables) inverse(a []uint64) {
+	q := t.q
+	twoQ := q << 1
+	n := t.n
+	dist := 1
+	for m := n >> 1; m >= 1; m >>= 1 {
+		for i := 0; i < m; i++ {
+			w := t.ipsiRev[m+i]
+			ws := t.ipsiRevS[m+i]
+			base := 2 * i * dist
+			for j := base; j < base+dist; j++ {
+				u := a[j]      // [0, 2q)
+				v := a[j+dist] // [0, 2q)
+				s := u + v     // [0, 4q)
+				if s >= twoQ {
+					s -= twoQ
+				}
+				a[j] = s                                        // [0, 2q)
+				a[j+dist] = mulModShoupLazy(u+twoQ-v, w, ws, q) // [0, 2q)
+			}
+		}
+		dist <<= 1
+	}
+	for j := range a {
+		r := mulModShoupLazy(a[j], t.nInv, t.nInvS, q)
+		if r >= q {
+			r -= q
+		}
+		a[j] = r
+	}
+}
+
+// forwardStrict is the fully-reduced reference forward transform (every
+// butterfly output in [0, q)). It is retained as the oracle the lazy
+// forward is tested against.
+func (t *nttTables) forwardStrict(a []uint64) {
 	q := t.q
 	n := t.n
 	dist := n
@@ -69,9 +147,9 @@ func (t *nttTables) forward(a []uint64) {
 	}
 }
 
-// inverse transforms a back to the coefficient domain in place.
-// Gentleman-Sande butterflies followed by multiplication with N^{-1}.
-func (t *nttTables) inverse(a []uint64) {
+// inverseStrict is the fully-reduced reference inverse transform, the
+// oracle the lazy inverse is tested against.
+func (t *nttTables) inverseStrict(a []uint64) {
 	q := t.q
 	n := t.n
 	dist := 1

@@ -1,0 +1,115 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chainPrimes generates a realistic RNS chain (mixed bit sizes) for the
+// lazy-vs-strict agreement tests.
+func chainPrimes(t *testing.T, logN int) []uint64 {
+	t.Helper()
+	var primes []uint64
+	for _, bits := range []int{30, 40, 50, 60} {
+		ps, err := GenerateNTTPrimes(bits, logN, 2)
+		if err != nil {
+			t.Fatalf("generating %d-bit primes: %v", bits, err)
+		}
+		primes = append(primes, ps...)
+	}
+	return primes
+}
+
+// TestLazyNTTMatchesStrict checks that the lazy-reduction forward and
+// inverse transforms are bit-identical to the fully-reduced reference
+// transforms on random inputs, for every chain prime and several sizes.
+func TestLazyNTTMatchesStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, logN := range []int{4, 8, 11} {
+		n := 1 << uint(logN)
+		for _, q := range chainPrimes(t, logN) {
+			tables := newNTTTables(q, logN)
+			for trial := 0; trial < 4; trial++ {
+				a := make([]uint64, n)
+				for i := range a {
+					a[i] = rng.Uint64() % q
+				}
+				lazy := append([]uint64(nil), a...)
+				strict := append([]uint64(nil), a...)
+
+				tables.forward(lazy)
+				tables.forwardStrict(strict)
+				for i := range lazy {
+					if lazy[i] != strict[i] {
+						t.Fatalf("logN=%d q=%d: forward lazy[%d]=%d strict=%d", logN, q, i, lazy[i], strict[i])
+					}
+					if lazy[i] >= q {
+						t.Fatalf("logN=%d q=%d: forward output %d not reduced", logN, q, lazy[i])
+					}
+				}
+
+				tables.inverse(lazy)
+				tables.inverseStrict(strict)
+				for i := range lazy {
+					if lazy[i] != strict[i] {
+						t.Fatalf("logN=%d q=%d: inverse lazy[%d]=%d strict=%d", logN, q, i, lazy[i], strict[i])
+					}
+					if lazy[i] != a[i] {
+						t.Fatalf("logN=%d q=%d: round trip[%d]=%d, want %d", logN, q, i, lazy[i], a[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVecMulAddShoupLazy checks the lazy inner-product kernels against a
+// scalar AddMod/MulMod reference, including the permuted variant and the
+// final reduction to [0, q).
+func TestVecMulAddShoupLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	primes, err := GenerateNTTPrimes(50, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := primes[0]
+	const n = 64
+	const digits = 12 // enough accumulation passes to stress the invariant
+
+	acc := make([]uint64, n)
+	accPerm := make([]uint64, n)
+	want := make([]uint64, n)
+	wantPerm := make([]uint64, n)
+	perm := rng.Perm(n)
+
+	for d := 0; d < digits; d++ {
+		x := make([]uint64, n)
+		w := make([]uint64, n)
+		wS := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.Uint64() % q
+			w[i] = rng.Uint64() % q
+			wS[i] = MForm(w[i], q)
+		}
+		VecMulAddShoupLazy(acc, x, w, wS, q)
+		VecMulAddShoupLazyPerm(accPerm, x, perm, w, wS, q)
+		twoQ := q << 1
+		for i := 0; i < n; i++ {
+			if acc[i] >= twoQ || accPerm[i] >= twoQ {
+				t.Fatalf("digit %d: accumulator escaped [0, 2q)", d)
+			}
+			want[i] = AddMod(want[i], MulMod(x[i], w[i], q), q)
+			wantPerm[i] = AddMod(wantPerm[i], MulMod(x[perm[i]], w[i], q), q)
+		}
+	}
+	VecReduceLazy(acc, q)
+	VecReduceLazy(accPerm, q)
+	for i := 0; i < n; i++ {
+		if acc[i] != want[i] {
+			t.Fatalf("acc[%d] = %d, want %d", i, acc[i], want[i])
+		}
+		if accPerm[i] != wantPerm[i] {
+			t.Fatalf("accPerm[%d] = %d, want %d", i, accPerm[i], wantPerm[i])
+		}
+	}
+}

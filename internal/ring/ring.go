@@ -272,6 +272,12 @@ func (r *Ring) permTable(galEl uint64) []int {
 	return perm
 }
 
+// NTTPermutation returns the NTT-domain index permutation realizing the
+// Galois automorphism X -> X^galEl: applying perm[j] as a gather index maps
+// a polynomial's NTT row to the NTT row of its automorphic image. The slice
+// is owned by the ring's cache and must not be modified.
+func (r *Ring) NTTPermutation(galEl uint64) []int { return r.permTable(galEl) }
+
 // AutomorphismNTT applies X -> X^galEl to a (in NTT domain), writing to out.
 // a and out must not alias.
 func (r *Ring) AutomorphismNTT(a *Poly, galEl uint64, out *Poly, level int) {

@@ -1,0 +1,52 @@
+package ring
+
+// Vectorized multiply-accumulate kernels for the key-switch inner product.
+// The accumulator convention is lazy: rows passed to the VecMulAdd* helpers
+// stay in [0, 2q) across any number of accumulation passes and are brought
+// back to the canonical [0, q) range by one final VecReduceLazy call. Each
+// lazy term is produced by mulModShoupLazy (result in [0, 2q)), so the
+// running sum never exceeds 4q < 2^63 before its conditional reduction.
+
+// VecMulAddShoupLazy accumulates acc[k] += x[k]*w[k] mod q with lazy
+// reduction: acc values are kept in [0, 2q). wS must hold the Shoup forms
+// MForm(w[k], q); x values must be in [0, q).
+func VecMulAddShoupLazy(acc, x, w, wS []uint64, q uint64) {
+	twoQ := q << 1
+	_ = acc[len(x)-1]
+	_ = w[len(x)-1]
+	_ = wS[len(x)-1]
+	for k := 0; k < len(x); k++ {
+		t := acc[k] + mulModShoupLazy(x[k], w[k], wS[k], q)
+		if t >= twoQ {
+			t -= twoQ
+		}
+		acc[k] = t
+	}
+}
+
+// VecMulAddShoupLazyPerm is VecMulAddShoupLazy reading x through an index
+// permutation: acc[k] += x[perm[k]]*w[k] mod q. This fuses the NTT-domain
+// Galois automorphism of a hoisted key-switch digit with the inner-product
+// accumulation, so the permuted digit is never materialized.
+func VecMulAddShoupLazyPerm(acc, x []uint64, perm []int, w, wS []uint64, q uint64) {
+	twoQ := q << 1
+	_ = acc[len(perm)-1]
+	_ = w[len(perm)-1]
+	_ = wS[len(perm)-1]
+	for k := 0; k < len(perm); k++ {
+		t := acc[k] + mulModShoupLazy(x[perm[k]], w[k], wS[k], q)
+		if t >= twoQ {
+			t -= twoQ
+		}
+		acc[k] = t
+	}
+}
+
+// VecReduceLazy reduces a lazy accumulator row from [0, 2q) to [0, q).
+func VecReduceLazy(a []uint64, q uint64) {
+	for k := range a {
+		if a[k] >= q {
+			a[k] -= q
+		}
+	}
+}
