@@ -5,33 +5,38 @@
 // evaluates the optimized homomorphic tensor circuit and returns an
 // encrypted prediction, which only the client can decrypt.
 //
+// Both sides speak the versioned internal/wire framing protocol: the server
+// is the same engine cmd/chet-serve runs (session registry, admission
+// queue, deadlines, metrics), and the client is the serve.Client library —
+// session-open uploads the keys once, every inference after that ships only
+// ciphertexts.
+//
 //	go run ./examples/clientserver
 package main
 
 import (
-	"encoding"
-	"encoding/binary"
+	"context"
 	"fmt"
-	"io"
 	"log"
 	"math"
 	"net"
+	"runtime"
 	"time"
 
 	"chet"
-	"chet/internal/ckks"
 	"chet/internal/core"
-	"chet/internal/hisa"
-	"chet/internal/htc"
 	"chet/internal/nn"
 	"chet/internal/ring"
+	"chet/internal/serve"
 )
 
 const modelName = "LeNet-tiny"
 
 // compileShared is run independently by both parties: compilation is
 // deterministic, so client and server agree on parameters, layout, and
-// rotation keys without exchanging anything but the model name.
+// rotation keys without exchanging anything but the model name — and the
+// session-open handshake proves agreement by comparing circuit
+// fingerprints.
 func compileShared() *core.Compiled {
 	model, err := nn.ByName(modelName)
 	if err != nil {
@@ -49,170 +54,50 @@ func compileShared() *core.Compiled {
 	return comp
 }
 
-func buildParams(comp *core.Compiled) *ckks.Parameters {
-	params, err := ckks.NewParameters(ckks.ParametersLiteral{
-		LogN:     comp.Best.LogN,
-		LogQ:     comp.Best.RNSChainBits,
-		LogP:     comp.Best.SpecialBits,
-		LogScale: int(math.Round(math.Log2(comp.Options.Scales.Pc))),
+func main() {
+	log.SetFlags(0)
+
+	// --- server: the untrusted party; it never holds a secret key ---
+	srv, err := serve.New(serve.Config{
+		Compiled: compileShared(),
+		Workers:  runtime.GOMAXPROCS(0),
+		Logf: func(format string, args ...any) {
+			fmt.Printf("[server] "+format+"\n", args...)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	return params
-}
-
-// --- length-prefixed wire helpers ---
-
-func send(w io.Writer, m encoding.BinaryMarshaler) {
-	data, err := m.MarshalBinary()
-	if err != nil {
-		log.Fatal(err)
-	}
-	sendRaw(w, data)
-}
-
-func sendRaw(w io.Writer, data []byte) {
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := w.Write(data); err != nil {
-		log.Fatal(err)
-	}
-}
-
-func recvRaw(r io.Reader) []byte {
-	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		log.Fatal(err)
-	}
-	n := binary.LittleEndian.Uint64(hdr[:])
-	if n > 1<<32 {
-		log.Fatalf("implausible frame size %d", n)
-	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
-		log.Fatal(err)
-	}
-	return data
-}
-
-func recvInto(r io.Reader, m encoding.BinaryUnmarshaler) {
-	if err := m.UnmarshalBinary(recvRaw(r)); err != nil {
-		log.Fatal(err)
-	}
-}
-
-func sendCipherTensor(w io.Writer, ct *htc.CipherTensor) {
-	meta := []int{int(ct.Layout), ct.C, ct.H, ct.W, ct.Offset, ct.RowStride,
-		ct.ColStride, ct.ChanStride, ct.CPerCT, len(ct.CTs)}
-	buf := make([]byte, 0, len(meta)*8)
-	for _, v := range meta {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
-	}
-	sendRaw(w, buf)
-	for _, c := range ct.CTs {
-		send(w, c.(*ckks.Ciphertext))
-	}
-}
-
-func recvCipherTensor(r io.Reader) *htc.CipherTensor {
-	buf := recvRaw(r)
-	meta := make([]int, 10)
-	for i := range meta {
-		meta[i] = int(binary.LittleEndian.Uint64(buf[i*8:]))
-	}
-	out := &htc.CipherTensor{
-		Layout: htc.Layout(meta[0]), C: meta[1], H: meta[2], W: meta[3],
-		Offset: meta[4], RowStride: meta[5], ColStride: meta[6],
-		ChanStride: meta[7], CPerCT: meta[8],
-	}
-	for i := 0; i < meta[9]; i++ {
-		var c ckks.Ciphertext
-		recvInto(r, &c)
-		out.CTs = append(out.CTs, &c)
-	}
-	return out
-}
-
-// server evaluates the circuit for one connection. It holds no secret key.
-func server(ln net.Listener, done chan<- struct{}) {
-	defer close(done)
-	comp := compileShared()
-	params := buildParams(comp)
-	model, _ := nn.ByName(modelName)
-
-	conn, err := ln.Accept()
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer conn.Close()
-
-	// Receive the client's public evaluation keys.
-	var pk ckks.PublicKey
-	var rlk ckks.RelinearizationKey
-	var rtks ckks.RotationKeySet
-	recvInto(conn, &pk)
-	recvInto(conn, &rlk)
-	recvInto(conn, &rtks)
-
-	backend := hisa.NewRNSBackendFromKeys(params, hisa.RNSPublicKeys{
-		PK: &pk, RLK: &rlk, RTKS: &rtks, Rotations: comp.Best.Rotations,
-	}, nil)
-
-	enc := recvCipherTensor(conn)
-	fmt.Printf("[server] received %d ciphertexts; evaluating %s homomorphically...\n",
-		enc.NumCTs(), model.Name)
-	start := time.Now()
-	out := htc.Execute(backend, model.Circuit, enc, comp.Best.Policy, comp.Options.Scales)
-	fmt.Printf("[server] inference done in %v (the server never saw image, keys, or prediction)\n",
-		time.Since(start).Round(time.Millisecond))
-	sendCipherTensor(conn, out)
-}
-
-func main() {
-	log.SetFlags(0)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	done := make(chan struct{})
-	go server(ln, done)
+	go srv.Serve(ln)
 
-	// --- client ---
+	// --- client: compiles independently, generates keys, opens a session ---
 	comp := compileShared()
 	model, _ := nn.ByName(modelName)
-	backend := hisa.NewRNSBackend(hisa.RNSConfig{
-		Params:    buildParams(comp),
-		PRNG:      ring.NewCryptoPRNG(),
-		Rotations: comp.Best.Rotations,
+	start := time.Now()
+	client, err := serve.Dial(ln.Addr().String(), serve.ClientConfig{
+		Compiled: comp,
+		PRNG:     ring.NewCryptoPRNG(),
 	})
-
-	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
-
-	keys := backend.PublicKeys()
-	send(conn, keys.PK)
-	send(conn, keys.RLK)
-	send(conn, keys.RTKS)
-	fmt.Println("[client] shipped public evaluation keys")
+	fmt.Printf("[client] session open in %v: shipped public evaluation keys (%d rotation keys)\n",
+		time.Since(start).Round(time.Millisecond), len(comp.Best.Rotations))
 
 	img := chet.SyntheticImage(model.InputShape, 99)
-	enc := htc.EncryptTensor(backend, img, htc.PlanFor(model.Circuit, comp.Best.Policy),
-		comp.Options.Scales)
-	sendCipherTensor(conn, enc)
-	fmt.Println("[client] shipped encrypted image")
+	start = time.Now()
+	pred, err := client.Run(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[client] encrypted inference round trip in %v\n",
+		time.Since(start).Round(time.Millisecond))
 
-	result := recvCipherTensor(conn)
-	pred := htc.DecryptTensor(backend, result)
-	pred = pred.Reshape(pred.Size())
 	want := model.Circuit.Evaluate(img)
-
 	worst := 0.0
 	for i := range want.Data {
 		if e := math.Abs(pred.Data[i] - want.Data[i]); e > worst {
@@ -221,5 +106,14 @@ func main() {
 	}
 	fmt.Printf("[client] decrypted prediction: class %d (plaintext reference: %d), max |err| %.2e\n",
 		pred.ArgMax(), want.ArgMax(), worst)
-	<-done
+	client.Close()
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	m := srv.Metrics()
+	for _, sm := range m.Sessions {
+		fmt.Printf("[server] session %d executed %d HISA ops (%d rotations) without ever seeing a secret\n",
+			sm.ID, sm.Ops.Total(), sm.Ops.Rotations)
+	}
 }

@@ -1,0 +1,114 @@
+package ckks
+
+import (
+	"testing"
+
+	"chet/internal/ring"
+)
+
+// fuzzKeys generates one small deterministic key set for seeding.
+func fuzzKeys(f *testing.F) (*Parameters, *KeyGenerator, *SecretKey) {
+	f.Helper()
+	params, err := NewParameters(ParametersLiteral{
+		LogN: 4, LogQ: []int{30, 25}, LogP: 30, LogScale: 25,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	kgen := NewKeyGenerator(params, ring.NewTestPRNG(11))
+	sk := kgen.GenSecretKey()
+	return params, kgen, sk
+}
+
+// FuzzUnmarshalCiphertext proves Ciphertext.UnmarshalBinary is total:
+// corrupted or truncated bytes produce an error, never a panic, and any
+// accepted input survives a marshal/unmarshal round trip.
+func FuzzUnmarshalCiphertext(f *testing.F) {
+	params, kgen, sk := fuzzKeys(f)
+	enc := NewEncryptor(params, kgen.GenPublicKey(sk), ring.NewTestPRNG(13))
+	encoder := NewEncoder(params)
+	ct := enc.Encrypt(encoder.Encode([]float64{1, -2, 3.5}, params.DefaultScale(), params.MaxLevel()))
+	seed, err := ct.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(seed[:len(seed)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c Ciphertext
+		if err := c.UnmarshalBinary(data); err != nil {
+			return
+		}
+		reenc, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted ciphertext does not re-marshal: %v", err)
+		}
+		var c2 Ciphertext
+		if err := c2.UnmarshalBinary(reenc); err != nil {
+			t.Fatalf("re-marshaled ciphertext rejected: %v", err)
+		}
+		if c2.Lvl != c.Lvl || c2.Scale != c.Scale {
+			t.Fatal("level/scale not stable across round trip")
+		}
+	})
+}
+
+// FuzzUnmarshalRotationKeySet proves RotationKeySet.UnmarshalBinary is
+// total over adversarial bytes.
+func FuzzUnmarshalRotationKeySet(f *testing.F) {
+	_, kgen, sk := fuzzKeys(f)
+	rtks := kgen.GenRotationKeys(sk, []int{1, 3}, true)
+	seed, err := rtks.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(seed[:len(seed)-7])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r RotationKeySet
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		for g, k := range r.Keys {
+			if k == nil {
+				t.Fatalf("accepted key set holds nil switching key for Galois %d", g)
+			}
+		}
+		reenc, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted key set does not re-marshal: %v", err)
+		}
+		var r2 RotationKeySet
+		if err := r2.UnmarshalBinary(reenc); err != nil {
+			t.Fatalf("re-marshaled key set rejected: %v", err)
+		}
+		if len(r2.Keys) != len(r.Keys) {
+			t.Fatal("key count not stable across round trip")
+		}
+	})
+}
+
+// FuzzUnmarshalPublicKey covers the remaining session-open object.
+func FuzzUnmarshalPublicKey(f *testing.F) {
+	_, kgen, sk := fuzzKeys(f)
+	pk := kgen.GenPublicKey(sk)
+	seed, err := pk.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p PublicKey
+		if err := p.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if p.A == nil || p.B == nil {
+			t.Fatal("accepted public key with nil polynomial")
+		}
+	})
+}

@@ -32,12 +32,7 @@ func BuildBackend(comp *Compiled, prng ring.PRNG) (hisa.Backend, error) {
 			Rotations: rotSet,
 		}), nil
 	case SchemeRNS:
-		params, err := ckks.NewParameters(ckks.ParametersLiteral{
-			LogN:     best.LogN,
-			LogQ:     best.RNSChainBits,
-			LogP:     best.SpecialBits,
-			LogScale: int(math.Round(math.Log2(comp.Options.Scales.Pc))),
-		})
+		params, err := RNSParameters(comp)
 		if err != nil {
 			return nil, fmt.Errorf("core: building RNS parameters: %w", err)
 		}
@@ -53,6 +48,23 @@ func BuildBackend(comp *Compiled, prng ring.PRNG) (hisa.Backend, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %v", comp.Options.Scheme)
 	}
+}
+
+// RNSParameters materializes the RNS-CKKS parameter set a compilation
+// selected. Both endpoints of the serving protocol derive parameters this
+// way — compilation is deterministic, so client and server agree without
+// shipping anything but the model — and it is the single place the
+// Compiled → ckks.Parameters mapping lives.
+func RNSParameters(comp *Compiled) (*ckks.Parameters, error) {
+	if comp.Options.Scheme != SchemeRNS {
+		return nil, fmt.Errorf("core: scheme %v has no RNS parameters", comp.Options.Scheme)
+	}
+	return ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     comp.Best.LogN,
+		LogQ:     comp.Best.RNSChainBits,
+		LogP:     comp.Best.SpecialBits,
+		LogScale: int(math.Round(math.Log2(comp.Options.Scales.Pc))),
+	})
 }
 
 func powerOfTwoSet(slots int) map[int]bool {

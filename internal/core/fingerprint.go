@@ -1,0 +1,149 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"chet/internal/tensor"
+)
+
+// fpVersion tags the canonical encoding below; bump it whenever the byte
+// layout of the digest changes so old and new binaries never agree by
+// accident.
+const fpVersion = "chet-fingerprint-v1"
+
+// Fingerprint returns a stable digest of everything that must match between
+// two parties for their homomorphic executions of this compilation to be
+// interchangeable: the compiler options, the selected encryption parameters,
+// the layout policy, the fixed-point scales, the rotation-key set, and the
+// circuit itself (structure and weights). Client and server exchange it at
+// session-open so a compilation mismatch is detected before any ciphertext
+// is wasted on an incompatible evaluation.
+//
+// The digest is a pure function of the Compiled value: compiling the same
+// circuit with the same Options on any machine yields the same fingerprint.
+func (c *Compiled) Fingerprint() [32]byte {
+	h := sha256.New()
+	var scratch [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	i64 := func(v int) { u64(uint64(int64(v))) }
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		i64(len(s))
+		h.Write([]byte(s))
+	}
+	ints := func(vs []int) {
+		i64(len(vs))
+		for _, v := range vs {
+			i64(v)
+		}
+	}
+	floats := func(vs []float64) {
+		i64(len(vs))
+		for _, v := range vs {
+			f64(v)
+		}
+	}
+	tens := func(t *tensor.Tensor) {
+		if t == nil {
+			i64(-1)
+			return
+		}
+		ints(t.Shape)
+		floats(t.Data)
+	}
+
+	str(fpVersion)
+
+	// Options: every field, so any change in how the circuit was compiled
+	// flips the digest (defaults are filled before Compile stores Options,
+	// so an explicit default and an omitted field agree, as they must).
+	o := c.Options
+	i64(int(o.Scheme))
+	f64(o.Scales.Pc)
+	f64(o.Scales.Pw)
+	f64(o.Scales.Pu)
+	f64(o.Scales.Pm)
+	i64(o.SecurityBits)
+	i64(o.RNSPrimeBits)
+	f64(o.MagMarginBits)
+	i64(o.MinLogN)
+	i64(o.MaxLogN)
+	i64(len(o.Policies))
+	for _, p := range o.Policies {
+		i64(int(p))
+	}
+	if o.CostModel == nil {
+		i64(0)
+	} else {
+		m := *o.CostModel
+		i64(1)
+		i64(int(m.Scheme))
+		f64(m.CAdd)
+		f64(m.CScalarMul)
+		f64(m.CPlainMul)
+		f64(m.CCtMul)
+		f64(m.CRotate)
+		f64(m.CRescale)
+		f64(m.CRotHoistSetup)
+		f64(m.CRotHoistStep)
+	}
+	if o.PowerOfTwoRotationsOnly {
+		i64(1)
+	} else {
+		i64(0)
+	}
+	i64(o.CostThreads)
+
+	// The compiler's decisions: parameters, layout, rotation set.
+	b := c.Best
+	i64(int(b.Policy))
+	i64(b.LogN)
+	f64(b.LogQ)
+	ints(b.RNSChainBits)
+	i64(b.SpecialBits)
+	ints(b.Rotations)
+	i64(b.RotationOps)
+
+	// The circuit: structure, attributes, and weight values. Two circuits
+	// that differ only in weights execute compatibly but predict different
+	// things, which is exactly the kind of silent divergence a session-open
+	// check exists to catch.
+	str(c.Circuit.Name)
+	i64(len(c.Circuit.Nodes))
+	for _, n := range c.Circuit.Nodes {
+		i64(n.ID)
+		i64(int(n.Kind))
+		str(n.Name)
+		i64(len(n.Inputs))
+		for _, in := range n.Inputs {
+			i64(in.ID)
+		}
+		i64(n.Stride)
+		i64(n.Pad)
+		i64(n.Window)
+		f64(n.ActA)
+		f64(n.ActB)
+		floats(n.Coeffs)
+		tens(n.Weights)
+		tens(n.Bias)
+		ints(n.OutShape)
+	}
+	i64(c.Circuit.Output.ID)
+
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// FingerprintHex renders the fingerprint as a hex string for logs and
+// human-facing diagnostics.
+func (c *Compiled) FingerprintHex() string {
+	fp := c.Fingerprint()
+	return hex.EncodeToString(fp[:])
+}

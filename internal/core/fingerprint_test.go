@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"chet/internal/htc"
+)
+
+// fpBaseOptions compiles fast: a small insecure ring is enough because the
+// fingerprint is about identity, not security.
+func fpBaseOptions() Options {
+	return Options{
+		Scheme:       SchemeRNS,
+		SecurityBits: -1,
+		MinLogN:      6,
+		MaxLogN:      8,
+	}
+}
+
+func fpCompile(t *testing.T, opts Options) *Compiled {
+	t.Helper()
+	c, _ := testCNN()
+	comp, err := Compile(c, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return comp
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := fpCompile(t, fpBaseOptions())
+	b := fpCompile(t, fpBaseOptions())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("two identical compilations disagree on fingerprint")
+	}
+	if len(a.FingerprintHex()) != 64 {
+		t.Fatalf("hex fingerprint has length %d, want 64", len(a.FingerprintHex()))
+	}
+	// Explicitly writing a default must agree with omitting it: Options are
+	// stored after fillDefaults.
+	explicit := fpBaseOptions()
+	explicit.RNSPrimeBits = 40 // the default
+	if fpCompile(t, explicit).Fingerprint() != a.Fingerprint() {
+		t.Fatal("explicit default changed the fingerprint")
+	}
+}
+
+// TestFingerprintFlipsOnOptionsChange checks that every meaningful Options
+// mutation yields a distinct fingerprint — the property the session-open
+// handshake relies on to reject mismatched compilations.
+func TestFingerprintFlipsOnOptionsChange(t *testing.T) {
+	base := fpCompile(t, fpBaseOptions())
+
+	mutations := map[string]func(*Options){
+		"Scheme":       func(o *Options) { o.Scheme = SchemeCKKS },
+		"Scales.Pc":    func(o *Options) { o.Scales = htc.Scales{Pc: math.Exp2(41), Pw: math.Exp2(35), Pu: math.Exp2(35), Pm: math.Exp2(30)} },
+		"SecurityBits": func(o *Options) { o.SecurityBits = 128; o.MinLogN = 12; o.MaxLogN = 15 },
+		"RNSPrimeBits": func(o *Options) { o.RNSPrimeBits = 35 },
+		"MagMargin":    func(o *Options) { o.MagMarginBits = 14 },
+		"MinLogN":      func(o *Options) { o.MinLogN = 7 },
+		"MaxLogN":      func(o *Options) { o.MaxLogN = 9 },
+		"Policies":     func(o *Options) { o.Policies = []htc.LayoutPolicy{htc.PolicyCHW} },
+		"CostModel": func(o *Options) {
+			m := DefaultCostModel(SchemeRNS)
+			m.CRotate *= 2
+			o.CostModel = &m
+		},
+		"PowerOfTwoRotationsOnly": func(o *Options) { o.PowerOfTwoRotationsOnly = true },
+		"CostThreads":             func(o *Options) { o.CostThreads = 4 },
+	}
+
+	for name, mutate := range mutations {
+		opts := fpBaseOptions()
+		mutate(&opts)
+		comp := fpCompile(t, opts)
+		if comp.Fingerprint() == base.Fingerprint() {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintFlipsOnCircuitChange checks the weight and structure
+// sensitivity: same options, different circuit contents.
+func TestFingerprintFlipsOnCircuitChange(t *testing.T) {
+	c, _ := testCNN()
+	base, err := Compile(c, fpBaseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, _ := testCNN()
+	// Perturb one weight: execution stays compatible but predictions differ,
+	// which the fingerprint must expose.
+	for _, n := range c2.Nodes {
+		if n.Weights != nil {
+			n.Weights.Data[0] += 1e-3
+			break
+		}
+	}
+	changed, err := Compile(c2, fpBaseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed.Fingerprint() == base.Fingerprint() {
+		t.Fatal("weight perturbation did not change the fingerprint")
+	}
+}

@@ -1,0 +1,103 @@
+package hisa
+
+import (
+	"fmt"
+
+	"chet/internal/ckks"
+	"chet/internal/ring"
+)
+
+// polyShape checks that a polynomial has exactly `rows` RNS rows of the
+// ring degree n. The ckks unmarshalers guarantee structural sanity (no nil
+// rows, plausible sizes); this pins the shape to one concrete parameter
+// set, which the unmarshalers cannot know.
+func polyShape(p *ring.Poly, rows, n int, what string) error {
+	if p == nil {
+		return fmt.Errorf("hisa: %s is nil", what)
+	}
+	if len(p.Coeffs) != rows {
+		return fmt.Errorf("hisa: %s has %d RNS rows, parameters imply %d", what, len(p.Coeffs), rows)
+	}
+	for i, row := range p.Coeffs {
+		if len(row) != n {
+			return fmt.Errorf("hisa: %s row %d has %d coefficients, ring degree is %d", what, i, len(row), n)
+		}
+	}
+	return nil
+}
+
+func switchingKeyShape(swk *ckks.SwitchingKey, fullRows, n int, what string) error {
+	if swk == nil {
+		return fmt.Errorf("hisa: %s is nil", what)
+	}
+	if len(swk.B) == 0 || len(swk.B) != len(swk.A) {
+		return fmt.Errorf("hisa: %s has mismatched digit counts (%d B, %d A)", what, len(swk.B), len(swk.A))
+	}
+	for i := range swk.B {
+		if err := polyShape(swk.B[i], fullRows, n, fmt.Sprintf("%s digit %d (B)", what, i)); err != nil {
+			return err
+		}
+		if err := polyShape(swk.A[i], fullRows, n, fmt.Sprintf("%s digit %d (A)", what, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateRNSKeys checks received public key material against a parameter
+// set before it is handed to an evaluator: RNS row counts, ring degrees,
+// and Galois elements must all match, and every rotation amount the client
+// claims must have a corresponding key. Deserialized keys are structurally
+// sound but shape-unconstrained; an evaluation server calls this at
+// session-open so a mismatched or corrupted upload is rejected with an
+// error instead of panicking mid-inference.
+func ValidateRNSKeys(params *ckks.Parameters, keys RNSPublicKeys) error {
+	if keys.PK == nil || keys.RLK == nil || keys.RTKS == nil {
+		return fmt.Errorf("hisa: incomplete key material (pk=%v rlk=%v rtks=%v)",
+			keys.PK != nil, keys.RLK != nil, keys.RTKS != nil)
+	}
+	n := params.N()
+	chainRows := len(params.QChain())
+	fullRows := chainRows + 1 // chain primes plus the key-switching special prime
+
+	// Public key: chain primes only.
+	if err := polyShape(keys.PK.B, chainRows, n, "public key B"); err != nil {
+		return err
+	}
+	if err := polyShape(keys.PK.A, chainRows, n, "public key A"); err != nil {
+		return err
+	}
+
+	if err := switchingKeyShape(keys.RLK.Key, fullRows, n, "relinearization key"); err != nil {
+		return err
+	}
+
+	if keys.RTKS.Keys == nil {
+		return fmt.Errorf("hisa: rotation key set has no key map")
+	}
+	twoN := uint64(2 * n)
+	for g, swk := range keys.RTKS.Keys {
+		if g%2 == 0 || g == 0 || g >= twoN {
+			return fmt.Errorf("hisa: invalid Galois element %d (ring degree %d)", g, n)
+		}
+		if err := switchingKeyShape(swk, fullRows, n, fmt.Sprintf("rotation key (Galois %d)", g)); err != nil {
+			return err
+		}
+	}
+
+	// Every claimed rotation amount must be realized by an uploaded key,
+	// otherwise the evaluator would fail the first time the circuit uses it.
+	r := params.Ring()
+	slots := params.Slots()
+	for _, k := range keys.Rotations {
+		k = ((k % slots) + slots) % slots
+		if k == 0 {
+			continue
+		}
+		g := r.GaloisElementForRotation(k)
+		if _, ok := keys.RTKS.Keys[g]; !ok {
+			return fmt.Errorf("hisa: claimed rotation %d has no key (Galois element %d)", k, g)
+		}
+	}
+	return nil
+}

@@ -96,19 +96,43 @@ func (ct *CipherTensor) pos(cInCT, y, x int) int {
 // Shape returns the logical CHW shape.
 func (ct *CipherTensor) Shape() []int { return []int{ct.C, ct.H, ct.W} }
 
-// validate panics when metadata is inconsistent with the slot count.
-func (ct *CipherTensor) validate(slots int) {
+// Validate checks the metadata against itself and a backend's slot count
+// without panicking: every logical position must land in [0, slots) and the
+// ciphertext count must match the channel blocking. The serving layer calls
+// this on tensors received from the network before touching a kernel, where
+// the panicking internal checks would take the whole server down.
+func (ct *CipherTensor) Validate(slots int) error {
 	if ct.C <= 0 || ct.H <= 0 || ct.W <= 0 || ct.CPerCT <= 0 {
-		panic(fmt.Sprintf("htc: invalid CipherTensor dims C=%d H=%d W=%d cPerCT=%d",
-			ct.C, ct.H, ct.W, ct.CPerCT))
+		return fmt.Errorf("htc: invalid CipherTensor dims C=%d H=%d W=%d cPerCT=%d",
+			ct.C, ct.H, ct.W, ct.CPerCT)
+	}
+	if ct.Offset < 0 || ct.RowStride < 0 || ct.ColStride < 0 || ct.ChanStride < 0 {
+		return fmt.Errorf("htc: negative CipherTensor strides (offset %d, row %d, col %d, chan %d)",
+			ct.Offset, ct.RowStride, ct.ColStride, ct.ChanStride)
+	}
+	if minPos := ct.pos(0, 0, 0); minPos < 0 || minPos >= slots {
+		return fmt.Errorf("htc: CipherTensor origin at slot %d outside %d slots", minPos, slots)
 	}
 	maxPos := ct.pos(min(ct.C, ct.CPerCT)-1, ct.H-1, ct.W-1)
-	if maxPos >= slots {
-		panic(fmt.Sprintf("htc: CipherTensor overflows %d slots (max position %d)", slots, maxPos))
+	if maxPos < 0 || maxPos >= slots {
+		return fmt.Errorf("htc: CipherTensor overflows %d slots (max position %d)", slots, maxPos)
 	}
 	want := (ct.C + ct.CPerCT - 1) / ct.CPerCT
 	if len(ct.CTs) != want {
-		panic(fmt.Sprintf("htc: CipherTensor has %d ciphertexts, metadata implies %d", len(ct.CTs), want))
+		return fmt.Errorf("htc: CipherTensor has %d ciphertexts, metadata implies %d", len(ct.CTs), want)
+	}
+	for i, c := range ct.CTs {
+		if c == nil {
+			return fmt.Errorf("htc: CipherTensor ciphertext %d is nil", i)
+		}
+	}
+	return nil
+}
+
+// validate panics when metadata is inconsistent with the slot count.
+func (ct *CipherTensor) validate(slots int) {
+	if err := ct.Validate(slots); err != nil {
+		panic(err.Error())
 	}
 }
 

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"chet/internal/core"
+	"chet/internal/hisa"
+	"chet/internal/htc"
+	"chet/internal/ring"
+	"chet/internal/tensor"
+	"chet/internal/wire"
+)
+
+// ClientConfig parameterizes a Client.
+type ClientConfig struct {
+	// Compiled is the client-side compile of the same model with the same
+	// options as the server; the session-open handshake enforces agreement
+	// via the circuit fingerprint. Required; must target core.SchemeRNS.
+	Compiled *core.Compiled
+	// PRNG seeds key generation and encryption. Nil selects crypto/rand.
+	PRNG ring.PRNG
+	// Timeout is the per-request deadline sent with every inference.
+	// Zero defers to the server's default.
+	Timeout time.Duration
+	// MaxFrame bounds accepted response frames. Default wire.DefaultMaxFrame.
+	MaxFrame int
+}
+
+// Client is the trusting side of the deployment model: it holds the secret
+// key, encrypts inputs, ships public evaluation keys plus ciphertexts to an
+// untrusted server, and decrypts the encrypted predictions that come back.
+// Methods are safe for concurrent use; requests on one client serialize
+// over its single connection (open more clients for parallel streams).
+type Client struct {
+	cfg     ClientConfig
+	backend *hisa.RNSBackend
+	keys    hisa.RNSPublicKeys
+	plan    htc.Plan
+
+	mu        sync.Mutex
+	conn      net.Conn
+	sessionID uint64
+	nextReq   uint64
+}
+
+// Dial connects to addr and opens a session (uploading the evaluation keys).
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	c, err := NewClient(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection: it generates this client's
+// keys locally and performs the session-open handshake.
+func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
+	if cfg.Compiled == nil {
+		return nil, errors.New("serve: ClientConfig.Compiled is required")
+	}
+	if cfg.Compiled.Options.Scheme != core.SchemeRNS {
+		return nil, fmt.Errorf("serve: scheme %v has no transferable keys; compile for core.SchemeRNS",
+			cfg.Compiled.Options.Scheme)
+	}
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	params, err := core.RNSParameters(cfg.Compiled)
+	if err != nil {
+		return nil, err
+	}
+	backend := hisa.NewRNSBackend(hisa.RNSConfig{
+		Params:    params,
+		PRNG:      cfg.PRNG,
+		Rotations: cfg.Compiled.Best.Rotations,
+	})
+	c := &Client{
+		cfg:     cfg,
+		backend: backend,
+		keys:    backend.PublicKeys(),
+		plan:    htc.PlanFor(cfg.Compiled.Circuit, cfg.Compiled.Best.Policy),
+		conn:    conn,
+	}
+	if err := c.open(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// open performs the session handshake on the current connection.
+// Callers hold c.mu or are the constructor.
+func (c *Client) open() error {
+	fp := c.cfg.Compiled.Fingerprint()
+	msg := &wire.SessionOpen{
+		Fingerprint: fp,
+		Rotations:   c.keys.Rotations,
+		PK:          c.keys.PK,
+		RLK:         c.keys.RLK,
+		RTKS:        c.keys.RTKS,
+	}
+	payload, err := msg.Encode()
+	if err != nil {
+		return fmt.Errorf("serve: encoding session-open: %w", err)
+	}
+	if err := wire.WriteFrame(c.conn, wire.MsgSessionOpen, payload); err != nil {
+		return fmt.Errorf("serve: sending session-open: %w", err)
+	}
+	t, resp, err := wire.ReadFrame(c.conn, c.cfg.MaxFrame)
+	if err != nil {
+		return fmt.Errorf("serve: reading session-accept: %w", err)
+	}
+	switch t {
+	case wire.MsgSessionAccept:
+		var accept wire.SessionAccept
+		if err := accept.Decode(resp); err != nil {
+			return fmt.Errorf("serve: session-accept: %w", err)
+		}
+		c.sessionID = accept.SessionID
+		return nil
+	case wire.MsgError:
+		var ef wire.ErrorFrame
+		if err := ef.Decode(resp); err != nil {
+			return fmt.Errorf("serve: undecodable error frame: %w", err)
+		}
+		return &ef
+	default:
+		return fmt.Errorf("serve: unexpected %v frame during handshake", t)
+	}
+}
+
+// Encrypt encodes and encrypts an input image under this client's keys,
+// laid out as the compiled circuit expects.
+func (c *Client) Encrypt(img *tensor.Tensor) *htc.CipherTensor {
+	return htc.EncryptTensor(c.backend, img, c.plan, c.cfg.Compiled.Options.Scales)
+}
+
+// Decrypt recovers the prediction tensor from an encrypted result,
+// flattening 1x1xK predictions exactly as chet.Session.Decrypt does.
+func (c *Client) Decrypt(out *htc.CipherTensor) *tensor.Tensor {
+	t := htc.DecryptTensor(c.backend, out)
+	if t.Rank() == 3 && t.Shape[0] == 1 && t.Shape[1] == 1 {
+		return t.Reshape(t.Size())
+	}
+	return t
+}
+
+// Infer ships an encrypted tensor to the server and returns the encrypted
+// result. If the server reports the session unknown (evicted under the
+// session cap), the client transparently re-opens once and retries.
+func (c *Client) Infer(in *htc.CipherTensor) (*htc.CipherTensor, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, err := c.inferLocked(in)
+	var ef *wire.ErrorFrame
+	if errors.As(err, &ef) && ef.Code == wire.CodeUnknownSession {
+		if err := c.open(); err != nil {
+			return nil, fmt.Errorf("serve: re-opening evicted session: %w", err)
+		}
+		return c.inferLocked(in)
+	}
+	return out, err
+}
+
+func (c *Client) inferLocked(in *htc.CipherTensor) (*htc.CipherTensor, error) {
+	if c.conn == nil {
+		return nil, errors.New("serve: client is closed")
+	}
+	c.nextReq++
+	msg := &wire.InferRequest{
+		SessionID: c.sessionID,
+		RequestID: c.nextReq,
+		Tensor:    in,
+	}
+	if c.cfg.Timeout > 0 {
+		msg.TimeoutMillis = uint32(min(c.cfg.Timeout.Milliseconds(), int64(^uint32(0))))
+	}
+	payload, err := msg.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding infer-request: %w", err)
+	}
+	if err := wire.WriteFrame(c.conn, wire.MsgInferRequest, payload); err != nil {
+		return nil, fmt.Errorf("serve: sending infer-request: %w", err)
+	}
+	t, resp, err := wire.ReadFrame(c.conn, c.cfg.MaxFrame)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading infer-response: %w", err)
+	}
+	switch t {
+	case wire.MsgInferResponse:
+		var ir wire.InferResponse
+		if err := ir.Decode(resp); err != nil {
+			return nil, fmt.Errorf("serve: infer-response: %w", err)
+		}
+		if ir.RequestID != msg.RequestID {
+			return nil, fmt.Errorf("serve: response for request %d, expected %d", ir.RequestID, msg.RequestID)
+		}
+		return ir.Tensor, nil
+	case wire.MsgError:
+		var ef wire.ErrorFrame
+		if err := ef.Decode(resp); err != nil {
+			return nil, fmt.Errorf("serve: undecodable error frame: %w", err)
+		}
+		return nil, &ef
+	default:
+		return nil, fmt.Errorf("serve: unexpected %v frame", t)
+	}
+}
+
+// Run is the full client loop for one input: encrypt, send, decrypt.
+func (c *Client) Run(img *tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := c.Infer(c.Encrypt(img))
+	if err != nil {
+		return nil, err
+	}
+	return c.Decrypt(out), nil
+}
+
+// Close tears down the connection. The server garbage-collects the session
+// through LRU eviction; there is no explicit close frame.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

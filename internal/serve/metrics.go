@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"chet/internal/hisa"
+)
+
+// latencyRecorder keeps a bounded ring of recent request latencies so
+// quantile snapshots stay O(window) regardless of uptime. Homomorphic
+// inferences run milliseconds to minutes each, so a small window spans a
+// long operational history.
+type latencyRecorder struct {
+	mu    sync.Mutex
+	ring  []time.Duration
+	next  int
+	count uint64 // total ever recorded
+}
+
+const latencyWindow = 1024
+
+func newLatencyRecorder() *latencyRecorder {
+	return &latencyRecorder{ring: make([]time.Duration, 0, latencyWindow)}
+}
+
+func (l *latencyRecorder) record(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, d)
+		return
+	}
+	l.ring[l.next] = d
+	l.next = (l.next + 1) % len(l.ring)
+}
+
+// LatencySummary is a quantile snapshot over the recent-latency window.
+type LatencySummary struct {
+	Count         uint64 // total requests ever measured
+	P50, P90, P99 time.Duration
+}
+
+func (l *latencyRecorder) summary() LatencySummary {
+	l.mu.Lock()
+	sample := append([]time.Duration(nil), l.ring...)
+	count := l.count
+	l.mu.Unlock()
+	out := LatencySummary{Count: count}
+	if len(sample) == 0 {
+		return out
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(sample)-1))
+		return sample[i]
+	}
+	out.P50, out.P90, out.P99 = q(0.50), q(0.90), q(0.99)
+	return out
+}
+
+// SessionMetrics is a point-in-time view of one session.
+type SessionMetrics struct {
+	ID       uint64
+	Requests uint64
+	Errors   uint64
+	// Ops tallies the HISA instructions this session's backend executed
+	// (from the atomic hisa.Meter wrapped around it).
+	Ops     hisa.OpCounts
+	Latency LatencySummary
+}
+
+// ServerMetrics is a point-in-time view of the whole server.
+type ServerMetrics struct {
+	SessionsOpened  uint64
+	SessionsEvicted uint64
+	SessionsActive  int
+
+	Requests          uint64 // infer requests admitted to the queue
+	Completed         uint64
+	Errors            uint64 // evaluation failures
+	RejectedQueueFull uint64
+	RejectedDeadline  uint64
+	RejectedShutdown  uint64
+
+	Latency  LatencySummary
+	Sessions []SessionMetrics
+}

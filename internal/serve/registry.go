@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"chet/internal/hisa"
+)
+
+// session is one client's cached evaluation context: the eval-only backend
+// built from the keys uploaded at session-open (wrapped in an atomic Meter
+// for op counts) plus per-session metrics. Keys are uploaded once and
+// reused across every request the session makes.
+type session struct {
+	id      uint64
+	backend hisa.Backend // the meter below, as the kernels see it
+	meter   *hisa.Meter
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	latency  *latencyRecorder
+}
+
+func (s *session) metrics() SessionMetrics {
+	return SessionMetrics{
+		ID:       s.id,
+		Requests: s.requests.Load(),
+		Errors:   s.errors.Load(),
+		Ops:      s.meter.Counts(),
+		Latency:  s.latency.summary(),
+	}
+}
+
+// registry caches sessions with LRU eviction under a fixed cap. Eval keys
+// are the expensive upload (hundreds of kilobytes to hundreds of megabytes),
+// so the registry is exactly a key cache: hitting it skips the re-upload;
+// an evicted client re-opens and pays the transfer again.
+type registry struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used; values are *session
+	byID    map[uint64]*list.Element
+	nextID  uint64
+	opened  uint64
+	evicted uint64
+}
+
+func newRegistry(cap int) *registry {
+	return &registry{cap: cap, ll: list.New(), byID: make(map[uint64]*list.Element)}
+}
+
+// add registers a new session, assigning its ID and evicting the least
+// recently used session beyond the cap.
+func (r *registry) add(s *session) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	r.opened++
+	s.id = r.nextID
+	r.byID[s.id] = r.ll.PushFront(s)
+	for r.ll.Len() > r.cap {
+		last := r.ll.Back()
+		victim := last.Value.(*session)
+		r.ll.Remove(last)
+		delete(r.byID, victim.id)
+		r.evicted++
+	}
+	return s.id
+}
+
+// get returns the session and marks it most recently used. In-flight
+// requests hold their own *session, so eviction never invalidates work
+// already admitted — it only forces the client's next request to re-open.
+func (r *registry) get(id uint64) (*session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.byID[id]
+	if !ok {
+		return nil, false
+	}
+	r.ll.MoveToFront(el)
+	return el.Value.(*session), true
+}
+
+func (r *registry) stats() (opened, evicted uint64, active int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opened, r.evicted, r.ll.Len()
+}
+
+// sessions snapshots the live sessions, most recently used first.
+func (r *registry) sessions() []*session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*session, 0, r.ll.Len())
+	for el := r.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*session))
+	}
+	return out
+}

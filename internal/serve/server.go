@@ -1,0 +1,567 @@
+// Package serve implements the server side of CHET's encrypted-inference
+// deployment model (Figure 3 of the paper) as a long-running engine: clients
+// open sessions by uploading public evaluation keys once, then stream
+// inference requests whose encrypted tensors are dispatched onto the
+// worker-pool htc executor. The engine adds what a one-shot demo lacks —
+// a bounded admission queue with backpressure, per-request deadlines, an
+// LRU-capped session registry, graceful shutdown that drains in-flight
+// work, and per-session/per-server metrics with HISA op counts.
+//
+// The wire format lives in internal/wire; only the RNS-CKKS scheme is
+// servable, because the mock HEAAN backend has no transferable keys.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chet/internal/ckks"
+	"chet/internal/core"
+	"chet/internal/hisa"
+	"chet/internal/htc"
+	"chet/internal/ring"
+	"chet/internal/wire"
+)
+
+// Config parameterizes a Server. The zero value of every optional field
+// selects the documented default.
+type Config struct {
+	// Compiled is the compiled circuit this server evaluates. Required;
+	// must target core.SchemeRNS.
+	Compiled *core.Compiled
+
+	// MaxSessions caps the session registry; beyond it the least recently
+	// used session is evicted and its client must re-open. Default 64.
+	MaxSessions int
+	// QueueDepth bounds the admission queue. A request arriving with the
+	// queue full is rejected immediately with a queue-full error frame
+	// (backpressure, not buffering). Default 64.
+	QueueDepth int
+	// RequestTimeout is the default per-request deadline (queue wait plus
+	// evaluation); a request may tighten it via TimeoutMillis. Default 60s.
+	RequestTimeout time.Duration
+	// Workers is the htc worker-pool size each inference fans kernel work
+	// across (PR 1's executor). Values <= 1 evaluate serially. Default 1.
+	Workers int
+	// Parallel is the number of inferences evaluated concurrently (the
+	// executor pool draining the admission queue). Default 1.
+	Parallel int
+	// MaxFrame bounds accepted frame payloads. Default wire.DefaultMaxFrame.
+	MaxFrame int
+	// Logf, when set, receives one line per notable server event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Parallel < 1 {
+		c.Parallel = 1
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// job is one admitted inference request.
+type job struct {
+	sess     *session
+	tensor   *htc.CipherTensor
+	reqID    uint64
+	arrived  time.Time
+	deadline time.Time
+	respond  chan jobResult // buffered(1); runJob always sends exactly once
+}
+
+type jobResult struct {
+	tensor *htc.CipherTensor
+	errf   *wire.ErrorFrame
+}
+
+// Server is a concurrent encrypted-inference server for one compiled
+// circuit. Create with New, run with Serve, stop with Shutdown.
+type Server struct {
+	cfg         Config
+	params      *ckks.Parameters
+	fingerprint [32]byte
+
+	reg  *registry
+	jobs chan *job
+	quit chan struct{} // closed by Shutdown after the drain completes
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // admitted jobs not yet responded
+	execWG   sync.WaitGroup // executor goroutines
+	connWG   sync.WaitGroup // per-connection handlers
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	started  bool
+	shutdown bool
+
+	// Counters (atomic; see Metrics).
+	requests, completed, evalErrors        atomic.Uint64
+	rejQueueFull, rejDeadline, rejShutdown atomic.Uint64
+	latency                                *latencyRecorder
+
+	// execHook, when non-nil, runs inside every evaluation; tests use it to
+	// make execution observably slow without touching kernels.
+	execHook func()
+}
+
+// New validates the configuration and builds a server. Executors start on
+// the first Serve call.
+func New(cfg Config) (*Server, error) {
+	if cfg.Compiled == nil {
+		return nil, errors.New("serve: Config.Compiled is required")
+	}
+	if cfg.Compiled.Options.Scheme != core.SchemeRNS {
+		return nil, fmt.Errorf("serve: scheme %v is not servable (no transferable keys); compile for core.SchemeRNS",
+			cfg.Compiled.Options.Scheme)
+	}
+	cfg.fillDefaults()
+	params, err := core.RNSParameters(cfg.Compiled)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:         cfg,
+		params:      params,
+		fingerprint: cfg.Compiled.Fingerprint(),
+		reg:         newRegistry(cfg.MaxSessions),
+		jobs:        make(chan *job, cfg.QueueDepth),
+		quit:        make(chan struct{}),
+		conns:       map[net.Conn]struct{}{},
+		latency:     newLatencyRecorder(),
+	}, nil
+}
+
+// Fingerprint returns the compiled-circuit fingerprint this server demands
+// at session-open.
+func (s *Server) Fingerprint() [32]byte { return s.fingerprint }
+
+// Serve accepts connections on ln until Shutdown (or a listener error).
+// It always returns a non-nil error; after a clean Shutdown the error is
+// net.ErrClosed-wrapped and can be ignored.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return errors.New("serve: server already shut down")
+	}
+	s.ln = ln
+	if !s.started {
+		s.started = true
+		s.execWG.Add(s.cfg.Parallel)
+		for i := 0; i < s.cfg.Parallel; i++ {
+			go s.executor()
+		}
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("serve: listening on %v (model %q, N=2^%d, %d-deep queue, %d executor(s) x %d worker(s))",
+		ln.Addr(), s.cfg.Compiled.Circuit.Name, s.cfg.Compiled.Best.LogN,
+		s.cfg.QueueDepth, s.cfg.Parallel, s.cfg.Workers)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("serve: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.shutdown || s.draining.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains the server: new sessions and requests are rejected with
+// shutting-down error frames, in-flight (queued or executing) requests run
+// to completion and their responses are delivered, then connections close.
+// If ctx expires first, remaining queued jobs are answered with
+// shutting-down errors and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return nil
+	}
+	s.shutdown = true
+	ln := s.ln
+	s.mu.Unlock()
+
+	s.draining.Store(true)
+	if ln != nil {
+		ln.Close()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	// Stop executors. On the forced path they first answer whatever is
+	// still queued with shutting-down errors so no handler blocks forever.
+	close(s.quit)
+	s.execWG.Wait()
+
+	// A handler racing the drain could still admit one last job after the
+	// executors exit; a reaper answers anything that slips through until
+	// every handler has returned.
+	reaperDone := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case j := <-s.jobs:
+				s.rejShutdown.Add(1)
+				j.respond <- jobResult{errf: &wire.ErrorFrame{
+					Code: wire.CodeShuttingDown, RequestID: j.reqID,
+					Message: "server shut down before the request ran"}}
+			case <-reaperDone:
+				return
+			}
+		}
+	}()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	close(reaperDone)
+	s.cfg.Logf("serve: shutdown complete (%d sessions served)", s.Metrics().SessionsOpened)
+	return err
+}
+
+// Metrics snapshots server and per-session counters.
+func (s *Server) Metrics() ServerMetrics {
+	opened, evicted, active := s.reg.stats()
+	m := ServerMetrics{
+		SessionsOpened:    opened,
+		SessionsEvicted:   evicted,
+		SessionsActive:    active,
+		Requests:          s.requests.Load(),
+		Completed:         s.completed.Load(),
+		Errors:            s.evalErrors.Load(),
+		RejectedQueueFull: s.rejQueueFull.Load(),
+		RejectedDeadline:  s.rejDeadline.Load(),
+		RejectedShutdown:  s.rejShutdown.Load(),
+		Latency:           s.latency.summary(),
+	}
+	for _, sess := range s.reg.sessions() {
+		m.Sessions = append(m.Sessions, sess.metrics())
+	}
+	return m
+}
+
+// --- connection handling ---
+
+// handleConn processes one client connection: frames are handled strictly
+// in order, and this goroutine is the connection's only writer, so
+// responses never interleave.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.connWG.Done()
+	}()
+
+	writeErr := func(code wire.ErrorCode, reqID uint64, format string, args ...any) bool {
+		msg := fmt.Sprintf(format, args...)
+		payload, err := (&wire.ErrorFrame{Code: code, RequestID: reqID, Message: msg}).Encode()
+		if err != nil {
+			return false
+		}
+		return wire.WriteFrame(conn, wire.MsgError, payload) == nil
+	}
+
+	for {
+		t, payload, err := wire.ReadFrame(conn, s.cfg.MaxFrame)
+		if err != nil {
+			// Clean EOF and closed connections end the handler silently; a
+			// malformed frame earns a best-effort error frame first. Framing
+			// is unrecoverable after a bad header, so the connection drops
+			// either way.
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) {
+				writeErr(wire.CodeBadMessage, 0, "%v", err)
+			}
+			return
+		}
+		switch t {
+		case wire.MsgSessionOpen:
+			if !s.handleSessionOpen(conn, payload, writeErr) {
+				return
+			}
+		case wire.MsgInferRequest:
+			if !s.handleInfer(conn, payload, writeErr) {
+				return
+			}
+		default:
+			if !writeErr(wire.CodeBadMessage, 0, "unexpected %v frame", t) {
+				return
+			}
+		}
+	}
+}
+
+// handleSessionOpen validates keys and registers a session. Returns false
+// when the connection is beyond use.
+func (s *Server) handleSessionOpen(conn net.Conn, payload []byte, writeErr func(wire.ErrorCode, uint64, string, ...any) bool) bool {
+	if s.draining.Load() {
+		s.rejShutdown.Add(1)
+		return writeErr(wire.CodeShuttingDown, 0, "server is draining")
+	}
+	var msg wire.SessionOpen
+	if err := msg.Decode(payload); err != nil {
+		return writeErr(wire.CodeBadMessage, 0, "session-open: %v", err)
+	}
+	if msg.Fingerprint != s.fingerprint {
+		return writeErr(wire.CodeFingerprintMismatch, 0,
+			"client compiled %x, server compiled %x; recompile with identical model and options",
+			msg.Fingerprint[:8], s.fingerprint[:8])
+	}
+	keys := hisa.RNSPublicKeys{PK: msg.PK, RLK: msg.RLK, RTKS: msg.RTKS, Rotations: msg.Rotations}
+	if err := hisa.ValidateRNSKeys(s.params, keys); err != nil {
+		return writeErr(wire.CodeBadMessage, 0, "session-open: %v", err)
+	}
+
+	backend := hisa.NewRNSBackendFromKeys(s.params, keys, nil)
+	slots := s.params.Slots()
+	provisioned := make(map[int]bool, len(msg.Rotations))
+	for _, k := range msg.Rotations {
+		k = ((k % slots) + slots) % slots
+		if k != 0 {
+			provisioned[k] = true
+		}
+	}
+	meter := hisa.NewMeter(backend, func(x int) int {
+		return len(hisa.RotationSteps(x, slots, func(k int) bool { return provisioned[k] }))
+	})
+	sess := &session{backend: meter, meter: meter, latency: newLatencyRecorder()}
+	id := s.reg.add(sess)
+	s.cfg.Logf("serve: session %d opened (%d rotation keys)", id, len(msg.RTKS.Keys))
+
+	accept, err := (&wire.SessionAccept{SessionID: id}).Encode()
+	if err != nil {
+		return writeErr(wire.CodeInternal, 0, "encoding accept: %v", err)
+	}
+	return wire.WriteFrame(conn, wire.MsgSessionAccept, accept) == nil
+}
+
+// handleInfer admits a request to the queue and relays its result. Returns
+// false when the connection is beyond use.
+func (s *Server) handleInfer(conn net.Conn, payload []byte, writeErr func(wire.ErrorCode, uint64, string, ...any) bool) bool {
+	var msg wire.InferRequest
+	if err := msg.Decode(payload); err != nil {
+		return writeErr(wire.CodeBadMessage, 0, "infer-request: %v", err)
+	}
+	if s.draining.Load() {
+		s.rejShutdown.Add(1)
+		return writeErr(wire.CodeShuttingDown, msg.RequestID, "server is draining")
+	}
+	sess, ok := s.reg.get(msg.SessionID)
+	if !ok {
+		return writeErr(wire.CodeUnknownSession, msg.RequestID,
+			"session %d unknown or evicted; re-open", msg.SessionID)
+	}
+	if err := s.checkTensor(msg.Tensor); err != nil {
+		sess.errors.Add(1)
+		return writeErr(wire.CodeBadMessage, msg.RequestID, "infer-request: %v", err)
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if msg.TimeoutMillis != 0 {
+		if t := time.Duration(msg.TimeoutMillis) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	now := time.Now()
+	j := &job{
+		sess:     sess,
+		tensor:   msg.Tensor,
+		reqID:    msg.RequestID,
+		arrived:  now,
+		deadline: now.Add(timeout),
+		respond:  make(chan jobResult, 1),
+	}
+
+	// Admission: the queue never blocks the handler. Full queue means the
+	// server is saturated past its configured buffer — reject now so the
+	// client can back off, rather than letting latency grow unboundedly.
+	// The inflight count is held by this handler until the response hits
+	// the wire, so a graceful Shutdown never cuts a connection mid-reply.
+	s.inflight.Add(1)
+	select {
+	case s.jobs <- j:
+		s.requests.Add(1)
+		sess.requests.Add(1)
+	default:
+		s.inflight.Done()
+		s.rejQueueFull.Add(1)
+		return writeErr(wire.CodeQueueFull, msg.RequestID,
+			"admission queue full (%d deep); retry with backoff", s.cfg.QueueDepth)
+	}
+
+	res := <-j.respond
+	wrote := func() bool {
+		if res.errf != nil {
+			return writeErr(res.errf.Code, msg.RequestID, "%s", res.errf.Message)
+		}
+		out, err := (&wire.InferResponse{RequestID: msg.RequestID, Tensor: res.tensor}).Encode()
+		if err != nil {
+			return writeErr(wire.CodeInternal, msg.RequestID, "encoding response: %v", err)
+		}
+		return wire.WriteFrame(conn, wire.MsgInferResponse, out) == nil
+	}()
+	s.inflight.Done()
+	return wrote
+}
+
+// checkTensor validates a network-received tensor against this server's
+// parameters before any kernel touches it.
+func (s *Server) checkTensor(ct *htc.CipherTensor) error {
+	if ct == nil {
+		return errors.New("missing tensor")
+	}
+	if err := ct.Validate(s.params.Slots()); err != nil {
+		return err
+	}
+	n := s.params.N()
+	maxLvl := s.params.MaxLevel()
+	for i, c := range ct.CTs {
+		cc, ok := c.(*ckks.Ciphertext)
+		if !ok {
+			return fmt.Errorf("ciphertext %d has foreign type %T", i, c)
+		}
+		if cc.Lvl < 0 || cc.Lvl > maxLvl {
+			return fmt.Errorf("ciphertext %d at level %d, parameters support [0, %d]", i, cc.Lvl, maxLvl)
+		}
+		for _, p := range []*htcPoly{{cc.C0, "c0"}, {cc.C1, "c1"}} {
+			if p.p == nil || len(p.p.Coeffs) != cc.Lvl+1 {
+				return fmt.Errorf("ciphertext %d %s has wrong RNS row count", i, p.name)
+			}
+			for _, row := range p.p.Coeffs {
+				if len(row) != n {
+					return fmt.Errorf("ciphertext %d %s row length %d, ring degree %d", i, p.name, len(row), n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- execution ---
+
+// executor drains the admission queue. After quit it answers any remaining
+// queued jobs with shutting-down errors (forced-shutdown path) and exits.
+func (s *Server) executor() {
+	defer s.execWG.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			s.runJob(j)
+		case <-s.quit:
+			for {
+				select {
+				case j := <-s.jobs:
+					s.rejShutdown.Add(1)
+					j.respond <- jobResult{errf: &wire.ErrorFrame{
+						Code: wire.CodeShuttingDown, RequestID: j.reqID,
+						Message: "server shut down before the request ran"}}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runJob evaluates one admitted request, enforcing its deadline at the two
+// points the engine controls: before starting (queue expiry) and after
+// finishing (evaluation overrun). A homomorphic evaluation cannot be
+// preempted mid-circuit, so an overrunning result is discarded rather than
+// returned late.
+func (s *Server) runJob(j *job) {
+	if !time.Now().Before(j.deadline) {
+		s.rejDeadline.Add(1)
+		j.sess.errors.Add(1)
+		j.respond <- jobResult{errf: &wire.ErrorFrame{
+			Code: wire.CodeDeadlineExceeded, RequestID: j.reqID,
+			Message: fmt.Sprintf("deadline expired after %v in queue", time.Since(j.arrived).Round(time.Millisecond))}}
+		return
+	}
+	out, err := s.evaluate(j.sess, j.tensor)
+	switch {
+	case err != nil:
+		s.evalErrors.Add(1)
+		j.sess.errors.Add(1)
+		j.respond <- jobResult{errf: &wire.ErrorFrame{
+			Code: wire.CodeInternal, RequestID: j.reqID, Message: err.Error()}}
+	case !time.Now().Before(j.deadline):
+		s.rejDeadline.Add(1)
+		j.sess.errors.Add(1)
+		j.respond <- jobResult{errf: &wire.ErrorFrame{
+			Code: wire.CodeDeadlineExceeded, RequestID: j.reqID,
+			Message: fmt.Sprintf("evaluation finished %v past the deadline", time.Since(j.deadline).Round(time.Millisecond))}}
+	default:
+		d := time.Since(j.arrived)
+		s.completed.Add(1)
+		s.latency.record(d)
+		j.sess.latency.record(d)
+		j.respond <- jobResult{tensor: out}
+	}
+}
+
+// evaluate runs the compiled circuit on the session's backend, converting
+// kernel panics (the trusted-path failure mode for inconsistent data) into
+// errors: a hostile request must never take the server down.
+func (s *Server) evaluate(sess *session, in *htc.CipherTensor) (out *htc.CipherTensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("evaluation failed: %v", r)
+		}
+	}()
+	if s.execHook != nil {
+		s.execHook()
+	}
+	comp := s.cfg.Compiled
+	out = htc.ExecuteOpts(sess.backend, comp.Circuit, in, comp.Best.Policy,
+		comp.Options.Scales, htc.ExecOptions{Workers: s.cfg.Workers})
+	return out, nil
+}
+
+// htcPoly pairs a polynomial with its name for checkTensor diagnostics.
+type htcPoly struct {
+	p    *ring.Poly
+	name string
+}

@@ -1,0 +1,248 @@
+// Package wire defines the versioned binary framing protocol of the CHET
+// serving subsystem: the bytes a client and an inference server exchange in
+// the paper's deployment model (Figure 3). A connection carries a sequence
+// of length-prefixed frames; each frame has a fixed 12-byte header and a
+// typed payload encoded with the bounds-checked codecs in this package,
+// which reuse the ckks MarshalBinary/UnmarshalBinary formats for all
+// cryptographic material.
+//
+// Frame header (little-endian):
+//
+//	offset  size  field
+//	0       4     magic   0xC4E75EF1
+//	4       1     version (currently 1)
+//	5       1     type    (MsgType)
+//	6       2     flags   (reserved, must be zero)
+//	8       4     payload length in bytes
+//
+// Every decoder in this package is total: corrupted, truncated, or
+// adversarial bytes yield an error, never a panic, and oversized frames are
+// rejected from the header alone before any payload allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// FrameMagic begins every frame.
+	FrameMagic uint32 = 0xC4E75EF1
+	// Version is the protocol version this package speaks.
+	Version byte = 1
+	// HeaderSize is the fixed frame-header length in bytes.
+	HeaderSize = 12
+	// DefaultMaxFrame bounds a frame's payload when the caller does not
+	// choose a limit. Rotation-key sets dominate: at logN 16 a full CHET
+	// key set runs to hundreds of megabytes, so the default is generous.
+	DefaultMaxFrame = 1 << 30
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// The five frame types of the serving protocol.
+const (
+	// MsgSessionOpen (client → server): evaluation keys plus the compiled
+	// circuit fingerprint.
+	MsgSessionOpen MsgType = 1 + iota
+	// MsgSessionAccept (server → client): the session ID to quote on
+	// subsequent requests.
+	MsgSessionAccept
+	// MsgInferRequest (client → server): an encrypted input tensor.
+	MsgInferRequest
+	// MsgInferResponse (server → client): the encrypted prediction.
+	MsgInferResponse
+	// MsgError (server → client): a typed failure for one request or for
+	// the connection.
+	MsgError
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgSessionOpen:
+		return "session-open"
+	case MsgSessionAccept:
+		return "session-accept"
+	case MsgInferRequest:
+		return "infer-request"
+	case MsgInferResponse:
+		return "infer-response"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// Sentinel errors a frame reader can classify on.
+var (
+	// ErrBadFrame marks a malformed header (magic, version, flags, type).
+	ErrBadFrame = errors.New("wire: malformed frame")
+	// ErrFrameTooLarge marks a header whose payload exceeds the cap.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+)
+
+// WriteFrame writes one frame. It performs exactly two writes (header,
+// payload), so callers serializing access to w get atomic frames.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], FrameMagic)
+	hdr[4] = Version
+	hdr[5] = byte(t)
+	binary.LittleEndian.PutUint16(hdr[6:], 0)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting malformed headers and payloads
+// larger than maxFrame (0 selects DefaultMaxFrame). io.EOF is returned
+// verbatim when the stream ends cleanly between frames.
+func ReadFrame(r io.Reader, maxFrame int) (MsgType, []byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != FrameMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic 0x%08x", ErrBadFrame, m)
+	}
+	if v := hdr[4]; v != Version {
+		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, v)
+	}
+	t := MsgType(hdr[5])
+	if t < MsgSessionOpen || t > MsgError {
+		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, hdr[5])
+	}
+	if f := binary.LittleEndian.Uint16(hdr[6:]); f != 0 {
+		return 0, nil, fmt.Errorf("%w: nonzero reserved flags 0x%04x", ErrBadFrame, f)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	if int64(n) > int64(maxFrame) {
+		return 0, nil, fmt.Errorf("%w: payload %d > limit %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	return t, payload, nil
+}
+
+// --- bounds-checked payload codecs ---
+
+// enc is an append-only payload builder.
+type enc struct{ buf []byte }
+
+func (e *enc) u8(v byte)     { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *enc) i64(v int)     { e.u64(uint64(int64(v))) }
+func (e *enc) blob(b []byte) { e.u32(uint32(len(b))); e.buf = append(e.buf, b...) }
+
+// marshalInto appends m's binary form as a length-prefixed blob.
+func (e *enc) marshalInto(m interface{ MarshalBinary() ([]byte, error) }) error {
+	b, err := m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	e.blob(b)
+	return nil
+}
+
+// dec is a bounds-checked payload cursor: the first failure latches and
+// every subsequent read returns a zero value, so decoders can run straight
+// through and check the error once.
+type dec struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *dec) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: decode: %s at offset %d", msg, d.pos)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+1 > len(d.buf) {
+		d.fail("truncated u8")
+		return 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+4 > len(d.buf) {
+		d.fail("truncated u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.buf) {
+		d.fail("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *dec) i64() int { return int(int64(d.u64())) }
+
+// blob reads a length-prefixed byte section. The length is validated
+// against the remaining buffer before any allocation, so a lying prefix
+// cannot trigger a huge make.
+func (d *dec) blob() []byte {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.pos+n > len(d.buf) {
+		d.fail(fmt.Sprintf("blob length %d exceeds remaining %d bytes", n, len(d.buf)-d.pos))
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+func (d *dec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.pos != len(d.buf) {
+		return fmt.Errorf("wire: decode: %d trailing bytes", len(d.buf)-d.pos)
+	}
+	return nil
+}
