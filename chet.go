@@ -132,13 +132,44 @@ func NewSession(comp *Compiled, prng ring.PRNG) (*Session, error) {
 	return &Session{
 		Compiled: comp,
 		Backend:  b,
-		plan:     htc.PlanFor(comp.Circuit, comp.Best.Policy),
+		plan:     comp.Plan(),
 	}, nil
 }
 
 // Encrypt encodes and encrypts an input image under the compiled layout.
 func (s *Session) Encrypt(img *Tensor) *CipherTensor {
 	return htc.EncryptTensor(s.Backend, img, s.plan, s.Compiled.Options.Scales)
+}
+
+// EncryptBatch encrypts up to Options.Batch images into the slot lanes of
+// one cipher tensor. A single Infer then serves the whole batch.
+func (s *Session) EncryptBatch(imgs []*Tensor) *CipherTensor {
+	return htc.EncryptTensorBatch(s.Backend, imgs, s.plan, s.Compiled.Options.Scales)
+}
+
+// DecryptBatch recovers the first n lane predictions of a batched result,
+// flattening 1x1xK predictions exactly as Decrypt does.
+func (s *Session) DecryptBatch(out *CipherTensor, n int) []*Tensor {
+	ts := htc.DecryptTensorBatch(s.Backend, out, n)
+	for i, t := range ts {
+		if t.Rank() == 3 && t.Shape[0] == 1 && t.Shape[1] == 1 {
+			ts[i] = t.Reshape(t.Size())
+		}
+	}
+	return ts
+}
+
+// RunBatch is the end-to-end batched path: encrypt all images into lanes,
+// infer once, decrypt each lane. Requires Options.Batch >= len(imgs).
+func (s *Session) RunBatch(imgs []*Tensor) []*Tensor {
+	return s.DecryptBatch(s.Infer(s.EncryptBatch(imgs)), len(imgs))
+}
+
+// SelectBatchCapacity finds the largest power-of-two batch (up to maxBatch)
+// the circuit supports without growing the ring beyond its unbatched
+// parameters.
+func SelectBatchCapacity(c *Circuit, opts Options, maxBatch int) (int, error) {
+	return core.SelectBatchCapacity(c, opts, maxBatch)
 }
 
 // Infer executes the optimized homomorphic tensor circuit on an encrypted
@@ -174,6 +205,10 @@ func Describe(comp *Compiled) string {
 	}
 	s += fmt.Sprintf("\n  rotation keys: %d (executing %d rotations)\n",
 		len(b.Rotations), b.RotationOps)
+	if b.Batch > 1 {
+		s += fmt.Sprintf("  batch capacity: %d images/ciphertext (%.1f ms each amortized)\n",
+			b.Batch, b.CostPerImage/1000)
+	}
 	s += fmt.Sprintf("  estimated cost: %.1f ms\n", b.EstimatedCost/1000)
 	for _, r := range comp.Trace {
 		marker := " "

@@ -17,13 +17,16 @@ go test ./...
 echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/hisa/... ./internal/htc/... ./internal/ckks/...
 
-echo "== go test -race (serving subsystem: wire protocol + server engine)"
-go test -race ./internal/serve/... ./internal/wire/...
+echo "== go test -race (serving subsystem: wire protocol + batch coalescer + server engine)"
+go test -race ./internal/serve/... ./internal/wire/... ./internal/batch/...
 
 echo "== fuzz smoke (wire decoders are total over adversarial bytes)"
 go test -fuzz=FuzzWireFrame -fuzztime=5s ./internal/wire
 
 echo "== bench smoke (lazy-reduction NTT kernels compile and run)"
 go test -run=NONE -bench=NTT -benchtime=1x ./internal/ring
+
+echo "== bench smoke (served batching throughput sweeps a tiny instance)"
+go test -run=TestBatchingBenchSmoke ./internal/bench
 
 echo "CI OK"

@@ -50,20 +50,29 @@ type benchConfig struct {
 	rotPrimes  int
 	rotAmounts int
 	benchOut   string
+	// batchSizes and batchMinLogN/batchMaxLogN size the served-batching
+	// throughput experiment; batchOut is its JSON path ("" disables).
+	batchSizes                 []int
+	batchMinLogN, batchMaxLogN int
+	batchOut                   string
 }
 
 func defaultConfig() benchConfig {
 	small, _ := nn.ByName("LeNet-5-small")
 	return benchConfig{
-		models:      bench.SmallModels(),
-		fig6Models:  []*nn.Model{nn.LeNetTiny(), small},
-		fig6LogN:    12,
-		table1Sizes: [][2]int{{11, 2}, {11, 4}, {11, 8}, {12, 4}, {13, 4}},
-		workers:     runtime.GOMAXPROCS(0),
-		rotLogN:     12,
-		rotPrimes:   5,
-		rotAmounts:  8,
-		benchOut:    "BENCH_rotations.json",
+		models:       bench.SmallModels(),
+		fig6Models:   []*nn.Model{nn.LeNetTiny(), small},
+		fig6LogN:     12,
+		table1Sizes:  [][2]int{{11, 2}, {11, 4}, {11, 8}, {12, 4}, {13, 4}},
+		workers:      runtime.GOMAXPROCS(0),
+		rotLogN:      12,
+		rotPrimes:    5,
+		rotAmounts:   8,
+		benchOut:     "BENCH_rotations.json",
+		batchSizes:   []int{1, 2, 4, 8, 16},
+		batchMinLogN: 11,
+		batchMaxLogN: 13,
+		batchOut:     "BENCH_batching.json",
 	}
 }
 
@@ -169,6 +178,26 @@ func experiments(cfg benchConfig) []experiment {
 			fmt.Fprintf(w, "wrote %s\n", cfg.benchOut)
 			return nil
 		}},
+		{"batching", func(w io.Writer) error {
+			res, err := bench.BatchingBench(nn.LeNetTiny(), cfg.batchSizes, cfg.batchMinLogN, cfg.batchMaxLogN)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderBatching(res))
+			fmt.Fprintln(w, "one homomorphic evaluation serves the whole batch; lanes demultiplex for free (see DESIGN.md)")
+			if cfg.batchOut == "" {
+				return nil
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(cfg.batchOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", cfg.batchOut)
+			return nil
+		}},
 	}
 }
 
@@ -198,7 +227,7 @@ func runExperiments(w io.Writer, want string, cfg benchConfig) error {
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, or all")
+		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, batching, or all")
 	full := flag.Bool("full", false,
 		"use all five evaluation networks (slower analysis sweeps; fig6 always uses the small set)")
 	scaleSearch := flag.Bool("scalesearch", false,
@@ -207,12 +236,15 @@ func main() {
 		"worker-pool size for the parallel experiment (default: one per CPU)")
 	benchOut := flag.String("benchout", "BENCH_rotations.json",
 		"output path for the rotations experiment JSON (empty disables)")
+	batchOut := flag.String("batchout", "BENCH_batching.json",
+		"output path for the batching experiment JSON (empty disables)")
 	flag.Parse()
 
 	cfg := defaultConfig()
 	cfg.scaleSearch = *scaleSearch
 	cfg.workers = *workers
 	cfg.benchOut = *benchOut
+	cfg.batchOut = *batchOut
 	if *full {
 		cfg.models = bench.EvalModels()
 	}

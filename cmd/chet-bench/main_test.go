@@ -11,15 +11,19 @@ import (
 // so the whole dispatch table can be smoke-tested.
 func tinyConfig() benchConfig {
 	return benchConfig{
-		models:      []*nn.Model{nn.LeNetTiny()},
-		fig6Models:  []*nn.Model{nn.LeNetTiny()},
-		fig6LogN:    11,
-		table1Sizes: [][2]int{{11, 2}},
-		workers:     2,
-		rotLogN:     11,
-		rotPrimes:   4,
-		rotAmounts:  8,
-		benchOut:    "", // keep the smoke test from writing files
+		models:       []*nn.Model{nn.LeNetTiny()},
+		fig6Models:   []*nn.Model{nn.LeNetTiny()},
+		fig6LogN:     11,
+		table1Sizes:  [][2]int{{11, 2}},
+		workers:      2,
+		rotLogN:      11,
+		rotPrimes:    4,
+		rotAmounts:   8,
+		benchOut:     "", // keep the smoke test from writing files
+		batchSizes:   []int{1, 2},
+		batchMinLogN: 11,
+		batchMaxLogN: 12,
+		batchOut:     "",
 	}
 }
 
@@ -27,7 +31,7 @@ func tinyConfig() benchConfig {
 // and requires non-empty rendered output.
 func TestRunExperimentsSmoke(t *testing.T) {
 	cfg := tinyConfig()
-	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true}
+	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "batching": true}
 	for _, e := range experiments(cfg) {
 		t.Run(e.name, func(t *testing.T) {
 			if testing.Short() && slow[e.name] {

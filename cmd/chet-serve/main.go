@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"syscall"
 	"time"
 
@@ -42,6 +43,8 @@ type serveConfig struct {
 	maxSessions    int
 	queueDepth     int
 	requestTimeout time.Duration
+	batch          int
+	batchWait      time.Duration
 }
 
 // buildServer compiles the model and constructs the engine.
@@ -57,13 +60,24 @@ func buildServer(w io.Writer, cfg serveConfig) (*serve.Server, *chet.Compiled, e
 		opts.MinLogN = 11
 		opts.MaxLogN = 13
 	}
+	if cfg.batch == 0 {
+		// Auto-size: the largest power-of-two batch (up to 16) that fits the
+		// unbatched ring, so batching never costs parameter growth.
+		b, err := chet.SelectBatchCapacity(m.Circuit, opts, 16)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.batch = b
+		fmt.Fprintf(w, "chet-serve: auto-selected batch capacity %d\n", b)
+	}
+	opts.Batch = cfg.batch
 	start := time.Now()
 	comp, err := chet.Compile(m.Circuit, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	fmt.Fprintf(w, "chet-serve: compiled %s in %v (N=2^%d, %d rotation keys per session)\n",
-		m.Name, time.Since(start).Round(time.Millisecond), comp.Best.LogN, len(comp.Best.Rotations))
+	fmt.Fprintf(w, "chet-serve: compiled %s in %v (N=2^%d, %d rotation keys per session, batch capacity %d)\n",
+		m.Name, time.Since(start).Round(time.Millisecond), comp.Best.LogN, len(comp.Best.Rotations), comp.Best.Batch)
 	s, err := serve.New(serve.Config{
 		Compiled:       comp,
 		MaxSessions:    cfg.maxSessions,
@@ -71,6 +85,8 @@ func buildServer(w io.Writer, cfg serveConfig) (*serve.Server, *chet.Compiled, e
 		RequestTimeout: cfg.requestTimeout,
 		Workers:        cfg.workers,
 		Parallel:       cfg.parallel,
+		MaxBatch:       cfg.batch,
+		BatchWait:      cfg.batchWait,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
@@ -125,6 +141,21 @@ func reportMetrics(w io.Writer, m serve.ServerMetrics) {
 		fmt.Fprintf(w, "  latency:  p50 %v, p90 %v, p99 %v\n",
 			m.Latency.P50.Round(time.Millisecond), m.Latency.P90.Round(time.Millisecond),
 			m.Latency.P99.Round(time.Millisecond))
+		fmt.Fprintf(w, "  queue-wait: p50 %v, p90 %v, p99 %v\n",
+			m.QueueWait.P50.Round(time.Millisecond), m.QueueWait.P90.Round(time.Millisecond),
+			m.QueueWait.P99.Round(time.Millisecond))
+		fmt.Fprintf(w, "  evaluation: %d executions, p50 %v, p90 %v, p99 %v\n",
+			m.Evaluation.Count,
+			m.Evaluation.P50.Round(time.Millisecond), m.Evaluation.P90.Round(time.Millisecond),
+			m.Evaluation.P99.Round(time.Millisecond))
+	}
+	sizes := make([]int, 0, len(m.BatchSizes))
+	for size := range m.BatchSizes {
+		sizes = append(sizes, size)
+	}
+	sort.Ints(sizes)
+	for _, size := range sizes {
+		fmt.Fprintf(w, "  batches of %d: %d evaluations\n", size, m.BatchSizes[size])
 	}
 	for _, sm := range m.Sessions {
 		fmt.Fprintf(w, "  session %d: %d requests, %d errors, %d HISA ops (%d rotations, %d ct-ct muls)\n",
@@ -143,6 +174,8 @@ func main() {
 	flag.IntVar(&cfg.maxSessions, "max-sessions", 64, "session-registry cap (LRU eviction beyond it)")
 	flag.IntVar(&cfg.queueDepth, "queue-depth", 64, "admission-queue depth (requests beyond it are rejected)")
 	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 60*time.Second, "default per-request deadline")
+	flag.IntVar(&cfg.batch, "batch", 1, "batch capacity: coalesce up to this many same-session requests per evaluation (1 disables, 0 auto-selects up to 16)")
+	flag.DurationVar(&cfg.batchWait, "batch-wait", 20*time.Millisecond, "how long a partial batch waits for more requests before evaluating")
 	flag.Parse()
 
 	stop := make(chan os.Signal, 1)

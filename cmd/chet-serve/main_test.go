@@ -26,6 +26,7 @@ func TestServeRoundTrip(t *testing.T) {
 		maxSessions:    4,
 		queueDepth:     4,
 		requestTimeout: time.Minute,
+		batch:          1, // the flag default; 0 would auto-select a batched compile
 	}
 	var out strings.Builder
 	ready := make(chan net.Addr, 1)

@@ -1,0 +1,156 @@
+// Package batch implements a request-coalescing scheduler: items arriving
+// for the same key (in serving, the same session — same evaluation keys and
+// circuit fingerprint) are held briefly and flushed together, so one
+// homomorphic evaluation can amortize across a whole batch of packed
+// requests. A queue flushes when it reaches the configured batch size or
+// when its oldest item has waited the maximum delay, whichever comes first;
+// Close drains every partial batch.
+package batch
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Add after Close.
+var ErrClosed = errors.New("batch: coalescer closed")
+
+// Config parameterizes a Coalescer.
+type Config struct {
+	// MaxBatch flushes a queue as soon as it holds this many items
+	// (minimum 1; 1 degenerates to immediate per-item flushes).
+	MaxBatch int
+	// MaxWait bounds how long the oldest item of a partial batch waits
+	// before the queue is flushed anyway. <= 0 flushes every Add
+	// immediately (latency-first).
+	MaxWait time.Duration
+}
+
+// Coalescer groups items by key and delivers them in batches to the flush
+// callback. It is safe for concurrent use. The flush callback runs on the
+// goroutine that triggered the flush (an Add that filled the batch, the
+// deadline timer, or Close) and receives ownership of the batch slice.
+type Coalescer[K comparable, T any] struct {
+	cfg   Config
+	flush func(key K, items []T)
+
+	mu     sync.Mutex
+	queues map[K]*queue[T]
+	gen    uint64
+	closed bool
+}
+
+// queue is one key's pending batch. gen distinguishes the queue instance a
+// timer was armed for: a flush bumps nothing — it removes the queue — so a
+// stale timer firing later finds either no queue or a younger generation and
+// does nothing.
+type queue[T any] struct {
+	items []T
+	gen   uint64
+	timer *time.Timer
+}
+
+// New creates a Coalescer delivering batches to flush.
+func New[K comparable, T any](cfg Config, flush func(key K, items []T)) *Coalescer[K, T] {
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	if flush == nil {
+		panic("batch: nil flush callback")
+	}
+	return &Coalescer[K, T]{cfg: cfg, flush: flush, queues: map[K]*queue[T]{}}
+}
+
+// Add enqueues one item. If the item completes a batch (or batching is
+// effectively disabled), the flush callback runs synchronously before Add
+// returns; otherwise the item waits for more arrivals or the deadline.
+func (c *Coalescer[K, T]) Add(key K, item T) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	q, ok := c.queues[key]
+	if !ok {
+		q = &queue[T]{gen: c.nextGen()}
+		c.queues[key] = q
+	}
+	q.items = append(q.items, item)
+
+	if len(q.items) >= c.cfg.MaxBatch || c.cfg.MaxWait <= 0 {
+		items := c.takeLocked(key, q)
+		c.mu.Unlock()
+		c.flush(key, items)
+		return nil
+	}
+	if q.timer == nil {
+		gen := q.gen
+		q.timer = time.AfterFunc(c.cfg.MaxWait, func() { c.fire(key, gen) })
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Pending returns the number of items currently waiting (all keys).
+func (c *Coalescer[K, T]) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, q := range c.queues {
+		n += len(q.items)
+	}
+	return n
+}
+
+// Close flushes every partial batch and rejects further Adds. It is
+// idempotent; flushes run synchronously on the calling goroutine.
+func (c *Coalescer[K, T]) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	type pending struct {
+		key   K
+		items []T
+	}
+	var drained []pending
+	for key, q := range c.queues {
+		drained = append(drained, pending{key, c.takeLocked(key, q)})
+	}
+	c.mu.Unlock()
+	for _, p := range drained {
+		c.flush(p.key, p.items)
+	}
+}
+
+// fire is the deadline-timer body: flush the queue the timer was armed for,
+// unless that queue has already been flushed (and possibly replaced).
+func (c *Coalescer[K, T]) fire(key K, gen uint64) {
+	c.mu.Lock()
+	q, ok := c.queues[key]
+	if !ok || q.gen != gen || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	items := c.takeLocked(key, q)
+	c.mu.Unlock()
+	c.flush(key, items)
+}
+
+// takeLocked removes the queue and returns its items; the caller holds mu.
+func (c *Coalescer[K, T]) takeLocked(key K, q *queue[T]) []T {
+	if q.timer != nil {
+		q.timer.Stop()
+	}
+	delete(c.queues, key)
+	return q.items
+}
+
+// nextGen issues a process-unique queue generation; the caller holds mu.
+func (c *Coalescer[K, T]) nextGen() uint64 {
+	c.gen++
+	return c.gen
+}

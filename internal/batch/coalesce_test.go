@@ -1,0 +1,204 @@
+package batch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collector records flushed batches thread-safely.
+type collector struct {
+	mu      sync.Mutex
+	batches [][]int
+	keys    []string
+	done    chan struct{} // closed (once) when total items reach want
+	want    int
+	got     int
+}
+
+func newCollector(want int) *collector {
+	return &collector{done: make(chan struct{}), want: want}
+}
+
+func (c *collector) flush(key string, items []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batches = append(c.batches, items)
+	c.keys = append(c.keys, key)
+	c.got += len(items)
+	if c.got == c.want {
+		close(c.done)
+	}
+}
+
+func (c *collector) wait(t *testing.T) {
+	t.Helper()
+	select {
+	case <-c.done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("timed out waiting for %d items (got %d)", c.want, c.got)
+	}
+}
+
+func TestFlushOnSize(t *testing.T) {
+	col := newCollector(8)
+	// MaxWait is long enough that only the size trigger can flush.
+	c := New[string, int](Config{MaxBatch: 4, MaxWait: time.Hour}, col.flush)
+	for i := 0; i < 8; i++ {
+		if err := c.Add("s", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col.wait(t)
+	if len(col.batches) != 2 || len(col.batches[0]) != 4 || len(col.batches[1]) != 4 {
+		t.Fatalf("want two batches of 4, got %v", col.batches)
+	}
+	// Items arrive in order within and across batches (single producer).
+	for i, want := 0, 0; i < len(col.batches); i++ {
+		for _, v := range col.batches[i] {
+			if v != want {
+				t.Fatalf("out-of-order item %d, want %d", v, want)
+			}
+			want++
+		}
+	}
+	if n := c.Pending(); n != 0 {
+		t.Fatalf("pending %d after full flushes", n)
+	}
+}
+
+func TestFlushOnDeadline(t *testing.T) {
+	col := newCollector(3)
+	c := New[string, int](Config{MaxBatch: 100, MaxWait: 30 * time.Millisecond}, col.flush)
+	for i := 0; i < 3; i++ {
+		if err := c.Add("s", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	col.wait(t)
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("deadline flush took %v", e)
+	}
+	if len(col.batches) != 1 || len(col.batches[0]) != 3 {
+		t.Fatalf("want one partial batch of 3, got %v", col.batches)
+	}
+}
+
+func TestCloseDrainsPartialBatch(t *testing.T) {
+	col := newCollector(5)
+	c := New[string, int](Config{MaxBatch: 100, MaxWait: time.Hour}, col.flush)
+	for i := 0; i < 3; i++ {
+		_ = c.Add("a", i)
+	}
+	for i := 3; i < 5; i++ {
+		_ = c.Add("b", i)
+	}
+	c.Close()
+	col.wait(t)
+	if len(col.batches) != 2 {
+		t.Fatalf("want two drained batches, got %v", col.batches)
+	}
+	if err := c.Add("a", 99); err != ErrClosed {
+		t.Fatalf("Add after Close: err=%v, want ErrClosed", err)
+	}
+	c.Close() // idempotent
+}
+
+func TestKeysDoNotCoalesceAcross(t *testing.T) {
+	col := newCollector(4)
+	c := New[string, int](Config{MaxBatch: 2, MaxWait: time.Hour}, col.flush)
+	_ = c.Add("a", 1)
+	_ = c.Add("b", 2)
+	_ = c.Add("a", 3)
+	_ = c.Add("b", 4)
+	col.wait(t)
+	for i, b := range col.batches {
+		if len(b) != 2 {
+			t.Fatalf("batch %d for key %q has %d items, want 2", i, col.keys[i], len(b))
+		}
+	}
+}
+
+// TestStaleTimerDoesNotDoubleFlush arms a deadline, fills the batch (flush
+// removes the queue), then immediately starts a new queue under the same
+// key: the old timer must not flush the new queue early.
+func TestStaleTimerDoesNotDoubleFlush(t *testing.T) {
+	col := newCollector(3)
+	c := New[string, int](Config{MaxBatch: 2, MaxWait: 50 * time.Millisecond}, col.flush)
+	_ = c.Add("s", 1) // arms timer
+	_ = c.Add("s", 2) // size flush; timer stopped/stale
+	_ = c.Add("s", 3) // new queue, new generation
+	col.wait(t)
+	if len(col.batches) != 2 {
+		t.Fatalf("want 2 batches, got %v", col.batches)
+	}
+	if len(col.batches[0]) != 2 || len(col.batches[1]) != 1 {
+		t.Fatalf("want [2 1] split, got %v", col.batches)
+	}
+}
+
+func TestZeroWaitFlushesImmediately(t *testing.T) {
+	var flushes atomic.Int64
+	c := New[string, int](Config{MaxBatch: 8, MaxWait: 0}, func(string, []int) {
+		flushes.Add(1)
+	})
+	for i := 0; i < 5; i++ {
+		_ = c.Add("s", i)
+	}
+	if flushes.Load() != 5 {
+		t.Fatalf("want 5 immediate flushes, got %d", flushes.Load())
+	}
+}
+
+// TestConcurrentStress hammers the coalescer from many producers across
+// several keys with a live deadline timer, then closes it mid-traffic. Run
+// under -race (ci.sh does); every item must be delivered exactly once.
+func TestConcurrentStress(t *testing.T) {
+	const producers, perProducer, keys = 8, 200, 3
+	total := producers * perProducer
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	delivered := 0
+	done := make(chan struct{})
+	c := New[int, int](Config{MaxBatch: 4, MaxWait: time.Millisecond}, func(_ int, items []int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, v := range items {
+			seen[v]++
+			delivered++
+		}
+		if delivered == total {
+			close(done)
+		}
+	})
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				if err := c.Add(v%keys, v); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	c.Close() // drains whatever the timers haven't flushed yet
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("delivered %d of %d items", delivered, total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d delivered %d times", v, n)
+		}
+	}
+}

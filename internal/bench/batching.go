@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"chet/internal/core"
+	"chet/internal/nn"
+	"chet/internal/ring"
+	"chet/internal/serve"
+	"chet/internal/tensor"
+)
+
+// BatchingRow records served throughput at one batch capacity: the model is
+// recompiled with Options.Batch = Batch, a loopback server is started, and a
+// client-packed InferBatch round trip carrying Batch images is timed.
+type BatchingRow struct {
+	Batch int `json:"batch"`
+	LogN  int `json:"log_n"`
+	// SecondsPerRequest is the best-of-reps wall time of one served batched
+	// round trip (encode, ship, evaluate once, ship back).
+	SecondsPerRequest float64 `json:"seconds_per_request"`
+	ImagesPerSec      float64 `json:"images_per_sec"`
+	// Speedup is ImagesPerSec relative to the Batch=1 row.
+	Speedup float64 `json:"speedup_vs_unbatched"`
+}
+
+// BatchingResult is the machine-readable output of the batching experiment
+// (BENCH_batching.json).
+type BatchingResult struct {
+	Model            string        `json:"model"`
+	MinLogN, MaxLogN int           `json:"-"`
+	Rows             []BatchingRow `json:"rows"`
+}
+
+// BatchingBench measures served images/sec across batch capacities on the
+// real RNS-CKKS backend over a loopback TCP server. Batching packs B images
+// into the slot lanes of one ciphertext, so the homomorphic evaluation —
+// which dominates the round trip — is paid once per batch instead of once
+// per image; throughput should grow near-linearly in B until the lane
+// footprint forces a larger ring. batches must start with 1 (the speedup
+// baseline).
+func BatchingBench(model *nn.Model, batches []int, minLogN, maxLogN int) (BatchingResult, error) {
+	if len(batches) == 0 || batches[0] != 1 {
+		return BatchingResult{}, fmt.Errorf("bench: batching experiment needs batches starting at 1, got %v", batches)
+	}
+	res := BatchingResult{Model: model.Name, MinLogN: minLogN, MaxLogN: maxLogN}
+	for _, B := range batches {
+		comp, err := core.Compile(model.Circuit, core.Options{
+			Scheme:       core.SchemeRNS,
+			SecurityBits: -1,
+			MinLogN:      minLogN,
+			MaxLogN:      maxLogN,
+			Batch:        B,
+		})
+		if err != nil {
+			return res, fmt.Errorf("bench: compiling %s with batch %d: %w", model.Name, B, err)
+		}
+		sec, err := timeServedBatch(comp, model.InputShape, B)
+		if err != nil {
+			return res, fmt.Errorf("bench: serving %s with batch %d: %w", model.Name, B, err)
+		}
+		row := BatchingRow{
+			Batch:             B,
+			LogN:              comp.Best.LogN,
+			SecondsPerRequest: sec,
+			ImagesPerSec:      float64(B) / sec,
+		}
+		if len(res.Rows) == 0 {
+			row.Speedup = 1
+		} else {
+			row.Speedup = row.ImagesPerSec / res.Rows[0].ImagesPerSec
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// timeServedBatch runs one compiled configuration end to end: loopback
+// server, session handshake, then the best-of-3 wall time of a batched
+// inference round trip (client-side encryption and decryption excluded —
+// they are per-image work the server never sees).
+func timeServedBatch(comp *core.Compiled, inputShape []int, B int) (float64, error) {
+	s, err := serve.New(serve.Config{Compiled: comp, MaxBatch: B})
+	if err != nil {
+		return 0, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	go s.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	c, err := serve.Dial(ln.Addr().String(), serve.ClientConfig{Compiled: comp, PRNG: ring.NewTestPRNG(41)})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+
+	imgs := make([]*tensor.Tensor, B)
+	for i := range imgs {
+		imgs[i] = nn.SyntheticImage(inputShape, uint64(60+i))
+	}
+	in := c.EncryptBatch(imgs)
+
+	var rtErr error
+	ns := timeBatch(func() {
+		if _, err := c.InferBatch(in, B); err != nil && rtErr == nil {
+			rtErr = err
+		}
+	})
+	if rtErr != nil {
+		return 0, rtErr
+	}
+	return ns / 1e9, nil
+}
+
+// RenderBatching formats the throughput sweep.
+func RenderBatching(r BatchingResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "served batched inference: %s (loopback TCP, real RNS-CKKS)\n", r.Model)
+	fmt.Fprintf(&sb, "%5s %6s %12s %12s %9s\n", "batch", "N", "s/request", "images/sec", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%5d %6d %12.3f %12.2f %8.2fx\n",
+			row.Batch, 1<<uint(row.LogN), row.SecondsPerRequest, row.ImagesPerSec, row.Speedup)
+	}
+	return sb.String()
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"chet/internal/nn"
+)
+
+// TestBatchingBenchSmoke runs the served-batching sweep on its smallest
+// meaningful instance: real RNS-CKKS over loopback TCP at batch 1 and 2.
+// Absolute throughput is machine-dependent; the smoke checks structure and
+// that packing two images does not cost two evaluations.
+func TestBatchingBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real lattice execution over loopback; run without -short")
+	}
+	res, err := BatchingBench(nn.LeNetTiny(), []int{1, 2}, 11, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0].Speedup != 1 {
+		t.Fatalf("baseline speedup = %v, want 1", res.Rows[0].Speedup)
+	}
+	for _, r := range res.Rows {
+		if r.SecondsPerRequest <= 0 || r.ImagesPerSec <= 0 {
+			t.Fatalf("implausible row %+v", r)
+		}
+	}
+	// One evaluation serves both lanes, so a request carrying two images must
+	// cost well under two single-image requests (generous bound for CI noise).
+	if d := res.Rows[1].SecondsPerRequest / res.Rows[0].SecondsPerRequest; d > 1.7 {
+		t.Fatalf("batch-2 request took %.2fx a batch-1 request; batching is not amortizing", d)
+	}
+	if s := RenderBatching(res); !strings.Contains(s, "images/sec") {
+		t.Fatalf("render missing header:\n%s", s)
+	}
+}
+
+// TestBatchingBenchRejectsBadBaseline pins the batches contract: the sweep
+// must start at 1 so speedups have a denominator.
+func TestBatchingBenchRejectsBadBaseline(t *testing.T) {
+	if _, err := BatchingBench(nn.LeNetTiny(), []int{2, 4}, 11, 12); err == nil {
+		t.Fatal("expected an error for a sweep not starting at batch 1")
+	}
+}

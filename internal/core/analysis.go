@@ -50,6 +50,8 @@ type Analysis struct {
 	// costs for the makespan computation when threads > 1.
 	threads int
 	opCosts []float64
+	// batch amortizes the total cost across packed images (>= 1).
+	batch int
 }
 
 // costTotals fixes the overall modulus so per-op costs can use the current
@@ -83,6 +85,9 @@ type AnalysisConfig struct {
 	// CostThreads is T in the T-thread cost model (see LPTMakespan);
 	// values <= 1 keep the serial sum-of-costs estimate.
 	CostThreads int
+	// Batch is the number of images packed per evaluation; CostPerImage
+	// divides the total estimate by it. Values <= 1 mean unbatched.
+	Batch int
 }
 
 // NewAnalysis creates an analysis interpretation of the HISA.
@@ -113,6 +118,10 @@ func NewAnalysis(cfg AnalysisConfig) *Analysis {
 			a.model = DefaultCostModel(cfg.Scheme)
 		}
 		a.threads = cfg.CostThreads
+	}
+	a.batch = cfg.Batch
+	if a.batch < 1 {
+		a.batch = 1
 	}
 	return a
 }
@@ -386,4 +395,11 @@ func (a *Analysis) Cost() float64 {
 		return LPTMakespan(a.opCosts, a.threads)
 	}
 	return a.totalCost
+}
+
+// CostPerImage amortizes Cost over the batch lanes: the op sequence of a
+// batched evaluation is identical to the unbatched one (the batch axis
+// rides along in the slot strides), so per-image cost is total/B.
+func (a *Analysis) CostPerImage() float64 {
+	return a.Cost() / float64(a.batch)
 }

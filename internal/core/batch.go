@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+
+	"chet/internal/circuit"
+	"chet/internal/htc"
+)
+
+// Plan returns the physical layout plan the compiled circuit executes under,
+// including the batch capacity baked into the parameters. Every consumer of
+// a Compiled (local sessions, the serving client and server) must derive its
+// plan here so batched geometry agrees on both sides of the wire.
+func (c *Compiled) Plan() htc.Plan {
+	plan := htc.PlanFor(c.Circuit, c.Best.Policy)
+	plan.Batch = c.Best.Batch
+	return plan
+}
+
+// packRotations returns the rotation-key amounts (normalized to left
+// rotations) that htc.PackBatch needs to coalesce batch single-lane tensors:
+// tensor i is rotated right by i*laneSlots, and a right rotation by x is a
+// left rotation by slots-x.
+func packRotations(batch, slots int) []int {
+	if batch <= 1 {
+		return nil
+	}
+	laneSlots := slots / nextPow2(batch)
+	out := make([]int, 0, batch-1)
+	for i := 1; i < batch; i++ {
+		if k := (slots - i*laneSlots) % slots; k != 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// mergeRotations unions two sorted-or-unsorted rotation lists into one
+// sorted, deduplicated key set.
+func mergeRotations(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[int]bool, len(a)+len(b))
+	out := make([]int, 0, len(a)+len(b))
+	for _, k := range append(append([]int{}, a...), b...) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SelectBatchCapacity finds the largest power-of-two batch size <= maxBatch
+// that compiles without growing the ring degree beyond the unbatched
+// choice: batching is free amortization only while the per-image footprint
+// still fits a lane of the same ring, so the search doubles B and stops at
+// the first capacity that fails to compile or forces a larger N.
+func SelectBatchCapacity(c *circuit.Circuit, opts Options, maxBatch int) (int, error) {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	opts.Batch = 1
+	base, err := Compile(c, opts)
+	if err != nil {
+		return 0, err
+	}
+	best := 1
+	for b := 2; b <= maxBatch; b *= 2 {
+		opts.Batch = b
+		comp, err := Compile(c, opts)
+		if err != nil || comp.Best.LogN > base.Best.LogN {
+			break
+		}
+		best = b
+	}
+	return best, nil
+}

@@ -41,6 +41,14 @@ type Options struct {
 	// the max across threads). 0 or 1 reproduces the serial sum-of-costs
 	// estimate exactly, so existing layout decisions are unchanged.
 	CostThreads int
+	// Batch packs this many images into the slot vector's batch lanes
+	// (nGraph-HE2-style batching): each image occupies a lane of
+	// slots/nextPow2(Batch) slots, one evaluation serves the whole batch,
+	// and CostPerImage amortizes the estimate by Batch. The layout search
+	// only admits ring degrees whose lanes fit the per-image footprint, and
+	// the rotation-key set grows by the Batch-1 lane-packing rotations the
+	// serving layer uses to coalesce requests. 0 or 1 means unbatched.
+	Batch int
 }
 
 func (o *Options) fillDefaults() {
@@ -61,6 +69,9 @@ func (o *Options) fillDefaults() {
 	}
 	if len(o.Policies) == 0 {
 		o.Policies = append([]htc.LayoutPolicy(nil), htc.AllPolicies...)
+	}
+	if o.Batch < 1 {
+		o.Batch = 1
 	}
 	if o.Scales == (htc.Scales{}) {
 		// Conservative defaults near the paper's 2^40 search start; the
@@ -88,6 +99,12 @@ type PolicyResult struct {
 
 	// EstimatedCost is the cost-model latency estimate (microseconds).
 	EstimatedCost float64
+
+	// Batch is the number of images packed per evaluation (>= 1) and
+	// CostPerImage the amortized estimate EstimatedCost / Batch — the
+	// figure of merit for throughput-oriented serving.
+	Batch        int
+	CostPerImage float64
 }
 
 // Compiled is the result of compiling a tensor circuit: the optimized
@@ -138,13 +155,14 @@ func Compile(c *circuit.Circuit, opts Options) (*Compiled, error) {
 // runAnalysis executes the circuit under an analysis interpretation,
 // converting kernel panics (layout does not fit, modulus exhausted) into
 // errors so the parameter search can move to the next ring degree.
-func runAnalysis(c *circuit.Circuit, policy htc.LayoutPolicy, a *Analysis, sc htc.Scales) (err error) {
+func runAnalysis(c *circuit.Circuit, policy htc.LayoutPolicy, batch int, a *Analysis, sc htc.Scales) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("analysis aborted: %v", r)
 		}
 	}()
 	plan := htc.PlanFor(c, policy)
+	plan.Batch = batch
 	in := c.Input.OutShape
 	// Encrypting an all-zero image is enough: analysis facts are data-
 	// independent.
@@ -173,7 +191,7 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 			MagMarginBits: opts.MagMarginBits,
 			RotKey:        rotKey,
 		})
-		if err := runAnalysis(c, policy, params, opts.Scales); err != nil {
+		if err := runAnalysis(c, policy, opts.Batch, params, opts.Scales); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -184,8 +202,9 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 			Policy:      policy,
 			LogN:        logN,
 			LogQ:        math.Ceil(params.PeakLogQ()),
-			Rotations:   params.Rotations(),
+			Rotations:   mergeRotations(params.Rotations(), packRotations(opts.Batch, slots)),
 			RotationOps: params.RotationOps(),
+			Batch:       opts.Batch,
 		}
 
 		logQP := res.LogQ
@@ -222,11 +241,13 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 			CostPrimes:    costPrimes,
 			Model:         opts.CostModel,
 			CostThreads:   opts.CostThreads,
+			Batch:         opts.Batch,
 		})
-		if err := runAnalysis(c, policy, cost, opts.Scales); err != nil {
+		if err := runAnalysis(c, policy, opts.Batch, cost, opts.Scales); err != nil {
 			return PolicyResult{}, err
 		}
 		res.EstimatedCost = cost.Cost()
+		res.CostPerImage = cost.CostPerImage()
 		return res, nil
 	}
 	if firstErr != nil {

@@ -12,7 +12,7 @@ import (
 // fpVersion tags the canonical encoding below; bump it whenever the byte
 // layout of the digest changes so old and new binaries never agree by
 // accident.
-const fpVersion = "chet-fingerprint-v1"
+const fpVersion = "chet-fingerprint-v2"
 
 // Fingerprint returns a stable digest of everything that must match between
 // two parties for their homomorphic executions of this compilation to be
@@ -99,6 +99,7 @@ func (c *Compiled) Fingerprint() [32]byte {
 		i64(0)
 	}
 	i64(o.CostThreads)
+	i64(o.Batch)
 
 	// The compiler's decisions: parameters, layout, rotation set.
 	b := c.Best
@@ -109,6 +110,7 @@ func (c *Compiled) Fingerprint() [32]byte {
 	i64(b.SpecialBits)
 	ints(b.Rotations)
 	i64(b.RotationOps)
+	i64(b.Batch)
 
 	// The circuit: structure, attributes, and weight values. Two circuits
 	// that differ only in weights execute compatibly but predict different

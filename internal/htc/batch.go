@@ -1,0 +1,151 @@
+// Batch-axis slot packing (nGraph-HE2-style): B images share one ciphertext
+// vector by living in disjoint power-of-two-aligned lanes of BatchStride
+// slots. Every kernel in this package is batch-oblivious — its homomorphic
+// rotations are lane-local and its plaintext vectors are replicated per lane
+// — so one evaluation amortizes across the whole batch.
+package htc
+
+import (
+	"fmt"
+
+	"chet/internal/hisa"
+	"chet/internal/tensor"
+)
+
+// EncryptTensorBatch encodes and encrypts up to plan-capacity CHW images
+// into the batch lanes of one CipherTensor. All images must share the same
+// shape. Unused lanes stay zero, preserving the zero-outside-valid-slots
+// invariant for partial batches.
+func EncryptTensorBatch(b hisa.Backend, ts []*tensor.Tensor, plan Plan, sc Scales) *CipherTensor {
+	if len(ts) == 0 {
+		panic("htc: EncryptTensorBatch wants at least one tensor")
+	}
+	if len(ts) > plan.batches() {
+		panic(fmt.Sprintf("htc: %d images exceed the plan's batch capacity %d", len(ts), plan.Batch))
+	}
+	shape := ts[0].Shape
+	for i, t := range ts {
+		if t.Rank() != 3 || t.Shape[0] != shape[0] || t.Shape[1] != shape[1] || t.Shape[2] != shape[2] {
+			panic(fmt.Sprintf("htc: EncryptTensorBatch image %d has shape %v, want %v", i, t.Shape, shape))
+		}
+	}
+	c, h, w := shape[0], shape[1], shape[2]
+	meta := NewLayout(plan, c, h, w, b.Slots())
+
+	numCTs := (c + meta.CPerCT - 1) / meta.CPerCT
+	meta.CTs = make([]hisa.Ciphertext, numCTs)
+	ls := meta.laneStride(b.Slots())
+	for g := 0; g < numCTs; g++ {
+		vals := make([]float64, b.Slots())
+		for lane, t := range ts {
+			base := lane * ls
+			for ci := 0; ci < meta.CPerCT; ci++ {
+				ch := g*meta.CPerCT + ci
+				if ch >= c {
+					break
+				}
+				for y := 0; y < h; y++ {
+					for x := 0; x < w; x++ {
+						vals[base+meta.pos(ci, y, x)] = t.At(ch, y, x)
+					}
+				}
+			}
+		}
+		meta.CTs[g] = b.Encrypt(b.Encode(vals, sc.Pc))
+	}
+	meta.validate(b.Slots())
+	return &meta
+}
+
+// DecryptTensorLane decrypts the image in one batch lane.
+func DecryptTensorLane(b hisa.Backend, ct *CipherTensor, lane int) *tensor.Tensor {
+	if lane < 0 || lane >= ct.Batches() {
+		panic(fmt.Sprintf("htc: lane %d out of range for batch %d", lane, ct.Batches()))
+	}
+	base := lane * ct.laneStride(b.Slots())
+	out := tensor.New(ct.C, ct.H, ct.W)
+	for g := 0; g < ct.NumCTs(); g++ {
+		vals := b.Decode(b.Decrypt(ct.CTs[g]))
+		for ci := 0; ci < ct.CPerCT; ci++ {
+			ch := g*ct.CPerCT + ci
+			if ch >= ct.C {
+				break
+			}
+			for y := 0; y < ct.H; y++ {
+				for x := 0; x < ct.W; x++ {
+					out.Set(vals[base+ct.pos(ci, y, x)], ch, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DecryptTensorBatch decrypts all n leading batch lanes (n <= Batches()).
+func DecryptTensorBatch(b hisa.Backend, ct *CipherTensor, n int) []*tensor.Tensor {
+	if n < 1 || n > ct.Batches() {
+		panic(fmt.Sprintf("htc: cannot decrypt %d lanes of a batch-%d tensor", n, ct.Batches()))
+	}
+	out := make([]*tensor.Tensor, n)
+	for lane := 0; lane < n; lane++ {
+		out[lane] = DecryptTensorLane(b, ct, lane)
+	}
+	return out
+}
+
+// LaneView returns metadata addressing a single lane of a batched tensor as
+// an unbatched view: same ciphertexts, origin shifted into the lane. The
+// view shares the underlying ciphertexts with ct. Decrypting the view yields
+// exactly that lane's image; other lanes' slots are simply never read.
+func LaneView(ct *CipherTensor, lane, slots int) *CipherTensor {
+	if lane < 0 || lane >= ct.Batches() {
+		panic(fmt.Sprintf("htc: lane %d out of range for batch %d", lane, ct.Batches()))
+	}
+	v := *ct
+	v.Offset += lane * ct.laneStride(slots)
+	v.B = 1
+	v.BatchStride = 0
+	return &v
+}
+
+// PackBatch combines n single-lane tensors (each carrying its image in lane
+// 0 of a batch-capacity layout) into one batched tensor by rotating tensor i
+// right into lane i and adding. This is the server-side coalescing path:
+// clients encrypt unbatched-at-lane-0 under the batched layout, and the
+// server packs compatible requests homomorphically. The rotation amounts
+// i*BatchStride must be covered by the session's rotation keys (the compiler
+// provisions them when Options.Batch > 1).
+//
+// The additions are deliberately strict (no scale alignment): all inputs
+// were encrypted at the same scale by construction, and a request whose
+// ciphertexts arrive scale-poisoned must fail loudly here rather than be
+// silently "repaired" into corrupting its batch-mates.
+func PackBatch(b hisa.Backend, ts []*CipherTensor) *CipherTensor {
+	if len(ts) == 0 {
+		panic("htc: PackBatch wants at least one tensor")
+	}
+	first := ts[0]
+	if len(ts) > first.Batches() {
+		panic(fmt.Sprintf("htc: cannot pack %d tensors into batch capacity %d", len(ts), first.Batches()))
+	}
+	for i, t := range ts {
+		if t.C != first.C || t.H != first.H || t.W != first.W ||
+			t.Offset != first.Offset || t.RowStride != first.RowStride ||
+			t.ColStride != first.ColStride || t.ChanStride != first.ChanStride ||
+			t.CPerCT != first.CPerCT || t.B != first.B || t.BatchStride != first.BatchStride ||
+			t.NumCTs() != first.NumCTs() {
+			panic(fmt.Sprintf("htc: PackBatch tensor %d has incompatible geometry", i))
+		}
+	}
+	out := metaClone(first)
+	out.CTs = make([]hisa.Ciphertext, first.NumCTs())
+	for g := 0; g < first.NumCTs(); g++ {
+		acc := ts[0].CTs[g]
+		for i := 1; i < len(ts); i++ {
+			acc = b.Add(acc, b.RotRight(ts[i].CTs[g], i*first.BatchStride))
+		}
+		out.CTs[g] = acc
+	}
+	out.validate(b.Slots())
+	return &out
+}

@@ -64,6 +64,19 @@ func DefaultScales() Scales {
 type Plan struct {
 	Layout Layout
 	Apron  int
+	// Batch is the number of images packed along the slot batch axis
+	// (nGraph-HE2-style batching): the slot vector is split into
+	// nextPow2(Batch) equal lanes and image i lives in lane i. 0 and 1 both
+	// mean unbatched.
+	Batch int
+}
+
+// batches normalizes the plan's batch count (0 means 1).
+func (p Plan) batches() int {
+	if p.Batch < 1 {
+		return 1
+	}
+	return p.Batch
 }
 
 // CipherTensor is an encrypted tensor: ciphertexts plus the plain metadata
@@ -82,7 +95,35 @@ type CipherTensor struct {
 	ChanStride int
 	CPerCT     int
 
+	// Batch axis: the slot vector is split into nextPow2(B) lanes of
+	// BatchStride slots each, and image b occupies slots
+	// [b*BatchStride, (b+1)*BatchStride). All per-image geometry above is
+	// lane-relative (lane 0); kernels are batch-oblivious because every
+	// homomorphic rotation they issue is smaller than BatchStride and the
+	// apron/mask invariant keeps taps from crossing lane boundaries.
+	// B == 0 means an unbatched legacy tensor (treated as B == 1 with
+	// BatchStride == slots).
+	B           int
+	BatchStride int
+
 	CTs []hisa.Ciphertext
+}
+
+// Batches returns the number of packed images, treating the zero value as 1.
+func (ct *CipherTensor) Batches() int {
+	if ct.B < 1 {
+		return 1
+	}
+	return ct.B
+}
+
+// laneStride returns the slot span of one batch lane: BatchStride when set,
+// otherwise the full slot vector (legacy unbatched tensors).
+func (ct *CipherTensor) laneStride(slots int) int {
+	if ct.BatchStride > 0 {
+		return ct.BatchStride
+	}
+	return slots
 }
 
 // NumCTs returns the number of ciphertexts.
@@ -116,6 +157,22 @@ func (ct *CipherTensor) Validate(slots int) error {
 	maxPos := ct.pos(min(ct.C, ct.CPerCT)-1, ct.H-1, ct.W-1)
 	if maxPos < 0 || maxPos >= slots {
 		return fmt.Errorf("htc: CipherTensor overflows %d slots (max position %d)", slots, maxPos)
+	}
+	if ct.B < 0 || ct.BatchStride < 0 {
+		return fmt.Errorf("htc: negative batch metadata (B %d, batchStride %d)", ct.B, ct.BatchStride)
+	}
+	if ct.B > 1 {
+		if ct.BatchStride < 1 {
+			return fmt.Errorf("htc: batched CipherTensor (B=%d) without a batch stride", ct.B)
+		}
+		if maxPos >= ct.BatchStride {
+			return fmt.Errorf("htc: CipherTensor lane overflows batch stride %d (max position %d)",
+				ct.BatchStride, maxPos)
+		}
+		if last := (ct.B-1)*ct.BatchStride + maxPos; last >= slots {
+			return fmt.Errorf("htc: %d batch lanes of stride %d overflow %d slots",
+				ct.B, ct.BatchStride, slots)
+		}
 	}
 	want := (ct.C + ct.CPerCT - 1) / ct.CPerCT
 	if len(ct.CTs) != want {
@@ -154,27 +211,33 @@ func planGeometry(plan Plan, h, w int) (hp, wp, offset int) {
 
 // NewLayout computes the CipherTensor metadata (without ciphertexts) for a
 // fresh CHW tensor under the plan on a backend with the given slot count.
+// When the plan batches B > 1 images, the slot vector is divided into
+// nextPow2(B) equal lanes and the per-image geometry must fit one lane.
 func NewLayout(plan Plan, c, h, w, slots int) CipherTensor {
 	hp, wp, offset := planGeometry(plan, h, w)
 	chanStride := hp * wp
-	if chanStride > slots {
-		panic(fmt.Sprintf("htc: a %dx%d image (apron %d) does not fit %d slots",
-			h, w, plan.Apron, slots))
+	batch := plan.batches()
+	laneSlots := slots / nextPow2(batch)
+	if laneSlots < 1 || chanStride > laneSlots {
+		panic(fmt.Sprintf("htc: a %dx%d image (apron %d) does not fit a batch lane of %d slots (batch %d, %d slots)",
+			h, w, plan.Apron, laneSlots, batch, slots))
 	}
 	cPerCT := 1
 	if plan.Layout == LayoutCHW {
-		cPerCT = blockCapacity(slots, chanStride)
+		cPerCT = blockCapacity(laneSlots, chanStride)
 	}
 	return CipherTensor{
-		Layout:     plan.Layout,
-		C:          c,
-		H:          h,
-		W:          w,
-		Offset:     offset,
-		RowStride:  wp,
-		ColStride:  1,
-		ChanStride: chanStride,
-		CPerCT:     cPerCT,
+		Layout:      plan.Layout,
+		C:           c,
+		H:           h,
+		W:           w,
+		Offset:      offset,
+		RowStride:   wp,
+		ColStride:   1,
+		ChanStride:  chanStride,
+		CPerCT:      cPerCT,
+		B:           batch,
+		BatchStride: laneSlots,
 	}
 }
 
@@ -258,17 +321,22 @@ func metaClone(src *CipherTensor) CipherTensor {
 }
 
 // validMask builds a 0/1 vector marking the valid positions of the channels
-// in ciphertext group g, scaled by value.
+// in ciphertext group g, scaled by value. The pattern is replicated into
+// every batch lane so one plaintext multiplication serves all packed images.
 func validMask(ct *CipherTensor, g, slots int, value float64) []float64 {
 	vals := make([]float64, slots)
-	for ci := 0; ci < ct.CPerCT; ci++ {
-		ch := g*ct.CPerCT + ci
-		if ch >= ct.C {
-			break
-		}
-		for y := 0; y < ct.H; y++ {
-			for x := 0; x < ct.W; x++ {
-				vals[ct.pos(ci, y, x)] = value
+	ls := ct.laneStride(slots)
+	for lane := 0; lane < ct.Batches(); lane++ {
+		base := lane * ls
+		for ci := 0; ci < ct.CPerCT; ci++ {
+			ch := g*ct.CPerCT + ci
+			if ch >= ct.C {
+				break
+			}
+			for y := 0; y < ct.H; y++ {
+				for x := 0; x < ct.W; x++ {
+					vals[base+ct.pos(ci, y, x)] = value
+				}
 			}
 		}
 	}
@@ -276,18 +344,23 @@ func validMask(ct *CipherTensor, g, slots int, value float64) []float64 {
 }
 
 // perChannelVector builds a plaintext vector assigning val(ch) to every
-// valid position of each channel in group g.
+// valid position of each channel in group g, replicated into every batch
+// lane (the same weights apply to every packed image).
 func perChannelVector(ct *CipherTensor, g, slots int, val func(ch int) float64) []float64 {
 	vals := make([]float64, slots)
-	for ci := 0; ci < ct.CPerCT; ci++ {
-		ch := g*ct.CPerCT + ci
-		if ch >= ct.C {
-			break
-		}
-		v := val(ch)
-		for y := 0; y < ct.H; y++ {
-			for x := 0; x < ct.W; x++ {
-				vals[ct.pos(ci, y, x)] = v
+	ls := ct.laneStride(slots)
+	for lane := 0; lane < ct.Batches(); lane++ {
+		base := lane * ls
+		for ci := 0; ci < ct.CPerCT; ci++ {
+			ch := g*ct.CPerCT + ci
+			if ch >= ct.C {
+				break
+			}
+			v := val(ch)
+			for y := 0; y < ct.H; y++ {
+				for x := 0; x < ct.W; x++ {
+					vals[base+ct.pos(ci, y, x)] = v
+				}
 			}
 		}
 	}

@@ -183,8 +183,9 @@ func Conv2DOpts(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, 
 		return &out
 	}
 
-	// CHW layout.
-	outCPerCT := blockCapacity(b.Slots(), in.ChanStride)
+	// CHW layout. Channel blocking is computed against one batch lane so the
+	// fold and placement rotations below stay lane-local.
+	outCPerCT := blockCapacity(in.laneStride(b.Slots()), in.ChanStride)
 	out.CPerCT = outCPerCT
 	numOutCTs := (cout + outCPerCT - 1) / outCPerCT
 	out.CTs = make([]hisa.Ciphertext, numOutCTs)
@@ -212,15 +213,19 @@ func Conv2DOpts(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, 
 			for ky := 0; ky < kh; ky++ {
 				for kx := 0; kx < kw; kx++ {
 					wv := make([]float64, b.Slots())
-					for ci := 0; ci < in.CPerCT; ci++ {
-						ic := g*in.CPerCT + ci
-						if ic >= in.C {
-							break
-						}
-						w := filters.At(oc, ic, ky, kx)
-						base := ci * in.ChanStride
-						for s := base; s < base+in.ChanStride && s < b.Slots(); s++ {
-							wv[s] = w
+					ls := in.laneStride(b.Slots())
+					for lane := 0; lane < in.Batches(); lane++ {
+						laneBase := lane * ls
+						for ci := 0; ci < in.CPerCT; ci++ {
+							ic := g*in.CPerCT + ci
+							if ic >= in.C {
+								break
+							}
+							w := filters.At(oc, ic, ky, kx)
+							base := laneBase + ci*in.ChanStride
+							for s := base; s < base+in.ChanStride && s < b.Slots(); s++ {
+								wv[s] = w
+							}
 						}
 					}
 					t := b.MulPlain(cache.get(rot(ky, kx)), b.Encode(wv, sc.Pw))
@@ -486,7 +491,7 @@ func Add(b hisa.Backend, x, y *CipherTensor) *CipherTensor {
 func AddOpts(b hisa.Backend, x, y *CipherTensor, opts ExecOptions) *CipherTensor {
 	if x.C != y.C || x.H != y.H || x.W != y.W ||
 		x.Offset != y.Offset || x.RowStride != y.RowStride || x.ColStride != y.ColStride ||
-		x.CPerCT != y.CPerCT {
+		x.CPerCT != y.CPerCT || x.B != y.B || x.BatchStride != y.BatchStride {
 		panic("htc: Add requires identical layouts; insert a layout conversion")
 	}
 	out := metaClone(x)
@@ -519,7 +524,8 @@ func ConcatOpts(b hisa.Backend, sc Scales, opts ExecOptions, ins ...*CipherTenso
 	for _, in := range ins {
 		if in.H != first.H || in.W != first.W || in.Offset != first.Offset ||
 			in.RowStride != first.RowStride || in.ColStride != first.ColStride ||
-			in.CPerCT != first.CPerCT || in.ChanStride != first.ChanStride {
+			in.CPerCT != first.CPerCT || in.ChanStride != first.ChanStride ||
+			in.B != first.B || in.BatchStride != first.BatchStride {
 			panic("htc: Concat inputs must share geometry")
 		}
 		totalC += in.C
@@ -615,25 +621,33 @@ func DenseOpts(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, s
 		panic(fmt.Sprintf("htc: dense weights %v incompatible with input size %d", weights.Shape, inSize))
 	}
 	outDim := weights.Shape[0]
-	if outDim > b.Slots() {
-		panic("htc: dense output exceeds slot count")
+	ls := in.laneStride(b.Slots())
+	if outDim > ls {
+		panic("htc: dense output exceeds batch-lane slot count")
 	}
 
-	// Highest occupied slot bound for the reduction length.
+	// Highest occupied slot bound for the reduction length. Clamped to the
+	// lane stride (both powers of two) so the log-fold at a lane origin only
+	// ever pulls from its own lane.
 	maxPos := in.pos(min(in.C, in.CPerCT)-1, in.H-1, in.W-1)
 	m := nextPow2(maxPos + 1)
-	if m > b.Slots() {
-		m = b.Slots()
+	if m > ls {
+		m = ls
 	}
 
 	out := CipherTensor{
 		Layout: in.Layout, C: 1, H: 1, W: outDim,
 		Offset: 0, RowStride: outDim, ColStride: 1,
-		ChanStride: b.Slots(), CPerCT: 1,
+		ChanStride: ls, CPerCT: 1,
+		B: in.B, BatchStride: in.BatchStride,
 	}
 
+	// One-hot at every lane origin: after the log-fold, each lane's dot
+	// product sits at its lane origin and everything else is garbage.
 	e0 := make([]float64, b.Slots())
-	e0[0] = 1
+	for lane := 0; lane < in.Batches(); lane++ {
+		e0[lane*ls] = 1
+	}
 	e0Plain := b.Encode(e0, sc.Pm)
 
 	neurons := make([]hisa.Ciphertext, outDim)
@@ -641,15 +655,18 @@ func DenseOpts(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, s
 		var total hisa.Ciphertext
 		for g := range in.CTs {
 			wv := make([]float64, b.Slots())
-			for ci := 0; ci < in.CPerCT; ci++ {
-				ch := g*in.CPerCT + ci
-				if ch >= in.C {
-					break
-				}
-				for y := 0; y < in.H; y++ {
-					for x := 0; x < in.W; x++ {
-						logical := ch*in.H*in.W + y*in.W + x
-						wv[in.pos(ci, y, x)] = weights.At(o, logical)
+			for lane := 0; lane < in.Batches(); lane++ {
+				laneBase := lane * ls
+				for ci := 0; ci < in.CPerCT; ci++ {
+					ch := g*in.CPerCT + ci
+					if ch >= in.C {
+						break
+					}
+					for y := 0; y < in.H; y++ {
+						for x := 0; x < in.W; x++ {
+							logical := ch*in.H*in.W + y*in.W + x
+							wv[laneBase+in.pos(ci, y, x)] = weights.At(o, logical)
+						}
 					}
 				}
 			}
@@ -676,7 +693,9 @@ func DenseOpts(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, s
 
 	if bias != nil {
 		bv := make([]float64, b.Slots())
-		copy(bv, bias.Data)
+		for lane := 0; lane < in.Batches(); lane++ {
+			copy(bv[lane*ls:], bias.Data)
+		}
 		acc = b.AddPlain(acc, b.Encode(bv, b.Scale(acc)))
 	}
 	out.CTs = []hisa.Ciphertext{acc}
@@ -707,7 +726,7 @@ func ToCHW(b hisa.Backend, in *CipherTensor) *CipherTensor {
 	}
 	out := metaClone(in)
 	out.Layout = LayoutCHW
-	cPerCT := blockCapacity(b.Slots(), in.ChanStride)
+	cPerCT := blockCapacity(in.laneStride(b.Slots()), in.ChanStride)
 	out.CPerCT = cPerCT
 	numCTs := (in.C + cPerCT - 1) / cPerCT
 	out.CTs = make([]hisa.Ciphertext, numCTs)

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chet"
+	"chet/internal/circuit"
+	"chet/internal/ckks"
+	"chet/internal/core"
+	"chet/internal/tensor"
+	"chet/internal/wire"
+)
+
+var (
+	batchCompileOnce sync.Once
+	batchCompiled    *core.Compiled
+	batchCompileErr  error
+)
+
+// testBatchCompiled compiles the same tiny CNN as testCompiled but with a
+// batch capacity of 4, shared by every batching test in this package.
+func testBatchCompiled(t *testing.T) *core.Compiled {
+	t.Helper()
+	batchCompileOnce.Do(func() {
+		b := circuit.NewBuilder("serve-test-cnn-batched")
+		x := b.Input(1, 5, 5)
+		x = b.Conv2D(x, randTensor([]int{2, 1, 3, 3}, 0.4, 1), randTensor([]int{2}, 0.2, 2), 1, 0, "conv1")
+		x = b.Activation(x, 0.1, 0.9, "act1")
+		x = b.Flatten(x, "flat")
+		x = b.Dense(x, randTensor([]int{3, 18}, 0.4, 3), randTensor([]int{3}, 0.2, 4), "fc")
+		batchCompiled, batchCompileErr = core.Compile(b.Build(x), core.Options{
+			Scheme:       core.SchemeRNS,
+			SecurityBits: -1,
+			MinLogN:      5,
+			MaxLogN:      11,
+			Batch:        4,
+		})
+	})
+	if batchCompileErr != nil {
+		t.Fatalf("compiling batched test circuit: %v", batchCompileErr)
+	}
+	return batchCompiled
+}
+
+func closeEnough(t *testing.T, got, want []float64, tol float64, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d outputs, want %d", ctx, len(got), len(want))
+	}
+	for k := range got {
+		if math.Abs(got[k]-want[k]) > tol {
+			t.Fatalf("%s output %d: got %v, want %v (tol %g)", ctx, k, got[k], want[k], tol)
+		}
+	}
+}
+
+// TestCoalescedBatchE2E is the tentpole acceptance test for server-side
+// coalescing: four concurrent requests on streams of one session are packed
+// into a single evaluation (flush on MaxBatch), and each stream's
+// demultiplexed lane decrypts to its own prediction.
+func TestCoalescedBatchE2E(t *testing.T) {
+	comp := testBatchCompiled(t)
+	s, err := New(Config{Compiled: comp, MaxBatch: 4, BatchWait: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	root := dialClient(t, addr, comp, 301)
+	clients := []*Client{root}
+	for len(clients) < 4 {
+		st, err := root.NewStream()
+		if err != nil {
+			t.Fatalf("stream %d: %v", len(clients), err)
+		}
+		t.Cleanup(func() { st.Close() })
+		clients = append(clients, st)
+	}
+
+	local := &chet.Session{Compiled: comp, Backend: root.backend}
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		img := randTensor([]int{1, 5, 5}, 1, int64(400+i))
+		enc := c.Encrypt(img)
+		want := local.Decrypt(local.Infer(enc))
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			out, err := c.Infer(enc)
+			if err != nil {
+				t.Errorf("stream %d: %v", i, err)
+				return
+			}
+			got := c.Decrypt(out)
+			closeEnough(t, got.Data, want.Data, 1e-3, "coalesced stream")
+		}(i, c)
+	}
+	wg.Wait()
+
+	m := s.Metrics()
+	if m.Completed != 4 || m.BatchSizes[4] != 1 {
+		t.Fatalf("completed=%d batchSizes=%v, want 4 completions in one batch of 4", m.Completed, m.BatchSizes)
+	}
+	if m.Evaluation.Count != 1 {
+		t.Fatalf("Evaluation.Count = %d, want 1 (one circuit execution for the whole batch)", m.Evaluation.Count)
+	}
+	if m.QueueWait.Count != 4 {
+		t.Fatalf("QueueWait.Count = %d, want 4 (one sample per request)", m.QueueWait.Count)
+	}
+}
+
+// TestCoalesceFlushOnDeadline sends only two requests against a capacity-4
+// coalescer: the partial batch must flush at the BatchWait deadline and
+// still evaluate as one packed execution.
+func TestCoalesceFlushOnDeadline(t *testing.T) {
+	comp := testBatchCompiled(t)
+	s, err := New(Config{Compiled: comp, MaxBatch: 4, BatchWait: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	root := dialClient(t, addr, comp, 311)
+	st, err := root.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	var wg sync.WaitGroup
+	for i, c := range []*Client{root, st} {
+		enc := c.Encrypt(randTensor([]int{1, 5, 5}, 1, int64(410+i)))
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			if _, err := c.Infer(enc); err != nil {
+				t.Errorf("stream %d: %v", i, err)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	m := s.Metrics()
+	if m.Completed != 2 || m.BatchSizes[2] != 1 || m.Evaluation.Count != 1 {
+		t.Fatalf("completed=%d batchSizes=%v evaluations=%d, want one deadline-flushed batch of 2",
+			m.Completed, m.BatchSizes, m.Evaluation.Count)
+	}
+}
+
+// TestClientBatchRequestE2E exercises the client-packed path: three images
+// encrypted into the lanes of one tensor, one InferBatch round-trip, and a
+// per-lane parity check against local single-image inference.
+func TestClientBatchRequestE2E(t *testing.T) {
+	comp := testBatchCompiled(t)
+	s, err := New(Config{Compiled: comp, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+	c := dialClient(t, addr, comp, 321)
+
+	local := &chet.Session{Compiled: comp, Backend: c.backend}
+	var wantOut [][]float64
+	var inputs []*tensor.Tensor
+	for i := 0; i < 3; i++ {
+		img := randTensor([]int{1, 5, 5}, 1, int64(420+i))
+		inputs = append(inputs, img)
+		wantOut = append(wantOut, local.Decrypt(local.Infer(c.Encrypt(img))).Data)
+	}
+	got, err := c.RunBatch(inputs)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("RunBatch returned %d tensors, want 3", len(got))
+	}
+	for i := range got {
+		closeEnough(t, got[i].Data, wantOut[i], 1e-3, "batch lane")
+	}
+	if m := s.Metrics(); m.Completed != 1 || m.BatchSizes[1] != 1 {
+		t.Fatalf("completed=%d batchSizes=%v, want one pre-packed evaluation", m.Completed, m.BatchSizes)
+	}
+}
+
+// TestPoisonedTensorRejected sends a scale-poisoned request under an active
+// coalescer: scale and level are cleartext metadata, so admission rejects
+// the lie outright (it would otherwise feed silent garbage into a packed
+// batch), while a healthy request coalesced in the same window is served
+// bit-identically.
+func TestPoisonedTensorRejected(t *testing.T) {
+	comp := testBatchCompiled(t)
+	s, err := New(Config{Compiled: comp, MaxBatch: 2, BatchWait: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	root := dialClient(t, addr, comp, 331)
+	st, err := root.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	local := &chet.Session{Compiled: comp, Backend: root.backend}
+	healthyEnc := root.Encrypt(randTensor([]int{1, 5, 5}, 1, 430))
+	want := local.Decrypt(local.Infer(healthyEnc))
+
+	poisonEnc := st.Encrypt(randTensor([]int{1, 5, 5}, 1, 431))
+	poisonEnc.CTs[0].(*ckks.Ciphertext).Scale = math.Exp2(200)
+
+	_, poisonErr := st.Infer(poisonEnc)
+	if code := errCode(t, poisonErr); code != wire.CodeBadMessage {
+		t.Fatalf("poisoned request: code = %v, want %v", code, wire.CodeBadMessage)
+	}
+
+	out, err := root.Infer(healthyEnc) // deadline-flushes as a batch of one
+	if err != nil {
+		t.Fatalf("healthy request failed alongside a poisoned one: %v", err)
+	}
+	got := root.Decrypt(out)
+	for k := range got.Data {
+		if math.Float64bits(got.Data[k]) != math.Float64bits(want.Data[k]) {
+			t.Fatalf("healthy output %d: %v != %v (not bit-identical)", k, got.Data[k], want.Data[k])
+		}
+	}
+	if m := s.Metrics(); m.Completed != 1 || m.BatchSizes[1] != 1 {
+		t.Fatalf("completed=%d batchSizes=%v, want the healthy request alone", m.Completed, m.BatchSizes)
+	}
+}
+
+// TestBatchPanicIsolationFallback injects a panic into the packed evaluation
+// of a coalesced batch (and into the first request's retry): the engine must
+// fall back to per-request evaluation, fail only the first request, and
+// serve its batch-mate bit-identically.
+func TestBatchPanicIsolationFallback(t *testing.T) {
+	comp := testBatchCompiled(t)
+	s, err := New(Config{Compiled: comp, MaxBatch: 2, BatchWait: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	s.execHook = func() {
+		// Call 1 is the packed batch, call 2 the first request's isolated
+		// retry; call 3 (the second request's retry) runs free.
+		if calls.Add(1) <= 2 {
+			panic("injected poison")
+		}
+	}
+	addr := startServer(t, s)
+
+	root := dialClient(t, addr, comp, 341)
+	st, err := root.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	local := &chet.Session{Compiled: comp, Backend: root.backend}
+	encA := root.Encrypt(randTensor([]int{1, 5, 5}, 1, 440))
+	encB := st.Encrypt(randTensor([]int{1, 5, 5}, 1, 441))
+	wantB := local.Decrypt(local.Infer(encB))
+
+	resA := make(chan error, 1)
+	go func() {
+		_, err := root.Infer(encA)
+		resA <- err
+	}()
+	// Admit A first so the fallback order (and therefore which request the
+	// injected panic fails) is deterministic.
+	for i := 0; s.requests.Load() < 1; i++ {
+		if i > 5000 {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	outB, errB := st.Infer(encB) // completes the batch of two
+
+	if code := errCode(t, <-resA); code != wire.CodeInternal {
+		t.Fatalf("poisoned request: code = %v, want %v", code, wire.CodeInternal)
+	}
+	if errB != nil {
+		t.Fatalf("batch-mate failed alongside the poisoned request: %v", errB)
+	}
+	gotB := st.Decrypt(outB)
+	for k := range gotB.Data {
+		if math.Float64bits(gotB.Data[k]) != math.Float64bits(wantB.Data[k]) {
+			t.Fatalf("batch-mate output %d: %v != %v (isolated retry should be bit-identical)",
+				k, gotB.Data[k], wantB.Data[k])
+		}
+	}
+	m := s.Metrics()
+	if m.Completed != 1 || m.Errors != 1 || m.BatchSizes[2] != 1 || m.Evaluation.Count != 3 {
+		t.Fatalf("completed=%d errors=%d batchSizes=%v evaluations=%d, want 1/1/{2:1}/3",
+			m.Completed, m.Errors, m.BatchSizes, m.Evaluation.Count)
+	}
+}

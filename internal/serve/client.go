@@ -40,6 +40,7 @@ type Client struct {
 	backend *hisa.RNSBackend
 	keys    hisa.RNSPublicKeys
 	plan    htc.Plan
+	addr    string // set by Dial; empty for NewClient-wrapped connections
 
 	mu        sync.Mutex
 	conn      net.Conn
@@ -58,7 +59,37 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
+	c.addr = addr
 	return c, nil
+}
+
+// NewStream opens an additional connection that shares this client's keys
+// and server-side session. Requests on one Client serialize over its single
+// connection, so a tenant that wants the server to coalesce its requests
+// into one batched evaluation needs several in flight at once — one stream
+// per concurrent request. Streams skip the session handshake entirely (the
+// server's registry is keyed by session ID, not connection); only clients
+// created with Dial can open them. Close each stream independently.
+func (c *Client) NewStream() (*Client, error) {
+	c.mu.Lock()
+	addr, sessID := c.addr, c.sessionID
+	c.mu.Unlock()
+	if addr == "" {
+		return nil, errors.New("serve: NewStream requires a client created with Dial")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return &Client{
+		cfg:       c.cfg,
+		backend:   c.backend,
+		keys:      c.keys,
+		plan:      c.plan,
+		addr:      addr,
+		conn:      conn,
+		sessionID: sessID,
+	}, nil
 }
 
 // NewClient wraps an established connection: it generates this client's
@@ -87,7 +118,7 @@ func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 		cfg:     cfg,
 		backend: backend,
 		keys:    backend.PublicKeys(),
-		plan:    htc.PlanFor(cfg.Compiled.Circuit, cfg.Compiled.Best.Policy),
+		plan:    cfg.Compiled.Plan(),
 		conn:    conn,
 	}
 	if err := c.open(); err != nil {
@@ -203,6 +234,16 @@ func (c *Client) inferLocked(in *htc.CipherTensor) (*htc.CipherTensor, error) {
 		if ir.RequestID != msg.RequestID {
 			return nil, fmt.Errorf("serve: response for request %d, expected %d", ir.RequestID, msg.RequestID)
 		}
+		// A coalesced response carries the whole batch's predictions; this
+		// request's is in the indicated lane. The lane view is pure metadata
+		// (origin shift), so demultiplexing costs no homomorphic operations.
+		if ir.Batch > 1 {
+			if int(ir.Lane) >= ir.Tensor.Batches() {
+				return nil, fmt.Errorf("serve: response lane %d out of range for batch capacity %d",
+					ir.Lane, ir.Tensor.Batches())
+			}
+			return htc.LaneView(ir.Tensor, int(ir.Lane), c.backend.Slots()), nil
+		}
 		return ir.Tensor, nil
 	case wire.MsgError:
 		var ef wire.ErrorFrame
@@ -222,6 +263,101 @@ func (c *Client) Run(img *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	return c.Decrypt(out), nil
+}
+
+// EncryptBatch encrypts up to the compiled batch capacity of images into the
+// lanes of one cipher tensor, for InferBatch.
+func (c *Client) EncryptBatch(imgs []*tensor.Tensor) *htc.CipherTensor {
+	return htc.EncryptTensorBatch(c.backend, imgs, c.plan, c.cfg.Compiled.Options.Scales)
+}
+
+// DecryptBatch recovers the first n lane predictions of a batched result,
+// flattening 1x1xK predictions exactly as Decrypt does.
+func (c *Client) DecryptBatch(out *htc.CipherTensor, n int) []*tensor.Tensor {
+	ts := htc.DecryptTensorBatch(c.backend, out, n)
+	for i, t := range ts {
+		if t.Rank() == 3 && t.Shape[0] == 1 && t.Shape[1] == 1 {
+			ts[i] = t.Reshape(t.Size())
+		}
+	}
+	return ts
+}
+
+// InferBatch ships a client-packed batch (count images in the leading lanes
+// of one tensor, from EncryptBatch) and returns the encrypted batched
+// result. Like Infer, it transparently re-opens once if the session was
+// evicted.
+func (c *Client) InferBatch(in *htc.CipherTensor, count int) (*htc.CipherTensor, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, err := c.inferBatchLocked(in, count)
+	var ef *wire.ErrorFrame
+	if errors.As(err, &ef) && ef.Code == wire.CodeUnknownSession {
+		if err := c.open(); err != nil {
+			return nil, fmt.Errorf("serve: re-opening evicted session: %w", err)
+		}
+		return c.inferBatchLocked(in, count)
+	}
+	return out, err
+}
+
+func (c *Client) inferBatchLocked(in *htc.CipherTensor, count int) (*htc.CipherTensor, error) {
+	if c.conn == nil {
+		return nil, errors.New("serve: client is closed")
+	}
+	c.nextReq++
+	msg := &wire.InferBatchRequest{
+		SessionID: c.sessionID,
+		RequestID: c.nextReq,
+		Count:     uint32(count),
+		Tensor:    in,
+	}
+	if c.cfg.Timeout > 0 {
+		msg.TimeoutMillis = uint32(min(c.cfg.Timeout.Milliseconds(), int64(^uint32(0))))
+	}
+	payload, err := msg.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding infer-batch-request: %w", err)
+	}
+	if err := wire.WriteFrame(c.conn, wire.MsgInferBatchRequest, payload); err != nil {
+		return nil, fmt.Errorf("serve: sending infer-batch-request: %w", err)
+	}
+	t, resp, err := wire.ReadFrame(c.conn, c.cfg.MaxFrame)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading infer-batch-response: %w", err)
+	}
+	switch t {
+	case wire.MsgInferBatchResponse:
+		var ir wire.InferBatchResponse
+		if err := ir.Decode(resp); err != nil {
+			return nil, fmt.Errorf("serve: infer-batch-response: %w", err)
+		}
+		if ir.RequestID != msg.RequestID {
+			return nil, fmt.Errorf("serve: response for request %d, expected %d", ir.RequestID, msg.RequestID)
+		}
+		if int(ir.Count) != count {
+			return nil, fmt.Errorf("serve: response carries %d lanes, expected %d", ir.Count, count)
+		}
+		return ir.Tensor, nil
+	case wire.MsgError:
+		var ef wire.ErrorFrame
+		if err := ef.Decode(resp); err != nil {
+			return nil, fmt.Errorf("serve: undecodable error frame: %w", err)
+		}
+		return nil, &ef
+	default:
+		return nil, fmt.Errorf("serve: unexpected %v frame", t)
+	}
+}
+
+// RunBatch is the full client loop for several inputs at once: encrypt into
+// lanes, send as one batched request, decrypt each lane's prediction.
+func (c *Client) RunBatch(imgs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	out, err := c.InferBatch(c.EncryptBatch(imgs), len(imgs))
+	if err != nil {
+		return nil, err
+	}
+	return c.DecryptBatch(out, len(imgs)), nil
 }
 
 // Close tears down the connection. The server garbage-collects the session

@@ -85,6 +85,19 @@ type ServerMetrics struct {
 	RejectedDeadline  uint64
 	RejectedShutdown  uint64
 
-	Latency  LatencySummary
+	// Latency is the end-to-end per-request view (admission to response);
+	// QueueWait and Evaluation split it into the time a request spent
+	// waiting (admission queue + batch coalescing) and the time its
+	// homomorphic evaluation ran. Evaluation is recorded once per
+	// evaluation, so under batching its Count is the number of circuit
+	// executions, not the number of requests they served.
+	Latency    LatencySummary
+	QueueWait  LatencySummary
+	Evaluation LatencySummary
+
+	// BatchSizes counts evaluations by the number of requests they served:
+	// BatchSizes[4] == 7 means seven evaluations each packed four requests.
+	BatchSizes map[int]uint64
+
 	Sessions []SessionMetrics
 }

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chet/internal/batch"
 	"chet/internal/ckks"
 	"chet/internal/core"
 	"chet/internal/hisa"
@@ -54,6 +55,16 @@ type Config struct {
 	Parallel int
 	// MaxFrame bounds accepted frame payloads. Default wire.DefaultMaxFrame.
 	MaxFrame int
+	// MaxBatch enables request coalescing: up to MaxBatch single-image
+	// requests from the same session are packed into one ciphertext
+	// evaluation. Requires the circuit to be compiled with Options.Batch >=
+	// MaxBatch (the compiled batch capacity provisions the slot lanes and
+	// packing rotation keys). Values <= 1 disable coalescing. Default 1.
+	MaxBatch int
+	// BatchWait bounds how long a partial batch waits for more requests
+	// before being evaluated anyway. Only meaningful with MaxBatch > 1.
+	// Default 20ms; negative flushes immediately (coalescing off in effect).
+	BatchWait time.Duration
 	// Logf, when set, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +85,12 @@ func (c *Config) fillDefaults() {
 	if c.MaxFrame == 0 {
 		c.MaxFrame = wire.DefaultMaxFrame
 	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 20 * time.Millisecond
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -86,12 +103,25 @@ type job struct {
 	reqID    uint64
 	arrived  time.Time
 	deadline time.Time
-	respond  chan jobResult // buffered(1); runJob always sends exactly once
+	respond  chan jobResult // buffered(1); runBatch always sends exactly once
 }
 
 type jobResult struct {
 	tensor *htc.CipherTensor
-	errf   *wire.ErrorFrame
+	// batch/lane tell a coalesced requester how many requests shared the
+	// evaluation and which slot lane holds its prediction (batch <= 1 means
+	// the tensor is this request's alone).
+	batch, lane int
+	errf        *wire.ErrorFrame
+}
+
+// batchJob is the executor's unit of work: one or more requests of the same
+// session evaluated together. Coalesced jobs carry one single-image tensor
+// per item and are packed homomorphically before evaluation; pre-packed
+// jobs (MsgInferBatchRequest) arrive as a single item whose tensor already
+// holds several images in its batch lanes.
+type batchJob struct {
+	items []*job
 }
 
 // Server is a concurrent encrypted-inference server for one compiled
@@ -100,10 +130,16 @@ type Server struct {
 	cfg         Config
 	params      *ckks.Parameters
 	fingerprint [32]byte
+	// wantMeta is the exact input-tensor geometry this compilation expects;
+	// network tensors are checked against it field by field.
+	wantMeta htc.CipherTensor
 
 	reg  *registry
-	jobs chan *job
+	jobs chan *batchJob
 	quit chan struct{} // closed by Shutdown after the drain completes
+	// coal groups compatible single-image requests (same session) into
+	// batches; nil when MaxBatch <= 1.
+	coal *batch.Coalescer[uint64, *job]
 
 	draining atomic.Bool
 	inflight sync.WaitGroup // admitted jobs not yet responded
@@ -120,6 +156,10 @@ type Server struct {
 	requests, completed, evalErrors        atomic.Uint64
 	rejQueueFull, rejDeadline, rejShutdown atomic.Uint64
 	latency                                *latencyRecorder
+	queueWait                              *latencyRecorder
+	evalLatency                            *latencyRecorder
+	batchMu                                sync.Mutex
+	batchSizes                             map[int]uint64
 
 	// execHook, when non-nil, runs inside every evaluation; tests use it to
 	// make execution observably slow without touching kernels.
@@ -141,16 +181,34 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	capacity := cfg.Compiled.Best.Batch
+	if capacity < 1 {
+		capacity = 1
+	}
+	if cfg.MaxBatch > capacity {
+		return nil, fmt.Errorf("serve: MaxBatch %d exceeds the compiled batch capacity %d; recompile with Options.Batch >= MaxBatch",
+			cfg.MaxBatch, capacity)
+	}
+	in := cfg.Compiled.Circuit.Input.OutShape
+	s := &Server{
 		cfg:         cfg,
 		params:      params,
 		fingerprint: cfg.Compiled.Fingerprint(),
+		wantMeta:    htc.NewLayout(cfg.Compiled.Plan(), in[0], in[1], in[2], params.Slots()),
 		reg:         newRegistry(cfg.MaxSessions),
-		jobs:        make(chan *job, cfg.QueueDepth),
+		jobs:        make(chan *batchJob, cfg.QueueDepth),
 		quit:        make(chan struct{}),
 		conns:       map[net.Conn]struct{}{},
 		latency:     newLatencyRecorder(),
-	}, nil
+		queueWait:   newLatencyRecorder(),
+		evalLatency: newLatencyRecorder(),
+		batchSizes:  map[int]uint64{},
+	}
+	if cfg.MaxBatch > 1 {
+		s.coal = batch.New[uint64, *job](
+			batch.Config{MaxBatch: cfg.MaxBatch, MaxWait: cfg.BatchWait}, s.enqueueBatch)
+	}
+	return s, nil
 }
 
 // Fingerprint returns the compiled-circuit fingerprint this server demands
@@ -215,6 +273,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if ln != nil {
 		ln.Close()
 	}
+	// Flush partial batches held by the coalescer into the queue so the
+	// drain below covers them; handlers racing this see ErrClosed on Add
+	// and reject their request as shutting-down.
+	if s.coal != nil {
+		s.coal.Close()
+	}
 
 	drained := make(chan struct{})
 	go func() {
@@ -240,11 +304,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() {
 		for {
 			select {
-			case j := <-s.jobs:
-				s.rejShutdown.Add(1)
-				j.respond <- jobResult{errf: &wire.ErrorFrame{
-					Code: wire.CodeShuttingDown, RequestID: j.reqID,
-					Message: "server shut down before the request ran"}}
+			case bj := <-s.jobs:
+				s.rejectBatchShutdown(bj)
 			case <-reaperDone:
 				return
 			}
@@ -275,7 +336,15 @@ func (s *Server) Metrics() ServerMetrics {
 		RejectedDeadline:  s.rejDeadline.Load(),
 		RejectedShutdown:  s.rejShutdown.Load(),
 		Latency:           s.latency.summary(),
+		QueueWait:         s.queueWait.summary(),
+		Evaluation:        s.evalLatency.summary(),
+		BatchSizes:        map[int]uint64{},
 	}
+	s.batchMu.Lock()
+	for k, v := range s.batchSizes {
+		m.BatchSizes[k] = v
+	}
+	s.batchMu.Unlock()
 	for _, sess := range s.reg.sessions() {
 		m.Sessions = append(m.Sessions, sess.metrics())
 	}
@@ -324,6 +393,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 		case wire.MsgInferRequest:
 			if !s.handleInfer(conn, payload, writeErr) {
+				return
+			}
+		case wire.MsgInferBatchRequest:
+			if !s.handleInferBatch(conn, payload, writeErr) {
 				return
 			}
 		default:
@@ -399,30 +472,126 @@ func (s *Server) handleInfer(conn net.Conn, payload []byte, writeErr func(wire.E
 		return writeErr(wire.CodeBadMessage, msg.RequestID, "infer-request: %v", err)
 	}
 
-	timeout := s.cfg.RequestTimeout
-	if msg.TimeoutMillis != 0 {
-		if t := time.Duration(msg.TimeoutMillis) * time.Millisecond; t < timeout {
-			timeout = t
-		}
-	}
-	now := time.Now()
-	j := &job{
-		sess:     sess,
-		tensor:   msg.Tensor,
-		reqID:    msg.RequestID,
-		arrived:  now,
-		deadline: now.Add(timeout),
-		respond:  make(chan jobResult, 1),
-	}
+	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TimeoutMillis)
 
 	// Admission: the queue never blocks the handler. Full queue means the
 	// server is saturated past its configured buffer — reject now so the
 	// client can back off, rather than letting latency grow unboundedly.
 	// The inflight count is held by this handler until the response hits
 	// the wire, so a graceful Shutdown never cuts a connection mid-reply.
+	// With coalescing on, the request instead joins its session's pending
+	// batch; queue-full is then decided at flush time (enqueueBatch).
+	s.inflight.Add(1)
+	if s.coal != nil {
+		if err := s.coal.Add(msg.SessionID, j); err != nil {
+			s.inflight.Done()
+			s.rejShutdown.Add(1)
+			return writeErr(wire.CodeShuttingDown, msg.RequestID, "server is draining")
+		}
+		s.requests.Add(1)
+		sess.requests.Add(1)
+	} else {
+		select {
+		case s.jobs <- &batchJob{items: []*job{j}}:
+			s.requests.Add(1)
+			sess.requests.Add(1)
+		default:
+			s.inflight.Done()
+			s.rejQueueFull.Add(1)
+			return writeErr(wire.CodeQueueFull, msg.RequestID,
+				"admission queue full (%d deep); retry with backoff", s.cfg.QueueDepth)
+		}
+	}
+
+	res := <-j.respond
+	wrote := func() bool {
+		if res.errf != nil {
+			return writeErr(res.errf.Code, msg.RequestID, "%s", res.errf.Message)
+		}
+		resp := &wire.InferResponse{RequestID: msg.RequestID, Tensor: res.tensor}
+		if res.batch > 1 {
+			resp.Batch = uint32(res.batch)
+			resp.Lane = uint32(res.lane)
+		} else {
+			resp.Batch = 1
+		}
+		out, err := resp.Encode()
+		if err != nil {
+			return writeErr(wire.CodeInternal, msg.RequestID, "encoding response: %v", err)
+		}
+		return wire.WriteFrame(conn, wire.MsgInferResponse, out) == nil
+	}()
+	s.inflight.Done()
+	return wrote
+}
+
+// newJob builds an admitted job with the effective deadline.
+func (s *Server) newJob(sess *session, ct *htc.CipherTensor, reqID uint64, timeoutMillis uint32) *job {
+	timeout := s.cfg.RequestTimeout
+	if timeoutMillis != 0 {
+		if t := time.Duration(timeoutMillis) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	now := time.Now()
+	return &job{
+		sess:     sess,
+		tensor:   ct,
+		reqID:    reqID,
+		arrived:  now,
+		deadline: now.Add(timeout),
+		respond:  make(chan jobResult, 1),
+	}
+}
+
+// enqueueBatch is the coalescer's flush callback: it moves one formed batch
+// into the executor queue. A full queue rejects the whole batch — the same
+// backpressure contract as the unbatched path, decided at flush time.
+func (s *Server) enqueueBatch(_ uint64, items []*job) {
+	select {
+	case s.jobs <- &batchJob{items: items}:
+	default:
+		for _, j := range items {
+			s.rejQueueFull.Add(1)
+			j.respond <- jobResult{errf: &wire.ErrorFrame{
+				Code: wire.CodeQueueFull, RequestID: j.reqID,
+				Message: fmt.Sprintf("admission queue full (%d deep); retry with backoff", s.cfg.QueueDepth)}}
+		}
+	}
+}
+
+// handleInferBatch admits a client-packed batch request (one tensor, Count
+// images in its leading lanes) directly to the queue — it is already a
+// batch, so it bypasses the coalescer. Returns false when the connection is
+// beyond use.
+func (s *Server) handleInferBatch(conn net.Conn, payload []byte, writeErr func(wire.ErrorCode, uint64, string, ...any) bool) bool {
+	var msg wire.InferBatchRequest
+	if err := msg.Decode(payload); err != nil {
+		return writeErr(wire.CodeBadMessage, 0, "infer-batch-request: %v", err)
+	}
+	if s.draining.Load() {
+		s.rejShutdown.Add(1)
+		return writeErr(wire.CodeShuttingDown, msg.RequestID, "server is draining")
+	}
+	sess, ok := s.reg.get(msg.SessionID)
+	if !ok {
+		return writeErr(wire.CodeUnknownSession, msg.RequestID,
+			"session %d unknown or evicted; re-open", msg.SessionID)
+	}
+	if err := s.checkTensor(msg.Tensor); err != nil {
+		sess.errors.Add(1)
+		return writeErr(wire.CodeBadMessage, msg.RequestID, "infer-batch-request: %v", err)
+	}
+	if int(msg.Count) > s.wantMeta.Batches() {
+		sess.errors.Add(1)
+		return writeErr(wire.CodeBadMessage, msg.RequestID,
+			"batch count %d exceeds compiled capacity %d", msg.Count, s.wantMeta.Batches())
+	}
+
+	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TimeoutMillis)
 	s.inflight.Add(1)
 	select {
-	case s.jobs <- j:
+	case s.jobs <- &batchJob{items: []*job{j}}:
 		s.requests.Add(1)
 		sess.requests.Add(1)
 	default:
@@ -437,34 +606,61 @@ func (s *Server) handleInfer(conn net.Conn, payload []byte, writeErr func(wire.E
 		if res.errf != nil {
 			return writeErr(res.errf.Code, msg.RequestID, "%s", res.errf.Message)
 		}
-		out, err := (&wire.InferResponse{RequestID: msg.RequestID, Tensor: res.tensor}).Encode()
+		out, err := (&wire.InferBatchResponse{
+			RequestID: msg.RequestID, Count: msg.Count, Tensor: res.tensor}).Encode()
 		if err != nil {
 			return writeErr(wire.CodeInternal, msg.RequestID, "encoding response: %v", err)
 		}
-		return wire.WriteFrame(conn, wire.MsgInferResponse, out) == nil
+		return wire.WriteFrame(conn, wire.MsgInferBatchResponse, out) == nil
 	}()
 	s.inflight.Done()
 	return wrote
 }
 
 // checkTensor validates a network-received tensor against this server's
-// parameters before any kernel touches it.
+// parameters before any kernel touches it. Geometry must match the compiled
+// input layout exactly — coalescing adds ciphertexts of different requests
+// together, so admitting "close enough" layouts would corrupt batch-mates.
 func (s *Server) checkTensor(ct *htc.CipherTensor) error {
 	if ct == nil {
 		return errors.New("missing tensor")
 	}
-	if err := ct.Validate(s.params.Slots()); err != nil {
+	slots := s.params.Slots()
+	if err := ct.Validate(slots); err != nil {
 		return err
+	}
+	w := &s.wantMeta
+	laneOf := func(c *htc.CipherTensor) int {
+		if c.BatchStride > 0 {
+			return c.BatchStride
+		}
+		return slots
+	}
+	if ct.Layout != w.Layout || ct.C != w.C || ct.H != w.H || ct.W != w.W ||
+		ct.Offset != w.Offset || ct.RowStride != w.RowStride ||
+		ct.ColStride != w.ColStride || ct.ChanStride != w.ChanStride ||
+		ct.CPerCT != w.CPerCT || ct.Batches() != w.Batches() || laneOf(ct) != laneOf(w) {
+		return fmt.Errorf("tensor geometry %dx%dx%d (offset %d, strides %d/%d/%d, batch %dx%d) does not match the compiled input layout %dx%dx%d (offset %d, strides %d/%d/%d, batch %dx%d)",
+			ct.C, ct.H, ct.W, ct.Offset, ct.RowStride, ct.ColStride, ct.ChanStride, ct.Batches(), laneOf(ct),
+			w.C, w.H, w.W, w.Offset, w.RowStride, w.ColStride, w.ChanStride, w.Batches(), laneOf(w))
 	}
 	n := s.params.N()
 	maxLvl := s.params.MaxLevel()
+	wantScale := s.cfg.Compiled.Options.Scales.Pc
 	for i, c := range ct.CTs {
 		cc, ok := c.(*ckks.Ciphertext)
 		if !ok {
 			return fmt.Errorf("ciphertext %d has foreign type %T", i, c)
 		}
-		if cc.Lvl < 0 || cc.Lvl > maxLvl {
-			return fmt.Errorf("ciphertext %d at level %d, parameters support [0, %d]", i, cc.Lvl, maxLvl)
+		// Inputs are fresh encryptions: full level and the compiled input
+		// scale. Both are cleartext metadata a poisoned request could lie
+		// about; admitting either lie would feed the circuit (or a packed
+		// batch-mate) silent garbage rather than a detectable failure.
+		if cc.Lvl != maxLvl {
+			return fmt.Errorf("ciphertext %d at level %d, fresh inputs are at level %d", i, cc.Lvl, maxLvl)
+		}
+		if diff := cc.Scale - wantScale; diff > 1e-6*wantScale || diff < -1e-6*wantScale {
+			return fmt.Errorf("ciphertext %d at scale %g, compiled input scale is %g", i, cc.Scale, wantScale)
 		}
 		for _, p := range []*htcPoly{{cc.C0, "c0"}, {cc.C1, "c1"}} {
 			if p.p == nil || len(p.p.Coeffs) != cc.Lvl+1 {
@@ -483,21 +679,18 @@ func (s *Server) checkTensor(ct *htc.CipherTensor) error {
 // --- execution ---
 
 // executor drains the admission queue. After quit it answers any remaining
-// queued jobs with shutting-down errors (forced-shutdown path) and exits.
+// queued batches with shutting-down errors (forced-shutdown path) and exits.
 func (s *Server) executor() {
 	defer s.execWG.Done()
 	for {
 		select {
-		case j := <-s.jobs:
-			s.runJob(j)
+		case bj := <-s.jobs:
+			s.runBatch(bj)
 		case <-s.quit:
 			for {
 				select {
-				case j := <-s.jobs:
-					s.rejShutdown.Add(1)
-					j.respond <- jobResult{errf: &wire.ErrorFrame{
-						Code: wire.CodeShuttingDown, RequestID: j.reqID,
-						Message: "server shut down before the request ran"}}
+				case bj := <-s.jobs:
+					s.rejectBatchShutdown(bj)
 				default:
 					return
 				}
@@ -506,21 +699,84 @@ func (s *Server) executor() {
 	}
 }
 
-// runJob evaluates one admitted request, enforcing its deadline at the two
-// points the engine controls: before starting (queue expiry) and after
-// finishing (evaluation overrun). A homomorphic evaluation cannot be
+// rejectBatchShutdown answers every request of a queued batch with a
+// shutting-down error frame.
+func (s *Server) rejectBatchShutdown(bj *batchJob) {
+	for _, j := range bj.items {
+		s.rejShutdown.Add(1)
+		j.respond <- jobResult{errf: &wire.ErrorFrame{
+			Code: wire.CodeShuttingDown, RequestID: j.reqID,
+			Message: "server shut down before the request ran"}}
+	}
+}
+
+// runBatch evaluates one admitted batch, enforcing each request's deadline at
+// the two points the engine controls: before starting (queue expiry) and
+// after finishing (evaluation overrun). A homomorphic evaluation cannot be
 // preempted mid-circuit, so an overrunning result is discarded rather than
 // returned late.
-func (s *Server) runJob(j *job) {
-	if !time.Now().Before(j.deadline) {
-		s.rejDeadline.Add(1)
-		j.sess.errors.Add(1)
-		j.respond <- jobResult{errf: &wire.ErrorFrame{
-			Code: wire.CodeDeadlineExceeded, RequestID: j.reqID,
-			Message: fmt.Sprintf("deadline expired after %v in queue", time.Since(j.arrived).Round(time.Millisecond))}}
+//
+// Multi-request batches (all from one session, formed by the coalescer) are
+// packed homomorphically into one ciphertext and evaluated once. If packing
+// or the packed evaluation fails — the designed failure mode for a request
+// whose ciphertexts arrive scale-poisoned, since PackBatch adds strictly —
+// the batch falls back to evaluating each request alone, so only the
+// poisoned request fails and its batch-mates still get answers.
+func (s *Server) runBatch(bj *batchJob) {
+	now := time.Now()
+	live := bj.items[:0]
+	for _, j := range bj.items {
+		if !now.Before(j.deadline) {
+			s.rejDeadline.Add(1)
+			j.sess.errors.Add(1)
+			j.respond <- jobResult{errf: &wire.ErrorFrame{
+				Code: wire.CodeDeadlineExceeded, RequestID: j.reqID,
+				Message: fmt.Sprintf("deadline expired after %v in queue", time.Since(j.arrived).Round(time.Millisecond))}}
+			continue
+		}
+		s.queueWait.record(now.Sub(j.arrived))
+		live = append(live, j)
+	}
+	if len(live) == 0 {
 		return
 	}
-	out, err := s.evaluate(j.sess, j.tensor)
+	s.batchMu.Lock()
+	s.batchSizes[len(live)]++
+	s.batchMu.Unlock()
+
+	if len(live) == 1 {
+		j := live[0]
+		out, err := s.evaluateTimed(j.sess, j.tensor)
+		s.finish(j, out, err, 1, 0)
+		return
+	}
+
+	sess := live[0].sess // coalescing is keyed by session; all items share it
+	tensors := make([]*htc.CipherTensor, len(live))
+	for i, j := range live {
+		tensors[i] = j.tensor
+	}
+	packed, err := s.pack(sess, tensors)
+	if err == nil {
+		var out *htc.CipherTensor
+		out, err = s.evaluateTimed(sess, packed)
+		if err == nil {
+			for i, j := range live {
+				s.finish(j, out, nil, len(live), i)
+			}
+			return
+		}
+	}
+	s.cfg.Logf("serve: batch of %d failed (%v); isolating — retrying requests individually", len(live), err)
+	for _, j := range live {
+		out, err := s.evaluateTimed(j.sess, j.tensor)
+		s.finish(j, out, err, 1, 0)
+	}
+}
+
+// finish delivers one request's result, applying the post-evaluation
+// deadline check and recording completion metrics.
+func (s *Server) finish(j *job, out *htc.CipherTensor, err error, batchSize, lane int) {
 	switch {
 	case err != nil:
 		s.evalErrors.Add(1)
@@ -538,8 +794,29 @@ func (s *Server) runJob(j *job) {
 		s.completed.Add(1)
 		s.latency.record(d)
 		j.sess.latency.record(d)
-		j.respond <- jobResult{tensor: out}
+		j.respond <- jobResult{tensor: out, batch: batchSize, lane: lane}
 	}
+}
+
+// evaluateTimed wraps evaluate with the evaluation-latency recorder (one
+// sample per circuit execution, however many requests it serves).
+func (s *Server) evaluateTimed(sess *session, in *htc.CipherTensor) (*htc.CipherTensor, error) {
+	start := time.Now()
+	out, err := s.evaluate(sess, in)
+	s.evalLatency.record(time.Since(start))
+	return out, err
+}
+
+// pack combines the single-lane tensors of coalesced requests into one
+// batched ciphertext, converting PackBatch's strict-failure panics (the
+// poison-isolation trip wire) into errors.
+func (s *Server) pack(sess *session, ts []*htc.CipherTensor) (out *htc.CipherTensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("packing failed: %v", r)
+		}
+	}()
+	return htc.PackBatch(sess.backend, ts), nil
 }
 
 // evaluate runs the compiled circuit on the session's backend, converting

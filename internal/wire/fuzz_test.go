@@ -40,6 +40,14 @@ func fuzzSeedFrames(f *testing.F) {
 		return buf.Bytes()
 	}
 
+	// A batched variant: two lanes of a 1x1x2 image in the 16-slot ring.
+	bct := &htc.CipherTensor{
+		Layout: htc.LayoutHW, C: 1, H: 1, W: 2,
+		RowStride: 2, ColStride: 1, CPerCT: 1,
+		B: 2, BatchStride: 4,
+		CTs: []hisa.Ciphertext{b.Encrypt(b.Encode([]float64{1, 2, 0, 0, 3, 4}, 1<<20))},
+	}
+
 	open := &SessionOpen{Rotations: keys.Rotations, PK: keys.PK, RLK: keys.RLK, RTKS: keys.RTKS}
 	p, err := open.Encode()
 	f.Add(frame(MsgSessionOpen, p, err))
@@ -49,8 +57,14 @@ func fuzzSeedFrames(f *testing.F) {
 	f.Add(frame(MsgInferRequest, p, err))
 	p, err = (&InferResponse{RequestID: 2, Tensor: ct}).Encode()
 	f.Add(frame(MsgInferResponse, p, err))
+	p, err = (&InferResponse{RequestID: 2, Batch: 2, Lane: 1, Tensor: bct}).Encode()
+	f.Add(frame(MsgInferResponse, p, err))
 	p, err = (&ErrorFrame{Code: CodeInternal, Message: "boom"}).Encode()
 	f.Add(frame(MsgError, p, err))
+	p, err = (&InferBatchRequest{SessionID: 1, RequestID: 3, Count: 2, Tensor: bct}).Encode()
+	f.Add(frame(MsgInferBatchRequest, p, err))
+	p, err = (&InferBatchResponse{RequestID: 3, Count: 2, Tensor: bct}).Encode()
+	f.Add(frame(MsgInferBatchResponse, p, err))
 	f.Add([]byte{})
 	f.Add([]byte{0xF1, 0x5E, 0xE7, 0xC4, 1, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F})
 }
@@ -92,10 +106,28 @@ func FuzzWireFrame(f *testing.F) {
 			}
 		case MsgInferResponse:
 			var m InferResponse
-			_ = m.Decode(payload)
+			if m.Decode(payload) == nil {
+				if _, err := m.Encode(); err != nil {
+					t.Fatalf("decoded infer-response does not re-encode: %v", err)
+				}
+			}
 		case MsgError:
 			var m ErrorFrame
 			_ = m.Decode(payload)
+		case MsgInferBatchRequest:
+			var m InferBatchRequest
+			if m.Decode(payload) == nil {
+				if _, err := m.Encode(); err != nil {
+					t.Fatalf("decoded infer-batch-request does not re-encode: %v", err)
+				}
+			}
+		case MsgInferBatchResponse:
+			var m InferBatchResponse
+			if m.Decode(payload) == nil {
+				if _, err := m.Encode(); err != nil {
+					t.Fatalf("decoded infer-batch-response does not re-encode: %v", err)
+				}
+			}
 		}
 	})
 }
@@ -119,6 +151,17 @@ func FuzzDecodeCipherTensor(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed)
+	bct := &htc.CipherTensor{
+		Layout: htc.LayoutHW, C: 1, H: 1, W: 2,
+		RowStride: 2, ColStride: 1, CPerCT: 1,
+		B: 4, BatchStride: 4,
+		CTs: []hisa.Ciphertext{b.Encrypt(b.Encode([]float64{1, 2}, 1<<20))},
+	}
+	bseed, err := EncodeCipherTensor(bct)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bseed)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := DecodeCipherTensor(data)
@@ -134,7 +177,8 @@ func FuzzDecodeCipherTensor(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded tensor does not decode: %v", err)
 		}
-		if again.C != got.C || again.H != got.H || again.W != got.W || len(again.CTs) != len(got.CTs) {
+		if again.C != got.C || again.H != got.H || again.W != got.W || len(again.CTs) != len(got.CTs) ||
+			again.B != got.B || again.BatchStride != got.BatchStride {
 			t.Fatal("metadata not stable across re-encoding")
 		}
 	})

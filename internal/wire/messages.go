@@ -11,8 +11,9 @@ import (
 // compiler produces but small enough that a lying prefix cannot drive
 // pathological allocation.
 const (
-	maxRotations = 1 << 16
-	maxMessage   = 1 << 16 // error-message bytes
+	maxRotations  = 1 << 16
+	maxMessage    = 1 << 16 // error-message bytes
+	maxBatchLanes = 1 << 12 // batch counts / lane indices on the wire
 )
 
 // ErrorCode classifies server-side failures on the wire.
@@ -193,16 +194,28 @@ func (m *InferRequest) Decode(data []byte) error {
 	return nil
 }
 
-// InferResponse returns the encrypted prediction for one request.
+// InferResponse returns the encrypted prediction for one request. When the
+// server coalesced the request into a batch, Batch carries the number of
+// co-packed requests and Lane the slot lane holding this request's
+// prediction; the client extracts its lane before decrypting. Batch <= 1
+// means the prediction occupies lane 0 (the unbatched wire shape).
 type InferResponse struct {
 	RequestID uint64
+	Batch     uint32
+	Lane      uint32
 	Tensor    *htc.CipherTensor
 }
 
 // Encode serializes the message payload.
 func (m *InferResponse) Encode() ([]byte, error) {
+	if m.Batch > maxBatchLanes || m.Lane >= maxBatchLanes {
+		return nil, fmt.Errorf("wire: infer-response batch %d / lane %d exceed cap %d",
+			m.Batch, m.Lane, maxBatchLanes)
+	}
 	e := &enc{}
 	e.u64(m.RequestID)
+	e.u32(m.Batch)
+	e.u32(m.Lane)
 	if err := encodeCipherTensor(e, m.Tensor); err != nil {
 		return nil, err
 	}
@@ -213,6 +226,14 @@ func (m *InferResponse) Encode() ([]byte, error) {
 func (m *InferResponse) Decode(data []byte) error {
 	d := &dec{buf: data}
 	m.RequestID = d.u64()
+	batch := d.u32()
+	lane := d.u32()
+	if d.err == nil && (batch > maxBatchLanes || lane >= maxBatchLanes) {
+		d.fail(fmt.Sprintf("implausible batch %d / lane %d", batch, lane))
+	}
+	if d.err == nil && batch > 1 && lane >= batch {
+		d.fail(fmt.Sprintf("lane %d outside batch %d", lane, batch))
+	}
 	ct, err := decodeCipherTensor(d)
 	if err != nil {
 		return err
@@ -220,7 +241,108 @@ func (m *InferResponse) Decode(data []byte) error {
 	if err := d.finish(); err != nil {
 		return err
 	}
-	m.Tensor = ct
+	m.Batch, m.Lane, m.Tensor = batch, lane, ct
+	return nil
+}
+
+// InferBatchRequest asks the server to evaluate the compiled circuit on a
+// tensor the client already packed with Count images in its leading batch
+// lanes. Count must not exceed the tensor's compiled batch capacity; the
+// server answers with one InferBatchResponse (or an ErrorFrame).
+type InferBatchRequest struct {
+	SessionID uint64
+	RequestID uint64
+	// TimeoutMillis caps this request's total latency (queue + execution).
+	// Zero defers to the server's configured default.
+	TimeoutMillis uint32
+	// Count is the number of occupied batch lanes (>= 1).
+	Count  uint32
+	Tensor *htc.CipherTensor
+}
+
+// Encode serializes the message payload.
+func (m *InferBatchRequest) Encode() ([]byte, error) {
+	if m.Count < 1 || m.Count > maxBatchLanes {
+		return nil, fmt.Errorf("wire: infer-batch-request count %d outside [1, %d]", m.Count, maxBatchLanes)
+	}
+	e := &enc{}
+	e.u64(m.SessionID)
+	e.u64(m.RequestID)
+	e.u32(m.TimeoutMillis)
+	e.u32(m.Count)
+	if err := encodeCipherTensor(e, m.Tensor); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// Decode parses a payload produced by Encode.
+func (m *InferBatchRequest) Decode(data []byte) error {
+	d := &dec{buf: data}
+	m.SessionID = d.u64()
+	m.RequestID = d.u64()
+	m.TimeoutMillis = d.u32()
+	count := d.u32()
+	if d.err == nil && (count < 1 || count > maxBatchLanes) {
+		d.fail(fmt.Sprintf("implausible batch count %d", count))
+	}
+	ct, err := decodeCipherTensor(d)
+	if err != nil {
+		return err
+	}
+	if err := d.finish(); err != nil {
+		return err
+	}
+	if int(count) > ct.Batches() {
+		return fmt.Errorf("wire: infer-batch-request count %d exceeds tensor batch capacity %d",
+			count, ct.Batches())
+	}
+	m.Count, m.Tensor = count, ct
+	return nil
+}
+
+// InferBatchResponse returns the encrypted predictions of a batched
+// request: one tensor whose leading Count lanes hold the per-image outputs.
+type InferBatchResponse struct {
+	RequestID uint64
+	Count     uint32
+	Tensor    *htc.CipherTensor
+}
+
+// Encode serializes the message payload.
+func (m *InferBatchResponse) Encode() ([]byte, error) {
+	if m.Count < 1 || m.Count > maxBatchLanes {
+		return nil, fmt.Errorf("wire: infer-batch-response count %d outside [1, %d]", m.Count, maxBatchLanes)
+	}
+	e := &enc{}
+	e.u64(m.RequestID)
+	e.u32(m.Count)
+	if err := encodeCipherTensor(e, m.Tensor); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// Decode parses a payload produced by Encode.
+func (m *InferBatchResponse) Decode(data []byte) error {
+	d := &dec{buf: data}
+	m.RequestID = d.u64()
+	count := d.u32()
+	if d.err == nil && (count < 1 || count > maxBatchLanes) {
+		d.fail(fmt.Sprintf("implausible batch count %d", count))
+	}
+	ct, err := decodeCipherTensor(d)
+	if err != nil {
+		return err
+	}
+	if err := d.finish(); err != nil {
+		return err
+	}
+	if int(count) > ct.Batches() {
+		return fmt.Errorf("wire: infer-batch-response count %d exceeds tensor batch capacity %d",
+			count, ct.Batches())
+	}
+	m.Count, m.Tensor = count, ct
 	return nil
 }
 

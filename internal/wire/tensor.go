@@ -27,8 +27,14 @@ func encodeCipherTensor(e *enc, ct *htc.CipherTensor) error {
 		return fmt.Errorf("wire: nil cipher tensor")
 	}
 	e.u8(byte(ct.Layout))
+	// B is normalized on encode (0 and 1 both mean unbatched), so the wire
+	// form of a legacy tensor and an explicit batch-1 tensor is identical.
+	b := ct.B
+	if b < 1 {
+		b = 1
+	}
 	for _, v := range []int{ct.C, ct.H, ct.W, ct.Offset, ct.RowStride,
-		ct.ColStride, ct.ChanStride, ct.CPerCT} {
+		ct.ColStride, ct.ChanStride, ct.CPerCT, b, ct.BatchStride} {
 		e.i64(v)
 	}
 	if len(ct.CTs) > maxTensorCTs {
@@ -51,7 +57,7 @@ func encodeCipherTensor(e *enc, ct *htc.CipherTensor) error {
 // metadata field against the caps above.
 func decodeCipherTensor(d *dec) (*htc.CipherTensor, error) {
 	layout := d.u8()
-	var dims [8]int
+	var dims [10]int
 	for i := range dims {
 		dims[i] = d.i64()
 	}
@@ -64,6 +70,7 @@ func decodeCipherTensor(d *dec) (*htc.CipherTensor, error) {
 	}
 	c, h, w := dims[0], dims[1], dims[2]
 	offset, rowS, colS, chanS, cPerCT := dims[3], dims[4], dims[5], dims[6], dims[7]
+	batch, batchS := dims[8], dims[9]
 	switch {
 	case c < 1 || c > maxTensorDim || h < 1 || h > maxTensorDim || w < 1 || w > maxTensorDim:
 		return nil, fmt.Errorf("wire: implausible tensor dims C=%d H=%d W=%d", c, h, w)
@@ -75,6 +82,12 @@ func decodeCipherTensor(d *dec) (*htc.CipherTensor, error) {
 		chanS < 0 || chanS > maxSlotIndex:
 		return nil, fmt.Errorf("wire: implausible tensor strides (offset %d, row %d, col %d, chan %d)",
 			offset, rowS, colS, chanS)
+	case batch < 1 || batch > maxBatchLanes:
+		return nil, fmt.Errorf("wire: implausible tensor batch %d", batch)
+	case batchS < 0 || batchS > maxSlotIndex:
+		return nil, fmt.Errorf("wire: implausible tensor batch stride %d", batchS)
+	case batch > 1 && batchS < 1:
+		return nil, fmt.Errorf("wire: batched tensor (B=%d) without a batch stride", batch)
 	case n < 0 || n > maxTensorCTs:
 		return nil, fmt.Errorf("wire: implausible ciphertext count %d", n)
 	}
@@ -86,6 +99,7 @@ func decodeCipherTensor(d *dec) (*htc.CipherTensor, error) {
 		Layout: htc.Layout(layout), C: c, H: h, W: w,
 		Offset: offset, RowStride: rowS, ColStride: colS,
 		ChanStride: chanS, CPerCT: cPerCT,
+		B: batch, BatchStride: batchS,
 		CTs: make([]hisa.Ciphertext, 0, n),
 	}
 	for i := 0; i < n; i++ {

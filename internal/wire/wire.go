@@ -10,7 +10,7 @@
 //
 //	offset  size  field
 //	0       4     magic   0xC4E75EF1
-//	4       1     version (currently 1)
+//	4       1     version (currently 2)
 //	5       1     type    (MsgType)
 //	6       2     flags   (reserved, must be zero)
 //	8       4     payload length in bytes
@@ -31,8 +31,10 @@ import (
 const (
 	// FrameMagic begins every frame.
 	FrameMagic uint32 = 0xC4E75EF1
-	// Version is the protocol version this package speaks.
-	Version byte = 1
+	// Version is the protocol version this package speaks. Version 2 added
+	// the batch fields to the tensor codec and the batched inference frames;
+	// version-1 peers are rejected at the header.
+	Version byte = 2
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 12
 	// DefaultMaxFrame bounds a frame's payload when the caller does not
@@ -44,7 +46,7 @@ const (
 // MsgType identifies a frame's payload.
 type MsgType uint8
 
-// The five frame types of the serving protocol.
+// The frame types of the serving protocol.
 const (
 	// MsgSessionOpen (client → server): evaluation keys plus the compiled
 	// circuit fingerprint.
@@ -59,6 +61,12 @@ const (
 	// MsgError (server → client): a typed failure for one request or for
 	// the connection.
 	MsgError
+	// MsgInferBatchRequest (client → server): one tensor carrying several
+	// images pre-packed into batch lanes, evaluated as a single request.
+	MsgInferBatchRequest
+	// MsgInferBatchResponse (server → client): the encrypted predictions of
+	// a batched request, one per lane.
+	MsgInferBatchResponse
 )
 
 func (t MsgType) String() string {
@@ -73,6 +81,10 @@ func (t MsgType) String() string {
 		return "infer-response"
 	case MsgError:
 		return "error"
+	case MsgInferBatchRequest:
+		return "infer-batch-request"
+	case MsgInferBatchResponse:
+		return "infer-batch-response"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -126,7 +138,7 @@ func ReadFrame(r io.Reader, maxFrame int) (MsgType, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, v)
 	}
 	t := MsgType(hdr[5])
-	if t < MsgSessionOpen || t > MsgError {
+	if t < MsgSessionOpen || t > MsgInferBatchResponse {
 		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, hdr[5])
 	}
 	if f := binary.LittleEndian.Uint16(hdr[6:]); f != 0 {
