@@ -20,6 +20,12 @@ go test -race ./internal/hisa/... ./internal/htc/... ./internal/ckks/...
 echo "== go test -race (serving subsystem: wire protocol + batch coalescer + server engine)"
 go test -race ./internal/serve/... ./internal/wire/... ./internal/batch/...
 
+echo "== go test -race (telemetry: tracer ring, scope stack, metrics snapshots)"
+go test -race ./internal/telemetry/... ./internal/serve/...
+
+echo "== observability smoke (/metrics exposition + pprof against a live chet-serve)"
+go test -run=TestObservabilityEndpoints ./cmd/chet-serve
+
 echo "== fuzz smoke (wire decoders are total over adversarial bytes)"
 go test -fuzz=FuzzWireFrame -fuzztime=5s ./internal/wire
 

@@ -11,7 +11,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +54,13 @@ type benchConfig struct {
 	batchSizes                 []int
 	batchMinLogN, batchMaxLogN int
 	batchOut                   string
+	// telemetryLogN/telemetryReps size the tracing-overhead experiment;
+	// telemetryBudgetPct is the overhead ceiling it asserts, telemetryOut
+	// its JSON path ("" disables).
+	telemetryLogN      int
+	telemetryReps      int
+	telemetryBudgetPct float64
+	telemetryOut       string
 }
 
 func defaultConfig() benchConfig {
@@ -73,6 +79,11 @@ func defaultConfig() benchConfig {
 		batchMinLogN: 11,
 		batchMaxLogN: 13,
 		batchOut:     "BENCH_batching.json",
+
+		telemetryLogN:      12,
+		telemetryReps:      5,
+		telemetryBudgetPct: 5,
+		telemetryOut:       "BENCH_telemetry.json",
 	}
 }
 
@@ -168,11 +179,7 @@ func experiments(cfg benchConfig) []experiment {
 			if cfg.benchOut == "" {
 				return nil
 			}
-			data, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(cfg.benchOut, append(data, '\n'), 0o644); err != nil {
+			if err := bench.WriteStampedJSON(cfg.benchOut, res); err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "wrote %s\n", cfg.benchOut)
@@ -188,14 +195,32 @@ func experiments(cfg benchConfig) []experiment {
 			if cfg.batchOut == "" {
 				return nil
 			}
-			data, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(cfg.batchOut, append(data, '\n'), 0o644); err != nil {
+			if err := bench.WriteStampedJSON(cfg.batchOut, res); err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "wrote %s\n", cfg.batchOut)
+			return nil
+		}},
+		{"telemetry", func(w io.Writer) error {
+			rows, err := bench.TelemetryOverhead(cfg.fig6Models, cfg.telemetryLogN,
+				cfg.workers, cfg.telemetryReps, cfg.telemetryBudgetPct)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderTelemetry(rows))
+			fmt.Fprintln(w, "traced output is verified bit-identical to untraced (the tracer observes, never perturbs)")
+			if cfg.telemetryOut != "" {
+				if err := bench.WriteStampedJSON(cfg.telemetryOut, rows); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote %s\n", cfg.telemetryOut)
+			}
+			for _, r := range rows {
+				if !r.Pass {
+					return fmt.Errorf("tracing overhead %.2f%% on %s exceeds the %.1f%% budget",
+						r.OverheadPct, r.Name, r.BudgetPct)
+				}
+			}
 			return nil
 		}},
 	}
@@ -227,7 +252,7 @@ func runExperiments(w io.Writer, want string, cfg benchConfig) error {
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, batching, or all")
+		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, batching, telemetry, or all")
 	full := flag.Bool("full", false,
 		"use all five evaluation networks (slower analysis sweeps; fig6 always uses the small set)")
 	scaleSearch := flag.Bool("scalesearch", false,
@@ -238,6 +263,10 @@ func main() {
 		"output path for the rotations experiment JSON (empty disables)")
 	batchOut := flag.String("batchout", "BENCH_batching.json",
 		"output path for the batching experiment JSON (empty disables)")
+	telemetryOut := flag.String("telemetryout", "BENCH_telemetry.json",
+		"output path for the telemetry experiment JSON (empty disables)")
+	budget := flag.Float64("telemetry-budget", 5,
+		"tracing-overhead budget in percent the telemetry experiment asserts")
 	flag.Parse()
 
 	cfg := defaultConfig()
@@ -245,6 +274,8 @@ func main() {
 	cfg.workers = *workers
 	cfg.benchOut = *benchOut
 	cfg.batchOut = *batchOut
+	cfg.telemetryOut = *telemetryOut
+	cfg.telemetryBudgetPct = *budget
 	if *full {
 		cfg.models = bench.EvalModels()
 	}

@@ -24,6 +24,13 @@ func tinyConfig() benchConfig {
 		batchMinLogN: 11,
 		batchMaxLogN: 12,
 		batchOut:     "",
+
+		telemetryLogN: 11,
+		telemetryReps: 2,
+		// The smoke test asserts correctness, not performance: a loaded CI
+		// host can't hold the 5% production budget on a tiny single-rep run.
+		telemetryBudgetPct: 500,
+		telemetryOut:       "",
 	}
 }
 
@@ -31,7 +38,7 @@ func tinyConfig() benchConfig {
 // and requires non-empty rendered output.
 func TestRunExperimentsSmoke(t *testing.T) {
 	cfg := tinyConfig()
-	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "batching": true}
+	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "batching": true, "telemetry": true}
 	for _, e := range experiments(cfg) {
 		t.Run(e.name, func(t *testing.T) {
 			if testing.Short() && slow[e.name] {

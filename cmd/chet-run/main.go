@@ -23,6 +23,7 @@ import (
 
 	"chet"
 	"chet/internal/ring"
+	"chet/internal/telemetry"
 )
 
 // runConfig holds everything main parses from flags, so inference is
@@ -34,6 +35,12 @@ type runConfig struct {
 	images   int
 	insecure bool
 	workers  int
+	// tracePath, when set, wraps the session backend in a telemetry.Tracer
+	// and writes the recorded spans as Chrome trace_event JSON there.
+	tracePath string
+	// profile runs the per-layer precision profiler (a plaintext oracle in
+	// lockstep) after inference and prints its report.
+	profile bool
 }
 
 // runInference compiles, keys, and runs encrypted inference, writing the
@@ -75,6 +82,13 @@ func runInference(w io.Writer, cfg runConfig) error {
 	fmt.Fprintf(w, "key generation: %v (inference workers: %d)\n",
 		time.Since(start).Round(time.Millisecond), cfg.workers)
 
+	var tracer *telemetry.Tracer
+	if cfg.tracePath != "" {
+		tracer = telemetry.NewTracer(session.Backend, telemetry.Config{})
+		session.Backend = tracer
+	}
+
+	var inferWall time.Duration
 	for i := 0; i < cfg.images; i++ {
 		img := chet.SyntheticImage(m.InputShape, cfg.seed+uint64(i))
 		want := m.Circuit.Evaluate(img)
@@ -86,6 +100,7 @@ func runInference(w io.Writer, cfg runConfig) error {
 		start = time.Now()
 		out := session.Infer(enc)
 		inferTime := time.Since(start)
+		inferWall += inferTime
 
 		got := session.Decrypt(out)
 		maxErr := 0.0
@@ -102,7 +117,43 @@ func runInference(w io.Writer, cfg runConfig) error {
 			i, encTime.Round(time.Millisecond), inferTime.Round(time.Millisecond),
 			maxErr, agree, got.ArgMax())
 	}
+
+	if tracer != nil {
+		prof := tracer.Profile()
+		fmt.Fprint(w, telemetry.RenderProfile(prof))
+		if err := writeTrace(cfg.tracePath, tracer, inferWall, prof); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace: %d spans (%d dropped) -> %s; kernel scopes cover %v of %v inference wall\n",
+			tracer.SpanCount(), tracer.Dropped(), cfg.tracePath,
+			prof.ScopeTotal.Round(time.Millisecond), inferWall.Round(time.Millisecond))
+	}
+	if cfg.profile {
+		rows := telemetry.PrecisionProfile(session.Backend, compiled.Circuit,
+			chet.SyntheticImage(m.InputShape, cfg.seed),
+			compiled.Best.Policy, compiled.Options.Scales, cfg.workers)
+		fmt.Fprint(w, telemetry.RenderPrecision(rows))
+	}
 	return nil
+}
+
+// writeTrace dumps the tracer's spans as Chrome trace_event JSON
+// (chrome://tracing, Perfetto). The wall/scope totals ride along in
+// otherData so tooling can check span coverage without re-deriving it.
+func writeTrace(path string, tracer *telemetry.Tracer, wall time.Duration, prof telemetry.Profile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating trace file: %w", err)
+	}
+	defer f.Close()
+	other := map[string]any{
+		"inferWallUS":  wall.Microseconds(),
+		"scopeTotalUS": prof.ScopeTotal.Microseconds(),
+	}
+	if err := telemetry.WriteChromeTrace(f, tracer.Snapshot(), other); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
 }
 
 func main() {
@@ -114,6 +165,8 @@ func main() {
 	flag.IntVar(&cfg.images, "images", 1, "number of images to infer")
 	flag.BoolVar(&cfg.insecure, "insecure", false, "use a small demo ring without the security check (fast real-crypto runs)")
 	flag.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "worker-pool size for inference (default: one per CPU)")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write per-op spans as Chrome trace_event JSON to this file")
+	flag.BoolVar(&cfg.profile, "profile", false, "run the per-layer precision profiler (plaintext oracle in lockstep) and print its report")
 	flag.Parse()
 
 	if err := runInference(os.Stdout, cfg); err != nil {

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceFlagWritesValidChromeTrace runs the MNIST demo network with
+// -trace and -profile and checks the acceptance criteria: the file is valid
+// Chrome trace_event JSON, and the kernel-scope span total covers the
+// inference wall time to within ±10% (the executor's node loop is serial,
+// so scopes tile the run).
+func TestTraceFlagWritesValidChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var sb strings.Builder
+	err := runInference(&sb, runConfig{
+		model:     "LeNet-tiny",
+		scheme:    "heaan",
+		seed:      7,
+		images:    1,
+		insecure:  true,
+		workers:   2,
+		tracePath: path,
+		profile:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"per-op profile", "per-kernel profile", "trace:", "per-layer precision"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		OtherData map[string]float64 `json:"otherData"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace holds no events")
+	}
+	ops, kernels := 0, 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", e.Name, e.Ph)
+		}
+		switch e.Cat {
+		case "op":
+			ops++
+		case "kernel":
+			kernels++
+		default:
+			t.Fatalf("event %q has unknown category %q", e.Name, e.Cat)
+		}
+	}
+	if ops == 0 || kernels == 0 {
+		t.Fatalf("trace split ops=%d kernels=%d; want both populated", ops, kernels)
+	}
+
+	wall := doc.OtherData["inferWallUS"]
+	scoped := doc.OtherData["scopeTotalUS"]
+	if wall <= 0 || scoped <= 0 {
+		t.Fatalf("otherData missing totals: %v", doc.OtherData)
+	}
+	if ratio := scoped / wall; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("kernel scopes cover %.1f%% of the inference wall; want within ±10%%", ratio*100)
+	}
+}

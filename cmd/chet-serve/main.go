@@ -21,6 +21,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -45,6 +46,12 @@ type serveConfig struct {
 	requestTimeout time.Duration
 	batch          int
 	batchWait      time.Duration
+	// metricsAddr, when non-empty, serves /metrics (Prometheus text) and
+	// /debug/pprof/* on a second listener.
+	metricsAddr string
+	// trace wraps each session's backend in a telemetry tracer: per-op
+	// duration series on /metrics and trace-ID-correlated dispatch logs.
+	trace bool
 }
 
 // buildServer compiles the model and constructs the engine.
@@ -87,6 +94,7 @@ func buildServer(w io.Writer, cfg serveConfig) (*serve.Server, *chet.Compiled, e
 		Parallel:       cfg.parallel,
 		MaxBatch:       cfg.batch,
 		BatchWait:      cfg.batchWait,
+		Trace:          cfg.trace,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
@@ -98,8 +106,9 @@ func buildServer(w io.Writer, cfg serveConfig) (*serve.Server, *chet.Compiled, e
 }
 
 // run starts the server and blocks until a stop signal, then drains and
-// reports metrics. onReady, when non-nil, receives the bound address.
-func run(w io.Writer, cfg serveConfig, stop <-chan os.Signal, onReady func(net.Addr)) error {
+// reports metrics. onReady, when non-nil, receives the bound inference
+// address and the bound observability address (nil unless -metrics-addr).
+func run(w io.Writer, cfg serveConfig, stop <-chan os.Signal, onReady func(listen, metrics net.Addr)) error {
 	s, comp, err := buildServer(w, cfg)
 	if err != nil {
 		return err
@@ -109,8 +118,22 @@ func run(w io.Writer, cfg serveConfig, stop <-chan os.Signal, onReady func(net.A
 		return err
 	}
 	fmt.Fprintf(w, "chet-serve: circuit fingerprint %s\n", comp.FingerprintHex()[:16])
+
+	var metricsAddr net.Addr
+	if cfg.metricsAddr != "" {
+		mln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		metricsAddr = mln.Addr()
+		hs := &http.Server{Handler: s.ObservabilityMux()}
+		go hs.Serve(mln)
+		defer hs.Close()
+		fmt.Fprintf(w, "chet-serve: observability on http://%s (/metrics, /debug/pprof/)\n", metricsAddr)
+	}
 	if onReady != nil {
-		onReady(ln.Addr())
+		onReady(ln.Addr(), metricsAddr)
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- s.Serve(ln) }()
@@ -176,6 +199,8 @@ func main() {
 	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 60*time.Second, "default per-request deadline")
 	flag.IntVar(&cfg.batch, "batch", 1, "batch capacity: coalesce up to this many same-session requests per evaluation (1 disables, 0 auto-selects up to 16)")
 	flag.DurationVar(&cfg.batchWait, "batch-wait", 20*time.Millisecond, "how long a partial batch waits for more requests before evaluating")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address (empty disables)")
+	flag.BoolVar(&cfg.trace, "trace", false, "trace session backends: per-op durations on /metrics, trace-ID dispatch logs")
 	flag.Parse()
 
 	stop := make(chan os.Signal, 1)

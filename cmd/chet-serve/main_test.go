@@ -34,7 +34,7 @@ func TestServeRoundTrip(t *testing.T) {
 	done := make(chan error, 1)
 	var mu sync.Mutex
 	logf := lockedWriter{&mu, &out}
-	go func() { done <- run(&logf, cfg, stop, func(a net.Addr) { ready <- a }) }()
+	go func() { done <- run(&logf, cfg, stop, func(a, _ net.Addr) { ready <- a }) }()
 
 	var addr net.Addr
 	select {

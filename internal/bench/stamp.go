@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Stamp identifies the build a benchmark artifact came from, so a
+// BENCH_*.json checked against a later tree is traceable to the commit that
+// produced it.
+type Stamp struct {
+	Commit    string `json:"commit"`
+	Timestamp string `json:"timestamp"` // RFC 3339, UTC
+}
+
+// NewStamp resolves the current commit hash: the build info's vcs.revision
+// when the binary was built inside a checkout, `git rev-parse HEAD` as a
+// fallback for `go run`/`go test` invocations, and "unknown" when neither
+// source is available (a tarball build, say).
+func NewStamp() Stamp {
+	s := Stamp{Commit: "unknown", Timestamp: time.Now().UTC().Format(time.RFC3339)}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" && kv.Value != "" {
+				s.Commit = kv.Value
+				return s
+			}
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			s.Commit = rev
+		}
+	}
+	return s
+}
+
+// WriteStampedJSON writes a benchmark result to path as indented JSON of
+// the form {"commit", "timestamp", "result"}.
+func WriteStampedJSON(path string, result any) error {
+	blob, err := json.MarshalIndent(struct {
+		Stamp
+		Result any `json:"result"`
+	}{NewStamp(), result}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshaling %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

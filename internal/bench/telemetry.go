@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"chet/internal/core"
+	"chet/internal/hisa"
+	"chet/internal/htc"
+	"chet/internal/nn"
+	"chet/internal/ring"
+	"chet/internal/telemetry"
+)
+
+// TelemetryRow measures what wrapping a backend in telemetry.Tracer costs
+// one network's end-to-end homomorphic inference.
+type TelemetryRow struct {
+	Name            string
+	Workers         int
+	Reps            int
+	UntracedSeconds float64 // best of Reps, bare backend
+	TracedSeconds   float64 // best of Reps, Tracer-wrapped backend
+	OverheadPct     float64 // (traced - untraced) / untraced * 100
+	Spans           int64   // spans one traced inference records
+	BudgetPct       float64
+	Pass            bool // OverheadPct <= BudgetPct
+}
+
+// TelemetryOverhead measures tracing overhead on real RNS-CKKS inference
+// over small insecure rings (the ParallelSpeedup methodology): each network
+// runs Reps interleaved bare/traced pairs after one unmeasured warm-up
+// pair, taking the best of each arm. Interleaving matters on shared hosts:
+// sequential arm blocks let a load spike land entirely on one arm and
+// report impossible numbers (negative overhead), while alternating gives
+// both arms the same quiet windows and best-of converges on the true cost.
+// Traced output is checked equal to untraced — the tracer must observe,
+// never perturb — and each row passes if its overhead is within budgetPct.
+func TelemetryOverhead(models []*nn.Model, logN, workers, reps int, budgetPct float64) ([]TelemetryRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []TelemetryRow
+	for _, m := range models {
+		comp, err := core.Compile(m.Circuit, core.Options{
+			Scheme:       core.SchemeRNS,
+			SecurityBits: -1,
+			MinLogN:      logN,
+			MaxLogN:      logN,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		b, err := core.BuildBackend(comp, ring.NewTestPRNG(17))
+		if err != nil {
+			return nil, err
+		}
+		img := nn.SyntheticImage(m.InputShape, 23)
+		sc := comp.Options.Scales
+		policy := comp.Best.Policy
+		plan := htc.PlanFor(m.Circuit, policy)
+		enc := htc.EncryptTensor(b, img, plan, sc)
+		opts := htc.ExecOptions{Workers: workers}
+
+		tracer := telemetry.NewTracer(b, telemetry.Config{})
+
+		// Warm-up pair: first executions pay one-time costs (page faults,
+		// rotation-key cache fills) that belong to neither arm.
+		bare := htc.ExecuteOpts(b, m.Circuit, enc, policy, sc, opts)
+		wrapped := htc.ExecuteOpts(tracer, m.Circuit, enc, policy, sc, opts)
+
+		untraced, traced := time.Duration(-1), time.Duration(-1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			bare = htc.ExecuteOpts(b, m.Circuit, enc, policy, sc, opts)
+			if d := time.Since(start); untraced < 0 || d < untraced {
+				untraced = d
+			}
+
+			tracer.Reset()
+			start = time.Now()
+			wrapped = htc.ExecuteOpts(tracer, m.Circuit, enc, policy, sc, opts)
+			if d := time.Since(start); traced < 0 || d < traced {
+				traced = d
+			}
+		}
+
+		if err := equalOutputs(b, bare, wrapped); err != nil {
+			return nil, fmt.Errorf("%s: traced inference diverged from untraced: %w", m.Name, err)
+		}
+
+		overhead := (traced.Seconds() - untraced.Seconds()) / untraced.Seconds() * 100
+		rows = append(rows, TelemetryRow{
+			Name:            m.Name,
+			Workers:         workers,
+			Reps:            reps,
+			UntracedSeconds: untraced.Seconds(),
+			TracedSeconds:   traced.Seconds(),
+			OverheadPct:     overhead,
+			Spans:           tracer.SpanCount(),
+			BudgetPct:       budgetPct,
+			Pass:            overhead <= budgetPct,
+		})
+	}
+	return rows, nil
+}
+
+// equalOutputs decrypts both cipher tensors on b and requires bitwise-equal
+// plaintexts (RNS decryption is deterministic, so tracing must not change a
+// single bit of the result).
+func equalOutputs(b hisa.Backend, x, y *htc.CipherTensor) error {
+	xt := htc.DecryptTensor(b, x)
+	yt := htc.DecryptTensor(b, y)
+	if len(xt.Data) != len(yt.Data) {
+		return fmt.Errorf("output sizes differ: %d vs %d", len(xt.Data), len(yt.Data))
+	}
+	for i := range xt.Data {
+		if xt.Data[i] != yt.Data[i] {
+			return fmt.Errorf("element %d differs: %v vs %v", i, xt.Data[i], yt.Data[i])
+		}
+	}
+	return nil
+}
+
+// RenderTelemetry formats the overhead comparison.
+func RenderTelemetry(rows []TelemetryRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %3s %4s %12s %12s %9s %8s %6s %6s\n",
+		"Network", "T", "reps", "untraced(s)", "traced(s)", "overhead", "budget", "spans", "pass")
+	for _, r := range rows {
+		pass := "ok"
+		if !r.Pass {
+			pass = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%-14s %3d %4d %12.3f %12.3f %8.2f%% %7.1f%% %6d %6s\n",
+			r.Name, r.Workers, r.Reps, r.UntracedSeconds, r.TracedSeconds,
+			r.OverheadPct, r.BudgetPct, r.Spans, pass)
+	}
+	return sb.String()
+}

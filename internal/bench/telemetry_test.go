@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"chet/internal/nn"
+)
+
+// TestTelemetryOverheadSmoke runs the tracing-overhead measurement at its
+// smallest real-crypto instance and checks the row invariants. The budget is
+// deliberately loose: this asserts correctness, not performance (chet-bench
+// runs the production 5% budget).
+func TestTelemetryOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real lattice crypto; run without -short")
+	}
+	rows, err := TelemetryOverhead([]*nn.Model{nn.LeNetTiny()}, 11, 2, 2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.UntracedSeconds <= 0 || r.TracedSeconds <= 0 {
+		t.Errorf("non-positive timings: %+v", r)
+	}
+	if r.Spans <= 0 {
+		t.Errorf("traced run recorded no spans: %+v", r)
+	}
+	if !r.Pass {
+		t.Errorf("overhead %.2f%% exceeded even the loose %.0f%% smoke budget", r.OverheadPct, r.BudgetPct)
+	}
+	if out := RenderTelemetry(rows); out == "" {
+		t.Error("RenderTelemetry produced no output")
+	}
+}
+
+// TestStampAndWriteStampedJSON checks artifacts carry a commit hash and an
+// RFC 3339 UTC timestamp around the payload.
+func TestStampAndWriteStampedJSON(t *testing.T) {
+	s := NewStamp()
+	if s.Commit == "" {
+		t.Fatal("empty commit field (want a hash or the \"unknown\" sentinel)")
+	}
+	if _, err := time.Parse(time.RFC3339, s.Timestamp); err != nil {
+		t.Fatalf("timestamp %q is not RFC 3339: %v", s.Timestamp, err)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := WriteStampedJSON(path, map[string]int{"answer": 42}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Commit    string         `json:"commit"`
+		Timestamp string         `json:"timestamp"`
+		Result    map[string]int `json:"result"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("stamped artifact is not valid JSON: %v", err)
+	}
+	if doc.Commit == "" || doc.Timestamp == "" {
+		t.Errorf("stamp fields missing: %+v", doc)
+	}
+	if doc.Result["answer"] != 42 {
+		t.Errorf("result payload lost: %+v", doc)
+	}
+}

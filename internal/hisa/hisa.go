@@ -131,6 +131,32 @@ func RotationSteps(x, slots int, available func(int) bool) []int {
 	return steps
 }
 
+// Unwrapper is implemented by wrapper backends (Meter, telemetry.Tracer)
+// that delegate to an inner backend. FindCapability walks Unwrap chains so
+// optional capabilities survive any wrapping order.
+type Unwrapper interface {
+	Unwrap() Backend
+}
+
+// FindCapability reports the first backend in b's wrapper chain (b itself,
+// then successive Unwrap results) that satisfies the capability type T.
+// Wrappers that forward a capability (e.g. Meter's RotLeftMany) are found
+// before their inner backend, preserving the wrapper's bookkeeping.
+func FindCapability[T any](b Backend) (T, bool) {
+	for b != nil {
+		if t, ok := any(b).(T); ok {
+			return t, true
+		}
+		u, ok := b.(Unwrapper)
+		if !ok {
+			break
+		}
+		b = u.Unwrap()
+	}
+	var zero T
+	return zero, false
+}
+
 // SubScalarVia expresses subtraction of a scalar through AddScalar, for
 // backends where that is the natural implementation.
 func SubScalarVia(b Backend, c Ciphertext, x float64) Ciphertext {

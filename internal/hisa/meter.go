@@ -81,6 +81,10 @@ func (m *Meter) Counts() OpCounts {
 func (m *Meter) Name() string { return m.Inner.Name() + "+meter" }
 func (m *Meter) Slots() int   { return m.Inner.Slots() }
 
+// Unwrap exposes the wrapped backend for capability discovery
+// (hisa.FindCapability).
+func (m *Meter) Unwrap() Backend { return m.Inner }
+
 func (m *Meter) Encrypt(p Plaintext) Ciphertext {
 	m.encrypt.Add(1)
 	return m.Inner.Encrypt(p)

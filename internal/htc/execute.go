@@ -133,9 +133,21 @@ func Execute(b hisa.Backend, c *circuit.Circuit, input *CipherTensor, policy Lay
 // concurrency contract of hisa.Backend (all executable backends do — the
 // compiler's analysis backends do not, and must use Execute). The result is
 // bit-identical to a serial run on every executable backend.
+// scoper is the structural capability a tracing backend
+// (telemetry.Tracer) exposes for attributing ops to the circuit node that
+// issued them. It is probed structurally, through any wrapper chain, so htc
+// carries no dependency on the telemetry package.
+type scoper interface {
+	StartScope(label string) func()
+}
+
 func ExecuteOpts(b hisa.Backend, c *circuit.Circuit, input *CipherTensor, policy LayoutPolicy, sc Scales, opts ExecOptions) *CipherTensor {
 	results := make(map[int]*CipherTensor, len(c.Nodes))
 	seenDense := false
+	var startScope func(string) func()
+	if tb, ok := hisa.FindCapability[scoper](b); ok {
+		startScope = tb.StartScope
+	}
 	arg := func(n *circuit.Node, i int) *CipherTensor {
 		t, ok := results[n.Inputs[i].ID]
 		if !ok {
@@ -146,6 +158,12 @@ func ExecuteOpts(b hisa.Backend, c *circuit.Circuit, input *CipherTensor, policy
 
 	for _, n := range c.Nodes {
 		var out *CipherTensor
+		// The node scope opens before arg() runs so the layout conversions
+		// a node demands are billed to it, not to the gap between nodes.
+		var endScope func()
+		if startScope != nil && n.Kind != circuit.OpInput {
+			endScope = startScope(fmt.Sprintf("%v:%s", n.Kind, n.Name))
+		}
 		switch n.Kind {
 		case circuit.OpInput:
 			if input.Layout != policy.inputLayout() {
@@ -183,7 +201,13 @@ func ExecuteOpts(b hisa.Backend, c *circuit.Circuit, input *CipherTensor, policy
 		default:
 			panic(fmt.Sprintf("htc: unhandled op %v", n.Kind))
 		}
+		if endScope != nil {
+			endScope()
+		}
 		results[n.ID] = out
+		if opts.OnNode != nil {
+			opts.OnNode(n, out)
+		}
 	}
 	return results[c.Output.ID]
 }

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"chet/internal/circuit"
 )
 
 // ExecOptions configures homomorphic execution. The zero value executes
@@ -16,6 +18,12 @@ type ExecOptions struct {
 	// backend: per-output work is computed concurrently but accumulated in
 	// the serial program order.
 	Workers int
+
+	// OnNode, when non-nil, observes each circuit node's output tensor as
+	// it is computed, on the executing goroutine in circuit order. The
+	// telemetry precision profiler uses it to compare every layer against
+	// the plaintext oracle; observers must not mutate the tensor.
+	OnNode func(n *circuit.Node, out *CipherTensor)
 }
 
 // DefaultExecOptions uses one worker per available CPU.

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -42,10 +44,25 @@ type Client struct {
 	plan    htc.Plan
 	addr    string // set by Dial; empty for NewClient-wrapped connections
 
+	// traceBase is this stream's random trace-ID prefix: request n is sent
+	// with trace ID traceBase+n, so server-side span scopes and dispatch
+	// logs correlate to a specific client stream without coordination.
+	traceBase uint64
+
 	mu        sync.Mutex
 	conn      net.Conn
 	sessionID uint64
 	nextReq   uint64
+}
+
+// newTraceBase draws a random 64-bit stream prefix with the low 20 bits
+// cleared, leaving a million request IDs before two streams could collide.
+func newTraceBase() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0 // trace IDs degrade to the bare request counter
+	}
+	return binary.LittleEndian.Uint64(b[:]) &^ ((1 << 20) - 1)
 }
 
 // Dial connects to addr and opens a session (uploading the evaluation keys).
@@ -87,6 +104,7 @@ func (c *Client) NewStream() (*Client, error) {
 		keys:      c.keys,
 		plan:      c.plan,
 		addr:      addr,
+		traceBase: newTraceBase(),
 		conn:      conn,
 		sessionID: sessID,
 	}, nil
@@ -115,11 +133,12 @@ func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 		Rotations: cfg.Compiled.Best.Rotations,
 	})
 	c := &Client{
-		cfg:     cfg,
-		backend: backend,
-		keys:    backend.PublicKeys(),
-		plan:    cfg.Compiled.Plan(),
-		conn:    conn,
+		cfg:       cfg,
+		backend:   backend,
+		keys:      backend.PublicKeys(),
+		plan:      cfg.Compiled.Plan(),
+		traceBase: newTraceBase(),
+		conn:      conn,
 	}
 	if err := c.open(); err != nil {
 		return nil, err
@@ -209,6 +228,7 @@ func (c *Client) inferLocked(in *htc.CipherTensor) (*htc.CipherTensor, error) {
 	msg := &wire.InferRequest{
 		SessionID: c.sessionID,
 		RequestID: c.nextReq,
+		TraceID:   c.traceBase + c.nextReq,
 		Tensor:    in,
 	}
 	if c.cfg.Timeout > 0 {
@@ -233,6 +253,9 @@ func (c *Client) inferLocked(in *htc.CipherTensor) (*htc.CipherTensor, error) {
 		}
 		if ir.RequestID != msg.RequestID {
 			return nil, fmt.Errorf("serve: response for request %d, expected %d", ir.RequestID, msg.RequestID)
+		}
+		if ir.TraceID != msg.TraceID {
+			return nil, fmt.Errorf("serve: response trace %016x, expected %016x", ir.TraceID, msg.TraceID)
 		}
 		// A coalesced response carries the whole batch's predictions; this
 		// request's is in the indicated lane. The lane view is pure metadata
@@ -309,6 +332,7 @@ func (c *Client) inferBatchLocked(in *htc.CipherTensor, count int) (*htc.CipherT
 	msg := &wire.InferBatchRequest{
 		SessionID: c.sessionID,
 		RequestID: c.nextReq,
+		TraceID:   c.traceBase + c.nextReq,
 		Count:     uint32(count),
 		Tensor:    in,
 	}
@@ -334,6 +358,9 @@ func (c *Client) inferBatchLocked(in *htc.CipherTensor, count int) (*htc.CipherT
 		}
 		if ir.RequestID != msg.RequestID {
 			return nil, fmt.Errorf("serve: response for request %d, expected %d", ir.RequestID, msg.RequestID)
+		}
+		if ir.TraceID != msg.TraceID {
+			return nil, fmt.Errorf("serve: response trace %016x, expected %016x", ir.TraceID, msg.TraceID)
 		}
 		if int(ir.Count) != count {
 			return nil, fmt.Errorf("serve: response carries %d lanes, expected %d", ir.Count, count)

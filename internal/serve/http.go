@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"chet/internal/hisa"
+	"chet/internal/telemetry"
+)
+
+// ObservabilityMux returns an http.Handler exposing the server's live state:
+//
+//	/metrics        Prometheus text exposition (counters, latency summaries,
+//	                per-op HISA counts, and — with Config.Trace — per-op
+//	                durations from the session tracers)
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// The mux is safe to serve while inference traffic is live; every series is
+// derived from the same snapshots Metrics returns.
+func (s *Server) ObservabilityMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metricsHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writePromMetrics(w, m, s.reg.sessions())
+}
+
+// writePromMetrics renders a ServerMetrics snapshot in the Prometheus text
+// exposition format (version 0.0.4), handwritten because the repo takes no
+// dependencies. Sessions supply the per-op series; they are passed alongside
+// the snapshot so tracer totals need not round-trip through ServerMetrics.
+func writePromMetrics(w io.Writer, m ServerMetrics, sessions []*session) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("chet_sessions_opened_total", "Sessions ever opened.", m.SessionsOpened)
+	counter("chet_sessions_evicted_total", "Sessions evicted by the LRU registry.", m.SessionsEvicted)
+	fmt.Fprintf(w, "# HELP chet_sessions_active Live sessions in the registry.\n# TYPE chet_sessions_active gauge\nchet_sessions_active %d\n",
+		m.SessionsActive)
+	counter("chet_requests_total", "Inference requests admitted to the queue.", m.Requests)
+	counter("chet_requests_completed_total", "Inference requests answered successfully.", m.Completed)
+	counter("chet_eval_errors_total", "Evaluations that failed.", m.Errors)
+	counter("chet_rejected_queue_full_total", "Requests rejected on a full admission queue.", m.RejectedQueueFull)
+	counter("chet_rejected_deadline_total", "Requests rejected past their deadline.", m.RejectedDeadline)
+	counter("chet_rejected_shutdown_total", "Requests rejected during shutdown.", m.RejectedShutdown)
+
+	summary := func(name, help string, l LatencySummary) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		q := func(p float64, d time.Duration) {
+			fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", p), d.Seconds())
+		}
+		q(0.5, l.P50)
+		q(0.9, l.P90)
+		q(0.99, l.P99)
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, l.Sum.Seconds(), name, l.Count)
+	}
+	summary("chet_request_seconds", "End-to-end request latency (admission to response).", m.Latency)
+	summary("chet_queue_wait_seconds", "Time requests spent queued (admission + coalescing).", m.QueueWait)
+	summary("chet_evaluation_seconds", "Homomorphic evaluation time per circuit execution.", m.Evaluation)
+
+	fmt.Fprintf(w, "# HELP chet_batch_evaluations_total Evaluations by the number of requests they served.\n# TYPE chet_batch_evaluations_total counter\n")
+	sizes := make([]int, 0, len(m.BatchSizes))
+	for k := range m.BatchSizes {
+		sizes = append(sizes, k)
+	}
+	sort.Ints(sizes)
+	for _, k := range sizes {
+		fmt.Fprintf(w, "chet_batch_evaluations_total{size=\"%d\"} %d\n", k, m.BatchSizes[k])
+	}
+
+	// Per-op HISA instruction counts, summed over the live sessions' Meters.
+	var ops hisa.OpCounts
+	traced := map[string]telemetry.OpTotal{}
+	for _, sess := range sessions {
+		c := sess.meter.Counts()
+		ops.Encrypt += c.Encrypt
+		ops.Decrypt += c.Decrypt
+		ops.Encode += c.Encode
+		ops.Decode += c.Decode
+		ops.Rotations += c.Rotations
+		ops.Add += c.Add
+		ops.AddPlain += c.AddPlain
+		ops.AddScalar += c.AddScalar
+		ops.Sub += c.Sub
+		ops.SubPlain += c.SubPlain
+		ops.SubScalar += c.SubScalar
+		ops.Mul += c.Mul
+		ops.MulPlain += c.MulPlain
+		ops.MulScalar += c.MulScalar
+		ops.Rescale += c.Rescale
+		ops.MaxRescaleQueries += c.MaxRescaleQueries
+		if sess.tracer != nil {
+			for op, tot := range sess.tracer.Totals() {
+				agg := traced[op]
+				agg.Count += tot.Count
+				agg.Total += tot.Total
+				traced[op] = agg
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP chet_hisa_ops_total HISA instructions executed, by op kind (live sessions).\n# TYPE chet_hisa_ops_total counter\n")
+	for _, kv := range []struct {
+		op string
+		n  int
+	}{
+		{"encrypt", ops.Encrypt}, {"decrypt", ops.Decrypt},
+		{"encode", ops.Encode}, {"decode", ops.Decode},
+		{"rot", ops.Rotations},
+		{"add", ops.Add}, {"addplain", ops.AddPlain}, {"addscalar", ops.AddScalar},
+		{"sub", ops.Sub}, {"subplain", ops.SubPlain}, {"subscalar", ops.SubScalar},
+		{"mul", ops.Mul}, {"mulplain", ops.MulPlain}, {"mulscalar", ops.MulScalar},
+		{"rescale", ops.Rescale}, {"maxrescale", ops.MaxRescaleQueries},
+	} {
+		fmt.Fprintf(w, "chet_hisa_ops_total{op=%q} %d\n", kv.op, kv.n)
+	}
+
+	if len(traced) > 0 {
+		names := make([]string, 0, len(traced))
+		for op := range traced {
+			names = append(names, op)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP chet_hisa_op_seconds_total Wall time spent in HISA ops, by op kind (traced sessions).\n# TYPE chet_hisa_op_seconds_total counter\n")
+		for _, op := range names {
+			fmt.Fprintf(w, "chet_hisa_op_seconds_total{op=%q} %g\n", op, traced[op].Total.Seconds())
+		}
+		fmt.Fprintf(w, "# HELP chet_hisa_op_spans_total Spans recorded by the session tracers, by op kind.\n# TYPE chet_hisa_op_spans_total counter\n")
+		for _, op := range names {
+			fmt.Fprintf(w, "chet_hisa_op_spans_total{op=%q} %d\n", op, traced[op].Count)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"chet/internal/hisa"
+	"chet/internal/telemetry"
 )
 
 // latencyRecorder keeps a bounded ring of recent request latencies so
@@ -16,7 +17,8 @@ type latencyRecorder struct {
 	mu    sync.Mutex
 	ring  []time.Duration
 	next  int
-	count uint64 // total ever recorded
+	count uint64        // total ever recorded
+	sum   time.Duration // total duration ever recorded
 }
 
 const latencyWindow = 1024
@@ -29,6 +31,7 @@ func (l *latencyRecorder) record(d time.Duration) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.count++
+	l.sum += d
 	if len(l.ring) < cap(l.ring) {
 		l.ring = append(l.ring, d)
 		return
@@ -39,23 +42,26 @@ func (l *latencyRecorder) record(d time.Duration) {
 
 // LatencySummary is a quantile snapshot over the recent-latency window.
 type LatencySummary struct {
-	Count         uint64 // total requests ever measured
+	Count         uint64        // total requests ever measured
+	Sum           time.Duration // total duration ever measured
 	P50, P90, P99 time.Duration
 }
 
+// summary snapshots the window. Quantiles interpolate linearly between the
+// two closest ranks (telemetry.Quantile), so q(0.99) on a window under 100
+// samples lands between the top samples instead of degenerating to the max.
 func (l *latencyRecorder) summary() LatencySummary {
 	l.mu.Lock()
 	sample := append([]time.Duration(nil), l.ring...)
-	count := l.count
+	count, sum := l.count, l.sum
 	l.mu.Unlock()
-	out := LatencySummary{Count: count}
+	out := LatencySummary{Count: count, Sum: sum}
 	if len(sample) == 0 {
 		return out
 	}
 	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
 	q := func(p float64) time.Duration {
-		i := int(p * float64(len(sample)-1))
-		return sample[i]
+		return telemetry.Quantile(sample, p)
 	}
 	out.P50, out.P90, out.P99 = q(0.50), q(0.90), q(0.99)
 	return out

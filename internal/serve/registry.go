@@ -6,16 +6,20 @@ import (
 	"sync/atomic"
 
 	"chet/internal/hisa"
+	"chet/internal/telemetry"
 )
 
 // session is one client's cached evaluation context: the eval-only backend
 // built from the keys uploaded at session-open (wrapped in an atomic Meter
-// for op counts) plus per-session metrics. Keys are uploaded once and
-// reused across every request the session makes.
+// for op counts, and — with Config.Trace — a telemetry.Tracer under it)
+// plus per-session metrics. Keys are uploaded once and reused across every
+// request the session makes.
 type session struct {
 	id      uint64
 	backend hisa.Backend // the meter below, as the kernels see it
 	meter   *hisa.Meter
+	// tracer records per-op spans when Config.Trace is set; nil otherwise.
+	tracer *telemetry.Tracer
 
 	requests atomic.Uint64
 	errors   atomic.Uint64

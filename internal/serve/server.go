@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"chet/internal/hisa"
 	"chet/internal/htc"
 	"chet/internal/ring"
+	"chet/internal/telemetry"
 	"chet/internal/wire"
 )
 
@@ -65,6 +67,12 @@ type Config struct {
 	// before being evaluated anyway. Only meaningful with MaxBatch > 1.
 	// Default 20ms; negative flushes immediately (coalescing off in effect).
 	BatchWait time.Duration
+	// Trace wraps each session's backend in a telemetry.Tracer: /metrics
+	// gains per-op duration series, every evaluation runs under a scope
+	// named by the requests' wire trace IDs, and each dispatch is logged
+	// with its trace IDs and batch assignment. Off by default (the tracer
+	// costs a few percent and a bounded span ring per session).
+	Trace bool
 	// Logf, when set, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
@@ -101,6 +109,7 @@ type job struct {
 	sess     *session
 	tensor   *htc.CipherTensor
 	reqID    uint64
+	traceID  uint64 // client-chosen correlation id (0 = none)
 	arrived  time.Time
 	deadline time.Time
 	respond  chan jobResult // buffered(1); runBatch always sends exactly once
@@ -437,10 +446,16 @@ func (s *Server) handleSessionOpen(conn net.Conn, payload []byte, writeErr func(
 			provisioned[k] = true
 		}
 	}
-	meter := hisa.NewMeter(backend, func(x int) int {
+	var inner hisa.Backend = backend
+	var tracer *telemetry.Tracer
+	if s.cfg.Trace {
+		tracer = telemetry.NewTracer(backend, telemetry.Config{})
+		inner = tracer
+	}
+	meter := hisa.NewMeter(inner, func(x int) int {
 		return len(hisa.RotationSteps(x, slots, func(k int) bool { return provisioned[k] }))
 	})
-	sess := &session{backend: meter, meter: meter, latency: newLatencyRecorder()}
+	sess := &session{backend: meter, meter: meter, tracer: tracer, latency: newLatencyRecorder()}
 	id := s.reg.add(sess)
 	s.cfg.Logf("serve: session %d opened (%d rotation keys)", id, len(msg.RTKS.Keys))
 
@@ -472,7 +487,7 @@ func (s *Server) handleInfer(conn net.Conn, payload []byte, writeErr func(wire.E
 		return writeErr(wire.CodeBadMessage, msg.RequestID, "infer-request: %v", err)
 	}
 
-	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TimeoutMillis)
+	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TraceID, msg.TimeoutMillis)
 
 	// Admission: the queue never blocks the handler. Full queue means the
 	// server is saturated past its configured buffer — reject now so the
@@ -508,7 +523,7 @@ func (s *Server) handleInfer(conn net.Conn, payload []byte, writeErr func(wire.E
 		if res.errf != nil {
 			return writeErr(res.errf.Code, msg.RequestID, "%s", res.errf.Message)
 		}
-		resp := &wire.InferResponse{RequestID: msg.RequestID, Tensor: res.tensor}
+		resp := &wire.InferResponse{RequestID: msg.RequestID, TraceID: msg.TraceID, Tensor: res.tensor}
 		if res.batch > 1 {
 			resp.Batch = uint32(res.batch)
 			resp.Lane = uint32(res.lane)
@@ -526,7 +541,7 @@ func (s *Server) handleInfer(conn net.Conn, payload []byte, writeErr func(wire.E
 }
 
 // newJob builds an admitted job with the effective deadline.
-func (s *Server) newJob(sess *session, ct *htc.CipherTensor, reqID uint64, timeoutMillis uint32) *job {
+func (s *Server) newJob(sess *session, ct *htc.CipherTensor, reqID, traceID uint64, timeoutMillis uint32) *job {
 	timeout := s.cfg.RequestTimeout
 	if timeoutMillis != 0 {
 		if t := time.Duration(timeoutMillis) * time.Millisecond; t < timeout {
@@ -538,6 +553,7 @@ func (s *Server) newJob(sess *session, ct *htc.CipherTensor, reqID uint64, timeo
 		sess:     sess,
 		tensor:   ct,
 		reqID:    reqID,
+		traceID:  traceID,
 		arrived:  now,
 		deadline: now.Add(timeout),
 		respond:  make(chan jobResult, 1),
@@ -588,7 +604,7 @@ func (s *Server) handleInferBatch(conn net.Conn, payload []byte, writeErr func(w
 			"batch count %d exceeds compiled capacity %d", msg.Count, s.wantMeta.Batches())
 	}
 
-	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TimeoutMillis)
+	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TraceID, msg.TimeoutMillis)
 	s.inflight.Add(1)
 	select {
 	case s.jobs <- &batchJob{items: []*job{j}}:
@@ -607,7 +623,7 @@ func (s *Server) handleInferBatch(conn net.Conn, payload []byte, writeErr func(w
 			return writeErr(res.errf.Code, msg.RequestID, "%s", res.errf.Message)
 		}
 		out, err := (&wire.InferBatchResponse{
-			RequestID: msg.RequestID, Count: msg.Count, Tensor: res.tensor}).Encode()
+			RequestID: msg.RequestID, TraceID: msg.TraceID, Count: msg.Count, Tensor: res.tensor}).Encode()
 		if err != nil {
 			return writeErr(wire.CodeInternal, msg.RequestID, "encoding response: %v", err)
 		}
@@ -744,9 +760,13 @@ func (s *Server) runBatch(bj *batchJob) {
 	s.batchSizes[len(live)]++
 	s.batchMu.Unlock()
 
+	if s.cfg.Trace {
+		s.cfg.Logf("serve: session %d dispatching batch of %d [%s]",
+			live[0].sess.id, len(live), traceList(live))
+	}
 	if len(live) == 1 {
 		j := live[0]
-		out, err := s.evaluateTimed(j.sess, j.tensor)
+		out, err := s.evaluateTimed(j.sess, j.tensor, evalLabel(live))
 		s.finish(j, out, err, 1, 0)
 		return
 	}
@@ -759,7 +779,7 @@ func (s *Server) runBatch(bj *batchJob) {
 	packed, err := s.pack(sess, tensors)
 	if err == nil {
 		var out *htc.CipherTensor
-		out, err = s.evaluateTimed(sess, packed)
+		out, err = s.evaluateTimed(sess, packed, evalLabel(live))
 		if err == nil {
 			for i, j := range live {
 				s.finish(j, out, nil, len(live), i)
@@ -767,11 +787,31 @@ func (s *Server) runBatch(bj *batchJob) {
 			return
 		}
 	}
-	s.cfg.Logf("serve: batch of %d failed (%v); isolating — retrying requests individually", len(live), err)
+	s.cfg.Logf("serve: batch of %d failed (%v); isolating — retrying requests individually [%s]",
+		len(live), err, traceList(live))
 	for _, j := range live {
-		out, err := s.evaluateTimed(j.sess, j.tensor)
+		out, err := s.evaluateTimed(j.sess, j.tensor, evalLabel([]*job{j}))
 		s.finish(j, out, err, 1, 0)
 	}
+}
+
+// traceList renders the wire trace IDs of a batch's requests for log lines,
+// in admission order, so a client-held trace ID finds its batch assignment.
+func traceList(items []*job) string {
+	var sb strings.Builder
+	for i, j := range items {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "trace=%016x", j.traceID)
+	}
+	return sb.String()
+}
+
+// evalLabel names one evaluation's tracer scope after the requests it
+// serves, correlating client trace IDs with the spans recorded under it.
+func evalLabel(items []*job) string {
+	return "infer " + traceList(items)
 }
 
 // finish delivers one request's result, applying the post-evaluation
@@ -800,9 +840,9 @@ func (s *Server) finish(j *job, out *htc.CipherTensor, err error, batchSize, lan
 
 // evaluateTimed wraps evaluate with the evaluation-latency recorder (one
 // sample per circuit execution, however many requests it serves).
-func (s *Server) evaluateTimed(sess *session, in *htc.CipherTensor) (*htc.CipherTensor, error) {
+func (s *Server) evaluateTimed(sess *session, in *htc.CipherTensor, label string) (*htc.CipherTensor, error) {
 	start := time.Now()
-	out, err := s.evaluate(sess, in)
+	out, err := s.evaluate(sess, in, label)
 	s.evalLatency.record(time.Since(start))
 	return out, err
 }
@@ -822,12 +862,18 @@ func (s *Server) pack(sess *session, ts []*htc.CipherTensor) (out *htc.CipherTen
 // evaluate runs the compiled circuit on the session's backend, converting
 // kernel panics (the trusted-path failure mode for inconsistent data) into
 // errors: a hostile request must never take the server down.
-func (s *Server) evaluate(sess *session, in *htc.CipherTensor) (out *htc.CipherTensor, err error) {
+func (s *Server) evaluate(sess *session, in *htc.CipherTensor, label string) (out *htc.CipherTensor, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("evaluation failed: %v", r)
 		}
 	}()
+	if sess.tracer != nil {
+		// The request-level scope; the executor nests one scope per circuit
+		// node under it. Closed via defer so a recovered kernel panic still
+		// unwinds the span.
+		defer sess.tracer.StartScope(label)()
+	}
 	if s.execHook != nil {
 		s.execHook()
 	}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome trace_event
+// format; a file of them loads directly in Perfetto / chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds since trace start
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace_event file format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace writes spans as Chrome trace_event JSON. Op spans land
+// on their worker goroutine's track (tid = goroutine id); scope spans keep
+// their own goroutine's track, so a node's scope bar encloses the op bars
+// of the workers it fanned out to on the shared timeline. otherData carries
+// caller-supplied run facts (e.g. inference wall time) for machine checks.
+func WriteChromeTrace(w io.Writer, spans []Span, otherData map[string]any) error {
+	tr := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(spans)),
+		DisplayTimeUnit: "ms",
+		OtherData:       otherData,
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Op,
+			Cat:  "op",
+			Ph:   "X",
+			TS:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			PID:  1,
+			TID:  s.GID,
+		}
+		args := map[string]any{}
+		if s.Kind == KindScope {
+			ev.Cat = "kernel"
+		} else {
+			if s.Scope != "" {
+				args["scope"] = s.Scope
+			}
+			if s.Rot != 0 {
+				args["rot"] = s.Rot
+			}
+			if s.LevelIn >= 0 || s.LevelOut >= 0 {
+				args["level_in"] = s.LevelIn
+				args["level_out"] = s.LevelOut
+			}
+			if s.ScaleIn != 0 {
+				args["scale_in"] = s.ScaleIn
+			}
+			if s.ScaleOut != 0 {
+				args["scale_out"] = s.ScaleOut
+			}
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

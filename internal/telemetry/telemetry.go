@@ -1,0 +1,475 @@
+// Package telemetry is the observability layer of the repository: a
+// low-overhead, race-clean tracing and profiling facility that threads
+// through hisa → htc → core → serve. Its center is Tracer, a hisa.Backend
+// wrapper that records one span per homomorphic operation — op kind, wall
+// time, ciphertext level and scale before/after, rotation amount, worker
+// goroutine — into a bounded ring, nesting ops under the kernel/layer
+// scopes the htc executor opens. A recorded run exports either a flat
+// per-op/per-scope profile (count, total, p50/p99, % of wall) or Chrome
+// trace_event JSON viewable in Perfetto (chrome.go); precision.go runs the
+// same circuit against the plaintext Ref oracle and records the per-layer
+// error the paper's profile-guided scale search consumes.
+//
+// Tracer composes with hisa.Meter in either order: both implement
+// hisa.Unwrapper, and Tracer mirrors Meter's counting semantics exactly
+// (whole-slot rotations and divisor-1 rescales are non-ops; Copy/Free/Scale
+// are metadata and never recorded), so span tallies and op counts agree.
+package telemetry
+
+import (
+	"math/big"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"chet/internal/hisa"
+)
+
+// SpanKind distinguishes operation spans from the enclosing scope spans the
+// executor opens around each circuit node.
+type SpanKind uint8
+
+// The two span kinds.
+const (
+	// KindOp is one HISA instruction execution.
+	KindOp SpanKind = iota
+	// KindScope is one kernel/layer scope (a circuit node, or a serve-side
+	// request evaluation); its duration encloses the ops recorded under it.
+	KindScope
+)
+
+// Span is one recorded event. Times are offsets from the Tracer's epoch so
+// spans from concurrent goroutines share one timeline.
+type Span struct {
+	Kind SpanKind
+	// Op is the instruction mnemonic ("mul", "rotl", ...) for KindOp, or
+	// the scope label ("conv2d:conv1") for KindScope.
+	Op string
+	// Scope is the enclosing scope path at record time ("" at top level;
+	// nested scopes join with '/').
+	Scope string
+	Start time.Duration
+	Dur   time.Duration
+	// LevelIn/LevelOut are the ciphertext level before/after the op when
+	// the backend exposes levels (RNS); -1 otherwise.
+	LevelIn, LevelOut int
+	// ScaleIn/ScaleOut are the fixed-point scales of the ciphertext
+	// operand/result (0 when the op has none, e.g. encode).
+	ScaleIn, ScaleOut float64
+	// Rot is the rotation amount for rotl/rotr spans.
+	Rot int
+	// GID is the goroutine that executed the op (worker attribution).
+	GID int64
+}
+
+// OpTotal is a cumulative per-op tally; unlike the span ring it never drops
+// history, so long-running servers export exact totals.
+type OpTotal struct {
+	Count int64
+	Total time.Duration
+}
+
+// Config parameterizes a Tracer. The zero value selects the defaults.
+type Config struct {
+	// Capacity bounds the span ring; once full, the oldest spans are
+	// overwritten (Dropped counts them). Default 1 << 16.
+	Capacity int
+}
+
+// levelBackend is the optional capability (RNSBackend) for reading a
+// ciphertext's remaining level.
+type levelBackend interface {
+	LevelOf(c hisa.Ciphertext) int
+}
+
+// Tracer wraps a hisa.Backend and records per-op spans. It implements
+// Backend (kernels are oblivious to it), hisa.Unwrapper, and the
+// RotateManyBackend capability, and is safe for concurrent op execution:
+// the ring and scope stack are mutex-guarded, and the lock is held only for
+// the append — never across the wrapped operation.
+type Tracer struct {
+	inner   hisa.Backend
+	epoch   time.Time
+	levelOf func(hisa.Ciphertext) int // nil when the chain has no levels
+
+	mu      sync.Mutex
+	ring    []Span
+	next    int    // write cursor once the ring is full
+	full    bool   // ring has wrapped at least once
+	dropped uint64 // spans overwritten after wrap
+	stack   []string
+	scope   string // strings.Join(stack, "/"), cached
+	totals  map[string]*OpTotal
+}
+
+// NewTracer wraps inner. The level probe is resolved once, through any
+// Unwrap chain, so Tracer(Meter(RNS)) still records levels.
+func NewTracer(inner hisa.Backend, cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1 << 16
+	}
+	t := &Tracer{
+		inner:  inner,
+		epoch:  time.Now(),
+		ring:   make([]Span, 0, cfg.Capacity),
+		totals: make(map[string]*OpTotal),
+	}
+	if lb, ok := hisa.FindCapability[levelBackend](inner); ok {
+		t.levelOf = lb.LevelOf
+	}
+	return t
+}
+
+// Unwrap exposes the wrapped backend for capability discovery.
+func (t *Tracer) Unwrap() hisa.Backend { return t.inner }
+
+// StartScope pushes a named scope; ops recorded until the returned func
+// runs are attributed to it. The close func records the scope's own span.
+// Scopes nest (the htc executor opens one per circuit node inside any
+// request-level scope serve opened); open/close must pair on one goroutine,
+// which the serial node loop guarantees.
+func (t *Tracer) StartScope(label string) func() {
+	start := time.Now()
+	t.mu.Lock()
+	t.stack = append(t.stack, label)
+	t.scope = strings.Join(t.stack, "/")
+	t.mu.Unlock()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		// Unwind to this scope's frame: inner scopes leaked by a recovered
+		// kernel panic are discarded rather than pinned forever.
+		for i := len(t.stack) - 1; i >= 0; i-- {
+			if t.stack[i] == label {
+				t.stack = t.stack[:i]
+				t.scope = strings.Join(t.stack, "/")
+				break
+			}
+		}
+		parent := t.scope
+		t.append(Span{
+			Kind:    KindScope,
+			Op:      label,
+			Scope:   parent,
+			Start:   start.Sub(t.epoch),
+			Dur:     end.Sub(start),
+			LevelIn: -1, LevelOut: -1,
+			GID: goroutineID(),
+		})
+		t.mu.Unlock()
+	}
+}
+
+// append inserts a span into the ring. Callers hold t.mu.
+func (t *Tracer) append(s Span) {
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+		return
+	}
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	t.full = true
+	t.dropped++
+}
+
+// record finishes an op span started at start with operand c and result out
+// (either may be nil for ops without a ciphertext on that side).
+func (t *Tracer) record(op string, rot int, c, out hisa.Ciphertext, start time.Time) {
+	s := Span{
+		Kind:    KindOp,
+		Op:      op,
+		Start:   start.Sub(t.epoch),
+		Dur:     time.Since(start),
+		Rot:     rot,
+		LevelIn: -1, LevelOut: -1,
+		GID: goroutineID(),
+	}
+	if c != nil {
+		s.ScaleIn = t.inner.Scale(c)
+		if t.levelOf != nil {
+			s.LevelIn = t.levelOf(c)
+		}
+	}
+	if out != nil {
+		s.ScaleOut = t.inner.Scale(out)
+		if t.levelOf != nil {
+			s.LevelOut = t.levelOf(out)
+		}
+	}
+	t.mu.Lock()
+	s.Scope = t.scope
+	agg := t.totals[op]
+	if agg == nil {
+		agg = &OpTotal{}
+		t.totals[op] = agg
+	}
+	agg.Count++
+	agg.Total += s.Dur
+	t.append(s)
+	t.mu.Unlock()
+}
+
+// Snapshot copies the retained spans in chronological order.
+func (t *Tracer) Snapshot() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Span(nil), t.ring...)
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Totals copies the cumulative per-op tallies (never truncated by the ring).
+func (t *Tracer) Totals() map[string]OpTotal {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]OpTotal, len(t.totals))
+	for k, v := range t.totals {
+		out[k] = *v
+	}
+	return out
+}
+
+// SpanCount returns the cumulative number of op spans recorded (scope spans
+// excluded), including any the ring has since dropped.
+func (t *Tracer) SpanCount() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, v := range t.totals {
+		n += v.Count
+	}
+	return n
+}
+
+// Dropped reports how many spans the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset clears the ring and the cumulative totals; the epoch is preserved
+// so pre- and post-reset spans stay on one timeline.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.full = false
+	t.dropped = 0
+	t.totals = make(map[string]*OpTotal)
+}
+
+// --- hisa.Backend ---
+
+func (t *Tracer) Name() string { return t.inner.Name() + "+trace" }
+func (t *Tracer) Slots() int   { return t.inner.Slots() }
+
+func (t *Tracer) Encrypt(p hisa.Plaintext) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.Encrypt(p)
+	t.record("encrypt", 0, nil, out, start)
+	return out
+}
+
+func (t *Tracer) Decrypt(c hisa.Ciphertext) hisa.Plaintext {
+	start := time.Now()
+	out := t.inner.Decrypt(c)
+	t.record("decrypt", 0, c, nil, start)
+	return out
+}
+
+// Copy and Free are metadata-only and never recorded, mirroring Meter.
+func (t *Tracer) Copy(c hisa.Ciphertext) hisa.Ciphertext { return t.inner.Copy(c) }
+func (t *Tracer) Free(h any)                             { t.inner.Free(h) }
+
+func (t *Tracer) Encode(m []float64, f float64) hisa.Plaintext {
+	start := time.Now()
+	out := t.inner.Encode(m, f)
+	t.record("encode", 0, nil, nil, start)
+	return out
+}
+
+func (t *Tracer) Decode(p hisa.Plaintext) []float64 {
+	start := time.Now()
+	out := t.inner.Decode(p)
+	t.record("decode", 0, nil, nil, start)
+	return out
+}
+
+func (t *Tracer) RotLeft(c hisa.Ciphertext, x int) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.RotLeft(c, x)
+	if x%t.Slots() != 0 { // whole-slot rotations are non-ops, as in Meter
+		t.record("rotl", x, c, out, start)
+	}
+	return out
+}
+
+func (t *Tracer) RotRight(c hisa.Ciphertext, x int) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.RotRight(c, x)
+	if x%t.Slots() != 0 {
+		t.record("rotr", x, c, out, start)
+	}
+	return out
+}
+
+// RotLeftMany forwards the batch (hoisting amortizes shared work across the
+// amounts) and records one span per non-trivial amount with the batch
+// duration split evenly, so per-op totals are comparable whether or not a
+// kernel batched its rotations and span counts mirror Meter's tallies.
+func (t *Tracer) RotLeftMany(c hisa.Ciphertext, ks []int) []hisa.Ciphertext {
+	start := time.Now()
+	outs := hisa.RotLeftMany(t.inner, c, ks)
+	dur := time.Since(start)
+	n := 0
+	for _, k := range ks {
+		if k%t.Slots() != 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return outs
+	}
+	per := dur / time.Duration(n)
+	at := start
+	for i, k := range ks {
+		if k%t.Slots() == 0 {
+			continue
+		}
+		s := Span{
+			Kind:    KindOp,
+			Op:      "rotl",
+			Start:   at.Sub(t.epoch),
+			Dur:     per,
+			Rot:     k,
+			LevelIn: -1, LevelOut: -1,
+			GID: goroutineID(),
+		}
+		s.ScaleIn = t.inner.Scale(c)
+		s.ScaleOut = t.inner.Scale(outs[i])
+		if t.levelOf != nil {
+			s.LevelIn = t.levelOf(c)
+			s.LevelOut = t.levelOf(outs[i])
+		}
+		t.mu.Lock()
+		s.Scope = t.scope
+		agg := t.totals["rotl"]
+		if agg == nil {
+			agg = &OpTotal{}
+			t.totals["rotl"] = agg
+		}
+		agg.Count++
+		agg.Total += per
+		t.append(s)
+		t.mu.Unlock()
+		at = at.Add(per)
+	}
+	return outs
+}
+
+func (t *Tracer) Add(c, c2 hisa.Ciphertext) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.Add(c, c2)
+	t.record("add", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) AddPlain(c hisa.Ciphertext, p hisa.Plaintext) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.AddPlain(c, p)
+	t.record("addplain", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) AddScalar(c hisa.Ciphertext, x float64) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.AddScalar(c, x)
+	t.record("addscalar", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) Sub(c, c2 hisa.Ciphertext) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.Sub(c, c2)
+	t.record("sub", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) SubPlain(c hisa.Ciphertext, p hisa.Plaintext) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.SubPlain(c, p)
+	t.record("subplain", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) SubScalar(c hisa.Ciphertext, x float64) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.SubScalar(c, x)
+	t.record("subscalar", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) Mul(c, c2 hisa.Ciphertext) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.Mul(c, c2)
+	t.record("mul", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) MulPlain(c hisa.Ciphertext, p hisa.Plaintext) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.MulPlain(c, p)
+	t.record("mulplain", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) MulScalar(c hisa.Ciphertext, x float64, f float64) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.MulScalar(c, x, f)
+	t.record("mulscalar", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) Rescale(c hisa.Ciphertext, x *big.Int) hisa.Ciphertext {
+	start := time.Now()
+	out := t.inner.Rescale(c, x)
+	if x.Cmp(bigOne) != 0 { // divisor-1 rescales are non-ops, as in Meter
+		t.record("rescale", 0, c, out, start)
+	}
+	return out
+}
+
+var bigOne = big.NewInt(1)
+
+func (t *Tracer) MaxRescale(c hisa.Ciphertext, ub *big.Int) *big.Int {
+	start := time.Now()
+	out := t.inner.MaxRescale(c, ub)
+	t.record("maxrescale", 0, c, nil, start)
+	return out
+}
+
+func (t *Tracer) Scale(c hisa.Ciphertext) float64 { return t.inner.Scale(c) }
+
+// goroutineID parses the current goroutine's id from its stack header
+// ("goroutine 123 ["). Sub-microsecond against millisecond-scale lattice
+// ops; tests assert the end-to-end tracer overhead budget.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id int64
+	for _, ch := range buf[prefix:n] {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		id = id*10 + int64(ch-'0')
+	}
+	return id
+}

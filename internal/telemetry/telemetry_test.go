@@ -1,0 +1,482 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"chet/internal/ckks"
+	"chet/internal/core"
+	"chet/internal/hisa"
+	"chet/internal/htc"
+	"chet/internal/nn"
+	"chet/internal/ring"
+)
+
+// testBackend is one backend the cross-cutting tests run against.
+type testBackend struct {
+	name       string
+	b          hisa.Backend
+	canDecrypt bool
+}
+
+// fourBackends returns the full backend matrix: the plaintext oracle, the
+// CKKS mock, the real RNS-CKKS scheme with keys, and the eval-only RNS
+// backend built from transferred public keys (serve's server side).
+func fourBackends(t testing.TB) []testBackend {
+	t.Helper()
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     10,
+		LogQ:     []int{50, 40, 40, 40},
+		LogP:     50,
+		LogScale: 40,
+	})
+	if err != nil {
+		t.Fatalf("NewParameters: %v", err)
+	}
+	rotations := []int{1, 2, 3, params.Slots() - 1}
+	rns := hisa.NewRNSBackend(hisa.RNSConfig{
+		Params:    params,
+		PRNG:      ring.NewTestPRNG(0xABCDEF),
+		Rotations: rotations,
+	})
+	evalOnly := hisa.NewRNSBackendFromKeys(params, rns.PublicKeys(), ring.NewTestPRNG(0xF00D))
+	return []testBackend{
+		{"ref", hisa.NewRefBackend(512), true},
+		{"sim", hisa.NewSimBackend(hisa.SimParams{LogN: 10, LogQ: 240, Seed: 7, NoNoise: true}), true},
+		{"rns", rns, true},
+		{"rns-from-keys", evalOnly, false},
+	}
+}
+
+const testScale = float64(1 << 40)
+
+// driveOps executes a fixed HISA workload through b, covering every traced
+// mnemonic plus the non-ops (whole-slot rotation, divisor-1 rescale,
+// Copy/Free) that neither Meter nor Tracer may count.
+func driveOps(b hisa.Backend, canDecrypt bool) {
+	slots := b.Slots()
+	v := make([]float64, slots)
+	for i := range v {
+		v[i] = 0.25 + float64(i%7)/16
+	}
+	p := b.Encode(v, testScale)
+	c := b.Encrypt(p)
+	c2 := b.Encrypt(p)
+
+	b.Add(c, c2)
+	b.AddPlain(c, p)
+	b.AddScalar(c, 0.5)
+	b.Sub(c, c2)
+	b.SubPlain(c, p)
+	b.SubScalar(c, 0.125)
+	prod := b.Mul(c, c2)
+	b.MulPlain(c, p)
+	b.MulScalar(c, 1.5, testScale)
+
+	b.RotLeft(c, 1)
+	b.RotLeft(c, slots) // whole-slot: a non-op in both Meter and Tracer
+	b.RotRight(c, 1)
+	hisa.RotLeftMany(b, c, []int{1, 2, slots}) // slots amount is a non-op
+
+	if d := b.MaxRescale(prod, new(big.Int).Lsh(big.NewInt(1), 41)); d.Cmp(big.NewInt(1)) > 0 {
+		b.Rescale(prod, d)
+	}
+	b.Rescale(c, big.NewInt(1)) // divisor-1: a non-op in both
+
+	b.Free(b.Copy(c)) // metadata-only, never counted
+	if canDecrypt {
+		b.Decode(b.Decrypt(c))
+	}
+}
+
+// tallyFromCounts maps Meter's OpCounts onto the Tracer's mnemonic space
+// (rotl and rotr both land in Rotations).
+func tallyFromCounts(c hisa.OpCounts) map[string]int64 {
+	m := map[string]int64{
+		"encrypt": int64(c.Encrypt), "decrypt": int64(c.Decrypt),
+		"encode": int64(c.Encode), "decode": int64(c.Decode),
+		"rot": int64(c.Rotations),
+		"add": int64(c.Add), "addplain": int64(c.AddPlain), "addscalar": int64(c.AddScalar),
+		"sub": int64(c.Sub), "subplain": int64(c.SubPlain), "subscalar": int64(c.SubScalar),
+		"mul": int64(c.Mul), "mulplain": int64(c.MulPlain), "mulscalar": int64(c.MulScalar),
+		"rescale": int64(c.Rescale), "maxrescale": int64(c.MaxRescaleQueries),
+	}
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+	return m
+}
+
+// tallyFromTotals folds the Tracer's per-op totals into the same space.
+func tallyFromTotals(tot map[string]OpTotal) map[string]int64 {
+	m := map[string]int64{}
+	for op, v := range tot {
+		switch op {
+		case "rotl", "rotr":
+			m["rot"] += v.Count
+		default:
+			m[op] += v.Count
+		}
+	}
+	return m
+}
+
+// TestMeterTracerComposition wraps each backend both ways — Meter(Tracer(b))
+// and Tracer(Meter(b)) — and requires the Meter's op counts and the Tracer's
+// span tallies to agree exactly with each other in both orders.
+func TestMeterTracerComposition(t *testing.T) {
+	for _, tb := range fourBackends(t) {
+		for _, order := range []string{"meter-outside", "tracer-outside"} {
+			t.Run(tb.name+"/"+order, func(t *testing.T) {
+				var outer hisa.Backend
+				var meter *hisa.Meter
+				var tracer *Tracer
+				if order == "meter-outside" {
+					tracer = NewTracer(tb.b, Config{})
+					meter = hisa.NewMeter(tracer, nil)
+					outer = meter
+				} else {
+					meter = hisa.NewMeter(tb.b, nil)
+					tracer = NewTracer(meter, Config{})
+					outer = tracer
+				}
+				driveOps(outer, tb.canDecrypt)
+
+				want := tallyFromCounts(meter.Counts())
+				got := tallyFromTotals(tracer.Totals())
+				if len(want) == 0 {
+					t.Fatal("meter counted nothing; the driver is broken")
+				}
+				for op, n := range want {
+					if got[op] != n {
+						t.Errorf("%s: meter counted %d, tracer recorded %d spans", op, n, got[op])
+					}
+				}
+				for op, n := range got {
+					if want[op] != n {
+						t.Errorf("%s: tracer recorded %d spans, meter counted %d", op, n, want[op])
+					}
+				}
+				var wantSpans int64
+				for _, n := range want {
+					wantSpans += n
+				}
+				if tracer.SpanCount() != wantSpans {
+					t.Errorf("SpanCount %d, want %d", tracer.SpanCount(), wantSpans)
+				}
+			})
+		}
+	}
+}
+
+// TestLevelsThroughWrapChain checks the level probe resolves through a Meter
+// in the middle of the chain: Tracer(Meter(RNS)) must still record levels.
+func TestLevelsThroughWrapChain(t *testing.T) {
+	backs := fourBackends(t)
+	rns := backs[2]
+	tracer := NewTracer(hisa.NewMeter(rns.b, nil), Config{})
+	driveOps(tracer, rns.canDecrypt)
+	sawLevel := false
+	for _, s := range tracer.Snapshot() {
+		if s.Kind == KindOp && s.LevelIn >= 0 {
+			sawLevel = true
+			break
+		}
+	}
+	if !sawLevel {
+		t.Error("no span recorded a ciphertext level despite wrapping an RNS backend")
+	}
+}
+
+// TestTracedExecutionBitExact runs LeNet-tiny's compiled circuit twice on
+// the same encrypted input — bare backend and Tracer-wrapped — and requires
+// bitwise-identical decrypted outputs on every backend. The tracer observes;
+// it must never perturb.
+func TestTracedExecutionBitExact(t *testing.T) {
+	m := nn.LeNetTiny()
+	comp, err := core.Compile(m.Circuit, core.Options{
+		Scheme: core.SchemeRNS, SecurityBits: -1, MinLogN: 11, MaxLogN: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rns, err := core.BuildBackend(comp, ring.NewTestPRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []testBackend{
+		{"rns", rns, true},
+		{"ref", hisa.NewRefBackend(rns.Slots()), true},
+		// NoNoise: Sim decryption otherwise samples its noise estimate, which
+		// would make even two untraced runs disagree.
+		{"sim", hisa.NewSimBackend(hisa.SimParams{
+			LogN: comp.Best.LogN, LogQ: int(comp.Best.LogQ), Seed: 5, NoNoise: true,
+		}), true},
+	}
+	img := nn.SyntheticImage(m.InputShape, 23)
+	sc := comp.Options.Scales
+	policy := comp.Best.Policy
+	plan := htc.PlanFor(m.Circuit, policy)
+	for _, tb := range backends {
+		t.Run(tb.name, func(t *testing.T) {
+			enc := htc.EncryptTensor(tb.b, img, plan, sc)
+			bare := htc.DecryptTensor(tb.b, htc.Execute(tb.b, m.Circuit, enc, policy, sc))
+			tracer := NewTracer(tb.b, Config{})
+			traced := htc.DecryptTensor(tb.b, htc.Execute(tracer, m.Circuit, enc, policy, sc))
+			if len(bare.Data) != len(traced.Data) {
+				t.Fatalf("output sizes differ: %d vs %d", len(bare.Data), len(traced.Data))
+			}
+			for i := range bare.Data {
+				if bare.Data[i] != traced.Data[i] {
+					t.Fatalf("element %d: bare %v, traced %v", i, bare.Data[i], traced.Data[i])
+				}
+			}
+			if tracer.SpanCount() == 0 {
+				t.Fatal("tracer recorded no spans")
+			}
+			// The executor opened one scope per non-input circuit node.
+			scopes := 0
+			for _, s := range tracer.Snapshot() {
+				if s.Kind == KindScope {
+					scopes++
+				}
+			}
+			if want := len(m.Circuit.Nodes) - 1; scopes != want {
+				t.Errorf("recorded %d scope spans, want %d (one per non-input node)", scopes, want)
+			}
+		})
+	}
+}
+
+// TestQuantileInterpolation pins the linear-interpolation quantiles on a
+// known ladder: 100ms..1000ms in steps of 100.
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := make([]time.Duration, 10)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * 100 * time.Millisecond
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 550 * time.Millisecond},
+		{0.90, 910 * time.Millisecond},
+		{0.99, 991 * time.Millisecond},
+		{0, 100 * time.Millisecond},
+		{1, 1000 * time.Millisecond},
+		{-1, 100 * time.Millisecond},
+		{2, 1000 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.p); got != c.want {
+			t.Errorf("Quantile(p=%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %v, want 0", got)
+	}
+	one := []time.Duration{42 * time.Millisecond}
+	if got := Quantile(one, 0.99); got != 42*time.Millisecond {
+		t.Errorf("Quantile(single, 0.99) = %v, want 42ms", got)
+	}
+}
+
+// TestRingWrapAndReset exercises the bounded ring: over-capacity recording
+// must retain the newest spans in order, count drops, and Reset must clear.
+func TestRingWrapAndReset(t *testing.T) {
+	b := hisa.NewRefBackend(8)
+	tr := NewTracer(b, Config{Capacity: 16})
+	p := b.Encode(make([]float64, 8), testScale)
+	c := tr.Encrypt(p)
+	for i := 0; i < 40; i++ {
+		tr.Add(c, c)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 16 {
+		t.Fatalf("ring holds %d spans, want 16", len(spans))
+	}
+	if tr.Dropped() != 25 { // 41 recorded - 16 retained
+		t.Errorf("Dropped = %d, want 25", tr.Dropped())
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("snapshot out of order at %d", i)
+		}
+	}
+	if tr.SpanCount() != 41 {
+		t.Errorf("SpanCount = %d, want 41 (totals survive ring wrap)", tr.SpanCount())
+	}
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 || tr.SpanCount() != 0 || tr.Dropped() != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+// TestScopeUnwindAfterPanic checks a scope leaked by a recovered panic is
+// discarded when its enclosing scope closes.
+func TestScopeUnwindAfterPanic(t *testing.T) {
+	b := hisa.NewRefBackend(8)
+	tr := NewTracer(b, Config{})
+	p := b.Encode(make([]float64, 8), testScale)
+	c := tr.Encrypt(p)
+
+	endOuter := tr.StartScope("outer")
+	func() {
+		defer func() { recover() }()
+		_ = tr.StartScope("inner") // leaked: close never runs
+		panic("kernel died")
+	}()
+	endOuter()
+	tr.Add(c, c)
+
+	spans := tr.Snapshot()
+	last := spans[len(spans)-1]
+	if last.Op != "add" || last.Scope != "" {
+		t.Errorf("op after unwind recorded scope %q, want top level", last.Scope)
+	}
+}
+
+// TestConcurrentTracing hammers one tracer from many goroutines while
+// snapshots, profiles, and totals are read concurrently; run under -race
+// (ci.sh gates it) this is the data-race check for the whole package.
+func TestConcurrentTracing(t *testing.T) {
+	b := hisa.NewRefBackend(64)
+	tr := NewTracer(b, Config{Capacity: 256})
+	p := b.Encode(make([]float64, 64), testScale)
+	c := tr.Encrypt(p)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					tr.Add(c, c)
+				case 1:
+					tr.Mul(c, c)
+				case 2:
+					tr.RotLeft(c, 1)
+				default:
+					tr.MulScalar(c, 1.0, testScale)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Snapshot()
+			tr.Totals()
+			tr.Profile()
+			tr.Dropped()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := tr.SpanCount(); got != 8*200+1 {
+		t.Errorf("SpanCount = %d, want %d", got, 8*200+1)
+	}
+}
+
+// TestChromeTraceOutput validates the trace_event JSON end to end: every
+// span becomes a complete event, categories split op/kernel, and otherData
+// rides along.
+func TestChromeTraceOutput(t *testing.T) {
+	b := hisa.NewRefBackend(8)
+	tr := NewTracer(b, Config{})
+	p := b.Encode(make([]float64, 8), testScale)
+	c := tr.Encrypt(p)
+	end := tr.StartScope("conv2d:conv1")
+	tr.Add(c, c)
+	tr.RotLeft(c, 3)
+	end()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Snapshot(), map[string]any{"wallUS": 123}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 4 { // encode + add + rotl + the scope
+		t.Fatalf("got %d events, want 4:\n%s", len(doc.TraceEvents), buf.String())
+	}
+	cats := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q has phase %q, want complete (X)", e.Name, e.Ph)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Errorf("event %q has negative ts/dur", e.Name)
+		}
+		cats[e.Cat]++
+	}
+	if cats["op"] != 3 || cats["kernel"] != 1 {
+		t.Errorf("category split op=%d kernel=%d, want 3/1", cats["op"], cats["kernel"])
+	}
+	if fmt.Sprint(doc.OtherData["wallUS"]) != "123" {
+		t.Errorf("otherData lost: %v", doc.OtherData)
+	}
+}
+
+// TestProfileAttribution checks the per-op and per-scope rollups: totals
+// partition by mnemonic and top-level scopes only feed ScopeTotal.
+func TestProfileAttribution(t *testing.T) {
+	b := hisa.NewRefBackend(8)
+	tr := NewTracer(b, Config{})
+	p := b.Encode(make([]float64, 8), testScale)
+	c := tr.Encrypt(p)
+	endOuter := tr.StartScope("infer")
+	endInner := tr.StartScope("conv2d:c1")
+	tr.Add(c, c)
+	tr.Add(c, c)
+	tr.Mul(c, c)
+	endInner()
+	endOuter()
+
+	prof := tr.Profile()
+	byOp := map[string]OpProfile{}
+	for _, op := range prof.Ops {
+		byOp[op.Op] = op
+	}
+	if byOp["add"].Count != 2 || byOp["mul"].Count != 1 || byOp["encrypt"].Count != 1 {
+		t.Errorf("op counts wrong: %+v", prof.Ops)
+	}
+	if len(prof.Scopes) != 2 {
+		t.Fatalf("got %d scopes, want 2", len(prof.Scopes))
+	}
+	var topTotal time.Duration
+	for _, s := range prof.Scopes {
+		if s.Scope == "infer" {
+			topTotal = s.Total
+		}
+	}
+	if prof.ScopeTotal != topTotal {
+		t.Errorf("ScopeTotal %v should equal the top-level scope's total %v (nested scopes must not double-count)",
+			prof.ScopeTotal, topTotal)
+	}
+}

@@ -159,6 +159,10 @@ func (m *SessionAccept) Decode(data []byte) error {
 type InferRequest struct {
 	SessionID uint64
 	RequestID uint64
+	// TraceID correlates this request with the server-side spans and batch
+	// assignment it produces (logged and echoed in the response). Zero
+	// means the client did not ask for correlation.
+	TraceID uint64
 	// TimeoutMillis caps this request's total latency (queue + execution).
 	// Zero defers to the server's configured default.
 	TimeoutMillis uint32
@@ -170,6 +174,7 @@ func (m *InferRequest) Encode() ([]byte, error) {
 	e := &enc{}
 	e.u64(m.SessionID)
 	e.u64(m.RequestID)
+	e.u64(m.TraceID)
 	e.u32(m.TimeoutMillis)
 	if err := encodeCipherTensor(e, m.Tensor); err != nil {
 		return nil, err
@@ -182,6 +187,7 @@ func (m *InferRequest) Decode(data []byte) error {
 	d := &dec{buf: data}
 	m.SessionID = d.u64()
 	m.RequestID = d.u64()
+	m.TraceID = d.u64()
 	m.TimeoutMillis = d.u32()
 	ct, err := decodeCipherTensor(d)
 	if err != nil {
@@ -201,9 +207,11 @@ func (m *InferRequest) Decode(data []byte) error {
 // means the prediction occupies lane 0 (the unbatched wire shape).
 type InferResponse struct {
 	RequestID uint64
-	Batch     uint32
-	Lane      uint32
-	Tensor    *htc.CipherTensor
+	// TraceID echoes the request's trace ID.
+	TraceID uint64
+	Batch   uint32
+	Lane    uint32
+	Tensor  *htc.CipherTensor
 }
 
 // Encode serializes the message payload.
@@ -214,6 +222,7 @@ func (m *InferResponse) Encode() ([]byte, error) {
 	}
 	e := &enc{}
 	e.u64(m.RequestID)
+	e.u64(m.TraceID)
 	e.u32(m.Batch)
 	e.u32(m.Lane)
 	if err := encodeCipherTensor(e, m.Tensor); err != nil {
@@ -226,6 +235,7 @@ func (m *InferResponse) Encode() ([]byte, error) {
 func (m *InferResponse) Decode(data []byte) error {
 	d := &dec{buf: data}
 	m.RequestID = d.u64()
+	m.TraceID = d.u64()
 	batch := d.u32()
 	lane := d.u32()
 	if d.err == nil && (batch > maxBatchLanes || lane >= maxBatchLanes) {
@@ -252,6 +262,9 @@ func (m *InferResponse) Decode(data []byte) error {
 type InferBatchRequest struct {
 	SessionID uint64
 	RequestID uint64
+	// TraceID correlates this request with its server-side spans in logs
+	// and traces; echoed in the response. Zero disables correlation.
+	TraceID uint64
 	// TimeoutMillis caps this request's total latency (queue + execution).
 	// Zero defers to the server's configured default.
 	TimeoutMillis uint32
@@ -268,6 +281,7 @@ func (m *InferBatchRequest) Encode() ([]byte, error) {
 	e := &enc{}
 	e.u64(m.SessionID)
 	e.u64(m.RequestID)
+	e.u64(m.TraceID)
 	e.u32(m.TimeoutMillis)
 	e.u32(m.Count)
 	if err := encodeCipherTensor(e, m.Tensor); err != nil {
@@ -281,6 +295,7 @@ func (m *InferBatchRequest) Decode(data []byte) error {
 	d := &dec{buf: data}
 	m.SessionID = d.u64()
 	m.RequestID = d.u64()
+	m.TraceID = d.u64()
 	m.TimeoutMillis = d.u32()
 	count := d.u32()
 	if d.err == nil && (count < 1 || count > maxBatchLanes) {
@@ -305,8 +320,10 @@ func (m *InferBatchRequest) Decode(data []byte) error {
 // request: one tensor whose leading Count lanes hold the per-image outputs.
 type InferBatchResponse struct {
 	RequestID uint64
-	Count     uint32
-	Tensor    *htc.CipherTensor
+	// TraceID echoes the request's trace ID.
+	TraceID uint64
+	Count   uint32
+	Tensor  *htc.CipherTensor
 }
 
 // Encode serializes the message payload.
@@ -316,6 +333,7 @@ func (m *InferBatchResponse) Encode() ([]byte, error) {
 	}
 	e := &enc{}
 	e.u64(m.RequestID)
+	e.u64(m.TraceID)
 	e.u32(m.Count)
 	if err := encodeCipherTensor(e, m.Tensor); err != nil {
 		return nil, err
@@ -327,6 +345,7 @@ func (m *InferBatchResponse) Encode() ([]byte, error) {
 func (m *InferBatchResponse) Decode(data []byte) error {
 	d := &dec{buf: data}
 	m.RequestID = d.u64()
+	m.TraceID = d.u64()
 	count := d.u32()
 	if d.err == nil && (count < 1 || count > maxBatchLanes) {
 		d.fail(fmt.Sprintf("implausible batch count %d", count))

@@ -33,8 +33,10 @@ const (
 	FrameMagic uint32 = 0xC4E75EF1
 	// Version is the protocol version this package speaks. Version 2 added
 	// the batch fields to the tensor codec and the batched inference frames;
-	// version-1 peers are rejected at the header.
-	Version byte = 2
+	// version 3 added the request trace IDs that correlate a client request
+	// with its server-side spans and batch assignment. Older peers are
+	// rejected at the header.
+	Version byte = 3
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 12
 	// DefaultMaxFrame bounds a frame's payload when the caller does not
