@@ -35,4 +35,7 @@ go test -run=NONE -bench=NTT -benchtime=1x ./internal/ring
 echo "== bench smoke (served batching throughput sweeps a tiny instance)"
 go test -run=TestBatchingBenchSmoke ./internal/bench
 
+echo "== bench smoke (complex packing vs real batching at equal ring size)"
+go test -run=TestPackingBenchSmoke ./internal/bench
+
 echo "CI OK"

@@ -61,6 +61,15 @@ type benchConfig struct {
 	telemetryReps      int
 	telemetryBudgetPct float64
 	telemetryOut       string
+	// packingBatch is the real-packing baseline batch (complex runs 2x it);
+	// packingMinSpeedup is the throughput ratio the experiment asserts and
+	// packingErrBudget the per-lane decode-error ceiling. packingOut is the
+	// JSON path ("" disables).
+	packingBatch                   int
+	packingMinLogN, packingMaxLogN int
+	packingMinSpeedup              float64
+	packingErrBudget               float64
+	packingOut                     string
 }
 
 func defaultConfig() benchConfig {
@@ -84,6 +93,13 @@ func defaultConfig() benchConfig {
 		telemetryReps:      5,
 		telemetryBudgetPct: 5,
 		telemetryOut:       "BENCH_telemetry.json",
+
+		packingBatch:      8,
+		packingMinLogN:    11,
+		packingMaxLogN:    13,
+		packingMinSpeedup: 1.7,
+		packingErrBudget:  5e-2,
+		packingOut:        "BENCH_packing.json",
 	}
 }
 
@@ -201,6 +217,32 @@ func experiments(cfg benchConfig) []experiment {
 			fmt.Fprintf(w, "wrote %s\n", cfg.batchOut)
 			return nil
 		}},
+		{"packing", func(w io.Writer) error {
+			res, err := bench.PackingBench(nn.LeNetTiny(), cfg.packingBatch,
+				cfg.packingMinLogN, cfg.packingMaxLogN, cfg.workers, cfg.packingErrBudget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderPacking(res))
+			fmt.Fprintln(w, "complex packing doubles lane occupancy (real+imaginary components); lazy relinearization halves activation key-switches")
+			if cfg.packingOut != "" {
+				if err := bench.WriteStampedJSON(cfg.packingOut, res); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote %s\n", cfg.packingOut)
+			}
+			for _, e := range res.Errors {
+				if !e.Pass {
+					return fmt.Errorf("per-lane decode error %.2e on %s exceeds the %.0e budget",
+						e.MaxErr, e.Backend, res.ErrBudget)
+				}
+			}
+			if res.Speedup < cfg.packingMinSpeedup {
+				return fmt.Errorf("complex packing throughput ratio %.2fx below the %.2fx floor",
+					res.Speedup, cfg.packingMinSpeedup)
+			}
+			return nil
+		}},
 		{"telemetry", func(w io.Writer) error {
 			rows, err := bench.TelemetryOverhead(cfg.fig6Models, cfg.telemetryLogN,
 				cfg.workers, cfg.telemetryReps, cfg.telemetryBudgetPct)
@@ -252,7 +294,7 @@ func runExperiments(w io.Writer, want string, cfg benchConfig) error {
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, batching, telemetry, or all")
+		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, batching, packing, telemetry, or all")
 	full := flag.Bool("full", false,
 		"use all five evaluation networks (slower analysis sweeps; fig6 always uses the small set)")
 	scaleSearch := flag.Bool("scalesearch", false,
@@ -267,6 +309,10 @@ func main() {
 		"output path for the telemetry experiment JSON (empty disables)")
 	budget := flag.Float64("telemetry-budget", 5,
 		"tracing-overhead budget in percent the telemetry experiment asserts")
+	packingOut := flag.String("packingout", "BENCH_packing.json",
+		"output path for the packing experiment JSON (empty disables)")
+	packingMinSpeedup := flag.Float64("packing-min-speedup", 1.7,
+		"throughput ratio (complex/real) the packing experiment asserts")
 	flag.Parse()
 
 	cfg := defaultConfig()
@@ -276,6 +322,8 @@ func main() {
 	cfg.batchOut = *batchOut
 	cfg.telemetryOut = *telemetryOut
 	cfg.telemetryBudgetPct = *budget
+	cfg.packingOut = *packingOut
+	cfg.packingMinSpeedup = *packingMinSpeedup
 	if *full {
 		cfg.models = bench.EvalModels()
 	}

@@ -31,6 +31,15 @@ func tinyConfig() benchConfig {
 		// host can't hold the 5% production budget on a tiny single-rep run.
 		telemetryBudgetPct: 500,
 		telemetryOut:       "",
+
+		packingBatch:   2,
+		packingMinLogN: 11,
+		packingMaxLogN: 12,
+		// Decode errors are asserted at the production budget; the throughput
+		// floor is disabled for the same reason as the telemetry budget above.
+		packingMinSpeedup: 0,
+		packingErrBudget:  5e-2,
+		packingOut:        "",
 	}
 }
 
@@ -38,7 +47,7 @@ func tinyConfig() benchConfig {
 // and requires non-empty rendered output.
 func TestRunExperimentsSmoke(t *testing.T) {
 	cfg := tinyConfig()
-	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "batching": true, "telemetry": true}
+	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "batching": true, "telemetry": true, "packing": true}
 	for _, e := range experiments(cfg) {
 		t.Run(e.name, func(t *testing.T) {
 			if testing.Short() && slow[e.name] {

@@ -16,6 +16,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -30,6 +31,10 @@ type compileConfig struct {
 	scales      string
 	showKeys    bool
 	costThreads int
+	batch       int
+	complex     bool
+	scaleMode   string
+	explain     bool
 }
 
 // compileAndDescribe runs the compiler and writes the decision report to w.
@@ -38,7 +43,12 @@ func compileAndDescribe(w io.Writer, cfg compileConfig) error {
 	if err != nil {
 		return err
 	}
-	opts := chet.Options{SecurityBits: cfg.security, CostThreads: cfg.costThreads}
+	opts := chet.Options{
+		SecurityBits: cfg.security,
+		CostThreads:  cfg.costThreads,
+		Batch:        cfg.batch,
+		Complex:      cfg.complex,
+	}
 	switch strings.ToLower(cfg.scheme) {
 	case "seal", "rns", "rns-ckks":
 		opts.Scheme = chet.SchemeRNS
@@ -46,6 +56,14 @@ func compileAndDescribe(w io.Writer, cfg compileConfig) error {
 		opts.Scheme = chet.SchemeCKKS
 	default:
 		return fmt.Errorf("unknown scheme %q", cfg.scheme)
+	}
+	switch strings.ToLower(cfg.scaleMode) {
+	case "", "greedy":
+		opts.ScaleMode = chet.ScaleGreedy
+	case "lazy":
+		opts.ScaleMode = chet.ScaleLazy
+	default:
+		return fmt.Errorf("unknown scale mode %q (want greedy or lazy)", cfg.scaleMode)
 	}
 	if cfg.scales != "" {
 		sc, err := parseScales(cfg.scales)
@@ -66,7 +84,59 @@ func compileAndDescribe(w io.Writer, cfg compileConfig) error {
 	if cfg.showKeys {
 		fmt.Fprintf(w, "rotation keys (%d): %v\n", len(compiled.Best.Rotations), compiled.Best.Rotations)
 	}
+	if cfg.explain {
+		explainScale(w, compiled)
+	}
 	return nil
+}
+
+// explainScale renders the scale-management pass's per-site trace: one row
+// per kernel reduce site with the site's RNS level (or "-" under CKKS, whose
+// modulus is not a prime chain), the live scale entering the site, the
+// modulus already consumed, and the defer/rescale decision — followed by the
+// per-node relinearization counts.
+func explainScale(w io.Writer, compiled *chet.Compiled) {
+	r := compiled.ScaleReport
+	if r == nil {
+		fmt.Fprintln(w, "no scale report recorded")
+		return
+	}
+	fmt.Fprintf(w, "scale-management pass (%v): %d sites, %d deferred, %d rescaled\n",
+		r.Mode, len(r.Sites), r.Deferred, r.Rescaled)
+	fmt.Fprintf(w, "  peak log2(Q) %.1f, budget %.1f", r.PeakLogQ, r.Budget)
+	if r.Dropped {
+		fmt.Fprint(w, "  [plan DROPPED: budget exceeded; runtime falls back to greedy]")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %4s  %-28s %5s  %11s  %8s  %s\n",
+		"site", "node", "level", "log2(scale)", "consumed", "decision")
+	for i, s := range r.Sites {
+		lvl := "-"
+		if s.Level >= 0 {
+			lvl = strconv.Itoa(s.Level)
+		}
+		fmt.Fprintf(w, "  %4d  %-28s %5s  %11.1f  %8.1f  %v\n",
+			i, s.Name, lvl, s.LogScale, s.Consumed, s.Decision)
+	}
+	if len(r.Relins) > 0 {
+		nodes := make([]int, 0, len(r.Relins))
+		for id := range r.Relins {
+			nodes = append(nodes, id)
+		}
+		sort.Ints(nodes)
+		names := map[int]string{}
+		for _, s := range r.Sites {
+			names[s.Node] = s.Name
+		}
+		fmt.Fprintln(w, "relinearizations (ct-ct multiplications) by node:")
+		for _, id := range nodes {
+			name := names[id]
+			if name == "" {
+				name = fmt.Sprintf("node %d", id)
+			}
+			fmt.Fprintf(w, "  %-28s %d\n", name, r.Relins[id])
+		}
+	}
 }
 
 func main() {
@@ -80,6 +150,13 @@ func main() {
 	flag.BoolVar(&cfg.showKeys, "keys", false, "print the full rotation-key list")
 	flag.IntVar(&cfg.costThreads, "costthreads", 1,
 		"T in the T-thread cost model: estimates become the makespan over T threads (1 = serial sum)")
+	flag.IntVar(&cfg.batch, "batch", 1, "images packed per evaluation (batch-axis slot lanes)")
+	flag.BoolVar(&cfg.complex, "complex", false,
+		"complex packing: two images per lane (real+imaginary slot components)")
+	flag.StringVar(&cfg.scaleMode, "scale-mode", "greedy",
+		"rescale placement: greedy (op-local protocol) or lazy (graph-level scale-management pass)")
+	flag.BoolVar(&cfg.explain, "explain", false,
+		"print the scale-management pass's per-site plan and per-node relinearization counts")
 	flag.Parse()
 
 	if err := compileAndDescribe(os.Stdout, cfg); err != nil {

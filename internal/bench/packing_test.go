@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"chet/internal/nn"
+)
+
+// TestPackingBenchSmoke runs the complex-packing comparison on its smallest
+// meaningful instance: real RNS-CKKS, 2 real-packed vs 4 complex-packed
+// images at equal ring size. Absolute throughput is machine-dependent, so
+// the smoke checks structure and the decode-error gate — the 1.7x
+// acceptance ratio is asserted only by the full `chet-bench -exp packing`
+// run, on the production batch size.
+func TestPackingBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real lattice execution is slow; run without -short")
+	}
+	res, err := PackingBench(nn.LeNetTiny(), 2, 11, 12, 2, 5e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	rowReal, rowCplx := res.Rows[0], res.Rows[1]
+	if rowReal.Complex || !rowCplx.Complex {
+		t.Fatalf("row packing flags wrong: %+v / %+v", rowReal, rowCplx)
+	}
+	if rowCplx.Batch != 2*rowReal.Batch {
+		t.Fatalf("complex row batch %d, want %d", rowCplx.Batch, 2*rowReal.Batch)
+	}
+	if rowReal.LogN != rowCplx.LogN {
+		t.Fatalf("ring sizes diverge: %d vs %d", rowReal.LogN, rowCplx.LogN)
+	}
+	for _, r := range res.Rows {
+		if r.SecondsPerInfer <= 0 || r.ImagesPerSec <= 0 || r.Rescales <= 0 {
+			t.Fatalf("implausible row %+v", r)
+		}
+	}
+	if res.Speedup <= 1 {
+		t.Fatalf("complex packing did not beat real batching: %.2fx", res.Speedup)
+	}
+	if len(res.Errors) != 3 {
+		t.Fatalf("decode-error checks = %d, want 3 (rns, ref, sim)", len(res.Errors))
+	}
+	for _, e := range res.Errors {
+		if !e.Pass {
+			t.Fatalf("backend %s per-lane decode error %.2e exceeds budget %.0e",
+				e.Backend, e.MaxErr, res.ErrBudget)
+		}
+	}
+	if s := RenderPacking(res); !strings.Contains(s, "throughput ratio") {
+		t.Fatalf("render missing ratio line:\n%s", s)
+	}
+}

@@ -2,26 +2,42 @@ package ckks
 
 import "chet/internal/ring"
 
-// Ciphertext is a degree-1 RNS-CKKS ciphertext (C0, C1) in NTT domain,
-// decrypting to C0 + C1*s. It carries its level (index of the top chain
-// prime still in use) and fixed-point scale.
+// Ciphertext is an RNS-CKKS ciphertext in NTT domain. Degree-1 ciphertexts
+// (the common case) hold (C0, C1) and decrypt to C0 + C1*s; an unrelinearized
+// product (MulNoRelin) additionally carries C2, decrypting to
+// C0 + C1*s + C2*s². It carries its level (index of the top chain prime
+// still in use) and fixed-point scale.
 type Ciphertext struct {
 	C0, C1 *ring.Poly
-	Scale  float64
-	Lvl    int
+	// C2 is non-nil only between MulNoRelin and Relinearize (degree 2).
+	C2    *ring.Poly
+	Scale float64
+	Lvl   int
 }
 
 // Level returns the ciphertext level.
 func (ct *Ciphertext) Level() int { return ct.Lvl }
 
+// Degree returns 1 for relinearized ciphertexts, 2 for lazy products.
+func (ct *Ciphertext) Degree() int {
+	if ct.C2 != nil {
+		return 2
+	}
+	return 1
+}
+
 // CopyNew returns a deep copy.
 func (ct *Ciphertext) CopyNew() *Ciphertext {
-	return &Ciphertext{
+	out := &Ciphertext{
 		C0:    ct.C0.CopyNew(),
 		C1:    ct.C1.CopyNew(),
 		Scale: ct.Scale,
 		Lvl:   ct.Lvl,
 	}
+	if ct.C2 != nil {
+		out.C2 = ct.C2.CopyNew()
+	}
+	return out
 }
 
 // Encryptor encrypts plaintexts under a public key.
@@ -83,5 +99,13 @@ func (d *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
 	pt := r.NewPoly(level)
 	r.MulCoeffs(ct.C1, d.sk.Value, pt, level)
 	r.Add(pt, ct.C0, pt, level)
+	if ct.C2 != nil {
+		// Degree-2 decryption: + C2*s². Only reachable when a lazy product
+		// is decrypted before relinearization (tests do; circuits don't).
+		s2 := r.NewPoly(level)
+		r.MulCoeffs(d.sk.Value, d.sk.Value, s2, level)
+		r.MulCoeffs(ct.C2, s2, s2, level)
+		r.Add(pt, s2, pt, level)
+	}
 	return &Plaintext{Value: pt, Scale: ct.Scale, Lvl: level}
 }

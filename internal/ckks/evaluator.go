@@ -35,6 +35,13 @@ type Evaluator struct {
 	// *SwitchingKey. Shared across ShallowCopy so the forms are computed
 	// once per key regardless of worker count.
 	keyShoup *sync.Map
+
+	// monoI is the NTT form of the monomial X^(N/2), precomputed at
+	// construction and shared (read-only) across ShallowCopy. Every slot's
+	// evaluation point is an odd power 5^j of the primitive 2N-th root, and
+	// 5^j = 1 (mod 4), so X^(N/2) evaluates to exactly +i in every slot:
+	// multiplying by it is an exact, key-switch-free multiply-by-i.
+	monoI *ring.Poly
 }
 
 // NewEvaluator creates an evaluator. rlk may be nil if no
@@ -43,6 +50,11 @@ type Evaluator struct {
 func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKeySet) *Evaluator {
 	n := params.N()
 	r := params.Ring()
+	mono := r.NewPoly(r.MaxLevel())
+	for i := range mono.Coeffs {
+		mono.Coeffs[i][n/2] = 1
+	}
+	r.NTT(mono, r.MaxLevel())
 	return &Evaluator{
 		params: params,
 		rlk:    rlk,
@@ -54,6 +66,7 @@ func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKey
 			return r.NewPoly(r.MaxLevel())
 		}},
 		keyShoup: &sync.Map{},
+		monoI:    mono,
 	}
 }
 
@@ -96,17 +109,23 @@ func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext, in
 	ac, bc := a, b
 	if a.Lvl > level {
 		ac = a.CopyNew()
-		ac.C0.DropLevel(level)
-		ac.C1.DropLevel(level)
-		ac.Lvl = level
+		dropPolys(ac, level)
 	}
 	if b.Lvl > level {
 		bc = b.CopyNew()
-		bc.C0.DropLevel(level)
-		bc.C1.DropLevel(level)
-		bc.Lvl = level
+		dropPolys(bc, level)
 	}
 	return ac, bc, level
+}
+
+// dropPolys truncates every component of ct to level in place.
+func dropPolys(ct *Ciphertext, level int) {
+	ct.C0.DropLevel(level)
+	ct.C1.DropLevel(level)
+	if ct.C2 != nil {
+		ct.C2.DropLevel(level)
+	}
+	ct.Lvl = level
 }
 
 // DropToLevel reduces ct to the given level in place (a no-op if already
@@ -119,12 +138,11 @@ func (ev *Evaluator) DropToLevel(ct *Ciphertext, level int) {
 	if level == ct.Lvl {
 		return
 	}
-	ct.C0.DropLevel(level)
-	ct.C1.DropLevel(level)
-	ct.Lvl = level
+	dropPolys(ct, level)
 }
 
-// Add returns a + b.
+// Add returns a + b. Degree-2 operands (lazy products) add componentwise; a
+// missing C2 on one side counts as zero.
 func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
 	if !sameScale(a.Scale, b.Scale) {
 		panic(fmt.Sprintf("ckks: scale mismatch in Add: %g vs %g", a.Scale, b.Scale))
@@ -134,10 +152,21 @@ func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
 	out := &Ciphertext{C0: r.NewPoly(level), C1: r.NewPoly(level), Scale: ac.Scale, Lvl: level}
 	r.Add(ac.C0, bc.C0, out.C0, level)
 	r.Add(ac.C1, bc.C1, out.C1, level)
+	if ac.C2 != nil || bc.C2 != nil {
+		switch {
+		case bc.C2 == nil:
+			out.C2 = ac.C2.CopyNew()
+		case ac.C2 == nil:
+			out.C2 = bc.C2.CopyNew()
+		default:
+			out.C2 = r.NewPoly(level)
+			r.Add(ac.C2, bc.C2, out.C2, level)
+		}
+	}
 	return out
 }
 
-// Sub returns a - b.
+// Sub returns a - b, with the same degree-2 handling as Add.
 func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
 	if !sameScale(a.Scale, b.Scale) {
 		panic(fmt.Sprintf("ckks: scale mismatch in Sub: %g vs %g", a.Scale, b.Scale))
@@ -147,6 +176,17 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
 	out := &Ciphertext{C0: r.NewPoly(level), C1: r.NewPoly(level), Scale: ac.Scale, Lvl: level}
 	r.Sub(ac.C0, bc.C0, out.C0, level)
 	r.Sub(ac.C1, bc.C1, out.C1, level)
+	switch {
+	case ac.C2 == nil && bc.C2 == nil:
+	case bc.C2 == nil:
+		out.C2 = ac.C2.CopyNew()
+	case ac.C2 == nil:
+		out.C2 = r.NewPoly(level)
+		r.Sub(out.C2, bc.C2, out.C2, level)
+	default:
+		out.C2 = r.NewPoly(level)
+		r.Sub(ac.C2, bc.C2, out.C2, level)
+	}
 	return out
 }
 
@@ -214,6 +254,36 @@ func (ev *Evaluator) AddScalar(ct *Ciphertext, x float64) *Ciphertext {
 	return out
 }
 
+// AddScalarC adds the complex constant z to every slot without a plaintext
+// encoding. The slot-constant vector z = a+bi is the two-term polynomial
+// round(a·Δ) + round(b·Δ)·X^(N/2) — the monomial evaluates to +i in every
+// slot (see MulByI) — and both terms have closed-form NTT images: a constant
+// is itself in every NTT coefficient, and the monomial's image is the
+// precomputed monoI table. The addition is therefore pointwise on C0 alone —
+// no FFT, no NTT — and exact where the generic encode path rounds through a
+// float transform.
+func (ev *Evaluator) AddScalarC(ct *Ciphertext, z complex128) *Ciphertext {
+	if imag(z) == 0 {
+		return ev.AddScalar(ct, real(z))
+	}
+	r := ev.params.Ring()
+	level := ct.Lvl
+	out := ct.CopyNew()
+	reRes := scalarResidues(real(z), ct.Scale, r, level)
+	imRes := scalarResidues(imag(z), ct.Scale, r, level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		ra, rb := reRes[i], imRes[i]
+		rs := ring.MForm(rb, q)
+		ro := out.C0.Coeffs[i]
+		mi := ev.monoI.Coeffs[i]
+		for j := range ro {
+			ro[j] = ring.AddMod(ro[j], ring.AddMod(ra, ring.MulModShoup(mi[j], rb, rs, q), q), q)
+		}
+	}
+	return out
+}
+
 // scalarResidues returns round(x*scale) mod q_i for i <= level, using
 // int64 arithmetic when the constant fits and big integers otherwise.
 func scalarResidues(x, scale float64, r *ring.Ring, level int) []uint64 {
@@ -258,6 +328,10 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	}
 	r.MulCoeffs(ct.C0, pt.Value, out.C0, level)
 	r.MulCoeffs(ct.C1, pt.Value, out.C1, level)
+	if ct.C2 != nil {
+		out.C2 = r.NewPoly(level)
+		r.MulCoeffs(ct.C2, pt.Value, out.C2, level)
+	}
 	return out
 }
 
@@ -265,6 +339,15 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 // scale is ct.Scale * f. Encoding a scalar as the constant polynomial
 // round(x*f) multiplies every slot without a full plaintext encoding.
 func (ev *Evaluator) MulScalar(ct *Ciphertext, x float64, f float64) *Ciphertext {
+	// Exact-unit shortcut: when the encoded constant round(x*f) is 1 the
+	// multiplication is the identity on every coefficient, so only the scale
+	// moves. The complex-packing kernels lean on this — their /4 corrections
+	// multiply by 0.25 at factor 4, which encodes as exactly 1.
+	if math.Round(x*f) == 1 {
+		out := ct.CopyNew()
+		out.Scale = ct.Scale * f
+		return out
+	}
 	r := ev.params.Ring()
 	level := ct.Lvl
 	out := &Ciphertext{
@@ -273,15 +356,22 @@ func (ev *Evaluator) MulScalar(ct *Ciphertext, x float64, f float64) *Ciphertext
 		Scale: ct.Scale * f,
 		Lvl:   level,
 	}
+	if ct.C2 != nil {
+		out.C2 = r.NewPoly(level)
+	}
 	residues := scalarResidues(x, f, r, level)
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i].Q
 		cq := residues[i]
 		cs := ring.MForm(cq, q)
-		for _, pair := range [2][2][]uint64{
+		pairs := [][2][]uint64{
 			{ct.C0.Coeffs[i], out.C0.Coeffs[i]},
 			{ct.C1.Coeffs[i], out.C1.Coeffs[i]},
-		} {
+		}
+		if ct.C2 != nil {
+			pairs = append(pairs, [2][]uint64{ct.C2.Coeffs[i], out.C2.Coeffs[i]})
+		}
+		for _, pair := range pairs {
 			src, dst := pair[0], pair[1]
 			for j := range dst {
 				dst[j] = ring.MulModShoup(src[j], cq, cs, q)
@@ -291,11 +381,43 @@ func (ev *Evaluator) MulScalar(ct *Ciphertext, x float64, f float64) *Ciphertext
 	return out
 }
 
+// MulByI multiplies every slot by the imaginary unit i, exactly and without
+// consuming scale: the multiplier is the ring monomial X^(N/2) (see monoI),
+// so the product is a plain NTT pointwise multiply — no encoding, no
+// rounding, no key switch.
+func (ev *Evaluator) MulByI(ct *Ciphertext) *Ciphertext {
+	r := ev.params.Ring()
+	level := ct.Lvl
+	out := &Ciphertext{
+		C0:    r.NewPoly(level),
+		C1:    r.NewPoly(level),
+		Scale: ct.Scale,
+		Lvl:   level,
+	}
+	r.MulCoeffs(ct.C0, ev.monoI, out.C0, level)
+	r.MulCoeffs(ct.C1, ev.monoI, out.C1, level)
+	if ct.C2 != nil {
+		out.C2 = r.NewPoly(level)
+		r.MulCoeffs(ct.C2, ev.monoI, out.C2, level)
+	}
+	return out
+}
+
 // Mul returns a * b, relinearized back to degree 1. The result scale is the
 // product of the input scales; callers rescale afterwards.
 func (ev *Evaluator) Mul(a, b *Ciphertext) *Ciphertext {
-	if ev.rlk == nil {
-		panic("ckks: evaluator has no relinearization key")
+	return ev.Relinearize(ev.MulNoRelin(a, b))
+}
+
+// MulNoRelin returns a * b as a degree-2 ciphertext, leaving the
+// relinearization key-switch to a later explicit Relinearize. Linear
+// operations (Add, Sub, MulScalar, MulByI) act componentwise on degree-2
+// ciphertexts, so several products that are only combined linearly can
+// share a single relinearization — the lazy-relinearize half of the
+// graph-level scale pass.
+func (ev *Evaluator) MulNoRelin(a, b *Ciphertext) *Ciphertext {
+	if a.C2 != nil || b.C2 != nil {
+		panic("ckks: MulNoRelin operands must be degree 1 (relinearize first)")
 	}
 	ac, bc, level := ev.alignLevels(a, b)
 	r := ev.params.Ring()
@@ -308,15 +430,30 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) *Ciphertext {
 	r.MulCoeffsAndAdd(ac.C1, bc.C0, d1, level)
 	r.MulCoeffs(ac.C1, bc.C1, d2, level)
 
-	dec := ev.hoistedDecompose(d2, level)
+	return &Ciphertext{C0: d0, C1: d1, C2: d2, Scale: ac.Scale * bc.Scale, Lvl: level}
+}
+
+// Relinearize key-switches a degree-2 ciphertext's C2 component back into
+// (C0, C1). Degree-1 inputs pass through unchanged.
+func (ev *Evaluator) Relinearize(ct *Ciphertext) *Ciphertext {
+	if ct.C2 == nil {
+		return ct
+	}
+	if ev.rlk == nil {
+		panic("ckks: evaluator has no relinearization key")
+	}
+	r := ev.params.Ring()
+	level := ct.Lvl
+	dec := ev.hoistedDecompose(ct.C2, level)
 	e0, e1 := ev.keySwitchFromDecomp(dec, nil, ev.rlk.Key)
 	dec.Release()
-	r.Add(d0, e0, d0, level)
-	r.Add(d1, e1, d1, level)
+	d0 := r.NewPoly(level)
+	d1 := r.NewPoly(level)
+	r.Add(ct.C0, e0, d0, level)
+	r.Add(ct.C1, e1, d1, level)
 	ev.putAcc(e0)
 	ev.putAcc(e1)
-
-	return &Ciphertext{C0: d0, C1: d1, Scale: ac.Scale * bc.Scale, Lvl: level}
+	return &Ciphertext{C0: d0, C1: d1, Scale: ct.Scale, Lvl: level}
 }
 
 // RotateLeft rotates the slot vector left by k positions (slot i of the
@@ -346,6 +483,9 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
 // with a single-use decomposition, so per-amount rotations and hoisted
 // batches produce bit-identical ciphertexts.
 func (ev *Evaluator) applyGalois(ct *Ciphertext, galEl uint64) *Ciphertext {
+	if ct.C2 != nil {
+		panic("ckks: cannot apply a Galois automorphism to a degree-2 ciphertext (relinearize first)")
+	}
 	dec := ev.hoistedDecompose(ct.C1, ct.Lvl)
 	out := ev.applyGaloisHoisted(ct, dec, galEl)
 	dec.Release()
@@ -406,7 +546,11 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) {
 
 	tmp := ev.getRow()
 	defer ev.putRow(tmp)
-	for _, c := range []*ring.Poly{ct.C0, ct.C1} {
+	polys := []*ring.Poly{ct.C0, ct.C1}
+	if ct.C2 != nil {
+		polys = append(polys, ct.C2)
+	}
+	for _, c := range polys {
 		top := append([]uint64(nil), c.Coeffs[level]...)
 		r.InvNTTSingle(level, top)
 		for j := 0; j < level; j++ {

@@ -259,6 +259,19 @@ func (a *Analysis) Mul(c, c2 hisa.Ciphertext) hisa.Ciphertext {
 	return a.join(x, y, x.scale*y.scale)
 }
 
+// LazyRelinCapable marks the analysis interpretation as supporting deferred
+// relinearization, so recording runs walk the same kernel branches as the
+// real backend (hisa.LazyRelinBackend).
+func (a *Analysis) LazyRelinCapable() bool { return true }
+
+// MulNoRelin charges like Mul: the dataflow facts (scale, consumed modulus)
+// are identical, and the relinearization cost estimate stays attached to the
+// product for a conservative op model.
+func (a *Analysis) MulNoRelin(c, c2 hisa.Ciphertext) hisa.Ciphertext { return a.Mul(c, c2) }
+
+// Relinearize is a dataflow no-op: scale and modulus are untouched.
+func (a *Analysis) Relinearize(c hisa.Ciphertext) hisa.Ciphertext { return c }
+
 func (a *Analysis) MulPlain(c hisa.Ciphertext, p hisa.Plaintext) hisa.Ciphertext {
 	x, pp := a.ct(c), a.pt(p)
 	a.charge(a.model.PlainMul(a.n, a.state(x)))
@@ -349,6 +362,49 @@ func (a *Analysis) Rescale(c hisa.Ciphertext, x *big.Int) hisa.Ciphertext {
 }
 
 func (a *Analysis) Scale(c hisa.Ciphertext) float64 { return a.ct(c).scale }
+
+// --- hisa.ConjugateBackend ---
+//
+// The complex-packing operations have straightforward transfer functions:
+// conjugation is a key switch (priced like a rotation) that leaves both
+// scale and consumption unchanged, and the complex encode/plaintext variants
+// mirror their real counterparts. Implementing the capability here lets the
+// compiler analyze complex-packed circuits with the same unmodified kernels.
+
+func (a *Analysis) Conjugate(c hisa.Ciphertext) hisa.Ciphertext {
+	cc := a.ct(c)
+	a.charge(a.model.Rotate(a.n, a.state(cc)))
+	out := *cc
+	return a.observe(&out)
+}
+
+func (a *Analysis) EncryptC(m []complex128, f float64) hisa.Ciphertext {
+	if len(m) > a.slots {
+		panic(fmt.Sprintf("core: %d values exceed %d slots", len(m), a.slots))
+	}
+	return a.observe(&analysisCT{scale: f})
+}
+
+func (a *Analysis) DecryptC(c hisa.Ciphertext) []complex128 {
+	a.ct(c)
+	return make([]complex128, a.slots)
+}
+
+func (a *Analysis) AddPlainC(c hisa.Ciphertext, m []complex128) hisa.Ciphertext {
+	x := a.ct(c)
+	a.charge(a.model.Add(a.n, a.state(x)))
+	return a.observe(&analysisCT{scale: x.scale, consumed: x.consumed})
+}
+
+func (a *Analysis) MulScalarC(c hisa.Ciphertext, z complex128, f float64) hisa.Ciphertext {
+	cc := a.ct(c)
+	a.charge(a.model.ScalarMul(a.n, a.state(cc)))
+	return a.observe(&analysisCT{scale: cc.scale * f, consumed: cc.consumed})
+}
+
+// ConsumedOf exposes a ciphertext fact's consumed modulus bits; the scale-
+// management pass uses it to bound deferrals against the modulus budget.
+func (a *Analysis) ConsumedOf(c hisa.Ciphertext) float64 { return a.ct(c).consumed }
 
 // --- Results ---
 

@@ -14,20 +14,23 @@ import (
 func (c *Compiled) Plan() htc.Plan {
 	plan := htc.PlanFor(c.Circuit, c.Best.Policy)
 	plan.Batch = c.Best.Batch
+	plan.Complex = c.Options.Complex
 	return plan
 }
 
 // packRotations returns the rotation-key amounts (normalized to left
-// rotations) that htc.PackBatch needs to coalesce batch single-lane tensors:
-// tensor i is rotated right by i*laneSlots, and a right rotation by x is a
-// left rotation by slots-x.
-func packRotations(batch, slots int) []int {
-	if batch <= 1 {
+// rotations) that htc.PackBatch needs to coalesce single-lane tensors into
+// the physical lanes: tensor i is rotated right by i*laneSlots, and a right
+// rotation by x is a left rotation by slots-x. The count is the lane count,
+// not the image count — under complex packing the coalescer fills one image
+// per lane (rotations cannot cross slot components).
+func packRotations(lanes, slots int) []int {
+	if lanes <= 1 {
 		return nil
 	}
-	laneSlots := slots / nextPow2(batch)
-	out := make([]int, 0, batch-1)
-	for i := 1; i < batch; i++ {
+	laneSlots := slots / nextPow2(lanes)
+	out := make([]int, 0, lanes-1)
+	for i := 1; i < lanes; i++ {
 		if k := (slots - i*laneSlots) % slots; k != 0 {
 			out = append(out, k)
 		}
@@ -65,7 +68,9 @@ func nextPow2(n int) int {
 // that compiles without growing the ring degree beyond the unbatched
 // choice: batching is free amortization only while the per-image footprint
 // still fits a lane of the same ring, so the search doubles B and stops at
-// the first capacity that fails to compile or forces a larger N.
+// the first capacity that fails to compile or forces a larger N. With
+// opts.Complex the per-lane footprint halves the lane count, so the search
+// naturally lands on roughly twice the real-packing capacity.
 func SelectBatchCapacity(c *circuit.Circuit, opts Options, maxBatch int) (int, error) {
 	if maxBatch < 1 {
 		maxBatch = 1

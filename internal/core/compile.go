@@ -49,6 +49,29 @@ type Options struct {
 	// the rotation-key set grows by the Batch-1 lane-packing rotations the
 	// serving layer uses to coalesce requests. 0 or 1 means unbatched.
 	Batch int
+	// Complex packs two images per batch lane — one in the real and one in
+	// the imaginary slot component (nGraph-HE2's complex packing) — doubling
+	// Batch capacity at constant ring size. The runtime backend must expose
+	// hisa.ConjugateBackend (all three executable backends do); ct-ct
+	// products spend one extra Pu depth on the conjugation identity.
+	Complex bool
+	// ScaleMode selects rescale placement: ScaleGreedy (default) keeps the
+	// op-local kernel protocol; ScaleLazy runs the graph-level scale-
+	// management pass and ships a per-site defer/rescale plan in Compiled.
+	ScaleMode ScaleMode
+}
+
+// lanes is the number of physical batch lanes the options imply (complex
+// packing halves the lane count for the same image capacity).
+func (o *Options) lanes() int {
+	b := o.Batch
+	if b < 1 {
+		b = 1
+	}
+	if o.Complex {
+		return (b + 1) / 2
+	}
+	return b
 }
 
 func (o *Options) fillDefaults() {
@@ -116,6 +139,14 @@ type Compiled struct {
 	Options Options
 	Best    PolicyResult
 	Trace   []PolicyResult
+
+	// ScalePlan is the graph-level rescale placement recorded by the scale-
+	// management pass (Options.ScaleMode == ScaleLazy); nil means every
+	// kernel reduce site uses the greedy op-local protocol. Sessions thread
+	// it into execution as an htc.PlanPolicy.
+	ScalePlan *htc.ScalePlan
+	// ScaleReport is the pass's per-site trace (chet-compile -explain).
+	ScaleReport *ScaleReport
 }
 
 // Compile runs CHET's compilation pipeline on a tensor circuit: for every
@@ -149,20 +180,27 @@ func Compile(c *circuit.Circuit, opts Options) (*Compiled, error) {
 		}
 	}
 	out.Best = best
+	// The scale-management pass runs on the winning policy's parameters: it
+	// records the per-site rescale plan (lazy mode) and the explain report
+	// without changing parameters, keys, or the layout decision.
+	if err := recordScalePlan(c, out); err != nil {
+		return nil, fmt.Errorf("core: scale-management pass: %w", err)
+	}
 	return out, nil
 }
 
 // runAnalysis executes the circuit under an analysis interpretation,
 // converting kernel panics (layout does not fit, modulus exhausted) into
 // errors so the parameter search can move to the next ring degree.
-func runAnalysis(c *circuit.Circuit, policy htc.LayoutPolicy, batch int, a *Analysis, sc htc.Scales) (err error) {
+func runAnalysis(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options, a *Analysis, sc htc.Scales) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("analysis aborted: %v", r)
 		}
 	}()
 	plan := htc.PlanFor(c, policy)
-	plan.Batch = batch
+	plan.Batch = opts.Batch
+	plan.Complex = opts.Complex
 	in := c.Input.OutShape
 	// Encrypting an all-zero image is enough: analysis facts are data-
 	// independent.
@@ -191,7 +229,7 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 			MagMarginBits: opts.MagMarginBits,
 			RotKey:        rotKey,
 		})
-		if err := runAnalysis(c, policy, opts.Batch, params, opts.Scales); err != nil {
+		if err := runAnalysis(c, policy, opts, params, opts.Scales); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -202,7 +240,7 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 			Policy:      policy,
 			LogN:        logN,
 			LogQ:        math.Ceil(params.PeakLogQ()),
-			Rotations:   mergeRotations(params.Rotations(), packRotations(opts.Batch, slots)),
+			Rotations:   mergeRotations(params.Rotations(), packRotations(opts.lanes(), slots)),
 			RotationOps: params.RotationOps(),
 			Batch:       opts.Batch,
 		}
@@ -243,7 +281,7 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 			CostThreads:   opts.CostThreads,
 			Batch:         opts.Batch,
 		})
-		if err := runAnalysis(c, policy, opts.Batch, cost, opts.Scales); err != nil {
+		if err := runAnalysis(c, policy, opts, cost, opts.Scales); err != nil {
 			return PolicyResult{}, err
 		}
 		res.EstimatedCost = cost.Cost()

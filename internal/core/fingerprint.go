@@ -12,7 +12,7 @@ import (
 // fpVersion tags the canonical encoding below; bump it whenever the byte
 // layout of the digest changes so old and new binaries never agree by
 // accident.
-const fpVersion = "chet-fingerprint-v2"
+const fpVersion = "chet-fingerprint-v3"
 
 // Fingerprint returns a stable digest of everything that must match between
 // two parties for their homomorphic executions of this compilation to be
@@ -100,6 +100,12 @@ func (c *Compiled) Fingerprint() [32]byte {
 	}
 	i64(o.CostThreads)
 	i64(o.Batch)
+	if o.Complex {
+		i64(1)
+	} else {
+		i64(0)
+	}
+	i64(int(o.ScaleMode))
 
 	// The compiler's decisions: parameters, layout, rotation set.
 	b := c.Best
@@ -111,6 +117,22 @@ func (c *Compiled) Fingerprint() [32]byte {
 	ints(b.Rotations)
 	i64(b.RotationOps)
 	i64(b.Batch)
+
+	// The scale plan: runtime rescale placement is part of what both parties
+	// must agree on — a deferred site changes every downstream scale, so two
+	// executions under different plans are not interchangeable. Hashed as
+	// sorted (node, scaleBits, decision) triples; nil (greedy) hashes as -1.
+	if c.ScalePlan == nil {
+		i64(-1)
+	} else {
+		keys := sortedPlanKeys(c.ScalePlan)
+		i64(len(keys))
+		for _, k := range keys {
+			i64(k.Node)
+			i64(k.ScaleBits)
+			i64(int(c.ScalePlan.Decisions[k]))
+		}
+	}
 
 	// The circuit: structure, attributes, and weight values. Two circuits
 	// that differ only in weights execute compatibly but predict different

@@ -68,6 +68,7 @@ func TestFingerprintFlipsOnOptionsChange(t *testing.T) {
 		},
 		"PowerOfTwoRotationsOnly": func(o *Options) { o.PowerOfTwoRotationsOnly = true },
 		"CostThreads":             func(o *Options) { o.CostThreads = 4 },
+		"ScaleMode":               func(o *Options) { o.ScaleMode = ScaleLazy },
 	}
 
 	for name, mutate := range mutations {
@@ -77,6 +78,51 @@ func TestFingerprintFlipsOnOptionsChange(t *testing.T) {
 		if comp.Fingerprint() == base.Fingerprint() {
 			t.Errorf("mutating %s did not change the fingerprint", name)
 		}
+	}
+}
+
+// TestFingerprintFlipsOnPackingOptions isolates the v3 additions — Batch and
+// Complex — on a ring large enough for batched lanes (the tiny fpBaseOptions
+// ring cannot hold batch 2, which would conflate the mutation with a LogN
+// change). A real-batched, a complex-packed, and an unbatched compilation
+// must all disagree pairwise.
+func TestFingerprintFlipsOnPackingOptions(t *testing.T) {
+	base := fpBaseOptions()
+	base.MinLogN, base.MaxLogN = 9, 10
+
+	batch := base
+	batch.Batch = 2
+	cplx := base
+	cplx.Batch = 2
+	cplx.Complex = true
+
+	fps := map[string]string{
+		"plain":   fpCompile(t, base).FingerprintHex(),
+		"batch":   fpCompile(t, batch).FingerprintHex(),
+		"complex": fpCompile(t, cplx).FingerprintHex(),
+	}
+	seen := map[string]string{}
+	for name, fp := range fps {
+		if other, dup := seen[fp]; dup {
+			t.Errorf("%s and %s share a fingerprint", name, other)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestFingerprintV3Golden pins the canonical v3 encoding to a known digest.
+// The fingerprint is a wire-visible contract — both sides of the session-open
+// handshake must compute the same bytes — so any change to the byte layout
+// must come with a version bump (fpVersion), not a silent drift. If this test
+// fails and you did not intend an encoding change, you broke compatibility
+// with deployed peers; if you did intend it, bump fpVersion and refresh the
+// constant below.
+func TestFingerprintV3Golden(t *testing.T) {
+	opts := fpBaseOptions()
+	opts.ScaleMode = ScaleLazy
+	const want = "145a0e7986087f56c2dff6f2569a71f07c9f1510db2f999b4297f82a282b7c0a"
+	if got := fpCompile(t, opts).FingerprintHex(); got != want {
+		t.Fatalf("fingerprint v3 golden mismatch:\n got %s\nwant %s", got, want)
 	}
 }
 

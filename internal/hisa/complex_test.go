@@ -1,0 +1,87 @@
+package hisa
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// complexTestVector fills every slot with a distinct complex value.
+func complexTestVector(slots int) []complex128 {
+	m := make([]complex128, slots)
+	for i := range m {
+		m[i] = complex(float64(i%7)-3, float64(i%5)-2)
+	}
+	return m
+}
+
+// TestMulScalarC drives every branch of the complex-scalar multiply on the
+// real RNS backend: pure-real (plain MulScalar), pure-imaginary (MulByI
+// composed with MulScalar — the monomial X^(N/2) route, no scale consumed by
+// the i), and the general two-part sum.
+func TestMulScalarC(t *testing.T) {
+	b := newRNSTestBackend(t, nil)
+	m := complexTestVector(b.Slots())
+	ct := b.EncryptC(m, 1<<40)
+	for _, x := range []complex128{complex(0.25, -0.25), complex(0, 1), complex(2, 0), complex(-1.5, 3)} {
+		got := b.DecryptC(b.MulScalarC(ct, x, 1<<20))
+		for i := range m {
+			want := m[i] * x
+			if cmplx.Abs(got[i]-want) > 1e-4 {
+				t.Fatalf("x=%v slot %d: got %v want %v", x, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestAddPlainC covers both routes through the complex plaintext addition:
+// the constant-vector fast path (closed-form residues added pointwise — no
+// FFT, no NTT; this is what every kernel bias site hits) and the generic
+// encode path for a non-constant vector. A vector that is constant except in
+// one slot must NOT take the fast path.
+func TestAddPlainC(t *testing.T) {
+	b := newRNSTestBackend(t, nil)
+	m := complexTestVector(b.Slots())
+	ct := b.EncryptC(m, 1<<40)
+
+	constVec := make([]complex128, b.Slots())
+	for i := range constVec {
+		constVec[i] = complex(1.25, -0.75)
+	}
+	got := b.DecryptC(b.AddPlainC(ct, constVec))
+	for i := range m {
+		want := m[i] + constVec[i]
+		if cmplx.Abs(got[i]-want) > 1e-4 {
+			t.Fatalf("constant vector slot %d: got %v want %v", i, got[i], want)
+		}
+	}
+
+	// Near-constant: identical everywhere except the last slot, which forces
+	// the generic encode path; the fast path would silently add the wrong
+	// value there.
+	nearVec := make([]complex128, b.Slots())
+	for i := range nearVec {
+		nearVec[i] = complex(0.5, 2)
+	}
+	nearVec[len(nearVec)-1] = complex(-4, 0.125)
+	got = b.DecryptC(b.AddPlainC(ct, nearVec))
+	for i := range m {
+		want := m[i] + nearVec[i]
+		if cmplx.Abs(got[i]-want) > 1e-4 {
+			t.Fatalf("near-constant vector slot %d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+// TestConjugateRNS: the Galois conjugation flips every slot's imaginary
+// component — the primitive complex packing stands on.
+func TestConjugateRNS(t *testing.T) {
+	b := newRNSTestBackend(t, nil)
+	m := complexTestVector(b.Slots())
+	got := b.DecryptC(b.Conjugate(b.EncryptC(m, 1<<40)))
+	for i := range m {
+		want := cmplx.Conj(m[i])
+		if cmplx.Abs(got[i]-want) > 1e-4 {
+			t.Fatalf("slot %d: got %v want conj %v", i, got[i], want)
+		}
+	}
+}

@@ -84,6 +84,77 @@ type Backend interface {
 	Scale(c Ciphertext) float64
 }
 
+// ConjugateBackend is an optional backend capability: backends whose slot
+// algebra is genuinely complex (CKKS-family schemes, where slots are the
+// canonical embedding's complex coordinates) expose conjugation and
+// complex-valued encode/decode. The htc complex packing mode — two batch
+// lanes sharing one slot as real and imaginary parts — is gated on it.
+//
+// All complex vectors are slot-indexed like the real Encode/Decode vectors;
+// the real Backend operations act on complex slots exactly as the underlying
+// scheme does (Add/Sub/rotations are componentwise, Mul/MulPlain are complex
+// slot products, real plaintexts and scalars multiply both components).
+type ConjugateBackend interface {
+	// Conjugate conjugates every slot (a key-switching automorphism on
+	// lattice backends, so it costs about as much as one rotation).
+	Conjugate(c Ciphertext) Ciphertext
+
+	// EncryptC encrypts a complex slot vector (len <= Slots, zero-padded)
+	// at fixed-point scale f.
+	EncryptC(m []complex128, f float64) Ciphertext
+	// DecryptC decrypts both slot components. Panics on evaluation-only
+	// instances, exactly like Decrypt.
+	DecryptC(c Ciphertext) []complex128
+
+	// AddPlainC adds a complex vector, encoded at the ciphertext's scale
+	// (so the addition is scale-neutral, like AddScalar).
+	AddPlainC(c Ciphertext, m []complex128) Ciphertext
+	// MulScalarC multiplies every slot by the complex constant x encoded at
+	// scale f; the result scale is Scale(c) * f.
+	MulScalarC(c Ciphertext, x complex128, f float64) Ciphertext
+}
+
+// AsConjugate returns b as a ConjugateBackend when it (not an inner unwrap —
+// wrappers must forward the capability to keep their bookkeeping) supports
+// complex slot operations.
+func AsConjugate(b Backend) (ConjugateBackend, bool) {
+	cb, ok := b.(ConjugateBackend)
+	return cb, ok
+}
+
+// LazyRelinBackend is an optional backend capability: backends whose
+// ciphertext-ciphertext products carry an explicit relinearization step can
+// expose it, letting kernels keep a product at degree 2 through linear
+// operations (Add, Sub, MulScalar, MulScalarC) and fold several products
+// into a single relinearization — the lazy-relinearize half of the
+// graph-level scale pass. Semantics: Relinearize(MulNoRelin(x, y)) is
+// exactly Mul(x, y), and linear ops on degree-2 ciphertexts act
+// componentwise. Degree-2 ciphertexts must be relinearized before
+// rotations, conjugation, rescaling, or decryption.
+type LazyRelinBackend interface {
+	// LazyRelinCapable reports whether the instance actually supports the
+	// capability. Wrappers (Meter, telemetry.Tracer) forward these methods
+	// unconditionally to keep their bookkeeping, so the interface assertion
+	// alone is not sufficient — AsLazyRelin checks this flag too.
+	LazyRelinCapable() bool
+	// MulNoRelin multiplies without the closing relinearization.
+	MulNoRelin(c, c2 Ciphertext) Ciphertext
+	// Relinearize reduces a MulNoRelin product to a normal ciphertext; it
+	// passes already-linear ciphertexts through unchanged.
+	Relinearize(c Ciphertext) Ciphertext
+}
+
+// AsLazyRelin returns b as a LazyRelinBackend when b (including every layer
+// of a wrapper chain) supports deferred relinearization. Callers fall back
+// to plain Mul when it reports false.
+func AsLazyRelin(b Backend) (LazyRelinBackend, bool) {
+	lb, ok := b.(LazyRelinBackend)
+	if !ok || !lb.LazyRelinCapable() {
+		return nil, false
+	}
+	return lb, true
+}
+
 // RotateManyBackend is an optional backend capability: backends that can
 // amortize shared work across a batch of rotations of one ciphertext
 // (Halevi-Shoup hoisting in the RNS backend) implement it. RotLeftMany must

@@ -17,15 +17,24 @@ type OpCounts struct {
 	Sub, SubPlain, SubScalar   int
 	Mul, MulPlain, MulScalar   int
 	Rescale, MaxRescaleQueries int
+	// Relinearize counts the key-switches performed to bring
+	// ciphertext-ciphertext products back to degree 1. Every backend
+	// relinearizes inside Mul, so this equals Mul; it is tallied separately
+	// so the scale-management pass's op accounting (and /metrics) can report
+	// relinearizations as their own series.
+	Relinearize int
+	// Conjugate counts slot-conjugation automorphisms (complex packing).
+	Conjugate int
 }
 
 // Total returns the total number of homomorphic operations (excluding
-// encode/decode and MaxRescale queries, which are metadata-only).
+// encode/decode and MaxRescale queries, which are metadata-only; and
+// excluding Relinearize, which is already counted inside Mul).
 func (o OpCounts) Total() int {
 	return o.Encrypt + o.Decrypt + o.Rotations +
 		o.Add + o.AddPlain + o.AddScalar +
 		o.Sub + o.SubPlain + o.SubScalar +
-		o.Mul + o.MulPlain + o.MulScalar + o.Rescale
+		o.Mul + o.MulPlain + o.MulScalar + o.Rescale + o.Conjugate
 }
 
 // Meter wraps a Backend and counts the instructions that flow through it.
@@ -42,6 +51,7 @@ type Meter struct {
 	sub, subPlain, subScalar   atomic.Int64
 	mul, mulPlain, mulScalar   atomic.Int64
 	rescale, maxRescaleQueries atomic.Int64
+	relinearize, conjugate     atomic.Int64
 
 	// rotationSteps mirrors the step decomposition of the inner backend so
 	// multi-step rotations are counted faithfully.
@@ -75,6 +85,8 @@ func (m *Meter) Counts() OpCounts {
 		MulScalar:         int(m.mulScalar.Load()),
 		Rescale:           int(m.rescale.Load()),
 		MaxRescaleQueries: int(m.maxRescaleQueries.Load()),
+		Relinearize:       int(m.relinearize.Load()),
+		Conjugate:         int(m.conjugate.Load()),
 	}
 }
 
@@ -172,7 +184,33 @@ func (m *Meter) SubScalar(c Ciphertext, x float64) Ciphertext {
 
 func (m *Meter) Mul(c, c2 Ciphertext) Ciphertext {
 	m.mul.Add(1)
+	m.relinearize.Add(1)
 	return m.Inner.Mul(c, c2)
+}
+
+// lazyInner asserts the wrapped backend's deferred-relinearization
+// capability; LazyRelinCapable gates callers before they reach it.
+func (m *Meter) lazyInner() LazyRelinBackend {
+	lb, ok := m.Inner.(LazyRelinBackend)
+	if !ok {
+		panic("hisa: backend " + m.Inner.Name() + " does not support deferred relinearization")
+	}
+	return lb
+}
+
+func (m *Meter) LazyRelinCapable() bool {
+	lb, ok := m.Inner.(LazyRelinBackend)
+	return ok && lb.LazyRelinCapable()
+}
+
+func (m *Meter) MulNoRelin(c, c2 Ciphertext) Ciphertext {
+	m.mul.Add(1)
+	return m.lazyInner().MulNoRelin(c, c2)
+}
+
+func (m *Meter) Relinearize(c Ciphertext) Ciphertext {
+	m.relinearize.Add(1)
+	return m.lazyInner().Relinearize(c)
 }
 
 func (m *Meter) MulPlain(c Ciphertext, p Plaintext) Ciphertext {
@@ -198,3 +236,40 @@ func (m *Meter) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
 }
 
 func (m *Meter) Scale(c Ciphertext) float64 { return m.Inner.Scale(c) }
+
+// conjInner asserts the wrapped backend's complex capability. The Meter
+// forwards ConjugateBackend unconditionally (like RotLeftMany) so metered
+// and unmetered backends expose the same capability surface; calling a
+// complex op on a backend without it panics with a clear message.
+func (m *Meter) conjInner() ConjugateBackend {
+	cb, ok := m.Inner.(ConjugateBackend)
+	if !ok {
+		panic("hisa: backend " + m.Inner.Name() + " does not support complex slot operations")
+	}
+	return cb
+}
+
+func (m *Meter) Conjugate(c Ciphertext) Ciphertext {
+	m.conjugate.Add(1)
+	return m.conjInner().Conjugate(c)
+}
+
+func (m *Meter) EncryptC(v []complex128, f float64) Ciphertext {
+	m.encrypt.Add(1)
+	return m.conjInner().EncryptC(v, f)
+}
+
+func (m *Meter) DecryptC(c Ciphertext) []complex128 {
+	m.decrypt.Add(1)
+	return m.conjInner().DecryptC(c)
+}
+
+func (m *Meter) AddPlainC(c Ciphertext, v []complex128) Ciphertext {
+	m.addPlain.Add(1)
+	return m.conjInner().AddPlainC(c, v)
+}
+
+func (m *Meter) MulScalarC(c Ciphertext, x complex128, f float64) Ciphertext {
+	m.mulScalar.Add(1)
+	return m.conjInner().MulScalarC(c, x, f)
+}

@@ -11,6 +11,12 @@ import (
 // mirrors a rescaling scheme with arbitrary divisors so the kernels'
 // rescale protocol is still exercised. The backend holds no mutable state,
 // so it is trivially safe for concurrent op execution.
+//
+// Slots model the complex coordinates of the CKKS canonical embedding: a
+// ciphertext carries a real component vector plus an optional imaginary
+// component (nil for purely real data, which keeps the real-only paths
+// bit-identical to the pre-complex backend). Ciphertext-ciphertext
+// multiplication is the complex slot product, exactly as in the scheme.
 type RefBackend struct {
 	slots int
 }
@@ -25,11 +31,13 @@ func NewRefBackend(slots int) *RefBackend {
 
 type refCT struct {
 	vals  []float64
+	ivals []float64 // imaginary slot components; nil when purely real
 	scale float64
 }
 
 type refPT struct {
 	vals  []float64
+	ivals []float64
 	scale float64
 }
 
@@ -52,6 +60,22 @@ func (b *RefBackend) pt(p Plaintext) *refPT {
 	return v
 }
 
+// imOrNil returns a copy of iv, or nil when iv is nil.
+func imOrNil(iv []float64) []float64 {
+	if iv == nil {
+		return nil
+	}
+	return append([]float64(nil), iv...)
+}
+
+// imAt reads component i of an optional imaginary vector.
+func imAt(iv []float64, i int) float64 {
+	if iv == nil {
+		return 0
+	}
+	return iv[i]
+}
+
 func (b *RefBackend) Encode(m []float64, f float64) Plaintext {
 	if len(m) > b.slots {
 		panic(fmt.Sprintf("hisa: %d values exceed %d slots", len(m), b.slots))
@@ -67,17 +91,17 @@ func (b *RefBackend) Decode(p Plaintext) []float64 {
 
 func (b *RefBackend) Encrypt(p Plaintext) Ciphertext {
 	pp := b.pt(p)
-	return &refCT{vals: append([]float64(nil), pp.vals...), scale: pp.scale}
+	return &refCT{vals: append([]float64(nil), pp.vals...), ivals: imOrNil(pp.ivals), scale: pp.scale}
 }
 
 func (b *RefBackend) Decrypt(c Ciphertext) Plaintext {
 	cc := b.ct(c)
-	return &refPT{vals: append([]float64(nil), cc.vals...), scale: cc.scale}
+	return &refPT{vals: append([]float64(nil), cc.vals...), ivals: imOrNil(cc.ivals), scale: cc.scale}
 }
 
 func (b *RefBackend) Copy(c Ciphertext) Ciphertext {
 	cc := b.ct(c)
-	return &refCT{vals: append([]float64(nil), cc.vals...), scale: cc.scale}
+	return &refCT{vals: append([]float64(nil), cc.vals...), ivals: imOrNil(cc.ivals), scale: cc.scale}
 }
 
 func (b *RefBackend) Free(any) {}
@@ -90,18 +114,33 @@ func (b *RefBackend) RotLeft(c Ciphertext, x int) Ciphertext {
 	for i := 0; i < n; i++ {
 		vals[i] = cc.vals[(i+x)%n]
 	}
-	return &refCT{vals: vals, scale: cc.scale}
+	var ivals []float64
+	if cc.ivals != nil {
+		ivals = make([]float64, n)
+		for i := 0; i < n; i++ {
+			ivals[i] = cc.ivals[(i+x)%n]
+		}
+	}
+	return &refCT{vals: vals, ivals: ivals, scale: cc.scale}
 }
 
 func (b *RefBackend) RotRight(c Ciphertext, x int) Ciphertext { return b.RotLeft(c, -x) }
 
+// zipCT combines two ciphertexts componentwise (addition/subtraction).
 func (b *RefBackend) zipCT(c, c2 Ciphertext, op func(a, b float64) float64) Ciphertext {
 	x, y := b.ct(c), b.ct(c2)
 	vals := make([]float64, b.slots)
 	for i := range vals {
 		vals[i] = op(x.vals[i], y.vals[i])
 	}
-	return &refCT{vals: vals, scale: x.scale}
+	var ivals []float64
+	if x.ivals != nil || y.ivals != nil {
+		ivals = make([]float64, b.slots)
+		for i := range ivals {
+			ivals[i] = op(imAt(x.ivals, i), imAt(y.ivals, i))
+		}
+	}
+	return &refCT{vals: vals, ivals: ivals, scale: x.scale}
 }
 
 func (b *RefBackend) Add(c, c2 Ciphertext) Ciphertext {
@@ -115,10 +154,21 @@ func (b *RefBackend) Sub(c, c2 Ciphertext) Ciphertext {
 func (b *RefBackend) Mul(c, c2 Ciphertext) Ciphertext {
 	x, y := b.ct(c), b.ct(c2)
 	vals := make([]float64, b.slots)
-	for i := range vals {
-		vals[i] = x.vals[i] * y.vals[i]
+	if x.ivals == nil && y.ivals == nil {
+		for i := range vals {
+			vals[i] = x.vals[i] * y.vals[i]
+		}
+		return &refCT{vals: vals, scale: x.scale * y.scale}
 	}
-	return &refCT{vals: vals, scale: x.scale * y.scale}
+	// Complex slot product: (a+bi)(c+di) = (ac-bd) + (ad+bc)i.
+	ivals := make([]float64, b.slots)
+	for i := range vals {
+		a, bi := x.vals[i], imAt(x.ivals, i)
+		cr, di := y.vals[i], imAt(y.ivals, i)
+		vals[i] = a*cr - bi*di
+		ivals[i] = a*di + bi*cr
+	}
+	return &refCT{vals: vals, ivals: ivals, scale: x.scale * y.scale}
 }
 
 func (b *RefBackend) AddPlain(c Ciphertext, p Plaintext) Ciphertext {
@@ -127,7 +177,14 @@ func (b *RefBackend) AddPlain(c Ciphertext, p Plaintext) Ciphertext {
 	for i := range vals {
 		vals[i] = x.vals[i] + y.vals[i]
 	}
-	return &refCT{vals: vals, scale: x.scale}
+	var ivals []float64
+	if x.ivals != nil || y.ivals != nil {
+		ivals = make([]float64, b.slots)
+		for i := range ivals {
+			ivals[i] = imAt(x.ivals, i) + imAt(y.ivals, i)
+		}
+	}
+	return &refCT{vals: vals, ivals: ivals, scale: x.scale}
 }
 
 func (b *RefBackend) SubPlain(c Ciphertext, p Plaintext) Ciphertext {
@@ -136,16 +193,33 @@ func (b *RefBackend) SubPlain(c Ciphertext, p Plaintext) Ciphertext {
 	for i := range vals {
 		vals[i] = x.vals[i] - y.vals[i]
 	}
-	return &refCT{vals: vals, scale: x.scale}
+	var ivals []float64
+	if x.ivals != nil || y.ivals != nil {
+		ivals = make([]float64, b.slots)
+		for i := range ivals {
+			ivals[i] = imAt(x.ivals, i) - imAt(y.ivals, i)
+		}
+	}
+	return &refCT{vals: vals, ivals: ivals, scale: x.scale}
 }
 
 func (b *RefBackend) MulPlain(c Ciphertext, p Plaintext) Ciphertext {
 	x, y := b.ct(c), b.pt(p)
 	vals := make([]float64, b.slots)
-	for i := range vals {
-		vals[i] = x.vals[i] * y.vals[i]
+	if x.ivals == nil && y.ivals == nil {
+		for i := range vals {
+			vals[i] = x.vals[i] * y.vals[i]
+		}
+		return &refCT{vals: vals, scale: x.scale * y.scale}
 	}
-	return &refCT{vals: vals, scale: x.scale * y.scale}
+	ivals := make([]float64, b.slots)
+	for i := range vals {
+		a, bi := x.vals[i], imAt(x.ivals, i)
+		cr, di := y.vals[i], imAt(y.ivals, i)
+		vals[i] = a*cr - bi*di
+		ivals[i] = a*di + bi*cr
+	}
+	return &refCT{vals: vals, ivals: ivals, scale: x.scale * y.scale}
 }
 
 func (b *RefBackend) AddScalar(c Ciphertext, x float64) Ciphertext {
@@ -154,7 +228,7 @@ func (b *RefBackend) AddScalar(c Ciphertext, x float64) Ciphertext {
 	for i := range vals {
 		vals[i] = cc.vals[i] + x
 	}
-	return &refCT{vals: vals, scale: cc.scale}
+	return &refCT{vals: vals, ivals: imOrNil(cc.ivals), scale: cc.scale}
 }
 
 func (b *RefBackend) SubScalar(c Ciphertext, x float64) Ciphertext {
@@ -167,13 +241,20 @@ func (b *RefBackend) MulScalar(c Ciphertext, x float64, f float64) Ciphertext {
 	for i := range vals {
 		vals[i] = cc.vals[i] * x
 	}
-	return &refCT{vals: vals, scale: cc.scale * f}
+	var ivals []float64
+	if cc.ivals != nil {
+		ivals = make([]float64, b.slots)
+		for i := range ivals {
+			ivals[i] = cc.ivals[i] * x
+		}
+	}
+	return &refCT{vals: vals, ivals: ivals, scale: cc.scale * f}
 }
 
 func (b *RefBackend) Rescale(c Ciphertext, x *big.Int) Ciphertext {
 	cc := b.ct(c)
 	d, _ := new(big.Float).SetInt(x).Float64()
-	return &refCT{vals: append([]float64(nil), cc.vals...), scale: cc.scale / d}
+	return &refCT{vals: append([]float64(nil), cc.vals...), ivals: imOrNil(cc.ivals), scale: cc.scale / d}
 }
 
 func (b *RefBackend) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
@@ -187,3 +268,73 @@ func (b *RefBackend) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
 }
 
 func (b *RefBackend) Scale(c Ciphertext) float64 { return b.ct(c).scale }
+
+// Conjugate negates the imaginary slot components.
+func (b *RefBackend) Conjugate(c Ciphertext) Ciphertext {
+	cc := b.ct(c)
+	out := &refCT{vals: append([]float64(nil), cc.vals...), scale: cc.scale}
+	if cc.ivals != nil {
+		out.ivals = make([]float64, b.slots)
+		for i := range out.ivals {
+			out.ivals[i] = -cc.ivals[i]
+		}
+	}
+	return out
+}
+
+// EncryptC encrypts a complex slot vector at scale f.
+func (b *RefBackend) EncryptC(m []complex128, f float64) Ciphertext {
+	if len(m) > b.slots {
+		panic(fmt.Sprintf("hisa: %d values exceed %d slots", len(m), b.slots))
+	}
+	vals := make([]float64, b.slots)
+	ivals := make([]float64, b.slots)
+	for i, z := range m {
+		vals[i] = real(z)
+		ivals[i] = imag(z)
+	}
+	return &refCT{vals: vals, ivals: ivals, scale: f}
+}
+
+// DecryptC decrypts both slot components.
+func (b *RefBackend) DecryptC(c Ciphertext) []complex128 {
+	cc := b.ct(c)
+	out := make([]complex128, b.slots)
+	for i := range out {
+		out[i] = complex(cc.vals[i], imAt(cc.ivals, i))
+	}
+	return out
+}
+
+// AddPlainC adds a complex vector encoded at the ciphertext's scale.
+func (b *RefBackend) AddPlainC(c Ciphertext, m []complex128) Ciphertext {
+	cc := b.ct(c)
+	if len(m) > b.slots {
+		panic(fmt.Sprintf("hisa: %d values exceed %d slots", len(m), b.slots))
+	}
+	vals := make([]float64, b.slots)
+	ivals := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = cc.vals[i]
+		ivals[i] = imAt(cc.ivals, i)
+	}
+	for i, z := range m {
+		vals[i] += real(z)
+		ivals[i] += imag(z)
+	}
+	return &refCT{vals: vals, ivals: ivals, scale: cc.scale}
+}
+
+// MulScalarC multiplies every slot by the complex constant x at scale f.
+func (b *RefBackend) MulScalarC(c Ciphertext, x complex128, f float64) Ciphertext {
+	cc := b.ct(c)
+	vals := make([]float64, b.slots)
+	ivals := make([]float64, b.slots)
+	xr, xi := real(x), imag(x)
+	for i := range vals {
+		a, bi := cc.vals[i], imAt(cc.ivals, i)
+		vals[i] = a*xr - bi*xi
+		ivals[i] = a*xi + bi*xr
+	}
+	return &refCT{vals: vals, ivals: ivals, scale: cc.scale * f}
+}

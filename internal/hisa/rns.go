@@ -233,6 +233,21 @@ func (b *RNSBackend) Add(c, c2 Ciphertext) Ciphertext { return b.evaluator.Add(b
 func (b *RNSBackend) Sub(c, c2 Ciphertext) Ciphertext { return b.evaluator.Sub(b.ct(c), b.ct(c2)) }
 func (b *RNSBackend) Mul(c, c2 Ciphertext) Ciphertext { return b.evaluator.Mul(b.ct(c), b.ct(c2)) }
 
+// LazyRelinCapable marks the real lattice backend as supporting deferred
+// relinearization (see hisa.LazyRelinBackend).
+func (b *RNSBackend) LazyRelinCapable() bool { return true }
+
+// MulNoRelin multiplies without the closing relinearization key-switch; the
+// degree-2 result supports linear ops and a later Relinearize.
+func (b *RNSBackend) MulNoRelin(c, c2 Ciphertext) Ciphertext {
+	return b.evaluator.MulNoRelin(b.ct(c), b.ct(c2))
+}
+
+// Relinearize folds a lazy product back to degree 1.
+func (b *RNSBackend) Relinearize(c Ciphertext) Ciphertext {
+	return b.evaluator.Relinearize(b.ct(c))
+}
+
 func (b *RNSBackend) AddPlain(c Ciphertext, p Plaintext) Ciphertext {
 	return b.evaluator.AddPlain(b.ct(c), b.pt(p))
 }
@@ -302,3 +317,68 @@ func (b *RNSBackend) Scale(c Ciphertext) float64 { return b.ct(c).Scale }
 
 // LevelOf exposes the ciphertext level (for tests and harnesses).
 func (b *RNSBackend) LevelOf(c Ciphertext) int { return b.ct(c).Level() }
+
+// Conjugate conjugates every slot via the Galois conjugation automorphism.
+// The conjugation key is always part of the rotation key set this backend
+// was built with, on both full and evaluation-only instances.
+func (b *RNSBackend) Conjugate(c Ciphertext) Ciphertext {
+	return b.evaluator.Conjugate(b.ct(c))
+}
+
+// EncryptC encrypts a complex slot vector at scale f.
+func (b *RNSBackend) EncryptC(m []complex128, f float64) Ciphertext {
+	pt := b.encoder.EncodeComplex(m, f, b.params.MaxLevel())
+	b.encMu.Lock()
+	defer b.encMu.Unlock()
+	return b.encryptor.Encrypt(pt)
+}
+
+// DecryptC decrypts both slot components.
+func (b *RNSBackend) DecryptC(c Ciphertext) []complex128 {
+	if b.decryptor == nil {
+		panic("hisa: this backend holds no secret key (evaluation-only server instance)")
+	}
+	return b.encoder.DecodeComplex(b.decryptor.Decrypt(b.ct(c)))
+}
+
+// AddPlainC adds a complex vector, encoding it at the ciphertext's scale and
+// level so the addition is scale-neutral. Slot-constant vectors — the shape
+// every bias and polynomial constant takes under complex packing — skip the
+// FFT+NTT encode entirely: a constant is the two-term polynomial
+// a + b·X^(N/2), added pointwise (see Evaluator.AddScalarC).
+func (b *RNSBackend) AddPlainC(c Ciphertext, m []complex128) Ciphertext {
+	cc := b.ct(c)
+	if len(m) > 0 {
+		constant := true
+		for _, v := range m[1:] {
+			if v != m[0] {
+				constant = false
+				break
+			}
+		}
+		if constant {
+			return b.evaluator.AddScalarC(cc, m[0])
+		}
+	}
+	pt := b.encoder.EncodeComplex(m, cc.Scale, cc.Level())
+	return b.evaluator.AddPlain(cc, pt)
+}
+
+// MulScalarC multiplies every slot by the complex constant x at scale f,
+// decomposed as re(x)·c + i·(im(x)·c): two constant-polynomial scalar
+// multiplications plus an exact monomial multiply-by-i — no plaintext
+// encoding and no key switch.
+func (b *RNSBackend) MulScalarC(c Ciphertext, x complex128, f float64) Ciphertext {
+	cc := b.ct(c)
+	re, im := real(x), imag(x)
+	switch {
+	case im == 0:
+		return b.evaluator.MulScalar(cc, re, f)
+	case re == 0:
+		return b.evaluator.MulByI(b.evaluator.MulScalar(cc, im, f))
+	default:
+		rp := b.evaluator.MulScalar(cc, re, f)
+		ip := b.evaluator.MulByI(b.evaluator.MulScalar(cc, im, f))
+		return b.evaluator.Add(rp, ip)
+	}
+}

@@ -67,9 +67,20 @@ func NewSimBackend(params SimParams) *SimBackend {
 
 type simCT struct {
 	vals  []float64
+	ivals []float64 // imaginary slot components; nil when purely real
 	scale float64
 	logQ  float64   // remaining modulus bits
 	noise []float64 // per-slot approximation noise (std, message units)
+}
+
+// mag returns the slot magnitude |vals[i] + ivals[i]*i|. Purely real
+// ciphertexts take the math.Abs path so pre-complex behaviour (including the
+// exact floating-point results of the noise model) is preserved bit-for-bit.
+func (c *simCT) mag(i int) float64 {
+	if c.ivals == nil {
+		return math.Abs(c.vals[i])
+	}
+	return math.Hypot(c.vals[i], c.ivals[i])
 }
 
 // hypotInto sets dst[i] = hypot(dst[i], x[i]).
@@ -96,6 +107,7 @@ func constVec(n int, c float64) []float64 {
 
 type simPT struct {
 	vals  []float64
+	ivals []float64
 	scale float64
 }
 
@@ -139,8 +151,8 @@ func (b *SimBackend) pt(p Plaintext) *simPT {
 // selection exists to prevent.
 func (b *SimBackend) checkCapacity(c *simCT) {
 	mag := 1.0
-	for i, v := range c.vals {
-		if m := math.Abs(v) + 6*c.noise[i]; m > mag {
+	for i := range c.vals {
+		if m := c.mag(i) + 6*c.noise[i]; m > mag {
 			mag = m
 		}
 	}
@@ -210,6 +222,7 @@ func (b *SimBackend) Copy(c Ciphertext) Ciphertext {
 	cc := b.ct(c)
 	out := *cc
 	out.vals = append([]float64(nil), cc.vals...)
+	out.ivals = imOrNil(cc.ivals)
 	out.noise = append([]float64(nil), cc.noise...)
 	return &out
 }
@@ -228,6 +241,7 @@ func (b *SimBackend) RotLeft(c Ciphertext, x int) Ciphertext {
 	x = ((x % n) + n) % n
 	steps := RotationSteps(x, n, b.rotationAvailable())
 	vals := append([]float64(nil), cc.vals...)
+	ivals := imOrNil(cc.ivals)
 	noise := append([]float64(nil), cc.noise...)
 	if x != 0 {
 		rotV := make([]float64, n)
@@ -237,11 +251,18 @@ func (b *SimBackend) RotLeft(c Ciphertext, x int) Ciphertext {
 			rotN[i] = noise[(i+x)%n]
 		}
 		vals, noise = rotV, rotN
+		if ivals != nil {
+			rotI := make([]float64, n)
+			for i := 0; i < n; i++ {
+				rotI[i] = cc.ivals[(i+x)%n]
+			}
+			ivals = rotI
+		}
 	}
 	for range steps {
 		hypotConst(noise, b.keySwitchNoise(cc.scale))
 	}
-	return &simCT{vals: vals, scale: cc.scale, logQ: cc.logQ, noise: noise}
+	return &simCT{vals: vals, ivals: ivals, scale: cc.scale, logQ: cc.logQ, noise: noise}
 }
 
 func (b *SimBackend) rotationAvailable() func(int) bool {
@@ -259,6 +280,19 @@ func (b *SimBackend) requireSameScale(s1, s2 float64, op string) {
 	}
 }
 
+// zipIm combines the optional imaginary components of two operands, staying
+// nil when both are purely real.
+func zipIm(xi, yi []float64, n int, op func(a, b float64) float64) []float64 {
+	if xi == nil && yi == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = op(imAt(xi, i), imAt(yi, i))
+	}
+	return out
+}
+
 func (b *SimBackend) Add(c, c2 Ciphertext) Ciphertext {
 	x, y := b.ct(c), b.ct(c2)
 	b.requireSameScale(x.scale, y.scale, "add")
@@ -268,7 +302,8 @@ func (b *SimBackend) Add(c, c2 Ciphertext) Ciphertext {
 		vals[i] = x.vals[i] + y.vals[i]
 		noise[i] = math.Hypot(x.noise[i], y.noise[i])
 	}
-	return &simCT{vals: vals, scale: x.scale, logQ: math.Min(x.logQ, y.logQ), noise: noise}
+	ivals := zipIm(x.ivals, y.ivals, b.slots, func(a, bb float64) float64 { return a + bb })
+	return &simCT{vals: vals, ivals: ivals, scale: x.scale, logQ: math.Min(x.logQ, y.logQ), noise: noise}
 }
 
 func (b *SimBackend) Sub(c, c2 Ciphertext) Ciphertext {
@@ -280,7 +315,8 @@ func (b *SimBackend) Sub(c, c2 Ciphertext) Ciphertext {
 		vals[i] = x.vals[i] - y.vals[i]
 		noise[i] = math.Hypot(x.noise[i], y.noise[i])
 	}
-	return &simCT{vals: vals, scale: x.scale, logQ: math.Min(x.logQ, y.logQ), noise: noise}
+	ivals := zipIm(x.ivals, y.ivals, b.slots, func(a, bb float64) float64 { return a - bb })
+	return &simCT{vals: vals, ivals: ivals, scale: x.scale, logQ: math.Min(x.logQ, y.logQ), noise: noise}
 }
 
 func (b *SimBackend) AddPlain(c Ciphertext, p Plaintext) Ciphertext {
@@ -292,7 +328,8 @@ func (b *SimBackend) AddPlain(c Ciphertext, p Plaintext) Ciphertext {
 		vals[i] = x.vals[i] + y.vals[i]
 	}
 	hypotConst(noise, b.encodingNoise(y.scale))
-	return &simCT{vals: vals, scale: x.scale, logQ: x.logQ, noise: noise}
+	ivals := zipIm(x.ivals, y.ivals, b.slots, func(a, bb float64) float64 { return a + bb })
+	return &simCT{vals: vals, ivals: ivals, scale: x.scale, logQ: x.logQ, noise: noise}
 }
 
 func (b *SimBackend) SubPlain(c Ciphertext, p Plaintext) Ciphertext {
@@ -304,7 +341,8 @@ func (b *SimBackend) SubPlain(c Ciphertext, p Plaintext) Ciphertext {
 		vals[i] = x.vals[i] - y.vals[i]
 	}
 	hypotConst(noise, b.encodingNoise(y.scale))
-	return &simCT{vals: vals, scale: x.scale, logQ: x.logQ, noise: noise}
+	ivals := zipIm(x.ivals, y.ivals, b.slots, func(a, bb float64) float64 { return a - bb })
+	return &simCT{vals: vals, ivals: ivals, scale: x.scale, logQ: x.logQ, noise: noise}
 }
 
 func (b *SimBackend) AddScalar(c Ciphertext, s float64) Ciphertext {
@@ -315,7 +353,7 @@ func (b *SimBackend) AddScalar(c Ciphertext, s float64) Ciphertext {
 		vals[i] = x.vals[i] + s
 	}
 	hypotConst(noise, 0.5/x.scale)
-	return &simCT{vals: vals, scale: x.scale, logQ: x.logQ, noise: noise}
+	return &simCT{vals: vals, ivals: imOrNil(x.ivals), scale: x.scale, logQ: x.logQ, noise: noise}
 }
 
 func (b *SimBackend) SubScalar(c Ciphertext, s float64) Ciphertext {
@@ -327,13 +365,29 @@ func (b *SimBackend) Mul(c, c2 Ciphertext) Ciphertext {
 	vals := make([]float64, b.slots)
 	noise := make([]float64, b.slots)
 	ks := b.keySwitchNoise(x.scale * y.scale)
+	if x.ivals == nil && y.ivals == nil {
+		for i := range vals {
+			vals[i] = x.vals[i] * y.vals[i]
+			noise[i] = math.Hypot(
+				math.Hypot(x.noise[i]*math.Abs(y.vals[i]), y.noise[i]*math.Abs(x.vals[i])),
+				math.Hypot(x.noise[i]*y.noise[i], ks))
+		}
+		out := &simCT{vals: vals, scale: x.scale * y.scale, logQ: math.Min(x.logQ, y.logQ), noise: noise}
+		b.checkCapacity(out)
+		return out
+	}
+	// Complex slot product; noise bounds use slot magnitudes.
+	ivals := make([]float64, b.slots)
 	for i := range vals {
-		vals[i] = x.vals[i] * y.vals[i]
+		a, bi := x.vals[i], imAt(x.ivals, i)
+		cr, di := y.vals[i], imAt(y.ivals, i)
+		vals[i] = a*cr - bi*di
+		ivals[i] = a*di + bi*cr
 		noise[i] = math.Hypot(
-			math.Hypot(x.noise[i]*math.Abs(y.vals[i]), y.noise[i]*math.Abs(x.vals[i])),
+			math.Hypot(x.noise[i]*y.mag(i), y.noise[i]*x.mag(i)),
 			math.Hypot(x.noise[i]*y.noise[i], ks))
 	}
-	out := &simCT{vals: vals, scale: x.scale * y.scale, logQ: math.Min(x.logQ, y.logQ), noise: noise}
+	out := &simCT{vals: vals, ivals: ivals, scale: x.scale * y.scale, logQ: math.Min(x.logQ, y.logQ), noise: noise}
 	b.checkCapacity(out)
 	return out
 }
@@ -343,15 +397,29 @@ func (b *SimBackend) MulPlain(c Ciphertext, p Plaintext) Ciphertext {
 	vals := make([]float64, b.slots)
 	noise := make([]float64, b.slots)
 	enc := b.encodingNoise(y.scale)
-	for i := range vals {
-		vals[i] = x.vals[i] * y.vals[i]
-		// Per-slot: the ciphertext's noise multiplies this slot's plaintext
-		// entry, and the plaintext's encoding error multiplies this slot's
-		// (noisy) value.
-		noise[i] = math.Hypot(x.noise[i]*math.Abs(y.vals[i]),
-			enc*(math.Abs(x.vals[i])+x.noise[i]))
+	if x.ivals == nil && y.ivals == nil {
+		for i := range vals {
+			vals[i] = x.vals[i] * y.vals[i]
+			// Per-slot: the ciphertext's noise multiplies this slot's plaintext
+			// entry, and the plaintext's encoding error multiplies this slot's
+			// (noisy) value.
+			noise[i] = math.Hypot(x.noise[i]*math.Abs(y.vals[i]),
+				enc*(math.Abs(x.vals[i])+x.noise[i]))
+		}
+		out := &simCT{vals: vals, scale: x.scale * y.scale, logQ: x.logQ, noise: noise}
+		b.checkCapacity(out)
+		return out
 	}
-	out := &simCT{vals: vals, scale: x.scale * y.scale, logQ: x.logQ, noise: noise}
+	ivals := make([]float64, b.slots)
+	for i := range vals {
+		a, bi := x.vals[i], imAt(x.ivals, i)
+		cr, di := y.vals[i], imAt(y.ivals, i)
+		vals[i] = a*cr - bi*di
+		ivals[i] = a*di + bi*cr
+		ymag := math.Hypot(cr, di)
+		noise[i] = math.Hypot(x.noise[i]*ymag, enc*(x.mag(i)+x.noise[i]))
+	}
+	out := &simCT{vals: vals, ivals: ivals, scale: x.scale * y.scale, logQ: x.logQ, noise: noise}
 	b.checkCapacity(out)
 	return out
 }
@@ -366,9 +434,16 @@ func (b *SimBackend) MulScalar(c Ciphertext, s float64, f float64) Ciphertext {
 	// is smaller than a full plaintext's (footnote 3 in the paper).
 	noise := make([]float64, b.slots)
 	for i := range noise {
-		noise[i] = math.Hypot(x.noise[i]*math.Abs(s), (math.Abs(x.vals[i])+x.noise[i])/(2*f))
+		noise[i] = math.Hypot(x.noise[i]*math.Abs(s), (x.mag(i)+x.noise[i])/(2*f))
 	}
-	out := &simCT{vals: vals, scale: x.scale * f, logQ: x.logQ, noise: noise}
+	var ivals []float64
+	if x.ivals != nil {
+		ivals = make([]float64, b.slots)
+		for i := range ivals {
+			ivals[i] = x.ivals[i] * s
+		}
+	}
+	out := &simCT{vals: vals, ivals: ivals, scale: x.scale * f, logQ: x.logQ, noise: noise}
 	b.checkCapacity(out)
 	return out
 }
@@ -395,6 +470,7 @@ func (b *SimBackend) Rescale(c Ciphertext, x *big.Int) Ciphertext {
 	hypotConst(noise, math.Sqrt(b.n())/(2*newScale))
 	out := &simCT{
 		vals:  append([]float64(nil), cc.vals...),
+		ivals: imOrNil(cc.ivals),
 		scale: newScale,
 		logQ:  newLogQ,
 		noise: noise,
@@ -436,3 +512,114 @@ func (b *SimBackend) NoiseOf(c Ciphertext) float64 {
 
 // LogQRemaining exposes the remaining modulus bits of a ciphertext.
 func (b *SimBackend) LogQRemaining(c Ciphertext) float64 { return b.ct(c).logQ }
+
+// Conjugate conjugates every slot. Like a rotation it is a key-switching
+// automorphism, so it charges one key-switch noise term.
+func (b *SimBackend) Conjugate(c Ciphertext) Ciphertext {
+	cc := b.ct(c)
+	noise := append([]float64(nil), cc.noise...)
+	hypotConst(noise, b.keySwitchNoise(cc.scale))
+	out := &simCT{
+		vals:  append([]float64(nil), cc.vals...),
+		scale: cc.scale,
+		logQ:  cc.logQ,
+		noise: noise,
+	}
+	if cc.ivals != nil {
+		out.ivals = make([]float64, b.slots)
+		for i := range out.ivals {
+			out.ivals[i] = -cc.ivals[i]
+		}
+	}
+	return out
+}
+
+// EncryptC encrypts a complex slot vector at scale f.
+func (b *SimBackend) EncryptC(m []complex128, f float64) Ciphertext {
+	if len(m) > b.slots {
+		panic(fmt.Sprintf("hisa: %d values exceed %d slots", len(m), b.slots))
+	}
+	vals := make([]float64, b.slots)
+	ivals := make([]float64, b.slots)
+	for i, z := range m {
+		vals[i] = real(z)
+		ivals[i] = imag(z)
+	}
+	c := &simCT{
+		vals:  vals,
+		ivals: ivals,
+		scale: f,
+		logQ:  float64(b.params.LogQ),
+		noise: constVec(b.slots, b.freshNoise(f)+b.encodingNoise(f)),
+	}
+	b.checkCapacity(c)
+	return c
+}
+
+// DecryptC decrypts both slot components, injecting independent noise into
+// the real and imaginary parts.
+func (b *SimBackend) DecryptC(c Ciphertext) []complex128 {
+	cc := b.ct(c)
+	out := make([]complex128, b.slots)
+	if b.params.NoNoise {
+		for i := range out {
+			out[i] = complex(cc.vals[i], imAt(cc.ivals, i))
+		}
+		return out
+	}
+	b.prngMu.Lock()
+	defer b.prngMu.Unlock()
+	for i := range out {
+		out[i] = complex(
+			cc.vals[i]+b.gauss()*cc.noise[i],
+			imAt(cc.ivals, i)+b.gauss()*cc.noise[i])
+	}
+	return out
+}
+
+// AddPlainC adds a complex vector encoded at the ciphertext's scale.
+func (b *SimBackend) AddPlainC(c Ciphertext, m []complex128) Ciphertext {
+	cc := b.ct(c)
+	if len(m) > b.slots {
+		panic(fmt.Sprintf("hisa: %d values exceed %d slots", len(m), b.slots))
+	}
+	vals := make([]float64, b.slots)
+	ivals := make([]float64, b.slots)
+	for i := range vals {
+		vals[i] = cc.vals[i]
+		ivals[i] = imAt(cc.ivals, i)
+	}
+	for i, z := range m {
+		vals[i] += real(z)
+		ivals[i] += imag(z)
+	}
+	noise := append([]float64(nil), cc.noise...)
+	hypotConst(noise, b.encodingNoise(cc.scale))
+	return &simCT{vals: vals, ivals: ivals, scale: cc.scale, logQ: cc.logQ, noise: noise}
+}
+
+// MulScalarC multiplies every slot by the complex constant x at scale f.
+// The mimicked scheme encodes the constant as round(x·f) and multiplies
+// exactly, so the applied multiplier is q = round(x·f)/f: the quantization
+// error is deterministic (folded into the slot values) and the existing
+// noise scales by |q| with no additive encoding term. In particular an
+// exactly representable constant — e.g. 0.25 at factor 4, the complex-pack
+// division — adds no noise at all, matching the RNS backend.
+func (b *SimBackend) MulScalarC(c Ciphertext, x complex128, f float64) Ciphertext {
+	cc := b.ct(c)
+	vals := make([]float64, b.slots)
+	ivals := make([]float64, b.slots)
+	qr := math.Round(real(x)*f) / f
+	qi := math.Round(imag(x)*f) / f
+	qmag := math.Hypot(qr, qi)
+	noise := make([]float64, b.slots)
+	for i := range vals {
+		a, bi := cc.vals[i], imAt(cc.ivals, i)
+		vals[i] = a*qr - bi*qi
+		ivals[i] = a*qi + bi*qr
+		noise[i] = cc.noise[i] * qmag
+	}
+	out := &simCT{vals: vals, ivals: ivals, scale: cc.scale * f, logQ: cc.logQ, noise: noise}
+	b.checkCapacity(out)
+	return out
+}

@@ -35,6 +35,38 @@ func EncryptTensorBatch(b hisa.Backend, ts []*tensor.Tensor, plan Plan, sc Scale
 	numCTs := (c + meta.CPerCT - 1) / meta.CPerCT
 	meta.CTs = make([]hisa.Ciphertext, numCTs)
 	ls := meta.laneStride(b.Slots())
+	if meta.Complex {
+		// Complex packing: image i lives in the real (i even) or imaginary
+		// (i odd) slot component of physical lane i/2 — twice the images at
+		// the same ring size.
+		cb := mustConjugate(b)
+		for g := 0; g < numCTs; g++ {
+			cvals := make([]complex128, b.Slots())
+			for i, t := range ts {
+				base := (i / 2) * ls
+				imPart := i%2 == 1
+				for ci := 0; ci < meta.CPerCT; ci++ {
+					ch := g*meta.CPerCT + ci
+					if ch >= c {
+						break
+					}
+					for y := 0; y < h; y++ {
+						for x := 0; x < w; x++ {
+							idx := base + meta.pos(ci, y, x)
+							if imPart {
+								cvals[idx] = complex(real(cvals[idx]), t.At(ch, y, x))
+							} else {
+								cvals[idx] = complex(t.At(ch, y, x), imag(cvals[idx]))
+							}
+						}
+					}
+				}
+			}
+			meta.CTs[g] = cb.EncryptC(cvals, sc.Pc)
+		}
+		meta.validate(b.Slots())
+		return &meta
+	}
 	for g := 0; g < numCTs; g++ {
 		vals := make([]float64, b.Slots())
 		for lane, t := range ts {
@@ -57,13 +89,40 @@ func EncryptTensorBatch(b hisa.Backend, ts []*tensor.Tensor, plan Plan, sc Scale
 	return &meta
 }
 
-// DecryptTensorLane decrypts the image in one batch lane.
+// DecryptTensorLane decrypts one packed image by its image index. For real
+// packing image i is batch lane i; for complex packing image i lives in the
+// real (i even) or imaginary (i odd) component of physical lane i/2.
 func DecryptTensorLane(b hisa.Backend, ct *CipherTensor, lane int) *tensor.Tensor {
 	if lane < 0 || lane >= ct.Batches() {
 		panic(fmt.Sprintf("htc: lane %d out of range for batch %d", lane, ct.Batches()))
 	}
-	base := lane * ct.laneStride(b.Slots())
 	out := tensor.New(ct.C, ct.H, ct.W)
+	if ct.Complex {
+		cb := mustConjugate(b)
+		base := (lane / 2) * ct.laneStride(b.Slots())
+		imPart := lane%2 == 1
+		for g := 0; g < ct.NumCTs(); g++ {
+			vals := cb.DecryptC(ct.CTs[g])
+			for ci := 0; ci < ct.CPerCT; ci++ {
+				ch := g*ct.CPerCT + ci
+				if ch >= ct.C {
+					break
+				}
+				for y := 0; y < ct.H; y++ {
+					for x := 0; x < ct.W; x++ {
+						v := vals[base+ct.pos(ci, y, x)]
+						if imPart {
+							out.Set(imag(v), ch, y, x)
+						} else {
+							out.Set(real(v), ch, y, x)
+						}
+					}
+				}
+			}
+		}
+		return out
+	}
+	base := lane * ct.laneStride(b.Slots())
 	for g := 0; g < ct.NumCTs(); g++ {
 		vals := b.Decode(b.Decrypt(ct.CTs[g]))
 		for ci := 0; ci < ct.CPerCT; ci++ {
@@ -93,18 +152,23 @@ func DecryptTensorBatch(b hisa.Backend, ct *CipherTensor, n int) []*tensor.Tenso
 	return out
 }
 
-// LaneView returns metadata addressing a single lane of a batched tensor as
-// an unbatched view: same ciphertexts, origin shifted into the lane. The
-// view shares the underlying ciphertexts with ct. Decrypting the view yields
-// exactly that lane's image; other lanes' slots are simply never read.
+// LaneView returns metadata addressing a single physical lane of a batched
+// tensor as an unbatched view: same ciphertexts, origin shifted into the
+// lane. The view shares the underlying ciphertexts with ct. Decrypting the
+// view yields exactly that lane's image; other lanes' slots are simply never
+// read. Under complex packing the index is a physical lane (of Lanes(), not
+// Batches()); a real Decode of the view reads the lane's real component,
+// which is how the server-side coalescing path (PackBatch) addresses its
+// real-only occupants.
 func LaneView(ct *CipherTensor, lane, slots int) *CipherTensor {
-	if lane < 0 || lane >= ct.Batches() {
-		panic(fmt.Sprintf("htc: lane %d out of range for batch %d", lane, ct.Batches()))
+	if lane < 0 || lane >= ct.Lanes() {
+		panic(fmt.Sprintf("htc: lane %d out of range for %d lanes", lane, ct.Lanes()))
 	}
 	v := *ct
 	v.Offset += lane * ct.laneStride(slots)
 	v.B = 1
 	v.BatchStride = 0
+	v.Complex = false
 	return &v
 }
 
@@ -124,16 +188,21 @@ func PackBatch(b hisa.Backend, ts []*CipherTensor) *CipherTensor {
 	if len(ts) == 0 {
 		panic("htc: PackBatch wants at least one tensor")
 	}
+	// Rotation cannot move data between the real and imaginary slot
+	// components, so homomorphic packing fills one image per physical lane
+	// (its real part) even under a complex plan: coalescing capacity is
+	// Lanes(). Full complex occupancy is the client-side path
+	// (EncryptTensorBatch), which packs components at encode time.
 	first := ts[0]
-	if len(ts) > first.Batches() {
-		panic(fmt.Sprintf("htc: cannot pack %d tensors into batch capacity %d", len(ts), first.Batches()))
+	if len(ts) > first.Lanes() {
+		panic(fmt.Sprintf("htc: cannot pack %d tensors into %d batch lanes", len(ts), first.Lanes()))
 	}
 	for i, t := range ts {
 		if t.C != first.C || t.H != first.H || t.W != first.W ||
 			t.Offset != first.Offset || t.RowStride != first.RowStride ||
 			t.ColStride != first.ColStride || t.ChanStride != first.ChanStride ||
 			t.CPerCT != first.CPerCT || t.B != first.B || t.BatchStride != first.BatchStride ||
-			t.NumCTs() != first.NumCTs() {
+			t.Complex != first.Complex || t.NumCTs() != first.NumCTs() {
 			panic(fmt.Sprintf("htc: PackBatch tensor %d has incompatible geometry", i))
 		}
 	}

@@ -69,6 +69,11 @@ type Plan struct {
 	// nextPow2(Batch) equal lanes and image i lives in lane i. 0 and 1 both
 	// mean unbatched.
 	Batch int
+	// Complex packs two images per batch lane, one in the real and one in
+	// the imaginary slot component (nGraph-HE2's complex packing). Batch
+	// still counts images; the lane count halves, doubling capacity at
+	// constant ring size. Requires a hisa.ConjugateBackend.
+	Complex bool
 }
 
 // batches normalizes the plan's batch count (0 means 1).
@@ -77,6 +82,15 @@ func (p Plan) batches() int {
 		return 1
 	}
 	return p.Batch
+}
+
+// lanes is the number of physical batch lanes the plan needs.
+func (p Plan) lanes() int {
+	b := p.batches()
+	if p.Complex {
+		return (b + 1) / 2
+	}
+	return b
 }
 
 // CipherTensor is an encrypted tensor: ciphertexts plus the plain metadata
@@ -106,6 +120,13 @@ type CipherTensor struct {
 	B           int
 	BatchStride int
 
+	// Complex marks complex-packed tensors: image 2k lives in the real and
+	// image 2k+1 in the imaginary slot component of lane k, so the tensor
+	// has ceil(B/2) physical lanes. All real-plaintext kernel arithmetic is
+	// componentwise and thus packing-oblivious; only ciphertext-ciphertext
+	// products and additive constants branch on this flag.
+	Complex bool
+
 	CTs []hisa.Ciphertext
 }
 
@@ -115,6 +136,16 @@ func (ct *CipherTensor) Batches() int {
 		return 1
 	}
 	return ct.B
+}
+
+// Lanes returns the number of physical batch lanes: equal to Batches for
+// real packing, halved (rounded up) for complex packing.
+func (ct *CipherTensor) Lanes() int {
+	b := ct.Batches()
+	if ct.Complex {
+		return (b + 1) / 2
+	}
+	return b
 }
 
 // laneStride returns the slot span of one batch lane: BatchStride when set,
@@ -169,9 +200,9 @@ func (ct *CipherTensor) Validate(slots int) error {
 			return fmt.Errorf("htc: CipherTensor lane overflows batch stride %d (max position %d)",
 				ct.BatchStride, maxPos)
 		}
-		if last := (ct.B-1)*ct.BatchStride + maxPos; last >= slots {
+		if last := (ct.Lanes()-1)*ct.BatchStride + maxPos; last >= slots {
 			return fmt.Errorf("htc: %d batch lanes of stride %d overflow %d slots",
-				ct.B, ct.BatchStride, slots)
+				ct.Lanes(), ct.BatchStride, slots)
 		}
 	}
 	want := (ct.C + ct.CPerCT - 1) / ct.CPerCT
@@ -217,7 +248,7 @@ func NewLayout(plan Plan, c, h, w, slots int) CipherTensor {
 	hp, wp, offset := planGeometry(plan, h, w)
 	chanStride := hp * wp
 	batch := plan.batches()
-	laneSlots := slots / nextPow2(batch)
+	laneSlots := slots / nextPow2(plan.lanes())
 	if laneSlots < 1 || chanStride > laneSlots {
 		panic(fmt.Sprintf("htc: a %dx%d image (apron %d) does not fit a batch lane of %d slots (batch %d, %d slots)",
 			h, w, plan.Apron, laneSlots, batch, slots))
@@ -238,6 +269,7 @@ func NewLayout(plan Plan, c, h, w, slots int) CipherTensor {
 		CPerCT:      cPerCT,
 		B:           batch,
 		BatchStride: laneSlots,
+		Complex:     plan.Complex,
 	}
 }
 
@@ -326,7 +358,7 @@ func metaClone(src *CipherTensor) CipherTensor {
 func validMask(ct *CipherTensor, g, slots int, value float64) []float64 {
 	vals := make([]float64, slots)
 	ls := ct.laneStride(slots)
-	for lane := 0; lane < ct.Batches(); lane++ {
+	for lane := 0; lane < ct.Lanes(); lane++ {
 		base := lane * ls
 		for ci := 0; ci < ct.CPerCT; ci++ {
 			ch := g*ct.CPerCT + ci
@@ -349,7 +381,7 @@ func validMask(ct *CipherTensor, g, slots int, value float64) []float64 {
 func perChannelVector(ct *CipherTensor, g, slots int, val func(ch int) float64) []float64 {
 	vals := make([]float64, slots)
 	ls := ct.laneStride(slots)
-	for lane := 0; lane < ct.Batches(); lane++ {
+	for lane := 0; lane < ct.Lanes(); lane++ {
 		base := lane * ls
 		for ci := 0; ci < ct.CPerCT; ci++ {
 			ch := g*ct.CPerCT + ci

@@ -110,14 +110,14 @@ func PlanFor(c *circuit.Circuit, policy LayoutPolicy) Plan {
 }
 
 // convert brings t into the requested layout (no-op when already there).
-func convert(b hisa.Backend, t *CipherTensor, want Layout, sc Scales) *CipherTensor {
+func convert(b hisa.Backend, t *CipherTensor, want Layout, sc Scales, opts ExecOptions) *CipherTensor {
 	if t.Layout == want {
 		return t
 	}
 	if want == LayoutCHW {
 		return ToCHW(b, t)
 	}
-	return ToHW(b, t, sc)
+	return ToHWOpts(b, t, sc, opts)
 }
 
 // Execute runs the circuit homomorphically on backend b, serially. The
@@ -148,15 +148,20 @@ func ExecuteOpts(b hisa.Backend, c *circuit.Circuit, input *CipherTensor, policy
 	if tb, ok := hisa.FindCapability[scoper](b); ok {
 		startScope = tb.StartScope
 	}
+	// nodeOpts is the per-node options copy handed to kernels: it carries
+	// the executing node's ID so scale policies can key decisions by site.
+	nodeOpts := opts
 	arg := func(n *circuit.Node, i int) *CipherTensor {
 		t, ok := results[n.Inputs[i].ID]
 		if !ok {
 			panic(fmt.Sprintf("htc: node %q input not yet computed (circuit not topological?)", n.Name))
 		}
-		return convert(b, t, policy.opLayout(n.Kind, seenDense), sc)
+		return convert(b, t, policy.opLayout(n.Kind, seenDense), sc, nodeOpts)
 	}
 
 	for _, n := range c.Nodes {
+		nodeOpts = opts
+		nodeOpts.node = n.ID
 		var out *CipherTensor
 		// The node scope opens before arg() runs so the layout conversions
 		// a node demands are billed to it, not to the gap between nodes.
@@ -172,28 +177,28 @@ func ExecuteOpts(b hisa.Backend, c *circuit.Circuit, input *CipherTensor, policy
 			}
 			out = input
 		case circuit.OpConv2D:
-			out = Conv2DOpts(b, arg(n, 0), n.Weights, n.Bias, n.Stride, n.Pad, sc, opts)
+			out = Conv2DOpts(b, arg(n, 0), n.Weights, n.Bias, n.Stride, n.Pad, sc, nodeOpts)
 		case circuit.OpDense:
-			out = DenseOpts(b, arg(n, 0), n.Weights, n.Bias, sc, opts)
+			out = DenseOpts(b, arg(n, 0), n.Weights, n.Bias, sc, nodeOpts)
 			seenDense = true
 		case circuit.OpAvgPool2D:
-			out = AvgPool2DOpts(b, arg(n, 0), n.Window, n.Stride, sc, opts)
+			out = AvgPool2DOpts(b, arg(n, 0), n.Window, n.Stride, sc, nodeOpts)
 		case circuit.OpGlobalAvgPool2D:
-			out = GlobalAvgPool2DOpts(b, arg(n, 0), sc, opts)
+			out = GlobalAvgPool2DOpts(b, arg(n, 0), sc, nodeOpts)
 		case circuit.OpActivation:
-			out = ActivationOpts(b, arg(n, 0), n.ActA, n.ActB, sc, opts)
+			out = ActivationOpts(b, arg(n, 0), n.ActA, n.ActB, sc, nodeOpts)
 		case circuit.OpPolyEval:
-			out = PolyEvalOpts(b, arg(n, 0), n.Coeffs, sc, opts)
+			out = PolyEvalOpts(b, arg(n, 0), n.Coeffs, sc, nodeOpts)
 		case circuit.OpBatchNorm:
-			out = BatchNormOpts(b, arg(n, 0), n.Weights, n.Bias, sc, opts)
+			out = BatchNormOpts(b, arg(n, 0), n.Weights, n.Bias, sc, nodeOpts)
 		case circuit.OpAdd:
-			out = AddOpts(b, arg(n, 0), arg(n, 1), opts)
+			out = AddOpts(b, arg(n, 0), arg(n, 1), nodeOpts)
 		case circuit.OpConcat:
 			ins := make([]*CipherTensor, len(n.Inputs))
 			for i := range n.Inputs {
 				ins[i] = arg(n, i)
 			}
-			out = ConcatOpts(b, sc, opts, ins...)
+			out = ConcatOpts(b, sc, nodeOpts, ins...)
 		case circuit.OpFlatten:
 			out = results[n.Inputs[0].ID] // metadata-only
 		case circuit.OpPad2D:

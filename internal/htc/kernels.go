@@ -170,12 +170,12 @@ func Conv2DOpts(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, 
 					}
 				}
 			}
-			acc = tryRescale(b, acc, sc.Pc)
+			acc = opts.reduce(b, acc, sc.Pc)
 			acc = b.MulPlain(acc, mask)
-			acc = tryRescale(b, acc, sc.Pc)
+			acc = opts.reduce(b, acc, sc.Pc)
 			if bias != nil {
 				bv := validMask(&out, 0, b.Slots(), bias.Data[oc])
-				acc = b.AddPlain(acc, b.Encode(bv, b.Scale(acc)))
+				acc = addVecBoth(b, out.Complex, acc, bv)
 			}
 			out.CTs[oc] = acc
 		})
@@ -214,7 +214,7 @@ func Conv2DOpts(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, 
 				for kx := 0; kx < kw; kx++ {
 					wv := make([]float64, b.Slots())
 					ls := in.laneStride(b.Slots())
-					for lane := 0; lane < in.Batches(); lane++ {
+					for lane := 0; lane < in.Lanes(); lane++ {
 						laneBase := lane * ls
 						for ci := 0; ci < in.CPerCT; ci++ {
 							ic := g*in.CPerCT + ci
@@ -232,14 +232,14 @@ func Conv2DOpts(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, 
 					acc = accumulate(b, acc, t)
 				}
 			}
-			acc = tryRescale(b, acc, sc.Pc)
+			acc = opts.reduce(b, acc, sc.Pc)
 			// Fold the partial sums of this ciphertext's occupied channels
 			// into channel block 0 (unoccupied blocks hold zeros).
 			for step := 1; step < nextPow2(chInGroup); step <<= 1 {
 				acc = b.Add(acc, b.RotLeft(acc, step*in.ChanStride))
 			}
 			acc = b.MulPlain(acc, mask)
-			acc = tryRescale(b, acc, sc.Pc)
+			acc = opts.reduce(b, acc, sc.Pc)
 
 			if bOut := oc % outCPerCT; bOut != 0 {
 				acc = b.RotRight(acc, bOut*in.ChanStride)
@@ -257,7 +257,7 @@ func Conv2DOpts(b hisa.Backend, in *CipherTensor, filters, bias *tensor.Tensor, 
 	if bias != nil {
 		for gOut := range out.CTs {
 			bv := perChannelVector(&out, gOut, b.Slots(), func(ch int) float64 { return bias.Data[ch] })
-			out.CTs[gOut] = b.AddPlain(out.CTs[gOut], b.Encode(bv, b.Scale(out.CTs[gOut])))
+			out.CTs[gOut] = addVecBoth(b, out.Complex, out.CTs[gOut], bv)
 		}
 	}
 	out.validate(b.Slots())
@@ -313,7 +313,7 @@ func AvgPool2DOpts(b hisa.Backend, in *CipherTensor, window, stride int, sc Scal
 			}
 		}
 		acc = b.MulPlain(acc, masks[min(in.C-g*in.CPerCT, in.CPerCT)])
-		out.CTs[g] = tryRescale(b, acc, sc.Pc)
+		out.CTs[g] = opts.reduce(b, acc, sc.Pc)
 	})
 	out.validate(b.Slots())
 	return &out
@@ -373,7 +373,7 @@ func GlobalAvgPool2DOpts(b hisa.Backend, in *CipherTensor, sc Scales, opts ExecO
 			acc = sum
 		}
 		acc = b.MulPlain(acc, mask)
-		out.CTs[g] = tryRescale(b, acc, sc.Pc)
+		out.CTs[g] = opts.reduce(b, acc, sc.Pc)
 	})
 	out.validate(b.Slots())
 	return &out
@@ -396,16 +396,30 @@ func ActivationOpts(b hisa.Backend, in *CipherTensor, a, bb float64, sc Scales, 
 		x := in.CTs[g]
 		if a == 0 {
 			y := b.MulScalar(x, bb, sc.Pu)
-			out.CTs[g] = tryRescale(b, y, sc.Pc)
+			out.CTs[g] = opts.reduce(b, y, sc.Pc)
 			return
 		}
-		t := b.MulScalar(x, a, sc.Pu)
-		t = tryRescale(b, t, sc.Pc)
-		// Adding b everywhere is safe: invalid slots of x are zero, so the
-		// final product restores the zero invariant.
-		t = b.AddScalar(t, bb)
-		y := b.Mul(t, x)
-		out.CTs[g] = tryRescale(b, y, sc.Pc)
+		var y hisa.Ciphertext
+		if in.Complex {
+			y = activationPairwise(b, x, a, bb, sc, opts)
+		} else {
+			t := b.MulScalar(x, a, sc.Pu)
+			t = opts.reduce(b, t, sc.Pc)
+			// Adding b everywhere is safe: invalid slots of x are zero, so
+			// the final product restores the zero invariant.
+			t = b.AddScalar(t, bb)
+			y = b.Mul(t, x)
+		}
+		y = opts.reduce(b, y, sc.Pc)
+		// The complex path's deferred relinearization lands here, after the
+		// rescale — one limb lighter than at the product. Eager backends
+		// (Ref, the CKKS mock) already returned degree 1 and skip it.
+		if in.Complex {
+			if lr, ok := hisa.AsLazyRelin(b); ok {
+				y = lr.Relinearize(y)
+			}
+		}
+		out.CTs[g] = y
 	})
 	return &out
 }
@@ -429,19 +443,29 @@ func PolyEvalOpts(b hisa.Backend, in *CipherTensor, coeffs []float64, sc Scales,
 	out.CTs = make([]hisa.Ciphertext, in.NumCTs())
 	parallelFor(opts.workers(), len(in.CTs), func(g int) {
 		x := in.CTs[g]
+		// Horner multiplies by the same x every round, so the complex path
+		// conjugates x once per group and shares it across iterations.
+		var xbar hisa.Ciphertext
+		if in.Complex {
+			xbar = mustConjugate(b).Conjugate(x)
+		}
 		// acc = c_d * x, then repeatedly acc = (acc + c_i) * x.
 		acc := b.MulScalar(x, coeffs[d], sc.Pu)
-		acc = tryRescale(b, acc, sc.Pc)
+		acc = opts.reduce(b, acc, sc.Pc)
 		for i := d - 1; i >= 1; i-- {
 			// AddScalar touches invalid slots too, but the following
 			// multiplication by x (zero there) restores the invariant.
-			acc = b.AddScalar(acc, coeffs[i])
-			acc = b.Mul(acc, x)
-			acc = tryRescale(b, acc, sc.Pc)
+			acc = addScalarBoth(b, in.Complex, acc, coeffs[i])
+			if in.Complex {
+				acc = mulPairwiseY(b, acc, x, xbar)
+			} else {
+				acc = b.Mul(acc, x)
+			}
+			acc = opts.reduce(b, acc, sc.Pc)
 		}
 		if coeffs[0] != 0 {
 			cv := perChannelVector(in, g, b.Slots(), func(int) float64 { return coeffs[0] })
-			acc = b.AddPlain(acc, b.Encode(cv, b.Scale(acc)))
+			acc = addVecBoth(b, in.Complex, acc, cv)
 		}
 		out.CTs[g] = acc
 	})
@@ -472,9 +496,9 @@ func BatchNormOpts(b hisa.Backend, in *CipherTensor, gamma, beta *tensor.Tensor,
 			gv := perChannelVector(in, g, b.Slots(), func(ch int) float64 { return gamma.Data[ch] })
 			t = b.MulPlain(in.CTs[g], b.Encode(gv, sc.Pw))
 		}
-		t = tryRescale(b, t, sc.Pc)
+		t = opts.reduce(b, t, sc.Pc)
 		bv := perChannelVector(in, g, b.Slots(), func(ch int) float64 { return beta.Data[ch] })
-		t = b.AddPlain(t, b.Encode(bv, b.Scale(t)))
+		t = addVecBoth(b, in.Complex, t, bv)
 		out.CTs[g] = t
 	})
 	return &out
@@ -491,7 +515,8 @@ func Add(b hisa.Backend, x, y *CipherTensor) *CipherTensor {
 func AddOpts(b hisa.Backend, x, y *CipherTensor, opts ExecOptions) *CipherTensor {
 	if x.C != y.C || x.H != y.H || x.W != y.W ||
 		x.Offset != y.Offset || x.RowStride != y.RowStride || x.ColStride != y.ColStride ||
-		x.CPerCT != y.CPerCT || x.B != y.B || x.BatchStride != y.BatchStride {
+		x.CPerCT != y.CPerCT || x.B != y.B || x.BatchStride != y.BatchStride ||
+		x.Complex != y.Complex {
 		panic("htc: Add requires identical layouts; insert a layout conversion")
 	}
 	out := metaClone(x)
@@ -525,7 +550,8 @@ func ConcatOpts(b hisa.Backend, sc Scales, opts ExecOptions, ins ...*CipherTenso
 		if in.H != first.H || in.W != first.W || in.Offset != first.Offset ||
 			in.RowStride != first.RowStride || in.ColStride != first.ColStride ||
 			in.CPerCT != first.CPerCT || in.ChanStride != first.ChanStride ||
-			in.B != first.B || in.BatchStride != first.BatchStride {
+			in.B != first.B || in.BatchStride != first.BatchStride ||
+			in.Complex != first.Complex {
 			panic("htc: Concat inputs must share geometry")
 		}
 		totalC += in.C
@@ -586,7 +612,7 @@ func ConcatOpts(b hisa.Backend, sc Scales, opts ExecOptions, ins ...*CipherTenso
 		single.Offset = in.Offset + bIn*in.ChanStride
 		mv := validMask(&single, 0, b.Slots(), 1)
 		t := b.MulPlain(in.CTs[gIn], b.Encode(mv, sc.Pm))
-		t = tryRescale(b, t, sc.Pc)
+		t = opts.reduce(b, t, sc.Pc)
 		if shift := (bOut - bIn) * in.ChanStride; shift > 0 {
 			t = b.RotRight(t, shift)
 		} else if shift < 0 {
@@ -640,12 +666,13 @@ func DenseOpts(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, s
 		Offset: 0, RowStride: outDim, ColStride: 1,
 		ChanStride: ls, CPerCT: 1,
 		B: in.B, BatchStride: in.BatchStride,
+		Complex: in.Complex,
 	}
 
 	// One-hot at every lane origin: after the log-fold, each lane's dot
 	// product sits at its lane origin and everything else is garbage.
 	e0 := make([]float64, b.Slots())
-	for lane := 0; lane < in.Batches(); lane++ {
+	for lane := 0; lane < in.Lanes(); lane++ {
 		e0[lane*ls] = 1
 	}
 	e0Plain := b.Encode(e0, sc.Pm)
@@ -655,7 +682,7 @@ func DenseOpts(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, s
 		var total hisa.Ciphertext
 		for g := range in.CTs {
 			wv := make([]float64, b.Slots())
-			for lane := 0; lane < in.Batches(); lane++ {
+			for lane := 0; lane < in.Lanes(); lane++ {
 				laneBase := lane * ls
 				for ci := 0; ci < in.CPerCT; ci++ {
 					ch := g*in.CPerCT + ci
@@ -673,12 +700,12 @@ func DenseOpts(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, s
 			t := b.MulPlain(in.CTs[g], b.Encode(wv, sc.Pw))
 			total = accumulate(b, total, t)
 		}
-		total = tryRescale(b, total, sc.Pc)
+		total = opts.reduce(b, total, sc.Pc)
 		for step := m / 2; step >= 1; step >>= 1 {
 			total = b.Add(total, b.RotLeft(total, step))
 		}
 		total = b.MulPlain(total, e0Plain)
-		total = tryRescale(b, total, sc.Pc)
+		total = opts.reduce(b, total, sc.Pc)
 		if o > 0 {
 			total = b.RotRight(total, o)
 		}
@@ -693,10 +720,10 @@ func DenseOpts(b hisa.Backend, in *CipherTensor, weights, bias *tensor.Tensor, s
 
 	if bias != nil {
 		bv := make([]float64, b.Slots())
-		for lane := 0; lane < in.Batches(); lane++ {
+		for lane := 0; lane < in.Lanes(); lane++ {
 			copy(bv[lane*ls:], bias.Data)
 		}
-		acc = b.AddPlain(acc, b.Encode(bv, b.Scale(acc)))
+		acc = addVecBoth(b, in.Complex, acc, bv)
 	}
 	out.CTs = []hisa.Ciphertext{acc}
 	out.validate(b.Slots())
@@ -745,6 +772,12 @@ func ToCHW(b hisa.Backend, in *CipherTensor) *CipherTensor {
 // ToHW converts a CHW-layout tensor to HW: each channel is rotated to block
 // zero and isolated with a mask (the conversion that costs depth).
 func ToHW(b hisa.Backend, in *CipherTensor, sc Scales) *CipherTensor {
+	return ToHWOpts(b, in, sc, ExecOptions{})
+}
+
+// ToHWOpts is ToHW with an execution-options parameter (the conversion's
+// rescale site consults the scale policy like every kernel site).
+func ToHWOpts(b hisa.Backend, in *CipherTensor, sc Scales, opts ExecOptions) *CipherTensor {
 	if in.Layout == LayoutHW {
 		return in
 	}
@@ -768,7 +801,7 @@ func ToHW(b hisa.Backend, in *CipherTensor, sc Scales) *CipherTensor {
 			mask = b.Encode(maskVals, sc.Pm)
 		}
 		t = b.MulPlain(t, mask)
-		out.CTs[ch] = tryRescale(b, t, sc.Pc)
+		out.CTs[ch] = opts.reduce(b, t, sc.Pc)
 	}
 	out.validate(b.Slots())
 	return &out

@@ -1,0 +1,125 @@
+package htc
+
+import (
+	"math"
+
+	"chet/internal/hisa"
+)
+
+// This file centralizes the kernels' rescale protocol behind a policy
+// object. Kernels never call tryRescale directly any more: every site where
+// a kernel would reduce a grown scale back toward a base scale routes
+// through ExecOptions.reduce, which consults a ScalePolicy. The compiler's
+// scale-management pass (core/scalepass) records a per-site plan on its
+// analysis run and ships it back here as a PlanPolicy, turning rescale
+// placement from a hard-coded per-op heuristic into a graph-level decision —
+// the nGraph-HE2-style lazy rescaling CHET's op-local protocol lacked.
+
+// ScaleDecision is the planned action at one reduce site.
+type ScaleDecision uint8
+
+const (
+	// ScaleRescale applies the greedy rescale protocol at this site (the
+	// pre-pass behavior): rescale by the largest divisor under scale/base.
+	ScaleRescale ScaleDecision = iota
+	// ScaleDefer leaves the ciphertext at its grown scale; a later site (or
+	// decryption, which normalizes by the final scale) absorbs the excess.
+	ScaleDefer
+)
+
+func (d ScaleDecision) String() string {
+	if d == ScaleDefer {
+		return "defer"
+	}
+	return "rescale"
+}
+
+// ScaleKey identifies a reduce site within a circuit node. Sites are keyed
+// by the quantized input scale rather than by call-site position, so the
+// lookup is stateless: parallel kernel workers hitting sites in any order
+// resolve the same decisions as the compiler's serial recording run. Two
+// different sites of one node collide only when they see the same scale, in
+// which case they would make the same greedy decision anyway; the recorder
+// drops any key it observes with conflicting decisions.
+type ScaleKey struct {
+	// Node is the circuit node ID executing the kernel.
+	Node int
+	// ScaleBits is round(log2(scale)) of the ciphertext entering the site.
+	// Integer rounding absorbs the sub-millibit drift of near-power-of-two
+	// RNS primes across a chain.
+	ScaleBits int
+}
+
+// ScaleKeyFor builds the key for a reduce site observing the given scale.
+func ScaleKeyFor(node int, scale float64) ScaleKey {
+	return ScaleKey{Node: node, ScaleBits: int(math.Round(math.Log2(scale)))}
+}
+
+// ScalePlan is the compiler-emitted rescale placement: one decision per
+// observed reduce site. Sites missing from the map (a kernel path the
+// recording run did not take) fall back to the greedy protocol, which is
+// always functionally safe.
+type ScalePlan struct {
+	Decisions map[ScaleKey]ScaleDecision
+}
+
+// Deferred counts the sites planned as ScaleDefer.
+func (p *ScalePlan) Deferred() int {
+	n := 0
+	for _, d := range p.Decisions {
+		if d == ScaleDefer {
+			n++
+		}
+	}
+	return n
+}
+
+// ScalePolicy decides what happens at each kernel reduce site. Policies
+// must be safe for concurrent use by parallel kernel workers.
+type ScalePolicy interface {
+	// Reduce is called where a kernel's ciphertext scale may have grown past
+	// base; it returns the ciphertext to continue with (rescaled or not).
+	Reduce(b hisa.Backend, node int, c hisa.Ciphertext, base float64) hisa.Ciphertext
+}
+
+// GreedyPolicy reproduces the pre-pass op-local behavior: rescale at every
+// site by the largest divisor the scheme offers under scale/base. It is the
+// fallback policy (a nil ExecOptions.Scale) and the baseline the lazy plan
+// is validated against.
+type GreedyPolicy struct{}
+
+// Reduce applies the greedy rescale protocol.
+func (GreedyPolicy) Reduce(b hisa.Backend, node int, c hisa.Ciphertext, base float64) hisa.Ciphertext {
+	return tryRescale(b, c, base)
+}
+
+// PlanPolicy executes a compiler-emitted ScalePlan: sites planned ScaleDefer
+// keep their grown scale, everything else (including unplanned sites) takes
+// the greedy protocol.
+type PlanPolicy struct {
+	Plan *ScalePlan
+}
+
+// Reduce consults the plan for this (node, scale) site.
+func (p PlanPolicy) Reduce(b hisa.Backend, node int, c hisa.Ciphertext, base float64) hisa.Ciphertext {
+	s := b.Scale(c)
+	if s <= base*1.0001 {
+		return c
+	}
+	if p.Plan != nil {
+		if d, ok := p.Plan.Decisions[ScaleKeyFor(node, s)]; ok && d == ScaleDefer {
+			return c
+		}
+	}
+	return tryRescale(b, c, base)
+}
+
+// reduce routes a kernel reduce site through the configured policy (greedy
+// when none is set). The executor stamps the current circuit node into o
+// before dispatching a kernel, so policies see stable site identities.
+func (o ExecOptions) reduce(b hisa.Backend, c hisa.Ciphertext, base float64) hisa.Ciphertext {
+	if o.Scale == nil {
+		return tryRescale(b, c, base)
+	}
+	return o.Scale.Reduce(b, o.node, c, base)
+}

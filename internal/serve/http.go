@@ -100,6 +100,8 @@ func writePromMetrics(w io.Writer, m ServerMetrics, sessions []*session) {
 		ops.Mul += c.Mul
 		ops.MulPlain += c.MulPlain
 		ops.MulScalar += c.MulScalar
+		ops.Relinearize += c.Relinearize
+		ops.Conjugate += c.Conjugate
 		ops.Rescale += c.Rescale
 		ops.MaxRescaleQueries += c.MaxRescaleQueries
 		if sess.tracer != nil {
@@ -122,6 +124,7 @@ func writePromMetrics(w io.Writer, m ServerMetrics, sessions []*session) {
 		{"add", ops.Add}, {"addplain", ops.AddPlain}, {"addscalar", ops.AddScalar},
 		{"sub", ops.Sub}, {"subplain", ops.SubPlain}, {"subscalar", ops.SubScalar},
 		{"mul", ops.Mul}, {"mulplain", ops.MulPlain}, {"mulscalar", ops.MulScalar},
+		{"relin", ops.Relinearize}, {"conj", ops.Conjugate},
 		{"rescale", ops.Rescale}, {"maxrescale", ops.MaxRescaleQueries},
 	} {
 		fmt.Fprintf(w, "chet_hisa_ops_total{op=%q} %d\n", kv.op, kv.n)

@@ -420,6 +420,45 @@ func (t *Tracer) Mul(c, c2 hisa.Ciphertext) hisa.Ciphertext {
 	start := time.Now()
 	out := t.inner.Mul(c, c2)
 	t.record("mul", 0, c, out, start)
+	// Relinearization is intrinsic to every backend's Mul (ct-ct products
+	// relinearize internally), so it surfaces as a distinct zero-duration
+	// span: relin counts become first-class in profiles and /metrics without
+	// double-counting Mul's wall time. Mirrors Meter's Relinearize tally.
+	t.record("relin", 0, nil, out, time.Now())
+	return out
+}
+
+// lazyInner asserts the wrapped backend's deferred-relinearization
+// capability; LazyRelinCapable gates callers before they reach it.
+func (t *Tracer) lazyInner() hisa.LazyRelinBackend {
+	lb, ok := t.inner.(hisa.LazyRelinBackend)
+	if !ok {
+		panic("telemetry: backend " + t.inner.Name() + " does not support deferred relinearization")
+	}
+	return lb
+}
+
+func (t *Tracer) LazyRelinCapable() bool {
+	lb, ok := t.inner.(hisa.LazyRelinBackend)
+	return ok && lb.LazyRelinCapable()
+}
+
+// MulNoRelin records only a mul span; the relin span is emitted — with its
+// real duration, unlike Mul's intrinsic zero-duration marker — when the
+// deferred Relinearize runs.
+func (t *Tracer) MulNoRelin(c, c2 hisa.Ciphertext) hisa.Ciphertext {
+	lb := t.lazyInner()
+	start := time.Now()
+	out := lb.MulNoRelin(c, c2)
+	t.record("mul", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) Relinearize(c hisa.Ciphertext) hisa.Ciphertext {
+	lb := t.lazyInner()
+	start := time.Now()
+	out := lb.Relinearize(c)
+	t.record("relin", 0, c, out, start)
 	return out
 }
 
@@ -456,6 +495,61 @@ func (t *Tracer) MaxRescale(c hisa.Ciphertext, ub *big.Int) *big.Int {
 }
 
 func (t *Tracer) Scale(c hisa.Ciphertext) float64 { return t.inner.Scale(c) }
+
+// --- hisa.ConjugateBackend ---
+
+// conjInner resolves the wrapped backend's conjugation capability. Tracer
+// structurally satisfies hisa.ConjugateBackend, so the real capability check
+// happens here, with a clear message when the base backend lacks it.
+func (t *Tracer) conjInner() hisa.ConjugateBackend {
+	cb, ok := hisa.AsConjugate(t.inner)
+	if !ok {
+		panic("telemetry: wrapped backend " + t.inner.Name() + " does not support complex slot operations")
+	}
+	return cb
+}
+
+func (t *Tracer) Conjugate(c hisa.Ciphertext) hisa.Ciphertext {
+	cb := t.conjInner()
+	start := time.Now()
+	out := cb.Conjugate(c)
+	t.record("conj", 0, c, out, start)
+	return out
+}
+
+// The complex encode/decode/plaintext variants record under the same
+// mnemonics as their real counterparts, mirroring Meter's tallies.
+func (t *Tracer) EncryptC(m []complex128, f float64) hisa.Ciphertext {
+	cb := t.conjInner()
+	start := time.Now()
+	out := cb.EncryptC(m, f)
+	t.record("encrypt", 0, nil, out, start)
+	return out
+}
+
+func (t *Tracer) DecryptC(c hisa.Ciphertext) []complex128 {
+	cb := t.conjInner()
+	start := time.Now()
+	out := cb.DecryptC(c)
+	t.record("decrypt", 0, c, nil, start)
+	return out
+}
+
+func (t *Tracer) AddPlainC(c hisa.Ciphertext, m []complex128) hisa.Ciphertext {
+	cb := t.conjInner()
+	start := time.Now()
+	out := cb.AddPlainC(c, m)
+	t.record("addplain", 0, c, out, start)
+	return out
+}
+
+func (t *Tracer) MulScalarC(c hisa.Ciphertext, z complex128, f float64) hisa.Ciphertext {
+	cb := t.conjInner()
+	start := time.Now()
+	out := cb.MulScalarC(c, z, f)
+	t.record("mulscalar", 0, c, out, start)
+	return out
+}
 
 // goroutineID parses the current goroutine's id from its stack header
 // ("goroutine 123 ["). Sub-microsecond against millisecond-scale lattice

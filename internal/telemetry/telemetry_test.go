@@ -105,6 +105,7 @@ func tallyFromCounts(c hisa.OpCounts) map[string]int64 {
 		"sub": int64(c.Sub), "subplain": int64(c.SubPlain), "subscalar": int64(c.SubScalar),
 		"mul": int64(c.Mul), "mulplain": int64(c.MulPlain), "mulscalar": int64(c.MulScalar),
 		"rescale": int64(c.Rescale), "maxrescale": int64(c.MaxRescaleQueries),
+		"relin": int64(c.Relinearize), "conj": int64(c.Conjugate),
 	}
 	for k, v := range m {
 		if v == 0 {
@@ -383,8 +384,10 @@ func TestConcurrentTracing(t *testing.T) {
 	}()
 	wg.Wait()
 	<-done
-	if got := tr.SpanCount(); got != 8*200+1 {
-		t.Errorf("SpanCount = %d, want %d", got, 8*200+1)
+	// 1600 driven ops + 1 encrypt, plus one relin span per Mul (each worker
+	// hits the Mul arm 50 times per 200 iterations).
+	if got := tr.SpanCount(); got != 8*200+1+8*50 {
+		t.Errorf("SpanCount = %d, want %d", got, 8*200+1+8*50)
 	}
 }
 

@@ -16,6 +16,10 @@ const (
 	maxTensorCTs = 1 << 14
 	maxTensorDim = 1 << 20
 	maxSlotIndex = 1 << 26 // beyond any supported ring (N <= 2^16)
+
+	// tensorComplexFlag marks a complex-packed tensor in the layout byte's
+	// high bit (layout values occupy the low bits).
+	tensorComplexFlag = 0x80
 )
 
 // encodeCipherTensor appends the layout metadata and ciphertexts of ct.
@@ -26,7 +30,13 @@ func encodeCipherTensor(e *enc, ct *htc.CipherTensor) error {
 	if ct == nil {
 		return fmt.Errorf("wire: nil cipher tensor")
 	}
-	e.u8(byte(ct.Layout))
+	// The layout byte carries the complex-packing flag in its high bit, so
+	// the frame format (and every real-packed frame) is unchanged.
+	lb := byte(ct.Layout)
+	if ct.Complex {
+		lb |= tensorComplexFlag
+	}
+	e.u8(lb)
 	// B is normalized on encode (0 and 1 both mean unbatched), so the wire
 	// form of a legacy tensor and an explicit batch-1 tensor is identical.
 	b := ct.B
@@ -56,7 +66,9 @@ func encodeCipherTensor(e *enc, ct *htc.CipherTensor) error {
 // decodeCipherTensor parses what encodeCipherTensor wrote, validating every
 // metadata field against the caps above.
 func decodeCipherTensor(d *dec) (*htc.CipherTensor, error) {
-	layout := d.u8()
+	lb := d.u8()
+	layout := lb &^ tensorComplexFlag
+	cplx := lb&tensorComplexFlag != 0
 	var dims [10]int
 	for i := range dims {
 		dims[i] = d.i64()
@@ -100,7 +112,8 @@ func decodeCipherTensor(d *dec) (*htc.CipherTensor, error) {
 		Offset: offset, RowStride: rowS, ColStride: colS,
 		ChanStride: chanS, CPerCT: cPerCT,
 		B: batch, BatchStride: batchS,
-		CTs: make([]hisa.Ciphertext, 0, n),
+		Complex: cplx,
+		CTs:     make([]hisa.Ciphertext, 0, n),
 	}
 	for i := 0; i < n; i++ {
 		blob := d.blob()

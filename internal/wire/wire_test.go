@@ -180,6 +180,64 @@ func TestCipherTensorRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCipherTensorComplexRoundTrip: the complex-packing marker rides the
+// layout byte's high bit and the batch geometry rides two metadata ints, so
+// a complex-packed batched tensor must come back with Complex, B, and
+// BatchStride intact — and a real-packed tensor must stay unflagged.
+func TestCipherTensorComplexRoundTrip(t *testing.T) {
+	b := testBackend(t)
+	enc := func(vals []float64) hisa.Ciphertext {
+		return b.Encrypt(b.Encode(vals, 1<<25))
+	}
+	ct := &htc.CipherTensor{
+		Layout: htc.LayoutCHW, C: 1, H: 2, W: 2,
+		RowStride: 2, ColStride: 1, CPerCT: 1,
+		B: 2, BatchStride: 8, Complex: true,
+		CTs: []hisa.Ciphertext{enc([]float64{1, 2, 3, 4})},
+	}
+	data, err := EncodeCipherTensor(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCipherTensor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Complex {
+		t.Fatal("Complex flag lost in round trip")
+	}
+	if got.B != 2 || got.BatchStride != 8 {
+		t.Fatalf("batch geometry lost: B=%d BatchStride=%d", got.B, got.BatchStride)
+	}
+	if got.Layout != htc.LayoutCHW {
+		t.Fatalf("layout corrupted by the flag bit: %v", got.Layout)
+	}
+	if err := got.Validate(b.Slots()); err != nil {
+		t.Fatalf("decoded tensor does not validate: %v", err)
+	}
+	want := b.Decode(b.Decrypt(ct.CTs[0]))
+	have := b.Decode(b.Decrypt(got.CTs[0]))
+	for j := range want {
+		if want[j] != have[j] {
+			t.Fatalf("slot %d differs after round trip", j)
+		}
+	}
+
+	// A real-packed tensor must not grow the flag.
+	ct.Complex = false
+	data, err = EncodeCipherTensor(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeCipherTensor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Complex {
+		t.Fatal("real-packed tensor decoded as complex")
+	}
+}
+
 func TestCipherTensorRejectsBadMetadata(t *testing.T) {
 	b := testBackend(t)
 	good := &htc.CipherTensor{
