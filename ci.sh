@@ -29,8 +29,17 @@ go test -run=TestObservabilityEndpoints ./cmd/chet-serve
 echo "== fuzz smoke (wire decoders are total over adversarial bytes)"
 go test -fuzz=FuzzWireFrame -fuzztime=5s ./internal/wire
 
-echo "== bench smoke (lazy-reduction NTT kernels compile and run)"
-go test -run=NONE -bench=NTT -benchtime=1x ./internal/ring
+echo "== ring alloc gate (pooled arena kernels stay at 0 allocs/op)"
+go test -run=TestRingKernelAllocs -count=1 ./internal/ring
+
+echo "== bench smoke (ring kernels compile and run; -benchmem shows the alloc contract)"
+go test -run=NONE -bench=. -benchtime=1x -benchmem ./internal/ring
+
+echo "== bench smoke (ring rewrite: fused key-switch protocol on a tiny ring)"
+go test -run=TestRingBenchSmoke ./internal/bench
+
+echo "== chet-bench ring smoke (production parameters, no artifact write)"
+go run ./cmd/chet-bench -exp ring -ringout ""
 
 echo "== bench smoke (served batching throughput sweeps a tiny instance)"
 go test -run=TestBatchingBenchSmoke ./internal/bench

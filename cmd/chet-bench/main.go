@@ -49,6 +49,12 @@ type benchConfig struct {
 	rotPrimes  int
 	rotAmounts int
 	benchOut   string
+	// ringLogN/ringPrimes size the ring-rewrite experiment (fused
+	// rescale-into-key-switch, blocked NTT, pooled arena); ringOut is its
+	// JSON path ("" disables).
+	ringLogN   int
+	ringPrimes int
+	ringOut    string
 	// batchSizes and batchMinLogN/batchMaxLogN size the served-batching
 	// throughput experiment; batchOut is its JSON path ("" disables).
 	batchSizes                 []int
@@ -84,6 +90,9 @@ func defaultConfig() benchConfig {
 		rotPrimes:    5,
 		rotAmounts:   8,
 		benchOut:     "BENCH_rotations.json",
+		ringLogN:     12,
+		ringPrimes:   5,
+		ringOut:      "BENCH_ring.json",
 		batchSizes:   []int{1, 2, 4, 8, 16},
 		batchMinLogN: 11,
 		batchMaxLogN: 13,
@@ -201,6 +210,22 @@ func experiments(cfg benchConfig) []experiment {
 			fmt.Fprintf(w, "wrote %s\n", cfg.benchOut)
 			return nil
 		}},
+		{"ring", func(w io.Writer) error {
+			res, err := bench.RingBench(cfg.ringLogN, cfg.ringPrimes, cfg.workers)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderRing(res))
+			fmt.Fprintln(w, "fused path folds the rescale correction into the key-switch mod-P pass (see DESIGN.md)")
+			if cfg.ringOut == "" {
+				return nil
+			}
+			if err := bench.WriteStampedJSON(cfg.ringOut, res); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", cfg.ringOut)
+			return nil
+		}},
 		{"batching", func(w io.Writer) error {
 			res, err := bench.BatchingBench(nn.LeNetTiny(), cfg.batchSizes, cfg.batchMinLogN, cfg.batchMaxLogN)
 			if err != nil {
@@ -294,7 +319,7 @@ func runExperiments(w io.Writer, want string, cfg benchConfig) error {
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, batching, packing, telemetry, or all")
+		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, ring, batching, packing, telemetry, or all")
 	full := flag.Bool("full", false,
 		"use all five evaluation networks (slower analysis sweeps; fig6 always uses the small set)")
 	scaleSearch := flag.Bool("scalesearch", false,
@@ -303,6 +328,8 @@ func main() {
 		"worker-pool size for the parallel experiment (default: one per CPU)")
 	benchOut := flag.String("benchout", "BENCH_rotations.json",
 		"output path for the rotations experiment JSON (empty disables)")
+	ringOut := flag.String("ringout", "BENCH_ring.json",
+		"output path for the ring-rewrite experiment JSON (empty disables)")
 	batchOut := flag.String("batchout", "BENCH_batching.json",
 		"output path for the batching experiment JSON (empty disables)")
 	telemetryOut := flag.String("telemetryout", "BENCH_telemetry.json",
@@ -319,6 +346,7 @@ func main() {
 	cfg.scaleSearch = *scaleSearch
 	cfg.workers = *workers
 	cfg.benchOut = *benchOut
+	cfg.ringOut = *ringOut
 	cfg.batchOut = *batchOut
 	cfg.telemetryOut = *telemetryOut
 	cfg.telemetryBudgetPct = *budget

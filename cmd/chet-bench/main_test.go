@@ -20,6 +20,9 @@ func tinyConfig() benchConfig {
 		rotPrimes:    4,
 		rotAmounts:   8,
 		benchOut:     "", // keep the smoke test from writing files
+		ringLogN:     11,
+		ringPrimes:   4,
+		ringOut:      "",
 		batchSizes:   []int{1, 2},
 		batchMinLogN: 11,
 		batchMaxLogN: 12,
@@ -47,7 +50,7 @@ func tinyConfig() benchConfig {
 // and requires non-empty rendered output.
 func TestRunExperimentsSmoke(t *testing.T) {
 	cfg := tinyConfig()
-	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "batching": true, "telemetry": true, "packing": true}
+	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "ring": true, "batching": true, "telemetry": true, "packing": true}
 	for _, e := range experiments(cfg) {
 		t.Run(e.name, func(t *testing.T) {
 			if testing.Short() && slow[e.name] {

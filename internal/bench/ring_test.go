@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+// TestRingBenchSmoke runs the ring-rewrite experiment on a tiny insecure
+// ring and checks the result is fully populated and internally consistent.
+func TestRingBenchSmoke(t *testing.T) {
+	res, err := RingBench(10, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogN != 10 || res.Primes != 4 || res.Level != 3 {
+		t.Fatalf("geometry: %+v", res)
+	}
+	for name, v := range map[string]float64{
+		"greedy":       res.GreedyNSOp,
+		"unfused":      res.UnfusedNSOp,
+		"fused":        res.FusedNSOp,
+		"ntt serial":   res.NTTSerialNS,
+		"ntt parallel": res.NTTParallelNS,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s timing not populated: %v", name, v)
+		}
+	}
+	if res.KeySwitchSpeedup != res.BaselineGreedyNSOp/res.FusedNSOp {
+		t.Fatalf("key-switch speedup inconsistent: %v", res)
+	}
+	// The pooled kernels must be allocation-free in steady state (the exact
+	// gate is ring.TestRingKernelAllocs; this catches gross regressions that
+	// would invalidate the experiment's premise).
+	if res.HotPathAllocs > 4 {
+		t.Fatalf("hot ring kernels allocate %.1f mallocs/op", res.HotPathAllocs)
+	}
+	if len(res.TopSpansUnfused) == 0 || len(res.TopSpansFused) == 0 {
+		t.Fatal("top spans not populated")
+	}
+	if out := RenderRing(res); out == "" {
+		t.Fatal("empty render")
+	}
+
+	if _, err := RingBench(10, 2, 1); err == nil {
+		t.Fatal("expected an error for a 2-prime chain")
+	}
+}

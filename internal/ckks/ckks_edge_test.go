@@ -63,13 +63,16 @@ func TestScalarResiduesBigPathMatchesSmallPath(t *testing.T) {
 	// Values where both paths apply: verify consistency at the boundary by
 	// scaling the same x with a factor that splits across the 2^62 limit.
 	x := 0.7310581
-	small := scalarResidues(x, math.Exp2(50), r, level)
-	bigP := scalarResidues(x*math.Exp2(50), 1, r, level) // forces value via rounding in float64
+	small := make([]uint64, level+1)
+	scalarResiduesInto(small, x, math.Exp2(50), r, level)
+	bigP := make([]uint64, level+1)
+	scalarResiduesInto(bigP, x*math.Exp2(50), 1, r, level) // forces value via rounding in float64
 	_ = bigP
 
 	// Direct check of the big path: round(x*2^70) mod q must equal
 	// (round(x*2^20) * 2^50) mod q up to the float64 rounding of x*2^20.
-	big70 := scalarResidues(x, math.Exp2(70), r, level)
+	big70 := make([]uint64, level+1)
+	scalarResiduesInto(big70, x, math.Exp2(70), r, level)
 	for i := range big70 {
 		q := r.Moduli[i].Q
 		if big70[i] >= q {

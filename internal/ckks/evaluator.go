@@ -26,10 +26,10 @@ type Evaluator struct {
 	// never share a buffer.
 	scratch *sync.Pool
 
-	// accPool pools full-level polys used as key-switch accumulators and
-	// hoisted-decomposition digits. Leased polys may carry stale data; the
-	// borrower initializes the rows it touches.
-	accPool *sync.Pool
+	// workers bounds intra-op parallelism (hoisted decomposition digits and
+	// key-switch inner-product rows are partitioned across this many
+	// goroutines). 0 or 1 means serial; set via SetIntraOpWorkers.
+	workers int
 
 	// keyShoup caches Shoup forms of switching-key digit rows, keyed by
 	// *SwitchingKey. Shared across ShallowCopy so the forms are computed
@@ -62,12 +62,17 @@ func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKey
 		scratch: &sync.Pool{New: func() any {
 			return make([]uint64, n)
 		}},
-		accPool: &sync.Pool{New: func() any {
-			return r.NewPoly(r.MaxLevel())
-		}},
 		keyShoup: &sync.Map{},
 		monoI:    mono,
 	}
+}
+
+// SetIntraOpWorkers sets how many goroutines a single operation may use for
+// its decomposition and inner-product loops. Values <= 1 select the serial
+// path. Returns the evaluator for chaining.
+func (ev *Evaluator) SetIntraOpWorkers(w int) *Evaluator {
+	ev.workers = w
+	return ev
 }
 
 // ShallowCopy returns an evaluator that shares this evaluator's keys,
@@ -78,6 +83,7 @@ func NewEvaluator(params *Parameters, rlk *RelinearizationKey, rtks *RotationKey
 func (ev *Evaluator) ShallowCopy() *Evaluator {
 	cp := NewEvaluator(ev.params, ev.rlk, ev.rtks)
 	cp.keyShoup = ev.keyShoup
+	cp.workers = ev.workers
 	return cp
 }
 
@@ -85,10 +91,60 @@ func (ev *Evaluator) ShallowCopy() *Evaluator {
 func (ev *Evaluator) getRow() []uint64  { return ev.scratch.Get().([]uint64) }
 func (ev *Evaluator) putRow(r []uint64) { ev.scratch.Put(r) }
 
-// getAcc leases a full-level scratch poly (contents undefined); putAcc
-// returns it.
-func (ev *Evaluator) getAcc() *ring.Poly  { return ev.accPool.Get().(*ring.Poly) }
-func (ev *Evaluator) putAcc(p *ring.Poly) { ev.accPool.Put(p) }
+// getAcc leases a full-height scratch poly from the ring arena (contents
+// undefined); putAcc returns it. Full height covers the extended key-switch
+// basis {q_0..q_L, P}, so one pool serves accumulators and digits at every
+// level.
+func (ev *Evaluator) getAcc() *ring.Poly {
+	r := ev.params.Ring()
+	return r.GetPoly(r.MaxLevel())
+}
+func (ev *Evaluator) putAcc(p *ring.Poly) { ev.params.Ring().PutPoly(p) }
+
+// forEach partitions [0, count) across the evaluator's intra-op workers.
+// With workers <= 1 (the default) it is a plain loop; the parallel split is
+// a stride partition, so iteration order within a worker is ascending and
+// results are bit-identical to serial as long as iterations are independent.
+func (ev *Evaluator) forEach(count int, fn func(i int)) {
+	w := ev.workers
+	if w > count {
+		w = count
+	}
+	if w <= 1 {
+		for i := 0; i < count; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for t := 0; t < w; t++ {
+		go func(t int) {
+			defer wg.Done()
+			for i := t; i < count; i += w {
+				fn(i)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// Recycle returns ct's limb storage to the ring arena and clears the
+// ciphertext. Use it on hot paths (benchmark loops, kernel temporaries) once
+// a ciphertext is dead; the next operation at the same level reuses the
+// buffers instead of allocating. The ciphertext — and any alias of its
+// component polys — must not be used afterwards. Recycling is always
+// optional: unrecycled ciphertexts are reclaimed by the GC.
+func (ev *Evaluator) Recycle(ct *Ciphertext) {
+	if ct == nil {
+		return
+	}
+	r := ev.params.Ring()
+	r.PutPoly(ct.C0)
+	r.PutPoly(ct.C1)
+	r.PutPoly(ct.C2)
+	ct.C0, ct.C1, ct.C2 = nil, nil, nil
+}
 
 // Params returns the evaluator's parameter set.
 func (ev *Evaluator) Params() *Parameters { return ev.params }
@@ -99,8 +155,27 @@ func sameScale(a, b float64) bool {
 	return math.Abs(a-b) <= scaleTolerance*math.Max(math.Abs(a), math.Abs(b))
 }
 
-// alignLevels drops copies of a and b to a common level and returns them
-// along with that level. The inputs are not modified.
+// leaseAt leases an arena-backed copy of src truncated to the given level.
+// Only rows 0..level are copied — a level drop never pays for rows it is
+// about to discard. Pair with releaseAligned/Recycle.
+func (ev *Evaluator) leaseAt(src *Ciphertext, level int) *Ciphertext {
+	r := ev.params.Ring()
+	out := &Ciphertext{C0: r.GetPoly(level), C1: r.GetPoly(level), Scale: src.Scale, Lvl: level}
+	out.C0.CopyLevel(src.C0, level)
+	out.C1.CopyLevel(src.C1, level)
+	if src.C2 != nil {
+		out.C2 = r.GetPoly(level)
+		out.C2.CopyLevel(src.C2, level)
+	}
+	return out
+}
+
+// copyCt leases an arena-backed copy of ct at its own level.
+func (ev *Evaluator) copyCt(ct *Ciphertext) *Ciphertext { return ev.leaseAt(ct, ct.Lvl) }
+
+// alignLevels brings a and b to a common level, leasing truncated arena
+// copies for whichever input sits higher. The inputs are never modified.
+// Callers must hand the pair to releaseAligned when done.
 func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext, int) {
 	level := a.Lvl
 	if b.Lvl < level {
@@ -108,14 +183,23 @@ func (ev *Evaluator) alignLevels(a, b *Ciphertext) (*Ciphertext, *Ciphertext, in
 	}
 	ac, bc := a, b
 	if a.Lvl > level {
-		ac = a.CopyNew()
-		dropPolys(ac, level)
+		ac = ev.leaseAt(a, level)
 	}
 	if b.Lvl > level {
-		bc = b.CopyNew()
-		dropPolys(bc, level)
+		bc = ev.leaseAt(b, level)
 	}
 	return ac, bc, level
+}
+
+// releaseAligned recycles the copies alignLevels leased (a no-op for inputs
+// that were already at the common level and passed through).
+func (ev *Evaluator) releaseAligned(a, ac, b, bc *Ciphertext) {
+	if ac != a {
+		ev.Recycle(ac)
+	}
+	if bc != b {
+		ev.Recycle(bc)
+	}
 }
 
 // dropPolys truncates every component of ct to level in place.
@@ -149,20 +233,21 @@ func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
 	}
 	ac, bc, level := ev.alignLevels(a, b)
 	r := ev.params.Ring()
-	out := &Ciphertext{C0: r.NewPoly(level), C1: r.NewPoly(level), Scale: ac.Scale, Lvl: level}
+	out := &Ciphertext{C0: r.GetPoly(level), C1: r.GetPoly(level), Scale: ac.Scale, Lvl: level}
 	r.Add(ac.C0, bc.C0, out.C0, level)
 	r.Add(ac.C1, bc.C1, out.C1, level)
 	if ac.C2 != nil || bc.C2 != nil {
+		out.C2 = r.GetPoly(level)
 		switch {
 		case bc.C2 == nil:
-			out.C2 = ac.C2.CopyNew()
+			out.C2.CopyLevel(ac.C2, level)
 		case ac.C2 == nil:
-			out.C2 = bc.C2.CopyNew()
+			out.C2.CopyLevel(bc.C2, level)
 		default:
-			out.C2 = r.NewPoly(level)
 			r.Add(ac.C2, bc.C2, out.C2, level)
 		}
 	}
+	ev.releaseAligned(a, ac, b, bc)
 	return out
 }
 
@@ -173,20 +258,22 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
 	}
 	ac, bc, level := ev.alignLevels(a, b)
 	r := ev.params.Ring()
-	out := &Ciphertext{C0: r.NewPoly(level), C1: r.NewPoly(level), Scale: ac.Scale, Lvl: level}
+	out := &Ciphertext{C0: r.GetPoly(level), C1: r.GetPoly(level), Scale: ac.Scale, Lvl: level}
 	r.Sub(ac.C0, bc.C0, out.C0, level)
 	r.Sub(ac.C1, bc.C1, out.C1, level)
 	switch {
 	case ac.C2 == nil && bc.C2 == nil:
 	case bc.C2 == nil:
-		out.C2 = ac.C2.CopyNew()
+		out.C2 = r.GetPoly(level)
+		out.C2.CopyLevel(ac.C2, level)
 	case ac.C2 == nil:
-		out.C2 = r.NewPoly(level)
+		out.C2 = r.GetPolyZero(level)
 		r.Sub(out.C2, bc.C2, out.C2, level)
 	default:
-		out.C2 = r.NewPoly(level)
+		out.C2 = r.GetPoly(level)
 		r.Sub(ac.C2, bc.C2, out.C2, level)
 	}
+	ev.releaseAligned(a, ac, b, bc)
 	return out
 }
 
@@ -201,7 +288,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	}
 	r := ev.params.Ring()
 	level := ct.Lvl
-	out := ct.CopyNew()
+	out := ev.copyCt(ct)
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i].Q
 		ro, rp := out.C0.Coeffs[i], pt.Value.Coeffs[i]
@@ -222,7 +309,7 @@ func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	}
 	r := ev.params.Ring()
 	level := ct.Lvl
-	out := ct.CopyNew()
+	out := ev.copyCt(ct)
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i].Q
 		ro, rp := out.C0.Coeffs[i], pt.Value.Coeffs[i]
@@ -240,8 +327,10 @@ func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 func (ev *Evaluator) AddScalar(ct *Ciphertext, x float64) *Ciphertext {
 	r := ev.params.Ring()
 	level := ct.Lvl
-	out := ct.CopyNew()
-	residues := scalarResidues(x, ct.Scale, r, level)
+	out := ev.copyCt(ct)
+	residues := ev.getRow()
+	defer ev.putRow(residues)
+	scalarResiduesInto(residues, x, ct.Scale, r, level)
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i].Q
 		cq := residues[i]
@@ -268,9 +357,13 @@ func (ev *Evaluator) AddScalarC(ct *Ciphertext, z complex128) *Ciphertext {
 	}
 	r := ev.params.Ring()
 	level := ct.Lvl
-	out := ct.CopyNew()
-	reRes := scalarResidues(real(z), ct.Scale, r, level)
-	imRes := scalarResidues(imag(z), ct.Scale, r, level)
+	out := ev.copyCt(ct)
+	reRes := ev.getRow()
+	imRes := ev.getRow()
+	defer ev.putRow(reRes)
+	defer ev.putRow(imRes)
+	scalarResiduesInto(reRes, real(z), ct.Scale, r, level)
+	scalarResiduesInto(imRes, imag(z), ct.Scale, r, level)
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i].Q
 		ra, rb := reRes[i], imRes[i]
@@ -284,10 +377,10 @@ func (ev *Evaluator) AddScalarC(ct *Ciphertext, z complex128) *Ciphertext {
 	return out
 }
 
-// scalarResidues returns round(x*scale) mod q_i for i <= level, using
-// int64 arithmetic when the constant fits and big integers otherwise.
-func scalarResidues(x, scale float64, r *ring.Ring, level int) []uint64 {
-	out := make([]uint64, level+1)
+// scalarResiduesInto writes round(x*scale) mod q_i into out[i] for
+// i <= level, using int64 arithmetic when the constant fits and big integers
+// otherwise. out must have at least level+1 entries; scratch rows qualify.
+func scalarResiduesInto(out []uint64, x, scale float64, r *ring.Ring, level int) {
 	c := math.Round(x * scale)
 	if math.Abs(c) < (1 << 62) {
 		ci := int64(c)
@@ -299,7 +392,7 @@ func scalarResidues(x, scale float64, r *ring.Ring, level int) []uint64 {
 				out[i] = (q - uint64(-ci)%q) % q
 			}
 		}
-		return out
+		return
 	}
 	bf := new(big.Float).SetPrec(256).SetFloat64(x)
 	bf.Mul(bf, new(big.Float).SetPrec(256).SetFloat64(scale))
@@ -309,7 +402,6 @@ func scalarResidues(x, scale float64, r *ring.Ring, level int) []uint64 {
 		q := new(big.Int).SetUint64(r.Moduli[i].Q)
 		out[i] = tmp.Mod(bi, q).Uint64()
 	}
-	return out
 }
 
 // MulPlain returns ct * pt (slotwise). The result scale is the product of
@@ -321,15 +413,15 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	r := ev.params.Ring()
 	level := ct.Lvl
 	out := &Ciphertext{
-		C0:    r.NewPoly(level),
-		C1:    r.NewPoly(level),
+		C0:    r.GetPoly(level),
+		C1:    r.GetPoly(level),
 		Scale: ct.Scale * pt.Scale,
 		Lvl:   level,
 	}
 	r.MulCoeffs(ct.C0, pt.Value, out.C0, level)
 	r.MulCoeffs(ct.C1, pt.Value, out.C1, level)
 	if ct.C2 != nil {
-		out.C2 = r.NewPoly(level)
+		out.C2 = r.GetPoly(level)
 		r.MulCoeffs(ct.C2, pt.Value, out.C2, level)
 	}
 	return out
@@ -344,22 +436,24 @@ func (ev *Evaluator) MulScalar(ct *Ciphertext, x float64, f float64) *Ciphertext
 	// moves. The complex-packing kernels lean on this — their /4 corrections
 	// multiply by 0.25 at factor 4, which encodes as exactly 1.
 	if math.Round(x*f) == 1 {
-		out := ct.CopyNew()
+		out := ev.copyCt(ct)
 		out.Scale = ct.Scale * f
 		return out
 	}
 	r := ev.params.Ring()
 	level := ct.Lvl
 	out := &Ciphertext{
-		C0:    r.NewPoly(level),
-		C1:    r.NewPoly(level),
+		C0:    r.GetPoly(level),
+		C1:    r.GetPoly(level),
 		Scale: ct.Scale * f,
 		Lvl:   level,
 	}
 	if ct.C2 != nil {
-		out.C2 = r.NewPoly(level)
+		out.C2 = r.GetPoly(level)
 	}
-	residues := scalarResidues(x, f, r, level)
+	residues := ev.getRow()
+	defer ev.putRow(residues)
+	scalarResiduesInto(residues, x, f, r, level)
 	for i := 0; i <= level; i++ {
 		q := r.Moduli[i].Q
 		cq := residues[i]
@@ -389,15 +483,15 @@ func (ev *Evaluator) MulByI(ct *Ciphertext) *Ciphertext {
 	r := ev.params.Ring()
 	level := ct.Lvl
 	out := &Ciphertext{
-		C0:    r.NewPoly(level),
-		C1:    r.NewPoly(level),
+		C0:    r.GetPoly(level),
+		C1:    r.GetPoly(level),
 		Scale: ct.Scale,
 		Lvl:   level,
 	}
 	r.MulCoeffs(ct.C0, ev.monoI, out.C0, level)
 	r.MulCoeffs(ct.C1, ev.monoI, out.C1, level)
 	if ct.C2 != nil {
-		out.C2 = r.NewPoly(level)
+		out.C2 = r.GetPoly(level)
 		r.MulCoeffs(ct.C2, ev.monoI, out.C2, level)
 	}
 	return out
@@ -422,15 +516,17 @@ func (ev *Evaluator) MulNoRelin(a, b *Ciphertext) *Ciphertext {
 	ac, bc, level := ev.alignLevels(a, b)
 	r := ev.params.Ring()
 
-	d0 := r.NewPoly(level)
-	d1 := r.NewPoly(level)
-	d2 := r.NewPoly(level)
+	d0 := r.GetPoly(level)
+	d1 := r.GetPoly(level)
+	d2 := r.GetPoly(level)
 	r.MulCoeffs(ac.C0, bc.C0, d0, level)
 	r.MulCoeffs(ac.C0, bc.C1, d1, level)
 	r.MulCoeffsAndAdd(ac.C1, bc.C0, d1, level)
 	r.MulCoeffs(ac.C1, bc.C1, d2, level)
 
-	return &Ciphertext{C0: d0, C1: d1, C2: d2, Scale: ac.Scale * bc.Scale, Lvl: level}
+	scale := ac.Scale * bc.Scale
+	ev.releaseAligned(a, ac, b, bc)
+	return &Ciphertext{C0: d0, C1: d1, C2: d2, Scale: scale, Lvl: level}
 }
 
 // Relinearize key-switches a degree-2 ciphertext's C2 component back into
@@ -447,8 +543,8 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) *Ciphertext {
 	dec := ev.hoistedDecompose(ct.C2, level)
 	e0, e1 := ev.keySwitchFromDecomp(dec, nil, ev.rlk.Key)
 	dec.Release()
-	d0 := r.NewPoly(level)
-	d1 := r.NewPoly(level)
+	d0 := r.GetPoly(level)
+	d1 := r.GetPoly(level)
 	r.Add(ct.C0, e0, d0, level)
 	r.Add(ct.C1, e1, d1, level)
 	ev.putAcc(e0)
@@ -463,7 +559,7 @@ func (ev *Evaluator) RotateLeft(ct *Ciphertext, k int) *Ciphertext {
 	slots := ev.params.Slots()
 	k = ((k % slots) + slots) % slots
 	if k == 0 {
-		return ct.CopyNew()
+		return ev.copyCt(ct)
 	}
 	galEl := ev.params.Ring().GaloisElementForRotation(k)
 	return ev.applyGalois(ct, galEl)
@@ -545,13 +641,17 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) {
 	n := r.N
 
 	tmp := ev.getRow()
+	top := ev.getRow()
 	defer ev.putRow(tmp)
-	polys := []*ring.Poly{ct.C0, ct.C1}
-	if ct.C2 != nil {
-		polys = append(polys, ct.C2)
-	}
+	defer ev.putRow(top)
+	qInvRow := ev.params.rescaleQInv[level]
+	qInvSRow := ev.params.rescaleQInvShoup[level]
+	polys := [3]*ring.Poly{ct.C0, ct.C1, ct.C2}
 	for _, c := range polys {
-		top := append([]uint64(nil), c.Coeffs[level]...)
+		if c == nil {
+			continue
+		}
+		copy(top, c.Coeffs[level])
 		r.InvNTTSingle(level, top)
 		for j := 0; j < level; j++ {
 			qj := r.Moduli[j].Q
@@ -564,8 +664,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) {
 				}
 			}
 			r.NTTSingle(j, tmp)
-			qInv := ring.InvMod(qTop%qj, qj)
-			qInvS := ring.MForm(qInv, qj)
+			qInv, qInvS := qInvRow[j], qInvSRow[j]
 			rowJ := c.Coeffs[j]
 			for k := 0; k < n; k++ {
 				rowJ[k] = ring.MulModShoup(ring.SubMod(rowJ[k], tmp[k], qj), qInv, qInvS, qj)

@@ -57,35 +57,42 @@ func (ev *Evaluator) hoistedDecompose(c2 *ring.Poly, level int) *HoistedDecompos
 	params := ev.params
 	r := params.Ring()
 	rows := params.ksRows(level)
-	n := r.N
 
 	// Inverse NTT of c2 into scratch; the input is never mutated.
 	coef := ev.getAcc()
-	for i := 0; i <= level; i++ {
+	ev.forEach(level+1, func(i int) {
 		copy(coef.Coeffs[i], c2.Coeffs[i])
 		r.InvNTTSingle(i, coef.Coeffs[i])
-	}
+	})
 
 	dec := &HoistedDecomposition{level: level, ev: ev, digits: make([]*ring.Poly, level+1)}
-	for i := 0; i <= level; i++ {
+	ev.forEach(level+1, func(i int) {
 		d := ev.getAcc()
-		digits := coef.Coeffs[i] // residues in [0, q_i)
-		for _, j := range rows {
-			row := d.Coeffs[j]
-			if j == i {
-				copy(row, digits)
-			} else {
-				qj := r.Moduli[j].Q
-				for k := 0; k < n; k++ {
-					row[k] = digits[k] % qj
-				}
-			}
-			r.NTTSingle(j, row)
-		}
+		ev.spreadDigit(coef.Coeffs[i], i, rows, d)
 		dec.digits[i] = d
-	}
+	})
 	ev.putAcc(coef)
 	return dec
+}
+
+// spreadDigit builds one extended-basis NTT digit: it spreads digit i's
+// coefficient-domain residues (in [0, q_i)) across the given basis rows of d
+// and transforms each row forward.
+func (ev *Evaluator) spreadDigit(digits []uint64, i int, rows []int, d *ring.Poly) {
+	r := ev.params.Ring()
+	n := r.N
+	for _, j := range rows {
+		row := d.Coeffs[j]
+		if j == i {
+			copy(row, digits)
+		} else {
+			qj := r.Moduli[j].Q
+			for k := 0; k < n; k++ {
+				row[k] = digits[k] % qj
+			}
+		}
+		r.NTTSingle(j, row)
+	}
 }
 
 // RotateHoisted rotates ct left by every amount in ks, sharing one digit
@@ -99,7 +106,7 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, ks []int) []*Ciphertext {
 	for idx, k := range ks {
 		kk := ((k % slots) + slots) % slots
 		if kk == 0 {
-			outs[idx] = ct.CopyNew()
+			outs[idx] = ev.copyCt(ct)
 			continue
 		}
 		if dec == nil {
@@ -120,7 +127,7 @@ func (ev *Evaluator) RotateLeftHoisted(ct *Ciphertext, dec *HoistedDecomposition
 	slots := ev.params.Slots()
 	k = ((k % slots) + slots) % slots
 	if k == 0 {
-		return ct.CopyNew()
+		return ev.copyCt(ct)
 	}
 	return ev.applyGaloisHoisted(ct, dec, ev.params.Ring().GaloisElementForRotation(k))
 }
@@ -142,14 +149,12 @@ func (ev *Evaluator) applyGaloisHoisted(ct *Ciphertext, dec *HoistedDecompositio
 	perm := r.NTTPermutation(galEl)
 	e0, e1 := ev.keySwitchFromDecomp(dec, perm, swk)
 
-	rc0 := r.NewPoly(level)
+	rc0 := r.GetPoly(level)
 	r.AutomorphismNTT(ct.C0, galEl, rc0, level)
 	r.Add(rc0, e0, rc0, level)
 
-	c1 := r.NewPoly(level)
-	for j := 0; j <= level; j++ {
-		copy(c1.Coeffs[j], e1.Coeffs[j])
-	}
+	c1 := r.GetPoly(level)
+	c1.CopyLevel(e1, level)
 	ev.putAcc(e0)
 	ev.putAcc(e1)
 	return &Ciphertext{C0: rc0, C1: c1, Scale: ct.Scale, Lvl: level}
@@ -163,6 +168,20 @@ func (ev *Evaluator) applyGaloisHoisted(ct *Ciphertext, dec *HoistedDecompositio
 // from the evaluator's accumulator pool — rows 0..level are valid — and
 // must be handed back with putAcc once folded into their destination.
 func (ev *Evaluator) keySwitchFromDecomp(dec *HoistedDecomposition, perm []int, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	acc0, acc1 := ev.ksInnerProduct(dec, perm, swk)
+	ev.modDownByP(acc0, dec.level)
+	ev.modDownByP(acc1, dec.level)
+	return acc0, acc1
+}
+
+// ksInnerProduct is the inner product alone, without the division by P: the
+// returned accumulators still carry the special-prime row. The fused
+// rescale-into-key-switch output pass consumes them directly; everything
+// else goes through keySwitchFromDecomp. The loop is row-major — each
+// extended-basis row accumulates over all digits independently — so rows
+// partition cleanly across intra-op workers while keeping the per-row
+// accumulation order (digits ascending) identical to serial.
+func (ev *Evaluator) ksInnerProduct(dec *HoistedDecomposition, perm []int, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
 	params := ev.params
 	r := params.Ring()
 	level := dec.level
@@ -171,16 +190,13 @@ func (ev *Evaluator) keySwitchFromDecomp(dec *HoistedDecomposition, perm []int, 
 
 	acc0 := ev.getAcc()
 	acc1 := ev.getAcc()
-	for _, j := range rows {
+	ev.forEach(len(rows), func(ri int) {
+		j := rows[ri]
+		q := r.Moduli[j].Q
 		zeroRow(acc0.Coeffs[j])
 		zeroRow(acc1.Coeffs[j])
-	}
-
-	for i := 0; i <= level; i++ {
-		d := dec.digits[i]
-		for _, j := range rows {
-			q := r.Moduli[j].Q
-			x := d.Coeffs[j]
+		for i := 0; i <= level; i++ {
+			x := dec.digits[i].Coeffs[j]
 			b, bs := swk.B[i].Coeffs[j], sh.BS[i].Coeffs[j]
 			a, as := swk.A[i].Coeffs[j], sh.AS[i].Coeffs[j]
 			if perm == nil {
@@ -191,15 +207,9 @@ func (ev *Evaluator) keySwitchFromDecomp(dec *HoistedDecomposition, perm []int, 
 				ring.VecMulAddShoupLazyPerm(acc1.Coeffs[j], x, perm, a, as, q)
 			}
 		}
-	}
-	for _, j := range rows {
-		q := r.Moduli[j].Q
 		ring.VecReduceLazy(acc0.Coeffs[j], q)
 		ring.VecReduceLazy(acc1.Coeffs[j], q)
-	}
-
-	ev.modDownByP(acc0, level)
-	ev.modDownByP(acc1, level)
+	})
 	return acc0, acc1
 }
 
@@ -235,15 +245,17 @@ func (ev *Evaluator) shoupFor(swk *SwitchingKey) *swkShoup {
 	return v.(*swkShoup)
 }
 
+// shoupPoly precomputes the Shoup form of every row of p into a contiguous
+// poly, so the inner product streams key rows from adjacent memory. Built
+// once per key; never pooled.
 func shoupPoly(r *ring.Ring, p *ring.Poly) *ring.Poly {
-	out := &ring.Poly{Coeffs: make([][]uint64, len(p.Coeffs))}
+	out := r.NewPoly(len(p.Coeffs) - 1)
 	for j := range p.Coeffs {
 		q := r.Moduli[j].Q
-		row := make([]uint64, len(p.Coeffs[j]))
+		row := out.Coeffs[j]
 		for k, v := range p.Coeffs[j] {
 			row[k] = ring.MForm(v, q)
 		}
-		out.Coeffs[j] = row
 	}
 	return out
 }

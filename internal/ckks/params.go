@@ -30,6 +30,12 @@ type Parameters struct {
 	pInvModQ      []uint64
 	pInvModQShoup []uint64
 	ksRowsByLevel [][]int
+
+	// Rescale invariants: (q_level mod q_j)^{-1} mod q_j for j < level,
+	// plain and Shoup form, so dividing by a chain prime never computes a
+	// modular inverse on the hot path.
+	rescaleQInv      [][]uint64
+	rescaleQInvShoup [][]uint64
 }
 
 // ParametersLiteral is the user-facing description of a parameter set.
@@ -131,6 +137,19 @@ func (p *Parameters) precomputeKeySwitch() {
 			rows = append(rows, j)
 		}
 		p.ksRowsByLevel[level] = append(rows, pIdx)
+	}
+	p.rescaleQInv = make([][]uint64, len(p.qChain))
+	p.rescaleQInvShoup = make([][]uint64, len(p.qChain))
+	for level := 1; level < len(p.qChain); level++ {
+		qTop := p.qChain[level]
+		p.rescaleQInv[level] = make([]uint64, level)
+		p.rescaleQInvShoup[level] = make([]uint64, level)
+		for j := 0; j < level; j++ {
+			qj := p.qChain[j]
+			inv := ring.InvMod(qTop%qj, qj)
+			p.rescaleQInv[level][j] = inv
+			p.rescaleQInvShoup[level][j] = ring.MForm(inv, qj)
+		}
 	}
 }
 

@@ -155,6 +155,36 @@ func AsLazyRelin(b Backend) (LazyRelinBackend, bool) {
 	return lb, true
 }
 
+// FusedRescaleBackend is an optional backend capability: backends whose
+// rescale and relinearization can share one pass over the ciphertext limbs
+// (the RNS backend fuses the division by the top prime into the
+// relinearization key switch, running the decomposition at the post-rescale
+// level) expose the fused form. Semantics: RelinearizeRescale(c, x) is
+// exactly Relinearize(Rescale(c, x)) — bit-identical on lattice backends —
+// with x obtained from MaxRescale like any rescale divisor (x = 1 degrades
+// to plain Relinearize).
+type FusedRescaleBackend interface {
+	// FusedRescaleCapable reports whether the instance actually supports
+	// the capability; wrappers forward the methods unconditionally, so
+	// AsFusedRescale checks this flag too.
+	FusedRescaleCapable() bool
+	// RelinearizeRescale relinearizes c (a MulNoRelin product or a linear
+	// combination of them) and rescales it by divisor x in one fused pass.
+	RelinearizeRescale(c Ciphertext, x *big.Int) Ciphertext
+}
+
+// AsFusedRescale returns b as a FusedRescaleBackend when b (including every
+// layer of a wrapper chain) supports the fused rescale-into-key-switch.
+// Callers fall back to Rescale followed by Relinearize when it reports
+// false.
+func AsFusedRescale(b Backend) (FusedRescaleBackend, bool) {
+	fb, ok := b.(FusedRescaleBackend)
+	if !ok || !fb.FusedRescaleCapable() {
+		return nil, false
+	}
+	return fb, true
+}
+
 // RotateManyBackend is an optional backend capability: backends that can
 // amortize shared work across a batch of rotations of one ciphertext
 // (Halevi-Shoup hoisting in the RNS backend) implement it. RotLeftMany must

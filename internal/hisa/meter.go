@@ -18,10 +18,12 @@ type OpCounts struct {
 	Mul, MulPlain, MulScalar   int
 	Rescale, MaxRescaleQueries int
 	// Relinearize counts the key-switches performed to bring
-	// ciphertext-ciphertext products back to degree 1. Every backend
-	// relinearizes inside Mul, so this equals Mul; it is tallied separately
-	// so the scale-management pass's op accounting (and /metrics) can report
-	// relinearizations as their own series.
+	// ciphertext-ciphertext products back to degree 1 — inside Mul, as
+	// explicit Relinearize calls, and inside fused RelinearizeRescale calls
+	// (which also bump Rescale: the fused op is one pass but two logical
+	// instructions). It is tallied separately so the scale-management pass's
+	// op accounting (and /metrics) can report relinearizations as their own
+	// series.
 	Relinearize int
 	// Conjugate counts slot-conjugation automorphisms (complex packing).
 	Conjugate int
@@ -211,6 +213,28 @@ func (m *Meter) MulNoRelin(c, c2 Ciphertext) Ciphertext {
 func (m *Meter) Relinearize(c Ciphertext) Ciphertext {
 	m.relinearize.Add(1)
 	return m.lazyInner().Relinearize(c)
+}
+
+// FusedRescaleCapable forwards the fused rescale-into-key-switch capability
+// (gated on the inner backend, like LazyRelinCapable).
+func (m *Meter) FusedRescaleCapable() bool {
+	fb, ok := m.Inner.(FusedRescaleBackend)
+	return ok && fb.FusedRescaleCapable()
+}
+
+// RelinearizeRescale counts the fused op as its two logical instructions —
+// one relinearization, plus one rescale when the divisor is non-trivial —
+// so tallies are independent of whether a kernel took the fused path.
+func (m *Meter) RelinearizeRescale(c Ciphertext, x *big.Int) Ciphertext {
+	fb, ok := m.Inner.(FusedRescaleBackend)
+	if !ok {
+		panic("hisa: backend " + m.Inner.Name() + " does not support fused rescale")
+	}
+	m.relinearize.Add(1)
+	if x.Cmp(big.NewInt(1)) != 0 {
+		m.rescale.Add(1)
+	}
+	return fb.RelinearizeRescale(c, x)
 }
 
 func (m *Meter) MulPlain(c Ciphertext, p Plaintext) Ciphertext {

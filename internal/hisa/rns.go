@@ -19,6 +19,10 @@ type RNSConfig struct {
 	// produced by CHET's rotation-keys selection pass). nil provisions the
 	// power-of-two defaults the paper compares against.
 	Rotations []int
+	// IntraOpWorkers bounds how many goroutines a single operation may use
+	// for its limb-parallel stages (hoisted decomposition digits, key-switch
+	// inner-product rows). 0 or 1 selects the serial path.
+	IntraOpWorkers int
 }
 
 // RNSBackend executes HISA instructions with real lattice cryptography: the
@@ -76,7 +80,7 @@ func NewRNSBackend(cfg RNSConfig) *RNSBackend {
 		encoder:     ckks.NewEncoder(params),
 		encryptor:   ckks.NewEncryptor(params, pk, prng),
 		decryptor:   ckks.NewDecryptor(params, sk),
-		evaluator:   ckks.NewEvaluator(params, rlk, rtks),
+		evaluator:   ckks.NewEvaluator(params, rlk, rtks).SetIntraOpWorkers(cfg.IntraOpWorkers),
 		provisioned: provisioned,
 		pk:          pk,
 		rlk:         rlk,
@@ -180,7 +184,16 @@ func (b *RNSBackend) Decrypt(c Ciphertext) Plaintext {
 
 func (b *RNSBackend) Copy(c Ciphertext) Ciphertext { return b.ct(c).CopyNew() }
 
-func (b *RNSBackend) Free(any) {}
+// Free returns a dead ciphertext's limb buffers to the ring arena, closing
+// the pooled-allocation loop for callers that drop handles at a known point
+// (benchmark loops, the serving engine's per-request temporaries). The
+// caller asserts nothing else references the handle's polynomials; foreign
+// handles are ignored, and a second Free of the same handle is a no-op.
+func (b *RNSBackend) Free(h any) {
+	if cc, ok := h.(*ckks.Ciphertext); ok {
+		b.evaluator.Recycle(cc)
+	}
+}
 
 func (b *RNSBackend) RotLeft(c Ciphertext, x int) Ciphertext {
 	cc := b.ct(c)
@@ -246,6 +259,57 @@ func (b *RNSBackend) MulNoRelin(c, c2 Ciphertext) Ciphertext {
 // Relinearize folds a lazy product back to degree 1.
 func (b *RNSBackend) Relinearize(c Ciphertext) Ciphertext {
 	return b.evaluator.Relinearize(b.ct(c))
+}
+
+// FusedRescaleCapable marks the real lattice backend as supporting the
+// fused rescale-into-key-switch (see hisa.FusedRescaleBackend).
+func (b *RNSBackend) FusedRescaleCapable() bool { return true }
+
+// RelinearizeRescale relinearizes and rescales in one fused pass. The final
+// prime drop rides inside the relinearization key switch (the decomposition
+// runs at the post-rescale level and the rescale correction shares the
+// mod-P correction's forward transforms); earlier drops of a multi-prime
+// divisor run as plain rescales first, so the result is bit-identical to
+// Relinearize(Rescale(c, x)) for every MaxRescale divisor.
+func (b *RNSBackend) RelinearizeRescale(c Ciphertext, x *big.Int) Ciphertext {
+	cc := b.ct(c)
+	drops := b.dropsFor(cc, x)
+	if drops == 0 {
+		if cc.Degree() == 1 {
+			return cc.CopyNew()
+		}
+		return b.evaluator.Relinearize(cc)
+	}
+	if drops == 1 {
+		return b.evaluator.RelinearizeRescale(cc)
+	}
+	tmp := cc.CopyNew()
+	b.evaluator.RescaleMany(tmp, drops-1)
+	out := b.evaluator.RelinearizeRescale(tmp)
+	b.evaluator.Recycle(tmp)
+	return out
+}
+
+// dropsFor translates a MaxRescale divisor into a level-drop count,
+// panicking on divisors that are not top-prime products (same contract as
+// Rescale).
+func (b *RNSBackend) dropsFor(cc *ckks.Ciphertext, x *big.Int) int {
+	if x.Cmp(big.NewInt(1)) == 0 {
+		return 0
+	}
+	prod := big.NewInt(1)
+	drops := 0
+	for lvl := cc.Level(); lvl >= 1; lvl-- {
+		prod.Mul(prod, new(big.Int).SetUint64(b.params.Qi(lvl)))
+		drops++
+		if prod.Cmp(x) == 0 {
+			return drops
+		}
+		if prod.Cmp(x) > 0 {
+			break
+		}
+	}
+	panic(fmt.Sprintf("hisa: rescale divisor %v is not a top-prime product at level %d", x, cc.Level()))
 }
 
 func (b *RNSBackend) AddPlain(c Ciphertext, p Plaintext) Ciphertext {

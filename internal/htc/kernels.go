@@ -408,18 +408,17 @@ func ActivationOpts(b hisa.Backend, in *CipherTensor, a, bb float64, sc Scales, 
 			// Adding b everywhere is safe: invalid slots of x are zero, so
 			// the final product restores the zero invariant.
 			t = b.AddScalar(t, bb)
-			y = b.Mul(t, x)
-		}
-		y = opts.reduce(b, y, sc.Pc)
-		// The complex path's deferred relinearization lands here, after the
-		// rescale — one limb lighter than at the product. Eager backends
-		// (Ref, the CKKS mock) already returned degree 1 and skip it.
-		if in.Complex {
 			if lr, ok := hisa.AsLazyRelin(b); ok {
-				y = lr.Relinearize(y)
+				y = lr.MulNoRelin(t, x)
+			} else {
+				y = b.Mul(t, x)
 			}
 		}
-		out.CTs[g] = y
+		// reduceRelin closes the product: the site's rescale decision and
+		// the relinearization run as one fused limb pass on backends that
+		// support it, and in the conventional order everywhere else. The
+		// complex path's two shared-relin products land here too.
+		out.CTs[g] = opts.reduceRelin(b, y, sc.Pc)
 	})
 	return &out
 }
@@ -458,10 +457,15 @@ func PolyEvalOpts(b hisa.Backend, in *CipherTensor, coeffs []float64, sc Scales,
 			acc = addScalarBoth(b, in.Complex, acc, coeffs[i])
 			if in.Complex {
 				acc = mulPairwiseY(b, acc, x, xbar)
+				acc = opts.reduce(b, acc, sc.Pc)
 			} else {
-				acc = b.Mul(acc, x)
+				if lr, ok := hisa.AsLazyRelin(b); ok {
+					acc = lr.MulNoRelin(acc, x)
+				} else {
+					acc = b.Mul(acc, x)
+				}
+				acc = opts.reduceRelin(b, acc, sc.Pc)
 			}
-			acc = opts.reduce(b, acc, sc.Pc)
 		}
 		if coeffs[0] != 0 {
 			cv := perChannelVector(in, g, b.Slots(), func(int) float64 { return coeffs[0] })

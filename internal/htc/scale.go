@@ -2,6 +2,7 @@ package htc
 
 import (
 	"math"
+	"math/big"
 
 	"chet/internal/hisa"
 )
@@ -82,6 +83,17 @@ type ScalePolicy interface {
 	Reduce(b hisa.Backend, node int, c hisa.Ciphertext, base float64) hisa.Ciphertext
 }
 
+// scaleDecider is an optional ScalePolicy refinement: policies that can
+// predict a site's decision without executing it implement Defers, which
+// lets reduceRelin hand the whole rescale-plus-relinearize sequence to a
+// backend's fused pass. Policies without it (custom ScalePolicy
+// implementations) still work — reduceRelin falls back to the conventional
+// relinearize-then-Reduce order for them.
+type scaleDecider interface {
+	// Defers reports whether the site (node, scale) keeps its grown scale.
+	Defers(node int, scale float64) bool
+}
+
 // GreedyPolicy reproduces the pre-pass op-local behavior: rescale at every
 // site by the largest divisor the scheme offers under scale/base. It is the
 // fallback policy (a nil ExecOptions.Scale) and the baseline the lazy plan
@@ -92,6 +104,9 @@ type GreedyPolicy struct{}
 func (GreedyPolicy) Reduce(b hisa.Backend, node int, c hisa.Ciphertext, base float64) hisa.Ciphertext {
 	return tryRescale(b, c, base)
 }
+
+// Defers reports false: the greedy protocol rescales at every opportunity.
+func (GreedyPolicy) Defers(int, float64) bool { return false }
 
 // PlanPolicy executes a compiler-emitted ScalePlan: sites planned ScaleDefer
 // keep their grown scale, everything else (including unplanned sites) takes
@@ -106,12 +121,19 @@ func (p PlanPolicy) Reduce(b hisa.Backend, node int, c hisa.Ciphertext, base flo
 	if s <= base*1.0001 {
 		return c
 	}
-	if p.Plan != nil {
-		if d, ok := p.Plan.Decisions[ScaleKeyFor(node, s)]; ok && d == ScaleDefer {
-			return c
-		}
+	if p.Defers(node, s) {
+		return c
 	}
 	return tryRescale(b, c, base)
+}
+
+// Defers consults the plan for this (node, scale) site.
+func (p PlanPolicy) Defers(node int, scale float64) bool {
+	if p.Plan == nil {
+		return false
+	}
+	d, ok := p.Plan.Decisions[ScaleKeyFor(node, scale)]
+	return ok && d == ScaleDefer
 }
 
 // reduce routes a kernel reduce site through the configured policy (greedy
@@ -122,4 +144,44 @@ func (o ExecOptions) reduce(b hisa.Backend, c hisa.Ciphertext, base float64) his
 		return tryRescale(b, c, base)
 	}
 	return o.Scale.Reduce(b, o.node, c, base)
+}
+
+// reduceRelin closes a ciphertext-ciphertext product: it applies this site's
+// scale decision AND the relinearization, fusing them into one pass over the
+// limbs when the backend supports it (hisa.FusedRescaleBackend). c may be a
+// lazy degree-2 product or an eager degree-1 one.
+//
+// The fused path needs the site's decision up front, so it requires a
+// predictable policy (nil — greedy — or a scaleDecider). Unpredictable
+// custom policies, and backends without the fused capability, take the
+// conventional relinearize-then-Reduce order instead. Sites that defer
+// their rescale still relinearize.
+func (o ExecOptions) reduceRelin(b hisa.Backend, c hisa.Ciphertext, base float64) hisa.Ciphertext {
+	lr, lazy := hisa.AsLazyRelin(b)
+	if !lazy {
+		// Eager backends already returned degree 1; only the scale moves.
+		return o.reduce(b, c, base)
+	}
+	fr, fused := hisa.AsFusedRescale(b)
+	var decider scaleDecider
+	if o.Scale != nil {
+		var ok bool
+		if decider, ok = o.Scale.(scaleDecider); !ok {
+			fused = false
+		}
+	}
+	if !fused {
+		return o.reduce(b, lr.Relinearize(c), base)
+	}
+	s := b.Scale(c)
+	doRescale := s > base*1.0001
+	if doRescale && decider != nil && decider.Defers(o.node, s) {
+		doRescale = false
+	}
+	if doRescale {
+		if ub, _ := big.NewFloat(s / base).Int(nil); ub.Sign() > 0 {
+			return fr.RelinearizeRescale(c, b.MaxRescale(c, ub))
+		}
+	}
+	return lr.Relinearize(c)
 }

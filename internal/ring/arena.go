@@ -1,0 +1,97 @@
+package ring
+
+import "sync"
+
+// Poly arena: pooled contiguous RNS limb storage.
+//
+// FHE primitives are memory-bandwidth-bound, and the previous hot path paid
+// for that twice: every operation allocated fresh [][]uint64 limb matrices
+// (GC pressure proportional to op rate), and nothing guaranteed the limbs of
+// one polynomial were adjacent in memory (each NTT pass walked rows the
+// allocator had scattered). The arena fixes both. Every pooled Poly owns one
+// contiguous []uint64 backing buffer covering all of its limbs — row i is
+// the sub-slice [i*N, (i+1)*N) — and whole polynomials are recycled through
+// per-row-count sync.Pools, so a steady-state Mul/Rotate/key-switch pipeline
+// performs zero heap allocations for limb storage.
+//
+// Ownership protocol: GetPoly leases a polynomial whose contents are
+// UNDEFINED (the borrower must write every row it reads back); PutPoly
+// returns it. A Poly must not be used after PutPoly, and must be Put at most
+// once. Polys whose level was dropped (DropLevel) remember their allocated
+// row count through the backing buffer and are restored to full height on
+// return, so the pools never shrink. Foreign polys — rows assembled by hand
+// (unmarshaling, Shoup tables) — carry no backing buffer and are silently
+// ignored by PutPoly rather than poisoning a pool with non-contiguous rows.
+type arena struct {
+	n     int
+	pools []sync.Pool // pools[rows-1] holds *Poly with exactly `rows` limbs
+}
+
+func newArena(n, maxRows int) *arena {
+	a := &arena{n: n, pools: make([]sync.Pool, maxRows)}
+	for r := 1; r <= maxRows; r++ {
+		rows := r
+		a.pools[r-1].New = func() any { return newContiguousPoly(n, rows) }
+	}
+	return a
+}
+
+// newContiguousPoly builds a Poly with `rows` limbs over one backing buffer.
+func newContiguousPoly(n, rows int) *Poly {
+	backing := make([]uint64, rows*n)
+	p := &Poly{Coeffs: make([][]uint64, rows), buf: backing}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+	return p
+}
+
+func (a *arena) get(rows int) *Poly {
+	return a.pools[rows-1].Get().(*Poly)
+}
+
+func (a *arena) put(p *Poly) {
+	if p == nil || p.buf == nil {
+		return // foreign rows; let the GC have it
+	}
+	rows := len(p.buf) / a.n
+	if rows < 1 || rows > len(a.pools) || len(p.buf) != rows*a.n {
+		return // built against a different ring geometry
+	}
+	// Restore any rows DropLevel truncated: the backing buffer still holds
+	// the full height, so this is pure re-slicing.
+	if len(p.Coeffs) != rows {
+		if cap(p.Coeffs) >= rows {
+			p.Coeffs = p.Coeffs[:rows]
+		} else {
+			p.Coeffs = make([][]uint64, rows)
+		}
+		for i := 0; i < rows; i++ {
+			p.Coeffs[i] = p.buf[i*a.n : (i+1)*a.n : (i+1)*a.n]
+		}
+	}
+	a.pools[rows-1].Put(p)
+}
+
+// GetPoly leases a polynomial at the given level from the ring's arena. Its
+// coefficient contents are undefined; callers that need zeros must call
+// Zero. Pair with PutPoly on hot paths — unreturned polys are simply
+// reclaimed by the GC.
+func (r *Ring) GetPoly(level int) *Poly {
+	if level < 0 || level > r.MaxLevel() {
+		panic("ring: GetPoly level out of range")
+	}
+	return r.arena.get(level + 1)
+}
+
+// GetPolyZero is GetPoly followed by Zero.
+func (r *Ring) GetPolyZero(level int) *Poly {
+	p := r.GetPoly(level)
+	p.Zero()
+	return p
+}
+
+// PutPoly returns a polynomial to the ring's arena for reuse. The poly must
+// not be referenced afterwards. Polys without contiguous backing (assembled
+// row-by-row) are ignored.
+func (r *Ring) PutPoly(p *Poly) { r.arena.put(p) }

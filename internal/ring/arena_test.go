@@ -1,0 +1,230 @@
+package ring
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randomPoly(r *Ring, level int, rng *rand.Rand) *Poly {
+	p := r.NewPoly(level)
+	for i := 0; i <= level; i++ {
+		q := r.Moduli[i].Q
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = rng.Uint64() % q
+		}
+	}
+	return p
+}
+
+// TestArenaReuse pins the pooling contract: a returned poly comes back on
+// the next lease (same backing buffer, full height), including after its
+// level was dropped while on loan.
+func TestArenaReuse(t *testing.T) {
+	r := testRing(t, 6, 4)
+	p := r.GetPoly(3)
+	if len(p.Coeffs) != 4 {
+		t.Fatalf("GetPoly(3) rows = %d, want 4", len(p.Coeffs))
+	}
+	if _, ok := p.contiguous(); !ok {
+		t.Fatal("arena poly is not contiguous")
+	}
+	first := &p.buf[0]
+	p.DropLevel(1)
+	r.PutPoly(p)
+	q := r.GetPoly(3)
+	if &q.buf[0] != first {
+		t.Error("arena did not reuse the returned backing buffer")
+	}
+	if len(q.Coeffs) != 4 {
+		t.Errorf("recycled poly rows = %d, want full height 4 after DropLevel on loan", len(q.Coeffs))
+	}
+	for i, row := range q.Coeffs {
+		if len(row) != r.N {
+			t.Fatalf("row %d length %d, want %d", i, len(row), r.N)
+		}
+		if &row[0] != &q.buf[i*r.N] {
+			t.Fatalf("row %d not re-sliced from backing buffer", i)
+		}
+	}
+}
+
+// TestArenaForeignPolyIgnored verifies that polys assembled row-by-row
+// (unmarshaling, Shoup tables) never enter a pool.
+func TestArenaForeignPolyIgnored(t *testing.T) {
+	r := testRing(t, 5, 2)
+	foreign := &Poly{Coeffs: [][]uint64{make([]uint64, r.N), make([]uint64, r.N)}}
+	r.PutPoly(foreign) // must not panic or poison the pool
+	p := r.GetPoly(1)
+	if _, ok := p.contiguous(); !ok {
+		t.Fatal("pool handed back a non-contiguous poly")
+	}
+	r.PutPoly(nil) // nil is a no-op too
+}
+
+// TestArenaAliasSafety hammers the arena from concurrent goroutines, each
+// writing a distinct sentinel into its leased poly and verifying it after a
+// round of ring ops. Run under -race this pins that leases never alias.
+func TestArenaAliasSafety(t *testing.T) {
+	r := testRing(t, 8, 3)
+	const workers = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				level := (w + it) % 3
+				p := r.GetPoly(level)
+				sentinel := uint64(w*1000 + it)
+				for i := 0; i <= level; i++ {
+					q := r.Moduli[i].Q
+					for j := range p.Coeffs[i] {
+						p.Coeffs[i][j] = sentinel % q
+					}
+				}
+				r.NTT(p, level)
+				r.InvNTT(p, level)
+				for i := 0; i <= level; i++ {
+					q := r.Moduli[i].Q
+					want := sentinel % q
+					for j := range p.Coeffs[i] {
+						if p.Coeffs[i][j] != want {
+							t.Errorf("worker %d iter %d: leased poly corrupted: got %d want %d",
+								w, it, p.Coeffs[i][j], want)
+							return
+						}
+					}
+				}
+				r.PutPoly(p)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestPolyCopyFastPath checks the contiguous whole-buffer copy against the
+// row-by-row path, in both directions and across mixed layouts.
+func TestPolyCopyFastPath(t *testing.T) {
+	r := testRing(t, 7, 3)
+	rng := rand.New(rand.NewSource(7))
+	src := randomPoly(r, 2, rng)
+
+	cp := src.CopyNew()
+	for i := range src.Coeffs {
+		for j := range src.Coeffs[i] {
+			if cp.Coeffs[i][j] != src.Coeffs[i][j] {
+				t.Fatalf("CopyNew mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if &cp.Coeffs[0][0] == &src.Coeffs[0][0] {
+		t.Fatal("CopyNew aliases its source")
+	}
+
+	foreign := &Poly{Coeffs: make([][]uint64, 3)}
+	for i := range foreign.Coeffs {
+		foreign.Coeffs[i] = make([]uint64, r.N)
+	}
+	foreign.Copy(src) // contiguous -> foreign takes the row path
+	dst := r.NewPoly(2)
+	dst.Copy(foreign) // foreign -> contiguous takes the row path
+	for i := range src.Coeffs {
+		for j := range src.Coeffs[i] {
+			if dst.Coeffs[i][j] != src.Coeffs[i][j] {
+				t.Fatalf("mixed-layout Copy mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// A level-dropped destination must not blindly memcpy the full buffer.
+	drop := src.CopyNew()
+	drop.DropLevel(1)
+	short := r.NewPoly(1)
+	short.Copy(drop)
+	for i := 0; i <= 1; i++ {
+		for j := range short.Coeffs[i] {
+			if short.Coeffs[i][j] != src.Coeffs[i][j] {
+				t.Fatalf("level-dropped Copy mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestParallelNTTMatchesSerial pins bit-identity of the per-limb parallel
+// transforms against the serial loops, both under the work cutoff (where
+// the parallel entry points degrade to the serial code) and above it.
+func TestParallelNTTMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ logN, primes, workers int }{
+		{5, 2, 4},  // below cutoff: serial fallback
+		{11, 8, 4}, // above cutoff: real goroutine partitioning
+		{11, 8, 16},
+	} {
+		r := testRing(t, tc.logN, tc.primes)
+		level := tc.primes - 1
+		a := randomPoly(r, level, rng)
+		b := a.CopyNew()
+
+		r.NTT(a, level)
+		r.NTTParallel(b, level, tc.workers)
+		for i := 0; i <= level; i++ {
+			for j := range a.Coeffs[i] {
+				if a.Coeffs[i][j] != b.Coeffs[i][j] {
+					t.Fatalf("logN=%d workers=%d: forward mismatch at (%d,%d)", tc.logN, tc.workers, i, j)
+				}
+			}
+		}
+		r.InvNTT(a, level)
+		r.InvNTTParallel(b, level, tc.workers)
+		for i := 0; i <= level; i++ {
+			for j := range a.Coeffs[i] {
+				if a.Coeffs[i][j] != b.Coeffs[i][j] {
+					t.Fatalf("logN=%d workers=%d: inverse mismatch at (%d,%d)", tc.logN, tc.workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestRingKernelAllocs is the alloc-regression gate for the hot ring
+// kernels: a steady-state Mul/Rotate/key-switch pipeline built on these
+// primitives must not allocate. ci.sh runs this test explicitly.
+func TestRingKernelAllocs(t *testing.T) {
+	r := testRing(t, 11, 4)
+	level := 3
+	rng := rand.New(rand.NewSource(3))
+	p := randomPoly(r, level, rng)
+	x := randomPoly(r, level, rng)
+	out := r.NewPoly(level)
+	perm := r.NTTPermutation(r.GaloisElementForRotation(3)) // warm the perm cache
+	q := r.Moduli[0].Q
+	acc := make([]uint64, r.N)
+	w := p.Coeffs[0]
+	ws := make([]uint64, r.N)
+	for k := range ws {
+		ws[k] = MForm(w[k], q)
+	}
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"ntt_forward", func() { r.NTT(p, level) }},
+		{"ntt_inverse", func() { r.InvNTT(p, level) }},
+		{"arena_roundtrip", func() { r.PutPoly(r.GetPoly(level)) }},
+		{"poly_copy", func() { out.Copy(p) }},
+		{"vec_muladd_shoup", func() { VecMulAddShoupLazy(acc, x.Coeffs[0], w, ws, q) }},
+		{"vec_muladd_perm", func() { VecMulAddShoupLazyPerm(acc, x.Coeffs[0], perm, w, ws, q) }},
+		{"vec_reduce", func() { VecReduceLazy(acc, q) }},
+		{"automorphism_ntt", func() { r.AutomorphismNTT(p, r.GaloisElementForRotation(3), out, level) }},
+		{"add", func() { r.Add(p, x, out, level) }},
+		{"mul_coeffs", func() { r.MulCoeffs(p, x, out, level) }},
+	}
+	for _, c := range checks {
+		if n := testing.AllocsPerRun(20, c.fn); n != 0 {
+			t.Errorf("%s allocates %.0f times per op, want 0", c.name, n)
+		}
+	}
+}

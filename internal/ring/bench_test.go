@@ -26,9 +26,38 @@ func benchSetup(b *testing.B, logN int) (*nttTables, []uint64) {
 func BenchmarkNTTForward(b *testing.B) {
 	tables, a := benchSetup(b, 13)
 	b.SetBytes(int64(8 * len(a)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tables.forward(a)
+	}
+}
+
+// BenchmarkPooledRingKernels measures the arena-backed hot path the
+// evaluator runs per ciphertext op: lease a poly, NTT round trip, key-switch
+// MAC, automorphism, release. ReportAllocs is the point — the pooled rewrite
+// holds this at 0 allocs/op (gated exactly by TestRingKernelAllocs).
+func BenchmarkPooledRingKernels(b *testing.B) {
+	r := testRing(b, 12, 4)
+	level := r.MaxLevel()
+	s := NewSampler(r, NewTestPRNG(5))
+	a := r.NewPoly(level)
+	w := r.NewPoly(level)
+	out := r.NewPoly(level)
+	s.UniformPoly(a, level)
+	s.UniformPoly(w, level)
+	galEl := r.GaloisElementForRotation(1)
+	b.SetBytes(int64(8 * r.N * (level + 1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := r.GetPoly(level)
+		t.CopyLevel(a, level)
+		r.NTT(t, level)
+		r.InvNTT(t, level)
+		r.MulCoeffsAndAdd(t, w, out, level)
+		r.AutomorphismNTT(t, galEl, out, level)
+		r.PutPoly(t)
 	}
 }
 

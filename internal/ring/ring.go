@@ -17,6 +17,9 @@ type Ring struct {
 
 	tables []*nttTables
 
+	// arena pools contiguous limb storage per row count (see arena.go).
+	arena *arena
+
 	autoMu    sync.Mutex
 	autoPerms map[uint64][]int // NTT-domain permutation per Galois element
 }
@@ -53,6 +56,7 @@ func NewRing(logN int, primes []uint64) (*Ring, error) {
 		r.Moduli[i] = NewModulus(q)
 		r.tables[i] = newNTTTables(q, logN)
 	}
+	r.arena = newArena(n, len(primes))
 	return r, nil
 }
 
@@ -61,42 +65,77 @@ func (r *Ring) MaxLevel() int { return len(r.Moduli) - 1 }
 
 // Poly is a polynomial in RNS representation: Coeffs[i][j] is the j-th
 // coefficient modulo the i-th prime. The level of a Poly is len(Coeffs)-1.
+//
+// Polys produced by NewPoly or the ring arena store all limbs in one
+// contiguous backing buffer (row i is buf[i*N:(i+1)*N]), so multi-limb
+// passes stream memory sequentially and whole-poly copies are single
+// memmoves. Rows may also be assembled by hand (buf == nil), e.g. when
+// unmarshaling; all operations accept both layouts.
 type Poly struct {
 	Coeffs [][]uint64
+	// buf is the contiguous backing of Coeffs when the poly was allocated
+	// whole; nil for row-assembled polys. It retains the full allocated
+	// height across DropLevel, which is what lets the arena restore and
+	// recycle level-dropped polys.
+	buf []uint64
 }
 
-// NewPoly allocates a zero polynomial at the given level.
+// NewPoly allocates a zero polynomial at the given level with contiguous
+// limb storage.
 func (r *Ring) NewPoly(level int) *Poly {
 	if level < 0 || level > r.MaxLevel() {
 		panic(fmt.Sprintf("ring: level %d out of range [0, %d]", level, r.MaxLevel()))
 	}
-	rows := level + 1
-	backing := make([]uint64, rows*r.N)
-	p := &Poly{Coeffs: make([][]uint64, rows)}
-	for i := range p.Coeffs {
-		p.Coeffs[i] = backing[i*r.N : (i+1)*r.N : (i+1)*r.N]
-	}
-	return p
+	return newContiguousPoly(r.N, level+1)
 }
 
 // Level returns the level of p.
 func (p *Poly) Level() int { return len(p.Coeffs) - 1 }
 
-// CopyNew returns a deep copy of p.
-func (p *Poly) CopyNew() *Poly {
-	out := &Poly{Coeffs: make([][]uint64, len(p.Coeffs))}
-	for i := range p.Coeffs {
-		out.Coeffs[i] = append([]uint64(nil), p.Coeffs[i]...)
+// contiguous reports whether rows 0..len(Coeffs)-1 are a prefix of one
+// backing buffer, and returns that prefix.
+func (p *Poly) contiguous() ([]uint64, bool) {
+	if p.buf == nil || len(p.Coeffs) == 0 {
+		return nil, false
 	}
+	n := len(p.Coeffs[0])
+	total := len(p.Coeffs) * n
+	if total > len(p.buf) {
+		return nil, false
+	}
+	return p.buf[:total], true
+}
+
+// CopyNew returns a deep copy of p (contiguous regardless of p's layout).
+func (p *Poly) CopyNew() *Poly {
+	if len(p.Coeffs) == 0 {
+		return &Poly{}
+	}
+	out := newContiguousPoly(len(p.Coeffs[0]), len(p.Coeffs))
+	out.Copy(p)
 	return out
 }
 
-// Copy copies src into p. Levels must match.
+// Copy copies src into p. Levels must match. When both polys are contiguous
+// the copy is one memmove over all limbs.
 func (p *Poly) Copy(src *Poly) {
 	if len(p.Coeffs) != len(src.Coeffs) {
 		panic("ring: level mismatch in Copy")
 	}
+	if db, ok := p.contiguous(); ok {
+		if sb, ok := src.contiguous(); ok && len(db) == len(sb) {
+			copy(db, sb)
+			return
+		}
+	}
 	for i := range p.Coeffs {
+		copy(p.Coeffs[i], src.Coeffs[i])
+	}
+}
+
+// CopyLevel copies rows 0..level of src into p. Both polys must reach level.
+func (p *Poly) CopyLevel(src *Poly, level int) {
+	for i := 0; i <= level; i++ {
 		copy(p.Coeffs[i], src.Coeffs[i])
 	}
 }
@@ -111,6 +150,12 @@ func (p *Poly) DropLevel(level int) {
 
 // Zero sets all coefficients of p to zero.
 func (p *Poly) Zero() {
+	if b, ok := p.contiguous(); ok {
+		for j := range b {
+			b[j] = 0
+		}
+		return
+	}
 	for i := range p.Coeffs {
 		row := p.Coeffs[i]
 		for j := range row {
@@ -148,6 +193,72 @@ func (r *Ring) NTTSingle(i int, row []uint64) { r.tables[i].forward(row) }
 
 // InvNTTSingle applies the inverse NTT for the i-th prime to a raw row.
 func (r *Ring) InvNTTSingle(i int, row []uint64) { r.tables[i].inverse(row) }
+
+// parallelNTTMinWork is the total coefficient count below which the
+// parallel NTT entry points run serially: under ~2^14 butterfly rows the
+// goroutine handoff costs more than the transform itself, which is exactly
+// how the earlier amount-level parallelism ended up losing to serial.
+const parallelNTTMinWork = 1 << 14
+
+// nttWorkers clamps a requested worker count to something the transform can
+// use: at most one worker per limb, and serial whenever the total work is
+// too small to amortize scheduling.
+func nttWorkers(workers, limbs, n int) int {
+	if workers > limbs {
+		workers = limbs
+	}
+	if workers <= 1 || limbs*n < parallelNTTMinWork {
+		return 1
+	}
+	return workers
+}
+
+// forEachLimbParallel runs fn(i) for i in [0, limbs) across `workers`
+// goroutines with limb-granular work partitioning (limb i goes to worker
+// i%workers, so the per-worker load differs by at most one limb). workers
+// must already be clamped by nttWorkers.
+func forEachLimbParallel(limbs, workers int, fn func(i int)) {
+	if workers == 1 {
+		for i := 0; i < limbs; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < limbs; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// NTTParallel is NTT with the per-limb transforms partitioned across up to
+// `workers` goroutines. Below the work cutoff (or with workers <= 1) it runs
+// the exact serial loop, so results are always bit-identical to NTT and
+// small transforms never pay goroutine overhead — the fix for the
+// amount-level parallelism that lost to serial by thrashing shared
+// bandwidth.
+func (r *Ring) NTTParallel(p *Poly, level, workers int) {
+	r.checkLevels(level, p)
+	workers = nttWorkers(workers, level+1, r.N)
+	forEachLimbParallel(level+1, workers, func(i int) {
+		r.tables[i].forward(p.Coeffs[i])
+	})
+}
+
+// InvNTTParallel is InvNTT with per-limb partitioning (see NTTParallel).
+func (r *Ring) InvNTTParallel(p *Poly, level, workers int) {
+	r.checkLevels(level, p)
+	workers = nttWorkers(workers, level+1, r.N)
+	forEachLimbParallel(level+1, workers, func(i int) {
+		r.tables[i].inverse(p.Coeffs[i])
+	})
+}
 
 // Add sets out = a + b at the given level.
 func (r *Ring) Add(a, b, out *Poly, level int) {

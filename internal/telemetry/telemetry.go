@@ -462,6 +462,34 @@ func (t *Tracer) Relinearize(c hisa.Ciphertext) hisa.Ciphertext {
 	return out
 }
 
+// FusedRescaleCapable forwards the fused rescale-into-key-switch capability
+// (gated on the inner backend, like LazyRelinCapable).
+func (t *Tracer) FusedRescaleCapable() bool {
+	fb, ok := t.inner.(hisa.FusedRescaleBackend)
+	return ok && fb.FusedRescaleCapable()
+}
+
+// RelinearizeRescale records the fused op as a full-duration rescale span
+// plus a zero-duration relin marker (mirroring Mul's intrinsic relin
+// marker): span tallies stay in step with Meter's counts and no wall time
+// is double-counted. Divisor-1 calls are pure relinearizations and record
+// only the relin span, with its real duration.
+func (t *Tracer) RelinearizeRescale(c hisa.Ciphertext, x *big.Int) hisa.Ciphertext {
+	fb, ok := t.inner.(hisa.FusedRescaleBackend)
+	if !ok {
+		panic("telemetry: backend " + t.inner.Name() + " does not support fused rescale")
+	}
+	start := time.Now()
+	out := fb.RelinearizeRescale(c, x)
+	if x.Cmp(bigOne) != 0 {
+		t.record("rescale", 0, c, out, start)
+		t.record("relin", 0, nil, out, time.Now())
+	} else {
+		t.record("relin", 0, c, out, start)
+	}
+	return out
+}
+
 func (t *Tracer) MulPlain(c hisa.Ciphertext, p hisa.Plaintext) hisa.Ciphertext {
 	start := time.Now()
 	out := t.inner.MulPlain(c, p)
