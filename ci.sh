@@ -23,11 +23,17 @@ go test -race ./internal/serve/... ./internal/wire/... ./internal/batch/...
 echo "== go test -race (telemetry: tracer ring, scope stack, metrics snapshots)"
 go test -race ./internal/telemetry/... ./internal/serve/...
 
+echo "== go test -race (fleet: hash ring churn, registry merge, router + 2 workers, batched e2e, /metrics scrape)"
+go test -race ./internal/fleet/... ./cmd/chet-router
+
 echo "== observability smoke (/metrics exposition + pprof against a live chet-serve)"
 go test -run=TestObservabilityEndpoints ./cmd/chet-serve
 
 echo "== fuzz smoke (wire decoders are total over adversarial bytes)"
 go test -fuzz=FuzzWireFrame -fuzztime=5s ./internal/wire
+
+echo "== fuzz smoke (fleet control-frame decoders are total over adversarial bytes)"
+go test -fuzz=FuzzControlFrame -fuzztime=5s ./internal/wire
 
 echo "== ring alloc gate (pooled arena kernels stay at 0 allocs/op)"
 go test -run=TestRingKernelAllocs -count=1 ./internal/ring
@@ -46,5 +52,8 @@ go test -run=TestBatchingBenchSmoke ./internal/bench
 
 echo "== bench smoke (complex packing vs real batching at equal ring size)"
 go test -run=TestPackingBenchSmoke ./internal/bench
+
+echo "== bench smoke (sharded fleet: 1->2 workers behind a router + kill-one-worker failover)"
+go test -run=TestFleetBenchSmoke ./internal/bench
 
 echo "CI OK"

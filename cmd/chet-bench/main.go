@@ -76,6 +76,13 @@ type benchConfig struct {
 	packingMinSpeedup              float64
 	packingErrBudget               float64
 	packingOut                     string
+	// fleetOpts sizes the sharded-serving scaling sweep; fleetMinSpeedup is
+	// the images/sec ratio asserted at fleetAssertWorkers workers (0 skips
+	// the assertion), fleetOut its JSON path ("" disables").
+	fleetOpts          bench.FleetOptions
+	fleetMinSpeedup    float64
+	fleetAssertWorkers int
+	fleetOut           string
 }
 
 func defaultConfig() benchConfig {
@@ -109,6 +116,22 @@ func defaultConfig() benchConfig {
 		packingMinSpeedup: 1.7,
 		packingErrBudget:  5e-2,
 		packingOut:        "BENCH_packing.json",
+
+		fleetOpts: bench.FleetOptions{
+			Counts:   []int{1, 2, 4, 8},
+			Requests: 16,
+			// The eval floor must dominate the real per-image crypto cost
+			// (~0.3s end to end on the single-core reference box) times the
+			// concurrent worker count, so worker overlap rather than the
+			// shared CPU sets throughput; see internal/bench/fleet.go.
+			ExecDelay:        4800 * time.Millisecond,
+			MinSessions:      5,
+			FailoverAt:       4,
+			FailoverRequests: 10,
+		},
+		fleetMinSpeedup:    3,
+		fleetAssertWorkers: 4,
+		fleetOut:           "BENCH_fleet.json",
 	}
 }
 
@@ -268,6 +291,30 @@ func experiments(cfg benchConfig) []experiment {
 			}
 			return nil
 		}},
+		{"fleet", func(w io.Writer) error {
+			res, err := bench.FleetBench(nn.LeNetTiny(), cfg.fleetOpts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderFleet(res))
+			fmt.Fprintln(w, "sessions are sticky (eval keys live on workers); the router heals a kill by replaying keys to a survivor")
+			if cfg.fleetOut != "" {
+				if err := bench.WriteStampedJSON(cfg.fleetOut, res); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote %s\n", cfg.fleetOut)
+			}
+			if f := res.Failover; f != nil && f.ClientErrors != 0 {
+				return fmt.Errorf("worker kill leaked %d errors to clients, want 0", f.ClientErrors)
+			}
+			if cfg.fleetMinSpeedup > 0 {
+				if got := res.SpeedupAt(cfg.fleetAssertWorkers); got < cfg.fleetMinSpeedup {
+					return fmt.Errorf("fleet speedup %.2fx at %d workers below the %.2fx floor",
+						got, cfg.fleetAssertWorkers, cfg.fleetMinSpeedup)
+				}
+			}
+			return nil
+		}},
 		{"telemetry", func(w io.Writer) error {
 			rows, err := bench.TelemetryOverhead(cfg.fig6Models, cfg.telemetryLogN,
 				cfg.workers, cfg.telemetryReps, cfg.telemetryBudgetPct)
@@ -319,7 +366,7 @@ func runExperiments(w io.Writer, want string, cfg benchConfig) error {
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, ring, batching, packing, telemetry, or all")
+		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, ring, batching, packing, fleet, telemetry, or all")
 	full := flag.Bool("full", false,
 		"use all five evaluation networks (slower analysis sweeps; fig6 always uses the small set)")
 	scaleSearch := flag.Bool("scalesearch", false,
@@ -340,6 +387,10 @@ func main() {
 		"output path for the packing experiment JSON (empty disables)")
 	packingMinSpeedup := flag.Float64("packing-min-speedup", 1.7,
 		"throughput ratio (complex/real) the packing experiment asserts")
+	fleetOut := flag.String("fleetout", "BENCH_fleet.json",
+		"output path for the fleet experiment JSON (empty disables)")
+	fleetMinSpeedup := flag.Float64("fleet-min-speedup", 3,
+		"images/sec ratio at 4 workers the fleet experiment asserts (0 disables)")
 	flag.Parse()
 
 	cfg := defaultConfig()
@@ -352,6 +403,8 @@ func main() {
 	cfg.telemetryBudgetPct = *budget
 	cfg.packingOut = *packingOut
 	cfg.packingMinSpeedup = *packingMinSpeedup
+	cfg.fleetOut = *fleetOut
+	cfg.fleetMinSpeedup = *fleetMinSpeedup
 	if *full {
 		cfg.models = bench.EvalModels()
 	}

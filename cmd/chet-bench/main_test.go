@@ -3,7 +3,9 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
+	"chet/internal/bench"
 	"chet/internal/nn"
 )
 
@@ -43,6 +45,21 @@ func tinyConfig() benchConfig {
 		packingMinSpeedup: 0,
 		packingErrBudget:  5e-2,
 		packingOut:        "",
+
+		fleetOpts: bench.FleetOptions{
+			Counts:           []int{1, 2},
+			Requests:         4,
+			ExecDelay:        150 * time.Millisecond,
+			MinSessions:      2,
+			FailoverAt:       2,
+			FailoverRequests: 4,
+		},
+		// The smoke test asserts the zero-client-error failover contract,
+		// not scaling: with two workers on a loaded CI host the speedup
+		// floor is not meaningful.
+		fleetMinSpeedup:    0,
+		fleetAssertWorkers: 2,
+		fleetOut:           "",
 	}
 }
 
@@ -50,7 +67,7 @@ func tinyConfig() benchConfig {
 // and requires non-empty rendered output.
 func TestRunExperimentsSmoke(t *testing.T) {
 	cfg := tinyConfig()
-	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "ring": true, "batching": true, "telemetry": true, "packing": true}
+	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "ring": true, "batching": true, "telemetry": true, "packing": true, "fleet": true}
 	for _, e := range experiments(cfg) {
 		t.Run(e.name, func(t *testing.T) {
 			if testing.Short() && slow[e.name] {

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chet"
+	"chet/internal/ring"
+	"chet/internal/serve"
+)
+
+// TestRouterRoundTrip drives the whole binary path short of flag parsing:
+// two in-process workers, the router in front, one encrypted inference
+// through serve.Dial against the router, stop via the signal channel, and
+// check the fleet report.
+func TestRouterRoundTrip(t *testing.T) {
+	m, err := chet.Model("LeNet-tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := chet.Compile(m.Circuit, chet.Options{
+		Scheme: chet.SchemeRNS, SecurityBits: -1, MinLogN: 11, MaxLogN: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var workerAddrs []string
+	for i := 0; i < 2; i++ {
+		s, err := serve.New(serve.Config{Compiled: comp, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go s.Serve(ln)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		})
+		workerAddrs = append(workerAddrs, ln.Addr().String())
+	}
+
+	cfg := routerConfig{
+		addr:          "127.0.0.1:0",
+		workers:       strings.Join(workerAddrs, ", "),
+		maxSessions:   16,
+		probeInterval: 25 * time.Millisecond,
+		metricsAddr:   "127.0.0.1:0",
+	}
+	var out strings.Builder
+	var mu sync.Mutex
+	logf := &lockedWriter{&mu, &out}
+	ready := make(chan [2]net.Addr, 1)
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(logf, cfg, stop, func(a, ma net.Addr) { ready <- [2]net.Addr{a, ma} })
+	}()
+
+	var addrs [2]net.Addr
+	select {
+	case addrs = <-ready:
+	case err := <-done:
+		t.Fatalf("router exited early: %v", err)
+	}
+
+	c, err := serve.Dial(addrs[0].String(), serve.ClientConfig{Compiled: comp, PRNG: ring.NewTestPRNG(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := chet.SyntheticImage(m.InputShape, 3)
+	pred, err := c.Run(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Circuit.Evaluate(img)
+	if pred.ArgMax() != want.ArgMax() {
+		t.Fatalf("encrypted argmax %d != plaintext %d", pred.ArgMax(), want.ArgMax())
+	}
+	c.Close()
+
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+	mu.Lock()
+	report := out.String()
+	mu.Unlock()
+	for _, want := range []string{"observability on http://", "draining in-flight relays", "sessions: 1 opened", "relays:   1 total", "2 live workers"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestBuildRouterRequiresWorkers(t *testing.T) {
+	var out strings.Builder
+	if _, err := buildRouter(&out, routerConfig{workers: " , "}); err == nil {
+		t.Fatal("expected an error with no worker addresses")
+	}
+}
+
+// lockedWriter serializes the router goroutine's log writes against the
+// test's final read.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

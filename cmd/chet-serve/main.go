@@ -46,6 +46,9 @@ type serveConfig struct {
 	requestTimeout time.Duration
 	batch          int
 	batchWait      time.Duration
+	// batchAdaptive shrinks the coalescer's flush deadline as queue wait
+	// grows relative to evaluation time; off, batchWait is a fixed deadline.
+	batchAdaptive bool
 	// metricsAddr, when non-empty, serves /metrics (Prometheus text) and
 	// /debug/pprof/* on a second listener.
 	metricsAddr string
@@ -94,6 +97,7 @@ func buildServer(w io.Writer, cfg serveConfig) (*serve.Server, *chet.Compiled, e
 		Parallel:       cfg.parallel,
 		MaxBatch:       cfg.batch,
 		BatchWait:      cfg.batchWait,
+		BatchAdaptive:  cfg.batchAdaptive,
 		Trace:          cfg.trace,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
@@ -199,6 +203,7 @@ func main() {
 	flag.DurationVar(&cfg.requestTimeout, "request-timeout", 60*time.Second, "default per-request deadline")
 	flag.IntVar(&cfg.batch, "batch", 1, "batch capacity: coalesce up to this many same-session requests per evaluation (1 disables, 0 auto-selects up to 16)")
 	flag.DurationVar(&cfg.batchWait, "batch-wait", 20*time.Millisecond, "how long a partial batch waits for more requests before evaluating")
+	flag.BoolVar(&cfg.batchAdaptive, "batch-adaptive", false, "scale the batch wait down as queue pressure rises (batch-wait becomes the ceiling)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address (empty disables)")
 	flag.BoolVar(&cfg.trace, "trace", false, "trace session backends: per-op durations on /metrics, trace-ID dispatch logs")
 	flag.Parse()

@@ -25,6 +25,15 @@ type Config struct {
 	// before the queue is flushed anyway. <= 0 flushes every Add
 	// immediately (latency-first).
 	MaxWait time.Duration
+	// WaitFor, when non-nil, supersedes MaxWait: it is consulted at each
+	// Add so the flush deadline can track live load — shrink toward zero
+	// when requests are already queueing (batches form on their own; added
+	// delay is pure latency) and grow back toward the static MaxWait when
+	// traffic is sparse. A non-positive return flushes the triggering Add
+	// immediately; otherwise the returned wait arms the deadline timer of a
+	// queue that does not have one yet. The callback runs with the
+	// coalescer's lock held and must not call back into the coalescer.
+	WaitFor func() time.Duration
 }
 
 // Coalescer groups items by key and delivers them in batches to the flush
@@ -78,7 +87,11 @@ func (c *Coalescer[K, T]) Add(key K, item T) error {
 	}
 	q.items = append(q.items, item)
 
-	if len(q.items) >= c.cfg.MaxBatch || c.cfg.MaxWait <= 0 {
+	wait := c.cfg.MaxWait
+	if c.cfg.WaitFor != nil {
+		wait = c.cfg.WaitFor()
+	}
+	if len(q.items) >= c.cfg.MaxBatch || wait <= 0 {
 		items := c.takeLocked(key, q)
 		c.mu.Unlock()
 		c.flush(key, items)
@@ -86,7 +99,7 @@ func (c *Coalescer[K, T]) Add(key K, item T) error {
 	}
 	if q.timer == nil {
 		gen := q.gen
-		q.timer = time.AfterFunc(c.cfg.MaxWait, func() { c.fire(key, gen) })
+		q.timer = time.AfterFunc(wait, func() { c.fire(key, gen) })
 	}
 	c.mu.Unlock()
 	return nil

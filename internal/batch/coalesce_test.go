@@ -152,6 +152,55 @@ func TestZeroWaitFlushesImmediately(t *testing.T) {
 	}
 }
 
+// TestWaitForOverridesMaxWait drives the dynamic-deadline hook through its
+// three regimes: a positive return arms the timer with the returned wait (not
+// MaxWait), a non-positive return flushes the triggering Add immediately, and
+// the hook is consulted fresh on each Add so a load swing takes effect on the
+// very next request.
+func TestWaitForOverridesMaxWait(t *testing.T) {
+	var wait atomic.Int64
+	wait.Store(int64(20 * time.Millisecond))
+	col := newCollector(1)
+	c := New[string, int](Config{
+		MaxBatch: 100,
+		MaxWait:  time.Hour, // would never flush if honored
+		WaitFor:  func() time.Duration { return time.Duration(wait.Load()) },
+	}, col.flush)
+
+	start := time.Now()
+	if err := c.Add("s", 1); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t)
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("dynamic deadline flush took %v; MaxWait was honored over WaitFor", e)
+	}
+
+	// Shrink the wait to zero: the next Add must flush synchronously.
+	wait.Store(0)
+	var flushes atomic.Int64
+	c2 := New[string, int](Config{
+		MaxBatch: 100,
+		MaxWait:  time.Hour,
+		WaitFor:  func() time.Duration { return time.Duration(wait.Load()) },
+	}, func(string, []int) { flushes.Add(1) })
+	_ = c2.Add("s", 1)
+	if flushes.Load() != 1 {
+		t.Fatalf("zero dynamic wait: want synchronous flush, got %d", flushes.Load())
+	}
+
+	// Grow it back: batching resumes (Add leaves the item pending).
+	wait.Store(int64(time.Hour))
+	_ = c2.Add("s", 2)
+	if flushes.Load() != 1 {
+		t.Fatalf("grown dynamic wait: unexpected flush")
+	}
+	if n := c2.Pending(); n != 1 {
+		t.Fatalf("pending %d, want 1", n)
+	}
+	c2.Close()
+}
+
 // TestConcurrentStress hammers the coalescer from many producers across
 // several keys with a live deadline timer, then closes it mid-traffic. Run
 // under -race (ci.sh does); every item must be delivered exactly once.

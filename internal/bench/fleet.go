@@ -1,0 +1,363 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chet/internal/core"
+	"chet/internal/fleet"
+	"chet/internal/htc"
+	"chet/internal/nn"
+	"chet/internal/ring"
+	"chet/internal/serve"
+)
+
+// FleetOptions sizes the multi-worker scaling experiment.
+type FleetOptions struct {
+	// Counts are the worker counts to sweep, ascending; the first must be 1
+	// (the speedup baseline).
+	Counts []int
+	// Requests is how many inferences the throughput phase of each run
+	// drives through the router.
+	Requests int
+	// ExecDelay is the artificial per-evaluation latency floor configured on
+	// every worker. The benchmark machine has few cores, so raw crypto
+	// throughput cannot scale with in-process workers; the delay models the
+	// paper-scale evaluation times (seconds per image) whose overlap across
+	// workers IS the thing this experiment measures. It must dominate the
+	// real eval cost times the worker count or the single shared CPU becomes
+	// the bottleneck (LeNet-tiny at logN 11 costs ~0.4s of CPU per request
+	// end to end).
+	ExecDelay time.Duration
+	// MinSessions is the fewest client sessions opened per run. More are
+	// opened (up to 6x the worker count) until every worker owns at least
+	// one, so the scaling measurement is not hostage to an unlucky hash
+	// draw on a handful of sessions.
+	MinSessions int
+	// FailoverAt names the worker count whose run gets a second phase: after
+	// the throughput measurement, FailoverRequests more inferences are
+	// driven while one loaded worker is shut down mid-stream. Zero client
+	// errors is the pass condition. 0 disables the phase.
+	FailoverAt       int
+	FailoverRequests int
+}
+
+// FleetRow records one worker count's throughput run.
+type FleetRow struct {
+	Workers  int `json:"workers"`
+	Sessions int `json:"sessions"`
+	// Occupied is how many workers owned at least one session; speedup is
+	// bounded by it, so it is recorded rather than assumed.
+	Occupied    int     `json:"occupied"`
+	WallSeconds float64 `json:"wall_seconds"`
+	ImagesPerSec float64 `json:"images_per_sec"`
+	// Speedup is ImagesPerSec relative to the Workers=1 row.
+	Speedup float64 `json:"speedup_vs_one_worker"`
+	// PerWorkerRelayed is each worker's share of the phase's requests, in
+	// worker order — the load-skew evidence.
+	PerWorkerRelayed []uint64 `json:"per_worker_relayed"`
+	// LoadSkew is max(PerWorkerRelayed) over the fair share (requests /
+	// occupied); 1.0 is a perfectly even split.
+	LoadSkew float64 `json:"load_skew"`
+}
+
+// FleetFailover records the kill-one-worker phase.
+type FleetFailover struct {
+	Workers      int     `json:"workers"`
+	Requests     int     `json:"requests"`
+	KilledWorker string  `json:"killed_worker"`
+	ClientErrors int     `json:"client_errors"` // must be 0
+	Failovers    uint64  `json:"failovers"`
+	Rebalances   uint64  `json:"ring_rebalances"`
+	Handoffs     uint64  `json:"handoffs"`
+	ImagesPerSec float64 `json:"images_per_sec"`
+}
+
+// FleetResult is the machine-readable output of the fleet experiment
+// (BENCH_fleet.json).
+type FleetResult struct {
+	Model         string         `json:"model"`
+	LogN          int            `json:"log_n"`
+	ExecDelayMS   int64          `json:"exec_delay_ms"`
+	Requests      int            `json:"requests_per_run"`
+	Rows          []FleetRow     `json:"rows"`
+	Failover      *FleetFailover `json:"failover,omitempty"`
+}
+
+// SpeedupAt returns the measured speedup at the given worker count (0 if
+// that count was not swept).
+func (r FleetResult) SpeedupAt(workers int) float64 {
+	for _, row := range r.Rows {
+		if row.Workers == workers {
+			return row.Speedup
+		}
+	}
+	return 0
+}
+
+// fleetClient is one load-driver stream: a client session opened through
+// the router plus a pre-encrypted input it re-sends (encryption is
+// per-image client work the fleet never sees, so it is paid once).
+type fleetClient struct {
+	c   *serve.Client
+	enc *htc.CipherTensor
+}
+
+// FleetBench sweeps served throughput across worker counts behind one
+// chet-router, all over loopback TCP with the real RNS-CKKS backend. The
+// load driver keeps one dedicated request stream per occupied worker
+// (sessions are sticky, so each stream's owner is discovered from the
+// per-worker handoff counter when the session opens) and the streams pull
+// from one shared request counter, so a slow or doubled-up worker's stream
+// simply takes fewer requests and the measurement reflects fleet capacity
+// rather than one static assignment.
+func FleetBench(model *nn.Model, opts FleetOptions) (FleetResult, error) {
+	if len(opts.Counts) == 0 || opts.Counts[0] != 1 {
+		return FleetResult{}, fmt.Errorf("bench: fleet experiment needs worker counts starting at 1, got %v", opts.Counts)
+	}
+	comp, err := core.Compile(model.Circuit, core.Options{
+		Scheme:       core.SchemeRNS,
+		SecurityBits: -1,
+		MinLogN:      11,
+		MaxLogN:      13,
+	})
+	if err != nil {
+		return FleetResult{}, fmt.Errorf("bench: compiling %s: %w", model.Name, err)
+	}
+	res := FleetResult{
+		Model:       model.Name,
+		LogN:        comp.Best.LogN,
+		ExecDelayMS: opts.ExecDelay.Milliseconds(),
+		Requests:    opts.Requests,
+	}
+	seed := uint64(90)
+	for _, n := range opts.Counts {
+		row, failover, err := runFleet(comp, model.InputShape, n, opts, &seed)
+		if err != nil {
+			return res, fmt.Errorf("bench: fleet run with %d workers: %w", n, err)
+		}
+		if len(res.Rows) == 0 {
+			row.Speedup = 1
+		} else {
+			row.Speedup = row.ImagesPerSec / res.Rows[0].ImagesPerSec
+		}
+		res.Rows = append(res.Rows, row)
+		if failover != nil {
+			res.Failover = failover
+		}
+	}
+	return res, nil
+}
+
+// runFleet measures one worker count: n workers, a router, sessions opened
+// until every worker is occupied, then a pooled throughput phase — plus the
+// kill-one-worker phase when n == opts.FailoverAt.
+func runFleet(comp *core.Compiled, inputShape []int, n int, opts FleetOptions, seed *uint64) (FleetRow, *FleetFailover, error) {
+	row := FleetRow{Workers: n}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	workers := map[string]*serve.Server{}
+	var addrs []string
+	defer func() {
+		for _, s := range workers {
+			s.Shutdown(ctx)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		s, err := serve.New(serve.Config{
+			Compiled:  comp,
+			Workers:   1,
+			Parallel:  1,
+			ExecDelay: opts.ExecDelay,
+		})
+		if err != nil {
+			return row, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return row, nil, err
+		}
+		go s.Serve(ln)
+		workers[ln.Addr().String()] = s
+		addrs = append(addrs, ln.Addr().String())
+	}
+	router, err := fleet.New(fleet.Config{
+		Workers:       addrs,
+		ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return row, nil, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, nil, err
+	}
+	go router.Serve(rln)
+	defer router.Shutdown(ctx)
+
+	// Open sessions until every worker owns one (or the cap says the hash
+	// draw was hopeless — Occupied records what happened either way). Each
+	// open is placed by a handoff, so the one worker whose handoff counter
+	// moved is the new session's sticky owner; the first session landing on
+	// each worker becomes that worker's dedicated load stream.
+	minSessions := opts.MinSessions
+	if minSessions < 2 {
+		minSessions = 2
+	}
+	maxSessions := 6 * n
+	if maxSessions < minSessions {
+		maxSessions = minSessions
+	}
+	// A session that lands on an already-covered worker is closed on the
+	// spot: a live client context plus its key material is tens of MB, and
+	// dozens of idle ones turn the single-core run into a GC benchmark.
+	opened := 0
+	streamFor := map[string]*fleetClient{}
+	defer func() {
+		for _, fc := range streamFor {
+			fc.c.Close()
+		}
+	}()
+	prev := router.Metrics()
+	for opened < maxSessions && (opened < minSessions || len(streamFor) < n) {
+		*seed++
+		c, err := serve.Dial(rln.Addr().String(), serve.ClientConfig{Compiled: comp, PRNG: ring.NewTestPRNG(*seed)})
+		if err != nil {
+			return row, nil, fmt.Errorf("opening session %d: %w", opened+1, err)
+		}
+		opened++
+		owner := ""
+		cur := router.Metrics()
+		for i := range cur.Workers {
+			if cur.Workers[i].Handoffs > prev.Workers[i].Handoffs {
+				owner = cur.Workers[i].Addr
+			}
+		}
+		prev = cur
+		if owner == "" || streamFor[owner] != nil {
+			c.Close()
+			continue
+		}
+		img := nn.SyntheticImage(inputShape, *seed)
+		streamFor[owner] = &fleetClient{c: c, enc: c.Encrypt(img)}
+	}
+	var streams []*fleetClient
+	for _, addr := range addrs { // config order, for determinism
+		if fc := streamFor[addr]; fc != nil {
+			streams = append(streams, fc)
+		}
+	}
+	row.Sessions = opened
+	row.Occupied = len(streams)
+
+	// Dozens of keygens just allocated (and freed) gigabytes; collect that
+	// debt now so the measured phase doesn't pay sweep assists for it.
+	runtime.GC()
+
+	before := router.Metrics()
+	start := time.Now()
+	if errs := driveFleet(streams, opts.Requests); errs > 0 {
+		return row, nil, fmt.Errorf("throughput phase: %d of %d requests failed", errs, opts.Requests)
+	}
+	row.WallSeconds = time.Since(start).Seconds()
+	row.ImagesPerSec = float64(opts.Requests) / row.WallSeconds
+
+	after := router.Metrics()
+	var maxShare uint64
+	for i := range after.Workers {
+		share := after.Workers[i].Relayed - before.Workers[i].Relayed
+		row.PerWorkerRelayed = append(row.PerWorkerRelayed, share)
+		if share > maxShare {
+			maxShare = share
+		}
+	}
+	if row.Occupied > 0 {
+		row.LoadSkew = float64(maxShare) * float64(row.Occupied) / float64(opts.Requests)
+	}
+
+	if n != opts.FailoverAt || opts.FailoverRequests <= 0 {
+		return row, nil, nil
+	}
+
+	// Failover phase: kill the most-loaded worker a beat into the stream.
+	victim := ""
+	var victimLoad uint64
+	for i, w := range after.Workers {
+		if w.Up && row.PerWorkerRelayed[i] >= victimLoad {
+			victim, victimLoad = w.Addr, row.PerWorkerRelayed[i]
+		}
+	}
+	runtime.GC() // same debt barrier as the throughput phase
+	var killWG sync.WaitGroup
+	killWG.Add(1)
+	go func() {
+		defer killWG.Done()
+		time.Sleep(opts.ExecDelay + 100*time.Millisecond)
+		workers[victim].Shutdown(ctx)
+	}()
+	start = time.Now()
+	errs := driveFleet(streams, opts.FailoverRequests)
+	wall := time.Since(start).Seconds()
+	killWG.Wait()
+	final := router.Metrics()
+	fo := &FleetFailover{
+		Workers:      n,
+		Requests:     opts.FailoverRequests,
+		KilledWorker: victim,
+		ClientErrors: errs,
+		Failovers:    final.Failovers - after.Failovers,
+		Rebalances:   final.Rebalances - after.Rebalances,
+		Handoffs:     final.Handoffs - after.Handoffs,
+		ImagesPerSec: float64(opts.FailoverRequests) / wall,
+	}
+	return row, fo, nil
+}
+
+// driveFleet pushes total requests through the per-worker streams, each
+// stream pulling the next request from a shared counter as soon as its last
+// answer lands, and returns how many failed. Faster streams naturally take
+// more of the total, so a worker that slows down (or inherits a second
+// stream's session after a kill) sheds load instead of stalling the run.
+func driveFleet(streams []*fleetClient, total int) int {
+	var next, failed atomic.Int64
+	var wg sync.WaitGroup
+	for _, fc := range streams {
+		wg.Add(1)
+		go func(fc *fleetClient) {
+			defer wg.Done()
+			for next.Add(1) <= int64(total) {
+				if _, err := fc.c.Infer(fc.enc); err != nil {
+					failed.Add(1)
+				}
+			}
+		}(fc)
+	}
+	wg.Wait()
+	return int(failed.Load())
+}
+
+// RenderFleet formats the scaling sweep and the failover verdict.
+func RenderFleet(r FleetResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sharded serving fleet: %s behind chet-router (loopback TCP, real RNS-CKKS, %dms eval floor)\n",
+		r.Model, r.ExecDelayMS)
+	fmt.Fprintf(&sb, "%7s %8s %8s %8s %12s %9s %9s\n",
+		"workers", "sessions", "occupied", "wall s", "images/sec", "speedup", "skew")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%7d %8d %8d %8.2f %12.3f %8.2fx %9.2f\n",
+			row.Workers, row.Sessions, row.Occupied, row.WallSeconds,
+			row.ImagesPerSec, row.Speedup, row.LoadSkew)
+	}
+	if f := r.Failover; f != nil {
+		fmt.Fprintf(&sb, "failover: killed %s mid-stream at %d workers: %d/%d requests failed, %d failovers, %d rebalances, %d handoffs\n",
+			f.KilledWorker, f.Workers, f.ClientErrors, f.Requests, f.Failovers, f.Rebalances, f.Handoffs)
+	}
+	return sb.String()
+}

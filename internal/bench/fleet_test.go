@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"chet/internal/nn"
+)
+
+// TestFleetBenchSmoke runs the sharded-serving sweep on its smallest
+// meaningful instance: one then two real workers behind a router over
+// loopback TCP, plus the kill-one-worker phase. Absolute throughput and
+// scaling are machine-dependent; the smoke checks structure and the
+// zero-client-error failover contract.
+func TestFleetBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real lattice execution over loopback; run without -short")
+	}
+	res, err := FleetBench(nn.LeNetTiny(), FleetOptions{
+		Counts:           []int{1, 2},
+		Requests:         4,
+		ExecDelay:        150 * time.Millisecond,
+		MinSessions:      2,
+		FailoverAt:       2,
+		FailoverRequests: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0].Speedup != 1 {
+		t.Fatalf("baseline speedup = %v, want 1", res.Rows[0].Speedup)
+	}
+	for _, r := range res.Rows {
+		if r.WallSeconds <= 0 || r.ImagesPerSec <= 0 || r.Sessions == 0 || r.Occupied == 0 {
+			t.Fatalf("implausible row %+v", r)
+		}
+		var relayed uint64
+		for _, share := range r.PerWorkerRelayed {
+			relayed += share
+		}
+		if relayed != 4 {
+			t.Fatalf("per-worker shares sum to %d, want 4: %+v", relayed, r)
+		}
+	}
+	f := res.Failover
+	if f == nil {
+		t.Fatal("failover phase did not run")
+	}
+	if f.ClientErrors != 0 {
+		t.Fatalf("worker kill leaked %d errors to clients, want 0", f.ClientErrors)
+	}
+	if f.KilledWorker == "" || f.Rebalances == 0 {
+		t.Fatalf("kill did not rebalance the ring: %+v", f)
+	}
+	if s := RenderFleet(res); !strings.Contains(s, "images/sec") || !strings.Contains(s, "failover") {
+		t.Fatalf("render missing sections:\n%s", s)
+	}
+}
+
+// TestFleetBenchRejectsBadBaseline pins the counts contract: the sweep must
+// start at one worker so speedups have a denominator.
+func TestFleetBenchRejectsBadBaseline(t *testing.T) {
+	if _, err := FleetBench(nn.LeNetTiny(), FleetOptions{Counts: []int{2, 4}}); err == nil {
+		t.Fatal("expected an error for a sweep not starting at one worker")
+	}
+}

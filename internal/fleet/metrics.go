@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// RouterMetrics is a point-in-time snapshot of the router's counters.
+type RouterMetrics struct {
+	SessionsOpened  uint64 // client sessions ever admitted
+	SessionsEvicted uint64 // sessions dropped by the LRU table
+	SessionsActive  int    // sessions currently tracked
+
+	Relays           uint64 // inference requests relayed (counted once, not per attempt)
+	Failovers        uint64 // relay attempts abandoned after a worker failure
+	Handoffs         uint64 // session-handoff frames acked (placements + key replays)
+	Rebalances       uint64 // ring membership changes (removals + readmissions)
+	ProbeFailures    uint64 // individual health-probe failures
+	ClientErrors     uint64 // error frames the router originated toward clients
+	RejectedShutdown uint64 // opens/requests refused while draining
+	UnknownSessions  uint64 // unknown-session errors (router table misses + worker evictions)
+
+	RegistryModels int // models in the replicated registry view
+	LiveWorkers    int // workers currently on the ring
+
+	Workers []WorkerMetrics // per-worker breakdown, in configuration order
+}
+
+// WorkerMetrics is the router's per-worker view.
+type WorkerMetrics struct {
+	Addr     string
+	Up       bool   // on the ring
+	Draining bool   // last probe reported draining
+	Inflight int64  // requests currently relayed to this worker
+	Relayed  uint64 // responses delivered from this worker
+	Handoffs uint64 // sessions handed to this worker
+}
+
+// ObservabilityMux returns an http.Handler exposing the router's live state:
+// /metrics (Prometheus text exposition) and /debug/pprof/*, mirroring the
+// worker-side mux so the same scrape config covers the whole fleet.
+func (r *Router) ObservabilityMux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeRouterProm(w, r.Metrics())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeRouterProm renders a RouterMetrics snapshot in the Prometheus text
+// exposition format (version 0.0.4), handwritten because the repo takes no
+// dependencies.
+func writeRouterProm(w io.Writer, m RouterMetrics) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("chet_router_sessions_opened_total", "Client sessions admitted by the router.", m.SessionsOpened)
+	counter("chet_router_sessions_evicted_total", "Sessions evicted by the router's LRU table.", m.SessionsEvicted)
+	gauge("chet_router_sessions_active", "Sessions currently tracked by the router.", int64(m.SessionsActive))
+	counter("chet_router_relays_total", "Inference requests relayed to workers.", m.Relays)
+	counter("chet_router_failovers_total", "Relay attempts abandoned after a worker failure.", m.Failovers)
+	counter("chet_router_handoffs_total", "Session-handoff frames acked by workers.", m.Handoffs)
+	counter("chet_router_ring_rebalances_total", "Consistent-hash ring membership changes.", m.Rebalances)
+	counter("chet_router_probe_failures_total", "Health-probe failures.", m.ProbeFailures)
+	counter("chet_router_client_errors_total", "Error frames the router originated toward clients.", m.ClientErrors)
+	counter("chet_router_rejected_shutdown_total", "Opens and requests refused while draining.", m.RejectedShutdown)
+	counter("chet_router_unknown_sessions_total", "Unknown-session errors seen at the router.", m.UnknownSessions)
+	gauge("chet_router_registry_models", "Models in the replicated registry view.", int64(m.RegistryModels))
+	gauge("chet_router_live_workers", "Workers currently on the ring.", int64(m.LiveWorkers))
+
+	fmt.Fprintf(w, "# HELP chet_router_worker_up Worker ring membership (1 = on the ring).\n# TYPE chet_router_worker_up gauge\n")
+	for _, wk := range m.Workers {
+		up := 0
+		if wk.Up {
+			up = 1
+		}
+		fmt.Fprintf(w, "chet_router_worker_up{worker=%q} %d\n", wk.Addr, up)
+	}
+	fmt.Fprintf(w, "# HELP chet_router_worker_inflight Requests currently relayed per worker.\n# TYPE chet_router_worker_inflight gauge\n")
+	for _, wk := range m.Workers {
+		fmt.Fprintf(w, "chet_router_worker_inflight{worker=%q} %d\n", wk.Addr, wk.Inflight)
+	}
+	fmt.Fprintf(w, "# HELP chet_router_worker_relayed_total Responses delivered per worker.\n# TYPE chet_router_worker_relayed_total counter\n")
+	for _, wk := range m.Workers {
+		fmt.Fprintf(w, "chet_router_worker_relayed_total{worker=%q} %d\n", wk.Addr, wk.Relayed)
+	}
+	fmt.Fprintf(w, "# HELP chet_router_worker_handoffs_total Sessions handed to each worker.\n# TYPE chet_router_worker_handoffs_total counter\n")
+	for _, wk := range m.Workers {
+		fmt.Fprintf(w, "chet_router_worker_handoffs_total{worker=%q} %d\n", wk.Addr, wk.Handoffs)
+	}
+}

@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"bytes"
+	"sync"
+
+	"chet/internal/wire"
+)
+
+// Registry is the router's merged view of the compiled models the fleet
+// serves, keyed by compilation fingerprint. It is replicated: the router
+// pushes its snapshot to every worker on each probe cycle and merges each
+// worker's ack back in, so any single surviving process — router or worker —
+// can rebuild the full view. Fingerprints are content hashes of the
+// compilation, so entries never conflict and last-writer-wins is safe.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[[32]byte]wire.RegistryEntry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[[32]byte]wire.RegistryEntry{}}
+}
+
+// Merge folds entries in, returning how many were previously unknown.
+func (r *Registry) Merge(entries []wire.RegistryEntry) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	added := 0
+	for _, e := range entries {
+		if _, ok := r.entries[e.Fingerprint]; !ok {
+			added++
+		}
+		r.entries[e.Fingerprint] = e
+	}
+	return added
+}
+
+// Has reports whether a fingerprint is a known compiled model.
+func (r *Registry) Has(fp [32]byte) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[fp]
+	return ok
+}
+
+// Size returns the number of known models.
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Snapshot returns the entries sorted by fingerprint, so two replicas with
+// the same contents serialize identically.
+func (r *Registry) Snapshot() []wire.RegistryEntry {
+	r.mu.Lock()
+	out := make([]wire.RegistryEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.Unlock()
+	sort := func(a, b wire.RegistryEntry) bool { return bytes.Compare(a.Fingerprint[:], b.Fingerprint[:]) < 0 }
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && sort(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+// Package fleet implements the horizontal serving tier of the CHET stack: a
+// router that places client sessions across a fleet of chet-serve workers.
+// Sessions are sticky — a session's evaluation keys live on the worker that
+// admitted them — so placement uses a consistent-hash ring: membership churn
+// (a worker dying, a drained worker readmitted) moves only ~K/N of K live
+// sessions instead of reshuffling everything, and each moved session costs
+// one key handoff rather than a client-visible failure. The router speaks
+// the ordinary wire protocol to both sides: clients connect to it exactly as
+// they would to a single worker, and workers see it as one more client that
+// also sends control frames (health probes, registry syncs, session
+// handoffs).
+package fleet
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the virtual-node count per member when the caller does
+// not choose one. More vnodes smooth the load split between members at the
+// cost of a longer sorted point list; 64 keeps the worst-case skew across a
+// handful of workers within a few percent.
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring with virtual nodes. It is safe for
+// concurrent use: lookups take a read lock, membership changes a write lock.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	members  map[string]struct{}
+	points   []ringPoint // sorted by hash
+	version  uint64
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing creates an empty ring with the given vnode count per member
+// (<= 0 selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, members: map[string]struct{}{}}
+}
+
+// Add inserts a member and its vnodes. Returns false if already present.
+func (r *Ring) Add(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return false
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{vnodeHash(member, i), member})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	r.version++
+	return true
+}
+
+// Remove deletes a member and its vnodes. Returns false if absent.
+func (r *Ring) Remove(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return false
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	r.version++
+	return true
+}
+
+// Owner maps a key to the member owning it: the first vnode clockwise of the
+// key's scrambled hash. Returns false when the ring is empty. Placement is a
+// pure function of (membership, key): two lookups under the same membership
+// always agree, which is what lets every relay recompute ownership lazily
+// instead of broadcasting placement changes.
+func (r *Ring) Owner(key uint64) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := splitmix64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member, true
+}
+
+// Members returns the live members, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the live member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Version counts membership changes; a relay can compare versions to detect
+// a rebalance between two lookups.
+func (r *Ring) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
+
+// vnodeHash positions one virtual node: FNV-1a over the member name plus the
+// replica index, finalized through the splitmix64 mixer. Member names are
+// near-identical host:port strings, and raw FNV clusters them into a few
+// arcs of the ring (measured 4%/64%/25%/6% splits across four workers); the
+// finalizer's avalanche restores a near-uniform spread.
+func vnodeHash(member string, replica int) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, member)
+	var idx [5]byte
+	idx[0] = '#'
+	binary.LittleEndian.PutUint32(idx[1:], uint32(replica))
+	h.Write(idx[:])
+	return splitmix64(h.Sum64())
+}
+
+// splitmix64 scrambles a key before the ring lookup. Session IDs are small
+// sequential integers; without a finalizer they would all land in one arc of
+// the ring and pile onto one member.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

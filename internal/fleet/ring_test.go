@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// placements maps every key in [1, n] to its owner under the ring's current
+// membership.
+func placements(r *Ring, n int) map[uint64]string {
+	out := make(map[uint64]string, n)
+	for k := uint64(1); k <= uint64(n); k++ {
+		owner, ok := r.Owner(k)
+		if !ok {
+			panic("empty ring during placement sweep")
+		}
+		out[k] = owner
+	}
+	return out
+}
+
+func workers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:7100", i+1)
+	}
+	return out
+}
+
+// TestRingDeterministicPlacement pins the core routing contract: placement
+// is a pure function of (membership, key), independent of insertion order.
+func TestRingDeterministicPlacement(t *testing.T) {
+	const keys = 2000
+	a, b := NewRing(0), NewRing(0)
+	ws := workers(5)
+	for _, w := range ws {
+		a.Add(w)
+	}
+	for i := len(ws) - 1; i >= 0; i-- { // reverse insertion order
+		b.Add(ws[i])
+	}
+	pa, pb := placements(a, keys), placements(b, keys)
+	for k, owner := range pa {
+		if pb[k] != owner {
+			t.Fatalf("key %d: owner %q under one insertion order, %q under another", k, owner, pb[k])
+		}
+	}
+	// Repeated lookups agree with themselves.
+	for k, owner := range pa {
+		if again, _ := a.Owner(k); again != owner {
+			t.Fatalf("key %d: owner changed between lookups with no membership change", k)
+		}
+	}
+}
+
+// TestRingBoundedMovesOnJoinAndLeave is the consistent-hashing property: a
+// membership change of one worker among N may move only about K/N of K keys.
+// The bound is checked with slack (2x the fair share) because vnode
+// placement is hash-random, not exact.
+func TestRingBoundedMovesOnJoinAndLeave(t *testing.T) {
+	const keys = 4000
+	for _, n := range []int{2, 4, 8} {
+		r := NewRing(0)
+		ws := workers(n)
+		for _, w := range ws {
+			r.Add(w)
+		}
+		before := placements(r, keys)
+
+		joined := "10.0.1.99:7100"
+		r.Add(joined)
+		after := placements(r, keys)
+		moved := 0
+		for k := range before {
+			if before[k] != after[k] {
+				moved++
+				// Every moved key must move TO the joiner; anything else
+				// reshuffled keys between surviving workers.
+				if after[k] != joined {
+					t.Fatalf("n=%d: key %d moved %q -> %q, not to the joining worker",
+						n, k, before[k], after[k])
+				}
+			}
+		}
+		fair := keys / (n + 1)
+		if moved > 2*fair {
+			t.Fatalf("n=%d: join moved %d of %d keys, want <= ~%d (2x fair share)", n, moved, keys, 2*fair)
+		}
+
+		// Leave: removing the joiner must restore the prior placement
+		// exactly — survivors' keys never moved, so they have nowhere to
+		// move back from.
+		r.Remove(joined)
+		restored := placements(r, keys)
+		for k := range before {
+			if restored[k] != before[k] {
+				t.Fatalf("n=%d: key %d at %q after leave, was %q before join", n, k, restored[k], before[k])
+			}
+		}
+	}
+}
+
+// TestRingLoadSpread checks vnodes keep the per-worker share of keys within
+// a loose factor of fair, so no worker silently shoulders most of the fleet.
+func TestRingLoadSpread(t *testing.T) {
+	const keys = 8000
+	r := NewRing(0)
+	ws := workers(4)
+	for _, w := range ws {
+		r.Add(w)
+	}
+	counts := map[string]int{}
+	for k, owner := range placements(r, keys) {
+		_ = k
+		counts[owner]++
+	}
+	fair := keys / len(ws)
+	for w, c := range counts {
+		if c < fair/3 || c > 3*fair {
+			t.Fatalf("worker %s owns %d of %d keys (fair %d); vnode spread is degenerate", w, c, keys, fair)
+		}
+	}
+}
+
+// TestRingEmptyAndMembership covers the edges: empty ring refuses lookups,
+// duplicate adds and absent removes are rejected, version counts changes.
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner(1); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	if !r.Add("a") || r.Add("a") {
+		t.Fatal("Add must succeed once and reject duplicates")
+	}
+	if !r.Add("b") {
+		t.Fatal(`Add("b") failed`)
+	}
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Members() = %v", got)
+	}
+	if r.Remove("zzz") {
+		t.Fatal("Remove of an absent member succeeded")
+	}
+	if !r.Remove("a") || r.Size() != 1 {
+		t.Fatalf("Remove(a) failed or size wrong: %d", r.Size())
+	}
+	if v := r.Version(); v != 3 { // add, add, remove
+		t.Fatalf("version %d after 3 membership changes", v)
+	}
+	if owner, ok := r.Owner(42); !ok || owner != "b" {
+		t.Fatalf("single-member ring owner = %q, %v", owner, ok)
+	}
+}
+
+// TestRingConcurrentLookupAndRebalance hammers lookups while membership
+// churns. Run under -race (ci.sh does); every lookup must return a member
+// that was live at some point — never garbage, never a panic.
+func TestRingConcurrentLookupAndRebalance(t *testing.T) {
+	r := NewRing(16)
+	ws := workers(6)
+	valid := map[string]bool{}
+	for _, w := range ws {
+		r.Add(w)
+		valid[w] = true
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := uint64(g * 1000); ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if owner, ok := r.Owner(k); ok && !valid[owner] {
+					t.Errorf("lookup returned unknown member %q", owner)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		w := ws[i%len(ws)]
+		if i%2 == 0 {
+			r.Remove(w)
+		} else {
+			r.Add(w)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

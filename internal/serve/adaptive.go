@@ -1,0 +1,40 @@
+package serve
+
+import "time"
+
+// Adaptive batch-flush control (Config.BatchAdaptive). The coalescer's wait
+// is a latency/throughput trade: waiting lets more requests join a batch (one
+// evaluation amortizes across them), but once the server is saturated the
+// admission queue itself delays dispatch long enough for batches to fill —
+// any further coalescing wait is pure added latency. The controller therefore
+// scales the wait by how loaded the server already is, using two signals the
+// engine records anyway: the average time a request spends queued and the
+// average time one evaluation takes.
+
+// adaptiveFlushWait maps the load signals to a flush deadline:
+//
+//	wait = base * clamp(1 - queueWait/eval, 0, 1)
+//
+// When requests queue for a full evaluation time (ratio >= 1) the executor is
+// the bottleneck and arrivals pile up on their own — flush immediately. When
+// the queue is empty (ratio ~ 0) traffic is sparse and the full base wait is
+// the only chance a batch has to form. In between, the wait degrades
+// linearly. Zero-signal cases (no samples yet) keep the static base.
+func adaptiveFlushWait(base, queueWait, eval time.Duration) time.Duration {
+	if base <= 0 || eval <= 0 || queueWait <= 0 {
+		return base
+	}
+	f := 1 - float64(queueWait)/float64(eval)
+	if f <= 0 {
+		return 0
+	}
+	return time.Duration(float64(base) * f)
+}
+
+// adaptiveWait is the coalescer's WaitFor hook: it feeds the controller the
+// live EWMAs of queue wait and evaluation time. It runs on every admission
+// (under the coalescer's lock), so it reads the cheap moving averages, not
+// the sorted quantile summaries.
+func (s *Server) adaptiveWait() time.Duration {
+	return adaptiveFlushWait(s.cfg.BatchWait, s.queueWait.average(), s.evalLatency.average())
+}

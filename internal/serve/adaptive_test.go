@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdaptiveFlushWait(t *testing.T) {
+	const base = 20 * time.Millisecond
+	cases := []struct {
+		name            string
+		queueWait, eval time.Duration
+		want            time.Duration
+	}{
+		{"no samples keeps static base", 0, 0, base},
+		{"no eval signal keeps static base", time.Millisecond, 0, base},
+		{"idle queue keeps static base", 0, 10 * time.Millisecond, base},
+		{"half-loaded halves the wait", 5 * time.Millisecond, 10 * time.Millisecond, base / 2},
+		{"saturated flushes immediately", 10 * time.Millisecond, 10 * time.Millisecond, 0},
+		{"overloaded flushes immediately", time.Second, 10 * time.Millisecond, 0},
+	}
+	for _, c := range cases {
+		if got := adaptiveFlushWait(base, c.queueWait, c.eval); got != c.want {
+			t.Errorf("%s: adaptiveFlushWait(%v, %v, %v) = %v, want %v",
+				c.name, base, c.queueWait, c.eval, got, c.want)
+		}
+	}
+	if got := adaptiveFlushWait(0, time.Millisecond, time.Millisecond); got != 0 {
+		t.Errorf("zero base must stay zero, got %v", got)
+	}
+}
+
+func TestLatencyRecorderAverage(t *testing.T) {
+	l := newLatencyRecorder()
+	if l.average() != 0 {
+		t.Fatalf("empty recorder average %v, want 0", l.average())
+	}
+	l.record(80 * time.Millisecond)
+	if l.average() != 80*time.Millisecond {
+		t.Fatalf("first sample must seed the average, got %v", l.average())
+	}
+	// A run of much-smaller samples pulls the average down geometrically.
+	for i := 0; i < 64; i++ {
+		l.record(8 * time.Millisecond)
+	}
+	if avg := l.average(); avg > 10*time.Millisecond || avg < 8*time.Millisecond {
+		t.Fatalf("average %v did not converge toward 8ms", avg)
+	}
+}
+
+// TestServerAdaptiveWait exercises the controller through a real server's
+// recorders: fresh server keeps the static wait, a saturated queue-wait
+// signal collapses it to zero.
+func TestServerAdaptiveWait(t *testing.T) {
+	comp := testBatchCompiled(t)
+	s, err := New(Config{Compiled: comp, MaxBatch: 2, BatchWait: 15 * time.Millisecond, BatchAdaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.adaptiveWait(); got != 15*time.Millisecond {
+		t.Fatalf("cold server wait %v, want the static 15ms", got)
+	}
+	s.evalLatency.record(10 * time.Millisecond)
+	s.queueWait.record(40 * time.Millisecond)
+	if got := s.adaptiveWait(); got != 0 {
+		t.Fatalf("saturated server wait %v, want 0", got)
+	}
+}

@@ -30,6 +30,23 @@ type ClientConfig struct {
 	Timeout time.Duration
 	// MaxFrame bounds accepted response frames. Default wire.DefaultMaxFrame.
 	MaxFrame int
+	// Redial bounds reconnect-with-backoff on transient transport failures
+	// (refused dials, connections cut mid-request). The zero value disables
+	// reconnection: transport errors surface immediately, the pre-fleet
+	// behavior. Only clients created with Dial can redial (they know the
+	// address); wire-level error frames are never retried — the server
+	// answered, so the transport is fine and the failure is real.
+	Redial RedialPolicy
+}
+
+// RedialPolicy bounds a client's reconnect behavior.
+type RedialPolicy struct {
+	// Attempts is the maximum number of reconnects tried per operation
+	// before the transport error is surfaced. Zero disables redialing.
+	Attempts int
+	// Backoff is the delay before the first reconnect; it doubles after
+	// each failed attempt. Zero retries immediately.
+	Backoff time.Duration
 }
 
 // Client is the trusting side of the deployment model: it holds the secret
@@ -66,18 +83,39 @@ func newTraceBase() uint64 {
 }
 
 // Dial connects to addr and opens a session (uploading the evaluation keys).
+// With a RedialPolicy configured, transient dial and handshake failures are
+// retried with exponential backoff; a server-sent error frame (fingerprint
+// mismatch, draining) came from a live server, so retrying cannot help and
+// it is surfaced immediately.
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	backoff := cfg.Redial.Backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > cfg.Redial.Attempts {
+				return nil, lastErr
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			lastErr = fmt.Errorf("serve: dial %s: %w", addr, err)
+			continue
+		}
+		c, err := NewClient(conn, cfg)
+		if err != nil {
+			conn.Close()
+			var ef *wire.ErrorFrame
+			if errors.As(err, &ef) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		c.addr = addr
+		return c, nil
 	}
-	c, err := NewClient(conn, cfg)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	c.addr = addr
-	return c, nil
 }
 
 // NewStream opens an additional connection that shares this client's keys
@@ -203,19 +241,73 @@ func (c *Client) Decrypt(out *htc.CipherTensor) *tensor.Tensor {
 	return t
 }
 
+// redialLocked replaces a dead connection and re-runs the session handshake
+// over the new one. Callers hold c.mu.
+func (c *Client) redialLocked() error {
+	if c.addr == "" {
+		return errors.New("serve: cannot redial a client not created with Dial")
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("serve: redial %s: %w", c.addr, err)
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = conn
+	return c.open()
+}
+
+// retryTransport runs op, redialing per the configured policy when it fails
+// at the transport layer (connection cut mid-request, write to a dead
+// socket). A *wire.ErrorFrame is the server's answer — the transport worked —
+// so it is returned without a retry; re-sending after a redial is safe
+// because an inference is a pure function of its ciphertext. Callers hold
+// c.mu (backoff sleeps while holding it; requests on one client serialize
+// anyway).
+func (c *Client) retryTransport(op func() (*htc.CipherTensor, error)) (*htc.CipherTensor, error) {
+	out, err := op()
+	if err == nil || c.addr == "" || c.cfg.Redial.Attempts <= 0 {
+		return out, err
+	}
+	var ef *wire.ErrorFrame
+	if errors.As(err, &ef) {
+		return out, err
+	}
+	backoff := c.cfg.Redial.Backoff
+	for attempt := 1; attempt <= c.cfg.Redial.Attempts; attempt++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		if rerr := c.redialLocked(); rerr != nil {
+			if errors.As(rerr, &ef) {
+				return nil, rerr
+			}
+			err = rerr
+			continue
+		}
+		out, err = op()
+		if err == nil || errors.As(err, &ef) {
+			return out, err
+		}
+	}
+	return nil, err
+}
+
 // Infer ships an encrypted tensor to the server and returns the encrypted
 // result. If the server reports the session unknown (evicted under the
-// session cap), the client transparently re-opens once and retries.
+// session cap), the client transparently re-opens once and retries; with a
+// RedialPolicy configured, transient transport failures reconnect and retry.
 func (c *Client) Infer(in *htc.CipherTensor) (*htc.CipherTensor, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out, err := c.inferLocked(in)
+	op := func() (*htc.CipherTensor, error) { return c.inferLocked(in) }
+	out, err := c.retryTransport(op)
 	var ef *wire.ErrorFrame
 	if errors.As(err, &ef) && ef.Code == wire.CodeUnknownSession {
 		if err := c.open(); err != nil {
 			return nil, fmt.Errorf("serve: re-opening evicted session: %w", err)
 		}
-		return c.inferLocked(in)
+		return c.retryTransport(op)
 	}
 	return out, err
 }
@@ -313,13 +405,14 @@ func (c *Client) DecryptBatch(out *htc.CipherTensor, n int) []*tensor.Tensor {
 func (c *Client) InferBatch(in *htc.CipherTensor, count int) (*htc.CipherTensor, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out, err := c.inferBatchLocked(in, count)
+	op := func() (*htc.CipherTensor, error) { return c.inferBatchLocked(in, count) }
+	out, err := c.retryTransport(op)
 	var ef *wire.ErrorFrame
 	if errors.As(err, &ef) && ef.Code == wire.CodeUnknownSession {
 		if err := c.open(); err != nil {
 			return nil, fmt.Errorf("serve: re-opening evicted session: %w", err)
 		}
-		return c.inferBatchLocked(in, count)
+		return c.retryTransport(op)
 	}
 	return out, err
 }

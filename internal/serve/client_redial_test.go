@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"chet/internal/ring"
+	"chet/internal/wire"
+)
+
+// TestDialRedialsThroughFlakyListener exercises the reconnect policy against
+// a listener that slams the first connections shut before the handshake can
+// complete — the transient-failure mode of a worker mid-restart. The client
+// must retry through the flaky phase and land a working session.
+func TestDialRedialsThroughFlakyListener(t *testing.T) {
+	comp := testCompiled(t)
+	s, err := New(Config{Compiled: comp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flaky phase: accept and immediately close two connections, then hand
+	// the listener to the real server. The client dials sequentially, so its
+	// first two attempts deterministically hit the flaky phase.
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+		s.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	cli, err := Dial(ln.Addr().String(), ClientConfig{
+		Compiled: comp,
+		PRNG:     ring.NewTestPRNG(42),
+		Redial:   RedialPolicy{Attempts: 5, Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("dial through flaky listener: %v", err)
+	}
+	defer cli.Close()
+
+	img := randTensor([]int{1, 5, 5}, 1, 7)
+	if _, err := cli.Infer(cli.Encrypt(img)); err != nil {
+		t.Fatalf("infer after flaky dial: %v", err)
+	}
+}
+
+// TestInferRedialsAfterConnCut cuts the established connection out from
+// under a client mid-stream: the next Infer must reconnect, re-open the
+// session (replaying the keys), and succeed. The same cut without a policy
+// must surface the transport error — redial is strictly opt-in.
+func TestInferRedialsAfterConnCut(t *testing.T) {
+	comp := testCompiled(t)
+	s, err := New(Config{Compiled: comp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	cli, err := Dial(addr, ClientConfig{
+		Compiled: comp,
+		PRNG:     ring.NewTestPRNG(43),
+		Redial:   RedialPolicy{Attempts: 3, Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	img := randTensor([]int{1, 5, 5}, 1, 8)
+	enc := cli.Encrypt(img)
+	if _, err := cli.Infer(enc); err != nil {
+		t.Fatalf("warm-up infer: %v", err)
+	}
+
+	cli.mu.Lock()
+	cli.conn.Close()
+	cli.mu.Unlock()
+	if _, err := cli.Infer(enc); err != nil {
+		t.Fatalf("infer after connection cut: %v", err)
+	}
+
+	// Without a policy, the identical cut is fatal (pre-fleet behavior).
+	bare, err := Dial(addr, ClientConfig{Compiled: comp, PRNG: ring.NewTestPRNG(44)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	enc2 := bare.Encrypt(img)
+	if _, err := bare.Infer(enc2); err != nil {
+		t.Fatalf("bare warm-up infer: %v", err)
+	}
+	bare.mu.Lock()
+	bare.conn.Close()
+	bare.mu.Unlock()
+	if _, err := bare.Infer(enc2); err == nil {
+		t.Fatal("bare client survived a cut connection; redial must be opt-in")
+	}
+}
+
+// TestRedialNeverRetriesErrorFrames proves a server-sent error frame is
+// permanent under the policy: a fingerprint-mismatched handshake fails
+// immediately instead of burning the retry budget against a healthy server.
+func TestRedialNeverRetriesErrorFrames(t *testing.T) {
+	comp := testCompiled(t)
+	s, err := New(Config{Compiled: comp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, s)
+
+	other := testBatchCompiled(t) // same model, different options => different fingerprint
+	start := time.Now()
+	_, err = Dial(addr, ClientConfig{
+		Compiled: other,
+		PRNG:     ring.NewTestPRNG(45),
+		Redial:   RedialPolicy{Attempts: 8, Backoff: 200 * time.Millisecond},
+	})
+	var ef *wire.ErrorFrame
+	if !errors.As(err, &ef) || ef.Code != wire.CodeFingerprintMismatch {
+		t.Fatalf("want a fingerprint-mismatch error frame, got %v", err)
+	}
+	// Eight attempts at doubling 200ms backoff would take tens of seconds;
+	// a permanent failure must return without sleeping through them.
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("error frame burned the retry budget (%v elapsed)", e)
+	}
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+
+	"chet/internal/wire"
+)
+
+// fleetStore is this worker's replica of the fleet-wide compiled-model
+// registry, keyed by compilation fingerprint. A router pushes its merged view
+// with registry-sync frames; the worker folds them in and acks with its own
+// snapshot (which always contains the model this server itself serves), so
+// the registry survives any single process — a restarted router rebuilds it
+// from whichever worker answers first.
+type fleetStore struct {
+	mu      sync.Mutex
+	entries map[[32]byte]wire.RegistryEntry
+}
+
+func newFleetStore() *fleetStore {
+	return &fleetStore{entries: map[[32]byte]wire.RegistryEntry{}}
+}
+
+// merge folds entries into the replica. Fingerprints are content hashes of
+// the compilation, so two entries with the same key describe the same model
+// and last-writer-wins is safe.
+func (f *fleetStore) merge(entries []wire.RegistryEntry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range entries {
+		f.entries[e.Fingerprint] = e
+	}
+}
+
+// snapshot returns the replica sorted by fingerprint, so syncs and acks are
+// deterministic byte-for-byte regardless of merge order.
+func (f *fleetStore) snapshot() []wire.RegistryEntry {
+	f.mu.Lock()
+	out := make([]wire.RegistryEntry, 0, len(f.entries))
+	for _, e := range f.entries {
+		out = append(out, e)
+	}
+	f.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && bytes.Compare(out[j].Fingerprint[:], out[j-1].Fingerprint[:]) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (f *fleetStore) size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.entries)
+}

@@ -56,6 +56,13 @@ func writePromMetrics(w io.Writer, m ServerMetrics, sessions []*session) {
 	counter("chet_rejected_queue_full_total", "Requests rejected on a full admission queue.", m.RejectedQueueFull)
 	counter("chet_rejected_deadline_total", "Requests rejected past their deadline.", m.RejectedDeadline)
 	counter("chet_rejected_shutdown_total", "Requests rejected during shutdown.", m.RejectedShutdown)
+	fmt.Fprintf(w, "# HELP chet_inflight_requests Admitted requests not yet answered.\n# TYPE chet_inflight_requests gauge\nchet_inflight_requests %d\n",
+		m.Inflight)
+	counter("chet_session_handoffs_total", "Sessions admitted via router handoff.", m.Handoffs)
+	counter("chet_health_probes_total", "Health probes answered.", m.HealthProbes)
+	counter("chet_registry_syncs_total", "Registry-sync frames merged.", m.RegistrySyncs)
+	fmt.Fprintf(w, "# HELP chet_registry_models Models in the replicated registry view.\n# TYPE chet_registry_models gauge\nchet_registry_models %d\n",
+		m.RegistryModels)
 
 	summary := func(name, help string, l LatencySummary) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)

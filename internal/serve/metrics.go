@@ -19,6 +19,10 @@ type latencyRecorder struct {
 	next  int
 	count uint64        // total ever recorded
 	sum   time.Duration // total duration ever recorded
+	// ewma tracks an exponentially-weighted moving average (alpha 1/8) of
+	// the recorded durations — cheap enough to consult on every admission,
+	// unlike the sort the quantile summary pays.
+	ewma time.Duration
 }
 
 const latencyWindow = 1024
@@ -32,12 +36,24 @@ func (l *latencyRecorder) record(d time.Duration) {
 	defer l.mu.Unlock()
 	l.count++
 	l.sum += d
+	if l.count == 1 {
+		l.ewma = d
+	} else {
+		l.ewma += (d - l.ewma) / 8
+	}
 	if len(l.ring) < cap(l.ring) {
 		l.ring = append(l.ring, d)
 		return
 	}
 	l.ring[l.next] = d
 	l.next = (l.next + 1) % len(l.ring)
+}
+
+// average returns the moving average (zero until the first sample).
+func (l *latencyRecorder) average() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ewma
 }
 
 // LatencySummary is a quantile snapshot over the recent-latency window.
@@ -90,6 +106,17 @@ type ServerMetrics struct {
 	RejectedQueueFull uint64
 	RejectedDeadline  uint64
 	RejectedShutdown  uint64
+	// Inflight is the admitted-but-unanswered request gauge (also reported
+	// in health acks so a router can balance on live load).
+	Inflight int64
+
+	// Fleet control-plane counters: sessions admitted via router handoff,
+	// health probes answered, registry syncs folded in, and the size of this
+	// worker's replicated model-registry view.
+	Handoffs       uint64
+	HealthProbes   uint64
+	RegistrySyncs  uint64
+	RegistryModels int
 
 	// Latency is the end-to-end per-request view (admission to response);
 	// QueueWait and Evaluation split it into the time a request spent

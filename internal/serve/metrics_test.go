@@ -74,6 +74,7 @@ func newMetricsTestServer() *Server {
 		queueWait:   newLatencyRecorder(),
 		evalLatency: newLatencyRecorder(),
 		batchSizes:  map[int]uint64{},
+		fleet:       newFleetStore(),
 	}
 }
 

@@ -67,6 +67,21 @@ type Config struct {
 	// before being evaluated anyway. Only meaningful with MaxBatch > 1.
 	// Default 20ms; negative flushes immediately (coalescing off in effect).
 	BatchWait time.Duration
+	// BatchAdaptive derives the flush deadline from live load instead of
+	// using BatchWait verbatim: when requests are already queueing about as
+	// long as an evaluation takes, batches form on their own and added wait
+	// is pure latency, so the deadline shrinks toward zero; when traffic is
+	// sparse the deadline grows back to BatchWait to give coalescing a
+	// chance. BatchWait remains the ceiling. Off by default (static waits).
+	BatchAdaptive bool
+	// ExecDelay, when positive, adds an artificial latency floor to every
+	// evaluation (slept inside the executor, after the real circuit runs).
+	// It exists for load and fleet experiments: with a tiny circuit, real
+	// evaluations are too fast to expose queueing or multi-worker scaling
+	// behavior, and a sleeping evaluation occupies an executor slot exactly
+	// like a slow one without burning CPU. Zero (the default) disables it;
+	// production configs must leave it zero.
+	ExecDelay time.Duration
 	// Trace wraps each session's backend in a telemetry.Tracer: /metrics
 	// gains per-op duration series, every evaluation runs under a scope
 	// named by the requests' wire trace IDs, and each dispatch is logged
@@ -150,10 +165,17 @@ type Server struct {
 	// batches; nil when MaxBatch <= 1.
 	coal *batch.Coalescer[uint64, *job]
 
-	draining atomic.Bool
-	inflight sync.WaitGroup // admitted jobs not yet responded
-	execWG   sync.WaitGroup // executor goroutines
-	connWG   sync.WaitGroup // per-connection handlers
+	draining  atomic.Bool
+	inflight  sync.WaitGroup // admitted jobs not yet responded
+	inflightN atomic.Int64   // gauge twin of the WaitGroup, for health acks
+	execWG    sync.WaitGroup // executor goroutines
+	connWG    sync.WaitGroup // per-connection handlers
+
+	// fleet is this worker's replica of the fleet-wide compiled-model
+	// registry (seeded with the model this server itself serves and merged
+	// with every registry-sync a router pushes).
+	fleet     *fleetStore
+	selfEntry wire.RegistryEntry
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -164,6 +186,7 @@ type Server struct {
 	// Counters (atomic; see Metrics).
 	requests, completed, evalErrors        atomic.Uint64
 	rejQueueFull, rejDeadline, rejShutdown atomic.Uint64
+	handoffs, probes, registrySyncs        atomic.Uint64
 	latency                                *latencyRecorder
 	queueWait                              *latencyRecorder
 	evalLatency                            *latencyRecorder
@@ -212,10 +235,21 @@ func New(cfg Config) (*Server, error) {
 		queueWait:   newLatencyRecorder(),
 		evalLatency: newLatencyRecorder(),
 		batchSizes:  map[int]uint64{},
+		fleet:       newFleetStore(),
 	}
+	s.selfEntry = wire.RegistryEntry{
+		Fingerprint: s.fingerprint,
+		Model:       cfg.Compiled.Circuit.Name,
+		LogN:        uint32(cfg.Compiled.Best.LogN),
+		Batch:       uint32(capacity),
+	}
+	s.fleet.merge([]wire.RegistryEntry{s.selfEntry})
 	if cfg.MaxBatch > 1 {
-		s.coal = batch.New[uint64, *job](
-			batch.Config{MaxBatch: cfg.MaxBatch, MaxWait: cfg.BatchWait}, s.enqueueBatch)
+		bc := batch.Config{MaxBatch: cfg.MaxBatch, MaxWait: cfg.BatchWait}
+		if cfg.BatchAdaptive {
+			bc.WaitFor = s.adaptiveWait
+		}
+		s.coal = batch.New[uint64, *job](bc, s.enqueueBatch)
 	}
 	return s, nil
 }
@@ -344,6 +378,11 @@ func (s *Server) Metrics() ServerMetrics {
 		RejectedQueueFull: s.rejQueueFull.Load(),
 		RejectedDeadline:  s.rejDeadline.Load(),
 		RejectedShutdown:  s.rejShutdown.Load(),
+		Inflight:          s.inflightN.Load(),
+		Handoffs:          s.handoffs.Load(),
+		HealthProbes:      s.probes.Load(),
+		RegistrySyncs:     s.registrySyncs.Load(),
+		RegistryModels:    s.fleet.size(),
 		Latency:           s.latency.summary(),
 		QueueWait:         s.queueWait.summary(),
 		Evaluation:        s.evalLatency.summary(),
@@ -408,6 +447,18 @@ func (s *Server) handleConn(conn net.Conn) {
 			if !s.handleInferBatch(conn, payload, writeErr) {
 				return
 			}
+		case wire.MsgHealthProbe:
+			if !s.handleHealthProbe(conn, payload, writeErr) {
+				return
+			}
+		case wire.MsgRegistrySync:
+			if !s.handleRegistrySync(conn, payload, writeErr) {
+				return
+			}
+		case wire.MsgSessionHandoff:
+			if !s.handleSessionHandoff(conn, payload, writeErr) {
+				return
+			}
 		default:
 			if !writeErr(wire.CodeBadMessage, 0, "unexpected %v frame", t) {
 				return
@@ -419,22 +470,40 @@ func (s *Server) handleConn(conn net.Conn) {
 // handleSessionOpen validates keys and registers a session. Returns false
 // when the connection is beyond use.
 func (s *Server) handleSessionOpen(conn net.Conn, payload []byte, writeErr func(wire.ErrorCode, uint64, string, ...any) bool) bool {
+	id, code, err := s.admitSession(payload)
+	if err != nil {
+		if code == wire.CodeShuttingDown {
+			s.rejShutdown.Add(1)
+		}
+		return writeErr(code, 0, "session-open: %v", err)
+	}
+	accept, err := (&wire.SessionAccept{SessionID: id}).Encode()
+	if err != nil {
+		return writeErr(wire.CodeInternal, 0, "encoding accept: %v", err)
+	}
+	return wire.WriteFrame(conn, wire.MsgSessionAccept, accept) == nil
+}
+
+// admitSession validates a session-open payload and registers the session,
+// returning the new session ID. It is the shared admission path for direct
+// client opens and router-driven handoffs (which replay a stored session-open
+// payload); on failure the returned code classifies the rejection.
+func (s *Server) admitSession(payload []byte) (uint64, wire.ErrorCode, error) {
 	if s.draining.Load() {
-		s.rejShutdown.Add(1)
-		return writeErr(wire.CodeShuttingDown, 0, "server is draining")
+		return 0, wire.CodeShuttingDown, errors.New("server is draining")
 	}
 	var msg wire.SessionOpen
 	if err := msg.Decode(payload); err != nil {
-		return writeErr(wire.CodeBadMessage, 0, "session-open: %v", err)
+		return 0, wire.CodeBadMessage, err
 	}
 	if msg.Fingerprint != s.fingerprint {
-		return writeErr(wire.CodeFingerprintMismatch, 0,
+		return 0, wire.CodeFingerprintMismatch, fmt.Errorf(
 			"client compiled %x, server compiled %x; recompile with identical model and options",
 			msg.Fingerprint[:8], s.fingerprint[:8])
 	}
 	keys := hisa.RNSPublicKeys{PK: msg.PK, RLK: msg.RLK, RTKS: msg.RTKS, Rotations: msg.Rotations}
 	if err := hisa.ValidateRNSKeys(s.params, keys); err != nil {
-		return writeErr(wire.CodeBadMessage, 0, "session-open: %v", err)
+		return 0, wire.CodeBadMessage, err
 	}
 
 	backend := hisa.NewRNSBackendFromKeys(s.params, keys, nil)
@@ -458,12 +527,75 @@ func (s *Server) handleSessionOpen(conn net.Conn, payload []byte, writeErr func(
 	sess := &session{backend: meter, meter: meter, tracer: tracer, latency: newLatencyRecorder()}
 	id := s.reg.add(sess)
 	s.cfg.Logf("serve: session %d opened (%d rotation keys)", id, len(msg.RTKS.Keys))
+	return id, 0, nil
+}
 
-	accept, err := (&wire.SessionAccept{SessionID: id}).Encode()
-	if err != nil {
-		return writeErr(wire.CodeInternal, 0, "encoding accept: %v", err)
+// handleHealthProbe answers a router's liveness probe with this worker's
+// status. Probes are answered even while draining — Draining=true is exactly
+// what tells the router to stop routing here while the drain completes.
+func (s *Server) handleHealthProbe(conn net.Conn, payload []byte, writeErr func(wire.ErrorCode, uint64, string, ...any) bool) bool {
+	var msg wire.HealthProbe
+	if err := msg.Decode(payload); err != nil {
+		return writeErr(wire.CodeBadMessage, 0, "health-probe: %v", err)
 	}
-	return wire.WriteFrame(conn, wire.MsgSessionAccept, accept) == nil
+	s.probes.Add(1)
+	_, _, active := s.reg.stats()
+	ack := &wire.HealthAck{
+		Nonce:          msg.Nonce,
+		Fingerprint:    s.fingerprint,
+		ActiveSessions: uint32(active),
+		Inflight:       uint32(min(s.inflightN.Load(), int64(^uint32(0)))),
+		Draining:       s.draining.Load(),
+	}
+	out, err := ack.Encode()
+	if err != nil {
+		return writeErr(wire.CodeInternal, 0, "encoding health-ack: %v", err)
+	}
+	return wire.WriteFrame(conn, wire.MsgHealthAck, out) == nil
+}
+
+// handleRegistrySync merges the router's pushed registry view into this
+// worker's replica and acks with the merged set (which always includes the
+// model this worker itself serves), so a restarted router can rebuild the
+// fleet-wide registry from any single worker.
+func (s *Server) handleRegistrySync(conn net.Conn, payload []byte, writeErr func(wire.ErrorCode, uint64, string, ...any) bool) bool {
+	var msg wire.RegistrySync
+	if err := msg.Decode(payload); err != nil {
+		return writeErr(wire.CodeBadMessage, 0, "registry-sync: %v", err)
+	}
+	s.registrySyncs.Add(1)
+	s.fleet.merge(msg.Entries)
+	ack := &wire.RegistrySyncAck{Entries: s.fleet.snapshot()}
+	out, err := ack.Encode()
+	if err != nil {
+		return writeErr(wire.CodeInternal, 0, "encoding registry-sync-ack: %v", err)
+	}
+	return wire.WriteFrame(conn, wire.MsgRegistrySyncAck, out) == nil
+}
+
+// handleSessionHandoff replays a router-stored session-open payload through
+// the ordinary admission path and acks with the worker-local session ID the
+// router must quote on relayed requests.
+func (s *Server) handleSessionHandoff(conn net.Conn, payload []byte, writeErr func(wire.ErrorCode, uint64, string, ...any) bool) bool {
+	var msg wire.SessionHandoff
+	if err := msg.Decode(payload); err != nil {
+		return writeErr(wire.CodeBadMessage, 0, "session-handoff: %v", err)
+	}
+	id, code, err := s.admitSession(msg.Open)
+	if err != nil {
+		if code == wire.CodeShuttingDown {
+			s.rejShutdown.Add(1)
+		}
+		return writeErr(code, msg.RouterSessionID, "session-handoff: %v", err)
+	}
+	s.handoffs.Add(1)
+	s.cfg.Logf("serve: session %d admitted via handoff (router session %d)", id, msg.RouterSessionID)
+	ack := &wire.SessionHandoffAck{RouterSessionID: msg.RouterSessionID, WorkerSessionID: id}
+	out, err := ack.Encode()
+	if err != nil {
+		return writeErr(wire.CodeInternal, msg.RouterSessionID, "encoding handoff-ack: %v", err)
+	}
+	return wire.WriteFrame(conn, wire.MsgSessionHandoffAck, out) == nil
 }
 
 // handleInfer admits a request to the queue and relays its result. Returns
@@ -496,10 +628,10 @@ func (s *Server) handleInfer(conn net.Conn, payload []byte, writeErr func(wire.E
 	// the wire, so a graceful Shutdown never cuts a connection mid-reply.
 	// With coalescing on, the request instead joins its session's pending
 	// batch; queue-full is then decided at flush time (enqueueBatch).
-	s.inflight.Add(1)
+	s.admitOne()
 	if s.coal != nil {
 		if err := s.coal.Add(msg.SessionID, j); err != nil {
-			s.inflight.Done()
+			s.doneOne()
 			s.rejShutdown.Add(1)
 			return writeErr(wire.CodeShuttingDown, msg.RequestID, "server is draining")
 		}
@@ -511,7 +643,7 @@ func (s *Server) handleInfer(conn net.Conn, payload []byte, writeErr func(wire.E
 			s.requests.Add(1)
 			sess.requests.Add(1)
 		default:
-			s.inflight.Done()
+			s.doneOne()
 			s.rejQueueFull.Add(1)
 			return writeErr(wire.CodeQueueFull, msg.RequestID,
 				"admission queue full (%d deep); retry with backoff", s.cfg.QueueDepth)
@@ -536,8 +668,21 @@ func (s *Server) handleInfer(conn net.Conn, payload []byte, writeErr func(wire.E
 		}
 		return wire.WriteFrame(conn, wire.MsgInferResponse, out) == nil
 	}()
-	s.inflight.Done()
+	s.doneOne()
 	return wrote
+}
+
+// admitOne/doneOne track admitted-but-unanswered requests twice over: the
+// WaitGroup gates graceful shutdown, the atomic gauge feeds health acks and
+// /metrics (a WaitGroup cannot be read without racing it).
+func (s *Server) admitOne() {
+	s.inflight.Add(1)
+	s.inflightN.Add(1)
+}
+
+func (s *Server) doneOne() {
+	s.inflightN.Add(-1)
+	s.inflight.Done()
 }
 
 // newJob builds an admitted job with the effective deadline.
@@ -605,13 +750,13 @@ func (s *Server) handleInferBatch(conn net.Conn, payload []byte, writeErr func(w
 	}
 
 	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TraceID, msg.TimeoutMillis)
-	s.inflight.Add(1)
+	s.admitOne()
 	select {
 	case s.jobs <- &batchJob{items: []*job{j}}:
 		s.requests.Add(1)
 		sess.requests.Add(1)
 	default:
-		s.inflight.Done()
+		s.doneOne()
 		s.rejQueueFull.Add(1)
 		return writeErr(wire.CodeQueueFull, msg.RequestID,
 			"admission queue full (%d deep); retry with backoff", s.cfg.QueueDepth)
@@ -629,7 +774,7 @@ func (s *Server) handleInferBatch(conn net.Conn, payload []byte, writeErr func(w
 		}
 		return wire.WriteFrame(conn, wire.MsgInferBatchResponse, out) == nil
 	}()
-	s.inflight.Done()
+	s.doneOne()
 	return wrote
 }
 
@@ -876,6 +1021,9 @@ func (s *Server) evaluate(sess *session, in *htc.CipherTensor, label string) (ou
 	}
 	if s.execHook != nil {
 		s.execHook()
+	}
+	if s.cfg.ExecDelay > 0 {
+		time.Sleep(s.cfg.ExecDelay)
 	}
 	comp := s.cfg.Compiled
 	execOpts := htc.ExecOptions{Workers: s.cfg.Workers}

@@ -65,6 +65,22 @@ func fuzzSeedFrames(f *testing.F) {
 	f.Add(frame(MsgInferBatchRequest, p, err))
 	p, err = (&InferBatchResponse{RequestID: 3, Count: 2, Tensor: bct}).Encode()
 	f.Add(frame(MsgInferBatchResponse, p, err))
+	p, err = (&HealthProbe{Nonce: 99}).Encode()
+	f.Add(frame(MsgHealthProbe, p, err))
+	p, err = (&HealthAck{Nonce: 99, ActiveSessions: 2, Inflight: 1, Draining: true}).Encode()
+	f.Add(frame(MsgHealthAck, p, err))
+	p, err = (&RegistrySync{Entries: []RegistryEntry{{Model: "LeNet-tiny", LogN: 13, Batch: 8}}}).Encode()
+	f.Add(frame(MsgRegistrySync, p, err))
+	p, err = (&RegistrySyncAck{Entries: []RegistryEntry{{Model: "m", LogN: 11, Batch: 1}}}).Encode()
+	f.Add(frame(MsgRegistrySyncAck, p, err))
+	openPayload, err := open.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err = (&SessionHandoff{RouterSessionID: 7, Open: openPayload}).Encode()
+	f.Add(frame(MsgSessionHandoff, p, err))
+	p, err = (&SessionHandoffAck{RouterSessionID: 7, WorkerSessionID: 8}).Encode()
+	f.Add(frame(MsgSessionHandoffAck, p, err))
 	f.Add([]byte{})
 	f.Add([]byte{0xF1, 0x5E, 0xE7, 0xC4, 1, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F})
 }
@@ -128,7 +144,117 @@ func FuzzWireFrame(f *testing.F) {
 					t.Fatalf("decoded infer-batch-response does not re-encode: %v", err)
 				}
 			}
+		case MsgHealthProbe:
+			var m HealthProbe
+			_ = m.Decode(payload)
+		case MsgHealthAck:
+			var m HealthAck
+			if m.Decode(payload) == nil {
+				reenc, err := m.Encode()
+				if err != nil {
+					t.Fatalf("decoded health-ack does not re-encode: %v", err)
+				}
+				var m2 HealthAck
+				if err := m2.Decode(reenc); err != nil {
+					t.Fatalf("re-encoded health-ack does not decode: %v", err)
+				}
+				if m2 != m {
+					t.Fatal("health-ack not stable across re-encoding")
+				}
+			}
+		case MsgRegistrySync:
+			var m RegistrySync
+			if m.Decode(payload) == nil {
+				if _, err := m.Encode(); err != nil {
+					t.Fatalf("decoded registry-sync does not re-encode: %v", err)
+				}
+			}
+		case MsgRegistrySyncAck:
+			var m RegistrySyncAck
+			if m.Decode(payload) == nil {
+				if _, err := m.Encode(); err != nil {
+					t.Fatalf("decoded registry-sync-ack does not re-encode: %v", err)
+				}
+			}
+		case MsgSessionHandoff:
+			var m SessionHandoff
+			if m.Decode(payload) == nil {
+				// A decoded handoff carries an opaque session-open blob; the
+				// worker-side path runs it through the SessionOpen decoder,
+				// which must itself be total.
+				var inner SessionOpen
+				_ = inner.Decode(m.Open)
+				if _, err := m.Encode(); err != nil {
+					t.Fatalf("decoded session-handoff does not re-encode: %v", err)
+				}
+			}
+		case MsgSessionHandoffAck:
+			var m SessionHandoffAck
+			_ = m.Decode(payload)
 		}
+	})
+}
+
+// FuzzControlFrame hits the fleet control-plane decoders below the framing
+// layer: arbitrary payload bytes must never panic, and whatever decodes must
+// re-encode to bytes that decode to the same value.
+func FuzzControlFrame(f *testing.F) {
+	seed := func(p []byte, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p)
+	}
+	seed((&HealthProbe{Nonce: 1}).Encode())
+	seed((&HealthAck{Nonce: 2, ActiveSessions: 1, Inflight: 3, Draining: true}).Encode())
+	seed((&RegistrySync{Entries: []RegistryEntry{
+		{Model: "LeNet-tiny", LogN: 13, Batch: 8},
+		{Model: "SqueezeNet-CIFAR", LogN: 16, Batch: 1},
+	}}).Encode())
+	seed((&SessionHandoff{RouterSessionID: 3, Open: []byte("opaque keys")}).Encode())
+	seed((&SessionHandoffAck{RouterSessionID: 3, WorkerSessionID: 4}).Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var probe HealthProbe
+		_ = probe.Decode(data)
+		var ack HealthAck
+		if ack.Decode(data) == nil {
+			reenc, err := ack.Encode()
+			if err != nil {
+				t.Fatalf("decoded health-ack does not re-encode: %v", err)
+			}
+			var again HealthAck
+			if err := again.Decode(reenc); err != nil || again != ack {
+				t.Fatalf("health-ack not stable: %v", err)
+			}
+		}
+		var sync RegistrySync
+		if sync.Decode(data) == nil {
+			reenc, err := sync.Encode()
+			if err != nil {
+				t.Fatalf("decoded registry-sync does not re-encode: %v", err)
+			}
+			var again RegistrySync
+			if err := again.Decode(reenc); err != nil {
+				t.Fatalf("re-encoded registry-sync does not decode: %v", err)
+			}
+			if len(again.Entries) != len(sync.Entries) {
+				t.Fatal("registry-sync entry count not stable across re-encoding")
+			}
+		}
+		var ho SessionHandoff
+		if ho.Decode(data) == nil {
+			reenc, err := ho.Encode()
+			if err != nil {
+				t.Fatalf("decoded session-handoff does not re-encode: %v", err)
+			}
+			var again SessionHandoff
+			if err := again.Decode(reenc); err != nil {
+				t.Fatalf("re-encoded session-handoff does not decode: %v", err)
+			}
+		}
+		var hoAck SessionHandoffAck
+		_ = hoAck.Decode(data)
 	})
 }
 

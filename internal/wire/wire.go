@@ -10,7 +10,7 @@
 //
 //	offset  size  field
 //	0       4     magic   0xC4E75EF1
-//	4       1     version (currently 2)
+//	4       1     version (currently 4)
 //	5       1     type    (MsgType)
 //	6       2     flags   (reserved, must be zero)
 //	8       4     payload length in bytes
@@ -34,9 +34,11 @@ const (
 	// Version is the protocol version this package speaks. Version 2 added
 	// the batch fields to the tensor codec and the batched inference frames;
 	// version 3 added the request trace IDs that correlate a client request
-	// with its server-side spans and batch assignment. Older peers are
-	// rejected at the header.
-	Version byte = 3
+	// with its server-side spans and batch assignment; version 4 added the
+	// fleet control frames (health probes, model-registry sync, and
+	// eval-key session handoff) a router tier exchanges with its workers.
+	// Older peers are rejected at the header.
+	Version byte = 4
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 12
 	// DefaultMaxFrame bounds a frame's payload when the caller does not
@@ -69,6 +71,22 @@ const (
 	// MsgInferBatchResponse (server → client): the encrypted predictions of
 	// a batched request, one per lane.
 	MsgInferBatchResponse
+	// MsgHealthProbe (router → worker): a liveness/readiness probe.
+	MsgHealthProbe
+	// MsgHealthAck (worker → router): the probe echo plus worker status.
+	MsgHealthAck
+	// MsgRegistrySync (router → worker): the router's replicated
+	// compiled-model registry, pushed so every worker holds a copy.
+	MsgRegistrySync
+	// MsgRegistrySyncAck (worker → router): the models this worker serves,
+	// merged into the router's registry.
+	MsgRegistrySyncAck
+	// MsgSessionHandoff (router → worker): a session's evaluation-key
+	// frames replayed to a (possibly new) owner worker.
+	MsgSessionHandoff
+	// MsgSessionHandoffAck (worker → router): the worker-local session ID
+	// the handed-off session evaluates under.
+	MsgSessionHandoffAck
 )
 
 func (t MsgType) String() string {
@@ -87,6 +105,18 @@ func (t MsgType) String() string {
 		return "infer-batch-request"
 	case MsgInferBatchResponse:
 		return "infer-batch-response"
+	case MsgHealthProbe:
+		return "health-probe"
+	case MsgHealthAck:
+		return "health-ack"
+	case MsgRegistrySync:
+		return "registry-sync"
+	case MsgRegistrySyncAck:
+		return "registry-sync-ack"
+	case MsgSessionHandoff:
+		return "session-handoff"
+	case MsgSessionHandoffAck:
+		return "session-handoff-ack"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -140,7 +170,7 @@ func ReadFrame(r io.Reader, maxFrame int) (MsgType, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, v)
 	}
 	t := MsgType(hdr[5])
-	if t < MsgSessionOpen || t > MsgInferBatchResponse {
+	if t < MsgSessionOpen || t > MsgSessionHandoffAck {
 		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, hdr[5])
 	}
 	if f := binary.LittleEndian.Uint16(hdr[6:]); f != 0 {
