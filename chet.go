@@ -70,6 +70,14 @@ type (
 	ScaleMode = core.ScaleMode
 	// ScaleReport is the scale-management pass's per-site explain trace.
 	ScaleReport = core.ScaleReport
+	// BootstrapOptions enables compiler bootstrap placement for circuits
+	// deeper than any affordable modulus chain.
+	BootstrapOptions = core.BootstrapOptions
+	// BootReport is the placement pass's plan: the bootstrap spec plus every
+	// refresh site the compiler predicts.
+	BootReport = core.BootReport
+	// BootPlacement is one compiler-predicted refresh site.
+	BootPlacement = core.BootPlacement
 )
 
 // The two supported schemes.
@@ -139,6 +147,12 @@ type Session struct {
 // cryptographically secure source.
 func NewSession(comp *Compiled, prng ring.PRNG) (*Session, error) {
 	b, err := core.BuildBackend(comp, prng)
+	if err != nil {
+		return nil, err
+	}
+	// Bootstrap compilations run under the Refresher so ciphertext budgets
+	// are kept above the placement floor; without a plan this is a no-op.
+	b, err = core.BootBackend(comp, b)
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +241,10 @@ func Describe(comp *Compiled) string {
 	if b.Batch > 1 {
 		s += fmt.Sprintf("  batch capacity: %d images/ciphertext (%.1f ms each amortized)\n",
 			b.Batch, b.CostPerImage/1000)
+	}
+	if p := comp.BootPlan; p != nil {
+		s += fmt.Sprintf("  bootstrapping: %d placements, window %d, floor %d (pipeline depth %d, est %.1f ms)\n",
+			len(p.Placements), p.Window, p.Floor, p.Depth, p.EstCost/1000)
 	}
 	s += fmt.Sprintf("  estimated cost: %.1f ms\n", b.EstimatedCost/1000)
 	for _, r := range comp.Trace {

@@ -56,4 +56,10 @@ go test -run=TestPackingBenchSmoke ./internal/bench
 echo "== bench smoke (sharded fleet: 1->2 workers behind a router + kill-one-worker failover)"
 go test -run=TestFleetBenchSmoke ./internal/bench
 
+echo "== go test -race (bootstrapping: pipeline, Refresher triggers, arena leak gate)"
+go test -race ./internal/boot/...
+
+echo "== bench smoke (deep-MLP bootstrap: placement parity + precision on a tiny ring)"
+go test -run=TestBootstrapBenchSmoke -timeout=600s ./internal/bench
+
 echo "CI OK"

@@ -76,6 +76,14 @@ type benchConfig struct {
 	packingMinSpeedup              float64
 	packingErrBudget               float64
 	packingOut                     string
+	// bootLayers/bootLogN/bootWindow size the deep-network bootstrapping
+	// experiment; bootErrBudget is the output-precision ceiling it asserts
+	// and bootOut its JSON path ("" disables).
+	bootLayers    int
+	bootLogN      int
+	bootWindow    int
+	bootErrBudget float64
+	bootOut       string
 	// fleetOpts sizes the sharded-serving scaling sweep; fleetMinSpeedup is
 	// the images/sec ratio asserted at fleetAssertWorkers workers (0 skips
 	// the assertion), fleetOut its JSON path ("" disables").
@@ -116,6 +124,12 @@ func defaultConfig() benchConfig {
 		packingMinSpeedup: 1.7,
 		packingErrBudget:  5e-2,
 		packingOut:        "BENCH_packing.json",
+
+		bootLayers:    6,
+		bootLogN:      9,
+		bootWindow:    3,
+		bootErrBudget: 5e-2,
+		bootOut:       "BENCH_bootstrap.json",
 
 		fleetOpts: bench.FleetOptions{
 			Counts:   []int{1, 2, 4, 8},
@@ -315,6 +329,29 @@ func experiments(cfg benchConfig) []experiment {
 			}
 			return nil
 		}},
+		{"bootstrap", func(w io.Writer) error {
+			res, err := bench.BootstrapBench(cfg.bootLayers, cfg.bootLogN, cfg.bootWindow, cfg.bootErrBudget)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderBootstrap(res))
+			fmt.Fprintln(w, "the compiler reserves the pipeline depth on the chain and refreshes exactly where its level model exhausts (see DESIGN.md)")
+			if cfg.bootOut != "" {
+				if err := bench.WriteStampedJSON(cfg.bootOut, res); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote %s\n", cfg.bootOut)
+			}
+			if !res.PlacementParity {
+				return fmt.Errorf("runtime performed %d bootstraps, compiler placed %d",
+					res.RuntimeBootstraps, res.Placements)
+			}
+			if res.MaxErr > res.ErrBudget {
+				return fmt.Errorf("post-bootstrap output error %.2e exceeds the %.0e budget",
+					res.MaxErr, res.ErrBudget)
+			}
+			return nil
+		}},
 		{"telemetry", func(w io.Writer) error {
 			rows, err := bench.TelemetryOverhead(cfg.fig6Models, cfg.telemetryLogN,
 				cfg.workers, cfg.telemetryReps, cfg.telemetryBudgetPct)
@@ -366,7 +403,7 @@ func runExperiments(w io.Writer, want string, cfg benchConfig) error {
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, ring, batching, packing, fleet, telemetry, or all")
+		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, ring, batching, packing, fleet, bootstrap, telemetry, or all")
 	full := flag.Bool("full", false,
 		"use all five evaluation networks (slower analysis sweeps; fig6 always uses the small set)")
 	scaleSearch := flag.Bool("scalesearch", false,
@@ -387,6 +424,8 @@ func main() {
 		"output path for the packing experiment JSON (empty disables)")
 	packingMinSpeedup := flag.Float64("packing-min-speedup", 1.7,
 		"throughput ratio (complex/real) the packing experiment asserts")
+	bootOut := flag.String("bootstrapout", "BENCH_bootstrap.json",
+		"output path for the bootstrapping experiment JSON (empty disables)")
 	fleetOut := flag.String("fleetout", "BENCH_fleet.json",
 		"output path for the fleet experiment JSON (empty disables)")
 	fleetMinSpeedup := flag.Float64("fleet-min-speedup", 3,
@@ -403,6 +442,7 @@ func main() {
 	cfg.telemetryBudgetPct = *budget
 	cfg.packingOut = *packingOut
 	cfg.packingMinSpeedup = *packingMinSpeedup
+	cfg.bootOut = *bootOut
 	cfg.fleetOut = *fleetOut
 	cfg.fleetMinSpeedup = *fleetMinSpeedup
 	if *full {

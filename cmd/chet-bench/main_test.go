@@ -60,6 +60,12 @@ func tinyConfig() benchConfig {
 		fleetMinSpeedup:    0,
 		fleetAssertWorkers: 2,
 		fleetOut:           "",
+
+		bootLayers:    4,
+		bootLogN:      9,
+		bootWindow:    3,
+		bootErrBudget: 5e-2,
+		bootOut:       "",
 	}
 }
 
@@ -67,7 +73,7 @@ func tinyConfig() benchConfig {
 // and requires non-empty rendered output.
 func TestRunExperimentsSmoke(t *testing.T) {
 	cfg := tinyConfig()
-	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "ring": true, "batching": true, "telemetry": true, "packing": true, "fleet": true}
+	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "ring": true, "batching": true, "telemetry": true, "packing": true, "fleet": true, "bootstrap": true}
 	for _, e := range experiments(cfg) {
 		t.Run(e.name, func(t *testing.T) {
 			if testing.Short() && slow[e.name] {

@@ -35,6 +35,7 @@ type compileConfig struct {
 	complex     bool
 	scaleMode   string
 	explain     bool
+	bootstrap   int
 }
 
 // compileAndDescribe runs the compiler and writes the decision report to w.
@@ -72,6 +73,9 @@ func compileAndDescribe(w io.Writer, cfg compileConfig) error {
 		}
 		opts.Scales = sc
 	}
+	if cfg.bootstrap > 0 {
+		opts.Bootstrap = &chet.BootstrapOptions{Window: cfg.bootstrap}
+	}
 
 	compiled, err := chet.Compile(m.Circuit, opts)
 	if err != nil {
@@ -86,8 +90,34 @@ func compileAndDescribe(w io.Writer, cfg compileConfig) error {
 	}
 	if cfg.explain {
 		explainScale(w, compiled)
+		if compiled.BootPlan != nil {
+			explainBootstrap(w, compiled)
+		}
 	}
 	return nil
+}
+
+// explainBootstrap renders the bootstrap-placement pass's plan: the spec the
+// chain was shaped around, then one row per refresh site with the ciphertext
+// level the placement model saw before and after the refresh and the
+// estimated cost of that bootstrap.
+func explainBootstrap(w io.Writer, compiled *chet.Compiled) {
+	p := compiled.BootPlan
+	fmt.Fprintf(w, "bootstrap-placement pass: %d placements, window %d, floor %d\n",
+		len(p.Placements), p.Window, p.Floor)
+	fmt.Fprintf(w, "  pipeline: depth %d (sine degree %d, K=%d, %d double-angles), fresh level %d\n",
+		p.Depth, p.Spec.Degree, p.Spec.K, p.Spec.DoubleAngles, p.FreshLevel)
+	fmt.Fprintf(w, "  %4s  %-28s %-10s  %6s  %5s  %10s\n",
+		"site", "node", "op", "before", "after", "est ms")
+	for _, pl := range p.Placements {
+		name := pl.Name
+		if name == "" {
+			name = fmt.Sprintf("node %d", pl.Node)
+		}
+		fmt.Fprintf(w, "  %4d  %-28s %-10s  %6d  %5d  %10.1f\n",
+			pl.Index, name, pl.Op, pl.LevelBefore, pl.LevelAfter, pl.Cost/1000)
+	}
+	fmt.Fprintf(w, "  total refresh estimate: %.1f ms\n", p.EstCost/1000)
 }
 
 // explainScale renders the scale-management pass's per-site trace: one row
@@ -143,7 +173,7 @@ func main() {
 	log.SetFlags(0)
 	cfg := compileConfig{}
 	flag.StringVar(&cfg.model, "model", "LeNet-5-small",
-		"network to compile (LeNet-5-small, LeNet-5-medium, LeNet-5-large, Industrial, SqueezeNet-CIFAR, LeNet-tiny)")
+		"network to compile (LeNet-5-small, LeNet-5-medium, LeNet-5-large, Industrial, SqueezeNet-CIFAR, LeNet-tiny, NN-20)")
 	flag.StringVar(&cfg.scheme, "scheme", "seal", "target FHE scheme: seal (RNS-CKKS) or heaan (CKKS)")
 	flag.IntVar(&cfg.security, "security", 128, "security level in bits (128/192/256; -1 disables the check)")
 	flag.StringVar(&cfg.scales, "scales", "", "fixed-point scale exponents as Pc,Pw,Pu,Pm (e.g. 40,35,35,30); empty = defaults")
@@ -156,7 +186,9 @@ func main() {
 	flag.StringVar(&cfg.scaleMode, "scale-mode", "greedy",
 		"rescale placement: greedy (op-local protocol) or lazy (graph-level scale-management pass)")
 	flag.BoolVar(&cfg.explain, "explain", false,
-		"print the scale-management pass's per-site plan and per-node relinearization counts")
+		"print the scale-management pass's per-site plan, per-node relinearization counts, and (with -bootstrap) the bootstrap placements")
+	flag.IntVar(&cfg.bootstrap, "bootstrap", 0,
+		"enable compiler bootstrap placement with this budget window in levels (0 disables; RNS only)")
 	flag.Parse()
 
 	if err := compileAndDescribe(os.Stdout, cfg); err != nil {

@@ -1,0 +1,93 @@
+package boot
+
+import (
+	"chet/internal/ckks"
+)
+
+// evalMod evaluates the q0-removal polynomial on t (slot values in
+// [−1, 1], any scale): the fitted base polynomial via a power basis built
+// by repeated squaring, then the double-angle ladder. Consumes
+// Spec.EvalModLevels() levels; the output scale is re-anchored to the
+// parameter default scale Δ regardless of the input scale.
+//
+// Every monomial term is scaled with an individually chosen encoding
+// factor f_i = Δ*/scale_i so all terms carry the exact same scale Δ* (the
+// about-to-be-consumed prime times Δ) before summation — this is what
+// lets terms whose power-basis scales drifted apart by prime/Δ ratios add
+// without tripping the evaluator's scale-mismatch panic, and without any
+// value error beyond float64 bookkeeping.
+//
+// Anchoring Δ* to the default scale rather than the input scale matters
+// for deep circuits: each double-angle rung maps S → S²/q and therefore
+// doubles any relative scale drift per rung. A ciphertext arriving after
+// hundreds of kernel rescales carries ~1e-5..1e-4 of upward drift (chain
+// primes sit a hair below their power-of-two targets); amplified 2^r
+// through the ladder that would blow past the backend's output-scale
+// guard. Starting the ladder at exactly Δ — the absorbing encoding
+// factors make that free — leaves only the ladder's own prime offsets,
+// ~1e-6 at r=5, independent of circuit depth.
+func (b *Bootstrapper) evalMod(t *ckks.Ciphertext) *ckks.Ciphertext {
+	ev := b.ev
+	r := b.params.Ring()
+	d := b.approx.Degree()
+
+	// Power basis pow[i] = t^i by repeated squaring: log-depth, and every
+	// power is exactly one Mul away from two earlier ones.
+	pows := make([]*ckks.Ciphertext, d+1)
+	pows[1] = &ckks.Ciphertext{C0: r.GetPoly(t.Lvl), C1: r.GetPoly(t.Lvl), Scale: t.Scale, Lvl: t.Lvl}
+	pows[1].C0.CopyLevel(t.C0, t.Lvl)
+	pows[1].C1.CopyLevel(t.C1, t.Lvl)
+	for i := 2; i <= d; i++ {
+		m := ev.Mul(pows[(i+1)/2], pows[i/2])
+		ev.Rescale(m)
+		pows[i] = m
+	}
+	lmin := pows[1].Lvl
+	for _, p := range pows[1:] {
+		if p.Lvl < lmin {
+			lmin = p.Lvl
+		}
+	}
+	for _, p := range pows[1:] {
+		ev.DropToLevel(p, lmin)
+	}
+
+	deltaStar := float64(b.params.Qi(lmin)) * b.params.DefaultScale()
+	var acc *ckks.Ciphertext
+	for i := 1; i <= d; i++ {
+		c := b.approx.C[i]
+		if c == 0 {
+			continue
+		}
+		term := ev.MulScalar(pows[i], c, deltaStar/pows[i].Scale)
+		if acc == nil {
+			acc = term
+		} else {
+			s := ev.Add(acc, term)
+			ev.Recycle(acc)
+			ev.Recycle(term)
+			acc = s
+		}
+	}
+	for _, p := range pows[1:] {
+		ev.Recycle(p)
+	}
+	withC0 := ev.AddScalar(acc, b.approx.C[0])
+	ev.Recycle(acc)
+	ev.Rescale(withC0)
+
+	// Double-angle ladder: h ← 2h² − 1 doubles the cosine argument each
+	// step, one level per step.
+	h := withC0
+	for i := 0; i < b.spec.DoubleAngles; i++ {
+		sq := ev.Mul(h, h)
+		ev.Rescale(sq)
+		db := ev.MulScalar(sq, 2, 1)
+		ev.Recycle(sq)
+		next := ev.AddScalar(db, -1)
+		ev.Recycle(db)
+		ev.Recycle(h)
+		h = next
+	}
+	return h
+}

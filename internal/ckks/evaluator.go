@@ -500,7 +500,12 @@ func (ev *Evaluator) MulByI(ct *Ciphertext) *Ciphertext {
 // Mul returns a * b, relinearized back to degree 1. The result scale is the
 // product of the input scales; callers rescale afterwards.
 func (ev *Evaluator) Mul(a, b *Ciphertext) *Ciphertext {
-	return ev.Relinearize(ev.MulNoRelin(a, b))
+	d := ev.MulNoRelin(a, b)
+	out := ev.Relinearize(d)
+	// Relinearize leaves its input untouched (callers of the public op own
+	// their ciphertexts); the tensor intermediate is ours to return.
+	ev.Recycle(d)
+	return out
 }
 
 // MulNoRelin returns a * b as a degree-2 ciphertext, leaving the

@@ -1,0 +1,83 @@
+package ckks
+
+import (
+	"fmt"
+
+	"chet/internal/ring"
+)
+
+// ModRaise lifts a level-0 ciphertext back to the full modulus chain. The
+// ciphertext polynomials are taken out of the NTT domain modulo q_0, each
+// coefficient is interpreted as its centered representative in
+// (-q_0/2, q_0/2], and that signed integer is reduced into every prime of
+// the chain. The result decrypts to m + q_0·I for a small integer
+// polynomial I (||I||_∞ is bounded by the secret-key hamming weight), which
+// is exactly the input bootstrapping's EvalMod step removes. The scale is
+// unchanged; the caller sees a fresh-level ciphertext whose message carries
+// a q_0·I additive term.
+//
+// ModRaise requires a degree-1 ciphertext at level 0: bootstrapping drops
+// exhausted ciphertexts to the bottom of the chain first so the lift only
+// has a single-prime CRT basis to leave.
+func (ev *Evaluator) ModRaise(ct *Ciphertext) *Ciphertext {
+	if ct.C2 != nil {
+		panic("ckks: ModRaise requires a degree-1 ciphertext (relinearize first)")
+	}
+	if ct.Lvl != 0 {
+		panic(fmt.Sprintf("ckks: ModRaise requires a level-0 ciphertext, got level %d (DropToLevel first)", ct.Lvl))
+	}
+	r := ev.params.Ring()
+	top := ev.params.MaxLevel()
+	out := &Ciphertext{C0: r.GetPoly(top), C1: r.GetPoly(top), Scale: ct.Scale, Lvl: top}
+	ev.modRaisePoly(ct.C0, out.C0, top)
+	ev.modRaisePoly(ct.C1, out.C1, top)
+	return out
+}
+
+// modRaisePoly lifts src (one valid row, NTT domain mod q_0) into rows
+// 0..top of dst, NTT domain, via the centered representative mod q_0.
+func (ev *Evaluator) modRaisePoly(src, dst *ring.Poly, top int) {
+	r := ev.params.Ring()
+	n := r.N
+	q0 := r.Moduli[0].Q
+	half := q0 >> 1
+
+	row := ev.getRow()
+	defer ev.putRow(row)
+	copy(row, src.Coeffs[0])
+	r.InvNTTSingle(0, row)
+
+	ev.forEach(top+1, func(i int) {
+		dstRow := dst.Coeffs[i]
+		if i == 0 {
+			copy(dstRow, row)
+		} else {
+			qi := r.Moduli[i].Q
+			for j := 0; j < n; j++ {
+				c := row[j]
+				if c > half {
+					// Negative representative c - q_0: reduce |c - q_0|.
+					if m := (q0 - c) % qi; m != 0 {
+						dstRow[j] = qi - m
+					} else {
+						dstRow[j] = 0
+					}
+				} else {
+					dstRow[j] = c % qi
+				}
+			}
+		}
+		r.NTTSingle(i, dstRow)
+	})
+}
+
+// ApplyGalois applies the automorphism X -> X^galEl using the hoisted
+// key-switch path. Unlike RotateLeft it performs no slot normalization on
+// the Galois element, which is what bootstrapping's partial-sum (trace)
+// step needs: its automorphisms correspond to rotation amounts that are
+// multiples of the slot count — the identity on the packed slots of a
+// sub-ring element, but not on the dense mod-raised ciphertext. Requires a
+// rotation key for galEl.
+func (ev *Evaluator) ApplyGalois(ct *Ciphertext, galEl uint64) *Ciphertext {
+	return ev.applyGalois(ct, galEl)
+}

@@ -1,0 +1,100 @@
+package ckks
+
+import (
+	"math/big"
+	"testing"
+)
+
+// centeredCoeffs returns the centered integer coefficients of a plaintext.
+func centeredCoeffs(params *Parameters, pt *Plaintext) []*big.Int {
+	r := params.Ring()
+	coef := r.NewPoly(pt.Lvl)
+	coef.Copy(pt.Value)
+	r.InvNTT(coef, pt.Lvl)
+	return r.PolyToBigintCentered(coef, pt.Lvl)
+}
+
+// TestModRaiseCongruence checks the defining property of the mod raise: the
+// lifted ciphertext decrypts to m + q0*I, i.e. its coefficients are
+// congruent to the level-0 decryption mod q0, and the residual integer
+// polynomial I stays small (bounded by the key's hamming weight).
+func TestModRaiseCongruence(t *testing.T) {
+	tc := newTestContext(t)
+	params := tc.params
+	slots := params.Slots()
+	values := randomVector(slots, 3, 42)
+
+	// Encrypt at the bottom of the chain, as an exhausted ciphertext would be.
+	pt := tc.enc.Encode(values, params.DefaultScale(), 0)
+	ct := tc.encr.Encrypt(pt)
+	if ct.Lvl != 0 {
+		t.Fatalf("encrypt level = %d, want 0", ct.Lvl)
+	}
+
+	ev := NewEvaluator(params, tc.rlk, nil)
+	raised := ev.ModRaise(ct)
+	if raised.Lvl != params.MaxLevel() {
+		t.Fatalf("raised level = %d, want %d", raised.Lvl, params.MaxLevel())
+	}
+	if raised.Scale != ct.Scale {
+		t.Fatalf("raised scale = %g, want %g", raised.Scale, ct.Scale)
+	}
+
+	low := centeredCoeffs(params, tc.decr.Decrypt(ct))
+	high := centeredCoeffs(params, tc.decr.Decrypt(raised))
+
+	q0 := new(big.Int).SetUint64(params.Qi(0))
+	maxI := new(big.Int)
+	diff := new(big.Int)
+	for j := range low {
+		diff.Sub(high[j], low[j])
+		if new(big.Int).Mod(diff, q0).Sign() != 0 {
+			t.Fatalf("coefficient %d: raised value not congruent mod q0 (diff %s)", j, diff)
+		}
+		diff.Quo(diff, q0).Abs(diff)
+		if diff.Cmp(maxI) > 0 {
+			maxI.Set(diff)
+		}
+	}
+	// I = (high - low)/q0 must be small: |I| <= h + 1 with h the number of
+	// nonzero secret coefficients (<= N). A loose bound still catches a
+	// broken lift, which is off by ~q_i/q0 factors.
+	bound := new(big.Int).SetInt64(int64(params.N() + 2))
+	if maxI.Cmp(bound) > 0 {
+		t.Fatalf("residual I too large: %s > %s", maxI, bound)
+	}
+	if maxI.Sign() == 0 {
+		t.Fatal("residual I identically zero: mod raise did not exercise the lift")
+	}
+}
+
+// TestModRaiseRejectsHighLevel confirms the level guard.
+func TestModRaiseRejectsHighLevel(t *testing.T) {
+	tc := newTestContext(t)
+	pt := tc.enc.Encode([]float64{1}, tc.params.DefaultScale(), tc.params.MaxLevel())
+	ct := tc.encr.Encrypt(pt)
+	ev := NewEvaluator(tc.params, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ModRaise on a non-zero level should panic")
+		}
+	}()
+	ev.ModRaise(ct)
+}
+
+// TestModRaiseDeterministic: the lift is a pure function of the input.
+func TestModRaiseDeterministic(t *testing.T) {
+	tc := newTestContext(t)
+	pt := tc.enc.Encode(randomVector(tc.params.Slots(), 2, 7), tc.params.DefaultScale(), 0)
+	ct := tc.encr.Encrypt(pt)
+	ev := NewEvaluator(tc.params, nil, nil)
+	a := ev.ModRaise(ct)
+	b := ev.ModRaise(ct)
+	for i := range a.C0.Coeffs {
+		for j := range a.C0.Coeffs[i] {
+			if a.C0.Coeffs[i][j] != b.C0.Coeffs[i][j] || a.C1.Coeffs[i][j] != b.C1.Coeffs[i][j] {
+				t.Fatalf("mod raise not deterministic at row %d coeff %d", i, j)
+			}
+		}
+	}
+}

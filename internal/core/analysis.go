@@ -52,6 +52,19 @@ type Analysis struct {
 	opCosts []float64
 	// batch amortizes the total cost across packed images (>= 1).
 	batch int
+
+	// boot, when non-nil, mirrors the runtime hisa.Refresher: multiplicative
+	// operands below the level floor are bootstrapped (placement recorded,
+	// cost charged, consumption reset) before the op's transfer function.
+	boot *bootRun
+}
+
+// bootRun is the bootstrap-placement state of one analysis run.
+type bootRun struct {
+	cfg BootConfig
+	// cost is one bootstrap's cost-model estimate (0 without cost totals).
+	cost       float64
+	placements []BootPlacement
 }
 
 // costTotals fixes the overall modulus so per-op costs can use the current
@@ -88,6 +101,12 @@ type AnalysisConfig struct {
 	// Batch is the number of images packed per evaluation; CostPerImage
 	// divides the total estimate by it. Values <= 1 mean unbatched.
 	Batch int
+	// Bootstrap enables bootstrap-aware level accounting: a multiplicative
+	// operand whose remaining level (Window minus consumed chain primes)
+	// falls below Floor is bootstrapped — placement recorded, cost charged,
+	// consumption reset — exactly the trigger rule hisa.Refresher applies
+	// at runtime, so placement counts match runtime tallies.
+	Bootstrap *BootConfig
 }
 
 // NewAnalysis creates an analysis interpretation of the HISA.
@@ -123,7 +142,55 @@ func NewAnalysis(cfg AnalysisConfig) *Analysis {
 	if a.batch < 1 {
 		a.batch = 1
 	}
+	if cfg.Bootstrap != nil {
+		a.boot = &bootRun{cfg: *cfg.Bootstrap}
+		if a.totals != nil {
+			st := state{logQ: a.totals.logQ, r: a.totals.primes}
+			a.boot.cost = bootCost(a.boot.cfg.Spec, a.model, a.n, st)
+		}
+	}
 	return a
+}
+
+// maybeBootstrap is the analysis mirror of hisa.Refresher.refreshed: when
+// the operand's remaining level is below the floor, place a bootstrap —
+// record it, charge its instruction inventory, and return a fact reset to
+// the fresh level (consumption zero, scale preserved, exactly what the
+// runtime pipeline produces). op names the triggering HISA instruction.
+func (a *Analysis) maybeBootstrap(cc *analysisCT, op string) *analysisCT {
+	if a.boot == nil {
+		return cc
+	}
+	lvl := a.boot.cfg.Window - int(math.Round(cc.consumed/a.rnsPrimeBits))
+	if lvl >= a.boot.cfg.Floor {
+		return cc
+	}
+	a.boot.placements = append(a.boot.placements, BootPlacement{
+		Index:       len(a.boot.placements),
+		Node:        -1, // attributed by the recording pass
+		Op:          op,
+		LevelBefore: lvl,
+		LevelAfter:  a.boot.cfg.Window,
+		Cost:        a.boot.cost,
+	})
+	a.charge(a.boot.cost)
+	return a.observe(&analysisCT{scale: cc.scale})
+}
+
+// Bootstraps returns the number of bootstraps this run placed.
+func (a *Analysis) Bootstraps() int {
+	if a.boot == nil {
+		return 0
+	}
+	return len(a.boot.placements)
+}
+
+// BootPlacements returns the placements in execution order.
+func (a *Analysis) BootPlacements() []BootPlacement {
+	if a.boot == nil {
+		return nil
+	}
+	return a.boot.placements
 }
 
 func (a *Analysis) Name() string { return "analysis-" + a.scheme.String() }
@@ -255,8 +322,13 @@ func (a *Analysis) SubScalar(c hisa.Ciphertext, x float64) hisa.Ciphertext {
 
 func (a *Analysis) Mul(c, c2 hisa.Ciphertext) hisa.Ciphertext {
 	x, y := a.ct(c), a.ct(c2)
-	a.charge(a.model.CtMul(a.n, a.state(x)))
-	return a.join(x, y, x.scale*y.scale)
+	bx := a.maybeBootstrap(x, "mul")
+	by := bx
+	if y != x {
+		by = a.maybeBootstrap(y, "mul")
+	}
+	a.charge(a.model.CtMul(a.n, a.state(bx)))
+	return a.join(bx, by, bx.scale*by.scale)
 }
 
 // LazyRelinCapable marks the analysis interpretation as supporting deferred
@@ -274,12 +346,13 @@ func (a *Analysis) Relinearize(c hisa.Ciphertext) hisa.Ciphertext { return c }
 
 func (a *Analysis) MulPlain(c hisa.Ciphertext, p hisa.Plaintext) hisa.Ciphertext {
 	x, pp := a.ct(c), a.pt(p)
+	x = a.maybeBootstrap(x, "mulPlain")
 	a.charge(a.model.PlainMul(a.n, a.state(x)))
 	return a.observe(&analysisCT{scale: x.scale * pp.scale, consumed: x.consumed})
 }
 
 func (a *Analysis) MulScalar(c hisa.Ciphertext, x float64, f float64) hisa.Ciphertext {
-	cc := a.ct(c)
+	cc := a.maybeBootstrap(a.ct(c), "mulScalar")
 	a.charge(a.model.ScalarMul(a.n, a.state(cc)))
 	return a.observe(&analysisCT{scale: cc.scale * f, consumed: cc.consumed})
 }
@@ -397,7 +470,7 @@ func (a *Analysis) AddPlainC(c hisa.Ciphertext, m []complex128) hisa.Ciphertext 
 }
 
 func (a *Analysis) MulScalarC(c hisa.Ciphertext, z complex128, f float64) hisa.Ciphertext {
-	cc := a.ct(c)
+	cc := a.maybeBootstrap(a.ct(c), "mulScalarC")
 	a.charge(a.model.ScalarMul(a.n, a.state(cc)))
 	return a.observe(&analysisCT{scale: cc.scale * f, consumed: cc.consumed})
 }

@@ -40,11 +40,18 @@ func BuildBackend(comp *Compiled, prng ring.PRNG) (hisa.Backend, error) {
 		if comp.Options.PowerOfTwoRotationsOnly {
 			rotations = nil // backend provisions power-of-two defaults
 		}
-		return hisa.NewRNSBackend(hisa.RNSConfig{
+		cfg := hisa.RNSConfig{
 			Params:    params,
 			PRNG:      prng,
 			Rotations: rotations,
-		}), nil
+		}
+		if comp.BootPlan != nil {
+			// Provision the bootstrapper (and its extra rotation keys)
+			// against the exact spec the chain was laid out for.
+			spec := comp.BootPlan.Spec
+			cfg.Bootstrap = &spec
+		}
+		return hisa.NewRNSBackend(cfg), nil
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %v", comp.Options.Scheme)
 	}

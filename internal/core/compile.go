@@ -59,6 +59,12 @@ type Options struct {
 	// op-local kernel protocol; ScaleLazy runs the graph-level scale-
 	// management pass and ships a per-site defer/rescale plan in Compiled.
 	ScaleMode ScaleMode
+	// Bootstrap enables compiler-placed bootstrapping for circuits deeper
+	// than any secure modulus chain (see bootplace.go). Requires SchemeRNS
+	// and ScaleGreedy; the modulus chain is laid out from the bootstrap
+	// spec instead of the circuit's consumption, and Compiled.BootPlan
+	// reports where bootstraps land.
+	Bootstrap *BootstrapOptions
 }
 
 // lanes is the number of physical batch lanes the options imply (complex
@@ -96,11 +102,29 @@ func (o *Options) fillDefaults() {
 	if o.Batch < 1 {
 		o.Batch = 1
 	}
+	if o.Bootstrap != nil {
+		// Copy before filling so the caller's struct is never mutated.
+		b := *o.Bootstrap
+		if b.Window == 0 {
+			b.Window = 4
+		}
+		if b.Floor == 0 {
+			b.Floor = 1
+		}
+		o.Bootstrap = &b
+	}
 	if o.Scales == (htc.Scales{}) {
-		// Conservative defaults near the paper's 2^40 search start; the
-		// profile-guided SelectScales shrinks them per circuit.
-		o.Scales = htc.Scales{
-			Pc: math.Exp2(40), Pw: math.Exp2(35), Pu: math.Exp2(35), Pm: math.Exp2(30),
+		if o.Bootstrap != nil {
+			// Bootstrap mode requires prime-aligned scales (see Compile's
+			// validation): every factor is one chain prime.
+			p := math.Exp2(float64(o.RNSPrimeBits))
+			o.Scales = htc.Scales{Pc: p, Pw: p, Pu: p, Pm: p}
+		} else {
+			// Conservative defaults near the paper's 2^40 search start; the
+			// profile-guided SelectScales shrinks them per circuit.
+			o.Scales = htc.Scales{
+				Pc: math.Exp2(40), Pw: math.Exp2(35), Pu: math.Exp2(35), Pm: math.Exp2(30),
+			}
 		}
 	}
 }
@@ -128,6 +152,10 @@ type PolicyResult struct {
 	// figure of merit for throughput-oriented serving.
 	Batch        int
 	CostPerImage float64
+
+	// Bootstraps is the number of compiler-placed bootstraps this policy's
+	// execution performs (0 without Options.Bootstrap).
+	Bootstraps int
 }
 
 // Compiled is the result of compiling a tensor circuit: the optimized
@@ -147,6 +175,12 @@ type Compiled struct {
 	ScalePlan *htc.ScalePlan
 	// ScaleReport is the pass's per-site trace (chet-compile -explain).
 	ScaleReport *ScaleReport
+
+	// BootPlan is the bootstrap-placement report (Options.Bootstrap set):
+	// the spec the chain was laid out for and every placement, attributed
+	// to circuit nodes. BuildBackend provisions the runtime bootstrapper
+	// from it; BootBackend wraps the backend with the realizing Refresher.
+	BootPlan *BootReport
 }
 
 // Compile runs CHET's compilation pipeline on a tensor circuit: for every
@@ -155,6 +189,31 @@ type Compiled struct {
 // model, and returns the cheapest policy along with its rotation-key set.
 func Compile(c *circuit.Circuit, opts Options) (*Compiled, error) {
 	opts.fillDefaults()
+	if opts.Bootstrap != nil {
+		if opts.Scheme != SchemeRNS {
+			return nil, fmt.Errorf("core: bootstrap placement requires the RNS scheme (got %v)", opts.Scheme)
+		}
+		if opts.ScaleMode != ScaleGreedy {
+			return nil, fmt.Errorf("core: bootstrap placement requires greedy scale mode (deferred scales desynchronize the level accounting the placement trigger relies on)")
+		}
+		if opts.Bootstrap.Window < opts.Bootstrap.Floor {
+			return nil, fmt.Errorf("core: bootstrap window %d below floor %d: fresh ciphertexts would re-trigger immediately",
+				opts.Bootstrap.Window, opts.Bootstrap.Floor)
+		}
+		// Prime-aligned scales: every fixed-point factor must be one chain
+		// prime, so each multiplication repays exactly one level and operand
+		// scales at op boundaries are always the base scale. Sub-prime
+		// factors let the greedy protocol accumulate scale excess a
+		// ciphertext can carry to level 0, where its residue mod q0
+		// overflows and the message can no longer be bootstrapped.
+		prime := math.Exp2(float64(opts.RNSPrimeBits))
+		for _, s := range []float64{opts.Scales.Pc, opts.Scales.Pw, opts.Scales.Pu, opts.Scales.Pm} {
+			if math.Abs(s-prime) > 1e-6*prime {
+				return nil, fmt.Errorf("core: bootstrap placement requires prime-aligned scales (all factors 2^%d, got %v)",
+					opts.RNSPrimeBits, opts.Scales)
+			}
+		}
+	}
 	out := &Compiled{Circuit: c, Options: opts}
 	var firstErr error
 	for _, policy := range opts.Policies {
@@ -185,6 +244,11 @@ func Compile(c *circuit.Circuit, opts Options) (*Compiled, error) {
 	// without changing parameters, keys, or the layout decision.
 	if err := recordScalePlan(c, out); err != nil {
 		return nil, fmt.Errorf("core: scale-management pass: %w", err)
+	}
+	// The bootstrap-placement pass attributes each placement the winning
+	// policy's analysis triggered to the circuit node that caused it.
+	if err := recordBootPlan(c, out); err != nil {
+		return nil, fmt.Errorf("core: bootstrap-placement pass: %w", err)
 	}
 	return out, nil
 }
@@ -220,6 +284,21 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 	for logN := opts.MinLogN; logN <= opts.MaxLogN; logN++ {
 		slots := 1 << uint(logN-1)
 
+		// With bootstrapping requested, the chain is laid out from the
+		// bootstrap spec instead of the circuit's consumption, and the
+		// analysis mirrors the runtime refresh trigger.
+		var bootCfg *BootConfig
+		if opts.Bootstrap != nil {
+			spec, err := bootSpecFor(logN, &opts)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			bootCfg = &BootConfig{Spec: spec, Window: opts.Bootstrap.Window, Floor: opts.Bootstrap.Floor}
+		}
+
 		// Pass 1: encryption parameter selection (Section 5.2). The same
 		// run collects the rotation set (Section 5.4).
 		params := NewAnalysis(AnalysisConfig{
@@ -228,6 +307,7 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 			RNSPrimeBits:  opts.RNSPrimeBits,
 			MagMarginBits: opts.MagMarginBits,
 			RotKey:        rotKey,
+			Bootstrap:     bootCfg,
 		})
 		if err := runAnalysis(c, policy, opts, params, opts.Scales); err != nil {
 			if firstErr == nil {
@@ -247,7 +327,31 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 
 		logQP := res.LogQ
 		costPrimes := 0.0
-		if opts.Scheme == SchemeRNS {
+		switch {
+		case bootCfg != nil:
+			// Bootstrap chain: base prime, the working window, the
+			// pipeline's own levels, the CoeffToSlot prime. The working
+			// band (window primes + live scale + margin) always fits
+			// under the pipeline levels above it, but keep the check as
+			// a guard against model drift.
+			res.RNSChainBits = bootCfg.Spec.ChainBits(bootCfg.Window)
+			res.SpecialBits = 60
+			res.LogQ = 0
+			for _, b := range res.RNSChainBits {
+				res.LogQ += float64(b)
+			}
+			if math.Ceil(params.PeakLogQ()) > res.LogQ {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("logN %d: peak %0.f bits exceeds bootstrap chain %0.f bits",
+						logN, params.PeakLogQ(), res.LogQ)
+				}
+				continue
+			}
+			res.Rotations = mergeRotations(res.Rotations, bootCfg.Spec.RotationAmounts())
+			res.Bootstraps = params.Bootstraps()
+			logQP = res.LogQ + float64(res.SpecialBits)
+			costPrimes = float64(len(res.RNSChainBits))
+		case opts.Scheme == SchemeRNS:
 			consumed := params.ConsumedPrimes()
 			baseBits := int(res.LogQ) - consumed*opts.RNSPrimeBits
 			base := splitBits(baseBits, 60)
@@ -280,6 +384,7 @@ func compilePolicy(c *circuit.Circuit, policy htc.LayoutPolicy, opts Options) (P
 			Model:         opts.CostModel,
 			CostThreads:   opts.CostThreads,
 			Batch:         opts.Batch,
+			Bootstrap:     bootCfg,
 		})
 		if err := runAnalysis(c, policy, opts, cost, opts.Scales); err != nil {
 			return PolicyResult{}, err

@@ -12,7 +12,7 @@ import (
 // fpVersion tags the canonical encoding below; bump it whenever the byte
 // layout of the digest changes so old and new binaries never agree by
 // accident.
-const fpVersion = "chet-fingerprint-v3"
+const fpVersion = "chet-fingerprint-v4"
 
 // Fingerprint returns a stable digest of everything that must match between
 // two parties for their homomorphic executions of this compilation to be
@@ -106,6 +106,13 @@ func (c *Compiled) Fingerprint() [32]byte {
 		i64(0)
 	}
 	i64(int(o.ScaleMode))
+	if o.Bootstrap == nil {
+		i64(-1)
+	} else {
+		i64(o.Bootstrap.Window)
+		i64(o.Bootstrap.Degree)
+		i64(o.Bootstrap.Floor)
+	}
 
 	// The compiler's decisions: parameters, layout, rotation set.
 	b := c.Best
@@ -117,6 +124,33 @@ func (c *Compiled) Fingerprint() [32]byte {
 	ints(b.Rotations)
 	i64(b.RotationOps)
 	i64(b.Batch)
+	i64(b.Bootstraps)
+
+	// The bootstrap plan: both parties must refresh at the same sites with
+	// the same spec, or ciphertext levels (and every scale downstream of a
+	// refresh) diverge. Hashed as the spec's chain-shaping fields plus the
+	// ordered placement skeleton.
+	if c.BootPlan == nil {
+		i64(-1)
+	} else {
+		p := c.BootPlan
+		i64(p.Spec.LogN)
+		i64(p.Spec.LogSlots)
+		i64(p.Spec.Q0Bits)
+		i64(p.Spec.PrimeBits)
+		i64(p.Spec.C2SBits)
+		i64(p.Spec.Degree)
+		i64(p.Spec.K)
+		i64(p.Spec.DoubleAngles)
+		i64(p.Window)
+		i64(p.Floor)
+		i64(len(p.Placements))
+		for _, pl := range p.Placements {
+			i64(pl.Node)
+			i64(pl.LevelBefore)
+			i64(pl.LevelAfter)
+		}
+	}
 
 	// The scale plan: runtime rescale placement is part of what both parties
 	// must agree on — a deferred site changes every downstream scale, so two

@@ -110,19 +110,19 @@ func TestFingerprintFlipsOnPackingOptions(t *testing.T) {
 	}
 }
 
-// TestFingerprintV3Golden pins the canonical v3 encoding to a known digest.
+// TestFingerprintV4Golden pins the canonical v4 encoding to a known digest.
 // The fingerprint is a wire-visible contract — both sides of the session-open
 // handshake must compute the same bytes — so any change to the byte layout
 // must come with a version bump (fpVersion), not a silent drift. If this test
 // fails and you did not intend an encoding change, you broke compatibility
 // with deployed peers; if you did intend it, bump fpVersion and refresh the
 // constant below.
-func TestFingerprintV3Golden(t *testing.T) {
+func TestFingerprintV4Golden(t *testing.T) {
 	opts := fpBaseOptions()
 	opts.ScaleMode = ScaleLazy
-	const want = "145a0e7986087f56c2dff6f2569a71f07c9f1510db2f999b4297f82a282b7c0a"
+	const want = "8511b5c92fa2c238ebaf5fc46baa421db4ee62af7422ff45121bd3d92918f4a1"
 	if got := fpCompile(t, opts).FingerprintHex(); got != want {
-		t.Fatalf("fingerprint v3 golden mismatch:\n got %s\nwant %s", got, want)
+		t.Fatalf("fingerprint v4 golden mismatch:\n got %s\nwant %s", got, want)
 	}
 }
 

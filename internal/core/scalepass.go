@@ -240,6 +240,9 @@ func recordScalePlan(c *circuit.Circuit, comp *Compiled) (err error) {
 			Slots:         slots,
 			RNSPrimeBits:  opts.RNSPrimeBits,
 			MagMarginBits: opts.MagMarginBits,
+			// Bootstrap-aware level accounting (greedy-only mode), so the
+			// recording run's consumption mirrors the runtime's resets.
+			Bootstrap: comp.bootConfig(),
 		})
 		rec.reset(a)
 

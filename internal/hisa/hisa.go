@@ -185,6 +185,49 @@ func AsFusedRescale(b Backend) (FusedRescaleBackend, bool) {
 	return fb, true
 }
 
+// BootstrapBackend is an optional backend capability: backends that can
+// refresh an exhausted ciphertext — one with no multiplicative budget left —
+// into an equivalent ciphertext with a fresh budget implement it. On the RNS
+// backend this is real CKKS bootstrapping (internal/boot); on the mock
+// backends it is the corresponding bookkeeping (budget reset plus the
+// bootstrap's approximation noise), so the compiler's bootstrap placement can
+// be validated cheaply before a lattice run.
+//
+// Budgets are measured in levels: the number of ~PrimeBits rescales a
+// ciphertext can still absorb. Bootstrap's output always has FreshBudget
+// levels; semantically it is the identity on the message within the
+// backend's documented precision (see internal/boot for the error budget of
+// the real pipeline).
+type BootstrapBackend interface {
+	// BootstrapCapable reports whether the instance actually supports the
+	// capability. Wrappers (Meter, telemetry.Tracer, Refresher) forward these
+	// methods unconditionally to keep their bookkeeping, so the interface
+	// assertion alone is not sufficient — AsBootstrap checks this flag too.
+	BootstrapCapable() bool
+	// Bootstrap refreshes c to FreshBudget levels. The input is unchanged
+	// and remains owned by the caller.
+	Bootstrap(c Ciphertext) Ciphertext
+	// BudgetOf reports the remaining multiplicative budget of c in levels.
+	BudgetOf(c Ciphertext) int
+	// FreshBudget is the budget of a just-bootstrapped ciphertext.
+	FreshBudget() int
+	// DropToFresh lowers a ciphertext to at most FreshBudget levels (the
+	// identity when it is already at or below). Fresh encryptions enter at
+	// the top of the bootstrap chain; dropping them to the fresh level makes
+	// every ciphertext's budget match the compiler's placement model.
+	DropToFresh(c Ciphertext) Ciphertext
+}
+
+// AsBootstrap returns b as a BootstrapBackend when b (including every layer
+// of a wrapper chain) supports ciphertext refreshing.
+func AsBootstrap(b Backend) (BootstrapBackend, bool) {
+	bb, ok := FindCapability[BootstrapBackend](b)
+	if !ok || !bb.BootstrapCapable() {
+		return nil, false
+	}
+	return bb, true
+}
+
 // RotateManyBackend is an optional backend capability: backends that can
 // amortize shared work across a batch of rotations of one ciphertext
 // (Halevi-Shoup hoisting in the RNS backend) implement it. RotLeftMany must

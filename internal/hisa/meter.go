@@ -27,6 +27,11 @@ type OpCounts struct {
 	Relinearize int
 	// Conjugate counts slot-conjugation automorphisms (complex packing).
 	Conjugate int
+	// Bootstrap counts ciphertext refreshes. The pipeline's internal
+	// rotations, multiplications, and rescales run below the HISA layer, so
+	// they are NOT unfolded into the other counters — one bootstrap is one
+	// (very expensive) instruction; boot.Spec.Ops itemizes its interior.
+	Bootstrap int
 }
 
 // Total returns the total number of homomorphic operations (excluding
@@ -36,7 +41,7 @@ func (o OpCounts) Total() int {
 	return o.Encrypt + o.Decrypt + o.Rotations +
 		o.Add + o.AddPlain + o.AddScalar +
 		o.Sub + o.SubPlain + o.SubScalar +
-		o.Mul + o.MulPlain + o.MulScalar + o.Rescale + o.Conjugate
+		o.Mul + o.MulPlain + o.MulScalar + o.Rescale + o.Conjugate + o.Bootstrap
 }
 
 // Meter wraps a Backend and counts the instructions that flow through it.
@@ -54,6 +59,7 @@ type Meter struct {
 	mul, mulPlain, mulScalar   atomic.Int64
 	rescale, maxRescaleQueries atomic.Int64
 	relinearize, conjugate     atomic.Int64
+	bootstrap                  atomic.Int64
 
 	// rotationSteps mirrors the step decomposition of the inner backend so
 	// multi-step rotations are counted faithfully.
@@ -89,6 +95,7 @@ func (m *Meter) Counts() OpCounts {
 		MaxRescaleQueries: int(m.maxRescaleQueries.Load()),
 		Relinearize:       int(m.relinearize.Load()),
 		Conjugate:         int(m.conjugate.Load()),
+		Bootstrap:         int(m.bootstrap.Load()),
 	}
 }
 
@@ -260,6 +267,34 @@ func (m *Meter) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
 }
 
 func (m *Meter) Scale(c Ciphertext) float64 { return m.Inner.Scale(c) }
+
+// bootInner asserts the wrapped backend's bootstrap capability;
+// BootstrapCapable gates callers before they reach it.
+func (m *Meter) bootInner() BootstrapBackend {
+	bb, ok := m.Inner.(BootstrapBackend)
+	if !ok {
+		panic("hisa: backend " + m.Inner.Name() + " does not support bootstrapping")
+	}
+	return bb
+}
+
+func (m *Meter) BootstrapCapable() bool {
+	bb, ok := m.Inner.(BootstrapBackend)
+	return ok && bb.BootstrapCapable()
+}
+
+func (m *Meter) Bootstrap(c Ciphertext) Ciphertext {
+	m.bootstrap.Add(1)
+	return m.bootInner().Bootstrap(c)
+}
+
+// BudgetOf, FreshBudget, and DropToFresh are metadata (level bookkeeping,
+// not homomorphic work), so they forward uncounted.
+func (m *Meter) BudgetOf(c Ciphertext) int { return m.bootInner().BudgetOf(c) }
+
+func (m *Meter) FreshBudget() int { return m.bootInner().FreshBudget() }
+
+func (m *Meter) DropToFresh(c Ciphertext) Ciphertext { return m.bootInner().DropToFresh(c) }
 
 // conjInner asserts the wrapped backend's complex capability. The Meter
 // forwards ConjugateBackend unconditionally (like RotLeftMany) so metered

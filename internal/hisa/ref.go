@@ -269,6 +269,27 @@ func (b *RefBackend) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
 
 func (b *RefBackend) Scale(c Ciphertext) float64 { return b.ct(c).scale }
 
+// refFreshBudget is the reference backend's unbounded level budget: the
+// functional oracle never exhausts, so any ciphertext is "fresh".
+const refFreshBudget = 1 << 30
+
+// BootstrapCapable: the oracle backend refreshes trivially (bootstrap is the
+// exact identity), so lockstep comparisons against bootstrap-placed circuits
+// need no special-casing.
+func (b *RefBackend) BootstrapCapable() bool { return true }
+
+// Bootstrap is the exact identity on the oracle backend.
+func (b *RefBackend) Bootstrap(c Ciphertext) Ciphertext { return b.Copy(c) }
+
+// BudgetOf: the oracle has no modulus, so the budget is effectively infinite.
+func (b *RefBackend) BudgetOf(Ciphertext) int { return refFreshBudget }
+
+// FreshBudget matches BudgetOf: refreshing never changes anything.
+func (b *RefBackend) FreshBudget() int { return refFreshBudget }
+
+// DropToFresh is the identity on the oracle backend.
+func (b *RefBackend) DropToFresh(c Ciphertext) Ciphertext { return b.Copy(c) }
+
 // Conjugate negates the imaginary slot components.
 func (b *RefBackend) Conjugate(c Ciphertext) Ciphertext {
 	cc := b.ct(c)

@@ -1,0 +1,242 @@
+package hisa
+
+import (
+	"fmt"
+	"math/big"
+	"sync/atomic"
+)
+
+// Refresher wraps a bootstrap-capable backend and keeps every ciphertext's
+// multiplicative budget above a floor: before each budget-consuming
+// operation (ciphertext, plaintext, and scalar multiplications) it
+// bootstraps any operand whose remaining budget has fallen below the floor.
+// Fresh encryptions are dropped to the backend's fresh level, so runtime
+// budgets track the compiler's placement model from the first op — the
+// number of bootstraps the Refresher performs on a compiled circuit equals
+// the number the placement pass predicted.
+//
+// The Refresher frees every intermediate it creates (bootstrapped operands,
+// pre-drop encryptions) and never frees caller-owned handles, preserving the
+// backend's ownership discipline. Like the backends it wraps, it is safe for
+// concurrent op execution; the bootstrap tally is atomic.
+type Refresher struct {
+	inner Backend
+	bb    BootstrapBackend
+	floor int
+
+	bootstraps atomic.Int64
+}
+
+// NewRefresher wraps inner, which must be bootstrap-capable (possibly
+// through other wrappers — a Meter below the Refresher tallies the
+// bootstraps it triggers). floor is the minimum budget, in levels, an
+// operand must have before a multiplicative op; 0 selects 1, the smallest
+// budget that still admits the op's own rescale.
+func NewRefresher(inner Backend, floor int) (*Refresher, error) {
+	bb, ok := AsBootstrap(inner)
+	if !ok {
+		return nil, fmt.Errorf("hisa: backend %s is not bootstrap-capable", inner.Name())
+	}
+	if floor <= 0 {
+		floor = 1
+	}
+	return &Refresher{inner: inner, bb: bb, floor: floor}, nil
+}
+
+// Bootstraps reports how many bootstraps the Refresher has performed
+// (triggered refreshes plus explicit Bootstrap calls).
+func (r *Refresher) Bootstraps() int { return int(r.bootstraps.Load()) }
+
+// Floor reports the configured minimum budget.
+func (r *Refresher) Floor() int { return r.floor }
+
+func (r *Refresher) Name() string { return r.inner.Name() + "+refresh" }
+func (r *Refresher) Slots() int   { return r.inner.Slots() }
+
+// Unwrap exposes the wrapped backend for capability discovery.
+func (r *Refresher) Unwrap() Backend { return r.inner }
+
+// refreshed bootstraps c when its budget is below the floor. The second
+// return reports whether the result is a Refresher-owned intermediate the
+// caller must free after use.
+func (r *Refresher) refreshed(c Ciphertext) (Ciphertext, bool) {
+	if r.bb.BudgetOf(c) >= r.floor {
+		return c, false
+	}
+	out := r.bb.Bootstrap(c)
+	r.bootstraps.Add(1)
+	return out, true
+}
+
+// Encrypt drops the fresh ciphertext to the backend's fresh level (see the
+// type comment).
+func (r *Refresher) Encrypt(p Plaintext) Ciphertext {
+	raw := r.inner.Encrypt(p)
+	out := r.bb.DropToFresh(raw)
+	r.inner.Free(raw)
+	return out
+}
+
+func (r *Refresher) Decrypt(c Ciphertext) Plaintext { return r.inner.Decrypt(c) }
+func (r *Refresher) Copy(c Ciphertext) Ciphertext   { return r.inner.Copy(c) }
+func (r *Refresher) Free(h any)                     { r.inner.Free(h) }
+
+func (r *Refresher) Encode(m []float64, f float64) Plaintext { return r.inner.Encode(m, f) }
+func (r *Refresher) Decode(p Plaintext) []float64            { return r.inner.Decode(p) }
+
+func (r *Refresher) RotLeft(c Ciphertext, x int) Ciphertext  { return r.inner.RotLeft(c, x) }
+func (r *Refresher) RotRight(c Ciphertext, x int) Ciphertext { return r.inner.RotRight(c, x) }
+
+// RotLeftMany forwards the batch capability so hoisting survives wrapping.
+func (r *Refresher) RotLeftMany(c Ciphertext, ks []int) []Ciphertext {
+	return RotLeftMany(r.inner, c, ks)
+}
+
+func (r *Refresher) Add(c, c2 Ciphertext) Ciphertext { return r.inner.Add(c, c2) }
+func (r *Refresher) Sub(c, c2 Ciphertext) Ciphertext { return r.inner.Sub(c, c2) }
+
+func (r *Refresher) AddPlain(c Ciphertext, p Plaintext) Ciphertext { return r.inner.AddPlain(c, p) }
+func (r *Refresher) SubPlain(c Ciphertext, p Plaintext) Ciphertext { return r.inner.SubPlain(c, p) }
+func (r *Refresher) AddScalar(c Ciphertext, x float64) Ciphertext  { return r.inner.AddScalar(c, x) }
+func (r *Refresher) SubScalar(c Ciphertext, x float64) Ciphertext  { return r.inner.SubScalar(c, x) }
+
+func (r *Refresher) Mul(c, c2 Ciphertext) Ciphertext {
+	a, fa := r.refreshed(c)
+	b, fb := a, false
+	if c2 != c {
+		b, fb = r.refreshed(c2)
+	}
+	out := r.inner.Mul(a, b)
+	if fa {
+		r.inner.Free(a)
+	}
+	if fb {
+		r.inner.Free(b)
+	}
+	return out
+}
+
+func (r *Refresher) MulPlain(c Ciphertext, p Plaintext) Ciphertext {
+	a, fa := r.refreshed(c)
+	out := r.inner.MulPlain(a, p)
+	if fa {
+		r.inner.Free(a)
+	}
+	return out
+}
+
+func (r *Refresher) MulScalar(c Ciphertext, x float64, f float64) Ciphertext {
+	a, fa := r.refreshed(c)
+	out := r.inner.MulScalar(a, x, f)
+	if fa {
+		r.inner.Free(a)
+	}
+	return out
+}
+
+func (r *Refresher) Rescale(c Ciphertext, x *big.Int) Ciphertext { return r.inner.Rescale(c, x) }
+
+func (r *Refresher) MaxRescale(c Ciphertext, ub *big.Int) *big.Int {
+	return r.inner.MaxRescale(c, ub)
+}
+
+func (r *Refresher) Scale(c Ciphertext) float64 { return r.inner.Scale(c) }
+
+// lazyInner asserts the wrapped backend's deferred-relinearization
+// capability; LazyRelinCapable gates callers before they reach it.
+func (r *Refresher) lazyInner() LazyRelinBackend {
+	lb, ok := r.inner.(LazyRelinBackend)
+	if !ok {
+		panic("hisa: backend " + r.inner.Name() + " does not support deferred relinearization")
+	}
+	return lb
+}
+
+func (r *Refresher) LazyRelinCapable() bool {
+	lb, ok := r.inner.(LazyRelinBackend)
+	return ok && lb.LazyRelinCapable()
+}
+
+// MulNoRelin refreshes like Mul: the budget decision happens at the
+// multiplication, not at the deferred relinearization.
+func (r *Refresher) MulNoRelin(c, c2 Ciphertext) Ciphertext {
+	a, fa := r.refreshed(c)
+	b, fb := a, false
+	if c2 != c {
+		b, fb = r.refreshed(c2)
+	}
+	out := r.lazyInner().MulNoRelin(a, b)
+	if fa {
+		r.inner.Free(a)
+	}
+	if fb {
+		r.inner.Free(b)
+	}
+	return out
+}
+
+func (r *Refresher) Relinearize(c Ciphertext) Ciphertext { return r.lazyInner().Relinearize(c) }
+
+func (r *Refresher) FusedRescaleCapable() bool {
+	fb, ok := r.inner.(FusedRescaleBackend)
+	return ok && fb.FusedRescaleCapable()
+}
+
+// RelinearizeRescale forwards: its input is a product whose operands were
+// already refreshed at MulNoRelin time.
+func (r *Refresher) RelinearizeRescale(c Ciphertext, x *big.Int) Ciphertext {
+	fb, ok := r.inner.(FusedRescaleBackend)
+	if !ok {
+		panic("hisa: backend " + r.inner.Name() + " does not support fused rescale")
+	}
+	return fb.RelinearizeRescale(c, x)
+}
+
+// conjInner asserts the wrapped backend's complex capability.
+func (r *Refresher) conjInner() ConjugateBackend {
+	cb, ok := r.inner.(ConjugateBackend)
+	if !ok {
+		panic("hisa: backend " + r.inner.Name() + " does not support complex slot operations")
+	}
+	return cb
+}
+
+func (r *Refresher) Conjugate(c Ciphertext) Ciphertext { return r.conjInner().Conjugate(c) }
+
+// EncryptC drops to the fresh level like Encrypt.
+func (r *Refresher) EncryptC(m []complex128, f float64) Ciphertext {
+	raw := r.conjInner().EncryptC(m, f)
+	out := r.bb.DropToFresh(raw)
+	r.inner.Free(raw)
+	return out
+}
+
+func (r *Refresher) DecryptC(c Ciphertext) []complex128 { return r.conjInner().DecryptC(c) }
+
+func (r *Refresher) AddPlainC(c Ciphertext, m []complex128) Ciphertext {
+	return r.conjInner().AddPlainC(c, m)
+}
+
+func (r *Refresher) MulScalarC(c Ciphertext, x complex128, f float64) Ciphertext {
+	a, fa := r.refreshed(c)
+	out := r.conjInner().MulScalarC(a, x, f)
+	if fa {
+		r.inner.Free(a)
+	}
+	return out
+}
+
+// BootstrapCapable: the Refresher is itself bootstrap-capable; explicit
+// Bootstrap calls count toward its tally like triggered ones.
+func (r *Refresher) BootstrapCapable() bool { return true }
+
+func (r *Refresher) Bootstrap(c Ciphertext) Ciphertext {
+	r.bootstraps.Add(1)
+	return r.bb.Bootstrap(c)
+}
+
+func (r *Refresher) BudgetOf(c Ciphertext) int { return r.bb.BudgetOf(c) }
+
+func (r *Refresher) FreshBudget() int { return r.bb.FreshBudget() }
+
+func (r *Refresher) DropToFresh(c Ciphertext) Ciphertext { return r.bb.DropToFresh(c) }

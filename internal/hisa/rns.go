@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"sync"
 
+	"chet/internal/boot"
 	"chet/internal/ckks"
 	"chet/internal/ring"
 )
@@ -23,6 +24,13 @@ type RNSConfig struct {
 	// for its limb-parallel stages (hoisted decomposition digits, key-switch
 	// inner-product rows). 0 or 1 selects the serial path.
 	IntraOpWorkers int
+	// Bootstrap, when set, provisions the bootstrap pipeline's rotation keys
+	// alongside Rotations and attaches a bootstrapper (internal/boot), making
+	// the backend hisa.BootstrapCapable. Params must have been laid out with
+	// Bootstrap.ChainBits. Construction panics if the spec and parameters
+	// disagree — a mis-provisioned bootstrap must not fail silently at
+	// inference time.
+	Bootstrap *boot.Spec
 }
 
 // RNSBackend executes HISA instructions with real lattice cryptography: the
@@ -38,6 +46,7 @@ type RNSBackend struct {
 	decryptor   *ckks.Decryptor // nil on evaluation-only (server) instances
 	evaluator   *ckks.Evaluator
 	provisioned map[int]bool
+	bt          *boot.Bootstrapper // nil unless bootstrap-enabled
 
 	pk   *ckks.PublicKey
 	rlk  *ckks.RelinearizationKey
@@ -73,9 +82,26 @@ func NewRNSBackend(cfg RNSConfig) *RNSBackend {
 		provisioned[k] = true
 		normalized = append(normalized, k)
 	}
-	rtks := kgen.GenRotationKeys(sk, normalized, true)
+	keygenAmounts := normalized
+	if cfg.Bootstrap != nil {
+		// Bootstrap rotations ride along AFTER slot normalization: the
+		// pipeline's BSGS steps are ordinary slot rotations, but its sub-ring
+		// trace amounts are multiples of the slot count — identities on the
+		// packed slots, which the normalization above would silently drop —
+		// and key generation maps them to distinct Galois automorphisms.
+		for _, k := range cfg.Bootstrap.RotationAmounts() {
+			if k < slots {
+				if provisioned[k] {
+					continue
+				}
+				provisioned[k] = true
+			}
+			keygenAmounts = append(keygenAmounts, k)
+		}
+	}
+	rtks := kgen.GenRotationKeys(sk, keygenAmounts, true)
 
-	return &RNSBackend{
+	b := &RNSBackend{
 		params:      params,
 		encoder:     ckks.NewEncoder(params),
 		encryptor:   ckks.NewEncryptor(params, pk, prng),
@@ -86,6 +112,26 @@ func NewRNSBackend(cfg RNSConfig) *RNSBackend {
 		rlk:         rlk,
 		rtks:        rtks,
 	}
+	if cfg.Bootstrap != nil {
+		if err := b.EnableBootstrap(*cfg.Bootstrap); err != nil {
+			panic("hisa: " + err.Error())
+		}
+	}
+	return b
+}
+
+// EnableBootstrap attaches a bootstrapper built over this backend's
+// evaluator and encoder. The rotation key set must already hold keys for
+// spec.RotationAmounts() plus conjugation (NewRNSBackend provisions them
+// when RNSConfig.Bootstrap is set; evaluation-only instances receive them
+// inside the shipped RNSPublicKeys).
+func (b *RNSBackend) EnableBootstrap(spec boot.Spec) error {
+	bt, err := boot.New(b.params, spec, b.evaluator, b.encoder)
+	if err != nil {
+		return err
+	}
+	b.bt = bt
+	return nil
 }
 
 // RNSPublicKeys is the public material a client ships to the evaluation
@@ -381,6 +427,79 @@ func (b *RNSBackend) Scale(c Ciphertext) float64 { return b.ct(c).Scale }
 
 // LevelOf exposes the ciphertext level (for tests and harnesses).
 func (b *RNSBackend) LevelOf(c Ciphertext) int { return b.ct(c).Level() }
+
+// BootstrapCapable reports whether a bootstrapper is attached (RNSConfig.
+// Bootstrap at construction, or EnableBootstrap afterwards).
+func (b *RNSBackend) BootstrapCapable() bool { return b.bt != nil }
+
+func (b *RNSBackend) boot() *boot.Bootstrapper {
+	if b.bt == nil {
+		panic("hisa: rns backend built without RNSConfig.Bootstrap")
+	}
+	return b.bt
+}
+
+// BootSpec exposes the attached bootstrap arithmetic (for harnesses).
+func (b *RNSBackend) BootSpec() boot.Spec { return b.boot().Spec() }
+
+// Bootstrap runs the real CKKS bootstrap pipeline on c. Degree-2 inputs are
+// relinearized first (the pipeline's mod-raise requires degree 1). Pipeline
+// errors are parameterization bugs, not data-dependent conditions, so they
+// panic like every other misuse of the backend.
+func (b *RNSBackend) Bootstrap(c Ciphertext) Ciphertext {
+	bt := b.boot()
+	cc := b.ct(c)
+	var tmp *ckks.Ciphertext
+	if cc.Degree() > 1 {
+		tmp = b.evaluator.Relinearize(cc)
+		cc = tmp
+	}
+	out, err := bt.Bootstrap(cc)
+	if tmp != nil {
+		b.evaluator.Recycle(tmp)
+	}
+	if err != nil {
+		panic("hisa: " + err.Error())
+	}
+	// Snap the output scale to the parameter default Δ — the scale the
+	// compiler's analysis tracks at every refresh point (bootstrap
+	// compilations require prime-aligned scales, so analysis scales are
+	// exactly Δ at op boundaries). The pipeline re-anchors the scale inside
+	// EvalMod, so out.Scale sits within ~1e-6 of Δ regardless of how much
+	// upward drift the input accumulated: chain primes sit a hair below
+	// their power-of-two targets, and every ciphertext squaring doubles a
+	// lineage's relative drift, so deep networks arrive well off Δ.
+	// Redeclaring absorbs the remaining ~1e-6 gap as a multiplicative
+	// message error far inside the bootstrap epsilon and resets the
+	// lineage's drift at each refresh, keeping it bounded at any depth. A
+	// large deviation means the chain and spec disagree, which is a bug,
+	// not data.
+	delta := b.evaluator.Params().DefaultScale()
+	if ratio := out.Scale / delta; ratio < 0.999 || ratio > 1.001 {
+		panic(fmt.Sprintf("hisa: bootstrap scale drifted off the default scale %g -> %g (chain/spec mismatch)", delta, out.Scale))
+	}
+	out.Scale = delta
+	return out
+}
+
+// BudgetOf reports the ciphertext's RNS level — exactly its remaining
+// rescale count.
+func (b *RNSBackend) BudgetOf(c Ciphertext) int { return b.ct(c).Level() }
+
+// FreshBudget is the level a bootstrapped ciphertext lands at.
+func (b *RNSBackend) FreshBudget() int { return b.boot().FreshLevel() }
+
+// DropToFresh lowers a ciphertext (typically a fresh encryption at the top
+// of the bootstrap chain) to the fresh level, so runtime budgets track the
+// compiler's placement model from the first op.
+func (b *RNSBackend) DropToFresh(c Ciphertext) Ciphertext {
+	cc := b.ct(c)
+	out := cc.CopyNew()
+	if fresh := b.boot().FreshLevel(); out.Level() > fresh {
+		b.evaluator.DropToLevel(out, fresh)
+	}
+	return out
+}
 
 // Conjugate conjugates every slot via the Galois conjugation automorphism.
 // The conjugation key is always part of the rotation key set this backend

@@ -23,6 +23,45 @@ type SimParams struct {
 	// checks the deterministic value plus a 6-sigma bound instead of
 	// sampling.
 	NoNoise bool
+	// Bootstrap enables the mock bootstrap capability; nil leaves the
+	// backend incapable (AsBootstrap reports false).
+	Bootstrap *SimBootstrap
+}
+
+// SimBootstrap configures the mock bootstrap: the modulus-budget reset and
+// approximation noise of a real CKKS bootstrap, without the lattice
+// pipeline. Level accounting mirrors the RNS chain layout so the compiler's
+// placement model transfers: BudgetOf counts how many PrimeBits rescales fit
+// above the Q0Bits base.
+type SimBootstrap struct {
+	// FreshLogQ is the modulus budget (bits) a bootstrapped ciphertext is
+	// refreshed to; 0 selects the full LogQ.
+	FreshLogQ float64
+	// Noise is the per-slot message-space error std one bootstrap adds (the
+	// real pipeline's EvalMod residual); 0 selects 1e-4, the measured error
+	// of internal/boot's default spec.
+	Noise float64
+	// PrimeBits and Q0Bits lay out the mock chain for level accounting;
+	// zeros select the boot package defaults (40 and 49).
+	PrimeBits int
+	Q0Bits    int
+}
+
+// withDefaults fills zero fields with the boot-package defaults.
+func (s SimBootstrap) withDefaults(logQ int) SimBootstrap {
+	if s.FreshLogQ == 0 {
+		s.FreshLogQ = float64(logQ)
+	}
+	if s.Noise == 0 {
+		s.Noise = 1e-4
+	}
+	if s.PrimeBits == 0 {
+		s.PrimeBits = 40
+	}
+	if s.Q0Bits == 0 {
+		s.Q0Bits = 49
+	}
+	return s
 }
 
 // SimBackend realizes the CKKS scheme of HEAAN v1.0 as a high-fidelity mock:
@@ -56,6 +95,13 @@ func NewSimBackend(params SimParams) *SimBackend {
 	seed := params.Seed
 	if seed == 0 {
 		seed = 0x5EED
+	}
+	if params.Bootstrap != nil {
+		bs := params.Bootstrap.withDefaults(params.LogQ)
+		if bs.FreshLogQ > float64(params.LogQ) {
+			panic(fmt.Sprintf("hisa: sim bootstrap FreshLogQ %.0f exceeds LogQ %d", bs.FreshLogQ, params.LogQ))
+		}
+		params.Bootstrap = &bs
 	}
 	return &SimBackend{
 		params: params,
@@ -512,6 +558,62 @@ func (b *SimBackend) NoiseOf(c Ciphertext) float64 {
 
 // LogQRemaining exposes the remaining modulus bits of a ciphertext.
 func (b *SimBackend) LogQRemaining(c Ciphertext) float64 { return b.ct(c).logQ }
+
+// BootstrapCapable reports whether SimParams.Bootstrap was configured.
+func (b *SimBackend) BootstrapCapable() bool { return b.params.Bootstrap != nil }
+
+func (b *SimBackend) bootParams() *SimBootstrap {
+	if b.params.Bootstrap == nil {
+		panic("hisa: ckks-sim backend built without SimParams.Bootstrap")
+	}
+	return b.params.Bootstrap
+}
+
+// levelsAbove counts how many PrimeBits rescales fit between logQ and the
+// Q0Bits base — the sim's level-equivalent of an RNS chain position.
+func (b *SimBackend) levelsAbove(logQ float64) int {
+	bs := b.bootParams()
+	lv := int((logQ - float64(bs.Q0Bits)) / float64(bs.PrimeBits))
+	if lv < 0 {
+		lv = 0
+	}
+	return lv
+}
+
+// Bootstrap refreshes the ciphertext's modulus budget to FreshLogQ and
+// charges the bootstrap's approximation noise — the observable bookkeeping
+// of the real pipeline, with the slot values carried exactly.
+func (b *SimBackend) Bootstrap(c Ciphertext) Ciphertext {
+	bs := b.bootParams()
+	cc := b.ct(c)
+	out := b.ct(b.Copy(cc)).withLogQ(bs.FreshLogQ)
+	hypotConst(out.noise, bs.Noise)
+	b.checkCapacity(out)
+	return out
+}
+
+// BudgetOf reports the ciphertext's remaining budget in chain levels.
+func (b *SimBackend) BudgetOf(c Ciphertext) int { return b.levelsAbove(b.ct(c).logQ) }
+
+// FreshBudget is the level budget right after a bootstrap.
+func (b *SimBackend) FreshBudget() int { return b.levelsAbove(b.bootParams().FreshLogQ) }
+
+// DropToFresh caps the ciphertext's budget at the fresh level (modulus
+// switching is exact, so no noise is charged in message units).
+func (b *SimBackend) DropToFresh(c Ciphertext) Ciphertext {
+	bs := b.bootParams()
+	cc := b.ct(c)
+	out := b.ct(b.Copy(cc))
+	if out.logQ > bs.FreshLogQ {
+		out.logQ = bs.FreshLogQ
+	}
+	return out
+}
+
+func (c *simCT) withLogQ(logQ float64) *simCT {
+	c.logQ = logQ
+	return c
+}
 
 // Conjugate conjugates every slot. Like a rotation it is a key-switching
 // automorphism, so it charges one key-switch noise term.

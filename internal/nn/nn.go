@@ -71,6 +71,28 @@ func (g *weightGen) dense(out, in int) *tensor.Tensor {
 	return t
 }
 
+// denseRowNorm samples a [out, in] matrix and rescales every row to an
+// exact L2 norm. For a random unit row w and an input x, E[(w·x)²] =
+// ‖x‖²/in, so the layer's gain is pinned at norm/√in per entry — activations
+// stay O(1) through arbitrarily deep stacks instead of drifting with the
+// He-sample variance, which matters when every layer's output must respect
+// the bootstrap residual bound.
+func (g *weightGen) denseRowNorm(out, in int, norm float64) *tensor.Tensor {
+	t := g.dense(out, in)
+	for r := 0; r < out; r++ {
+		row := t.Data[r*in : (r+1)*in]
+		s := 0.0
+		for _, v := range row {
+			s += v * v
+		}
+		scale := norm / math.Sqrt(s)
+		for i := range row {
+			row[i] *= scale
+		}
+	}
+	return t
+}
+
 // bias samples a small bias vector.
 func (g *weightGen) bias(n int) *tensor.Tensor {
 	t := tensor.New(n)
@@ -208,8 +230,42 @@ func ByName(name string) (*Model, error) {
 	if name == "LeNet-tiny" {
 		return LeNetTiny(), nil
 	}
+	if name == "NN-20" {
+		return NN20(), nil
+	}
 	return nil, fmt.Errorf("nn: unknown model %q", name)
 }
+
+// DeepMLP builds an NN-20-style deep multilayer perceptron: `layers`
+// Dense(16x16)+activation blocks over a flattened 4x4 input, closed by a
+// 10-way output layer. Its multiplicative depth (~2 levels per block) far
+// exceeds any secure modulus chain, making it the bootstrap subsystem's
+// workload: it only compiles with Options.Bootstrap and only runs under the
+// Refresher. Row-normalized weights (gain 1.25, times the activation's 0.75
+// linear term ≈ 0.94/layer) keep activations O(1) at any depth so messages
+// respect the bootstrap's K residual bound.
+func DeepMLP(layers int) *Model {
+	const width = 16
+	g := newWeightGen(120)
+	b := circuit.NewBuilder(fmt.Sprintf("NN-%d", layers))
+	x := b.Input(1, 4, 4)
+	x = b.Flatten(x, "flatten")
+	for i := 1; i <= layers; i++ {
+		x = b.Dense(x, g.denseRowNorm(width, width, 1.25), g.bias(width), fmt.Sprintf("fc%d", i))
+		x = b.Activation(x, actA, actB, fmt.Sprintf("act%d", i))
+	}
+	x = b.Dense(x, g.denseRowNorm(10, width, 1.25), g.bias(10), "out")
+	return &Model{
+		Name:        fmt.Sprintf("NN-%d", layers),
+		Circuit:     b.Build(x),
+		InputShape:  []int{1, 4, 4},
+		Description: fmt.Sprintf("deep MLP (%d Dense+act blocks) exercising bootstrap placement", layers),
+	}
+}
+
+// NN20 is the 20-block deep MLP of the bootstrap evaluation (not part of
+// the paper's Table 3; reachable via ByName("NN-20")).
+func NN20() *Model { return DeepMLP(20) }
 
 // LeNetTiny is a reduced network for demonstrations on real lattice
 // cryptography at small ring degrees (not part of the paper's evaluation).

@@ -32,6 +32,28 @@ func (a *Approximation) Eval(x float64) float64 {
 	return acc
 }
 
+// InDomain reports whether x lies inside the fitted interval [A, B], with a
+// tiny relative slack so values produced by float round-trips of the
+// endpoints still count as inside.
+func (a *Approximation) InDomain(x float64) bool {
+	slack := 1e-9 * (a.B - a.A)
+	return x >= a.A-slack && x <= a.B+slack
+}
+
+// EvalChecked evaluates the polynomial at x but fails loudly when x falls
+// outside the fitted interval. Chebyshev interpolants diverge fast outside
+// [A, B] — a degree-20 sine fit that is accurate to 1e-11 inside its range
+// can be off by many orders of magnitude just past the endpoint — so callers
+// whose correctness depends on the approximation (EvalMod in bootstrapping,
+// plaintext lockstep references) should use this instead of Eval.
+func (a *Approximation) EvalChecked(x float64) (float64, error) {
+	if !a.InDomain(x) {
+		return 0, fmt.Errorf("polyfit: input %g outside fitted interval [%g, %g] (degree %d); the approximation is meaningless out of range",
+			x, a.A, a.B, a.Degree())
+	}
+	return a.Eval(x), nil
+}
+
 // MaxError samples the interval and returns the largest deviation from f.
 func (a *Approximation) MaxError(f func(float64) float64, samples int) float64 {
 	if samples < 2 {

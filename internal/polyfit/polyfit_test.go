@@ -1,4 +1,4 @@
-package polyfit
+package polyfit_test
 
 import (
 	"math"
@@ -7,13 +7,14 @@ import (
 	"chet/internal/circuit"
 	"chet/internal/hisa"
 	"chet/internal/htc"
+	"chet/internal/polyfit"
 	"chet/internal/tensor"
 )
 
 func TestChebyshevReconstructsPolynomials(t *testing.T) {
 	// A degree-d Chebyshev fit of a degree-d polynomial is exact.
 	f := func(x float64) float64 { return 3 - 2*x + 0.5*x*x*x }
-	approx, err := Chebyshev(f, -2, 2, 3)
+	approx, err := polyfit.Chebyshev(f, -2, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestChebyshevErrorDecreasesWithDegree(t *testing.T) {
 	sig := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 	prev := math.Inf(1)
 	for _, d := range []int{2, 4, 8} {
-		a, err := Chebyshev(sig, -4, 4, d)
+		a, err := polyfit.Chebyshev(sig, -4, 4, d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,21 +51,21 @@ func TestChebyshevErrorDecreasesWithDegree(t *testing.T) {
 }
 
 func TestNamedApproximations(t *testing.T) {
-	relu, err := ReLU(3, 4)
+	relu, err := polyfit.ReLU(3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e := relu.MaxError(func(x float64) float64 { return math.Max(0, x) }, 300); e > 0.25 {
 		t.Fatalf("degree-4 ReLU error %g", e)
 	}
-	tanh, err := Tanh(2, 5)
+	tanh, err := polyfit.Tanh(2, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e := tanh.MaxError(math.Tanh, 300); e > 0.05 {
 		t.Fatalf("degree-5 tanh error %g", e)
 	}
-	sig, err := Sigmoid(4, 3)
+	sig, err := polyfit.Sigmoid(4, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,14 +74,40 @@ func TestNamedApproximations(t *testing.T) {
 	}
 }
 
+func TestEvalCheckedDomainGuard(t *testing.T) {
+	a, err := polyfit.Chebyshev(math.Sin, -2, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside the interval: matches Eval exactly, no error.
+	for _, x := range []float64{-2, -0.5, 0, 1.7, 3} {
+		got, err := a.EvalChecked(x)
+		if err != nil {
+			t.Fatalf("EvalChecked(%g) unexpectedly failed: %v", x, err)
+		}
+		if got != a.Eval(x) {
+			t.Fatalf("EvalChecked(%g) = %g, Eval = %g", x, got, a.Eval(x))
+		}
+	}
+	// Outside: loud error naming the interval.
+	for _, x := range []float64{-2.001, 3.001, 100, math.Inf(1), math.NaN()} {
+		if _, err := a.EvalChecked(x); err == nil {
+			t.Fatalf("EvalChecked(%g) should have rejected out-of-domain input", x)
+		}
+	}
+	if !a.InDomain(3) || a.InDomain(3.1) {
+		t.Fatal("InDomain endpoints wrong")
+	}
+}
+
 func TestChebyshevValidation(t *testing.T) {
-	if _, err := Chebyshev(math.Sin, 1, 1, 3); err == nil {
+	if _, err := polyfit.Chebyshev(math.Sin, 1, 1, 3); err == nil {
 		t.Fatal("expected interval error")
 	}
-	if _, err := Chebyshev(math.Sin, 0, 1, 0); err == nil {
+	if _, err := polyfit.Chebyshev(math.Sin, 0, 1, 0); err == nil {
 		t.Fatal("expected degree error")
 	}
-	if _, err := Chebyshev(math.Sin, 0, 1, 100); err == nil {
+	if _, err := polyfit.Chebyshev(math.Sin, 0, 1, 100); err == nil {
 		t.Fatal("expected degree cap error")
 	}
 }
@@ -88,7 +115,7 @@ func TestChebyshevValidation(t *testing.T) {
 // TestPolyEvalKernelMatchesReference checks the full path: fit tanh,
 // install as a PolyEval circuit op, execute homomorphically, compare.
 func TestPolyEvalKernelMatchesReference(t *testing.T) {
-	tanh, err := Tanh(2, 5)
+	tanh, err := polyfit.Tanh(2, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +160,7 @@ func TestPolyEvalKernelMatchesReference(t *testing.T) {
 // TestPolyEvalOnSimBackend confirms the Horner kernel survives the CKKS
 // noise model with sensible scales.
 func TestPolyEvalOnSimBackend(t *testing.T) {
-	sig, err := Sigmoid(4, 3)
+	sig, err := polyfit.Sigmoid(4, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package ring
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Poly arena: pooled contiguous RNS limb storage.
 //
@@ -25,6 +28,11 @@ import "sync"
 type arena struct {
 	n     int
 	pools []sync.Pool // pools[rows-1] holds *Poly with exactly `rows` limbs
+	// outstanding counts polys currently leased via get and not yet returned.
+	// Long homomorphic pipelines (a full bootstrap is thousands of leases)
+	// leak silently if any path forgets its PutPoly — the counter makes that
+	// a testable invariant instead of quiet GC pressure.
+	outstanding atomic.Int64
 }
 
 func newArena(n, maxRows int) *arena {
@@ -47,7 +55,10 @@ func newContiguousPoly(n, rows int) *Poly {
 }
 
 func (a *arena) get(rows int) *Poly {
-	return a.pools[rows-1].Get().(*Poly)
+	p := a.pools[rows-1].Get().(*Poly)
+	p.leased = true
+	a.outstanding.Add(1)
+	return p
 }
 
 func (a *arena) put(p *Poly) {
@@ -69,6 +80,10 @@ func (a *arena) put(p *Poly) {
 		for i := 0; i < rows; i++ {
 			p.Coeffs[i] = p.buf[i*a.n : (i+1)*a.n : (i+1)*a.n]
 		}
+	}
+	if p.leased {
+		p.leased = false
+		a.outstanding.Add(-1)
 	}
 	a.pools[rows-1].Put(p)
 }
@@ -95,3 +110,10 @@ func (r *Ring) GetPolyZero(level int) *Poly {
 // not be referenced afterwards. Polys without contiguous backing (assembled
 // row-by-row) are ignored.
 func (r *Ring) PutPoly(p *Poly) { r.arena.put(p) }
+
+// OutstandingPolys returns the number of polys currently leased from the
+// arena (GetPoly without a matching PutPoly). Tests bracket a pipeline with
+// two reads and assert the delta is zero: any positive delta is a leaked
+// lease in that pipeline. Donated polys (NewPoly storage entering the pool
+// via PutPoly) do not count; rejected foreign polys never counted.
+func (r *Ring) OutstandingPolys() int64 { return r.arena.outstanding.Load() }

@@ -20,6 +20,46 @@ func randomPoly(r *Ring, level int, rng *rand.Rand) *Poly {
 // TestArenaReuse pins the pooling contract: a returned poly comes back on
 // the next lease (same backing buffer, full height), including after its
 // level was dropped while on loan.
+func TestArenaLeaseCounter(t *testing.T) {
+	r := testRing(t, 6, 4)
+	base := r.OutstandingPolys()
+
+	// Leases are counted; returns bring the counter back down.
+	a := r.GetPoly(3)
+	b := r.GetPoly(1)
+	if got := r.OutstandingPolys() - base; got != 2 {
+		t.Fatalf("outstanding after 2 leases = %d, want 2", got)
+	}
+	r.PutPoly(a)
+	r.PutPoly(b)
+	if got := r.OutstandingPolys() - base; got != 0 {
+		t.Fatalf("outstanding after returns = %d, want 0", got)
+	}
+
+	// A level-dropped lease still checks back in as one lease.
+	p := r.GetPoly(3)
+	p.DropLevel(1)
+	r.PutPoly(p)
+	if got := r.OutstandingPolys() - base; got != 0 {
+		t.Fatalf("outstanding after dropped-level return = %d, want 0", got)
+	}
+
+	// Donated storage (NewPoly entering the pool for the first time) and
+	// rejected foreign polys must not drive the counter negative.
+	r.PutPoly(r.NewPoly(3))
+	r.PutPoly(&Poly{Coeffs: make([][]uint64, 2)})
+	if got := r.OutstandingPolys() - base; got != 0 {
+		t.Fatalf("outstanding after donations = %d, want 0", got)
+	}
+
+	// An unreturned lease is visible — this is the leak signal tests gate on.
+	leak := r.GetPoly(2)
+	if got := r.OutstandingPolys() - base; got != 1 {
+		t.Fatalf("outstanding with a live lease = %d, want 1", got)
+	}
+	r.PutPoly(leak)
+}
+
 func TestArenaReuse(t *testing.T) {
 	r := testRing(t, 6, 4)
 	p := r.GetPoly(3)

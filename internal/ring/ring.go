@@ -78,6 +78,11 @@ type Poly struct {
 	// height across DropLevel, which is what lets the arena restore and
 	// recycle level-dropped polys.
 	buf []uint64
+	// leased marks a poly currently checked out of the arena via GetPoly.
+	// It gates the outstanding-lease counter so that donated polys (NewPoly
+	// storage entering the pool through PutPoly for the first time) do not
+	// drive the counter negative.
+	leased bool
 }
 
 // NewPoly allocates a zero polynomial at the given level with contiguous

@@ -579,6 +579,45 @@ func (t *Tracer) MulScalarC(c hisa.Ciphertext, z complex128, f float64) hisa.Cip
 	return out
 }
 
+// --- hisa.BootstrapBackend ---
+
+// bootInner resolves the wrapped backend's bootstrap capability;
+// BootstrapCapable gates callers before they reach it.
+func (t *Tracer) bootInner() hisa.BootstrapBackend {
+	bb, ok := hisa.AsBootstrap(t.inner)
+	if !ok {
+		panic("telemetry: wrapped backend " + t.inner.Name() + " does not support bootstrapping")
+	}
+	return bb
+}
+
+// BootstrapCapable forwards the refresh capability (gated on the inner
+// backend, like LazyRelinCapable).
+func (t *Tracer) BootstrapCapable() bool {
+	_, ok := hisa.AsBootstrap(t.inner)
+	return ok
+}
+
+// Bootstrap records one span for the whole refresh pipeline: in profiles a
+// bootstrap is a single (dominant) instruction, matching Meter's tally; its
+// interior rotations and multiplications run below the HISA layer.
+func (t *Tracer) Bootstrap(c hisa.Ciphertext) hisa.Ciphertext {
+	bb := t.bootInner()
+	start := time.Now()
+	out := bb.Bootstrap(c)
+	t.record("bootstrap", 0, c, out, start)
+	return out
+}
+
+// BudgetOf, FreshBudget, and DropToFresh are metadata and record no spans.
+func (t *Tracer) BudgetOf(c hisa.Ciphertext) int { return t.bootInner().BudgetOf(c) }
+
+func (t *Tracer) FreshBudget() int { return t.bootInner().FreshBudget() }
+
+func (t *Tracer) DropToFresh(c hisa.Ciphertext) hisa.Ciphertext {
+	return t.bootInner().DropToFresh(c)
+}
+
 // goroutineID parses the current goroutine's id from its stack header
 // ("goroutine 123 ["). Sub-microsecond against millisecond-scale lattice
 // ops; tests assert the end-to-end tracer overhead budget.
