@@ -20,14 +20,17 @@ go test -race ./internal/hisa/... ./internal/htc/... ./internal/ckks/...
 echo "== go test -race (serving subsystem: wire protocol + batch coalescer + server engine)"
 go test -race ./internal/serve/... ./internal/wire/... ./internal/batch/...
 
-echo "== go test -race (telemetry: tracer ring, scope stack, metrics snapshots)"
+echo "== go test -race (telemetry: tracer ring, scope stack, trace-context propagation, metrics snapshots)"
 go test -race ./internal/telemetry/... ./internal/serve/...
 
-echo "== go test -race (fleet: hash ring churn, registry merge, router + 2 workers, batched e2e, /metrics scrape)"
+echo "== go test -race (fleet: hash ring churn, registry merge, router + 2 workers, batched e2e, cross-process trace stitching, /metrics scrape)"
 go test -race ./internal/fleet/... ./cmd/chet-router
 
 echo "== observability smoke (/metrics exposition + pprof against a live chet-serve)"
 go test -run=TestObservabilityEndpoints ./cmd/chet-serve
+
+echo "== observability smoke (chet-router /metrics scrape + merged /trace fetch against a live fleet)"
+go test -run=TestRouterObservabilityEndpoints ./cmd/chet-router
 
 echo "== fuzz smoke (wire decoders are total over adversarial bytes)"
 go test -fuzz=FuzzWireFrame -fuzztime=5s ./internal/wire
@@ -61,5 +64,8 @@ go test -race ./internal/boot/...
 
 echo "== bench smoke (deep-MLP bootstrap: placement parity + precision on a tiny ring)"
 go test -run=TestBootstrapBenchSmoke -timeout=600s ./internal/bench
+
+echo "== bench smoke (fleet observability: traced-vs-untraced bit-exactness + cross-process trace stitching)"
+go test -run=TestObsBenchSmoke -timeout=600s ./internal/bench
 
 echo "CI OK"

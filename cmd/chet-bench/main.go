@@ -91,6 +91,11 @@ type benchConfig struct {
 	fleetMinSpeedup    float64
 	fleetAssertWorkers int
 	fleetOut           string
+	// obsOpts sizes the fleet-observability experiment (traced-vs-untraced
+	// overhead plus the cross-process trace stitch); obsOut is its JSON path
+	// ("" disables).
+	obsOpts bench.ObsOptions
+	obsOut  string
 }
 
 func defaultConfig() benchConfig {
@@ -146,6 +151,13 @@ func defaultConfig() benchConfig {
 		fleetMinSpeedup:    3,
 		fleetAssertWorkers: 4,
 		fleetOut:           "BENCH_fleet.json",
+
+		obsOpts: bench.ObsOptions{
+			Layers: 6, LogN: 9, Window: 3,
+			Workers: 2, Sessions: 2, Requests: 2, Reps: 1,
+			OverheadBudget: 0.05,
+		},
+		obsOut: "BENCH_obs.json",
 	}
 }
 
@@ -352,6 +364,32 @@ func experiments(cfg benchConfig) []experiment {
 			}
 			return nil
 		}},
+		{"obs", func(w io.Writer) error {
+			res, err := bench.ObsBench(cfg.obsOpts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, bench.RenderObs(res))
+			fmt.Fprintln(w, "one trace ID spans client, router, and worker; budget telemetry rides the health probes (see DESIGN.md)")
+			if cfg.obsOut != "" {
+				if err := bench.WriteStampedJSON(cfg.obsOut, res); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote %s\n", cfg.obsOut)
+			}
+			if !res.BitExact {
+				return fmt.Errorf("traced outputs diverged from untraced")
+			}
+			if !res.Stitch.Stitched || res.Stitch.BootstrapSpans == 0 {
+				return fmt.Errorf("cross-process trace did not stitch (router spans %d, worker spans %d, bootstrap spans %d)",
+					res.Stitch.RouterSpans, res.Stitch.WorkerSpans, res.Stitch.BootstrapSpans)
+			}
+			if res.WallOverhead > res.OverheadBudget {
+				return fmt.Errorf("tracing overhead %.2f%% exceeds the %.0f%% budget",
+					100*res.WallOverhead, 100*res.OverheadBudget)
+			}
+			return nil
+		}},
 		{"telemetry", func(w io.Writer) error {
 			rows, err := bench.TelemetryOverhead(cfg.fig6Models, cfg.telemetryLogN,
 				cfg.workers, cfg.telemetryReps, cfg.telemetryBudgetPct)
@@ -403,7 +441,7 @@ func runExperiments(w io.Writer, want string, cfg benchConfig) error {
 func main() {
 	log.SetFlags(0)
 	exp := flag.String("exp", "all",
-		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, ring, batching, packing, fleet, bootstrap, telemetry, or all")
+		"experiment: table1, table3, table4, table5, table6, fig5, fig6, fig7, parallel, rotations, ring, batching, packing, fleet, bootstrap, obs, telemetry, or all")
 	full := flag.Bool("full", false,
 		"use all five evaluation networks (slower analysis sweeps; fig6 always uses the small set)")
 	scaleSearch := flag.Bool("scalesearch", false,
@@ -430,6 +468,10 @@ func main() {
 		"output path for the fleet experiment JSON (empty disables)")
 	fleetMinSpeedup := flag.Float64("fleet-min-speedup", 3,
 		"images/sec ratio at 4 workers the fleet experiment asserts (0 disables)")
+	obsOut := flag.String("obsout", "BENCH_obs.json",
+		"output path for the observability experiment JSON (empty disables)")
+	obsBudget := flag.Float64("obs-budget", 0.05,
+		"traced-over-untraced wall-time overhead ratio the obs experiment asserts")
 	flag.Parse()
 
 	cfg := defaultConfig()
@@ -445,6 +487,8 @@ func main() {
 	cfg.bootOut = *bootOut
 	cfg.fleetOut = *fleetOut
 	cfg.fleetMinSpeedup = *fleetMinSpeedup
+	cfg.obsOut = *obsOut
+	cfg.obsOpts.OverheadBudget = *obsBudget
 	if *full {
 		cfg.models = bench.EvalModels()
 	}

@@ -66,6 +66,15 @@ func tinyConfig() benchConfig {
 		bootWindow:    3,
 		bootErrBudget: 5e-2,
 		bootOut:       "",
+
+		obsOpts: bench.ObsOptions{
+			Layers: 4, LogN: 9, Window: 2,
+			Workers: 2, Sessions: 2, Requests: 1, Reps: 1,
+			// Correctness and stitching are asserted at full strength; the
+			// overhead gate is relaxed for the same reason as telemetry above.
+			OverheadBudget: 5,
+		},
+		obsOut: "",
 	}
 }
 
@@ -73,7 +82,7 @@ func tinyConfig() benchConfig {
 // and requires non-empty rendered output.
 func TestRunExperimentsSmoke(t *testing.T) {
 	cfg := tinyConfig()
-	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "ring": true, "batching": true, "telemetry": true, "packing": true, "fleet": true, "bootstrap": true}
+	slow := map[string]bool{"table1": true, "fig6": true, "parallel": true, "rotations": true, "ring": true, "batching": true, "telemetry": true, "packing": true, "fleet": true, "bootstrap": true, "obs": true}
 	for _, e := range experiments(cfg) {
 		t.Run(e.name, func(t *testing.T) {
 			if testing.Short() && slow[e.name] {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +48,9 @@ type routerConfig struct {
 	probeFailures int
 	relayAttempts int
 	metricsAddr   string
+	// logStructured emits slog lines (placements, relays, failovers, keyed
+	// by trace_id) to stderr.
+	logStructured bool
 }
 
 func buildRouter(w io.Writer, cfg routerConfig) (*fleet.Router, error) {
@@ -59,6 +63,10 @@ func buildRouter(w io.Writer, cfg routerConfig) (*fleet.Router, error) {
 	if len(workers) == 0 {
 		return nil, errors.New("chet-router: -workers requires at least one address")
 	}
+	var logger *slog.Logger
+	if cfg.logStructured {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
 	return fleet.New(fleet.Config{
 		Workers:       workers,
 		Replicas:      cfg.replicas,
@@ -67,6 +75,7 @@ func buildRouter(w io.Writer, cfg routerConfig) (*fleet.Router, error) {
 		ProbeTimeout:  cfg.probeTimeout,
 		ProbeFailures: cfg.probeFailures,
 		RelayAttempts: cfg.relayAttempts,
+		Logger:        logger,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
@@ -136,8 +145,15 @@ func reportMetrics(w io.Writer, m fleet.RouterMetrics) {
 		if wk.Draining {
 			state += ", draining"
 		}
-		fmt.Fprintf(w, "  worker %s (%s): %d relayed, %d handoffs, %d in flight\n",
-			wk.Addr, state, wk.Relayed, wk.Handoffs, wk.Inflight)
+		budget := ""
+		if wk.Bootstraps > 0 || wk.HeadroomKnown {
+			budget = fmt.Sprintf(", %d bootstraps", wk.Bootstraps)
+			if wk.HeadroomKnown {
+				budget += fmt.Sprintf(" (min headroom %d levels)", wk.MinHeadroom)
+			}
+		}
+		fmt.Fprintf(w, "  worker %s (%s): %d relayed, %d handoffs, %d in flight%s\n",
+			wk.Addr, state, wk.Relayed, wk.Handoffs, wk.Inflight, budget)
 	}
 }
 
@@ -153,6 +169,7 @@ func main() {
 	flag.IntVar(&cfg.probeFailures, "probe-failures", 3, "consecutive probe failures that remove a worker from the ring")
 	flag.IntVar(&cfg.relayAttempts, "relay-attempts", 3, "workers one request may be tried against before the client sees an error")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address (empty disables)")
+	flag.BoolVar(&cfg.logStructured, "log", false, "emit structured per-relay logs (trace_id-keyed slog lines) to stderr")
 	flag.Parse()
 
 	stop := make(chan os.Signal, 1)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -55,6 +56,12 @@ type serveConfig struct {
 	// trace wraps each session's backend in a telemetry tracer: per-op
 	// duration series on /metrics and trace-ID-correlated dispatch logs.
 	trace bool
+	// processLabel names this worker in merged cross-process traces; empty
+	// lets trace collectors label it by address.
+	processLabel string
+	// logStructured emits slog lines (dispatches, completions, failures,
+	// keyed by trace_id) to stderr.
+	logStructured bool
 }
 
 // buildServer compiles the model and constructs the engine.
@@ -99,6 +106,8 @@ func buildServer(w io.Writer, cfg serveConfig) (*serve.Server, *chet.Compiled, e
 		BatchWait:      cfg.batchWait,
 		BatchAdaptive:  cfg.batchAdaptive,
 		Trace:          cfg.trace,
+		ProcessLabel:   cfg.processLabel,
+		Logger:         structuredLogger(cfg.logStructured),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
@@ -107,6 +116,17 @@ func buildServer(w io.Writer, cfg serveConfig) (*serve.Server, *chet.Compiled, e
 		return nil, nil, err
 	}
 	return s, comp, nil
+}
+
+// structuredLogger builds the slog sink for per-request events: stderr at
+// debug level when enabled (every dispatch and completion carries its
+// trace_id, correlating log lines with the distributed trace), nil otherwise
+// (the engine falls back to its discard default).
+func structuredLogger(enabled bool) *slog.Logger {
+	if !enabled {
+		return nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 }
 
 // run starts the server and blocks until a stop signal, then drains and
@@ -184,6 +204,13 @@ func reportMetrics(w io.Writer, m serve.ServerMetrics) {
 	for _, size := range sizes {
 		fmt.Fprintf(w, "  batches of %d: %d evaluations\n", size, m.BatchSizes[size])
 	}
+	if m.Bootstraps > 0 || m.HeadroomKnown {
+		fmt.Fprintf(w, "  budget:   %d bootstrap refreshes", m.Bootstraps)
+		if m.HeadroomKnown {
+			fmt.Fprintf(w, ", min headroom %d levels above the refresh floor", m.MinHeadroom)
+		}
+		fmt.Fprintln(w)
+	}
 	for _, sm := range m.Sessions {
 		fmt.Fprintf(w, "  session %d: %d requests, %d errors, %d HISA ops (%d rotations, %d ct-ct muls)\n",
 			sm.ID, sm.Requests, sm.Errors, sm.Ops.Total(), sm.Ops.Rotations, sm.Ops.Mul)
@@ -206,6 +233,8 @@ func main() {
 	flag.BoolVar(&cfg.batchAdaptive, "batch-adaptive", false, "scale the batch wait down as queue pressure rises (batch-wait becomes the ceiling)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address (empty disables)")
 	flag.BoolVar(&cfg.trace, "trace", false, "trace session backends: per-op durations on /metrics, trace-ID dispatch logs")
+	flag.StringVar(&cfg.processLabel, "process-label", "", "name for this worker in merged cross-process traces (empty: labeled by address)")
+	flag.BoolVar(&cfg.logStructured, "log", false, "emit structured per-request logs (trace_id-keyed slog lines) to stderr")
 	flag.Parse()
 
 	stop := make(chan os.Signal, 1)

@@ -88,6 +88,9 @@ func TestObservabilityEndpoints(t *testing.T) {
 		`chet_hisa_ops_total{op="rot"}`,
 		`chet_hisa_op_seconds_total{op="mulplain"}`,
 		`chet_hisa_op_spans_total{op="rescale"}`,
+		// No bootstrap plan at this depth, so the refresh tally is present
+		// and zero; headroom and per-session series are bootstrap-gated.
+		"chet_bootstrap_refreshes_total 0",
 	} {
 		if !strings.Contains(body, series) {
 			t.Errorf("/metrics missing %q:\n%s", series, body)

@@ -1,0 +1,439 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"chet/internal/core"
+	"chet/internal/fleet"
+	"chet/internal/htc"
+	"chet/internal/nn"
+	"chet/internal/ring"
+	"chet/internal/serve"
+	"chet/internal/telemetry"
+	"chet/internal/tensor"
+)
+
+// ObsOptions sizes the fleet-observability experiment: a bootstrap-compiled
+// deep MLP served by a small fleet, driven twice — once untraced, once with
+// distributed tracing on — to price tracing and prove the cross-process
+// trace stitches.
+type ObsOptions struct {
+	// Layers/LogN/Window shape the bootstrap-compiled model (the served
+	// circuit must carry a BootPlan so refresh spans appear in the trace).
+	Layers, LogN, Window int
+	// Workers is the fleet size behind the router.
+	Workers int
+	// Sessions is how many client streams each arm opens (identical PRNG
+	// seeds across arms, so traced and untraced outputs must match bit for
+	// bit). Requests is how many inferences each stream drives per rep.
+	Sessions, Requests int
+	// Reps is how many times each arm's drive phase runs; the wall-clock
+	// overhead comparison uses the per-arm minimum to suppress scheduler
+	// noise. Outputs come from the first rep.
+	Reps int
+	// OverheadBudget is the traced-over-untraced wall-time ratio ceiling the
+	// experiment asserts (0.05 = five percent).
+	OverheadBudget float64
+}
+
+// ObsArm records one arm (traced or untraced) of the experiment.
+type ObsArm struct {
+	WallSeconds float64 `json:"wall_seconds"` // min over reps, whole drive phase
+	// EvalSeconds is the fleet-wide sum of per-evaluation time from the
+	// workers' own metrics — the tracer lives inside this window, so the
+	// eval-based overhead isolates its cost from network and queue noise.
+	EvalSeconds float64 `json:"eval_seconds"`
+	Evaluations uint64  `json:"evaluations"`
+	Occupied    int     `json:"occupied_workers"`
+}
+
+// ObsStitch is the traced arm's cross-process trace analysis for one
+// request's trace ID.
+type ObsStitch struct {
+	TraceID   string `json:"trace_id"`
+	Processes int    `json:"processes"` // router + live workers in the merged trace
+	// RouterSpans/WorkerSpans count spans carrying the trace ID on each side
+	// of the wire; BootstrapSpans counts the worker's boot:<stage> refresh
+	// spans inside the request.
+	RouterSpans    int `json:"router_spans"`
+	WorkerSpans    int `json:"worker_spans"`
+	BootstrapSpans int `json:"bootstrap_spans"`
+	// Stitched is the parent-link check: the worker's request scope is
+	// parented under the router's relay span, which in turn parents back to
+	// the client's span — one tree across three processes.
+	Stitched bool `json:"stitched"`
+}
+
+// ObsResult is the machine-readable output of the observability experiment
+// (BENCH_obs.json).
+type ObsResult struct {
+	Model    string `json:"model"`
+	Layers   int    `json:"layers"`
+	LogN     int    `json:"log_n"`
+	Workers  int    `json:"workers"`
+	Sessions int    `json:"sessions"`
+	Requests int    `json:"requests_per_session"`
+	Reps     int    `json:"reps"`
+
+	Untraced ObsArm `json:"untraced"`
+	Traced   ObsArm `json:"traced"`
+
+	// WallOverhead and EvalOverhead are traced/untraced - 1; the wall figure
+	// is the gated one (OverheadBudget), the eval figure isolates the tracer.
+	WallOverhead   float64 `json:"wall_overhead"`
+	EvalOverhead   float64 `json:"eval_overhead"`
+	OverheadBudget float64 `json:"overhead_budget"`
+
+	// BitExact is the traced ≡ untraced output check across every stream.
+	BitExact bool `json:"bit_exact"`
+
+	Stitch ObsStitch `json:"stitch"`
+
+	// Budget telemetry as the router saw it over the wire (health acks):
+	// fleet-wide bootstrap tally and headroom low-water mark.
+	RouterBootstraps  uint64 `json:"router_bootstraps"`
+	RouterMinHeadroom int64  `json:"router_min_headroom"`
+	HeadroomKnown     bool   `json:"headroom_known"`
+
+	Pass bool `json:"pass"`
+}
+
+// obsStream is one client stream: a session through the router plus its
+// pre-encrypted input and the decrypted output of its first-rep inferences.
+type obsStream struct {
+	c   *serve.Client
+	enc *htc.CipherTensor
+	out *tensor.Tensor
+}
+
+// ObsBench runs the fleet-observability experiment: compile a deep MLP with
+// bootstrap placement, serve it on a multi-worker fleet behind chet-router,
+// drive identical load untraced and traced, and check (a) tracing stays
+// under the overhead budget, (b) traced results are bit-exact with
+// untraced, and (c) one request's spans from the router and the workers
+// stitch into a single trace containing a bootstrap refresh.
+func ObsBench(opts ObsOptions) (ObsResult, error) {
+	if opts.Workers < 2 {
+		return ObsResult{}, fmt.Errorf("bench: obs experiment needs >= 2 workers, got %d", opts.Workers)
+	}
+	if opts.Reps < 1 {
+		opts.Reps = 1
+	}
+	m := nn.DeepMLP(opts.Layers)
+	comp, err := core.Compile(m.Circuit, core.Options{
+		Scheme:       core.SchemeRNS,
+		SecurityBits: -1,
+		MinLogN:      opts.LogN,
+		MaxLogN:      opts.LogN,
+		Policies:     []htc.LayoutPolicy{htc.PolicyCHW},
+		Bootstrap:    &core.BootstrapOptions{Window: opts.Window},
+	})
+	if err != nil {
+		return ObsResult{}, fmt.Errorf("bench: obs compile: %w", err)
+	}
+	if comp.BootPlan == nil || len(comp.BootPlan.Placements) == 0 {
+		return ObsResult{}, fmt.Errorf("bench: NN-%d at window %d placed no bootstraps", opts.Layers, opts.Window)
+	}
+
+	res := ObsResult{
+		Model:          m.Name,
+		Layers:         opts.Layers,
+		LogN:           comp.Best.LogN,
+		Workers:        opts.Workers,
+		Sessions:       opts.Sessions,
+		Requests:       opts.Requests,
+		Reps:           opts.Reps,
+		OverheadBudget: opts.OverheadBudget,
+	}
+
+	untraced, uStreams, _, workerAddrs, err := runObsArm(comp, m.InputShape, false, opts, nil, nil)
+	if err != nil {
+		return res, fmt.Errorf("bench: untraced arm: %w", err)
+	}
+	res.Untraced = untraced
+	// Rebind the traced arm's workers to the untraced arm's ports: the
+	// consistent-hash ring vnodes are keyed by worker address, so identical
+	// addresses give both arms the identical session placement — otherwise
+	// the arms can occupy different worker counts and the wall-clock
+	// comparison measures placement luck, not tracing.
+	traced, tStreams, tele, _, err := runObsArm(comp, m.InputShape, true, opts, &res, workerAddrs)
+	if err != nil {
+		return res, fmt.Errorf("bench: traced arm: %w", err)
+	}
+	res.Traced = traced
+	res.Stitch = tele
+
+	res.WallOverhead = traced.WallSeconds/untraced.WallSeconds - 1
+	if untraced.EvalSeconds > 0 {
+		res.EvalOverhead = traced.EvalSeconds/untraced.EvalSeconds - 1
+	}
+
+	res.BitExact = len(uStreams) == len(tStreams)
+	for i := 0; res.BitExact && i < len(uStreams); i++ {
+		u, t := uStreams[i], tStreams[i]
+		if len(u.Data) != len(t.Data) {
+			res.BitExact = false
+			break
+		}
+		for k := range u.Data {
+			if math.Float64bits(u.Data[k]) != math.Float64bits(t.Data[k]) {
+				res.BitExact = false
+				break
+			}
+		}
+	}
+
+	res.Pass = res.BitExact && res.Stitch.Stitched && res.Stitch.BootstrapSpans >= 1 &&
+		res.WallOverhead <= opts.OverheadBudget && res.RouterBootstraps > 0
+	return res, nil
+}
+
+// runObsArm runs one arm: a fresh fleet (workers + router), opts.Sessions
+// client streams with deterministic seeds, Reps drive phases. It returns the
+// arm's stats, each stream's first-rep decrypted output (in seed order, so
+// arms compare stream-for-stream), and the worker listen addresses (so the
+// other arm can rebind the same ports for identical ring placement; nil
+// wantAddrs picks ephemeral ports). For the traced arm it also collects
+// the merged cross-process trace of the first stream's last request and
+// fills the result's router-side budget telemetry.
+func runObsArm(comp *core.Compiled, inputShape []int, traced bool, opts ObsOptions, res *ObsResult, wantAddrs []string) (ObsArm, []*tensor.Tensor, ObsStitch, []string, error) {
+	arm := ObsArm{}
+	var stitch ObsStitch
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	var servers []*serve.Server
+	var addrs []string
+	defer func() {
+		for _, s := range servers {
+			s.Shutdown(ctx)
+		}
+	}()
+	for i := 0; i < opts.Workers; i++ {
+		s, err := serve.New(serve.Config{
+			Compiled: comp,
+			Workers:  1,
+			Parallel: 1,
+			// A bootstrapped eval runs tens of seconds on the reference box
+			// and streams queue behind each other, so the default 60s
+			// deadline would fail the run rather than measure it.
+			RequestTimeout: 10 * time.Minute,
+			Trace:          traced,
+			ProcessLabel:   fmt.Sprintf("worker-%d", i),
+		})
+		if err != nil {
+			return arm, nil, stitch, nil, err
+		}
+		listen := "127.0.0.1:0"
+		if i < len(wantAddrs) {
+			listen = wantAddrs[i]
+		}
+		ln, err := net.Listen("tcp", listen)
+		if err != nil && listen != "127.0.0.1:0" {
+			// The previous arm's port was grabbed in the meantime; an
+			// ephemeral port keeps the arm running (placement may differ,
+			// which the occupancy columns make visible).
+			ln, err = net.Listen("tcp", "127.0.0.1:0")
+		}
+		if err != nil {
+			return arm, nil, stitch, nil, err
+		}
+		go s.Serve(ln)
+		servers = append(servers, s)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	router, err := fleet.New(fleet.Config{Workers: addrs, ProbeInterval: 50 * time.Millisecond})
+	if err != nil {
+		return arm, nil, stitch, nil, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return arm, nil, stitch, nil, err
+	}
+	go router.Serve(rln)
+	defer router.Shutdown(ctx)
+
+	// Open the streams with seeds fixed across arms: stream i's keys, PRNG
+	// draws, and input depend only on its seed, so the traced arm must
+	// reproduce the untraced outputs bit for bit whatever the consistent
+	// hash did with worker placement (workers are bit-identical replicas).
+	streams := make([]*obsStream, 0, opts.Sessions)
+	defer func() {
+		for _, st := range streams {
+			st.c.Close()
+		}
+	}()
+	prev := router.Metrics()
+	owners := map[string]bool{}
+	for i := 0; i < opts.Sessions; i++ {
+		seed := uint64(0x0B5 + i)
+		c, err := serve.Dial(rln.Addr().String(), serve.ClientConfig{
+			Compiled:  comp,
+			PRNG:      ring.NewTestPRNG(seed),
+			TraceBase: seed << 32, // deterministic, distinct per stream
+		})
+		if err != nil {
+			return arm, nil, stitch, nil, fmt.Errorf("opening stream %d: %w", i, err)
+		}
+		cur := router.Metrics()
+		for j := range cur.Workers {
+			if cur.Workers[j].Handoffs > prev.Workers[j].Handoffs {
+				owners[cur.Workers[j].Addr] = true
+			}
+		}
+		prev = cur
+		img := nn.SyntheticImage(inputShape, seed)
+		streams = append(streams, &obsStream{c: c, enc: c.Encrypt(img)})
+	}
+	arm.Occupied = len(owners)
+
+	runtime.GC() // keygen debt, as in the fleet experiment
+
+	wall := math.MaxFloat64
+	for rep := 0; rep < opts.Reps; rep++ {
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, len(streams))
+		for i, st := range streams {
+			wg.Add(1)
+			go func(i int, st *obsStream) {
+				defer wg.Done()
+				for r := 0; r < opts.Requests; r++ {
+					out, err := st.c.Infer(st.enc)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if rep == 0 && r == opts.Requests-1 {
+						st.out = st.c.Decrypt(out)
+					}
+				}
+			}(i, st)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return arm, nil, stitch, nil, fmt.Errorf("stream %d rep %d: %w", i, rep, err)
+			}
+		}
+		if w := time.Since(start).Seconds(); w < wall {
+			wall = w
+		}
+	}
+	arm.WallSeconds = wall
+
+	for _, s := range servers {
+		sm := s.Metrics()
+		arm.EvalSeconds += sm.Evaluation.Sum.Seconds()
+		arm.Evaluations += sm.Evaluation.Count
+	}
+
+	outs := make([]*tensor.Tensor, len(streams))
+	for i, st := range streams {
+		outs[i] = st.out
+	}
+	if !traced {
+		return arm, outs, stitch, addrs, nil
+	}
+
+	// Traced arm extras: the cross-process stitch of the first stream's last
+	// request, and the budget telemetry the router learned from health acks.
+	traceID := streams[0].c.TraceBase() + uint64(opts.Requests)
+	stitch = analyzeStitch(router.CollectTrace(traceID), traceID)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for res != nil {
+		m := router.Metrics()
+		res.RouterBootstraps, res.RouterMinHeadroom, res.HeadroomKnown = 0, math.MaxInt64, false
+		for _, w := range m.Workers {
+			res.RouterBootstraps += w.Bootstraps
+			if w.HeadroomKnown {
+				res.HeadroomKnown = true
+				if w.MinHeadroom < res.RouterMinHeadroom {
+					res.RouterMinHeadroom = w.MinHeadroom
+				}
+			}
+		}
+		if !res.HeadroomKnown {
+			res.RouterMinHeadroom = 0
+		}
+		if (res.RouterBootstraps > 0 && res.HeadroomKnown) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond) // next health probe carries the tally
+	}
+	return arm, outs, stitch, addrs, nil
+}
+
+// analyzeStitch walks the merged multi-process trace of one trace ID and
+// checks the span tree crosses the wire intact: a router relay span exists,
+// the worker's request scope is parented under it, and the request contains
+// bootstrap refresh stage spans.
+func analyzeStitch(procs []telemetry.ProcessTrace, traceID uint64) ObsStitch {
+	st := ObsStitch{TraceID: fmt.Sprintf("%016x", traceID), Processes: len(procs)}
+	var relay telemetry.Span
+	for _, p := range procs {
+		router := p.Name == "chet-router"
+		for _, s := range p.Spans {
+			if s.TraceID != traceID {
+				continue
+			}
+			if router {
+				st.RouterSpans++
+				if strings.HasPrefix(s.Op, "relay:") {
+					relay = s
+				}
+				continue
+			}
+			st.WorkerSpans++
+			if strings.HasPrefix(s.Op, "boot:") {
+				st.BootstrapSpans++
+			}
+		}
+	}
+	if relay.SpanID == 0 || relay.Parent == 0 {
+		return st // no relay span, or it lost the client's parent: not stitched
+	}
+	for _, p := range procs {
+		if p.Name == "chet-router" {
+			continue
+		}
+		for _, s := range p.Spans {
+			if s.TraceID == traceID && s.Kind == telemetry.KindScope &&
+				strings.HasPrefix(s.Op, "infer ") && s.Parent == relay.SpanID {
+				st.Stitched = true
+			}
+		}
+	}
+	return st
+}
+
+// RenderObs formats the observability experiment result.
+func RenderObs(r ObsResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet observability: %s (%d layers, bootstrapped) at logN=%d on %d workers behind chet-router\n",
+		r.Model, r.Layers, r.LogN, r.Workers)
+	fmt.Fprintf(&sb, "load: %d sessions x %d requests, best of %d reps per arm\n",
+		r.Sessions, r.Requests, r.Reps)
+	fmt.Fprintf(&sb, "%9s %9s %9s %7s %9s\n", "arm", "wall s", "eval s", "evals", "occupied")
+	fmt.Fprintf(&sb, "%9s %9.3f %9.3f %7d %9d\n", "untraced",
+		r.Untraced.WallSeconds, r.Untraced.EvalSeconds, r.Untraced.Evaluations, r.Untraced.Occupied)
+	fmt.Fprintf(&sb, "%9s %9.3f %9.3f %7d %9d\n", "traced",
+		r.Traced.WallSeconds, r.Traced.EvalSeconds, r.Traced.Evaluations, r.Traced.Occupied)
+	fmt.Fprintf(&sb, "overhead: %.2f%% wall (budget %.0f%%), %.2f%% eval-only; outputs bit-exact=%v\n",
+		100*r.WallOverhead, 100*r.OverheadBudget, 100*r.EvalOverhead, r.BitExact)
+	fmt.Fprintf(&sb, "stitch: trace %s across %d processes — %d router + %d worker spans, %d bootstrap stage spans, stitched=%v\n",
+		r.Stitch.TraceID, r.Stitch.Processes, r.Stitch.RouterSpans, r.Stitch.WorkerSpans,
+		r.Stitch.BootstrapSpans, r.Stitch.Stitched)
+	fmt.Fprintf(&sb, "budget telemetry at the router: %d bootstraps fleet-wide, min headroom %d levels (known=%v)\n",
+		r.RouterBootstraps, r.RouterMinHeadroom, r.HeadroomKnown)
+	fmt.Fprintf(&sb, "pass=%v\n", r.Pass)
+	return sb.String()
+}

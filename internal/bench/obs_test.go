@@ -1,0 +1,57 @@
+package bench
+
+import "testing"
+
+// TestObsBenchSmoke runs the fleet-observability experiment at the smallest
+// bootstrap-forcing geometry on a two-worker fleet and checks every gate:
+// the traced and untraced arms agree bit for bit, the merged trace stitches
+// router and worker spans (including bootstrap refresh stages) under one
+// trace ID, the router learned the fleet's budget telemetry over the wire,
+// and tracing stays inside the overhead budget.
+func TestObsBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-lattice fleet run")
+	}
+	res, err := ObsBench(ObsOptions{
+		Layers: 4, LogN: 9, Window: 2,
+		Workers: 2, Sessions: 2, Requests: 1, Reps: 1,
+		OverheadBudget: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogN != 9 || res.Workers != 2 {
+		t.Fatalf("geometry: %+v", res)
+	}
+	if !res.BitExact {
+		t.Fatal("traced outputs diverged from untraced")
+	}
+	if res.Untraced.Evaluations == 0 || res.Traced.Evaluations == 0 {
+		t.Fatalf("arms recorded no evaluations: %+v / %+v", res.Untraced, res.Traced)
+	}
+	if !res.Stitch.Stitched {
+		t.Fatalf("trace did not stitch across processes: %+v", res.Stitch)
+	}
+	if res.Stitch.Processes < 3 {
+		t.Fatalf("merged trace covers %d processes, want router + 2 workers", res.Stitch.Processes)
+	}
+	if res.Stitch.RouterSpans == 0 || res.Stitch.WorkerSpans == 0 {
+		t.Fatalf("one side recorded no spans: %+v", res.Stitch)
+	}
+	if res.Stitch.BootstrapSpans == 0 {
+		t.Fatal("no bootstrap refresh spans in the merged trace")
+	}
+	if res.RouterBootstraps == 0 || !res.HeadroomKnown {
+		t.Fatalf("router never learned budget telemetry: %+v", res)
+	}
+	if res.WallOverhead > res.OverheadBudget {
+		t.Fatalf("tracing overhead %.2f%% exceeds the %.0f%% budget",
+			100*res.WallOverhead, 100*res.OverheadBudget)
+	}
+	if !res.Pass {
+		t.Fatalf("experiment failed: %+v", res)
+	}
+	if out := RenderObs(res); out == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -4,10 +4,18 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"chet/internal/ckks"
 	"chet/internal/polyfit"
 )
+
+// StageHook observes one interior stage of a bootstrap pipeline run. Stages
+// are "modraise" (truncate + ModRaise + sub-ring trace), "coeff-to-slot",
+// "evalmod" (both branches + recombination), and "slot-to-coeff". Hooks run
+// on the bootstrapping goroutine and must be fast and concurrency-safe.
+type StageHook func(stage string, start, end time.Time)
 
 // Bootstrapper executes the bootstrap pipeline against a parameter set laid
 // out by Spec.ChainBits. It is safe for concurrent use: the evaluator is
@@ -18,9 +26,27 @@ type Bootstrapper struct {
 	ev     *ckks.Evaluator
 	enc    *ckks.Encoder
 	approx *polyfit.Approximation
+	hook   atomic.Pointer[StageHook]
 
 	mu   sync.Mutex
 	mats map[matKey]*bsgsMatrix
+}
+
+// SetStageHook installs (or, with nil, removes) the per-stage observer.
+// Safe to call while bootstraps are running.
+func (b *Bootstrapper) SetStageHook(h StageHook) {
+	if h == nil {
+		b.hook.Store(nil)
+		return
+	}
+	b.hook.Store(&h)
+}
+
+// stage invokes the installed hook, if any.
+func (b *Bootstrapper) stage(name string, start time.Time) {
+	if h := b.hook.Load(); h != nil {
+		(*h)(name, start, time.Now())
+	}
 }
 
 // New builds a bootstrapper over an existing evaluator and encoder. The
@@ -90,6 +116,7 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) 
 	deltaIn := ct.Scale
 
 	// Truncate to the bottom prime and lift to the full chain.
+	stageStart := time.Now()
 	low := &ckks.Ciphertext{C0: r.GetPoly(0), C1: r.GetPoly(0), Scale: ct.Scale, Lvl: 0}
 	low.C0.CopyLevel(ct.C0, 0)
 	low.C1.CopyLevel(ct.C1, 0)
@@ -106,6 +133,7 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) 
 		ev.Recycle(cur)
 		cur = next
 	}
+	b.stage("modraise", stageStart)
 
 	// CoeffToSlot with the normalization α folded into the matrix:
 	// t = coeffs/(q0·(K+½)) ∈ ~[−1, 1].
@@ -113,13 +141,16 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) 
 	// u = (K+½)t has integer part exactly I (not gap·I) and K stays small at
 	// any packing density.
 	alpha := deltaIn / (2 * q0 * gap * (float64(b.spec.K) + 0.5))
+	stageStart = time.Now()
 	tRe, tIm, err := b.CoeffToSlot(cur, alpha, true)
 	ev.Recycle(cur)
 	if err != nil {
 		return nil, err
 	}
+	b.stage("coeff-to-slot", stageStart)
 
 	// EvalMod per branch: t -> sin(2πu) ≈ 2π·frac(u), u = (K+½)t.
+	stageStart = time.Now()
 	yRe := b.evalMod(tRe)
 	ev.Recycle(tRe)
 	yIm := b.evalMod(tIm)
@@ -129,15 +160,18 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) 
 	v := ev.Add(yRe, ri)
 	ev.Recycle(ri)
 	ev.Recycle(yRe)
+	b.stage("evalmod", stageStart)
 
 	// SlotToCoeff with β folding every remaining constant back out:
 	// y ≈ (2π·Δ/q0)·v_true, so β = q0/(2π·Δ).
+	stageStart = time.Now()
 	beta := q0 / (2 * math.Pi * deltaIn)
 	out, err := b.SlotToCoeff(v, beta)
 	ev.Recycle(v)
 	if err != nil {
 		return nil, err
 	}
+	b.stage("slot-to-coeff", stageStart)
 	if want := b.FreshLevel(); out.Lvl != want {
 		return nil, fmt.Errorf("boot: pipeline landed at level %d, expected %d (chain/spec mismatch)", out.Lvl, want)
 	}

@@ -5,6 +5,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+
+	"chet/internal/telemetry"
 )
 
 // RouterMetrics is a point-in-time snapshot of the router's counters.
@@ -25,6 +28,9 @@ type RouterMetrics struct {
 	RegistryModels int // models in the replicated registry view
 	LiveWorkers    int // workers currently on the ring
 
+	TraceSpans   int    // spans retained in the router's span ring
+	SpansDropped uint64 // spans evicted from the ring by wraparound
+
 	Workers []WorkerMetrics // per-worker breakdown, in configuration order
 }
 
@@ -36,16 +42,38 @@ type WorkerMetrics struct {
 	Inflight int64  // requests currently relayed to this worker
 	Relayed  uint64 // responses delivered from this worker
 	Handoffs uint64 // sessions handed to this worker
+
+	// Ciphertext-budget telemetry scraped from health acks.
+	Bootstraps    uint64 // cumulative bootstrap refreshes on this worker
+	MinHeadroom   int64  // low-water mark of levels above the refresh floor
+	HeadroomKnown bool   // false until the worker reports a multiplicative op
 }
 
 // ObservabilityMux returns an http.Handler exposing the router's live state:
-// /metrics (Prometheus text exposition) and /debug/pprof/*, mirroring the
-// worker-side mux so the same scrape config covers the whole fleet.
+// /metrics (Prometheus text exposition), /trace (merged cross-process Chrome
+// trace; ?id=<hex trace ID> filters to one request, no id dumps everything),
+// and /debug/pprof/*, mirroring the worker-side mux so the same scrape
+// config covers the whole fleet.
 func (r *Router) ObservabilityMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeRouterProm(w, r.Metrics())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		var traceID uint64
+		if idStr := req.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 16, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad trace id %q: %v", idStr, err), http.StatusBadRequest)
+				return
+			}
+			traceID = id
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := telemetry.WriteChromeTraceMulti(w, r.CollectTrace(traceID), nil); err != nil {
+			r.cfg.Logger.Warn("trace export failed", "err", err.Error())
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -78,6 +106,8 @@ func writeRouterProm(w io.Writer, m RouterMetrics) {
 	counter("chet_router_unknown_sessions_total", "Unknown-session errors seen at the router.", m.UnknownSessions)
 	gauge("chet_router_registry_models", "Models in the replicated registry view.", int64(m.RegistryModels))
 	gauge("chet_router_live_workers", "Workers currently on the ring.", int64(m.LiveWorkers))
+	gauge("chet_router_trace_spans", "Spans retained in the router's span ring.", int64(m.TraceSpans))
+	counter("chet_router_trace_spans_dropped_total", "Spans evicted from the router's span ring by wraparound.", m.SpansDropped)
 
 	fmt.Fprintf(w, "# HELP chet_router_worker_up Worker ring membership (1 = on the ring).\n# TYPE chet_router_worker_up gauge\n")
 	for _, wk := range m.Workers {
@@ -98,5 +128,15 @@ func writeRouterProm(w io.Writer, m RouterMetrics) {
 	fmt.Fprintf(w, "# HELP chet_router_worker_handoffs_total Sessions handed to each worker.\n# TYPE chet_router_worker_handoffs_total counter\n")
 	for _, wk := range m.Workers {
 		fmt.Fprintf(w, "chet_router_worker_handoffs_total{worker=%q} %d\n", wk.Addr, wk.Handoffs)
+	}
+	fmt.Fprintf(w, "# HELP chet_router_worker_bootstraps_total Bootstrap refreshes per worker (from health acks).\n# TYPE chet_router_worker_bootstraps_total counter\n")
+	for _, wk := range m.Workers {
+		fmt.Fprintf(w, "chet_router_worker_bootstraps_total{worker=%q} %d\n", wk.Addr, wk.Bootstraps)
+	}
+	fmt.Fprintf(w, "# HELP chet_router_worker_min_headroom_levels Low-water mark of ciphertext levels above the refresh floor per worker; absent until the worker reports one.\n# TYPE chet_router_worker_min_headroom_levels gauge\n")
+	for _, wk := range m.Workers {
+		if wk.HeadroomKnown {
+			fmt.Fprintf(w, "chet_router_worker_min_headroom_levels{worker=%q} %d\n", wk.Addr, wk.MinHeadroom)
+		}
 	}
 }

@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"chet/internal/telemetry"
 	"chet/internal/wire"
 )
 
@@ -50,6 +52,12 @@ type Config struct {
 	RelayAttempts int
 	// Logf, when set, receives one line per notable router event.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured per-request events (relay
+	// outcomes, failovers, handoffs) with trace_id attributes, so log lines
+	// join the distributed trace the span ring records. Default discards.
+	Logger *slog.Logger
+	// SpanCap bounds the router's span ring. Default 1<<16.
+	SpanCap int
 }
 
 func (c *Config) fillDefaults() {
@@ -80,6 +88,9 @@ func (c *Config) fillDefaults() {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 }
 
 // workerState is the router's view of one configured worker.
@@ -90,6 +101,13 @@ type workerState struct {
 	inflight atomic.Int64  // requests currently relayed to this worker
 	relayed  atomic.Uint64 // responses delivered from this worker
 	handoffs atomic.Uint64 // sessions handed to this worker
+
+	// Budget telemetry scraped from health acks: the worker's cumulative
+	// bootstrap-refresh tally and its remaining-levels low-water mark
+	// (headroomKnown false until the worker reports one).
+	bootstraps    atomic.Uint64
+	minHeadroom   atomic.Int64
+	headroomKnown atomic.Bool
 
 	// Probe-loop-private state (single goroutine, no locking).
 	failures  int
@@ -192,6 +210,10 @@ type Router struct {
 	workers    map[string]*workerState
 	workerList []*workerState // stable iteration order (config order)
 	sessions   *sessionTable
+	// spans retains the router's side of every traced request: admission,
+	// handoff, failover, and relay spans, stitched to client and worker
+	// spans by trace ID (see CollectTrace).
+	spans *telemetry.SpanRing
 
 	draining  atomic.Bool
 	relayWG   sync.WaitGroup // client requests being relayed
@@ -225,6 +247,7 @@ func New(cfg Config) (*Router, error) {
 		registry:  NewRegistry(),
 		workers:   map[string]*workerState{},
 		sessions:  newSessionTable(cfg.MaxSessions),
+		spans:     telemetry.NewSpanRing(cfg.SpanCap),
 		probeQuit: make(chan struct{}),
 		conns:     map[net.Conn]struct{}{},
 	}
@@ -426,6 +449,11 @@ func (r *Router) probe(w *workerState) {
 	}
 	w.failures = 0
 	w.draining.Store(ack.Draining)
+	w.bootstraps.Store(ack.Bootstraps)
+	if ack.HeadroomKnown {
+		w.minHeadroom.Store(ack.MinHeadroom)
+		w.headroomKnown.Store(true)
+	}
 	if ack.Draining {
 		// Definitive word from the worker itself — no failure threshold.
 		r.markDown(w.addr, errors.New("worker reports draining"))
@@ -474,16 +502,18 @@ func (r *Router) probeFailed(w *workerState, err error) {
 // --- client connection handling ---
 
 // Fixed offsets of the mutable header fields shared by InferRequest and
-// InferBatchRequest payloads (sess u64, req u64, trace u64, timeout u32).
-// The router rewrites the session ID (router-scoped to worker-scoped) and
-// the timeout (remaining budget on retry) in place, and never decodes the
-// ciphertexts that follow.
+// InferBatchRequest payloads (sess u64, req u64, trace u64, parent u64,
+// timeout u32). The router rewrites the session ID (router-scoped to
+// worker-scoped), the parent span (its own relay span interposes between
+// the client's span and the worker's), and the timeout (remaining budget
+// on retry) in place, and never decodes the ciphertexts that follow.
 const (
 	offSessionID = 0
 	offRequestID = 8
 	offTraceID   = 16
-	offTimeout   = 24
-	inferHdrLen  = 28
+	offParent    = 24
+	offTimeout   = 32
+	inferHdrLen  = 36
 )
 
 // relayHandler serves one client connection. Upstream connections are
@@ -570,13 +600,20 @@ func (h *relayHandler) drop(addr string) {
 // handoff ensures sess is placed on owner, replaying its stored session-open
 // payload if the owner changed (or never had it). Returns the worker-local
 // session ID; a non-nil *wire.ErrorFrame is the worker's typed refusal and a
-// non-nil error a transport failure.
-func (h *relayHandler) handoff(sess *routerSession, owner string) (uint64, *wire.ErrorFrame, error) {
+// non-nil error a transport failure. When a replay actually happens it is
+// recorded as a "handoff" span under the caller's trace context (traceID 0
+// for placements outside any traced request).
+func (h *relayHandler) handoff(sess *routerSession, owner string, traceID, parent uint64) (uint64, *wire.ErrorFrame, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.owner == owner && sess.workerID != 0 {
 		return sess.workerID, nil, nil
 	}
+	start := time.Now()
+	defer func() {
+		h.r.spans.Record(telemetry.KindScope, "handoff:"+owner, start, time.Now(),
+			traceID, telemetry.NewSpanID(), parent)
+	}()
 	c, err := h.conn(owner)
 	if err != nil {
 		return 0, nil, err
@@ -646,17 +683,28 @@ func (h *relayHandler) handleOpen(payload []byte) bool {
 	}
 	sess := r.sessions.add(payload)
 
+	// Session opens carry no trace ID (tracing is per-request); the
+	// admission span anchors the session's placement work under trace 0.
+	admitStart := time.Now()
+	admitSpan := telemetry.NewSpanID()
+	defer func() {
+		r.spans.Record(telemetry.KindScope, "admission", admitStart, time.Now(), 0, admitSpan, 0)
+	}()
+
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.RelayAttempts; attempt++ {
+		placeStart := time.Now()
 		owner, ok := r.ring.Owner(sess.id)
 		if !ok {
 			lastErr = errors.New("no live workers on the ring")
 			break
 		}
-		wid, errf, err := h.handoff(sess, owner)
+		r.spans.Record(telemetry.KindOp, "placement:"+owner, placeStart, time.Now(), 0, telemetry.NewSpanID(), admitSpan)
+		wid, errf, err := h.handoff(sess, owner, 0, admitSpan)
 		if err != nil {
 			r.markDown(owner, err)
 			r.failovers.Add(1)
+			r.spans.Record(telemetry.KindOp, "failover:"+owner, placeStart, time.Now(), 0, telemetry.NewSpanID(), admitSpan)
 			lastErr = err
 			continue
 		}
@@ -664,6 +712,7 @@ func (h *relayHandler) handleOpen(payload []byte) bool {
 			if errf.Code == wire.CodeShuttingDown {
 				r.markDown(owner, errors.New(errf.Message))
 				r.failovers.Add(1)
+				r.spans.Record(telemetry.KindOp, "failover:"+owner, placeStart, time.Now(), 0, telemetry.NewSpanID(), admitSpan)
 				lastErr = errf
 				continue
 			}
@@ -678,6 +727,8 @@ func (h *relayHandler) handleOpen(payload []byte) bool {
 			return h.writeErr(wire.CodeInternal, 0, "encoding accept: %v", err)
 		}
 		r.cfg.Logf("fleet: session %d placed on %s", sess.id, owner)
+		r.cfg.Logger.Info("session placed", "session", sess.id, "worker", owner,
+			"attempts", attempt+1)
 		return wire.WriteFrame(h.client, wire.MsgSessionAccept, accept) == nil
 	}
 	r.sessions.remove(sess.id)
@@ -706,8 +757,16 @@ func (h *relayHandler) handleInfer(t wire.MsgType, payload []byte) bool {
 		return h.writeErr(wire.CodeUnknownSession, reqID, "session %d unknown or evicted at the router; re-open", sid)
 	}
 	traceID := binary.LittleEndian.Uint64(payload[offTraceID:])
+	clientParent := binary.LittleEndian.Uint64(payload[offParent:])
 	origTimeout := binary.LittleEndian.Uint32(payload[offTimeout:])
 	start := time.Now()
+
+	// The router's relay span interposes between the client's span and the
+	// worker's request scope: the parent-span header slot is rewritten to
+	// relaySpan, so worker spans attach under the router, which attaches
+	// under the client.
+	relaySpan := telemetry.NewSpanID()
+	binary.LittleEndian.PutUint64(payload[offParent:], relaySpan)
 
 	r.relayWG.Add(1)
 	defer r.relayWG.Done()
@@ -715,16 +774,18 @@ func (h *relayHandler) handleInfer(t wire.MsgType, payload []byte) bool {
 
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.RelayAttempts; attempt++ {
+		attemptStart := time.Now()
 		owner, ok := r.ring.Owner(sid)
 		if !ok {
 			lastErr = errors.New("no live workers on the ring")
 			break
 		}
 		w := r.workers[owner]
-		wid, errf, err := h.handoff(sess, owner)
+		wid, errf, err := h.handoff(sess, owner, traceID, relaySpan)
 		if err != nil {
 			r.markDown(owner, err)
 			r.failovers.Add(1)
+			r.recordFailover(owner, attemptStart, traceID, relaySpan)
 			lastErr = err
 			continue
 		}
@@ -732,6 +793,7 @@ func (h *relayHandler) handleInfer(t wire.MsgType, payload []byte) bool {
 			if errf.Code == wire.CodeShuttingDown {
 				r.markDown(owner, errors.New(errf.Message))
 				r.failovers.Add(1)
+				r.recordFailover(owner, attemptStart, traceID, relaySpan)
 				lastErr = errf
 				continue
 			}
@@ -756,6 +818,7 @@ func (h *relayHandler) handleInfer(t wire.MsgType, payload []byte) bool {
 		if err != nil {
 			r.markDown(owner, err)
 			r.failovers.Add(1)
+			r.recordFailover(owner, attemptStart, traceID, relaySpan)
 			lastErr = err
 			continue
 		}
@@ -773,6 +836,7 @@ func (h *relayHandler) handleInfer(t wire.MsgType, payload []byte) bool {
 			h.drop(owner)
 			r.markDown(owner, err)
 			r.failovers.Add(1)
+			r.recordFailover(owner, attemptStart, traceID, relaySpan)
 			lastErr = err
 			continue
 		}
@@ -800,11 +864,26 @@ func (h *relayHandler) handleInfer(t wire.MsgType, payload []byte) bool {
 			// queue full, bad tensor) — forward it verbatim.
 		}
 		w.relayed.Add(1)
+		r.spans.Record(telemetry.KindScope, "relay:"+owner, start, time.Now(),
+			traceID, relaySpan, clientParent)
+		r.cfg.Logger.Info("relayed",
+			"trace_id", fmt.Sprintf("%016x", traceID),
+			"request", reqID, "worker", owner, "attempts", attempt+1,
+			"dur", time.Since(start).Round(time.Microsecond))
 		return wire.WriteFrame(h.client, rt, resp) == nil
 	}
+	r.cfg.Logger.Warn("relay failed",
+		"trace_id", fmt.Sprintf("%016x", traceID),
+		"request", reqID, "attempts", r.cfg.RelayAttempts, "err", fmt.Sprint(lastErr))
 	return h.writeErr(wire.CodeInternal, reqID,
 		"no worker could serve request %d (trace %016x) after %d attempts: %v",
 		reqID, traceID, r.cfg.RelayAttempts, lastErr)
+}
+
+// recordFailover marks one abandoned relay attempt in the span ring.
+func (r *Router) recordFailover(owner string, start time.Time, traceID, parent uint64) {
+	r.spans.Record(telemetry.KindOp, "failover:"+owner, start, time.Now(),
+		traceID, telemetry.NewSpanID(), parent)
 }
 
 // Metrics snapshots router and per-worker counters.
@@ -824,16 +903,88 @@ func (r *Router) Metrics() RouterMetrics {
 		UnknownSessions:  r.unknownSession.Load(),
 		RegistryModels:   r.registry.Size(),
 		LiveWorkers:      r.ring.Size(),
+		TraceSpans:       int(r.spans.SpanCount()),
+		SpansDropped:     r.spans.Dropped(),
 	}
 	for _, w := range r.workerList {
 		m.Workers = append(m.Workers, WorkerMetrics{
-			Addr:     w.addr,
-			Up:       w.up.Load(),
-			Draining: w.draining.Load(),
-			Inflight: w.inflight.Load(),
-			Relayed:  w.relayed.Load(),
-			Handoffs: w.handoffs.Load(),
+			Addr:          w.addr,
+			Up:            w.up.Load(),
+			Draining:      w.draining.Load(),
+			Inflight:      w.inflight.Load(),
+			Relayed:       w.relayed.Load(),
+			Handoffs:      w.handoffs.Load(),
+			Bootstraps:    w.bootstraps.Load(),
+			MinHeadroom:   w.minHeadroom.Load(),
+			HeadroomKnown: w.headroomKnown.Load(),
 		})
 	}
 	return m
+}
+
+// Spans exposes the router's span ring (tests and the /trace endpoint).
+func (r *Router) Spans() *telemetry.SpanRing { return r.spans }
+
+// CollectTrace assembles the cross-process view of one trace (traceID 0
+// collects everything): the router's own spans plus a trace dump from every
+// live worker, each as a ProcessTrace with a distinct PID and its own epoch,
+// ready for telemetry.WriteChromeTraceMulti. A worker that cannot be reached
+// is skipped — a partial trace beats none — with the failure logged.
+func (r *Router) CollectTrace(traceID uint64) []telemetry.ProcessTrace {
+	procs := []telemetry.ProcessTrace{{
+		Name:  "chet-router",
+		PID:   1,
+		Epoch: r.spans.Epoch(),
+		Spans: telemetry.FilterTrace(r.spans.Snapshot(), traceID),
+	}}
+	for i, w := range r.workerList {
+		if !w.up.Load() {
+			continue
+		}
+		pt, err := r.dumpWorker(w.addr, traceID)
+		if err != nil {
+			r.cfg.Logger.Warn("trace dump failed", "worker", w.addr, "err", err.Error())
+			continue
+		}
+		pt.PID = 2 + i
+		procs = append(procs, pt)
+	}
+	return procs
+}
+
+// dumpWorker runs one trace-dump exchange against a worker.
+func (r *Router) dumpWorker(addr string, traceID uint64) (telemetry.ProcessTrace, error) {
+	var pt telemetry.ProcessTrace
+	c, err := net.DialTimeout("tcp", addr, r.cfg.DialTimeout)
+	if err != nil {
+		return pt, err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(r.cfg.ProbeTimeout))
+	req, err := (&wire.TraceDump{TraceID: traceID}).Encode()
+	if err != nil {
+		return pt, err
+	}
+	if err := wire.WriteFrame(c, wire.MsgTraceDump, req); err != nil {
+		return pt, err
+	}
+	t, resp, err := wire.ReadFrame(c, r.cfg.MaxFrame)
+	if err != nil {
+		return pt, err
+	}
+	if t != wire.MsgTraceDumpAck {
+		return pt, fmt.Errorf("trace dump answered with %v frame", t)
+	}
+	var ack wire.TraceDumpAck
+	if err := ack.Decode(resp); err != nil {
+		return pt, err
+	}
+	name := ack.Process
+	if name == "" {
+		name = "worker:" + addr
+	}
+	pt.Name = name
+	pt.Epoch = time.Unix(0, ack.EpochUnixNano)
+	pt.Spans = ack.Spans
+	return pt, nil
 }

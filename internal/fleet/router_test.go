@@ -2,7 +2,9 @@ package fleet_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"net"
@@ -17,6 +19,7 @@ import (
 	"chet/internal/fleet"
 	"chet/internal/ring"
 	"chet/internal/serve"
+	"chet/internal/telemetry"
 	"chet/internal/tensor"
 	"chet/internal/wire"
 )
@@ -394,9 +397,121 @@ func TestRouterMetricsEndpoint(t *testing.T) {
 		"chet_router_worker_relayed_total{worker=",
 		"chet_router_ring_rebalances_total",
 		"chet_router_handoffs_total 1",
+		"chet_router_trace_spans",
+		"chet_router_trace_spans_dropped_total",
+		"chet_router_worker_bootstraps_total{worker=",
 	} {
 		if !strings.Contains(body, series) {
 			t.Errorf("metrics missing %q\n%s", series, body)
 		}
+	}
+}
+
+// TestRouterTraceStitching is the distributed-tracing acceptance test: one
+// request through the router must stitch into a single trace — the router's
+// relay span parents the worker's request scope, CollectTrace merges both
+// processes' rings, and the /trace endpoint serves the merged Chrome JSON
+// with distinct pids.
+func TestRouterTraceStitching(t *testing.T) {
+	comp := testCompiled(t)
+	r, addr, _ := startFleet(t, 2, serve.Config{Compiled: comp, Trace: true}, fleet.Config{})
+
+	cli := dialVia(t, addr, comp, 851)
+	if _, err := cli.Infer(cli.Encrypt(randTensor([]int{1, 5, 5}, 1, 87))); err != nil {
+		t.Fatalf("infer: %v", err)
+	}
+	traceID := cli.TraceBase() + 1 // request n carries trace ID TraceBase()+n
+
+	procs := r.CollectTrace(traceID)
+	if len(procs) < 2 {
+		t.Fatalf("CollectTrace returned %d processes, want router + at least one worker", len(procs))
+	}
+	if procs[0].Name != "chet-router" {
+		t.Fatalf("first process is %q, want chet-router", procs[0].Name)
+	}
+	pids := map[int]string{}
+	for _, p := range procs {
+		if prev, dup := pids[p.PID]; dup {
+			t.Fatalf("pid %d assigned to both %q and %q", p.PID, prev, p.Name)
+		}
+		pids[p.PID] = p.Name
+	}
+
+	var relay telemetry.Span
+	for _, s := range procs[0].Spans {
+		if s.TraceID != traceID {
+			t.Fatalf("CollectTrace(%#x) leaked router span %q from trace %#x", traceID, s.Op, s.TraceID)
+		}
+		if strings.HasPrefix(s.Op, "relay:") {
+			relay = s
+		}
+	}
+	if relay.SpanID == 0 {
+		t.Fatalf("router recorded no relay span for trace %#x: %+v", traceID, procs[0].Spans)
+	}
+
+	var request, queueWait telemetry.Span
+	for _, p := range procs[1:] {
+		for _, s := range p.Spans {
+			if s.TraceID != traceID {
+				t.Fatalf("worker %q span %q from trace %#x leaked into trace %#x", p.Name, s.Op, s.TraceID, traceID)
+			}
+			switch {
+			case strings.HasPrefix(s.Op, "infer ") && s.Kind == telemetry.KindScope:
+				request = s
+			case s.Op == "queue-wait":
+				queueWait = s
+			}
+		}
+	}
+	if request.SpanID == 0 {
+		t.Fatalf("no worker recorded a request scope for trace %#x", traceID)
+	}
+	if request.Parent != relay.SpanID {
+		t.Fatalf("worker request scope parent = %#x, want router relay span %#x", request.Parent, relay.SpanID)
+	}
+	if queueWait.Parent != relay.SpanID {
+		t.Fatalf("queue-wait parent = %#x, want router relay span %#x", queueWait.Parent, relay.SpanID)
+	}
+
+	// The /trace endpoint must serve the same stitch as Chrome JSON.
+	srv := httptest.NewServer(r.ObservabilityMux())
+	defer srv.Close()
+	resp, err := srv.Client().Get(fmt.Sprintf("%s/trace?id=%016x", srv.URL, traceID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("/trace did not return valid JSON: %v", err)
+	}
+	eventPids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		eventPids[e.Pid] = true
+		if got := e.Args["trace_id"]; got != fmt.Sprintf("%016x", traceID) {
+			t.Fatalf("/trace event carries trace_id %v, want %016x", got, traceID)
+		}
+	}
+	if len(eventPids) < 2 {
+		t.Fatalf("/trace events span %d pids, want router and worker tracks", len(eventPids))
+	}
+
+	badResp, err := srv.Client().Get(srv.URL + "/trace?id=zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != 400 {
+		t.Errorf("/trace?id=zzz returned %d, want 400", badResp.StatusCode)
 	}
 }

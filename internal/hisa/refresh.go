@@ -2,6 +2,7 @@ package hisa
 
 import (
 	"fmt"
+	"math"
 	"math/big"
 	"sync/atomic"
 )
@@ -25,6 +26,11 @@ type Refresher struct {
 	floor int
 
 	bootstraps atomic.Int64
+	// minHeadroom is the low-water mark of (budget - floor) observed at
+	// refresh decisions — how close any lineage has come to (or gone below)
+	// the refresh trigger. Sentinel math.MaxInt64 means "no multiplicative
+	// op yet".
+	minHeadroom atomic.Int64
 }
 
 // NewRefresher wraps inner, which must be bootstrap-capable (possibly
@@ -40,7 +46,9 @@ func NewRefresher(inner Backend, floor int) (*Refresher, error) {
 	if floor <= 0 {
 		floor = 1
 	}
-	return &Refresher{inner: inner, bb: bb, floor: floor}, nil
+	r := &Refresher{inner: inner, bb: bb, floor: floor}
+	r.minHeadroom.Store(math.MaxInt64)
+	return r, nil
 }
 
 // Bootstraps reports how many bootstraps the Refresher has performed
@@ -49,6 +57,31 @@ func (r *Refresher) Bootstraps() int { return int(r.bootstraps.Load()) }
 
 // Floor reports the configured minimum budget.
 func (r *Refresher) Floor() int { return r.floor }
+
+// MinHeadroom reports the low-water mark of (budget - floor) seen at
+// refresh decisions — the closest any multiplicative operand has come to
+// the refresh trigger (zero or negative means a refresh fired). ok is
+// false until the first multiplicative op.
+func (r *Refresher) MinHeadroom() (headroom int, ok bool) {
+	v := r.minHeadroom.Load()
+	if v == math.MaxInt64 {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// observeHeadroom folds one refresh decision into the low-water mark.
+func (r *Refresher) observeHeadroom(h int64) {
+	for {
+		cur := r.minHeadroom.Load()
+		if h >= cur {
+			return
+		}
+		if r.minHeadroom.CompareAndSwap(cur, h) {
+			return
+		}
+	}
+}
 
 func (r *Refresher) Name() string { return r.inner.Name() + "+refresh" }
 func (r *Refresher) Slots() int   { return r.inner.Slots() }
@@ -60,7 +93,9 @@ func (r *Refresher) Unwrap() Backend { return r.inner }
 // return reports whether the result is a Refresher-owned intermediate the
 // caller must free after use.
 func (r *Refresher) refreshed(c Ciphertext) (Ciphertext, bool) {
-	if r.bb.BudgetOf(c) >= r.floor {
+	budget := r.bb.BudgetOf(c)
+	r.observeHeadroom(int64(budget - r.floor))
+	if budget >= r.floor {
 		return c, false
 	}
 	out := r.bb.Bootstrap(c)

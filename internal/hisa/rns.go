@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
 	"chet/internal/boot"
 	"chet/internal/ckks"
@@ -46,7 +47,12 @@ type RNSBackend struct {
 	decryptor   *ckks.Decryptor // nil on evaluation-only (server) instances
 	evaluator   *ckks.Evaluator
 	provisioned map[int]bool
-	bt          *boot.Bootstrapper // nil unless bootstrap-enabled
+
+	// btMu guards bt and stageHook: EnableBootstrap and the telemetry
+	// layer's SetBootstrapStageHook may arrive in either order.
+	btMu      sync.Mutex
+	bt        *boot.Bootstrapper // nil unless bootstrap-enabled
+	stageHook boot.StageHook
 
 	pk   *ckks.PublicKey
 	rlk  *ckks.RelinearizationKey
@@ -130,8 +136,27 @@ func (b *RNSBackend) EnableBootstrap(spec boot.Spec) error {
 	if err != nil {
 		return err
 	}
+	b.btMu.Lock()
 	b.bt = bt
+	if b.stageHook != nil {
+		bt.SetStageHook(b.stageHook)
+	}
+	b.btMu.Unlock()
 	return nil
+}
+
+// SetBootstrapStageHook installs a per-stage observer on the attached
+// bootstrapper (telemetry records refresh pipeline stages through it). The
+// hook survives a later EnableBootstrap, so a tracer wrapped around an
+// eval-only backend before the session's bootstrapper is attached still
+// sees every stage.
+func (b *RNSBackend) SetBootstrapStageHook(h func(stage string, start, end time.Time)) {
+	b.btMu.Lock()
+	b.stageHook = h
+	if b.bt != nil {
+		b.bt.SetStageHook(h)
+	}
+	b.btMu.Unlock()
 }
 
 // RNSPublicKeys is the public material a client ships to the evaluation

@@ -13,6 +13,7 @@ import (
 	"chet/internal/hisa"
 	"chet/internal/htc"
 	"chet/internal/ring"
+	"chet/internal/telemetry"
 	"chet/internal/tensor"
 	"chet/internal/wire"
 )
@@ -37,6 +38,11 @@ type ClientConfig struct {
 	// address); wire-level error frames are never retried — the server
 	// answered, so the transport is fine and the failure is real.
 	Redial RedialPolicy
+	// TraceBase, when nonzero, overrides the random per-stream trace-ID
+	// prefix: request n is sent with trace ID TraceBase+n. Benches and tests
+	// use it to know a request's trace ID before sending, so they can pull
+	// the exact trace back out of the fleet afterwards.
+	TraceBase uint64
 }
 
 // RedialPolicy bounds a client's reconnect behavior.
@@ -165,17 +171,28 @@ func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	backend := hisa.NewRNSBackend(hisa.RNSConfig{
+	rnsCfg := hisa.RNSConfig{
 		Params:    params,
 		PRNG:      cfg.PRNG,
 		Rotations: cfg.Compiled.Best.Rotations,
-	})
+	}
+	// A bootstrap-compiled circuit is evaluated on the server through the
+	// refresh pipeline; the client's rotation-key set must carry the
+	// pipeline's amounts or the handed-off keys cannot bootstrap.
+	if cfg.Compiled.BootPlan != nil {
+		rnsCfg.Bootstrap = &cfg.Compiled.BootPlan.Spec
+	}
+	backend := hisa.NewRNSBackend(rnsCfg)
+	traceBase := cfg.TraceBase
+	if traceBase == 0 {
+		traceBase = newTraceBase()
+	}
 	c := &Client{
 		cfg:       cfg,
 		backend:   backend,
 		keys:      backend.PublicKeys(),
 		plan:      cfg.Compiled.Plan(),
-		traceBase: newTraceBase(),
+		traceBase: traceBase,
 		conn:      conn,
 	}
 	if err := c.open(); err != nil {
@@ -224,6 +241,10 @@ func (c *Client) open() error {
 		return fmt.Errorf("serve: unexpected %v frame during handshake", t)
 	}
 }
+
+// TraceBase reports this stream's trace-ID prefix: request n carried trace
+// ID TraceBase()+n.
+func (c *Client) TraceBase() uint64 { return c.traceBase }
 
 // Encrypt encodes and encrypts an input image under this client's keys,
 // laid out as the compiled circuit expects.
@@ -318,10 +339,11 @@ func (c *Client) inferLocked(in *htc.CipherTensor) (*htc.CipherTensor, error) {
 	}
 	c.nextReq++
 	msg := &wire.InferRequest{
-		SessionID: c.sessionID,
-		RequestID: c.nextReq,
-		TraceID:   c.traceBase + c.nextReq,
-		Tensor:    in,
+		SessionID:  c.sessionID,
+		RequestID:  c.nextReq,
+		TraceID:    c.traceBase + c.nextReq,
+		ParentSpan: telemetry.NewSpanID(),
+		Tensor:     in,
 	}
 	if c.cfg.Timeout > 0 {
 		msg.TimeoutMillis = uint32(min(c.cfg.Timeout.Milliseconds(), int64(^uint32(0))))
@@ -423,11 +445,12 @@ func (c *Client) inferBatchLocked(in *htc.CipherTensor, count int) (*htc.CipherT
 	}
 	c.nextReq++
 	msg := &wire.InferBatchRequest{
-		SessionID: c.sessionID,
-		RequestID: c.nextReq,
-		TraceID:   c.traceBase + c.nextReq,
-		Count:     uint32(count),
-		Tensor:    in,
+		SessionID:  c.sessionID,
+		RequestID:  c.nextReq,
+		TraceID:    c.traceBase + c.nextReq,
+		ParentSpan: telemetry.NewSpanID(),
+		Count:      uint32(count),
+		Tensor:     in,
 	}
 	if c.cfg.Timeout > 0 {
 		msg.TimeoutMillis = uint32(min(c.cfg.Timeout.Milliseconds(), int64(^uint32(0))))

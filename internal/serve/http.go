@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -35,14 +36,16 @@ func (s *Server) ObservabilityMux() http.Handler {
 func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	m := s.Metrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writePromMetrics(w, m, s.reg.sessions())
+	writePromMetrics(w, m, s.reg.sessions(), s.cfg.Compiled.Options.Scales.Pc)
 }
 
 // writePromMetrics renders a ServerMetrics snapshot in the Prometheus text
 // exposition format (version 0.0.4), handwritten because the repo takes no
 // dependencies. Sessions supply the per-op series; they are passed alongside
 // the snapshot so tracer totals need not round-trip through ServerMetrics.
-func writePromMetrics(w io.Writer, m ServerMetrics, sessions []*session) {
+// defaultScale is the compiled input scale Δ; traced ciphertext scales are
+// reported as log2 drift against it (zero disables the drift series).
+func writePromMetrics(w io.Writer, m ServerMetrics, sessions []*session, defaultScale float64) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -150,6 +153,54 @@ func writePromMetrics(w io.Writer, m ServerMetrics, sessions []*session) {
 		fmt.Fprintf(w, "# HELP chet_hisa_op_spans_total Spans recorded by the session tracers, by op kind.\n# TYPE chet_hisa_op_spans_total counter\n")
 		for _, op := range names {
 			fmt.Fprintf(w, "chet_hisa_op_spans_total{op=%q} %d\n", op, traced[op].Count)
+		}
+	}
+
+	// Ciphertext-budget telemetry. The aggregate refresh counter is always
+	// present (zero without a bootstrap plan) so dashboards can rate() it
+	// unconditionally; headroom only appears once a session has done
+	// multiplicative work, because until then the low-water mark is unknown.
+	counter("chet_bootstrap_refreshes_total", "Bootstrap refreshes across live sessions (hisa.Refresher tally).", m.Bootstraps)
+	if m.HeadroomKnown {
+		fmt.Fprintf(w, "# HELP chet_min_headroom_levels Low-water mark of ciphertext levels above the refresh floor.\n# TYPE chet_min_headroom_levels gauge\nchet_min_headroom_levels %d\n",
+			m.MinHeadroom)
+	}
+	var wroteSessionBoots bool
+	for _, sess := range sessions {
+		sm := sess.metrics()
+		if sm.Bootstraps == 0 && !sm.HeadroomKnown {
+			continue
+		}
+		if !wroteSessionBoots {
+			fmt.Fprintf(w, "# HELP chet_session_bootstrap_refreshes_total Bootstrap refreshes, by session.\n# TYPE chet_session_bootstrap_refreshes_total counter\n")
+			wroteSessionBoots = true
+		}
+		fmt.Fprintf(w, "chet_session_bootstrap_refreshes_total{session=\"%d\"} %d\n", sm.ID, sm.Bootstraps)
+	}
+
+	// Scale drift: the worst |log2(scale/Δ)| any traced op emitted, a direct
+	// reading of how far waterline management let ciphertext scales wander
+	// from the compiled default. Stays near zero under the scale plan; growth
+	// here means rescale placement is drifting.
+	if defaultScale > 0 {
+		drift, seen := 0.0, false
+		for _, sess := range sessions {
+			if sess.tracer == nil {
+				continue
+			}
+			for _, sp := range sess.tracer.Snapshot() {
+				if sp.ScaleOut <= 0 {
+					continue
+				}
+				seen = true
+				if d := math.Abs(math.Log2(sp.ScaleOut / defaultScale)); d > drift {
+					drift = d
+				}
+			}
+		}
+		if seen {
+			fmt.Fprintf(w, "# HELP chet_scale_drift_log2_max Max |log2(scale/default)| over traced op outputs.\n# TYPE chet_scale_drift_log2_max gauge\nchet_scale_drift_log2_max %g\n",
+				drift)
 		}
 	}
 }

@@ -92,6 +92,14 @@ type SessionMetrics struct {
 	// (from the atomic hisa.Meter wrapped around it).
 	Ops     hisa.OpCounts
 	Latency LatencySummary
+
+	// Bootstraps counts this session's bootstrap refreshes (hisa.Refresher
+	// tally, triggered + explicit); zero when the served circuit has no
+	// bootstrap plan. MinHeadroom is the session's low-water mark of levels
+	// above the refresh floor, valid when HeadroomKnown.
+	Bootstraps    uint64
+	MinHeadroom   int64
+	HeadroomKnown bool
 }
 
 // ServerMetrics is a point-in-time view of the whole server.
@@ -117,6 +125,14 @@ type ServerMetrics struct {
 	HealthProbes   uint64
 	RegistrySyncs  uint64
 	RegistryModels int
+
+	// Ciphertext-budget telemetry, aggregated over the live sessions'
+	// refreshers (zero-valued when the served circuit has no bootstrap
+	// plan): cumulative bootstrap refreshes and the worker-wide low-water
+	// mark of levels above the refresh floor (valid when HeadroomKnown).
+	Bootstraps    uint64
+	MinHeadroom   int64
+	HeadroomKnown bool
 
 	// Latency is the end-to-end per-request view (admission to response);
 	// QueueWait and Evaluation split it into the time a request spent

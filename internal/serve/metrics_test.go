@@ -65,6 +65,41 @@ func TestLatencyWindowBounds(t *testing.T) {
 	}
 }
 
+// TestLatencyQuantilesAfterWraparound pins quantile behavior across a ring
+// wrap: once the window overwrites, quantiles must reflect the retained mix
+// of old and new samples, and a full overwrite must forget the old regime
+// entirely.
+func TestLatencyQuantilesAfterWraparound(t *testing.T) {
+	l := newLatencyRecorder()
+	// Fill the window with 1ms, then half a window of 1s: the ring now holds
+	// exactly half of each regime. P50 interpolates across the boundary
+	// (midpoint of 1ms and 1s); P90 sits firmly in the new regime.
+	for i := 0; i < latencyWindow; i++ {
+		l.record(time.Millisecond)
+	}
+	for i := 0; i < latencyWindow/2; i++ {
+		l.record(time.Second)
+	}
+	s := l.summary()
+	if want := (time.Millisecond + time.Second) / 2; s.P50 != want {
+		t.Errorf("half-wrapped P50 = %v, want %v (interpolated across regimes)", s.P50, want)
+	}
+	if s.P90 != time.Second {
+		t.Errorf("half-wrapped P90 = %v, want 1s", s.P90)
+	}
+	// Finish the overwrite: the old regime must vanish from every quantile.
+	for i := 0; i < latencyWindow/2; i++ {
+		l.record(time.Second)
+	}
+	s = l.summary()
+	if s.P50 != time.Second || s.P99 != time.Second {
+		t.Errorf("fully-wrapped quantiles = P50 %v / P99 %v, want 1s across", s.P50, s.P99)
+	}
+	if want := uint64(2 * latencyWindow); s.Count != want {
+		t.Errorf("Count = %d, want %d (lifetime, not window)", s.Count, want)
+	}
+}
+
 // newMetricsTestServer builds the minimal Server state Metrics() touches,
 // without a compiled circuit.
 func newMetricsTestServer() *Server {

@@ -16,10 +16,14 @@ import (
 // request the session makes.
 type session struct {
 	id      uint64
-	backend hisa.Backend // the meter below, as the kernels see it
+	backend hisa.Backend // the top of the wrap chain, as the kernels see it
 	meter   *hisa.Meter
 	// tracer records per-op spans when Config.Trace is set; nil otherwise.
 	tracer *telemetry.Tracer
+	// refresher realizes the compiler's bootstrap placements when the served
+	// circuit has a BootPlan; nil otherwise. Its atomic tally feeds the
+	// per-session refresh counters in /metrics and the health acks.
+	refresher *hisa.Refresher
 
 	requests atomic.Uint64
 	errors   atomic.Uint64
@@ -27,13 +31,20 @@ type session struct {
 }
 
 func (s *session) metrics() SessionMetrics {
-	return SessionMetrics{
+	m := SessionMetrics{
 		ID:       s.id,
 		Requests: s.requests.Load(),
 		Errors:   s.errors.Load(),
 		Ops:      s.meter.Counts(),
 		Latency:  s.latency.summary(),
 	}
+	if s.refresher != nil {
+		m.Bootstraps = uint64(s.refresher.Bootstraps())
+		if h, ok := s.refresher.MinHeadroom(); ok {
+			m.MinHeadroom, m.HeadroomKnown = int64(h), true
+		}
+	}
+	return m
 }
 
 // registry caches sessions with LRU eviction under a fixed cap. Eval keys

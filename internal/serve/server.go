@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	"math"
 	"net"
 	"strings"
 	"sync"
@@ -85,11 +87,24 @@ type Config struct {
 	// Trace wraps each session's backend in a telemetry.Tracer: /metrics
 	// gains per-op duration series, every evaluation runs under a scope
 	// named by the requests' wire trace IDs, and each dispatch is logged
-	// with its trace IDs and batch assignment. Off by default (the tracer
-	// costs a few percent and a bounded span ring per session).
+	// with its trace IDs and batch assignment. With tracing on, evaluation
+	// scopes also carry the requests' wire trace context (trace ID + parent
+	// span), queue waits and batch flushes are recorded as spans, and the
+	// worker answers trace-dump frames with its merged span rings. Off by
+	// default (the tracer costs a few percent and a bounded span ring per
+	// session).
 	Trace bool
+	// ProcessLabel names this worker in merged cross-process traces
+	// (TraceDumpAck.Process). Empty lets the collector label the worker by
+	// its address, which keeps multi-worker fleets distinguishable without
+	// configuration.
+	ProcessLabel string
 	// Logf, when set, receives one line per notable server event.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured per-request events (dispatches,
+	// completions, failures) with trace_id attributes, correlating log lines
+	// with the distributed trace. Default discards.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -117,17 +132,21 @@ func (c *Config) fillDefaults() {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 }
 
 // job is one admitted inference request.
 type job struct {
-	sess     *session
-	tensor   *htc.CipherTensor
-	reqID    uint64
-	traceID  uint64 // client-chosen correlation id (0 = none)
-	arrived  time.Time
-	deadline time.Time
-	respond  chan jobResult // buffered(1); runBatch always sends exactly once
+	sess       *session
+	tensor     *htc.CipherTensor
+	reqID      uint64
+	traceID    uint64 // client-chosen correlation id (0 = none)
+	parentSpan uint64 // upstream span (client call or router relay; 0 = none)
+	arrived    time.Time
+	deadline   time.Time
+	respond    chan jobResult // buffered(1); runBatch always sends exactly once
 }
 
 type jobResult struct {
@@ -388,6 +407,7 @@ func (s *Server) Metrics() ServerMetrics {
 		Evaluation:        s.evalLatency.summary(),
 		BatchSizes:        map[int]uint64{},
 	}
+	m.Bootstraps, m.MinHeadroom, m.HeadroomKnown = s.budgetTelemetry()
 	s.batchMu.Lock()
 	for k, v := range s.batchSizes {
 		m.BatchSizes[k] = v
@@ -459,6 +479,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			if !s.handleSessionHandoff(conn, payload, writeErr) {
 				return
 			}
+		case wire.MsgTraceDump:
+			if !s.handleTraceDump(conn, payload, writeErr) {
+				return
+			}
 		default:
 			if !writeErr(wire.CodeBadMessage, 0, "unexpected %v frame", t) {
 				return
@@ -507,6 +531,15 @@ func (s *Server) admitSession(payload []byte) (uint64, wire.ErrorCode, error) {
 	}
 
 	backend := hisa.NewRNSBackendFromKeys(s.params, keys, nil)
+	// A bootstrap-compiled circuit evaluates through the refresh pipeline:
+	// the session's backend gains a bootstrapper (built over the client's
+	// shipped rotation keys, which NewClient provisions with the pipeline
+	// amounts) and a Refresher realizing the compiler's placements.
+	if bp := s.cfg.Compiled.BootPlan; bp != nil {
+		if err := backend.EnableBootstrap(bp.Spec); err != nil {
+			return 0, wire.CodeBadMessage, fmt.Errorf("enabling bootstrap: %w", err)
+		}
+	}
 	slots := s.params.Slots()
 	provisioned := make(map[int]bool, len(msg.Rotations))
 	for _, k := range msg.Rotations {
@@ -524,7 +557,16 @@ func (s *Server) admitSession(payload []byte) (uint64, wire.ErrorCode, error) {
 	meter := hisa.NewMeter(inner, func(x int) int {
 		return len(hisa.RotationSteps(x, slots, func(k int) bool { return provisioned[k] }))
 	})
-	sess := &session{backend: meter, meter: meter, tracer: tracer, latency: newLatencyRecorder()}
+	var top hisa.Backend = meter
+	var refresher *hisa.Refresher
+	if bp := s.cfg.Compiled.BootPlan; bp != nil {
+		rf, err := hisa.NewRefresher(meter, bp.Floor)
+		if err != nil {
+			return 0, wire.CodeInternal, fmt.Errorf("wrapping refresher: %w", err)
+		}
+		refresher, top = rf, rf
+	}
+	sess := &session{backend: top, meter: meter, tracer: tracer, refresher: refresher, latency: newLatencyRecorder()}
 	id := s.reg.add(sess)
 	s.cfg.Logf("serve: session %d opened (%d rotation keys)", id, len(msg.RTKS.Keys))
 	return id, 0, nil
@@ -540,18 +582,94 @@ func (s *Server) handleHealthProbe(conn net.Conn, payload []byte, writeErr func(
 	}
 	s.probes.Add(1)
 	_, _, active := s.reg.stats()
+	boots, headroom, known := s.budgetTelemetry()
 	ack := &wire.HealthAck{
 		Nonce:          msg.Nonce,
 		Fingerprint:    s.fingerprint,
 		ActiveSessions: uint32(active),
 		Inflight:       uint32(min(s.inflightN.Load(), int64(^uint32(0)))),
 		Draining:       s.draining.Load(),
+		Bootstraps:     boots,
+		MinHeadroom:    headroom,
+		HeadroomKnown:  known,
 	}
 	out, err := ack.Encode()
 	if err != nil {
 		return writeErr(wire.CodeInternal, 0, "encoding health-ack: %v", err)
 	}
 	return wire.WriteFrame(conn, wire.MsgHealthAck, out) == nil
+}
+
+// budgetTelemetry aggregates the live sessions' ciphertext-budget state:
+// the cumulative bootstrap tally and the fleet-reportable low-water mark of
+// levels above the refresh floor (known only once some session has run a
+// multiplicative op).
+func (s *Server) budgetTelemetry() (bootstraps uint64, minHeadroom int64, known bool) {
+	minHeadroom = math.MaxInt64
+	for _, sess := range s.reg.sessions() {
+		if sess.refresher == nil {
+			continue
+		}
+		bootstraps += uint64(sess.refresher.Bootstraps())
+		if h, ok := sess.refresher.MinHeadroom(); ok {
+			known = true
+			if int64(h) < minHeadroom {
+				minHeadroom = int64(h)
+			}
+		}
+	}
+	if !known {
+		minHeadroom = 0
+	}
+	return bootstraps, minHeadroom, known
+}
+
+// handleTraceDump answers a trace-dump frame with this worker's retained
+// spans: every traced session's ring, rebased onto one worker-wide epoch
+// (the earliest session epoch) so the collector can merge workers onto a
+// single timeline. An untraced server answers with an empty ring rather
+// than an error — collection must not depend on configuration agreement.
+func (s *Server) handleTraceDump(conn net.Conn, payload []byte, writeErr func(wire.ErrorCode, uint64, string, ...any) bool) bool {
+	var msg wire.TraceDump
+	if err := msg.Decode(payload); err != nil {
+		return writeErr(wire.CodeBadMessage, 0, "trace-dump: %v", err)
+	}
+	sessions := s.reg.sessions()
+	var base time.Time
+	for _, sess := range sessions {
+		if sess.tracer == nil {
+			continue
+		}
+		if e := sess.tracer.Epoch(); base.IsZero() || e.Before(base) {
+			base = e
+		}
+	}
+	var spans []telemetry.Span
+	for _, sess := range sessions {
+		if sess.tracer == nil {
+			continue
+		}
+		shift := sess.tracer.Epoch().Sub(base)
+		for _, sp := range telemetry.FilterTrace(sess.tracer.Snapshot(), msg.TraceID) {
+			sp.Start += shift
+			spans = append(spans, sp)
+		}
+	}
+	// The wire codec caps a dump at 1<<17 spans; keep the newest if the
+	// combined session rings exceed it (older spans wrapped anyway).
+	const dumpCap = 1 << 17
+	if len(spans) > dumpCap {
+		spans = spans[len(spans)-dumpCap:]
+	}
+	if base.IsZero() {
+		base = time.Now()
+	}
+	ack := &wire.TraceDumpAck{Process: s.cfg.ProcessLabel, EpochUnixNano: base.UnixNano(), Spans: spans}
+	out, err := ack.Encode()
+	if err != nil {
+		return writeErr(wire.CodeInternal, 0, "encoding trace-dump-ack: %v", err)
+	}
+	return wire.WriteFrame(conn, wire.MsgTraceDumpAck, out) == nil
 }
 
 // handleRegistrySync merges the router's pushed registry view into this
@@ -619,7 +737,7 @@ func (s *Server) handleInfer(conn net.Conn, payload []byte, writeErr func(wire.E
 		return writeErr(wire.CodeBadMessage, msg.RequestID, "infer-request: %v", err)
 	}
 
-	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TraceID, msg.TimeoutMillis)
+	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TraceID, msg.ParentSpan, msg.TimeoutMillis)
 
 	// Admission: the queue never blocks the handler. Full queue means the
 	// server is saturated past its configured buffer — reject now so the
@@ -686,7 +804,7 @@ func (s *Server) doneOne() {
 }
 
 // newJob builds an admitted job with the effective deadline.
-func (s *Server) newJob(sess *session, ct *htc.CipherTensor, reqID, traceID uint64, timeoutMillis uint32) *job {
+func (s *Server) newJob(sess *session, ct *htc.CipherTensor, reqID, traceID, parentSpan uint64, timeoutMillis uint32) *job {
 	timeout := s.cfg.RequestTimeout
 	if timeoutMillis != 0 {
 		if t := time.Duration(timeoutMillis) * time.Millisecond; t < timeout {
@@ -695,13 +813,14 @@ func (s *Server) newJob(sess *session, ct *htc.CipherTensor, reqID, traceID uint
 	}
 	now := time.Now()
 	return &job{
-		sess:     sess,
-		tensor:   ct,
-		reqID:    reqID,
-		traceID:  traceID,
-		arrived:  now,
-		deadline: now.Add(timeout),
-		respond:  make(chan jobResult, 1),
+		sess:       sess,
+		tensor:     ct,
+		reqID:      reqID,
+		traceID:    traceID,
+		parentSpan: parentSpan,
+		arrived:    now,
+		deadline:   now.Add(timeout),
+		respond:    make(chan jobResult, 1),
 	}
 }
 
@@ -749,7 +868,7 @@ func (s *Server) handleInferBatch(conn net.Conn, payload []byte, writeErr func(w
 			"batch count %d exceeds compiled capacity %d", msg.Count, s.wantMeta.Batches())
 	}
 
-	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TraceID, msg.TimeoutMillis)
+	j := s.newJob(sess, msg.Tensor, msg.RequestID, msg.TraceID, msg.ParentSpan, msg.TimeoutMillis)
 	s.admitOne()
 	select {
 	case s.jobs <- &batchJob{items: []*job{j}}:
@@ -896,6 +1015,13 @@ func (s *Server) runBatch(bj *batchJob) {
 			continue
 		}
 		s.queueWait.record(now.Sub(j.arrived))
+		// The queue-wait span attaches under the request's upstream span
+		// (client call or router relay), so the merged trace shows time
+		// spent queued apart from time spent evaluating.
+		if j.sess.tracer != nil {
+			j.sess.tracer.RecordManual(telemetry.KindOp, "queue-wait",
+				j.arrived, now.Sub(j.arrived), j.traceID, 0, j.parentSpan)
+		}
 		live = append(live, j)
 	}
 	if len(live) == 0 {
@@ -909,14 +1035,29 @@ func (s *Server) runBatch(bj *batchJob) {
 		s.cfg.Logf("serve: session %d dispatching batch of %d [%s]",
 			live[0].sess.id, len(live), traceList(live))
 	}
+	s.cfg.Logger.Debug("dispatch",
+		"trace_id", fmt.Sprintf("%016x", live[0].traceID),
+		"session", live[0].sess.id, "batch", len(live))
 	if len(live) == 1 {
 		j := live[0]
-		out, err := s.evaluateTimed(j.sess, j.tensor, evalLabel(live))
+		out, err := s.evaluateTimed(j.sess, j.tensor, evalLabel(live), j.traceID, j.parentSpan)
 		s.finish(j, out, err, 1, 0)
 		return
 	}
 
 	sess := live[0].sess // coalescing is keyed by session; all items share it
+	// A coalesced evaluation is one flush of the batch collector; the span
+	// covers the window from the earliest admission to dispatch.
+	if sess.tracer != nil {
+		earliest := live[0].arrived
+		for _, j := range live[1:] {
+			if j.arrived.Before(earliest) {
+				earliest = j.arrived
+			}
+		}
+		sess.tracer.RecordManual(telemetry.KindOp, "batch-flush",
+			earliest, now.Sub(earliest), live[0].traceID, 0, live[0].parentSpan)
+	}
 	tensors := make([]*htc.CipherTensor, len(live))
 	for i, j := range live {
 		tensors[i] = j.tensor
@@ -924,7 +1065,7 @@ func (s *Server) runBatch(bj *batchJob) {
 	packed, err := s.pack(sess, tensors)
 	if err == nil {
 		var out *htc.CipherTensor
-		out, err = s.evaluateTimed(sess, packed, evalLabel(live))
+		out, err = s.evaluateTimed(sess, packed, evalLabel(live), live[0].traceID, live[0].parentSpan)
 		if err == nil {
 			for i, j := range live {
 				s.finish(j, out, nil, len(live), i)
@@ -935,7 +1076,7 @@ func (s *Server) runBatch(bj *batchJob) {
 	s.cfg.Logf("serve: batch of %d failed (%v); isolating — retrying requests individually [%s]",
 		len(live), err, traceList(live))
 	for _, j := range live {
-		out, err := s.evaluateTimed(j.sess, j.tensor, evalLabel([]*job{j}))
+		out, err := s.evaluateTimed(j.sess, j.tensor, evalLabel([]*job{j}), j.traceID, j.parentSpan)
 		s.finish(j, out, err, 1, 0)
 	}
 }
@@ -966,6 +1107,8 @@ func (s *Server) finish(j *job, out *htc.CipherTensor, err error, batchSize, lan
 	case err != nil:
 		s.evalErrors.Add(1)
 		j.sess.errors.Add(1)
+		s.cfg.Logger.Warn("evaluation failed",
+			"trace_id", fmt.Sprintf("%016x", j.traceID), "request", j.reqID, "err", err.Error())
 		j.respond <- jobResult{errf: &wire.ErrorFrame{
 			Code: wire.CodeInternal, RequestID: j.reqID, Message: err.Error()}}
 	case !time.Now().Before(j.deadline):
@@ -979,15 +1122,18 @@ func (s *Server) finish(j *job, out *htc.CipherTensor, err error, batchSize, lan
 		s.completed.Add(1)
 		s.latency.record(d)
 		j.sess.latency.record(d)
+		s.cfg.Logger.Debug("completed",
+			"trace_id", fmt.Sprintf("%016x", j.traceID), "request", j.reqID,
+			"batch", batchSize, "dur", d.Round(time.Microsecond))
 		j.respond <- jobResult{tensor: out, batch: batchSize, lane: lane}
 	}
 }
 
 // evaluateTimed wraps evaluate with the evaluation-latency recorder (one
 // sample per circuit execution, however many requests it serves).
-func (s *Server) evaluateTimed(sess *session, in *htc.CipherTensor, label string) (*htc.CipherTensor, error) {
+func (s *Server) evaluateTimed(sess *session, in *htc.CipherTensor, label string, traceID, parent uint64) (*htc.CipherTensor, error) {
 	start := time.Now()
-	out, err := s.evaluate(sess, in, label)
+	out, err := s.evaluate(sess, in, label, traceID, parent)
 	s.evalLatency.record(time.Since(start))
 	return out, err
 }
@@ -1007,17 +1153,37 @@ func (s *Server) pack(sess *session, ts []*htc.CipherTensor) (out *htc.CipherTen
 // evaluate runs the compiled circuit on the session's backend, converting
 // kernel panics (the trusted-path failure mode for inconsistent data) into
 // errors: a hostile request must never take the server down.
-func (s *Server) evaluate(sess *session, in *htc.CipherTensor, label string) (out *htc.CipherTensor, err error) {
+func (s *Server) evaluate(sess *session, in *htc.CipherTensor, label string, traceID, parent uint64) (out *htc.CipherTensor, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("evaluation failed: %v", r)
 		}
 	}()
 	if sess.tracer != nil {
-		// The request-level scope; the executor nests one scope per circuit
-		// node under it. Closed via defer so a recovered kernel panic still
-		// unwinds the span.
-		defer sess.tracer.StartScope(label)()
+		// The request-level scope, carrying the wire trace context so every
+		// span recorded under it (ops, bootstrap stages, nested scopes)
+		// joins the distributed trace under the upstream relay span. The
+		// executor nests one scope per circuit node under it. Closed via
+		// defer so a recovered kernel panic still unwinds the span.
+		closeScope, _ := sess.tracer.StartScopeCtx(label, traceID, parent)
+		defer closeScope()
+	}
+	// A bootstrap-compiled circuit starts at the compiler's fresh level:
+	// clients send full-level encryptions (checkTensor demands them), so the
+	// inputs are dropped exactly as Refresher.Encrypt drops local ones. The
+	// dropped copies are Refresher-owned intermediates, freed after the run.
+	if sess.refresher != nil {
+		fresh := *in
+		fresh.CTs = make([]hisa.Ciphertext, len(in.CTs))
+		for i, c := range in.CTs {
+			fresh.CTs[i] = sess.refresher.DropToFresh(c)
+		}
+		defer func() {
+			for _, c := range fresh.CTs {
+				sess.backend.Free(c)
+			}
+		}()
+		in = &fresh
 	}
 	if s.execHook != nil {
 		s.execHook()

@@ -2,15 +2,17 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"time"
 )
 
-// chromeEvent is one complete ("ph":"X") event of the Chrome trace_event
-// format; a file of them loads directly in Perfetto / chrome://tracing.
+// chromeEvent is one event of the Chrome trace_event format; a file of them
+// loads directly in Perfetto / chrome://tracing. Complete spans use
+// "ph":"X"; process metadata uses "ph":"M".
 type chromeEvent struct {
 	Name string         `json:"name"`
-	Cat  string         `json:"cat"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	TS   float64        `json:"ts"`  // microseconds since trace start
 	Dur  float64        `json:"dur"` // microseconds
@@ -26,11 +28,75 @@ type chromeTrace struct {
 	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
-// WriteChromeTrace writes spans as Chrome trace_event JSON. Op spans land
-// on their worker goroutine's track (tid = goroutine id); scope spans keep
-// their own goroutine's track, so a node's scope bar encloses the op bars
-// of the workers it fanned out to on the shared timeline. otherData carries
-// caller-supplied run facts (e.g. inference wall time) for machine checks.
+// ProcessTrace is one process's contribution to a merged multi-process
+// trace: a name and pid for the Perfetto track group, the epoch its span
+// Start offsets are measured from, and the spans themselves.
+type ProcessTrace struct {
+	Name string
+	// PID labels the process track; each process in a merged trace must use
+	// a distinct value or their rows interleave.
+	PID int
+	// Epoch is the absolute instant the spans' Start offsets measure from
+	// (Tracer.Epoch / SpanRing.Epoch). Merged traces are normalized to the
+	// earliest epoch so cross-process spans line up on one timeline.
+	Epoch time.Time
+	Spans []Span
+}
+
+// spanEvent converts one span to a complete event. shift is the offset of
+// this process's epoch from the merged trace's start.
+func spanEvent(s Span, pid int, shift time.Duration) chromeEvent {
+	ev := chromeEvent{
+		Name: s.Op,
+		Cat:  "op",
+		Ph:   "X",
+		TS:   float64(s.Start+shift) / float64(time.Microsecond),
+		Dur:  float64(s.Dur) / float64(time.Microsecond),
+		PID:  pid,
+		TID:  s.GID,
+	}
+	args := map[string]any{}
+	if s.Kind == KindScope {
+		ev.Cat = "kernel"
+	} else {
+		if s.Scope != "" {
+			args["scope"] = s.Scope
+		}
+		if s.Rot != 0 {
+			args["rot"] = s.Rot
+		}
+		if s.LevelIn >= 0 || s.LevelOut >= 0 {
+			args["level_in"] = s.LevelIn
+			args["level_out"] = s.LevelOut
+		}
+		if s.ScaleIn != 0 {
+			args["scale_in"] = s.ScaleIn
+		}
+		if s.ScaleOut != 0 {
+			args["scale_out"] = s.ScaleOut
+		}
+	}
+	if s.TraceID != 0 {
+		args["trace_id"] = fmt.Sprintf("%016x", s.TraceID)
+	}
+	if s.SpanID != 0 {
+		args["span_id"] = fmt.Sprintf("%016x", s.SpanID)
+	}
+	if s.Parent != 0 {
+		args["parent"] = fmt.Sprintf("%016x", s.Parent)
+	}
+	if len(args) > 0 {
+		ev.Args = args
+	}
+	return ev
+}
+
+// WriteChromeTrace writes one process's spans as Chrome trace_event JSON.
+// Op spans land on their worker goroutine's track (tid = goroutine id);
+// scope spans keep their own goroutine's track, so a node's scope bar
+// encloses the op bars of the workers it fanned out to on the shared
+// timeline. otherData carries caller-supplied run facts (e.g. inference
+// wall time) for machine checks.
 func WriteChromeTrace(w io.Writer, spans []Span, otherData map[string]any) error {
 	tr := chromeTrace{
 		TraceEvents:     make([]chromeEvent, 0, len(spans)),
@@ -38,40 +104,47 @@ func WriteChromeTrace(w io.Writer, spans []Span, otherData map[string]any) error
 		OtherData:       otherData,
 	}
 	for _, s := range spans {
-		ev := chromeEvent{
-			Name: s.Op,
-			Cat:  "op",
-			Ph:   "X",
-			TS:   float64(s.Start) / float64(time.Microsecond),
-			Dur:  float64(s.Dur) / float64(time.Microsecond),
-			PID:  1,
-			TID:  s.GID,
+		tr.TraceEvents = append(tr.TraceEvents, spanEvent(s, 1, 0))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// WriteChromeTraceMulti merges spans from several processes into one Chrome
+// trace. Each process gets a distinct pid (its ProcessTrace.PID) and a
+// "process_name" metadata event, so Perfetto renders router and workers as
+// separate track groups instead of interleaving everything on pid 1; within
+// a process, tid remains the recording goroutine. Timestamps are rebased to
+// the earliest per-process epoch so spans recorded by different processes
+// share one timeline.
+func WriteChromeTraceMulti(w io.Writer, procs []ProcessTrace, otherData map[string]any) error {
+	tr := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       otherData,
+	}
+	var base time.Time
+	for _, p := range procs {
+		if p.Epoch.IsZero() {
+			continue
 		}
-		args := map[string]any{}
-		if s.Kind == KindScope {
-			ev.Cat = "kernel"
-		} else {
-			if s.Scope != "" {
-				args["scope"] = s.Scope
-			}
-			if s.Rot != 0 {
-				args["rot"] = s.Rot
-			}
-			if s.LevelIn >= 0 || s.LevelOut >= 0 {
-				args["level_in"] = s.LevelIn
-				args["level_out"] = s.LevelOut
-			}
-			if s.ScaleIn != 0 {
-				args["scale_in"] = s.ScaleIn
-			}
-			if s.ScaleOut != 0 {
-				args["scale_out"] = s.ScaleOut
-			}
+		if base.IsZero() || p.Epoch.Before(base) {
+			base = p.Epoch
 		}
-		if len(args) > 0 {
-			ev.Args = args
+	}
+	for _, p := range procs {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  p.PID,
+			Args: map[string]any{"name": p.Name},
+		})
+		var shift time.Duration
+		if !base.IsZero() && !p.Epoch.IsZero() {
+			shift = p.Epoch.Sub(base)
 		}
-		tr.TraceEvents = append(tr.TraceEvents, ev)
+		for _, s := range p.Spans {
+			tr.TraceEvents = append(tr.TraceEvents, spanEvent(s, p.PID, shift))
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(tr)

@@ -61,6 +61,17 @@ type Span struct {
 	Rot int
 	// GID is the goroutine that executed the op (worker attribution).
 	GID int64
+	// TraceID correlates spans across processes: the client allocates it,
+	// the wire protocol carries it through router and worker hops, and every
+	// span recorded under a request scope inherits it. 0 = untraced.
+	TraceID uint64
+	// SpanID identifies a scope span so children can reference it; op spans
+	// are leaves and leave it 0.
+	SpanID uint64
+	// Parent is the SpanID of the enclosing span — for a worker's request
+	// scope, the router's relay span, which is how cross-process span trees
+	// stitch into one trace.
+	Parent uint64
 }
 
 // OpTotal is a cumulative per-op tally; unlike the span ring it never drops
@@ -83,6 +94,15 @@ type levelBackend interface {
 	LevelOf(c hisa.Ciphertext) int
 }
 
+// scopeFrame is one open scope: its label plus the trace context every op
+// and nested scope recorded under it inherits.
+type scopeFrame struct {
+	label   string
+	traceID uint64
+	spanID  uint64
+	parent  uint64
+}
+
 // Tracer wraps a hisa.Backend and records per-op spans. It implements
 // Backend (kernels are oblivious to it), hisa.Unwrapper, and the
 // RotateManyBackend capability, and is safe for concurrent op execution:
@@ -98,13 +118,17 @@ type Tracer struct {
 	next    int    // write cursor once the ring is full
 	full    bool   // ring has wrapped at least once
 	dropped uint64 // spans overwritten after wrap
-	stack   []string
-	scope   string // strings.Join(stack, "/"), cached
+	stack   []scopeFrame
+	scope   string // joined stack labels, cached
 	totals  map[string]*OpTotal
 }
 
 // NewTracer wraps inner. The level probe is resolved once, through any
-// Unwrap chain, so Tracer(Meter(RNS)) still records levels.
+// Unwrap chain, so Tracer(Meter(RNS)) still records levels. When the chain
+// exposes bootstrap stage hooks (RNSBackend with bootstrapping enabled or
+// enabled later), the tracer installs one so each refresh records its
+// pipeline stages ("boot:modraise", "boot:coeff-to-slot", ...) as child
+// spans under whatever scope the refresh ran in.
 func NewTracer(inner hisa.Backend, cfg Config) *Tracer {
 	if cfg.Capacity <= 0 {
 		cfg.Capacity = 1 << 16
@@ -118,22 +142,66 @@ func NewTracer(inner hisa.Backend, cfg Config) *Tracer {
 	if lb, ok := hisa.FindCapability[levelBackend](inner); ok {
 		t.levelOf = lb.LevelOf
 	}
+	if sb, ok := hisa.FindCapability[stageBackend](inner); ok {
+		sb.SetBootstrapStageHook(func(stage string, start, end time.Time) {
+			t.RecordManual(KindOp, "boot:"+stage, start, end.Sub(start), 0, 0, 0)
+		})
+	}
 	return t
+}
+
+// stageBackend is the optional capability (RNSBackend) for observing the
+// interior stages of each bootstrap refresh.
+type stageBackend interface {
+	SetBootstrapStageHook(func(stage string, start, end time.Time))
 }
 
 // Unwrap exposes the wrapped backend for capability discovery.
 func (t *Tracer) Unwrap() hisa.Backend { return t.inner }
 
+// Epoch returns the instant span Start offsets are measured from, so spans
+// from several tracers (or processes) can be rebased onto one timeline.
+func (t *Tracer) Epoch() time.Time { return t.epoch }
+
+// joinFrames rebuilds the cached scope path from the stack labels.
+func joinFrames(stack []scopeFrame) string {
+	labels := make([]string, len(stack))
+	for i, f := range stack {
+		labels[i] = f.label
+	}
+	return strings.Join(labels, "/")
+}
+
 // StartScope pushes a named scope; ops recorded until the returned func
 // runs are attributed to it. The close func records the scope's own span.
 // Scopes nest (the htc executor opens one per circuit node inside any
 // request-level scope serve opened); open/close must pair on one goroutine,
-// which the serial node loop guarantees.
+// which the serial node loop guarantees. The scope inherits the enclosing
+// scope's trace context, so executor-opened kernel scopes ride on the
+// request's trace ID without knowing it exists.
 func (t *Tracer) StartScope(label string) func() {
+	end, _ := t.StartScopeCtx(label, 0, 0)
+	return end
+}
+
+// StartScopeCtx is StartScope with explicit trace context: the scope (and
+// everything recorded under it) is stamped with traceID and parented under
+// parent — for a serve-side request scope, the span ID the router wrote
+// into the wire frame. It returns the scope's own span ID so callers can
+// parent siblings (queue-wait spans, batch flush spans) under it. A zero
+// traceID inherits the enclosing scope's context instead.
+func (t *Tracer) StartScopeCtx(label string, traceID, parent uint64) (func(), uint64) {
 	start := time.Now()
+	sid := NewSpanID()
 	t.mu.Lock()
-	t.stack = append(t.stack, label)
-	t.scope = strings.Join(t.stack, "/")
+	if traceID == 0 {
+		if n := len(t.stack); n > 0 {
+			traceID = t.stack[n-1].traceID
+			parent = t.stack[n-1].spanID
+		}
+	}
+	t.stack = append(t.stack, scopeFrame{label: label, traceID: traceID, spanID: sid, parent: parent})
+	t.scope = joinFrames(t.stack)
 	t.mu.Unlock()
 	return func() {
 		end := time.Now()
@@ -141,24 +209,64 @@ func (t *Tracer) StartScope(label string) func() {
 		// Unwind to this scope's frame: inner scopes leaked by a recovered
 		// kernel panic are discarded rather than pinned forever.
 		for i := len(t.stack) - 1; i >= 0; i-- {
-			if t.stack[i] == label {
+			if t.stack[i].label == label {
 				t.stack = t.stack[:i]
-				t.scope = strings.Join(t.stack, "/")
+				t.scope = joinFrames(t.stack)
 				break
 			}
 		}
-		parent := t.scope
+		parentScope := t.scope
 		t.append(Span{
 			Kind:    KindScope,
 			Op:      label,
-			Scope:   parent,
+			Scope:   parentScope,
 			Start:   start.Sub(t.epoch),
 			Dur:     end.Sub(start),
 			LevelIn: -1, LevelOut: -1,
-			GID: goroutineID(),
+			GID:     goroutineID(),
+			TraceID: traceID,
+			SpanID:  sid,
+			Parent:  parent,
 		})
 		t.mu.Unlock()
+	}, sid
+}
+
+// RecordManual records a span the backend wrapper cannot see — a queue
+// wait, a batch flush, a bootstrap pipeline stage. A zero traceID inherits
+// the current scope's trace context (like an op span would); an explicit
+// one stands alone.
+func (t *Tracer) RecordManual(kind SpanKind, op string, start time.Time, dur time.Duration, traceID, spanID, parent uint64) {
+	s := Span{
+		Kind:    kind,
+		Op:      op,
+		Start:   start.Sub(t.epoch),
+		Dur:     dur,
+		LevelIn: -1, LevelOut: -1,
+		GID:     goroutineID(),
+		TraceID: traceID,
+		SpanID:  spanID,
+		Parent:  parent,
 	}
+	t.mu.Lock()
+	s.Scope = t.scope
+	if s.TraceID == 0 {
+		if n := len(t.stack); n > 0 {
+			s.TraceID = t.stack[n-1].traceID
+			s.Parent = t.stack[n-1].spanID
+		}
+	}
+	if kind == KindOp {
+		agg := t.totals[op]
+		if agg == nil {
+			agg = &OpTotal{}
+			t.totals[op] = agg
+		}
+		agg.Count++
+		agg.Total += dur
+	}
+	t.append(s)
+	t.mu.Unlock()
 }
 
 // append inserts a span into the ring. Callers hold t.mu.
@@ -199,6 +307,10 @@ func (t *Tracer) record(op string, rot int, c, out hisa.Ciphertext, start time.T
 	}
 	t.mu.Lock()
 	s.Scope = t.scope
+	if n := len(t.stack); n > 0 {
+		s.TraceID = t.stack[n-1].traceID
+		s.Parent = t.stack[n-1].spanID
+	}
 	agg := t.totals[op]
 	if agg == nil {
 		agg = &OpTotal{}
@@ -360,6 +472,10 @@ func (t *Tracer) RotLeftMany(c hisa.Ciphertext, ks []int) []hisa.Ciphertext {
 		}
 		t.mu.Lock()
 		s.Scope = t.scope
+		if n := len(t.stack); n > 0 {
+			s.TraceID = t.stack[n-1].traceID
+			s.Parent = t.stack[n-1].spanID
+		}
 		agg := t.totals["rotl"]
 		if agg == nil {
 			agg = &OpTotal{}

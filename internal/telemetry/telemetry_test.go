@@ -483,3 +483,201 @@ func TestProfileAttribution(t *testing.T) {
 			prof.ScopeTotal, topTotal)
 	}
 }
+
+// TestTraceContextPropagation pins the distributed-tracing contract: ops and
+// manual spans recorded under a StartScopeCtx scope inherit its trace ID and
+// are parented under the scope's span, nested scopes ride the same context,
+// and FilterTrace slices a mixed ring down to one trace.
+func TestTraceContextPropagation(t *testing.T) {
+	b := hisa.NewRefBackend(8)
+	tr := NewTracer(b, Config{})
+	p := b.Encode(make([]float64, 8), testScale)
+	c := tr.Encrypt(p) // before any scope: no trace context
+
+	const traceID, parent = 0xDEAD, 0x1111
+	end, scopeSpan := tr.StartScopeCtx("request", traceID, parent)
+	if scopeSpan == 0 {
+		t.Fatal("StartScopeCtx returned zero span ID")
+	}
+	tr.Add(c, c)
+	inner := tr.StartScope("conv2d:conv1") // zero ctx: must inherit
+	tr.Mul(c, c)
+	inner()
+	tr.RecordManual(KindOp, "queue-wait", time.Now(), time.Millisecond, 0, 0, 0)
+	end()
+
+	spans := tr.Snapshot()
+	byOp := map[string]Span{}
+	for _, s := range spans {
+		byOp[s.Op] = s
+	}
+	if s := byOp["encrypt"]; s.TraceID != 0 {
+		t.Errorf("pre-scope op carries trace ID %#x, want none", s.TraceID)
+	}
+	if s := byOp["add"]; s.TraceID != traceID || s.Parent != scopeSpan {
+		t.Errorf("add span ctx = (%#x, parent %#x), want (%#x, %#x)", s.TraceID, s.Parent, traceID, scopeSpan)
+	}
+	innerScope := byOp["conv2d:conv1"]
+	if innerScope.TraceID != traceID || innerScope.Parent != scopeSpan {
+		t.Errorf("nested scope ctx = (%#x, parent %#x), want (%#x, %#x)",
+			innerScope.TraceID, innerScope.Parent, traceID, scopeSpan)
+	}
+	if s := byOp["mul"]; s.TraceID != traceID || s.Parent != innerScope.SpanID {
+		t.Errorf("mul span parent = %#x, want nested scope %#x", s.Parent, innerScope.SpanID)
+	}
+	if s := byOp["queue-wait"]; s.TraceID != traceID || s.Parent != scopeSpan {
+		t.Errorf("manual span ctx = (%#x, parent %#x), want inherited (%#x, %#x)",
+			s.TraceID, s.Parent, traceID, scopeSpan)
+	}
+	if s := byOp["request"]; s.TraceID != traceID || s.SpanID != scopeSpan || s.Parent != parent {
+		t.Errorf("scope span = (%#x, %#x, parent %#x), want (%#x, %#x, %#x)",
+			s.TraceID, s.SpanID, s.Parent, traceID, scopeSpan, parent)
+	}
+
+	got := FilterTrace(spans, traceID)
+	for _, s := range got {
+		if s.TraceID != traceID {
+			t.Fatalf("FilterTrace leaked span %q from trace %#x", s.Op, s.TraceID)
+		}
+	}
+	// encrypt (and the relin sub-span's context matches mul's) — everything
+	// but the pre-scope encrypt belongs to the trace.
+	if len(got) != len(spans)-1 {
+		t.Errorf("FilterTrace kept %d of %d spans, want all but the pre-scope encrypt", len(got), len(spans))
+	}
+	if all := FilterTrace(spans, 0); len(all) != len(spans) {
+		t.Errorf("FilterTrace(0) kept %d of %d spans, want all", len(all), len(spans))
+	}
+}
+
+// TestNewSpanIDUnique checks concurrent span-ID allocation never collides —
+// the IDs stitch cross-process traces, so a dup would merge unrelated spans.
+func TestNewSpanIDUnique(t *testing.T) {
+	const goroutines, per = 8, 1000
+	ids := make(chan uint64, goroutines*per)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ids <- NewSpanID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[uint64]bool, goroutines*per)
+	for id := range ids {
+		if id == 0 {
+			t.Fatal("NewSpanID returned 0 (reserved for absent)")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span ID %#x", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSpanRingWrap exercises the standalone ring the router records into:
+// over-capacity recording keeps the newest spans, counts drops, and
+// snapshots in order.
+func TestSpanRingWrap(t *testing.T) {
+	r := NewSpanRing(4)
+	base := r.Epoch()
+	for i := 0; i < 10; i++ {
+		start := base.Add(time.Duration(i) * time.Millisecond)
+		r.Record(KindScope, fmt.Sprintf("relay-%d", i), start, start.Add(time.Millisecond), 7, uint64(i+1), 0)
+	}
+	spans := r.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := fmt.Sprintf("relay-%d", 6+i); s.Op != want {
+			t.Errorf("span %d = %q, want %q (newest retained, in order)", i, s.Op, want)
+		}
+	}
+	if r.SpanCount() != 10 || r.Dropped() != 6 {
+		t.Errorf("count/dropped = %d/%d, want 10/6", r.SpanCount(), r.Dropped())
+	}
+}
+
+// TestChromeTraceMultiProcess validates the merged multi-process export:
+// distinct pids with process_name metadata, timestamps rebased to the
+// earliest epoch, and tids preserving goroutine attribution.
+func TestChromeTraceMultiProcess(t *testing.T) {
+	base := time.Unix(1000, 0)
+	procs := []ProcessTrace{
+		{Name: "chet-router", PID: 1, Epoch: base.Add(time.Second), Spans: []Span{
+			{Kind: KindScope, Op: "relay:w0", Start: 0, Dur: 5 * time.Millisecond,
+				GID: 11, TraceID: 0xAB, SpanID: 2, Parent: 1},
+		}},
+		{Name: "worker:127.0.0.1:7001", PID: 2, Epoch: base, Spans: []Span{
+			{Kind: KindScope, Op: "request", Start: time.Second, Dur: 4 * time.Millisecond,
+				GID: 22, TraceID: 0xAB, SpanID: 3, Parent: 2},
+			{Kind: KindOp, Op: "queue-wait", Start: time.Second, Dur: time.Millisecond,
+				GID: 22, TraceID: 0xAB, SpanID: 0, Parent: 2, LevelIn: -1, LevelOut: -1},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceMulti(&buf, procs, map[string]any{"fleet": 2}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	names := map[int]string{}
+	var spanEvents int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			names[e.Pid] = fmt.Sprint(e.Args["name"])
+			continue
+		}
+		spanEvents++
+		switch e.Name {
+		case "relay:w0":
+			if e.Pid != 1 || e.Tid != 11 {
+				t.Errorf("router span on pid/tid %d/%d, want 1/11", e.Pid, e.Tid)
+			}
+			// Router epoch is 1s after the worker's, so its t=0 span lands at
+			// 1s on the merged timeline.
+			if e.Ts != 1e6 {
+				t.Errorf("router span ts = %v us, want 1e6 (epoch rebase)", e.Ts)
+			}
+			if e.Args["trace_id"] != fmt.Sprintf("%016x", 0xAB) {
+				t.Errorf("router span args = %v, want trace_id", e.Args)
+			}
+		case "request":
+			if e.Pid != 2 || e.Tid != 22 {
+				t.Errorf("worker span on pid/tid %d/%d, want 2/22", e.Pid, e.Tid)
+			}
+			if e.Ts != 1e6 {
+				t.Errorf("worker span ts = %v us, want 1e6 (earliest epoch is base)", e.Ts)
+			}
+			if e.Args["parent"] != fmt.Sprintf("%016x", 2) {
+				t.Errorf("worker request parent args = %v, want router relay span", e.Args)
+			}
+		}
+	}
+	if names[1] != "chet-router" || names[2] != "worker:127.0.0.1:7001" {
+		t.Errorf("process_name metadata = %v, want both processes labeled", names)
+	}
+	if spanEvents != 3 {
+		t.Errorf("got %d span events, want 3", spanEvents)
+	}
+	if fmt.Sprint(doc.OtherData["fleet"]) != "2" {
+		t.Errorf("otherData lost: %v", doc.OtherData)
+	}
+}

@@ -117,13 +117,25 @@ func (m *HealthProbe) Decode(data []byte) error {
 // HealthAck reports a worker's status: the compiled-model fingerprint it
 // serves, its live session count, the requests currently in flight, and
 // whether it is draining (a draining worker finishes admitted work but
-// rejects new requests — a router must stop routing to it).
+// rejects new requests — a router must stop routing to it). Since protocol
+// version 5 it also carries the worker's ciphertext-budget telemetry, so
+// the router's /metrics can export fleet-wide refresh pressure without a
+// second scrape path.
 type HealthAck struct {
 	Nonce          uint64
 	Fingerprint    [32]byte
 	ActiveSessions uint32
 	Inflight       uint32
 	Draining       bool
+	// Bootstraps is the worker's cumulative bootstrap-refresh tally across
+	// all sessions (hisa.Refresher triggered + explicit).
+	Bootstraps uint64
+	// MinHeadroom is the worker's low-water mark of remaining levels above
+	// the refresh floor, valid only when HeadroomKnown (no session has run
+	// a multiplicative op yet otherwise). Zero or negative means a refresh
+	// fired.
+	MinHeadroom   int64
+	HeadroomKnown bool
 }
 
 // Encode serializes the message payload.
@@ -134,6 +146,13 @@ func (m *HealthAck) Encode() ([]byte, error) {
 	e.u32(m.ActiveSessions)
 	e.u32(m.Inflight)
 	if m.Draining {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u64(m.Bootstraps)
+	e.u64(uint64(m.MinHeadroom))
+	if m.HeadroomKnown {
 		e.u8(1)
 	} else {
 		e.u8(0)
@@ -159,11 +178,18 @@ func (m *HealthAck) Decode(data []byte) error {
 	if d.err == nil && draining > 1 {
 		d.fail(fmt.Sprintf("non-boolean draining byte %d", draining))
 	}
+	boots := d.u64()
+	headroom := int64(d.u64())
+	known := d.u8()
+	if d.err == nil && known > 1 {
+		d.fail(fmt.Sprintf("non-boolean headroom-known byte %d", known))
+	}
 	if err := d.finish(); err != nil {
 		return err
 	}
 	m.Nonce, m.Fingerprint = nonce, fp
 	m.ActiveSessions, m.Inflight, m.Draining = active, inflight, draining == 1
+	m.Bootstraps, m.MinHeadroom, m.HeadroomKnown = boots, headroom, known == 1
 	return nil
 }
 

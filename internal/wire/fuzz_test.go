@@ -3,11 +3,13 @@ package wire
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"chet/internal/ckks"
 	"chet/internal/hisa"
 	"chet/internal/htc"
 	"chet/internal/ring"
+	"chet/internal/telemetry"
 )
 
 // fuzzSeedFrames builds one valid frame of every type, so the fuzzer starts
@@ -53,7 +55,7 @@ func fuzzSeedFrames(f *testing.F) {
 	f.Add(frame(MsgSessionOpen, p, err))
 	p, err = (&SessionAccept{SessionID: 1}).Encode()
 	f.Add(frame(MsgSessionAccept, p, err))
-	p, err = (&InferRequest{SessionID: 1, RequestID: 2, Tensor: ct}).Encode()
+	p, err = (&InferRequest{SessionID: 1, RequestID: 2, TraceID: 0xABCD, ParentSpan: 0x1234, Tensor: ct}).Encode()
 	f.Add(frame(MsgInferRequest, p, err))
 	p, err = (&InferResponse{RequestID: 2, Tensor: ct}).Encode()
 	f.Add(frame(MsgInferResponse, p, err))
@@ -61,13 +63,14 @@ func fuzzSeedFrames(f *testing.F) {
 	f.Add(frame(MsgInferResponse, p, err))
 	p, err = (&ErrorFrame{Code: CodeInternal, Message: "boom"}).Encode()
 	f.Add(frame(MsgError, p, err))
-	p, err = (&InferBatchRequest{SessionID: 1, RequestID: 3, Count: 2, Tensor: bct}).Encode()
+	p, err = (&InferBatchRequest{SessionID: 1, RequestID: 3, TraceID: 0xEF01, ParentSpan: 0x5678, Count: 2, Tensor: bct}).Encode()
 	f.Add(frame(MsgInferBatchRequest, p, err))
 	p, err = (&InferBatchResponse{RequestID: 3, Count: 2, Tensor: bct}).Encode()
 	f.Add(frame(MsgInferBatchResponse, p, err))
 	p, err = (&HealthProbe{Nonce: 99}).Encode()
 	f.Add(frame(MsgHealthProbe, p, err))
-	p, err = (&HealthAck{Nonce: 99, ActiveSessions: 2, Inflight: 1, Draining: true}).Encode()
+	p, err = (&HealthAck{Nonce: 99, ActiveSessions: 2, Inflight: 1, Draining: true,
+		Bootstraps: 5, MinHeadroom: -1, HeadroomKnown: true}).Encode()
 	f.Add(frame(MsgHealthAck, p, err))
 	p, err = (&RegistrySync{Entries: []RegistryEntry{{Model: "LeNet-tiny", LogN: 13, Batch: 8}}}).Encode()
 	f.Add(frame(MsgRegistrySync, p, err))
@@ -81,6 +84,15 @@ func fuzzSeedFrames(f *testing.F) {
 	f.Add(frame(MsgSessionHandoff, p, err))
 	p, err = (&SessionHandoffAck{RouterSessionID: 7, WorkerSessionID: 8}).Encode()
 	f.Add(frame(MsgSessionHandoffAck, p, err))
+	p, err = (&TraceDump{TraceID: 0xABCD}).Encode()
+	f.Add(frame(MsgTraceDump, p, err))
+	p, err = (&TraceDumpAck{Process: "worker-a", EpochUnixNano: 1_700_000_000_000_000_000,
+		Spans: []telemetry.Span{{
+			Kind: telemetry.KindScope, Op: "request", Dur: time.Millisecond,
+			LevelIn: 9, LevelOut: 3, ScaleIn: 1 << 40, ScaleOut: 1 << 40,
+			TraceID: 0xABCD, SpanID: 0x1234, Parent: 0x5678,
+		}}}).Encode()
+	f.Add(frame(MsgTraceDumpAck, p, err))
 	f.Add([]byte{})
 	f.Add([]byte{0xF1, 0x5E, 0xE7, 0xC4, 1, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F})
 }
@@ -191,6 +203,24 @@ func FuzzWireFrame(f *testing.F) {
 		case MsgSessionHandoffAck:
 			var m SessionHandoffAck
 			_ = m.Decode(payload)
+		case MsgTraceDump:
+			var m TraceDump
+			_ = m.Decode(payload)
+		case MsgTraceDumpAck:
+			var m TraceDumpAck
+			if m.Decode(payload) == nil {
+				reenc, err := m.Encode()
+				if err != nil {
+					t.Fatalf("decoded trace-dump-ack does not re-encode: %v", err)
+				}
+				var m2 TraceDumpAck
+				if err := m2.Decode(reenc); err != nil {
+					t.Fatalf("re-encoded trace-dump-ack does not decode: %v", err)
+				}
+				if m2.Process != m.Process || m2.EpochUnixNano != m.EpochUnixNano || len(m2.Spans) != len(m.Spans) {
+					t.Fatal("trace-dump-ack not stable across re-encoding")
+				}
+			}
 		}
 	})
 }
@@ -206,13 +236,19 @@ func FuzzControlFrame(f *testing.F) {
 		f.Add(p)
 	}
 	seed((&HealthProbe{Nonce: 1}).Encode())
-	seed((&HealthAck{Nonce: 2, ActiveSessions: 1, Inflight: 3, Draining: true}).Encode())
+	seed((&HealthAck{Nonce: 2, ActiveSessions: 1, Inflight: 3, Draining: true,
+		Bootstraps: 7, MinHeadroom: 2, HeadroomKnown: true}).Encode())
 	seed((&RegistrySync{Entries: []RegistryEntry{
 		{Model: "LeNet-tiny", LogN: 13, Batch: 8},
 		{Model: "SqueezeNet-CIFAR", LogN: 16, Batch: 1},
 	}}).Encode())
 	seed((&SessionHandoff{RouterSessionID: 3, Open: []byte("opaque keys")}).Encode())
 	seed((&SessionHandoffAck{RouterSessionID: 3, WorkerSessionID: 4}).Encode())
+	seed((&TraceDump{TraceID: 5}).Encode())
+	seed((&TraceDumpAck{Process: "w", EpochUnixNano: 42, Spans: []telemetry.Span{
+		{Kind: telemetry.KindOp, Op: "mul", Dur: time.Microsecond, TraceID: 5, SpanID: 6, Parent: 7},
+		{Kind: telemetry.KindScope, Op: "request", Scope: "sess", TraceID: 5, SpanID: 7},
+	}}).Encode())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var probe HealthProbe
@@ -255,6 +291,31 @@ func FuzzControlFrame(f *testing.F) {
 		}
 		var hoAck SessionHandoffAck
 		_ = hoAck.Decode(data)
+		var td TraceDump
+		if td.Decode(data) == nil {
+			reenc, err := td.Encode()
+			if err != nil {
+				t.Fatalf("decoded trace-dump does not re-encode: %v", err)
+			}
+			var again TraceDump
+			if err := again.Decode(reenc); err != nil || again != td {
+				t.Fatalf("trace-dump not stable: %v", err)
+			}
+		}
+		var tda TraceDumpAck
+		if tda.Decode(data) == nil {
+			reenc, err := tda.Encode()
+			if err != nil {
+				t.Fatalf("decoded trace-dump-ack does not re-encode: %v", err)
+			}
+			var again TraceDumpAck
+			if err := again.Decode(reenc); err != nil {
+				t.Fatalf("re-encoded trace-dump-ack does not decode: %v", err)
+			}
+			if len(again.Spans) != len(tda.Spans) {
+				t.Fatal("trace-dump-ack span count not stable across re-encoding")
+			}
+		}
 	})
 }
 

@@ -163,6 +163,11 @@ type InferRequest struct {
 	// assignment it produces (logged and echoed in the response). Zero
 	// means the client did not ask for correlation.
 	TraceID uint64
+	// ParentSpan is the span the receiver should parent its request scope
+	// under: the client's call span, or — after a router rewrote the header
+	// in flight — the router's relay span, which is what stitches router
+	// and worker span trees into one trace. Zero means "no parent".
+	ParentSpan uint64
 	// TimeoutMillis caps this request's total latency (queue + execution).
 	// Zero defers to the server's configured default.
 	TimeoutMillis uint32
@@ -175,6 +180,7 @@ func (m *InferRequest) Encode() ([]byte, error) {
 	e.u64(m.SessionID)
 	e.u64(m.RequestID)
 	e.u64(m.TraceID)
+	e.u64(m.ParentSpan)
 	e.u32(m.TimeoutMillis)
 	if err := encodeCipherTensor(e, m.Tensor); err != nil {
 		return nil, err
@@ -188,6 +194,7 @@ func (m *InferRequest) Decode(data []byte) error {
 	m.SessionID = d.u64()
 	m.RequestID = d.u64()
 	m.TraceID = d.u64()
+	m.ParentSpan = d.u64()
 	m.TimeoutMillis = d.u32()
 	ct, err := decodeCipherTensor(d)
 	if err != nil {
@@ -265,6 +272,9 @@ type InferBatchRequest struct {
 	// TraceID correlates this request with its server-side spans in logs
 	// and traces; echoed in the response. Zero disables correlation.
 	TraceID uint64
+	// ParentSpan parents the receiver's request scope (see
+	// InferRequest.ParentSpan); routers rewrite it in flight.
+	ParentSpan uint64
 	// TimeoutMillis caps this request's total latency (queue + execution).
 	// Zero defers to the server's configured default.
 	TimeoutMillis uint32
@@ -282,6 +292,7 @@ func (m *InferBatchRequest) Encode() ([]byte, error) {
 	e.u64(m.SessionID)
 	e.u64(m.RequestID)
 	e.u64(m.TraceID)
+	e.u64(m.ParentSpan)
 	e.u32(m.TimeoutMillis)
 	e.u32(m.Count)
 	if err := encodeCipherTensor(e, m.Tensor); err != nil {
@@ -296,6 +307,7 @@ func (m *InferBatchRequest) Decode(data []byte) error {
 	m.SessionID = d.u64()
 	m.RequestID = d.u64()
 	m.TraceID = d.u64()
+	m.ParentSpan = d.u64()
 	m.TimeoutMillis = d.u32()
 	count := d.u32()
 	if d.err == nil && (count < 1 || count > maxBatchLanes) {

@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"chet/internal/telemetry"
+)
+
+// Sanity caps for trace-dump payloads: a span ring holds at most 1<<16
+// spans by default, and labels are short mnemonics/scope paths.
+const (
+	maxTraceSpans   = 1 << 17
+	maxSpanLabel    = 1 << 10
+	maxProcessLabel = 1 << 8
+)
+
+// TraceDump (router → worker) requests the worker's retained telemetry
+// spans. TraceID filters to one trace; zero requests the whole ring.
+type TraceDump struct {
+	TraceID uint64
+}
+
+// Encode serializes the message payload.
+func (m *TraceDump) Encode() ([]byte, error) {
+	e := &enc{}
+	e.u64(m.TraceID)
+	return e.buf, nil
+}
+
+// Decode parses a payload produced by Encode.
+func (m *TraceDump) Decode(data []byte) error {
+	d := &dec{buf: data}
+	m.TraceID = d.u64()
+	return d.finish()
+}
+
+// TraceDumpAck (worker → router) carries one process's span ring: the
+// process label the merged trace displays, the epoch its span Start
+// offsets measure from (Unix nanoseconds, so rings from different
+// processes rebase onto one timeline), and the spans themselves.
+type TraceDumpAck struct {
+	Process       string
+	EpochUnixNano int64
+	Spans         []telemetry.Span
+}
+
+// Encode serializes the message payload.
+func (m *TraceDumpAck) Encode() ([]byte, error) {
+	if len(m.Process) > maxProcessLabel {
+		return nil, fmt.Errorf("wire: trace-dump-ack process label of %d bytes exceeds cap %d",
+			len(m.Process), maxProcessLabel)
+	}
+	if len(m.Spans) > maxTraceSpans {
+		return nil, fmt.Errorf("wire: trace-dump-ack %d spans exceed cap %d", len(m.Spans), maxTraceSpans)
+	}
+	e := &enc{}
+	e.blob([]byte(m.Process))
+	e.u64(uint64(m.EpochUnixNano))
+	e.u32(uint32(len(m.Spans)))
+	for i := range m.Spans {
+		if err := encodeSpan(e, &m.Spans[i]); err != nil {
+			return nil, err
+		}
+	}
+	return e.buf, nil
+}
+
+// Decode parses a payload produced by Encode.
+func (m *TraceDumpAck) Decode(data []byte) error {
+	d := &dec{buf: data}
+	proc := d.blob()
+	if d.err == nil && len(proc) > maxProcessLabel {
+		d.fail(fmt.Sprintf("process label of %d bytes exceeds cap", len(proc)))
+	}
+	epoch := int64(d.u64())
+	n := int(d.u32())
+	if d.err == nil && (n < 0 || n > maxTraceSpans) {
+		d.fail(fmt.Sprintf("implausible span count %d", n))
+	}
+	spans := make([]telemetry.Span, 0, min(n, 1024))
+	for i := 0; i < n && d.err == nil; i++ {
+		s, err := decodeSpan(d)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, s)
+	}
+	if err := d.finish(); err != nil {
+		return err
+	}
+	m.Process, m.EpochUnixNano, m.Spans = string(proc), epoch, spans
+	return nil
+}
+
+// encodeSpan appends one telemetry span. Durations and levels travel as
+// signed 64-bit values, scales as IEEE 754 bits.
+func encodeSpan(e *enc, s *telemetry.Span) error {
+	if s.Kind > telemetry.KindScope {
+		return fmt.Errorf("wire: unknown span kind %d", s.Kind)
+	}
+	if len(s.Op) > maxSpanLabel || len(s.Scope) > maxSpanLabel {
+		return fmt.Errorf("wire: span label exceeds cap %d", maxSpanLabel)
+	}
+	e.u8(byte(s.Kind))
+	e.blob([]byte(s.Op))
+	e.blob([]byte(s.Scope))
+	e.u64(uint64(s.Start))
+	e.u64(uint64(s.Dur))
+	e.i64(s.LevelIn)
+	e.i64(s.LevelOut)
+	e.u64(math.Float64bits(s.ScaleIn))
+	e.u64(math.Float64bits(s.ScaleOut))
+	e.i64(s.Rot)
+	e.u64(uint64(s.GID))
+	e.u64(s.TraceID)
+	e.u64(s.SpanID)
+	e.u64(s.Parent)
+	return nil
+}
+
+// decodeSpan reads one span, validating the kind and label caps.
+func decodeSpan(d *dec) (telemetry.Span, error) {
+	var s telemetry.Span
+	kind := d.u8()
+	if d.err == nil && kind > uint8(telemetry.KindScope) {
+		d.fail(fmt.Sprintf("unknown span kind %d", kind))
+	}
+	op := d.blob()
+	if d.err == nil && len(op) > maxSpanLabel {
+		d.fail(fmt.Sprintf("op label of %d bytes exceeds cap", len(op)))
+	}
+	scope := d.blob()
+	if d.err == nil && len(scope) > maxSpanLabel {
+		d.fail(fmt.Sprintf("scope label of %d bytes exceeds cap", len(scope)))
+	}
+	s.Kind = telemetry.SpanKind(kind)
+	s.Op = string(op)
+	s.Scope = string(scope)
+	s.Start = time.Duration(d.u64())
+	s.Dur = time.Duration(d.u64())
+	s.LevelIn = d.i64()
+	s.LevelOut = d.i64()
+	s.ScaleIn = math.Float64frombits(d.u64())
+	s.ScaleOut = math.Float64frombits(d.u64())
+	s.Rot = d.i64()
+	s.GID = int64(d.u64())
+	s.TraceID = d.u64()
+	s.SpanID = d.u64()
+	s.Parent = d.u64()
+	if d.err != nil {
+		return telemetry.Span{}, d.err
+	}
+	return s, nil
+}

@@ -10,7 +10,7 @@
 //
 //	offset  size  field
 //	0       4     magic   0xC4E75EF1
-//	4       1     version (currently 4)
+//	4       1     version (currently 5)
 //	5       1     type    (MsgType)
 //	6       2     flags   (reserved, must be zero)
 //	8       4     payload length in bytes
@@ -36,9 +36,12 @@ const (
 	// version 3 added the request trace IDs that correlate a client request
 	// with its server-side spans and batch assignment; version 4 added the
 	// fleet control frames (health probes, model-registry sync, and
-	// eval-key session handoff) a router tier exchanges with its workers.
-	// Older peers are rejected at the header.
-	Version byte = 4
+	// eval-key session handoff) a router tier exchanges with its workers;
+	// version 5 added the parent-span field to the inference requests (so a
+	// router can interpose its relay span between the client and the worker)
+	// and the trace-dump control frames that collect per-process span rings
+	// into one cross-process trace. Older peers are rejected at the header.
+	Version byte = 5
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 12
 	// DefaultMaxFrame bounds a frame's payload when the caller does not
@@ -87,6 +90,13 @@ const (
 	// MsgSessionHandoffAck (worker → router): the worker-local session ID
 	// the handed-off session evaluates under.
 	MsgSessionHandoffAck
+	// MsgTraceDump (router → worker): ask for the worker's retained spans,
+	// optionally filtered to one trace ID.
+	MsgTraceDump
+	// MsgTraceDumpAck (worker → router): the worker's span ring plus the
+	// epoch its span offsets measure from, ready to merge into a
+	// cross-process trace.
+	MsgTraceDumpAck
 )
 
 func (t MsgType) String() string {
@@ -117,6 +127,10 @@ func (t MsgType) String() string {
 		return "session-handoff"
 	case MsgSessionHandoffAck:
 		return "session-handoff-ack"
+	case MsgTraceDump:
+		return "trace-dump"
+	case MsgTraceDumpAck:
+		return "trace-dump-ack"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -170,7 +184,7 @@ func ReadFrame(r io.Reader, maxFrame int) (MsgType, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, v)
 	}
 	t := MsgType(hdr[5])
-	if t < MsgSessionOpen || t > MsgSessionHandoffAck {
+	if t < MsgSessionOpen || t > MsgTraceDumpAck {
 		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, hdr[5])
 	}
 	if f := binary.LittleEndian.Uint16(hdr[6:]); f != 0 {
